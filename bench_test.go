@@ -1,0 +1,82 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§7). Each benchmark runs its experiment once per iteration
+// and, under -v or with b.N == 1, logs the rendered series so the bench
+// run doubles as the reproduction report (the shapes, not the absolute
+// numbers, are the comparison targets — see EXPERIMENTS.md).
+package vdesign
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		b.Fatalf("environment: %v", envErr)
+	}
+	return envVal
+}
+
+func runExperiment(b *testing.B, id string) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, env)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		rendered = res.Render()
+	}
+	b.StopTimer()
+	if rendered != "" {
+		b.Log("\n" + rendered)
+	}
+}
+
+func BenchmarkFig02Motivating(b *testing.B)          { runExperiment(b, "fig02") }
+func BenchmarkFig05PGCPUTupleCost(b *testing.B)      { runExperiment(b, "fig05") }
+func BenchmarkFig06DB2CPUSpeed(b *testing.B)         { runExperiment(b, "fig06") }
+func BenchmarkFig07PGRandomPage(b *testing.B)        { runExperiment(b, "fig07") }
+func BenchmarkFig08DB2TransferRate(b *testing.B)     { runExperiment(b, "fig08") }
+func BenchmarkFig09Surface(b *testing.B)             { runExperiment(b, "fig09") }
+func BenchmarkFig10Surface(b *testing.B)             { runExperiment(b, "fig10") }
+func BenchmarkFig12VaryCPUIntensityDB2(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkFig13VaryCPUIntensityPG(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig14VarySizeDB2(b *testing.B)         { runExperiment(b, "fig14") }
+func BenchmarkFig15VarySizePG(b *testing.B)          { runExperiment(b, "fig15") }
+func BenchmarkFig16SizeNotIntensityDB2(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17SizeNotIntensityPG(b *testing.B)  { runExperiment(b, "fig17") }
+func BenchmarkFig18VaryMemoryDB2(b *testing.B)       { runExperiment(b, "fig18") }
+func BenchmarkFig19DegradationLimit(b *testing.B)    { runExperiment(b, "fig19") }
+func BenchmarkFig20GainFactor(b *testing.B)          { runExperiment(b, "fig20") }
+func BenchmarkFig21RandomPG(b *testing.B)            { runExperiment(b, "fig21") }
+func BenchmarkFig22MixDB2(b *testing.B)              { runExperiment(b, "fig22") }
+func BenchmarkFig23MixPG(b *testing.B)               { runExperiment(b, "fig23") }
+func BenchmarkFig24VsOptimalPG(b *testing.B)         { runExperiment(b, "fig24") }
+func BenchmarkFig25MultiCPU(b *testing.B)            { runExperiment(b, "fig25") }
+func BenchmarkFig26MultiMemory(b *testing.B)         { runExperiment(b, "fig26") }
+func BenchmarkFig27MultiVsOptimal(b *testing.B)      { runExperiment(b, "fig27") }
+func BenchmarkFig28RefineDB2(b *testing.B)           { runExperiment(b, "fig28") }
+func BenchmarkFig29RefinePG(b *testing.B)            { runExperiment(b, "fig29") }
+func BenchmarkFig30RefineImproveDB2(b *testing.B)    { runExperiment(b, "fig30") }
+func BenchmarkFig31RefineImprovePG(b *testing.B)     { runExperiment(b, "fig31") }
+func BenchmarkFig32RefineMultiCPU(b *testing.B)      { runExperiment(b, "fig32") }
+func BenchmarkFig33RefineMultiMem(b *testing.B)      { runExperiment(b, "fig33") }
+func BenchmarkFig34RefineMultiImprove(b *testing.B)  { runExperiment(b, "fig34") }
+func BenchmarkFig35DynamicShares(b *testing.B)       { runExperiment(b, "fig35") }
+func BenchmarkFig36DynamicImprove(b *testing.B)      { runExperiment(b, "fig36") }
+func BenchmarkSec72SearchCost(b *testing.B)          { runExperiment(b, "sec7.2") }
+func BenchmarkAblationCostCache(b *testing.B)        { runExperiment(b, "ablation-cache") }
+func BenchmarkAblationDelta(b *testing.B)            { runExperiment(b, "ablation-delta") }
+func BenchmarkAblationCalibrationGrid(b *testing.B)  { runExperiment(b, "ablation-calibgrid") }

@@ -1,0 +1,146 @@
+// Command advisor recommends VM resource shares for a set of consolidated
+// database tenants described on the command line. Each -tenant flag is
+// `name:flavor:benchmark`, where flavor is pg|db2 and benchmark is one of
+// tpch1, tpch10 (the 22-query TPC-H mix at SF1/SF10) or tpcc (a 5-warehouse
+// transaction mix). QoS can be attached as name:limit=L or name:gain=G.
+//
+// Example:
+//
+//	advisor -tenant dss:pg:tpch1 -tenant oltp:db2:tpcc -qos oltp:limit=2.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/tpcc"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+
+	vdesign "repro"
+)
+
+type tenantFlag []string
+
+func (t *tenantFlag) String() string     { return strings.Join(*t, ",") }
+func (t *tenantFlag) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	var tenants, qos tenantFlag
+	flag.Var(&tenants, "tenant", "tenant spec name:flavor:benchmark (repeatable)")
+	flag.Var(&qos, "qos", "QoS spec name:limit=L or name:gain=G (repeatable)")
+	delta := flag.Float64("delta", 0.05, "greedy step size")
+	refine := flag.Bool("refine", false, "apply online refinement after the initial recommendation")
+	flag.Parse()
+	if len(tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "at least one -tenant is required; see -h")
+		os.Exit(2)
+	}
+
+	srv, err := vdesign.NewServer()
+	if err != nil {
+		fatal(err)
+	}
+	handles := map[string]*vdesign.TenantHandle{}
+	var order []string
+	for _, spec := range tenants {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("bad tenant spec %q", spec))
+		}
+		name, flavorS, bench := parts[0], parts[1], parts[2]
+		var flavor vdesign.Flavor
+		switch flavorS {
+		case "pg":
+			flavor = vdesign.PostgreSQL
+		case "db2":
+			flavor = vdesign.DB2
+		default:
+			fatal(fmt.Errorf("unknown flavor %q (want pg or db2)", flavorS))
+		}
+		schema, w, err := benchmarkWorkload(bench, name)
+		if err != nil {
+			fatal(err)
+		}
+		h, err := srv.AddTenantWorkload(name, flavor, schema, w)
+		if err != nil {
+			fatal(err)
+		}
+		handles[name] = h
+		order = append(order, name)
+	}
+	for _, spec := range qos {
+		name, setting, ok := strings.Cut(spec, ":")
+		if !ok {
+			fatal(fmt.Errorf("bad qos spec %q", spec))
+		}
+		h := handles[name]
+		if h == nil {
+			fatal(fmt.Errorf("qos for unknown tenant %q", name))
+		}
+		key, valS, ok := strings.Cut(setting, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad qos setting %q", setting))
+		}
+		v, err := strconv.ParseFloat(valS, 64)
+		if err != nil {
+			fatal(err)
+		}
+		var q vdesign.QoS
+		switch key {
+		case "limit":
+			q.DegradationLimit = v
+		case "gain":
+			q.GainFactor = v
+		default:
+			fatal(fmt.Errorf("unknown qos key %q", key))
+		}
+		srv.SetQoS(h, q)
+	}
+
+	rec, err := srv.Recommend(&vdesign.Options{Delta: *delta})
+	if err != nil {
+		fatal(err)
+	}
+	if *refine {
+		rec, err = srv.Refined(rec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%-12s %8s %8s %12s %12s\n", "tenant", "cpu", "memory", "est-seconds", "degradation")
+	for _, name := range order {
+		h := handles[name]
+		cpu, mem := rec.Shares(h)
+		fmt.Printf("%-12s %7.1f%% %7.1f%% %12.1f %11.2fx\n",
+			name, cpu*100, mem*100, rec.EstimatedSeconds(h), rec.Degradation(h))
+	}
+}
+
+// benchmarkWorkload maps a benchmark keyword to (schema, workload).
+func benchmarkWorkload(bench, name string) (*catalog.Schema, *workload.Workload, error) {
+	switch bench {
+	case "tpch1", "tpch10":
+		sf := 1.0
+		if bench == "tpch10" {
+			sf = 10
+		}
+		w := &workload.Workload{Name: name}
+		for q := 1; q <= tpch.QueryCount; q++ {
+			w.Statements = append(w.Statements, tpch.Statement(q))
+		}
+		return tpch.Schema(sf), w, nil
+	case "tpcc":
+		return tpcc.Schema(5), tpcc.Mix(5, 8, 1), nil
+	}
+	return nil, nil, fmt.Errorf("unknown benchmark %q (want tpch1, tpch10, or tpcc)", bench)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advisor:", err)
+	os.Exit(1)
+}

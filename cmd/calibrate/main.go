@@ -1,0 +1,51 @@
+// Command calibrate runs the §4.2–§4.4 optimizer calibration pipeline on
+// the simulated machine and prints the calibration functions, the
+// renormalization factors, and the per-allocation parameter samples behind
+// the paper's Figs. 5–8.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/calibrate"
+	"repro/internal/textplot"
+	"repro/internal/vmsim"
+)
+
+func main() {
+	m := vmsim.Default()
+	pg, err := calibrate.CalibratePG(m, calibrate.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate pg:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== PostgreSQL calibration ==")
+	fmt.Printf("renormalization: %.6g s per sequential-page cost unit\n", pg.Renorm())
+	fmt.Printf("random_page_cost: %.3f\n", pg.RandomPageCost)
+	fmt.Printf("cpu_tuple_cost(r)      = %s\n", pg.CPUTuple)
+	fmt.Printf("cpu_operator_cost(r)   = %s\n", pg.CPUOperator)
+	fmt.Printf("cpu_index_tuple_cost(r)= %s\n", pg.CPUIndexTuple)
+	var x, t, o, i []string
+	for _, s := range pg.Samples {
+		x = append(x, textplot.Fmt(1/s.CPU))
+		t = append(t, textplot.Fmt(s.CPUTuple))
+		o = append(o, textplot.Fmt(s.CPUOperator))
+		i = append(i, textplot.Fmt(s.CPUIndexTuple))
+	}
+	fmt.Println(textplot.Table(
+		[]string{"1/cpu", "cpu_tuple", "cpu_operator", "cpu_index_tuple"},
+		[][]string{x, t, o, i}))
+	fmt.Printf("calibration cost: %s\n\n", pg.Spent)
+
+	db2, err := calibrate.CalibrateDB2(m, calibrate.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate db2:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== DB2 calibration ==")
+	fmt.Printf("renormalization: %.6g s per timeron (regression R2=%.6f)\n", db2.RenormSeconds, db2.RenormR2)
+	fmt.Printf("overhead: %.3f ms, transfer_rate: %.3f ms\n", db2.OverheadMs, db2.TransferRateMs)
+	fmt.Printf("cpuspeed(r) = %s\n", db2.CPUSpeed)
+	fmt.Printf("calibration cost: %s\n", db2.Spent)
+}

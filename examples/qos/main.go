@@ -1,0 +1,45 @@
+// QoS demonstrates degradation limits and benefit gain factors (§3, §7.5):
+// five identical workloads share a machine; one is protected by a
+// degradation limit and another is prioritized with a gain factor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/tpch"
+
+	vdesign "repro"
+)
+
+func main() {
+	srv, err := vdesign.NewServer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := tpch.Schema(1)
+	var tenants []*vdesign.TenantHandle
+	for i := 0; i < 5; i++ {
+		t, err := srv.AddTenant(fmt.Sprintf("W%d", 9+i), vdesign.DB2, schema,
+			[]string{tpch.QueryText(18)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tenants = append(tenants, t)
+	}
+	// W9 must not degrade beyond 2.5x its dedicated-machine performance;
+	// W10's improvements are worth 4x everyone else's.
+	srv.SetQoS(tenants[0], vdesign.QoS{DegradationLimit: 2.5})
+	srv.SetQoS(tenants[1], vdesign.QoS{GainFactor: 4})
+
+	rec, err := srv.Recommend(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tenants {
+		cpu, mem := rec.Shares(t)
+		fmt.Printf("%-4s cpu=%4.0f%% mem=%4.0f%% degradation=%.2fx\n",
+			t.Name(), cpu*100, mem*100, rec.Degradation(t))
+	}
+	fmt.Println("W9 stays within its 2.5x limit; W10's gain factor buys it extra shares.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: consolidate two database tenants onto one machine and let
+// the virtualization design advisor split CPU and memory between them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/tpch"
+
+	vdesign "repro"
+)
+
+func main() {
+	srv, err := vdesign.NewServer()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tenant 1: a PostgreSQL VM running a reporting workload.
+	reporting, err := srv.AddTenant("reporting", vdesign.PostgreSQL, tpch.Schema(1), []string{
+		tpch.QueryText(1),
+		tpch.QueryText(6),
+		tpch.QueryText(14),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tenant 2: a DB2 VM running ad-hoc analytics.
+	analytics, err := srv.AddTenant("analytics", vdesign.DB2, tpch.Schema(1), []string{
+		tpch.QueryText(5),
+		tpch.QueryText(7),
+		tpch.QueryText(18),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec, err := srv.Recommend(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range []*vdesign.TenantHandle{reporting, analytics} {
+		cpu, mem := rec.Shares(t)
+		fmt.Printf("%-10s cpu=%4.0f%%  mem=%4.0f%%  est=%7.1fs  degradation=%.2fx\n",
+			t.Name(), cpu*100, mem*100, rec.EstimatedSeconds(t), rec.Degradation(t))
+	}
+}

@@ -1,0 +1,177 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dbms"
+	"repro/internal/pgsim"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+	"repro/internal/xplan"
+)
+
+func TestCalibrationSchemaFitsInSmallVMs(t *testing.T) {
+	s := Schema()
+	cal := s.Table("cal")
+	// ~10% of an 8 GB machine at the smallest memory share is 100+ MB;
+	// the calibration table must be far smaller so CPU queries are
+	// I/O-free at every allocation.
+	if bytes := cal.Pages * 8192; bytes > 64<<20 {
+		t.Fatalf("calibration table too big: %.0f MB", bytes/(1<<20))
+	}
+}
+
+func TestCPUStatementsParseAndDiffer(t *testing.T) {
+	q1, q2, q3 := CPUStatements()
+	if q1.SQL == q2.SQL || q2.SQL == q3.SQL {
+		t.Fatal("calibration queries must differ")
+	}
+	for _, q := range []workload.Statement{q1, q2, q3} {
+		if q.Stmt == nil {
+			t.Fatal("statement not parsed")
+		}
+	}
+}
+
+func TestCalibratePGRecoversLinearCPUModel(t *testing.T) {
+	m := vmsim.Default()
+	res, err := CalibratePG(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.4/Fig. 5: cpu_tuple_cost is linear in 1/share with near-perfect
+	// fit in a deterministic environment.
+	if res.CPUTuple.R2 < 0.999 {
+		t.Fatalf("cpu_tuple_cost fit poor: %v", res.CPUTuple)
+	}
+	if res.CPUTuple.Slope <= 0 {
+		t.Fatalf("cpu_tuple_cost should grow with 1/share: %v", res.CPUTuple)
+	}
+	// Parameter ratios should reflect the engine's true op weights
+	// (0.25 and 0.5 of a tuple op).
+	ratioOp := res.CPUOperator.Slope / res.CPUTuple.Slope
+	ratioIdx := res.CPUIndexTuple.Slope / res.CPUTuple.Slope
+	if math.Abs(ratioOp-0.25) > 0.05 {
+		t.Errorf("cpu_operator/cpu_tuple ratio = %.3f, want ~0.25", ratioOp)
+	}
+	if math.Abs(ratioIdx-0.5) > 0.1 {
+		t.Errorf("cpu_index/cpu_tuple ratio = %.3f, want ~0.5", ratioIdx)
+	}
+	// random_page_cost is the random/sequential service ratio.
+	wantRPC := m.HW.RandPageSec / m.HW.SeqPageSec
+	if math.Abs(res.RandomPageCost-wantRPC) > 0.01*wantRPC {
+		t.Errorf("random_page_cost = %v, want %v", res.RandomPageCost, wantRPC)
+	}
+	if res.RenormSeconds <= 0 {
+		t.Fatal("renorm must be positive")
+	}
+	if res.Spent.VMConfigs < 10 || res.Spent.QueryRuns < 30 {
+		t.Errorf("calibration cost accounting looks wrong: %+v", res.Spent)
+	}
+}
+
+// The end-to-end calibration promise (§4.1): renormalized what-if cost at
+// an allocation approximates the actual run time at that allocation for a
+// well-modeled (DSS) statement.
+func TestPGWhatIfMatchesActual(t *testing.T) {
+	m := vmsim.Default()
+	res, err := CalibratePG(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := pgsim.New(Schema())
+	q1, q2, q3 := CPUStatements()
+	for _, st := range []workload.Statement{q1, q2, q3} {
+		for _, a := range []dbms.Alloc{{CPU: 0.25, Mem: 0.5}, {CPU: 0.7, Mem: 0.5}, {CPU: 1.0, Mem: 0.25}} {
+			pl, err := sys.Optimize(st.Stmt, res.Params(a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := pl.Cost * res.Renorm()
+			u, err := sys.Run(st.Stmt, m.VMMemBytes(a.Mem), xplan.DefaultProfile())
+			if err != nil {
+				t.Fatal(err)
+			}
+			act := m.Seconds(u, a.CPU)
+			if act == 0 {
+				t.Fatalf("zero actual for %q", st.SQL)
+			}
+			if rel := math.Abs(est-act) / act; rel > 0.05 {
+				t.Errorf("what-if mismatch for %q at %+v: est=%.4fs act=%.4fs (%.1f%%)",
+					st.SQL, a, est, act, rel*100)
+			}
+		}
+	}
+}
+
+func TestCalibrateDB2(t *testing.T) {
+	m := vmsim.Default()
+	res, err := CalibrateDB2(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUSpeed.R2 < 0.999 || res.CPUSpeed.Slope <= 0 {
+		t.Fatalf("cpuspeed fit: %v", res.CPUSpeed)
+	}
+	// cpuspeed at full share should be ~1000/CPUHz ms per instruction.
+	want := 1000 / m.HW.CPUHz
+	got := res.CPUSpeed.Eval(1)
+	if math.Abs(got-want) > 0.02*want {
+		t.Errorf("cpuspeed(1.0) = %v, want %v", got, want)
+	}
+	if res.TransferRateMs <= 0 || res.OverheadMs <= res.TransferRateMs {
+		t.Errorf("I/O params: overhead=%v transfer=%v", res.OverheadMs, res.TransferRateMs)
+	}
+	if res.RenormR2 < 0.999 || res.RenormSeconds <= 0 {
+		t.Errorf("timeron renormalization: %v s/timeron (R2=%v)", res.RenormSeconds, res.RenormR2)
+	}
+}
+
+// §4.4 independence: CPU parameters calibrated at different memory shares
+// should agree, because CPU parameters do not describe memory.
+func TestPGCPUParamsIndependentOfMemory(t *testing.T) {
+	m := vmsim.Default()
+	var spent Cost
+	renorm := seqReadMicrobench(m, &spent)
+	rpc := randReadMicrobench(m, &spent) / renorm
+	sys := pgsim.New(Schema())
+	shares := []float64{0.2, 0.5, 1.0}
+	lo, err := PGCPUSamples(m, sys, shares, 0.2, renorm, rpc, &spent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := PGCPUSamples(m, sys, shares, 0.8, renorm, rpc, &spent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lo {
+		rel := math.Abs(lo[i].CPUTuple-hi[i].CPUTuple) / hi[i].CPUTuple
+		if rel > 0.05 {
+			t.Errorf("cpu_tuple_cost varies with memory at share %v: %v vs %v",
+				lo[i].CPU, lo[i].CPUTuple, hi[i].CPUTuple)
+		}
+	}
+}
+
+func TestDB2ParamsMapAllocation(t *testing.T) {
+	m := vmsim.Default()
+	res, err := CalibrateDB2(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLow := res.Params(dbms.Alloc{CPU: 0.2, Mem: 0.5})
+	pHigh := res.Params(dbms.Alloc{CPU: 1.0, Mem: 0.5})
+	if pLow.CPUSpeedMsPerInstr <= pHigh.CPUSpeedMsPerInstr {
+		t.Fatalf("cpuspeed should shrink with more CPU: %v vs %v",
+			pLow.CPUSpeedMsPerInstr, pHigh.CPUSpeedMsPerInstr)
+	}
+	pSmall := res.Params(dbms.Alloc{CPU: 0.5, Mem: 0.1})
+	pBig := res.Params(dbms.Alloc{CPU: 0.5, Mem: 0.9})
+	if pSmall.BufferPoolBytes >= pBig.BufferPoolBytes {
+		t.Fatal("bufferpool should grow with memory share")
+	}
+	if pSmall.SortHeapBytes >= pBig.SortHeapBytes {
+		t.Fatal("sortheap should grow with memory share")
+	}
+}

@@ -1,0 +1,148 @@
+package calibrate
+
+import (
+	"fmt"
+
+	"repro/internal/db2sim"
+	"repro/internal/dbms"
+	"repro/internal/regress"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// DB2Sample is one measured cpuspeed at one allocation — the raw points
+// behind Figs. 6 and 8.
+type DB2Sample struct {
+	CPU, Mem   float64
+	CPUSpeedMs float64
+}
+
+// DB2Result is a completed DB2 calibration. DB2's calibration is simpler
+// than PostgreSQL's (§4.3): its descriptive parameters are generic and
+// measured by stand-alone programs rather than solved from query
+// equations; the renormalization factor (timerons → seconds) then comes
+// from a regression over calibration query runs (§4.2).
+type DB2Result struct {
+	machine *vmsim.Machine
+
+	// CPUSpeed maps 1/(CPU share) to milliseconds per instruction.
+	CPUSpeed regress.Line
+	// OverheadMs and TransferRateMs are the I/O parameters, independent of
+	// CPU and memory (Fig. 8), measured once.
+	OverheadMs     float64
+	TransferRateMs float64
+	// RenormSeconds converts timerons to seconds.
+	RenormSeconds float64
+	// RenormR2 is the fit quality of the timeron regression.
+	RenormR2 float64
+
+	Samples []DB2Sample
+	Spent   Cost
+}
+
+// CalibrateDB2 runs the DB2 calibration pipeline on the machine.
+func CalibrateDB2(m *vmsim.Machine, opts Options) (*DB2Result, error) {
+	opts = opts.withDefaults()
+	res := &DB2Result{machine: m}
+	sys := db2sim.New(Schema())
+
+	// I/O parameters from the stand-alone read programs (§7.2: "calibrating
+	// I/O parameters takes 105 seconds ... done for only one CPU setting").
+	seq := seqReadMicrobench(m, &res.Spent)
+	rnd := randReadMicrobench(m, &res.Spent)
+	res.TransferRateMs = seq * 1000
+	res.OverheadMs = (rnd - seq) * 1000
+	res.Spent.VMConfigs++
+
+	// cpuspeed from the instruction-timing program at each CPU share.
+	samples, err := DB2CPUSamples(m, opts.CPUShares, opts.MemShare, &res.Spent)
+	if err != nil {
+		return nil, err
+	}
+	res.Samples = samples
+	shares := make([]float64, len(samples))
+	speeds := make([]float64, len(samples))
+	for i, s := range samples {
+		shares[i], speeds[i] = s.CPU, s.CPUSpeedMs
+	}
+	if res.CPUSpeed, err = fitInverseCPU(shares, speeds); err != nil {
+		return nil, fmt.Errorf("calibrate: cpuspeed fit: %w", err)
+	}
+
+	// Renormalization (§4.2): run calibration queries, note actual seconds
+	// and estimated timerons, and fit seconds = renorm · timerons.
+	q1, q2, q3 := CPUStatements()
+	a := dbms.Alloc{CPU: 0.5, Mem: opts.MemShare}
+	res.Spent.VMConfigs++
+	var timerons, seconds []float64
+	for _, st := range []workload.Statement{q1, q2, q3} {
+		params := res.paramsAt(a)
+		pl, err := sys.Optimize(st.Stmt, params)
+		if err != nil {
+			return nil, err
+		}
+		T, err := measureSeconds(m, sys, st, a, &res.Spent)
+		if err != nil {
+			return nil, err
+		}
+		timerons = append(timerons, pl.Cost)
+		seconds = append(seconds, T)
+	}
+	line, err := regress.FitThroughOrigin(timerons, seconds)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate: timeron renormalization: %w", err)
+	}
+	res.RenormSeconds = line.Slope
+	res.RenormR2 = line.R2
+	return res, nil
+}
+
+// DB2CPUSamples measures cpuspeed at each CPU share with the stand-alone
+// probe; exported for the fig06 experiment's memory sweep.
+func DB2CPUSamples(m *vmsim.Machine, cpuShares []float64, memShare float64, spent *Cost) ([]DB2Sample, error) {
+	out := make([]DB2Sample, 0, len(cpuShares))
+	for _, r := range cpuShares {
+		if r <= 0 {
+			return nil, fmt.Errorf("calibrate: non-positive CPU share %v", r)
+		}
+		spent.VMConfigs++
+		out = append(out, DB2Sample{CPU: r, Mem: memShare, CPUSpeedMs: cpuProbe(m, r, spent)})
+	}
+	return out, nil
+}
+
+// paramsAt maps an allocation to parameters using the fitted calibration
+// functions (used internally before renormalization completes).
+func (res *DB2Result) paramsAt(a dbms.Alloc) db2sim.Params {
+	p := db2sim.DefaultParams()
+	if len(res.Samples) > 0 {
+		if res.CPUSpeed.Slope == 0 && res.CPUSpeed.Intercept == 0 {
+			// Regression not fitted yet: use the nearest raw sample.
+			best := res.Samples[0]
+			for _, s := range res.Samples {
+				if abs(s.CPU-a.CPU) < abs(best.CPU-a.CPU) {
+					best = s
+				}
+			}
+			p.CPUSpeedMsPerInstr = best.CPUSpeedMs
+		} else {
+			p.CPUSpeedMsPerInstr = positive(res.CPUSpeed.Eval(1 / clampShare(a.CPU)))
+		}
+	}
+	p.OverheadMs = res.OverheadMs
+	p.TransferRateMs = res.TransferRateMs
+	return db2sim.PolicyParams(p, res.machine.VMMemBytes(a.Mem))
+}
+
+// Params implements the calibrated allocation→parameters mapping for DB2.
+func (res *DB2Result) Params(a dbms.Alloc) db2sim.Params { return res.paramsAt(a) }
+
+// Renorm returns the seconds-per-timeron factor.
+func (res *DB2Result) Renorm() float64 { return res.RenormSeconds }
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package calibrate
+
+import (
+	"fmt"
+
+	"repro/internal/dbms"
+	"repro/internal/pgsim"
+	"repro/internal/regress"
+	"repro/internal/sqlmini"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// PGSample is one solved parameter set at one allocation — the raw points
+// behind Figs. 5 and 7.
+type PGSample struct {
+	CPU, Mem                             float64
+	CPUTuple, CPUOperator, CPUIndexTuple float64
+}
+
+// PGResult is a completed PostgreSQL calibration: calibration functions
+// for the descriptive parameters plus the renormalization factor.
+type PGResult struct {
+	machine *vmsim.Machine
+
+	// CPUTuple, CPUOperator, CPUIndexTuple map 1/(CPU share) to parameter
+	// values (linear regression per §4.4).
+	CPUTuple      regress.Line
+	CPUOperator   regress.Line
+	CPUIndexTuple regress.Line
+	// RandomPageCost is CPU- and memory-independent (Fig. 7) and measured
+	// once by the random/sequential read programs.
+	RandomPageCost float64
+	// RenormSeconds converts PostgreSQL cost units (sequential page
+	// reads) to seconds (§4.2).
+	RenormSeconds float64
+
+	// Samples are the per-allocation solved parameters.
+	Samples []PGSample
+	// Spent tallies calibration cost (§7.2).
+	Spent Cost
+}
+
+// CalibratePG runs the full PostgreSQL calibration pipeline on the
+// machine. The returned result maps any candidate allocation to a
+// parameter set via Params.
+func CalibratePG(m *vmsim.Machine, opts Options) (*PGResult, error) {
+	opts = opts.withDefaults()
+	res := &PGResult{machine: m}
+	sys := pgsim.New(Schema())
+
+	// Renormalization (§4.2): seconds per sequential 8 KB read.
+	res.RenormSeconds = seqReadMicrobench(m, &res.Spent)
+	// random_page_cost: ratio of random to sequential block time (§4.3).
+	res.RandomPageCost = randReadMicrobench(m, &res.Spent) / res.RenormSeconds
+
+	samples, err := PGCPUSamples(m, sys, opts.CPUShares, opts.MemShare, res.RenormSeconds, res.RandomPageCost, &res.Spent)
+	if err != nil {
+		return nil, err
+	}
+	res.Samples = samples
+
+	shares := make([]float64, len(samples))
+	ctc := make([]float64, len(samples))
+	coc := make([]float64, len(samples))
+	citc := make([]float64, len(samples))
+	for i, s := range samples {
+		shares[i], ctc[i], coc[i], citc[i] = s.CPU, s.CPUTuple, s.CPUOperator, s.CPUIndexTuple
+	}
+	if res.CPUTuple, err = fitInverseCPU(shares, ctc); err != nil {
+		return nil, fmt.Errorf("calibrate: cpu_tuple_cost fit: %w", err)
+	}
+	if res.CPUOperator, err = fitInverseCPU(shares, coc); err != nil {
+		return nil, fmt.Errorf("calibrate: cpu_operator_cost fit: %w", err)
+	}
+	if res.CPUIndexTuple, err = fitInverseCPU(shares, citc); err != nil {
+		return nil, fmt.Errorf("calibrate: cpu_index_tuple_cost fit: %w", err)
+	}
+	return res, nil
+}
+
+// PGCPUSamples measures and solves the CPU parameters at each CPU share,
+// holding memory fixed — one VM configuration per share, which is the
+// §4.4 independence optimization (N + M configurations instead of N × M).
+// It is exported so the fig05/fig07 experiments can sweep memory settings
+// and demonstrate parameter independence.
+func PGCPUSamples(m *vmsim.Machine, sys *pgsim.System, cpuShares []float64, memShare, renorm, randomPageCost float64, spent *Cost) ([]PGSample, error) {
+	q1, q2, q3 := CPUStatements()
+	stmts := []workload.Statement{q1, q2, q3}
+	out := make([]PGSample, 0, len(cpuShares))
+	for _, r := range cpuShares {
+		spent.VMConfigs++
+		a := dbms.Alloc{CPU: r, Mem: memShare}
+		vmMem := m.VMMemBytes(memShare)
+		base := pgsim.PolicyParams(pgsim.DefaultParams(), vmMem)
+		base.RandomPageCost = randomPageCost
+
+		// Build the 3×3 system renorm·Cost(Q_i, P) = T_i in the three
+		// unknown CPU parameters (§4.3 step 3).
+		A := make([][]float64, len(stmts))
+		b := make([]float64, len(stmts))
+		for i, st := range stmts {
+			coef, rest, err := pgCPUCoefficients(sys, st.Stmt, base)
+			if err != nil {
+				return nil, err
+			}
+			T, err := measureSeconds(m, sys, st, a, spent)
+			if err != nil {
+				return nil, err
+			}
+			A[i] = coef
+			b[i] = T/renorm - rest
+		}
+		sol, err := regress.Solve(A, b)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: solving CPU params at cpu=%.2f: %w", r, err)
+		}
+		out = append(out, PGSample{
+			CPU: r, Mem: memShare,
+			CPUTuple: sol[0], CPUOperator: sol[1], CPUIndexTuple: sol[2],
+		})
+	}
+	return out, nil
+}
+
+// pgCPUCoefficients extracts the optimizer cost's linear coefficients in
+// (cpu_tuple_cost, cpu_operator_cost, cpu_index_tuple_cost) around the
+// base parameter setting by finite differences, plus the parameter-free
+// remainder. Because plan cost is linear in the parameters for a fixed
+// plan, one perturbation per parameter recovers the exact equation the
+// paper's methodology solves analytically.
+func pgCPUCoefficients(sys *pgsim.System, stmt sqlmini.Statement, base pgsim.Params) (coef []float64, rest float64, err error) {
+	const delta = 1e-6
+	c0Plan, err := sys.Optimize(stmt, base)
+	if err != nil {
+		return nil, 0, err
+	}
+	c0 := c0Plan.Cost
+	perturb := func(mod func(*pgsim.Params)) (float64, error) {
+		p := base
+		mod(&p)
+		pl, err := sys.Optimize(stmt, p)
+		if err != nil {
+			return 0, err
+		}
+		return (pl.Cost - c0) / delta, nil
+	}
+	aT, err := perturb(func(p *pgsim.Params) { p.CPUTupleCost += delta })
+	if err != nil {
+		return nil, 0, err
+	}
+	aO, err := perturb(func(p *pgsim.Params) { p.CPUOperatorCost += delta })
+	if err != nil {
+		return nil, 0, err
+	}
+	aI, err := perturb(func(p *pgsim.Params) { p.CPUIndexTupleCost += delta })
+	if err != nil {
+		return nil, 0, err
+	}
+	rest = c0 - aT*base.CPUTupleCost - aO*base.CPUOperatorCost - aI*base.CPUIndexTupleCost
+	return []float64{aT, aO, aI}, rest, nil
+}
+
+// Params implements the calibrated allocation→parameters mapping Cal_ik
+// (§4.3): descriptive CPU parameters from the 1/share regressions,
+// random_page_cost from the I/O programs, prescriptive parameters from the
+// PostgreSQL policy for the VM's memory.
+func (res *PGResult) Params(a dbms.Alloc) pgsim.Params {
+	p := pgsim.DefaultParams()
+	inv := 1 / clampShare(a.CPU)
+	p.CPUTupleCost = positive(res.CPUTuple.Eval(inv))
+	p.CPUOperatorCost = positive(res.CPUOperator.Eval(inv))
+	p.CPUIndexTupleCost = positive(res.CPUIndexTuple.Eval(inv))
+	p.RandomPageCost = res.RandomPageCost
+	return pgsim.PolicyParams(p, res.machine.VMMemBytes(a.Mem))
+}
+
+// Renorm returns the seconds-per-cost-unit factor.
+func (res *PGResult) Renorm() float64 { return res.RenormSeconds }
+
+func clampShare(v float64) float64 {
+	if v < 0.01 {
+		return 0.01
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func positive(v float64) float64 {
+	if v < 1e-12 {
+		return 1e-12
+	}
+	return v
+}

@@ -1,0 +1,304 @@
+// Package catalog models database metadata: schemas, tables, columns,
+// indexes, and the statistics (cardinalities, distinct counts, value
+// domains, page counts) that cost-based query optimizers consume.
+//
+// Both simulated database systems (internal/pgsim and internal/db2sim)
+// plan queries against a catalog. Statistics are analytic — tables are
+// described, not materialized — which is what lets the experiment harness
+// cost 10 GB scale-factor workloads without generating 10 GB of data. The
+// row-level executor in internal/engine can still generate rows on demand
+// for small tables, driven by the same descriptions.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the storage page size in bytes. Both simulated systems use
+// 8 KB pages, matching the PostgreSQL page size used by the paper's
+// renormalization microbenchmark (§4.2).
+const PageSize = 8192
+
+// Type enumerates the column types the SQL subset understands.
+type Type int
+
+const (
+	// Int is a 64-bit integer column.
+	Int Type = iota
+	// Float is a 64-bit floating point column.
+	Float
+	// String is a variable-width character column.
+	String
+	// Date is a day-granularity date stored as days since 1970-01-01.
+	Date
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Date:
+		return "date"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Width returns the assumed on-page width in bytes for planning purposes.
+func (t Type) Width() int {
+	switch t {
+	case Int, Float, Date:
+		return 8
+	default:
+		return 24
+	}
+}
+
+// Column describes one table column with its optimizer statistics.
+type Column struct {
+	Name string
+	Type Type
+	// NDV is the number of distinct values, used for equality and join
+	// selectivity (1/NDV and 1/max(NDV_l, NDV_r) respectively).
+	NDV float64
+	// Min and Max bound the numeric domain (dates as day numbers) and
+	// drive range-predicate selectivity under a uniformity assumption.
+	Min, Max float64
+	// Width overrides the type's default byte width when non-zero.
+	Width int
+}
+
+// ByteWidth returns the column's planned width in bytes.
+func (c *Column) ByteWidth() int {
+	if c.Width > 0 {
+		return c.Width
+	}
+	return c.Type.Width()
+}
+
+// Index describes a B-tree index.
+type Index struct {
+	Name string
+	// Columns are the indexed columns in key order.
+	Columns []string
+	// Unique marks a unique (e.g. primary key) index.
+	Unique bool
+	// Clustered marks the index whose order matches the heap order;
+	// clustered range scans read mostly sequential pages.
+	Clustered bool
+	// LeafPages and Height are derived by Table.Finalize when zero.
+	LeafPages float64
+	Height    int
+}
+
+// Table describes one base table.
+type Table struct {
+	Name    string
+	Columns []*Column
+	Rows    float64
+	// Pages is derived from Rows and row width by Finalize when zero.
+	Pages   float64
+	Indexes []*Index
+
+	byName map[string]*Column
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	if t.byName == nil {
+		t.rebuildIndex()
+	}
+	return t.byName[name]
+}
+
+func (t *Table) rebuildIndex() {
+	t.byName = make(map[string]*Column, len(t.Columns))
+	for _, c := range t.Columns {
+		t.byName[c.Name] = c
+	}
+}
+
+// RowWidth returns the summed byte width of all columns.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Columns {
+		w += c.ByteWidth()
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// RowsPerPage returns the number of rows stored per page.
+func (t *Table) RowsPerPage() float64 {
+	per := float64(PageSize) / float64(t.RowWidth()+16) // 16B tuple header
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Finalize derives Pages and index statistics from row counts. It must be
+// called after constructing or rescaling a table.
+func (t *Table) Finalize() {
+	t.rebuildIndex()
+	if t.Pages == 0 {
+		t.Pages = ceilDiv(t.Rows, t.RowsPerPage())
+	}
+	for _, ix := range t.Indexes {
+		if ix.LeafPages == 0 {
+			keyWidth := 0
+			for _, cn := range ix.Columns {
+				if c := t.Column(cn); c != nil {
+					keyWidth += c.ByteWidth()
+				} else {
+					keyWidth += 8
+				}
+			}
+			entriesPerLeaf := float64(PageSize) / float64(keyWidth+12)
+			if entriesPerLeaf < 2 {
+				entriesPerLeaf = 2
+			}
+			ix.LeafPages = ceilDiv(t.Rows, entriesPerLeaf)
+		}
+		if ix.Height == 0 {
+			h := 1
+			for p := ix.LeafPages; p > 1; p /= 200 {
+				h++
+				if h >= 6 {
+					break
+				}
+			}
+			ix.Height = h
+		}
+	}
+}
+
+// IndexOn returns the first index whose leading column is col, preferring
+// unique then clustered indexes, or nil.
+func (t *Table) IndexOn(col string) *Index {
+	var best *Index
+	for _, ix := range t.Indexes {
+		if len(ix.Columns) == 0 || ix.Columns[0] != col {
+			continue
+		}
+		if best == nil || (ix.Unique && !best.Unique) || (ix.Clustered && !best.Clustered && ix.Unique == best.Unique) {
+			best = ix
+		}
+	}
+	return best
+}
+
+func ceilDiv(n, per float64) float64 {
+	if per <= 0 {
+		return n
+	}
+	v := n / per
+	if v != float64(int64(v)) {
+		v = float64(int64(v)) + 1
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Schema is a named collection of tables.
+type Schema struct {
+	Name   string
+	Tables map[string]*Table
+}
+
+// NewSchema returns an empty schema.
+func NewSchema(name string) *Schema {
+	return &Schema{Name: name, Tables: make(map[string]*Table)}
+}
+
+// Add finalizes t and registers it; it panics on duplicate names, which is
+// a programming error in schema construction.
+func (s *Schema) Add(t *Table) {
+	if _, dup := s.Tables[t.Name]; dup {
+		panic("catalog: duplicate table " + t.Name)
+	}
+	t.Finalize()
+	s.Tables[t.Name] = t
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table { return s.Tables[name] }
+
+// TableNames returns all table names sorted, for deterministic iteration.
+func (s *Schema) TableNames() []string {
+	names := make([]string, 0, len(s.Tables))
+	for n := range s.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalPages sums the heap pages of every table; it approximates the
+// database size used to reason about buffer-pool coverage.
+func (s *Schema) TotalPages() float64 {
+	var p float64
+	for _, t := range s.Tables {
+		p += t.Pages
+	}
+	return p
+}
+
+// EqSelectivity is the uniform-assumption selectivity of col = const.
+func EqSelectivity(c *Column) float64 {
+	if c == nil || c.NDV <= 0 {
+		return 0.01
+	}
+	return 1 / c.NDV
+}
+
+// RangeSelectivity estimates the selectivity of lo <= col <= hi clipped to
+// the column's domain; either bound may be NaN-free sentinel by passing the
+// column Min/Max.
+func RangeSelectivity(c *Column, lo, hi float64) float64 {
+	if c == nil || c.Max <= c.Min {
+		return defaultRangeSel
+	}
+	if lo < c.Min {
+		lo = c.Min
+	}
+	if hi > c.Max {
+		hi = c.Max
+	}
+	if hi <= lo {
+		return 1 / maxf(c.NDV, 10)
+	}
+	return (hi - lo) / (c.Max - c.Min)
+}
+
+// defaultRangeSel is the fallback selectivity when a column's domain is
+// unknown, matching the classic System R default of 1/3 scaled down.
+const defaultRangeSel = 1.0 / 3.0
+
+// JoinSelectivity is the textbook equi-join selectivity 1/max(NDV_l, NDV_r).
+func JoinSelectivity(l, r *Column) float64 {
+	nl, nr := 10.0, 10.0
+	if l != nil && l.NDV > 0 {
+		nl = l.NDV
+	}
+	if r != nil && r.NDV > 0 {
+		nr = r.NDV
+	}
+	return 1 / maxf(nl, nr)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Name: "orders",
+		Columns: []*Column{
+			{Name: "o_orderkey", Type: Int, NDV: 1500000, Min: 1, Max: 6000000},
+			{Name: "o_custkey", Type: Int, NDV: 100000, Min: 1, Max: 150000},
+			{Name: "o_orderdate", Type: Date, NDV: 2406, Min: 8035, Max: 10440},
+			{Name: "o_comment", Type: String, Width: 48},
+		},
+		Rows: 1500000,
+		Indexes: []*Index{
+			{Name: "orders_pk", Columns: []string{"o_orderkey"}, Unique: true, Clustered: true},
+			{Name: "orders_custkey", Columns: []string{"o_custkey"}},
+		},
+	}
+}
+
+func TestFinalizeDerivesPages(t *testing.T) {
+	tb := sampleTable()
+	tb.Finalize()
+	if tb.Pages <= 0 {
+		t.Fatal("pages not derived")
+	}
+	wantRows := tb.RowsPerPage() * tb.Pages
+	if wantRows < tb.Rows {
+		t.Fatalf("pages too few: %v pages * %v rpp < %v rows", tb.Pages, tb.RowsPerPage(), tb.Rows)
+	}
+	for _, ix := range tb.Indexes {
+		if ix.LeafPages <= 0 || ix.Height < 1 {
+			t.Fatalf("index %s stats not derived: %+v", ix.Name, ix)
+		}
+		if ix.LeafPages >= tb.Pages {
+			t.Fatalf("index %s larger than heap: %v >= %v", ix.Name, ix.LeafPages, tb.Pages)
+		}
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tb := sampleTable()
+	tb.Finalize()
+	if c := tb.Column("o_custkey"); c == nil || c.NDV != 100000 {
+		t.Fatalf("lookup failed: %+v", c)
+	}
+	if tb.Column("nope") != nil {
+		t.Fatal("missing column should be nil")
+	}
+}
+
+func TestIndexOnPrefersUnique(t *testing.T) {
+	tb := sampleTable()
+	tb.Finalize()
+	if ix := tb.IndexOn("o_orderkey"); ix == nil || !ix.Unique {
+		t.Fatalf("IndexOn(o_orderkey) = %+v", ix)
+	}
+	if ix := tb.IndexOn("o_custkey"); ix == nil || ix.Name != "orders_custkey" {
+		t.Fatalf("IndexOn(o_custkey) = %+v", ix)
+	}
+	if tb.IndexOn("o_comment") != nil {
+		t.Fatal("no index expected on o_comment")
+	}
+}
+
+func TestSchemaAddAndNames(t *testing.T) {
+	s := NewSchema("tpch")
+	s.Add(sampleTable())
+	s.Add(&Table{Name: "alpha", Rows: 10, Columns: []*Column{{Name: "a", Type: Int, NDV: 10, Min: 0, Max: 9}}})
+	names := s.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "orders" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.Table("orders") == nil {
+		t.Fatal("Table lookup failed")
+	}
+	if s.TotalPages() <= 0 {
+		t.Fatal("TotalPages")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add should panic")
+		}
+	}()
+	s.Add(sampleTable())
+}
+
+func TestEqSelectivity(t *testing.T) {
+	c := &Column{NDV: 200}
+	if got := EqSelectivity(c); got != 1.0/200 {
+		t.Fatalf("got %v", got)
+	}
+	if got := EqSelectivity(nil); got != 0.01 {
+		t.Fatalf("nil default: %v", got)
+	}
+	if got := EqSelectivity(&Column{}); got != 0.01 {
+		t.Fatalf("zero NDV default: %v", got)
+	}
+}
+
+func TestRangeSelectivity(t *testing.T) {
+	c := &Column{NDV: 100, Min: 0, Max: 100}
+	if got := RangeSelectivity(c, 0, 50); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half-range: %v", got)
+	}
+	if got := RangeSelectivity(c, -10, 200); got != 1 {
+		t.Fatalf("clipped to full: %v", got)
+	}
+	if got := RangeSelectivity(nil, 0, 1); got != defaultRangeSel {
+		t.Fatalf("nil default: %v", got)
+	}
+	// Degenerate range collapses to ~point selectivity.
+	if got := RangeSelectivity(c, 60, 60); got != 1.0/100 {
+		t.Fatalf("point: %v", got)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	l := &Column{NDV: 1000}
+	r := &Column{NDV: 10}
+	if got := JoinSelectivity(l, r); got != 1.0/1000 {
+		t.Fatalf("got %v", got)
+	}
+	if got := JoinSelectivity(nil, nil); got != 0.1 {
+		t.Fatalf("nil default: %v", got)
+	}
+}
+
+// Property: selectivities always lie in (0, 1], and pages grow
+// monotonically with rows.
+func TestPropertySelectivityBounds(t *testing.T) {
+	f := func(ndv uint32, lo, hi float64) bool {
+		c := &Column{NDV: float64(ndv%1e6) + 1, Min: 0, Max: 1000}
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		s1 := EqSelectivity(c)
+		s2 := RangeSelectivity(c, lo, hi)
+		return s1 > 0 && s1 <= 1 && s2 > 0 && s2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPagesMonotonic(t *testing.T) {
+	f := func(rows uint32) bool {
+		r := float64(rows%10_000_000) + 1
+		a := &Table{Name: "t", Rows: r, Columns: []*Column{{Name: "x", Type: Int}}}
+		b := &Table{Name: "t", Rows: r * 2, Columns: []*Column{{Name: "x", Type: Int}}}
+		a.Finalize()
+		b.Finalize()
+		return b.Pages >= a.Pages && a.Pages >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package core implements the virtualization design advisor's decision
+// layer (§4): the configuration enumerator (the greedy search of Fig. 11,
+// with degradation limits L_i and benefit gain factors G_i), the cost
+// estimation interface it searches over, an optimizer-backed what-if
+// estimator with memoization, and an exhaustive-search oracle used to
+// validate the greedy results (§4.5 reports greedy is "always within 5% of
+// the optimal").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Allocation is the paper's R_i = [r_i1, ..., r_iM]: one share in [0,1]
+// per resource. Index 0 is CPU and index 1 is memory throughout this
+// repository (M = 2, as in the paper's evaluation).
+type Allocation []float64
+
+// Clone copies the allocation.
+func (a Allocation) Clone() Allocation { return append(Allocation(nil), a...) }
+
+// Resource indexes into Allocation.
+const (
+	ResCPU = 0
+	ResMem = 1
+)
+
+// Estimator estimates one workload's cost (in seconds) under a candidate
+// allocation. PlanSig identifies the query-plan shape the estimate is
+// based on; online refinement uses changes in PlanSig across memory levels
+// to delimit its piecewise-linear intervals (§5.1).
+type Estimator interface {
+	Estimate(a Allocation) (seconds float64, planSig string, err error)
+}
+
+// EstimatorFunc adapts a function to the Estimator interface.
+type EstimatorFunc func(a Allocation) (float64, string, error)
+
+// Estimate implements Estimator.
+func (f EstimatorFunc) Estimate(a Allocation) (float64, string, error) { return f(a) }
+
+// Options configures the greedy enumerator.
+type Options struct {
+	// Resources is M, the number of resources being allocated (default 2).
+	Resources int
+	// Delta is the share shifted per iteration (Fig. 11's δ; default 5%).
+	Delta float64
+	// MinShare is the floor each workload keeps of every resource
+	// (default Delta: a VM cannot run on a zero allocation).
+	MinShare float64
+	// MaxIters bounds greedy iterations (default 400; §7.2 reports
+	// convergence within 8).
+	MaxIters int
+	// Gains are the benefit gain factors G_i (default all 1).
+	Gains []float64
+	// Limits are the degradation limits L_i relative to a dedicated
+	// machine (default all +Inf).
+	Limits []float64
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if n == 0 {
+		return o, errors.New("core: no workloads")
+	}
+	if o.Resources <= 0 {
+		o.Resources = 2
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.05
+	}
+	if o.MinShare <= 0 {
+		o.MinShare = o.Delta
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 400
+	}
+	if o.Gains == nil {
+		o.Gains = make([]float64, n)
+		for i := range o.Gains {
+			o.Gains[i] = 1
+		}
+	}
+	if o.Limits == nil {
+		o.Limits = make([]float64, n)
+		for i := range o.Limits {
+			o.Limits[i] = math.Inf(1)
+		}
+	}
+	if len(o.Gains) != n || len(o.Limits) != n {
+		return o, fmt.Errorf("core: gains/limits must have %d entries", n)
+	}
+	if float64(n)*o.MinShare > 1+1e-9 {
+		return o, fmt.Errorf("core: %d workloads cannot each hold %.0f%%", n, o.MinShare*100)
+	}
+	for i, g := range o.Gains {
+		if g < 1 {
+			return o, fmt.Errorf("core: gain G_%d = %v < 1", i, g)
+		}
+	}
+	for i, l := range o.Limits {
+		if l < 1 {
+			return o, fmt.Errorf("core: degradation limit L_%d = %v < 1", i, l)
+		}
+	}
+	return o, nil
+}
+
+// Sample is one estimator evaluation recorded during enumeration; the
+// refinement layer fits its initial cost models to these (§5: "we obtain
+// the linear cost equation by running a linear regression on multiple
+// points ... that we obtain during the configuration enumeration phase").
+type Sample struct {
+	Alloc   Allocation
+	Seconds float64
+	PlanSig string
+}
+
+// Result is a finished recommendation.
+type Result struct {
+	// Allocations are the recommended R_i.
+	Allocations []Allocation
+	// Costs are the estimated per-workload costs (seconds) at the
+	// recommendation; TotalCost is the gain-weighted objective value.
+	Costs     []float64
+	TotalCost float64
+	// DedicatedCosts are Cost(W_i, [1,...,1]) — the denominators of the
+	// degradation constraint.
+	DedicatedCosts []float64
+	// Iterations is how many δ-moves greedy made before converging.
+	Iterations int
+	// EstimatorCalls counts cache-missing estimator evaluations;
+	// CacheHits counts evaluations served from the memo (the §4.5 cost
+	// cache ablation reports both).
+	EstimatorCalls int
+	CacheHits      int
+	// Samples holds every distinct evaluation per workload.
+	Samples [][]Sample
+}
+
+// Degradations returns Cost_i / DedicatedCost_i for each workload.
+func (r *Result) Degradations() []float64 {
+	out := make([]float64, len(r.Costs))
+	for i := range r.Costs {
+		if r.DedicatedCosts[i] > 0 {
+			out[i] = r.Costs[i] / r.DedicatedCosts[i]
+		}
+	}
+	return out
+}
+
+// searcher wraps the estimators with a memo cache.
+type searcher struct {
+	ests  []Estimator
+	memo  []map[string]Sample
+	calls int
+	hits  int
+}
+
+func newSearcher(ests []Estimator) *searcher {
+	s := &searcher{ests: ests, memo: make([]map[string]Sample, len(ests))}
+	for i := range s.memo {
+		s.memo[i] = make(map[string]Sample)
+	}
+	return s
+}
+
+func key(a Allocation) string {
+	// Quantize to avoid float-noise cache misses.
+	b := make([]byte, 0, len(a)*8)
+	for _, v := range a {
+		q := int64(math.Round(v * 1e6))
+		b = append(b, byte(q), byte(q>>8), byte(q>>16), byte(q>>24), byte(q>>32), ',')
+	}
+	return string(b)
+}
+
+func (s *searcher) cost(i int, a Allocation) (Sample, error) {
+	k := key(a)
+	if sm, ok := s.memo[i][k]; ok {
+		s.hits++
+		return sm, nil
+	}
+	s.calls++
+	sec, sig, err := s.ests[i].Estimate(a)
+	if err != nil {
+		return Sample{}, fmt.Errorf("core: estimating workload %d at %v: %w", i, a, err)
+	}
+	sm := Sample{Alloc: a.Clone(), Seconds: sec, PlanSig: sig}
+	s.memo[i][k] = sm
+	return sm, nil
+}
+
+// Recommend runs the greedy configuration enumeration of Fig. 11.
+func Recommend(ests []Estimator, opts Options) (*Result, error) {
+	n := len(ests)
+	opts, err := opts.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	s := newSearcher(ests)
+
+	// Dedicated-machine costs for the degradation constraint.
+	dedicated := make([]float64, n)
+	full := make(Allocation, opts.Resources)
+	for j := range full {
+		full[j] = 1
+	}
+	for i := range ests {
+		sm, err := s.cost(i, full)
+		if err != nil {
+			return nil, err
+		}
+		dedicated[i] = sm.Seconds
+	}
+
+	// Start with equal shares for all workloads.
+	allocs := make([]Allocation, n)
+	costs := make([]float64, n) // G_i-weighted
+	for i := range allocs {
+		allocs[i] = make(Allocation, opts.Resources)
+		for j := range allocs[i] {
+			allocs[i][j] = 1 / float64(n)
+		}
+		sm, err := s.cost(i, allocs[i])
+		if err != nil {
+			return nil, err
+		}
+		costs[i] = opts.Gains[i] * sm.Seconds
+	}
+
+	adjusted := func(i, j int, delta float64) (Allocation, error) {
+		a := allocs[i].Clone()
+		a[j] += delta
+		if a[j] < 0 || a[j] > 1+1e-9 {
+			return nil, errInfeasible
+		}
+		return a, nil
+	}
+
+	// Feasibility repair: the initial equal-share allocation may already
+	// violate a degradation limit (with five identical workloads, equal
+	// shares degrade each by ~5×, yet Fig. 19 shows the advisor meeting
+	// L_9 = 2.5). Fig. 11 itself only guards reductions, so before the
+	// cost-minimizing loop we move shares toward violating workloads,
+	// taking from the donors that suffer least, until limits hold or no
+	// repairing move remains (the paper observes L_9 = 1.5 is unmeetable).
+	if err := repairLimits(s, allocs, costs, dedicated, opts, adjusted); err != nil {
+		return nil, err
+	}
+
+	iters := 0
+	for ; iters < opts.MaxIters; iters++ {
+		maxDiff := 0.0
+		var bestGainI, bestLoseI, bestJ int
+		var bestGainCost, bestLoseCost float64
+		found := false
+		for j := 0; j < opts.Resources; j++ {
+			maxGain := 0.0
+			minLoss := math.Inf(1)
+			iGain, iLose := -1, -1
+			var gainCost, loseCost float64
+			for i := 0; i < n; i++ {
+				// Who benefits most from an increase?
+				if up, err := adjusted(i, j, opts.Delta); err == nil {
+					sm, err := s.cost(i, up)
+					if err != nil {
+						return nil, err
+					}
+					c := opts.Gains[i] * sm.Seconds
+					if gain := costs[i] - c; gain > maxGain {
+						maxGain, iGain, gainCost = gain, i, c
+					}
+				}
+				// Who suffers least from a reduction?
+				if allocs[i][j]-opts.Delta < opts.MinShare-1e-9 {
+					continue
+				}
+				down, err := adjusted(i, j, -opts.Delta)
+				if err != nil {
+					continue
+				}
+				sm, err := s.cost(i, down)
+				if err != nil {
+					return nil, err
+				}
+				// Degradation limit: only take resources from workloads
+				// that stay within L_i afterwards (Fig. 11).
+				if dedicated[i] > 0 && sm.Seconds/dedicated[i] > opts.Limits[i]+1e-12 {
+					continue
+				}
+				c := opts.Gains[i] * sm.Seconds
+				if loss := c - costs[i]; loss < minLoss {
+					minLoss, iLose, loseCost = loss, i, c
+				}
+			}
+			if iGain >= 0 && iLose >= 0 && iGain != iLose && maxGain-minLoss > maxDiff {
+				maxDiff = maxGain - minLoss
+				bestGainI, bestLoseI, bestJ = iGain, iLose, j
+				bestGainCost, bestLoseCost = gainCost, loseCost
+				found = true
+			}
+		}
+		if !found || maxDiff <= 0 {
+			break
+		}
+		allocs[bestGainI][bestJ] += opts.Delta
+		allocs[bestLoseI][bestJ] -= opts.Delta
+		costs[bestGainI] = bestGainCost
+		costs[bestLoseI] = bestLoseCost
+	}
+
+	res := &Result{
+		Allocations:    allocs,
+		Costs:          make([]float64, n),
+		DedicatedCosts: dedicated,
+		Iterations:     iters,
+		EstimatorCalls: s.calls,
+		CacheHits:      s.hits,
+		Samples:        make([][]Sample, n),
+	}
+	for i := range allocs {
+		sm, err := s.cost(i, allocs[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Costs[i] = sm.Seconds
+		res.TotalCost += opts.Gains[i] * sm.Seconds
+		for _, v := range s.memo[i] {
+			res.Samples[i] = append(res.Samples[i], v)
+		}
+	}
+	return res, nil
+}
+
+var errInfeasible = errors.New("core: infeasible share")

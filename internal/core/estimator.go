@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dbms"
+	"repro/internal/workload"
+)
+
+// WhatIfEstimator estimates workload cost through a calibrated query
+// optimizer in what-if mode (§4.1, Fig. 4): map the candidate allocation
+// to optimizer parameters, cost every statement, renormalize to seconds,
+// and weight by statement frequency.
+type WhatIfEstimator struct {
+	// Sys is the simulated DBMS whose optimizer is consulted.
+	Sys dbms.System
+	// Params maps an allocation to the system's parameter type; produced
+	// by internal/calibrate.
+	Params func(dbms.Alloc) any
+	// Renorm converts model units to seconds (§4.2).
+	Renorm float64
+	// Workload is the tenant's workload description.
+	Workload *workload.Workload
+	// FixedMem is the memory share used in single-resource (CPU-only)
+	// mode, where memory is "left at its default level" (§7.3). Zero
+	// means the full machine.
+	FixedMem float64
+	// MemOnly interprets a one-element allocation as a memory share with
+	// CPU fixed at FixedCPU — the §7.4 memory-allocation experiments.
+	MemOnly  bool
+	FixedCPU float64
+	// MachineMemBytes converts memory shares into VM bytes for the
+	// deployed-plan lookup; zero defaults to 8 GB (the standard machine).
+	MachineMemBytes float64
+}
+
+var _ Estimator = (*WhatIfEstimator)(nil)
+
+// allocOf maps a core.Allocation to the DBMS allocation under the
+// estimator's resource mode.
+func (e *WhatIfEstimator) allocOf(a Allocation) dbms.Alloc {
+	var alloc dbms.Alloc
+	switch {
+	case len(a) > ResMem:
+		alloc = dbms.Alloc{CPU: a[ResCPU], Mem: a[ResMem]}
+	case e.MemOnly:
+		cpu := e.FixedCPU
+		if cpu <= 0 {
+			cpu = 0.5
+		}
+		alloc = dbms.Alloc{CPU: cpu, Mem: a[0]}
+	default:
+		mem := e.FixedMem
+		if mem <= 0 {
+			mem = 1
+		}
+		alloc = dbms.Alloc{CPU: a[0], Mem: mem}
+	}
+	return alloc.Clamp(0.01)
+}
+
+// Estimate implements Estimator: for each statement, the deployed plan at
+// the candidate memory allocation is repriced under the calibrated
+// parameters (what-if mode) and renormalized to seconds.
+func (e *WhatIfEstimator) Estimate(a Allocation) (float64, string, error) {
+	alloc := e.allocOf(a)
+	params := e.Params(alloc)
+	machineMem := e.MachineMemBytes
+	if machineMem <= 0 {
+		machineMem = 8 << 30
+	}
+	vmMem := alloc.Mem * machineMem
+	var total float64
+	var sig strings.Builder
+	for _, st := range e.Workload.Statements {
+		cost, planSig, err := e.Sys.WhatIf(st.Stmt, vmMem, params)
+		if err != nil {
+			return 0, "", fmt.Errorf("what-if %s: %w", e.Sys.Name(), err)
+		}
+		total += cost * e.Renorm * st.Freq
+		sig.WriteString(planSig)
+		sig.WriteByte(';')
+	}
+	return total, sig.String(), nil
+}
+
+// AvgEstimatePerQuery returns the estimated cost per query execution at
+// the allocation — the §6.1 change-detection metric ("the relative change
+// in the average cost estimates of workload queries").
+func (e *WhatIfEstimator) AvgEstimatePerQuery(a Allocation) (float64, error) {
+	total, _, err := e.Estimate(a)
+	if err != nil {
+		return 0, err
+	}
+	f := e.Workload.TotalFreq()
+	if f <= 0 {
+		return 0, nil
+	}
+	return total / f, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+)
+
+// Exhaustive searches the full δ-grid of feasible allocations and returns
+// the cheapest, as the oracle the paper compares greedy against (§4.5:
+// "we have extensively compared the results of the greedy algorithm to
+// the results of an exhaustive search"). Cost is exponential in N·M; it is
+// intended for validation at small N.
+func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
+	n := len(ests)
+	opts, err := opts.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	s := newSearcher(ests)
+
+	steps := int(math.Round(1 / opts.Delta))
+	minSteps := int(math.Ceil(opts.MinShare/opts.Delta - 1e-9))
+
+	// Enumerate compositions of `steps` δ-units into n parts (each ≥
+	// minSteps) independently per resource, then take cross products.
+	var perResource [][][]int
+	var compose func(remaining, parts int, cur []int, out *[][]int)
+	compose = func(remaining, parts int, cur []int, out *[][]int) {
+		if parts == 1 {
+			if remaining >= minSteps {
+				comp := append(append([]int(nil), cur...), remaining)
+				*out = append(*out, comp)
+			}
+			return
+		}
+		for v := minSteps; v <= remaining-minSteps*(parts-1); v++ {
+			compose(remaining-v, parts-1, append(cur, v), out)
+		}
+	}
+	for j := 0; j < opts.Resources; j++ {
+		var comps [][]int
+		compose(steps, n, nil, &comps)
+		perResource = append(perResource, comps)
+	}
+
+	dedicated := make([]float64, n)
+	full := make(Allocation, opts.Resources)
+	for j := range full {
+		full[j] = 1
+	}
+	for i := range ests {
+		sm, err := s.cost(i, full)
+		if err != nil {
+			return nil, err
+		}
+		dedicated[i] = sm.Seconds
+	}
+
+	best := math.Inf(1)
+	var bestAllocs []Allocation
+	var bestCosts []float64
+
+	idx := make([]int, opts.Resources)
+	for {
+		// Materialize the candidate allocation set.
+		allocs := make([]Allocation, n)
+		for i := 0; i < n; i++ {
+			allocs[i] = make(Allocation, opts.Resources)
+			for j := 0; j < opts.Resources; j++ {
+				allocs[i][j] = float64(perResource[j][idx[j]][i]) * opts.Delta
+			}
+		}
+		total := 0.0
+		costs := make([]float64, n)
+		feasible := true
+		for i := 0; i < n && feasible; i++ {
+			sm, err := s.cost(i, allocs[i])
+			if err != nil {
+				return nil, err
+			}
+			costs[i] = sm.Seconds
+			if dedicated[i] > 0 && sm.Seconds/dedicated[i] > opts.Limits[i]+1e-12 {
+				feasible = false
+			}
+			total += opts.Gains[i] * sm.Seconds
+		}
+		if feasible && total < best {
+			best = total
+			bestAllocs = allocs
+			bestCosts = costs
+		}
+		// Advance the cross-product odometer.
+		j := 0
+		for ; j < opts.Resources; j++ {
+			idx[j]++
+			if idx[j] < len(perResource[j]) {
+				break
+			}
+			idx[j] = 0
+		}
+		if j == opts.Resources {
+			break
+		}
+	}
+	if bestAllocs == nil {
+		return nil, errInfeasible
+	}
+	return &Result{
+		Allocations:    bestAllocs,
+		Costs:          bestCosts,
+		TotalCost:      best,
+		DedicatedCosts: dedicated,
+		EstimatorCalls: s.calls,
+		CacheHits:      s.hits,
+	}, nil
+}

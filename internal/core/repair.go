@@ -1,0 +1,104 @@
+package core
+
+import "math"
+
+// repairLimits moves δ-shares toward workloads whose current degradation
+// exceeds their limit L_i, choosing for each step the (resource, donor)
+// pair that costs the donor least, subject to the donor's own limit and
+// the MinShare floor. It mutates allocs and costs in place. The loop ends
+// when all limits hold or the most-violating workload cannot be improved,
+// leaving the best-effort allocation (limits may be unsatisfiable; §7.5
+// shows exactly that for L_9 = 1.5).
+func repairLimits(s *searcher, allocs []Allocation, costs, dedicated []float64, opts Options,
+	adjusted func(i, j int, delta float64) (Allocation, error)) error {
+	n := len(allocs)
+	degradation := func(i int) (float64, error) {
+		sm, err := s.cost(i, allocs[i])
+		if err != nil {
+			return 0, err
+		}
+		if dedicated[i] <= 0 {
+			return 1, nil
+		}
+		return sm.Seconds / dedicated[i], nil
+	}
+	maxRepairs := opts.MaxIters
+	for step := 0; step < maxRepairs; step++ {
+		// Find the worst violation.
+		worst, worstRatio := -1, 1.0
+		for i := 0; i < n; i++ {
+			if math.IsInf(opts.Limits[i], 1) {
+				continue
+			}
+			d, err := degradation(i)
+			if err != nil {
+				return err
+			}
+			if ratio := d / opts.Limits[i]; ratio > worstRatio+1e-12 {
+				worst, worstRatio = i, ratio
+			}
+		}
+		if worst < 0 {
+			return nil // all limits satisfied
+		}
+		// Best repairing move: maximize the violator's improvement per
+		// unit of donor loss; require the violator to actually improve.
+		bestJ, bestDonor := -1, -1
+		bestScore := math.Inf(-1)
+		var bestVCost, bestDCost float64
+		for j := 0; j < opts.Resources; j++ {
+			up, err := adjusted(worst, j, opts.Delta)
+			if err != nil {
+				continue
+			}
+			upSm, err := s.cost(worst, up)
+			if err != nil {
+				return err
+			}
+			curSm, err := s.cost(worst, allocs[worst])
+			if err != nil {
+				return err
+			}
+			improve := curSm.Seconds - upSm.Seconds
+			if improve <= 0 {
+				continue
+			}
+			for d := 0; d < n; d++ {
+				if d == worst || allocs[d][j]-opts.Delta < opts.MinShare-1e-9 {
+					continue
+				}
+				down, err := adjusted(d, j, -opts.Delta)
+				if err != nil {
+					continue
+				}
+				downSm, err := s.cost(d, down)
+				if err != nil {
+					return err
+				}
+				// The donor must stay within its own limit.
+				if dedicated[d] > 0 && downSm.Seconds/dedicated[d] > opts.Limits[d]+1e-12 {
+					continue
+				}
+				dCur, err := s.cost(d, allocs[d])
+				if err != nil {
+					return err
+				}
+				loss := downSm.Seconds - dCur.Seconds
+				score := improve - 1e-3*loss // prefer cheap donors
+				if score > bestScore {
+					bestScore = score
+					bestJ, bestDonor = j, d
+					bestVCost, bestDCost = upSm.Seconds, downSm.Seconds
+				}
+			}
+		}
+		if bestJ < 0 {
+			return nil // violation cannot be repaired further
+		}
+		allocs[worst][bestJ] += opts.Delta
+		allocs[bestDonor][bestJ] -= opts.Delta
+		costs[worst] = opts.Gains[worst] * bestVCost
+		costs[bestDonor] = opts.Gains[bestDonor] * bestDCost
+	}
+	return nil
+}

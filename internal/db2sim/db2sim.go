@@ -1,0 +1,214 @@
+// Package db2sim simulates a DB2-flavoured database system. Its optimizer
+// exposes the cost-model configuration parameters of the paper's Table III
+// — cpuspeed, overhead, transfer rate, sortheap, bufferpool — and reports
+// costs in *timerons*, DB2's synthetic cost unit, which forces the
+// advisor's renormalization step to discover the timeron→seconds factor by
+// linear regression (§4.2). The tuning policy mirrors the paper's setup:
+// 240 MB reserved for the OS, 70% of the rest to the buffer pool, the
+// remainder to the sort heap.
+package db2sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/opt"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// Internal constants of the simulated DB2 cost model: the assumed
+// instruction path lengths per operation class, and the synthetic timeron
+// scale. These are private to the DBMS — the calibration layer never reads
+// them; it recovers their effect from measurements, exactly as the paper's
+// methodology requires.
+const (
+	instrPerTuple = 2000.0
+	instrPerOp    = 500.0
+	instrPerIndex = 1000.0
+	// msPerTimeron converts milliseconds of estimated work into timerons.
+	msPerTimeron = 0.1
+)
+
+// Params are the DB2 optimizer configuration parameters of Table III.
+type Params struct {
+	// CPUSpeedMsPerInstr is milliseconds per instruction (descriptive).
+	CPUSpeedMsPerInstr float64
+	// OverheadMs is the overhead of a single random I/O in milliseconds
+	// (descriptive).
+	OverheadMs float64
+	// TransferRateMs is the time to read one data page in milliseconds
+	// (descriptive).
+	TransferRateMs float64
+	// SortHeapBytes is the sort/hash working memory (prescriptive).
+	SortHeapBytes float64
+	// BufferPoolBytes is the buffer pool size (prescriptive).
+	BufferPoolBytes float64
+}
+
+// DefaultParams is a plausible uncalibrated starting point.
+func DefaultParams() Params {
+	return Params{
+		CPUSpeedMsPerInstr: 4.5e-7,
+		OverheadMs:         4.0,
+		TransferRateMs:     0.05,
+		SortHeapBytes:      40 << 20,
+		BufferPoolBytes:    190 << 20,
+	}
+}
+
+// model adapts Params to the optimizer's CostModel, pricing in timerons.
+type model struct{ p Params }
+
+func (m model) SeqPage() float64  { return m.p.TransferRateMs / msPerTimeron }
+func (m model) RandPage() float64 { return (m.p.OverheadMs + m.p.TransferRateMs) / msPerTimeron }
+func (m model) CPUTuple() float64 {
+	return m.p.CPUSpeedMsPerInstr * instrPerTuple / msPerTimeron
+}
+func (m model) CPUOperator() float64 {
+	return m.p.CPUSpeedMsPerInstr * instrPerOp / msPerTimeron
+}
+func (m model) CPUIndexTuple() float64 {
+	return m.p.CPUSpeedMsPerInstr * instrPerIndex / msPerTimeron
+}
+func (m model) CacheBytes() float64   { return m.p.BufferPoolBytes }
+func (m model) WorkMemBytes() float64 { return m.p.SortHeapBytes }
+
+// System is a simulated DB2 instance over one schema.
+type System struct {
+	schema *catalog.Schema
+
+	mu       sync.Mutex
+	bound    map[sqlmini.Statement]*opt.Query
+	deployed map[deployKey]*xplan.Node
+}
+
+// deployKey caches deployed plans per statement and memory bucket.
+type deployKey struct {
+	stmt sqlmini.Statement
+	mem  int64
+}
+
+// New creates a system over the schema.
+func New(schema *catalog.Schema) *System {
+	return &System{
+		schema:   schema,
+		bound:    make(map[sqlmini.Statement]*opt.Query),
+		deployed: make(map[deployKey]*xplan.Node),
+	}
+}
+
+// Name implements dbms.System.
+func (s *System) Name() string { return "db2sim" }
+
+// Schema implements dbms.System.
+func (s *System) Schema() *catalog.Schema { return s.schema }
+
+func (s *System) bind(stmt sqlmini.Statement) (*opt.Query, error) {
+	s.mu.Lock()
+	q, ok := s.bound[stmt]
+	s.mu.Unlock()
+	if ok {
+		return q, nil
+	}
+	q, err := opt.Bind(s.schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.bound[stmt] = q
+	s.mu.Unlock()
+	return q, nil
+}
+
+// Optimize implements dbms.System: what-if planning under explicit
+// parameters, cost in timerons.
+func (s *System) Optimize(stmt sqlmini.Statement, params any) (*xplan.Node, error) {
+	p, ok := params.(Params)
+	if !ok {
+		return nil, fmt.Errorf("db2sim: want db2sim.Params, got %T", params)
+	}
+	q, err := s.bind(stmt)
+	if err != nil {
+		return nil, err
+	}
+	pl := &opt.Planner{Schema: s.schema, Model: model{p: p}}
+	return pl.PlanQuery(q)
+}
+
+// deployedPlan returns (and caches) the plan the deployed system runs in
+// a VM with the given memory: planned under the defaults with the memory
+// policy applied (bufferpool and sortheap grow with memory, so DB2 plans
+// adapt to memory allocation — the paper's piecewise behaviour).
+func (s *System) deployedPlan(stmt sqlmini.Statement, vmMemBytes float64) (*xplan.Node, error) {
+	k := deployKey{stmt: stmt, mem: int64(vmMemBytes / (32 << 20))}
+	s.mu.Lock()
+	pl, ok := s.deployed[k]
+	s.mu.Unlock()
+	if ok {
+		return pl, nil
+	}
+	pl, err := s.Optimize(stmt, PolicyParams(DefaultParams(), vmMemBytes))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.deployed[k] = pl
+	s.mu.Unlock()
+	return pl, nil
+}
+
+// WhatIf implements dbms.System: reprice the deployed plan under the
+// candidate parameters (§4.1's what-if mode), in timerons.
+func (s *System) WhatIf(stmt sqlmini.Statement, vmMemBytes float64, params any) (float64, string, error) {
+	p, ok := params.(Params)
+	if !ok {
+		return 0, "", fmt.Errorf("db2sim: want db2sim.Params, got %T", params)
+	}
+	pl, err := s.deployedPlan(stmt, vmMemBytes)
+	if err != nil {
+		return 0, "", err
+	}
+	return opt.RepriceTotal(pl, model{p: p}), pl.Signature(), nil
+}
+
+// Policy applies the paper's DB2 tuning policy: reserve 240 MB for the
+// operating system, give 70% of the remainder to the buffer pool and the
+// rest to the sort heap.
+func Policy(vmMemBytes float64) (bufferPool, sortHeap float64) {
+	free := vmMemBytes - 240*(1<<20)
+	if free < 16<<20 {
+		free = 16 << 20
+	}
+	return free * 0.7, free * 0.3
+}
+
+// PolicyParams returns params with the prescriptive fields set per Policy
+// and descriptive fields from base.
+func PolicyParams(base Params, vmMemBytes float64) Params {
+	bp, sh := Policy(vmMemBytes)
+	base.BufferPoolBytes = bp
+	base.SortHeapBytes = sh
+	return base
+}
+
+// PolicyEnv implements dbms.System: DB2 bypasses the OS cache (direct
+// I/O), so true cache is the buffer pool alone and true sort memory the
+// sort heap — both grow with the VM's memory, which is why DB2 plans adapt
+// to memory allocation while the fixed-work_mem PostgreSQL plans do not.
+func (s *System) PolicyEnv(vmMemBytes float64) engine.Env {
+	bp, sh := Policy(vmMemBytes)
+	return engine.Env{CacheBytes: bp, SortMemBytes: sh}
+}
+
+// Run implements dbms.System: true execution accounting under the plan the
+// optimizer picks for this VM size.
+func (s *System) Run(stmt sqlmini.Statement, vmMemBytes float64, prof xplan.TrueProfile) (xplan.Usage, error) {
+	plan, err := s.deployedPlan(stmt, vmMemBytes)
+	if err != nil {
+		return xplan.Usage{}, err
+	}
+	return engine.Account(plan, s.PolicyEnv(vmMemBytes), prof), nil
+}

@@ -1,0 +1,97 @@
+package db2sim
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+)
+
+func TestPolicyMirrorsPaper(t *testing.T) {
+	vm := 1024.0 * (1 << 20)
+	bp, sh := Policy(vm)
+	free := vm - 240*(1<<20)
+	if bp != free*0.7 {
+		t.Fatalf("bufferpool = %v, want 70%% of free", bp)
+	}
+	if sh != free*0.3 {
+		t.Fatalf("sortheap = %v, want 30%% of free", sh)
+	}
+	// Tiny VMs clamp to a working floor.
+	bpSmall, shSmall := Policy(100 << 20)
+	if bpSmall <= 0 || shSmall <= 0 {
+		t.Fatal("policy must keep positive pools")
+	}
+}
+
+func TestTimeronsScaleWithCPUSpeed(t *testing.T) {
+	sys := New(calSchema())
+	stmt := sqlmini.MustParse("SELECT count(*) FROM cal")
+	p := DefaultParams()
+	pl, err := sys.Optimize(stmt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := p
+	slow.CPUSpeedMsPerInstr *= 2
+	pl2, err := sys.Optimize(stmt, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.Cost <= pl.Cost {
+		t.Fatalf("slower CPU must cost more timerons: %v -> %v", pl.Cost, pl2.Cost)
+	}
+}
+
+func TestSortHeapChangesPlans(t *testing.T) {
+	sys := New(calSchema())
+	// A wide sort over most of the calibration table.
+	stmt := sqlmini.MustParse("SELECT k, pad FROM cal WHERE k > 1000 ORDER BY pad")
+	small := DefaultParams()
+	small.SortHeapBytes = 1 << 20
+	big := DefaultParams()
+	big.SortHeapBytes = 1 << 30
+	p1, err := sys.Optimize(stmt, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sys.Optimize(stmt, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Signature() == p2.Signature() {
+		t.Fatalf("sortheap should flip the sort between external and in-memory:\n%s", p1.Explain())
+	}
+	if p2.Cost >= p1.Cost {
+		t.Fatalf("more sortheap should not cost more: %v vs %v", p2.Cost, p1.Cost)
+	}
+}
+
+func TestOptimizeRejectsForeignParams(t *testing.T) {
+	sys := New(calSchema())
+	stmt := sqlmini.MustParse("SELECT count(*) FROM cal")
+	if _, err := sys.Optimize(stmt, struct{}{}); err == nil {
+		t.Fatal("foreign params should error")
+	}
+}
+
+// calSchema builds a small uniform test table (equivalent to the
+// calibration database, but local to avoid an import cycle with
+// internal/calibrate).
+func calSchema() *catalog.Schema {
+	s := catalog.NewSchema("cal")
+	rows := 200_000.0
+	s.Add(&catalog.Table{
+		Name: "cal",
+		Columns: []*catalog.Column{
+			{Name: "k", Type: catalog.Int, NDV: rows, Min: 1, Max: rows},
+			{Name: "v", Type: catalog.Int, NDV: 100, Min: 0, Max: 99},
+			{Name: "pad", Type: catalog.String, NDV: rows, Width: 80},
+		},
+		Rows: rows,
+		Indexes: []*catalog.Index{
+			{Name: "cal_pk", Columns: []string{"k"}, Unique: true, Clustered: true},
+		},
+	})
+	return s
+}

@@ -1,0 +1,62 @@
+// Package dbms defines the contract between the virtualization design
+// advisor stack and the simulated database systems (internal/pgsim,
+// internal/db2sim): what-if optimization under explicit parameter settings
+// (§4.1) and true execution accounting.
+package dbms
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// Alloc is a candidate resource allocation for one virtual machine:
+// fractional shares of the physical machine's CPU and memory, each in
+// (0, 1]. The paper's R_i vector with M = 2 (§3).
+type Alloc struct {
+	CPU float64
+	Mem float64
+}
+
+// Clamp bounds both shares to [lo, 1].
+func (a Alloc) Clamp(lo float64) Alloc {
+	cl := func(v float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return Alloc{CPU: cl(a.CPU), Mem: cl(a.Mem)}
+}
+
+// System is a simulated DBMS. Params is the system's own optimizer
+// parameter type (pgsim.Params or db2sim.Params), passed as `any` because
+// the calibration layer that produces them is DBMS-specific by design
+// (§4.3: "the calibration and renormalization steps must be custom-
+// designed for every DBMS").
+type System interface {
+	// Name identifies the system ("pgsim", "db2sim").
+	Name() string
+	// Schema is the catalog the system plans against.
+	Schema() *catalog.Schema
+	// Optimize plans a statement under an explicit parameter setting,
+	// returning a plan costed in the system's own model units
+	// (sequential-page units or timerons).
+	Optimize(stmt sqlmini.Statement, params any) (*xplan.Node, error)
+	// WhatIf is the §4.1 what-if mode: the plan the *deployed* system
+	// would run in a VM of the given memory (its own tuning policy and
+	// expert defaults) repriced under the candidate parameter setting.
+	// It returns the cost in model units and the plan signature.
+	WhatIf(stmt sqlmini.Statement, vmMemBytes float64, params any) (float64, string, error)
+	// PolicyEnv maps a VM memory size to the true execution environment
+	// through the system's tuning policy (the prescriptive-parameter
+	// policy of §4.3).
+	PolicyEnv(vmMemBytes float64) engine.Env
+	// Run returns the true resource usage of executing the statement once
+	// in a VM with the given memory.
+	Run(stmt sqlmini.Statement, vmMemBytes float64, prof xplan.TrueProfile) (xplan.Usage, error)
+}

@@ -1,0 +1,18 @@
+package dbms
+
+import "testing"
+
+func TestAllocClamp(t *testing.T) {
+	a := Alloc{CPU: -1, Mem: 2}.Clamp(0.01)
+	if a.CPU != 0.01 || a.Mem != 1 {
+		t.Fatalf("clamp: %+v", a)
+	}
+	b := Alloc{CPU: 0.5, Mem: 0.25}.Clamp(0.01)
+	if b.CPU != 0.5 || b.Mem != 0.25 {
+		t.Fatalf("in-range values must pass through: %+v", b)
+	}
+	c := Alloc{}.Clamp(0.05)
+	if c.CPU != 0.05 || c.Mem != 0.05 {
+		t.Fatalf("zero alloc should clamp to floor: %+v", c)
+	}
+}

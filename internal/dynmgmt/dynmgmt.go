@@ -1,0 +1,260 @@
+// Package dynmgmt implements the paper's dynamic configuration management
+// (§6): monitoring-period-driven detection of workload changes and the
+// re-allocation policy that decides, per workload and period, between
+// continuing online refinement and discarding the refined cost model to
+// restart from fresh optimizer estimates.
+//
+// Change detection uses the relative change in the average optimizer cost
+// estimate per query between periods (§6.1): above the threshold τ (10%)
+// the change is major; otherwise minor. The relative modeling error
+// E_ip = |Est − Act| / Act guards refinement that has not yet converged
+// (§6.2): refinement continues only when errors are small (< 5%) or
+// shrinking.
+package dynmgmt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/refine"
+)
+
+// ChangeClass classifies a workload's change in one monitoring period.
+type ChangeClass int
+
+// Change classes.
+const (
+	// ChangeNone means the workload's per-query estimate was stable.
+	ChangeNone ChangeClass = iota
+	// ChangeMinor is a sub-threshold change, handled by refinement.
+	ChangeMinor
+	// ChangeMajor exceeds τ and forces a model rebuild.
+	ChangeMajor
+)
+
+func (c ChangeClass) String() string {
+	switch c {
+	case ChangeNone:
+		return "none"
+	case ChangeMinor:
+		return "minor"
+	case ChangeMajor:
+		return "major"
+	}
+	return "?"
+}
+
+// PeriodInput is what monitoring delivers for one tenant at the end of a
+// period: a what-if estimator for the tenant's *current* workload, the
+// current average optimizer estimate per query (the §6.1 change metric's
+// raw material), and a way to measure actual cost.
+type PeriodInput struct {
+	// Estimator is optimizer-backed for the current workload.
+	Estimator core.Estimator
+	// AvgEstPerQuery is the optimizer's average per-query estimate for
+	// the current workload at a fixed reference allocation.
+	AvgEstPerQuery float64
+	// Measure returns the actual cost of the current workload under an
+	// allocation.
+	Measure func(a core.Allocation) (float64, error)
+}
+
+// TenantReport is the per-tenant outcome of one period.
+type TenantReport struct {
+	Change    ChangeClass
+	Est, Act  float64
+	Eip       float64 // relative modeling error
+	Rebuilt   bool    // model was discarded and rebuilt from the optimizer
+	Refined   bool    // an Act/Est refinement step was applied
+	Converged bool
+}
+
+// PeriodReport is the outcome of one monitoring period.
+type PeriodReport struct {
+	Allocations []core.Allocation
+	Tenants     []TenantReport
+}
+
+// Manager runs dynamic configuration management over N tenants.
+type Manager struct {
+	// Tau is the major-change threshold on the relative per-query
+	// estimate change (default 0.10, as in §6.1).
+	Tau float64
+	// ErrThreshold is the E_ip guard (default 0.05, §6.2).
+	ErrThreshold float64
+	// Opts configures the advisor's enumerator.
+	Opts core.Options
+	// ForceContinuous disables change classification, treating every
+	// change as minor — the "continuous online refinement" baseline the
+	// paper compares against in Figs. 35–36.
+	ForceContinuous bool
+
+	tenants []*tenantState
+	prev    []core.Allocation
+}
+
+type tenantState struct {
+	model      *refine.Model
+	prevAvg    float64
+	prevErr    float64
+	hasPrevErr bool
+	converged  bool
+}
+
+// NewManager creates a manager for n tenants.
+func NewManager(n int, opts core.Options) *Manager {
+	m := &Manager{Tau: 0.10, ErrThreshold: 0.05, Opts: opts}
+	for i := 0; i < n; i++ {
+		m.tenants = append(m.tenants, &tenantState{})
+	}
+	return m
+}
+
+// Period processes one monitoring period end: classify changes, pick the
+// per-tenant cost-model basis, re-run the advisor, deploy, measure, and
+// refine. The first call is the initial recommendation (everything is
+// built from the optimizer).
+func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
+	if len(inputs) != len(m.tenants) {
+		return nil, fmt.Errorf("dynmgmt: %d inputs for %d tenants", len(inputs), len(m.tenants))
+	}
+	n := len(inputs)
+	report := &PeriodReport{Tenants: make([]TenantReport, n)}
+
+	// 1. Classify changes via the §6.1 metric.
+	for i, in := range inputs {
+		ts := m.tenants[i]
+		tr := &report.Tenants[i]
+		switch {
+		case ts.prevAvg == 0:
+			tr.Change = ChangeNone // first period: nothing to compare
+		default:
+			rel := math.Abs(in.AvgEstPerQuery-ts.prevAvg) / ts.prevAvg
+			switch {
+			case rel > m.Tau && !m.ForceContinuous:
+				tr.Change = ChangeMajor
+			case rel > 1e-9:
+				tr.Change = ChangeMinor
+			default:
+				tr.Change = ChangeNone
+			}
+		}
+		ts.prevAvg = in.AvgEstPerQuery
+
+		if tr.Change == ChangeMajor {
+			// §6.2: discard the refined model; restart from the optimizer.
+			ts.model = nil
+			ts.converged = false
+			ts.hasPrevErr = false
+			tr.Rebuilt = true
+		}
+		if tr.Change != ChangeNone {
+			ts.converged = false
+		}
+	}
+
+	// 2. Re-run the advisor over each tenant's current basis.
+	ests := make([]core.Estimator, n)
+	for i, in := range inputs {
+		if m.tenants[i].model != nil {
+			ests[i] = m.tenants[i].model
+		} else {
+			ests[i] = in.Estimator
+		}
+	}
+	res, err := core.Recommend(ests, m.Opts)
+	if err != nil {
+		return nil, err
+	}
+	report.Allocations = res.Allocations
+
+	// 3. Deploy, measure, and refine.
+	for i, in := range inputs {
+		ts := m.tenants[i]
+		tr := &report.Tenants[i]
+		a := res.Allocations[i]
+		act, err := in.Measure(a)
+		if err != nil {
+			return nil, fmt.Errorf("dynmgmt: measuring tenant %d: %w", i, err)
+		}
+		tr.Act = act
+		tr.Est = res.Costs[i]
+		if act > 0 {
+			tr.Eip = math.Abs(tr.Est-act) / act
+		}
+
+		if ts.model == nil {
+			// Fresh build from this period's enumeration samples, plus the
+			// "additional refinement step" with the observed actual (§6.2).
+			md, err := refine.NewModel(res.Samples[i], m.Opts.Resources)
+			if err != nil {
+				return nil, fmt.Errorf("dynmgmt: rebuilding tenant %d: %w", i, err)
+			}
+			ts.model = md
+			if _, err := md.Observe(a, act); err != nil {
+				return nil, err
+			}
+			tr.Refined = true
+		} else {
+			refineOK := true
+			if tr.Change == ChangeMinor && !ts.converged && ts.hasPrevErr {
+				// §6.2 guard: continue refinement only if errors are small
+				// or decreasing.
+				small := ts.prevErr < m.ErrThreshold && tr.Eip < m.ErrThreshold
+				decreasing := tr.Eip < ts.prevErr
+				if !small && !decreasing && !m.ForceContinuous {
+					// Conservatively treat as major: discard; rebuild next
+					// period from the optimizer.
+					ts.model = nil
+					ts.converged = false
+					ts.hasPrevErr = false
+					tr.Rebuilt = true
+					refineOK = false
+				}
+			}
+			if refineOK && !ts.converged {
+				if _, err := ts.model.Observe(a, act); err != nil {
+					return nil, err
+				}
+				tr.Refined = true
+			}
+		}
+		ts.prevErr = tr.Eip
+		ts.hasPrevErr = true
+	}
+
+	// 4. Convergence: a repeated recommendation means refinement has
+	// settled (§5's stopping rule), so observation pauses until the next
+	// detected change.
+	if m.prev != nil && sameAllocs(m.prev, res.Allocations) {
+		for i := range m.tenants {
+			m.tenants[i].converged = true
+			report.Tenants[i].Converged = true
+		}
+	}
+	m.prev = cloneAllocs(res.Allocations)
+	return report, nil
+}
+
+func cloneAllocs(in []core.Allocation) []core.Allocation {
+	out := make([]core.Allocation, len(in))
+	for i, a := range in {
+		out[i] = a.Clone()
+	}
+	return out
+}
+
+func sameAllocs(a, b []core.Allocation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if d := a[i][j] - b[i][j]; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}

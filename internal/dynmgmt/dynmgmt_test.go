@@ -1,0 +1,178 @@
+package dynmgmt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// scenario models two tenants whose true costs the optimizer misjudges by
+// a per-tenant factor; the test driver can swap workloads (major change)
+// or scale intensity (minor change).
+type scenario struct {
+	// trueAlpha is the real CPU appetite; estAlpha what the optimizer
+	// believes.
+	trueAlpha []float64
+	estAlpha  []float64
+	intensity []float64
+}
+
+func (sc *scenario) input(i int) PeriodInput {
+	est := sc.estAlpha[i] * sc.intensity[i]
+	truth := sc.trueAlpha[i] * sc.intensity[i]
+	return PeriodInput{
+		Estimator: core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+			return est/a[0] + 2/a[1], "p", nil
+		}),
+		AvgEstPerQuery: est,
+		Measure: func(a core.Allocation) (float64, error) {
+			return truth/a[0] + 2/a[1], nil
+		},
+	}
+}
+
+func (sc *scenario) inputs() []PeriodInput {
+	return []PeriodInput{sc.input(0), sc.input(1)}
+}
+
+func newScenario() *scenario {
+	return &scenario{
+		trueAlpha: []float64{30, 60},
+		estAlpha:  []float64{30, 20}, // tenant 1 underestimated
+		intensity: []float64{1, 1},
+	}
+}
+
+func TestFirstPeriodBuildsFromOptimizer(t *testing.T) {
+	sc := newScenario()
+	m := NewManager(2, core.Options{Delta: 0.05})
+	rep, err := m.Period(sc.inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Tenants {
+		if tr.Change != ChangeNone {
+			t.Errorf("tenant %d first period change = %v", i, tr.Change)
+		}
+		if !tr.Refined {
+			t.Errorf("tenant %d should have been refined", i)
+		}
+	}
+	if len(rep.Allocations) != 2 {
+		t.Fatal("allocations missing")
+	}
+}
+
+func TestStableWorkloadConvergesAndStopsRefining(t *testing.T) {
+	sc := newScenario()
+	sc.estAlpha = sc.trueAlpha // perfect optimizer
+	m := NewManager(2, core.Options{Delta: 0.05})
+	var last *PeriodReport
+	for p := 0; p < 4; p++ {
+		rep, err := m.Period(sc.inputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = rep
+	}
+	if !last.Tenants[0].Converged {
+		t.Fatalf("stable workload should converge: %+v", last.Tenants[0])
+	}
+}
+
+func TestMinorChangesHandledByRefinement(t *testing.T) {
+	sc := newScenario()
+	m := NewManager(2, core.Options{Delta: 0.05})
+	if _, err := m.Period(sc.inputs()); err != nil {
+		t.Fatal(err)
+	}
+	sc.intensity[1] *= 1.05 // 5% < τ: minor
+	rep, err := m.Period(sc.inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tenants[1].Change != ChangeMinor {
+		t.Fatalf("expected minor change, got %v", rep.Tenants[1].Change)
+	}
+	if rep.Tenants[1].Rebuilt {
+		t.Fatal("minor change must not rebuild the model")
+	}
+}
+
+func TestMajorChangeDiscardsModel(t *testing.T) {
+	sc := newScenario()
+	m := NewManager(2, core.Options{Delta: 0.05})
+	if _, err := m.Period(sc.inputs()); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two workloads: per-query estimates jump far beyond τ.
+	sc.trueAlpha[0], sc.trueAlpha[1] = sc.trueAlpha[1], sc.trueAlpha[0]
+	sc.estAlpha[0], sc.estAlpha[1] = sc.estAlpha[1], sc.estAlpha[0]
+	rep, err := m.Period(sc.inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Tenants {
+		if tr.Change != ChangeMajor {
+			t.Errorf("tenant %d: change %v, want major", i, tr.Change)
+		}
+		if !tr.Rebuilt {
+			t.Errorf("tenant %d: model should have been rebuilt", i)
+		}
+	}
+}
+
+func TestForceContinuousNeverRebuilds(t *testing.T) {
+	sc := newScenario()
+	m := NewManager(2, core.Options{Delta: 0.05})
+	m.ForceContinuous = true
+	if _, err := m.Period(sc.inputs()); err != nil {
+		t.Fatal(err)
+	}
+	sc.trueAlpha[0], sc.trueAlpha[1] = sc.trueAlpha[1], sc.trueAlpha[0]
+	sc.estAlpha[0], sc.estAlpha[1] = sc.estAlpha[1], sc.estAlpha[0]
+	rep, err := m.Period(sc.inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Tenants {
+		if tr.Rebuilt {
+			t.Errorf("tenant %d rebuilt under ForceContinuous", i)
+		}
+	}
+}
+
+// The headline §7.10 behaviour: after a major change (workload swap),
+// dynamic management recovers the right allocation within a period or two,
+// because it rebuilds from the optimizer rather than dragging a stale
+// refined model.
+func TestSwapRecovery(t *testing.T) {
+	sc := newScenario()
+	m := NewManager(2, core.Options{Delta: 0.05})
+	for p := 0; p < 3; p++ {
+		if _, err := m.Period(sc.inputs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tenant 1 is truly hungrier; refinement should have discovered that.
+	sc.trueAlpha[0], sc.trueAlpha[1] = sc.trueAlpha[1], sc.trueAlpha[0]
+	sc.estAlpha[0], sc.estAlpha[1] = sc.estAlpha[1], sc.estAlpha[0]
+	var rep *PeriodReport
+	var err error
+	for p := 0; p < 3; p++ {
+		rep, err = m.Period(sc.inputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep.Allocations[0][0] <= rep.Allocations[1][0] {
+		t.Fatalf("after swap, tenant 0 should hold more CPU: %v", rep.Allocations)
+	}
+}
+
+func TestPeriodInputValidation(t *testing.T) {
+	m := NewManager(2, core.Options{})
+	if _, err := m.Period(nil); err == nil {
+		t.Fatal("mismatched input count should error")
+	}
+}

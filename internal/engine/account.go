@@ -1,0 +1,115 @@
+// Package engine is the execution side of the simulated database systems.
+// It has two executors:
+//
+//   - Account: analytic accounting of a physical plan's true resource
+//     usage at any scale, sharing the optimizer's work-vector formulas
+//     (internal/opt.Physical) but evaluated in the *true* memory
+//     environment and extended with the costs optimizers do not model:
+//     lock-manager work, log writes, and dirty-page flushes for DML, and
+//     the extra sort-memory benefit of §7.9.
+//   - Execute (exec.go): a row-at-a-time Volcano-style executor over
+//     synthetic generated data, which demonstrates that the operator
+//     semantics are real and lets tests compare optimizer estimates with
+//     ground truth.
+package engine
+
+import (
+	"math"
+
+	"repro/internal/opt"
+	"repro/internal/storage"
+	"repro/internal/xplan"
+)
+
+// Abstract-operation weights: how many generic CPU operations each op
+// class costs at run time. The optimizer never sees these directly — the
+// calibration process (§4.3) recovers their effect by fitting optimizer
+// parameters to measured run times.
+const (
+	// WeightTuple is the run-time CPU weight of one tuple-processing op.
+	WeightTuple = 1.0
+	// WeightPred is the run-time CPU weight of one predicate evaluation.
+	WeightPred = 0.25
+	// WeightIndex is the run-time CPU weight of one index-entry op.
+	WeightIndex = 0.5
+)
+
+// Env is the true execution environment of one statement run: how much
+// page cache the DBMS actually has in its VM and how much working memory
+// each operator actually receives. Both derive from the VM's memory
+// allocation through the DBMS's tuning policy.
+type Env struct {
+	CacheBytes   float64
+	SortMemBytes float64
+}
+
+// Account returns the true resource usage of executing the plan once in
+// the given environment under the given true-behaviour profile.
+func Account(root *xplan.Node, env Env, prof xplan.TrueProfile) xplan.Usage {
+	var u xplan.Usage
+	var memDemandBytes float64 // data volume of memory-hungry operators
+	root.Walk(func(n *xplan.Node) {
+		ph := opt.Physical(n, env.CacheBytes, env.SortMemBytes)
+		cpu := ph.TupleOps*WeightTuple + ph.PredOps*WeightPred + ph.IndexOps*WeightIndex
+		u.CPUOps += cpu * prof.CPUFactor
+		u.SeqPages += ph.SeqReads * prof.IOFactor
+		u.RandPages += ph.RandReads * prof.IOFactor
+		u.WritePages += ph.Writes * prof.IOFactor
+		if ph.MemBytes > u.MemPeak {
+			u.MemPeak = ph.MemBytes
+		}
+		switch n.Kind {
+		case xplan.KindSort, xplan.KindHashJoin:
+			if v := n.BuildPages * 8192; v > memDemandBytes {
+				memDemandBytes = v
+			}
+		case xplan.KindModify:
+			// Costs the optimizer does not model (§7.8): lock-manager CPU
+			// under concurrent clients, write-ahead log pages, and dirty
+			// heap pages flushed at commit.
+			u.CPUOps += n.RowsChanged * prof.LockOpsPerRow
+			u.WritePages += n.RowsChanged * prof.LogPagesPerRow
+			u.WritePages += storage.CardenasPages(n.TablePages, n.RowsChanged)
+		}
+	})
+	// Unmodeled sort-memory benefit (§7.9): when the plan wants working
+	// memory and actually receives it, run time improves beyond what the
+	// model predicted. Satisfaction is the fraction of the largest
+	// memory-hungry operator's demand that the true sort memory covers.
+	if prof.MemBoost > 0 && memDemandBytes > 0 {
+		sat := env.SortMemBytes / memDemandBytes
+		if sat > 1 {
+			sat = 1
+		}
+		factor := 1 - prof.MemBoost*sat
+		if factor < 0.05 {
+			factor = 0.05
+		}
+		u = u.Scaled(factor)
+	}
+	return u
+}
+
+// ModelSeconds is a helper for tests: it converts a usage vector into
+// seconds under a simple hardware description (instructions per op, page
+// service times, full CPU share). The real conversion lives in
+// internal/vmsim where CPU shares and I/O contention apply.
+func ModelSeconds(u xplan.Usage, instrPerOp, hz, seqPageSec, randPageSec float64) float64 {
+	cpu := u.CPUOps * instrPerOp / hz
+	io := u.SeqPages*seqPageSec + u.RandPages*randPageSec + u.WritePages*seqPageSec
+	return cpu + io
+}
+
+// MemorySensitivity reports how much a plan's true cost would shrink going
+// from minimum to ample working memory — used by tests to verify that
+// memory-hungry plans are actually memory-sensitive.
+func MemorySensitivity(root *xplan.Node, cacheBytes float64, prof xplan.TrueProfile) float64 {
+	lo := Account(root, Env{CacheBytes: cacheBytes, SortMemBytes: 1 << 20}, prof)
+	hi := Account(root, Env{CacheBytes: cacheBytes, SortMemBytes: 8 << 30}, prof)
+	loS := lo.CPUOps + lo.SeqPages + lo.RandPages + lo.WritePages
+	hiS := hi.CPUOps + hi.SeqPages + hi.RandPages + hi.WritePages
+	if loS == 0 {
+		return 0
+	}
+	return math.Max(0, 1-hiS/loS)
+}

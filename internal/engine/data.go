@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// Value is a runtime cell: float64 (numbers and dates, as day counts) or
+// string.
+type Value any
+
+// Row is one tuple.
+type Row []Value
+
+// Database holds generated rows for the row-level executor. Generation is
+// deterministic under a seed and honours catalog statistics: unique key
+// columns are sequential, other columns cycle through NDV levels across
+// the declared [Min, Max] domain, so equi-joins between a foreign key and
+// its parent's sequential key match by construction.
+type Database struct {
+	tables map[string]*Relation
+}
+
+// Relation is one stored table with column order matching the catalog.
+type Relation struct {
+	Name    string
+	Columns []string
+	Rows    []Row
+	PerPage float64
+}
+
+// Table returns a stored relation, or nil.
+func (db *Database) Table(name string) *Relation { return db.tables[name] }
+
+// Generate materializes every table of the schema, capping per-table rows
+// at maxRows (tests use small caps; statistics-driven behaviour does not
+// need full-size data).
+func Generate(schema *catalog.Schema, maxRows int, seed int64) *Database {
+	db := &Database{tables: make(map[string]*Relation)}
+	for _, name := range schema.TableNames() {
+		tab := schema.Table(name)
+		n := int(tab.Rows)
+		if n > maxRows {
+			n = maxRows
+		}
+		if n < 1 {
+			n = 1
+		}
+		rel := &Relation{Name: name, PerPage: tab.RowsPerPage()}
+		for _, c := range tab.Columns {
+			rel.Columns = append(rel.Columns, c.Name)
+		}
+		unique := map[string]bool{}
+		for _, ix := range tab.Indexes {
+			if ix.Unique && len(ix.Columns) == 1 {
+				unique[ix.Columns[0]] = true
+			}
+		}
+		rel.Rows = make([]Row, n)
+		for i := 0; i < n; i++ {
+			row := make(Row, len(tab.Columns))
+			for ci, c := range tab.Columns {
+				row[ci] = genValue(c, unique[c.Name], i, seed)
+			}
+			rel.Rows[i] = row
+		}
+		db.tables[name] = rel
+	}
+	return db
+}
+
+// genValue produces the value of column c in row i.
+func genValue(c *catalog.Column, uniqueKey bool, i int, seed int64) Value {
+	h := mix64(uint64(i)*0x9E3779B97F4A7C15 + uint64(seed) + hashName(c.Name))
+	switch c.Type {
+	case catalog.String:
+		ndv := int(c.NDV)
+		if ndv < 1 {
+			ndv = 1
+		}
+		return "v" + itoa(int(h%uint64(ndv)))
+	default:
+		if uniqueKey {
+			return c.Min + float64(i)
+		}
+		ndv := c.NDV
+		if ndv < 1 {
+			ndv = 1
+		}
+		level := float64(h % uint64(ndv))
+		span := c.Max - c.Min
+		if span <= 0 {
+			return c.Min
+		}
+		if ndv <= span+1 {
+			// Integer-aligned levels so foreign keys hit sequential parents.
+			return c.Min + math.Floor(level*math.Max(1, math.Floor(span/ndv)))
+		}
+		return c.Min + level/ndv*span
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for v > 0 {
+		p--
+		buf[p] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[p:])
+}
+
+// scanPages charges one table scan's page accesses to the pool and returns
+// the number of misses.
+func scanPages(rel *Relation, pool *storage.Pool) int64 {
+	_, before := pool.Stats()
+	pages := int64(math.Ceil(float64(len(rel.Rows)) / rel.PerPage))
+	for p := int64(0); p < pages; p++ {
+		pool.Access(storage.PageID{Object: rel.Name, Page: p})
+	}
+	_, after := pool.Stats()
+	return after - before
+}

@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/opt"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+	"repro/internal/xplan"
+)
+
+// testSchema: a parent/child pair with FK alignment plus typed columns.
+func testSchema() *catalog.Schema {
+	s := catalog.NewSchema("t")
+	s.Add(&catalog.Table{
+		Name: "parent",
+		Columns: []*catalog.Column{
+			{Name: "pid", Type: catalog.Int, NDV: 100, Min: 1, Max: 100},
+			{Name: "grp", Type: catalog.String, NDV: 4, Width: 4},
+			{Name: "score", Type: catalog.Float, NDV: 10, Min: 0, Max: 90},
+		},
+		Rows: 100,
+		Indexes: []*catalog.Index{
+			{Name: "parent_pk", Columns: []string{"pid"}, Unique: true, Clustered: true},
+		},
+	})
+	s.Add(&catalog.Table{
+		Name: "child",
+		Columns: []*catalog.Column{
+			{Name: "cid", Type: catalog.Int, NDV: 1000, Min: 1, Max: 1000},
+			{Name: "pid", Type: catalog.Int, NDV: 100, Min: 1, Max: 100},
+			{Name: "qty", Type: catalog.Float, NDV: 10, Min: 1, Max: 10},
+		},
+		Rows: 1000,
+		Indexes: []*catalog.Index{
+			{Name: "child_pk", Columns: []string{"cid"}, Unique: true, Clustered: true},
+			{Name: "child_parent", Columns: []string{"pid"}},
+		},
+	})
+	return s
+}
+
+func exec(t *testing.T, schema *catalog.Schema, db *Database, sql string) (*ExecResult, xplan.Usage) {
+	t.Helper()
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, err := opt.Bind(schema, stmt)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	pool := storage.NewPool(64)
+	res, u, err := Execute(q, db, pool)
+	if err != nil {
+		t.Fatalf("execute %q: %v", sql, err)
+	}
+	return res, u
+}
+
+func TestExecuteCountStar(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	res, u := exec(t, schema, db, "SELECT count(*) FROM child")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	if got := res.Rows[0][0].(float64); got != 1000 {
+		t.Fatalf("count = %v, want 1000", got)
+	}
+	if u.CPUOps <= 0 || u.SeqPages <= 0 {
+		t.Fatalf("usage not accounted: %+v", u)
+	}
+}
+
+func TestExecuteFilterSelectivity(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	res, _ := exec(t, schema, db, "SELECT count(*) FROM child WHERE qty <= 5")
+	got := res.Rows[0][0].(float64)
+	// qty has 10 uniform levels starting at 1; <= 5 keeps 5 of 10.
+	if got < 300 || got > 700 {
+		t.Fatalf("selectivity off: %v of 1000", got)
+	}
+}
+
+func TestExecuteJoinMatchesForeignKeys(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	res, _ := exec(t, schema, db, `SELECT count(*) FROM parent p, child c WHERE p.pid = c.pid`)
+	// Every child pid lies in [1,100] on integer levels and every parent
+	// pid 1..100 exists exactly once, so the join preserves all children.
+	if got := res.Rows[0][0].(float64); got != 1000 {
+		t.Fatalf("join count = %v, want 1000", got)
+	}
+}
+
+func TestExecuteGroupByAggregates(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	res, _ := exec(t, schema, db, `SELECT grp, count(*), sum(score), avg(score), min(score), max(score)
+		FROM parent GROUP BY grp ORDER BY grp`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups: %d, want 4", len(res.Rows))
+	}
+	var total float64
+	for _, row := range res.Rows {
+		total += row[1].(float64)
+		if row[4].(float64) > row[5].(float64) {
+			t.Fatalf("min > max in %v", row)
+		}
+		cnt, sum, avg := row[1].(float64), row[2].(float64), row[3].(float64)
+		if cnt > 0 && math.Abs(avg-sum/cnt) > 1e-9 {
+			t.Fatalf("avg inconsistent: %v", row)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("group counts sum to %v, want 100", total)
+	}
+}
+
+func TestExecuteOrderByAndLimit(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	res, _ := exec(t, schema, db, "SELECT pid, score FROM parent ORDER BY score DESC, pid LIMIT 5")
+	if len(res.Rows) != 5 {
+		t.Fatalf("limit: %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].(float64) > res.Rows[i-1][1].(float64) {
+			t.Fatalf("not descending at %d", i)
+		}
+	}
+}
+
+func TestExecuteSemijoin(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	in, _ := exec(t, schema, db, `SELECT count(*) FROM parent WHERE pid IN
+		(SELECT pid FROM child WHERE qty >= 9)`)
+	notIn, _ := exec(t, schema, db, `SELECT count(*) FROM parent WHERE pid NOT IN
+		(SELECT pid FROM child WHERE qty >= 9)`)
+	a := in.Rows[0][0].(float64)
+	b := notIn.Rows[0][0].(float64)
+	if a+b != 100 {
+		t.Fatalf("IN + NOT IN should partition: %v + %v", a, b)
+	}
+	if a == 0 || b == 0 {
+		t.Fatalf("degenerate semijoin: %v/%v", a, b)
+	}
+}
+
+func TestExecuteDMLAffectedRows(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	res, u := exec(t, schema, db, "UPDATE parent SET score = score + 1 WHERE grp = 'v1'")
+	if res.Affected <= 0 || res.Affected >= 100 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+	if u.CPUOps <= 0 {
+		t.Fatal("usage missing")
+	}
+}
+
+// Ground truth vs optimizer: the estimated cardinality of a filtered scan
+// should be within a small factor of the real row count.
+func TestOptimizerEstimateVsGroundTruth(t *testing.T) {
+	schema := testSchema()
+	db := Generate(schema, 10_000, 1)
+	for _, sql := range []string{
+		"SELECT count(*) FROM child WHERE qty <= 5",
+		"SELECT count(*) FROM parent WHERE grp = 'v1'",
+	} {
+		stmt := sqlmini.MustParse(sql)
+		q, err := opt.Bind(schema, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := storage.NewPool(64)
+		res, _, err := Execute(q, db, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res
+		truth := q.Tables[0].FilteredRows()
+		countRes, _ := exec(t, schema, db, sql)
+		actual := countRes.Rows[0][0].(float64)
+		if actual == 0 {
+			t.Fatalf("no rows matched %q", sql)
+		}
+		if ratio := truth / actual; ratio < 0.3 || ratio > 3 {
+			t.Errorf("estimate %v vs actual %v for %q (ratio %.2f)", truth, actual, sql, ratio)
+		}
+	}
+}
+
+func TestAccountChargesUnmodeledDMLCosts(t *testing.T) {
+	schema := testSchema()
+	stmt := sqlmini.MustParse("UPDATE child SET qty = qty + 1 WHERE pid = 7")
+	q, err := opt.Bind(schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := (&opt.Planner{Schema: schema, Model: opt.FixedModel{
+		SeqPageC: 1, RandPageC: 4, CPUTupleC: 0.01, CPUOpC: 0.0025, CPUIndexC: 0.005,
+		CacheB: 1 << 24, WorkMemB: 1 << 22,
+	}}).PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{CacheBytes: 1 << 24, SortMemBytes: 1 << 22}
+	plain := Account(pl, env, xplan.DefaultProfile())
+	prof := xplan.DefaultProfile()
+	prof.LockOpsPerRow = 50
+	prof.LogPagesPerRow = 1
+	heavy := Account(pl, env, prof)
+	if heavy.CPUOps <= plain.CPUOps {
+		t.Fatal("lock ops must add CPU")
+	}
+	if heavy.WritePages <= plain.WritePages {
+		t.Fatal("log pages must add writes")
+	}
+}
+
+func TestMemBoostShrinksUsage(t *testing.T) {
+	schema := testSchema()
+	stmt := sqlmini.MustParse("SELECT pid, score FROM parent ORDER BY score")
+	q, _ := opt.Bind(schema, stmt)
+	pl, err := (&opt.Planner{Schema: schema, Model: opt.FixedModel{
+		SeqPageC: 1, RandPageC: 4, CPUTupleC: 0.01, CPUOpC: 0.0025, CPUIndexC: 0.005,
+		CacheB: 1 << 24, WorkMemB: 1 << 20,
+	}}).PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := xplan.DefaultProfile()
+	prof.MemBoost = 0.5
+	rich := Env{CacheBytes: 1 << 24, SortMemBytes: 1 << 30}
+	poor := Env{CacheBytes: 1 << 24, SortMemBytes: 1 << 12}
+	uRich := Account(pl, rich, prof)
+	uPoor := Account(pl, poor, prof)
+	if uRich.CPUOps >= uPoor.CPUOps {
+		t.Fatalf("MemBoost should reward memory: rich=%v poor=%v", uRich.CPUOps, uPoor.CPUOps)
+	}
+}
+
+// Property: LIKE matching agrees with a reference interpretation on
+// wildcard-free patterns (equality) and prefix patterns.
+func TestPropertyLikeMatch(t *testing.T) {
+	f := func(sRaw, pRaw uint32) bool {
+		alphabet := "abc"
+		mk := func(x uint32, n int) string {
+			var sb []byte
+			for i := 0; i < n; i++ {
+				sb = append(sb, alphabet[int(x>>(2*i))%len(alphabet)])
+			}
+			return string(sb)
+		}
+		s := mk(sRaw, 4)
+		p := mk(pRaw, 3)
+		if likeMatch(s, p) != (s == p) {
+			return false
+		}
+		if !likeMatch(s, s) {
+			return false
+		}
+		if !likeMatch(s, p[:1]+"%") == (s[:1] == p[:1]) {
+			return false
+		}
+		return likeMatch(s, "%") && likeMatch(s, "____")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	schema := testSchema()
+	a := Generate(schema, 1000, 5)
+	b := Generate(schema, 1000, 5)
+	ra, rb := a.Table("parent").Rows, b.Table("parent").Rows
+	for i := range ra {
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				t.Fatalf("row %d col %d differ", i, j)
+			}
+		}
+	}
+	c := Generate(schema, 1000, 6)
+	diff := false
+	for i := range ra {
+		if ra[i][1] != c.Table("parent").Rows[i][1] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ somewhere")
+	}
+}

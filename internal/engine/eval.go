@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlmini"
+)
+
+// evalValue evaluates a scalar expression against a row. aggs supplies
+// pre-computed aggregate values when evaluating grouped projections.
+func (ex *executor) evalValue(e sqlmini.Expr, b *binding, row Row, aggs map[*sqlmini.FuncExpr]Value) (Value, error) {
+	switch v := e.(type) {
+	case *sqlmini.NumberLit:
+		return v.Val, nil
+	case *sqlmini.StringLit:
+		return v.Val, nil
+	case *sqlmini.DateLit:
+		return v.Days, nil
+	case *sqlmini.ColumnRef:
+		idx, ok := b.lookup(v.Qualifier, v.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: column %s not in scope", v)
+		}
+		return row[idx], nil
+	case *sqlmini.FuncExpr:
+		if aggs != nil {
+			if val, ok := aggs[v]; ok {
+				return val, nil
+			}
+		}
+		return nil, fmt.Errorf("engine: aggregate %s outside GROUP BY context", v.Name)
+	case *sqlmini.BinaryExpr:
+		l, err := ex.evalValue(v.L, b, row, aggs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.evalValue(v.R, b, row, aggs)
+		if err != nil {
+			return nil, err
+		}
+		lf, lok := l.(float64)
+		rf, rok := r.(float64)
+		if !lok || !rok {
+			return nil, fmt.Errorf("engine: arithmetic on non-numeric values")
+		}
+		ex.usage.CPUOps += 0.25
+		switch v.Op {
+		case "+":
+			return lf + rf, nil
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		case "/":
+			if rf == 0 {
+				return 0.0, nil
+			}
+			return lf / rf, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: cannot evaluate %T as a value", e)
+}
+
+// evalBool evaluates a predicate against a row.
+func (ex *executor) evalBool(e sqlmini.Expr, b *binding, row Row, aggs map[*sqlmini.FuncExpr]Value) (bool, error) {
+	switch v := e.(type) {
+	case *sqlmini.Comparison:
+		l, err := ex.evalValue(v.L, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		r, err := ex.evalValue(v.R, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		ex.usage.CPUOps += 0.25
+		c := valueCompare(l, r)
+		switch v.Op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("engine: bad comparison op %q", v.Op)
+	case *sqlmini.AndExpr:
+		l, err := ex.evalBool(v.L, b, row, aggs)
+		if err != nil || !l {
+			return false, err
+		}
+		return ex.evalBool(v.R, b, row, aggs)
+	case *sqlmini.OrExpr:
+		l, err := ex.evalBool(v.L, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return ex.evalBool(v.R, b, row, aggs)
+	case *sqlmini.NotExpr:
+		x, err := ex.evalBool(v.X, b, row, aggs)
+		return !x, err
+	case *sqlmini.BetweenExpr:
+		x, err := ex.evalValue(v.X, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		lo, err := ex.evalValue(v.Lo, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		hi, err := ex.evalValue(v.Hi, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		ex.usage.CPUOps += 0.5
+		return valueCompare(x, lo) >= 0 && valueCompare(x, hi) <= 0, nil
+	case *sqlmini.InExpr:
+		if v.Sub != nil {
+			return false, fmt.Errorf("engine: IN subquery should have been flattened to a semijoin")
+		}
+		x, err := ex.evalValue(v.X, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		for _, item := range v.List {
+			iv, err := ex.evalValue(item, b, row, aggs)
+			if err != nil {
+				return false, err
+			}
+			ex.usage.CPUOps += 0.25
+			if valueCompare(x, iv) == 0 {
+				return !v.Negated, nil
+			}
+		}
+		return v.Negated, nil
+	case *sqlmini.LikeExpr:
+		x, err := ex.evalValue(v.X, b, row, aggs)
+		if err != nil {
+			return false, err
+		}
+		s, ok := x.(string)
+		if !ok {
+			return false, nil
+		}
+		ex.usage.CPUOps += 0.5
+		m := likeMatch(s, v.Pattern)
+		if v.Negated {
+			return !m, nil
+		}
+		return m, nil
+	}
+	return false, fmt.Errorf("engine: cannot evaluate %T as a predicate", e)
+}
+
+// valueCompare orders two values: numbers numerically, strings
+// lexicographically, mixed types by kind.
+func valueCompare(a, b Value) int {
+	af, aIsNum := a.(float64)
+	bf, bIsNum := b.(float64)
+	switch {
+	case aIsNum && bIsNum:
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	case aIsNum:
+		return -1
+	case bIsNum:
+		return 1
+	}
+	as, _ := a.(string)
+	bs, _ := b.(string)
+	return strings.Compare(as, bs)
+}
+
+// valueEq tests equality.
+func valueEq(a, b Value) bool { return valueCompare(a, b) == 0 }
+
+// valueKey builds a hash key for a value.
+func valueKey(v Value) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return "s" + x
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single rune).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over bytes (patterns here are ASCII).
+	n, m := len(s), len(pattern)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		p := pattern[j]
+		next := make([]bool, n+1)
+		switch p {
+		case '%':
+			reach := false
+			for i := 0; i <= n; i++ {
+				reach = reach || dp[i]
+				next[i] = reach
+			}
+		case '_':
+			for i := 1; i <= n; i++ {
+				next[i] = dp[i-1]
+			}
+		default:
+			for i := 1; i <= n; i++ {
+				next[i] = dp[i-1] && s[i-1] == p
+			}
+		}
+		dp = next
+	}
+	return dp[n]
+}

@@ -1,0 +1,523 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/opt"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+	"repro/internal/xplan"
+)
+
+// ExecResult is the output of the row-level executor.
+type ExecResult struct {
+	Columns []string
+	Rows    []Row
+	// Affected is the row count touched by DML statements.
+	Affected int
+}
+
+// Execute runs a bound query over generated data with a buffer pool,
+// returning results and the measured physical usage (CPU operations
+// counted per tuple/predicate, I/O from pool misses). It is the proof
+// that the analysis in internal/opt corresponds to a real execution
+// semantics: tests compare its ground-truth cardinalities and aggregates
+// against optimizer estimates.
+func Execute(q *opt.Query, db *Database, pool *storage.Pool) (*ExecResult, xplan.Usage, error) {
+	ex := &executor{db: db, pool: pool}
+	res, err := ex.run(q)
+	if err != nil {
+		return nil, xplan.Usage{}, err
+	}
+	return res, ex.usage, nil
+}
+
+// executor carries the run's accounting.
+type executor struct {
+	db    *Database
+	pool  *storage.Pool
+	usage xplan.Usage
+}
+
+// binding is an intermediate relation: named columns and rows.
+type binding struct {
+	cols []string // qualified as "name.col", plus bare "col" resolution
+	rows []Row
+}
+
+func (b *binding) lookup(qual, name string) (int, bool) {
+	if qual != "" {
+		key := qual + "." + name
+		for i, c := range b.cols {
+			if c == key {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	for i, c := range b.cols {
+		if c == name || strings.HasSuffix(c, "."+name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (ex *executor) run(q *opt.Query) (*ExecResult, error) {
+	// 1. Scan and filter each table.
+	parts := make([]*binding, len(q.Tables))
+	for i, bt := range q.Tables {
+		rel := ex.db.Table(bt.Tab.Name)
+		if rel == nil {
+			return nil, fmt.Errorf("engine: no data for table %q", bt.Tab.Name)
+		}
+		misses := scanPages(rel, ex.pool)
+		ex.usage.SeqPages += float64(misses)
+		b := &binding{}
+		alias := bt.Ref.Name()
+		for _, c := range rel.Columns {
+			b.cols = append(b.cols, alias+"."+c)
+		}
+		for _, row := range rel.Rows {
+			ex.usage.CPUOps += 1 + 0.25*float64(len(bt.Filters))
+			ok, err := ex.filters(bt.Filters, b, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				b.rows = append(b.rows, row)
+			}
+		}
+		parts[i] = b
+	}
+
+	// 2. Join connected tables by hash joins in predicate order.
+	joined := parts[0]
+	used := map[int]bool{0: true}
+	for len(used) < len(parts) {
+		progressed := false
+		for _, jp := range q.JoinPreds {
+			var nextIdx int
+			var leftCol, rightCol *sqlmini.ColumnRef
+			switch {
+			case used[jp.L] && !used[jp.R]:
+				nextIdx = jp.R
+				leftCol = &sqlmini.ColumnRef{Qualifier: q.Tables[jp.L].Ref.Name(), Name: jp.LCol.Name}
+				rightCol = &sqlmini.ColumnRef{Qualifier: q.Tables[jp.R].Ref.Name(), Name: jp.RCol.Name}
+			case used[jp.R] && !used[jp.L]:
+				nextIdx = jp.L
+				leftCol = &sqlmini.ColumnRef{Qualifier: q.Tables[jp.R].Ref.Name(), Name: jp.RCol.Name}
+				rightCol = &sqlmini.ColumnRef{Qualifier: q.Tables[jp.L].Ref.Name(), Name: jp.LCol.Name}
+			default:
+				continue
+			}
+			var err error
+			joined, err = ex.hashJoin(joined, parts[nextIdx], leftCol, rightCol)
+			if err != nil {
+				return nil, err
+			}
+			used[nextIdx] = true
+			progressed = true
+		}
+		if !progressed {
+			// Cartesian join for disconnected remainders.
+			for i := range parts {
+				if !used[i] {
+					joined = ex.cartesian(joined, parts[i])
+					used[i] = true
+					progressed = true
+					break
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+	}
+
+	// Remaining join predicates connecting already-joined tables act as
+	// filters.
+	for _, jp := range q.JoinPreds {
+		lq := q.Tables[jp.L].Ref.Name()
+		rq := q.Tables[jp.R].Ref.Name()
+		joined = ex.filterRows(joined, func(row Row) (bool, error) {
+			li, lok := joined.lookup(lq, jp.LCol.Name)
+			ri, rok := joined.lookup(rq, jp.RCol.Name)
+			if !lok || !rok {
+				return true, nil
+			}
+			return valueEq(row[li], row[ri]), nil
+		})
+	}
+
+	// 3. Semijoins from subqueries.
+	for _, sj := range q.Semis {
+		subRes, err := ex.run(sj.Sub)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool, len(subRes.Rows))
+		subIdx := 0 // IN subqueries project the key first; EXISTS uses the correlation column
+		for i, c := range subRes.Columns {
+			if strings.HasSuffix(c, "."+sj.SubCol.Name) || c == sj.SubCol.Name {
+				subIdx = i
+			}
+		}
+		for _, r := range subRes.Rows {
+			set[valueKey(r[subIdx])] = true
+		}
+		outerQ := q.Tables[sj.OuterIdx].Ref.Name()
+		negated := sj.Negated
+		joined = ex.filterRows(joined, func(row Row) (bool, error) {
+			idx, ok := joined.lookup(outerQ, sj.OuterCol.Name)
+			if !ok {
+				return true, nil
+			}
+			ex.usage.CPUOps += 0.5
+			in := set[valueKey(row[idx])]
+			if negated {
+				return !in, nil
+			}
+			return in, nil
+		})
+	}
+
+	// 4. Residual predicates.
+	for _, e := range q.Residual {
+		pred := e
+		joined = ex.filterRows(joined, func(row Row) (bool, error) {
+			ex.usage.CPUOps += 0.25
+			return ex.evalBool(pred, joined, row, nil)
+		})
+	}
+
+	// 5. DML statements report affected rows.
+	if q.Modify != xplan.ModifyNone {
+		affected := len(joined.rows)
+		if q.Select == nil && len(q.Tables) == 1 && len(q.Tables[0].Filters) == 0 && q.Modify == xplan.ModifyInsert {
+			affected = 1
+		}
+		ex.usage.CPUOps += float64(affected)
+		return &ExecResult{Affected: affected}, nil
+	}
+	if q.Select == nil {
+		return &ExecResult{Affected: len(joined.rows)}, nil
+	}
+
+	// 6. Aggregation / projection.
+	return ex.project(q, joined)
+}
+
+func (ex *executor) filters(filters []sqlmini.Expr, b *binding, row Row) (bool, error) {
+	for _, f := range filters {
+		ok, err := ex.evalBool(f, b, row, nil)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (ex *executor) filterRows(b *binding, keep func(Row) (bool, error)) *binding {
+	out := &binding{cols: b.cols}
+	for _, r := range b.rows {
+		ok, err := keep(r)
+		if err == nil && ok {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+func (ex *executor) hashJoin(l, r *binding, lc, rc *sqlmini.ColumnRef) (*binding, error) {
+	li, lok := l.lookup(lc.Qualifier, lc.Name)
+	ri, rok := r.lookup(rc.Qualifier, rc.Name)
+	if !lok || !rok {
+		return nil, fmt.Errorf("engine: join columns %s/%s not found", lc, rc)
+	}
+	ht := make(map[string][]Row, len(r.rows))
+	for _, row := range r.rows {
+		ex.usage.CPUOps += 1.25
+		ht[valueKey(row[ri])] = append(ht[valueKey(row[ri])], row)
+	}
+	out := &binding{cols: append(append([]string{}, l.cols...), r.cols...)}
+	for _, lrow := range l.rows {
+		ex.usage.CPUOps += 0.25
+		for _, rrow := range ht[valueKey(lrow[li])] {
+			ex.usage.CPUOps++
+			out.rows = append(out.rows, append(append(Row{}, lrow...), rrow...))
+		}
+	}
+	return out, nil
+}
+
+func (ex *executor) cartesian(l, r *binding) *binding {
+	out := &binding{cols: append(append([]string{}, l.cols...), r.cols...)}
+	for _, lrow := range l.rows {
+		for _, rrow := range r.rows {
+			ex.usage.CPUOps++
+			out.rows = append(out.rows, append(append(Row{}, lrow...), rrow...))
+		}
+	}
+	return out
+}
+
+// project computes GROUP BY aggregation (or plain projection), HAVING,
+// ORDER BY, and LIMIT.
+func (ex *executor) project(q *opt.Query, in *binding) (*ExecResult, error) {
+	sel := q.Select
+	res := &ExecResult{}
+	for i, item := range sel.Items {
+		switch {
+		case item.Alias != "":
+			res.Columns = append(res.Columns, item.Alias)
+		case item.Star:
+			res.Columns = append(res.Columns, "*")
+		default:
+			res.Columns = append(res.Columns, fmt.Sprintf("col%d", i+1))
+			if cr, ok := item.Expr.(*sqlmini.ColumnRef); ok {
+				res.Columns[i] = cr.String()
+			}
+		}
+	}
+
+	hasAgg := len(q.GroupBy) > 0 || q.AggCount > 0
+	if !hasAgg {
+		for _, row := range in.rows {
+			out := make(Row, 0, len(sel.Items))
+			for _, item := range sel.Items {
+				if item.Star {
+					out = append(out, row...)
+					continue
+				}
+				v, err := ex.evalValue(item.Expr, in, row, nil)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	} else {
+		groups := map[string][]Row{}
+		var order []string
+		for _, row := range in.rows {
+			var key strings.Builder
+			for _, g := range q.GroupBy {
+				qual := q.Tables[g.TableIdx].Ref.Name()
+				idx, ok := in.lookup(qual, g.Col.Name)
+				if !ok {
+					idx, _ = in.lookup("", g.Col.Name)
+				}
+				key.WriteString(valueKey(row[idx]))
+				key.WriteByte('|')
+			}
+			k := key.String()
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], row)
+			ex.usage.CPUOps += 1 + float64(q.AggCount)
+		}
+		for _, k := range order {
+			rows := groups[k]
+			aggs, err := ex.computeAggs(sel, q, in, rows)
+			if err != nil {
+				return nil, err
+			}
+			if sel.Having != nil {
+				ok, err := ex.evalBool(sel.Having, in, rows[0], aggs)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out := make(Row, 0, len(sel.Items))
+			for _, item := range sel.Items {
+				v, err := ex.evalValue(item.Expr, in, rows[0], aggs)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	// ORDER BY evaluates against output columns (aliases) first, then the
+	// underlying first row of each group.
+	if len(sel.OrderBy) > 0 {
+		keys := make([][]Value, len(res.Rows))
+		for i := range res.Rows {
+			for _, oi := range sel.OrderBy {
+				v := ex.orderKey(oi.Expr, sel, res, i)
+				keys[i] = append(keys[i], v)
+			}
+			ex.usage.CPUOps += float64(len(sel.OrderBy))
+		}
+		idx := make([]int, len(res.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for k, oi := range sel.OrderBy {
+				c := valueCompare(keys[idx[a]][k], keys[idx[b]][k])
+				if c != 0 {
+					if oi.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]Row, len(res.Rows))
+		for i, j := range idx {
+			sorted[i] = res.Rows[j]
+		}
+		res.Rows = sorted
+	}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	return res, nil
+}
+
+// orderKey resolves an ORDER BY expression against the projected output
+// (by alias or column name), falling back to zero.
+func (ex *executor) orderKey(e sqlmini.Expr, sel *sqlmini.SelectStmt, res *ExecResult, rowIdx int) Value {
+	if cr, ok := e.(*sqlmini.ColumnRef); ok {
+		for ci, name := range res.Columns {
+			if name == cr.Name || name == cr.String() || strings.HasSuffix(name, "."+cr.Name) {
+				return res.Rows[rowIdx][ci]
+			}
+		}
+	}
+	// Expression order keys: match a projected item textually.
+	for ci, item := range sel.Items {
+		if !item.Star && item.Expr.String() == e.String() && ci < len(res.Rows[rowIdx]) {
+			return res.Rows[rowIdx][ci]
+		}
+	}
+	return 0.0
+}
+
+// computeAggs evaluates every aggregate expression in the select list and
+// HAVING over one group.
+func (ex *executor) computeAggs(sel *sqlmini.SelectStmt, q *opt.Query, in *binding, rows []Row) (map[*sqlmini.FuncExpr]Value, error) {
+	aggs := map[*sqlmini.FuncExpr]Value{}
+	var collect func(e sqlmini.Expr)
+	var funcs []*sqlmini.FuncExpr
+	collect = func(e sqlmini.Expr) {
+		switch v := e.(type) {
+		case *sqlmini.FuncExpr:
+			funcs = append(funcs, v)
+		case *sqlmini.BinaryExpr:
+			collect(v.L)
+			collect(v.R)
+		case *sqlmini.Comparison:
+			collect(v.L)
+			collect(v.R)
+		case *sqlmini.AndExpr:
+			collect(v.L)
+			collect(v.R)
+		case *sqlmini.OrExpr:
+			collect(v.L)
+			collect(v.R)
+		case *sqlmini.NotExpr:
+			collect(v.X)
+		}
+	}
+	for _, item := range sel.Items {
+		if !item.Star {
+			collect(item.Expr)
+		}
+	}
+	if sel.Having != nil {
+		collect(sel.Having)
+	}
+	for _, f := range funcs {
+		v, err := ex.aggValue(f, in, rows)
+		if err != nil {
+			return nil, err
+		}
+		aggs[f] = v
+	}
+	return aggs, nil
+}
+
+func (ex *executor) aggValue(f *sqlmini.FuncExpr, in *binding, rows []Row) (Value, error) {
+	if f.Star {
+		return float64(len(rows)), nil
+	}
+	var nums []float64
+	seen := map[string]bool{}
+	for _, row := range rows {
+		v, err := ex.evalValue(f.Arg, in, row, nil)
+		if err != nil {
+			return nil, err
+		}
+		if f.Distinct {
+			k := valueKey(v)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		if fv, ok := v.(float64); ok {
+			nums = append(nums, fv)
+		} else {
+			nums = append(nums, 0)
+		}
+		ex.usage.CPUOps += 0.25
+	}
+	switch f.Name {
+	case "COUNT":
+		return float64(len(nums)), nil
+	case "SUM":
+		var s float64
+		for _, v := range nums {
+			s += v
+		}
+		return s, nil
+	case "AVG":
+		if len(nums) == 0 {
+			return 0.0, nil
+		}
+		var s float64
+		for _, v := range nums {
+			s += v
+		}
+		return s / float64(len(nums)), nil
+	case "MIN":
+		if len(nums) == 0 {
+			return 0.0, nil
+		}
+		m := nums[0]
+		for _, v := range nums {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "MAX":
+		if len(nums) == 0 {
+			return 0.0, nil
+		}
+		m := nums[0]
+		for _, v := range nums {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("engine: unknown aggregate %q", f.Name)
+}

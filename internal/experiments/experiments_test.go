@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	testEnvOnce sync.Once
+	testEnv     *Env
+	testEnvErr  error
+)
+
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	testEnvOnce.Do(func() { testEnv, testEnvErr = NewEnv() })
+	if testEnvErr != nil {
+		t.Fatalf("NewEnv: %v", testEnvErr)
+	}
+	return testEnv
+}
+
+func TestRegistryCoversDesignIndex(t *testing.T) {
+	want := []string{
+		"fig02", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+		"fig26", "fig27", "fig28", "fig29", "fig30", "fig31", "fig32",
+		"fig33", "fig34", "fig35", "fig36", "sec7.2",
+		"ablation-cache", "ablation-delta", "ablation-calibgrid",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	env := sharedEnv(t)
+	if _, err := Run("nope", env); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestFig02ShapeHolds(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fig02", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series: default(s), recommended(s), cpu-share, mem-share.
+	cpu := res.Series[2].Y
+	if cpu[1] <= cpu[0] {
+		t.Fatalf("DB2/Q18 should win CPU: %v", cpu)
+	}
+	def := res.Series[0].Y
+	rec := res.Series[1].Y
+	if def[0]+def[1] <= rec[0]+rec[1] {
+		t.Fatalf("overall improvement missing: default %v vs recommended %v", def, rec)
+	}
+	if !strings.Contains(res.Render(), "fig02") {
+		t.Fatal("render should include the id")
+	}
+}
+
+func TestFig05LinearAndMemoryIndependent(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fig05", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mem=50% series must match the linear fit closely.
+	got := res.Series[0].Y
+	fit := res.Series[2].Y
+	for i := range got {
+		if d := (got[i] - fit[i]) / fit[i]; d > 0.01 || d < -0.01 {
+			t.Fatalf("point %d off the line: %v vs %v", i, got[i], fit[i])
+		}
+	}
+}
+
+func TestFig12SharesMonotoneInK(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fig12", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := res.Series[0].Y
+	for i := 1; i < len(shares); i++ {
+		if shares[i] < shares[i-1]-1e-9 {
+			t.Fatalf("W2's CPU share should not shrink as k grows: %v", shares)
+		}
+	}
+	if shares[0] >= 0.5 || shares[len(shares)-1] <= 0.5 {
+		t.Fatalf("crossover shape missing: %v", shares)
+	}
+}
+
+func TestFig19LimitsEnforcedWhenSatisfiable(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fig19", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w9 := res.Series[0].Y
+	// L9 values 2.5, 3.5, 4.5 (indexes 1..3) must be met.
+	for i, l9 := range []float64{2.5, 3.5, 4.5} {
+		if w9[i+1] > l9+1e-6 {
+			t.Fatalf("L9=%v violated: degradation %v", l9, w9[i+1])
+		}
+	}
+}
+
+func TestFig30RefinementRecovers(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fig30", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := res.Series[0].Y
+	after := res.Series[1].Y
+	anyNegativeBefore := false
+	for i := range before {
+		if before[i] < -1e-6 {
+			anyNegativeBefore = true
+		}
+		if after[i] < before[i]-1e-6 {
+			t.Fatalf("refinement made N=%d worse: %v -> %v", i+2, before[i], after[i])
+		}
+	}
+	if !anyNegativeBefore {
+		t.Fatal("expected negative improvements before refinement (the §7.8 premise)")
+	}
+}
+
+func TestSurfaceSmooth(t *testing.T) {
+	env := sharedEnv(t)
+	for _, id := range []string{"fig09", "fig10"} {
+		res, err := Run(id, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rough := surfaceRoughness(res); rough > 3 {
+			t.Errorf("%s: surface too rough for greedy search: %d wiggles", id, rough)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", XLabel: "k", X: []float64{1, 2}}
+	r.AddSeries("s", []float64{3, 4})
+	r.Note("note %d", 7)
+	out := r.Render()
+	for _, want := range []string{"== x: T ==", "k", "s", "note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

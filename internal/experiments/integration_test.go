@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/tpcc"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// The calibrated what-if promise, end to end over the full stack: for
+// well-modeled DSS statements, the renormalized what-if estimate must
+// track the actual simulated run time across allocations — this is the
+// property (§4.1) everything else stands on.
+func TestWhatIfAccuracyDSS(t *testing.T) {
+	env := sharedEnv(t)
+	for _, sysName := range []string{"pg", "db2"} {
+		for _, qn := range []int{1, 3, 5, 6, 12} {
+			w := workload.New("w", tpch.Statement(qn))
+			tn := env.tpchTenant(sysName, w.Name, w)
+			for _, a := range []core.Allocation{
+				{0.2, 0.3}, {0.5, 0.5}, {0.8, 0.2}, {0.3, 0.8}, {1, 1},
+			} {
+				est, _, err := tn.Est.Estimate(a)
+				if err != nil {
+					t.Fatalf("%s Q%d estimate: %v", sysName, qn, err)
+				}
+				act, err := env.Actual(tn, a)
+				if err != nil {
+					t.Fatalf("%s Q%d actual: %v", sysName, qn, err)
+				}
+				if act <= 0 || est <= 0 {
+					t.Fatalf("%s Q%d degenerate: est=%v act=%v", sysName, qn, est, act)
+				}
+				rel := math.Abs(est-act) / act
+				// DSS statements are "well modeled": the paper's premise is
+				// that optimizer errors here are small. Allow 15% for the
+				// renormalization averaging across query shapes.
+				if rel > 0.15 {
+					t.Errorf("%s Q%d at %v: est %.1fs vs act %.1fs (%.0f%% off)",
+						sysName, qn, a, est, act, rel*100)
+				}
+			}
+		}
+	}
+}
+
+// And the inverse premise: for the OLTP mix, the what-if estimate must
+// UNDERestimate the actual cost (the §7.8 blind spot), which is what makes
+// online refinement necessary.
+func TestWhatIfUnderestimatesOLTP(t *testing.T) {
+	env := sharedEnv(t)
+	schema := env.schema("tpcc10", func() *catalog.Schema { return tpcc.Schema(10) })
+	w := tpcc.Mix(5, 10, 9)
+	for _, sysName := range []string{"pg", "db2"} {
+		var tn *Tenant
+		if sysName == "db2" {
+			tn = env.DB2Tenant("oltp", schema, w)
+		} else {
+			tn = env.PGTenant("oltp", schema, w)
+		}
+		a := core.Allocation{0.5, 0.5}
+		est, _, err := tn.Est.Estimate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		act, err := env.Actual(tn, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est >= act {
+			t.Errorf("%s: optimizer should underestimate OLTP: est %.1fs vs act %.1fs",
+				sysName, est, act)
+		}
+	}
+}
+
+// Full-pipeline sanity: recommend, deploy, refine; the refined deployment
+// must be at least as good as the default split in actual seconds.
+func TestEndToEndAdvisorNeverWorseThanDefault(t *testing.T) {
+	env := sharedEnv(t)
+	tenants, err := env.mixTenants("db2", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := tenants[:4]
+	initial, out, err := runRefinement(env, sub, cpuOnlyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = initial
+	def := equalAlloc(4, 1)
+	tDef, err := env.totalActual(sub, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tRef, err := env.totalActual(sub, out.Allocations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tRef > tDef*1.001 {
+		t.Fatalf("refined deployment worse than default: %.1fs vs %.1fs", tRef, tDef)
+	}
+}
+
+// Estimator resource modes: CPU-only mode holds memory at FixedMem;
+// memory-only mode holds CPU at FixedCPU. Costs must respond only to the
+// resource being varied in the respective mode.
+func TestEstimatorResourceModes(t *testing.T) {
+	env := sharedEnv(t)
+	w := workload.New("w", tpch.Statement(1))
+	cpuT := env.tpchTenant("db2", "cpu-mode", w)
+	lo, _, err := cpuT.Est.Estimate(core.Allocation{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _, err := cpuT.Est.Estimate(core.Allocation{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi >= lo {
+		t.Fatalf("CPU-only mode must respond to CPU share: %.1f vs %.1f", hi, lo)
+	}
+
+	memT := env.tpchTenant("db2", "mem-mode", workload.New("w7", tpch.Statement(7)))
+	memT.Est.MemOnly = true
+	memT.Est.FixedCPU = 0.5
+	mLo, _, err := memT.Est.Estimate(core.Allocation{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHi, _, err := memT.Est.Estimate(core.Allocation{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mHi > mLo {
+		t.Fatalf("memory-only mode: more memory should not cost more: %.1f vs %.1f", mHi, mLo)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig09", func(e *Env) (*Result, error) { return objectiveSurface(e, "fig09", false) })
+	register("fig10", func(e *Env) (*Result, error) { return objectiveSurface(e, "fig10", true) })
+	register("fig18", Fig18VaryMemory)
+}
+
+// objectiveSurface reproduces Figs. 9–10: the total estimated cost of two
+// PostgreSQL TPC-H workloads over the grid of (CPU, memory) shares given
+// to workload 1 (workload 2 receives the complement). Fig. 9 pairs a
+// CPU-intensive workload with an I/O-bound one; Fig. 10 uses two
+// CPU-intensive workloads competing for CPU. In both cases the surface is
+// smooth, which is what justifies greedy search (§4.5).
+func objectiveSurface(env *Env, id string, bothCPU bool) (*Result, error) {
+	c, i, err := env.unitsCI("pg")
+	if err != nil {
+		return nil, err
+	}
+	w1 := c.Scale(3)
+	w2 := i.Scale(3)
+	kind := "CPU-intensive vs I/O-bound"
+	if bothCPU {
+		w2 = c.Scale(3)
+		kind = "both CPU-intensive"
+	}
+	t1 := env.tpchTenant("pg", "w1", w1)
+	t2 := env.tpchTenant("pg", "w2", w2)
+
+	res := &Result{
+		ID:     id,
+		Title:  "Objective surface (" + kind + ")",
+		XLabel: "cpu-share(W1)",
+		YLabel: "total estimated seconds",
+	}
+	grid := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	res.X = append(res.X, grid...)
+	minCost := math.Inf(1)
+	var minCPU, minMem float64
+	for _, mem := range grid {
+		var ys []float64
+		for _, cpu := range grid {
+			a1 := core.Allocation{cpu, mem}
+			a2 := core.Allocation{1 - cpu, 1 - mem}
+			c1, _, err := t1.Est.Estimate(a1)
+			if err != nil {
+				return nil, err
+			}
+			c2, _, err := t2.Est.Estimate(a2)
+			if err != nil {
+				return nil, err
+			}
+			total := c1 + c2
+			ys = append(ys, total)
+			if total < minCost {
+				minCost, minCPU, minMem = total, cpu, mem
+			}
+		}
+		res.AddSeries(fmt.Sprintf("mem=%.0f%%", mem*100), ys)
+	}
+	res.Note("surface minimum at cpu=%.0f%% mem=%.0f%% (total %.0fs)", minCPU*100, minMem*100, minCost)
+	if rough := surfaceRoughness(res); rough > 0 {
+		res.Note("non-monotone wiggles along cpu rows: %d (0 = perfectly smooth rows)", rough)
+	} else {
+		res.Note("every fixed-memory row is unimodal in cpu: greedy-friendly shape")
+	}
+	return res, nil
+}
+
+// surfaceRoughness counts direction changes beyond one minimum per row —
+// a cheap unimodality check on the surface rows.
+func surfaceRoughness(r *Result) int {
+	rough := 0
+	for _, s := range r.Series {
+		dirChanges := 0
+		for k := 2; k < len(s.Y); k++ {
+			d1 := s.Y[k-1] - s.Y[k-2]
+			d2 := s.Y[k] - s.Y[k-1]
+			if d1*d2 < 0 {
+				dirChanges++
+			}
+		}
+		if dirChanges > 1 {
+			rough += dirChanges - 1
+		}
+	}
+	return rough
+}
+
+// Fig18VaryMemory reproduces Fig. 18: memory-only allocation between
+// W7 = 5B+5D and W8 = kB+(10−k)D on DB2 over the 10 GB TPC-H database,
+// where B (Q7) is memory-sensitive and D (Q16, repeated to match B's run
+// time at full memory) is not.
+func Fig18VaryMemory(env *Env) (*Result, error) {
+	schema := env.schema("tpch10", func() *catalog.Schema { return tpch.Schema(10) })
+	memTenant := func(name string, w *workload.Workload) *Tenant {
+		t := env.DB2Tenant(name, schema, w)
+		t.Est.MemOnly = true
+		t.Est.FixedCPU = 0.5
+		return t
+	}
+	full := core.Allocation{1}
+	b := tpch.UnitB()
+	bT := memTenant("unitB", b)
+	target, err := env.Actual(bT, full)
+	if err != nil {
+		return nil, err
+	}
+	d1 := tpch.UnitD(1)
+	dT := memTenant("unitD1", d1)
+	n, err := env.matchFreq(dT, target, full)
+	if err != nil {
+		return nil, err
+	}
+	d := tpch.UnitD(n)
+
+	res := &Result{
+		ID:     "fig18",
+		Title:  "Varying memory intensity (DB2 SF10): W7=5B+5D vs W8=kB+(10-k)D",
+		XLabel: "k",
+		YLabel: "share / improvement",
+	}
+	opts := core.Options{Resources: 1, Delta: 0.05}
+	var shares, improvements []float64
+	for k := 0; k <= 10; k++ {
+		res.X = append(res.X, float64(k))
+		w7 := mix("W7", b, d, 5, 5)
+		w8 := mix("W8", b, d, float64(k), float64(10-k))
+		t7 := memTenant("w7", w7)
+		t8 := memTenant("w8", w8)
+		tenants := []*Tenant{t7, t8}
+		rec, err := core.Recommend(Estimators(tenants), opts)
+		if err != nil {
+			return nil, err
+		}
+		defCost, err := estimatedTotal(tenants, equalAlloc(2, 1))
+		if err != nil {
+			return nil, err
+		}
+		recCost, err := estimatedTotal(tenants, rec.Allocations)
+		if err != nil {
+			return nil, err
+		}
+		shares = append(shares, rec.Allocations[1][0])
+		improvements = append(improvements, improvement(defCost, recCost))
+	}
+	res.AddSeries("mem-to-W8", shares)
+	res.AddSeries("est-improvement", improvements)
+	res.Note("memory share of W8 should rise with k (its share of memory-sensitive B units)")
+	return res, nil
+}

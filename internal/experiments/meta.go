@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/calibrate"
+	"repro/internal/core"
+	"repro/internal/pgsim"
+	"repro/internal/vmsim"
+)
+
+func init() {
+	register("sec7.2", Sec72Costs)
+	register("ablation-cache", AblationCostCache)
+	register("ablation-delta", AblationDelta)
+	register("ablation-calibgrid", AblationCalibrationGrid)
+}
+
+// Sec72Costs reproduces the §7.2 cost-of-calibration-and-search numbers:
+// the one-time calibration budget per DBMS and the advisor's convergence
+// behaviour. The paper reports <10 minutes of calibration per DBMS, greedy
+// convergence within 8 iterations, and greedy always within 5% of
+// exhaustive.
+func Sec72Costs(env *Env) (*Result, error) {
+	res := &Result{
+		ID:     "sec7.2",
+		Title:  "Cost of calibration and search",
+		XLabel: "row",
+		YLabel: "value",
+	}
+	res.X = []float64{1, 2, 3, 4, 5, 6}
+	res.AddSeries("calibration-seconds", []float64{
+		env.PG.Spent.SimulatedSeconds, env.DB2.Spent.SimulatedSeconds,
+	})
+	res.AddSeries("vm-configs", []float64{
+		float64(env.PG.Spent.VMConfigs), float64(env.DB2.Spent.VMConfigs),
+	})
+	res.Note("row 1 = PostgreSQL calibration, row 2 = DB2 calibration (paper: <9 and <6 minutes)")
+
+	// Advisor convergence on a representative five-workload scenario.
+	tenants, err := env.mixTenants("db2", 7)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := core.Recommend(Estimators(tenants[:5]), cpuOnlyOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.AddSeries("greedy-iterations", []float64{float64(rec.Iterations)})
+	res.AddSeries("estimator-calls", []float64{float64(rec.EstimatorCalls)})
+	res.AddSeries("cache-hits", []float64{float64(rec.CacheHits)})
+	res.Note("greedy converged in %d iterations (paper: 8 or fewer)", rec.Iterations)
+
+	// Greedy vs exhaustive on randomized synthetic scenarios.
+	rng := rand.New(rand.NewSource(72))
+	worstGap := 0.0
+	for trial := 0; trial < 10; trial++ {
+		ests := []core.Estimator{synthEst(rng), synthEst(rng)}
+		g, err := core.Recommend(ests, core.Options{Delta: 0.05})
+		if err != nil {
+			return nil, err
+		}
+		x, err := core.Exhaustive(ests, core.Options{Delta: 0.05})
+		if err != nil {
+			return nil, err
+		}
+		if gap := g.TotalCost/x.TotalCost - 1; gap > worstGap {
+			worstGap = gap
+		}
+	}
+	res.AddSeries("worst-greedy-gap", []float64{worstGap})
+	res.Note("worst greedy-vs-exhaustive gap over 10 scenarios: %.2f%% (paper: always within 5%%)", worstGap*100)
+	return res, nil
+}
+
+func synthEst(rng *rand.Rand) core.Estimator {
+	alpha := rng.Float64()*90 + 5
+	gamma := rng.Float64() * 40
+	beta := rng.Float64() * 10
+	return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+		return alpha/a[0] + gamma/a[1] + beta, "p", nil
+	})
+}
+
+// AblationCostCache quantifies the §4.5 cost cache: estimator calls with
+// memoization vs the total lookups the enumerator performs.
+func AblationCostCache(env *Env) (*Result, error) {
+	tenants, err := env.mixTenants("db2", 7)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "ablation-cache",
+		Title:  "Cost-cache ablation: optimizer calls with vs without memoization",
+		XLabel: "N",
+		YLabel: "estimator evaluations",
+	}
+	var with, without []float64
+	for n := 2; n <= 6; n++ {
+		res.X = append(res.X, float64(n))
+		rec, err := core.Recommend(Estimators(tenants[:n]), cpuOnlyOpts)
+		if err != nil {
+			return nil, err
+		}
+		with = append(with, float64(rec.EstimatorCalls))
+		without = append(without, float64(rec.EstimatorCalls+rec.CacheHits))
+	}
+	res.AddSeries("with-cache", with)
+	res.AddSeries("without-cache", without)
+	res.Note("every cache hit would otherwise be a what-if optimizer invocation")
+	return res, nil
+}
+
+// AblationDelta sweeps the greedy step δ and reports the final objective
+// and iteration count: smaller steps find slightly better optima at more
+// iterations.
+func AblationDelta(env *Env) (*Result, error) {
+	tenants, err := env.mixTenants("db2", 7)
+	if err != nil {
+		return nil, err
+	}
+	sub := tenants[:4]
+	res := &Result{
+		ID:     "ablation-delta",
+		Title:  "Greedy step-size (delta) ablation",
+		XLabel: "delta",
+		YLabel: "cost / iterations",
+	}
+	var costs, iters []float64
+	for _, d := range []float64{0.01, 0.025, 0.05, 0.1} {
+		res.X = append(res.X, d)
+		rec, err := core.Recommend(Estimators(sub), core.Options{Resources: 1, Delta: d})
+		if err != nil {
+			return nil, err
+		}
+		costs = append(costs, rec.TotalCost)
+		iters = append(iters, float64(rec.Iterations))
+	}
+	res.AddSeries("total-est-cost", costs)
+	res.AddSeries("iterations", iters)
+	return res, nil
+}
+
+// AblationCalibrationGrid quantifies the §4.4 optimization: calibrating
+// CPU parameters at one memory setting (N+M VM configurations) versus the
+// naive full N×M grid.
+func AblationCalibrationGrid(env *Env) (*Result, error) {
+	res := &Result{
+		ID:     "ablation-calibgrid",
+		Title:  "Calibration effort: independent (N+M) vs full-grid (NxM)",
+		XLabel: "variant (1=independent, 2=grid)",
+		YLabel: "cost",
+	}
+	res.X = []float64{1, 2}
+
+	m := vmsim.Default()
+	// Independent: the standard pipeline.
+	indep, err := calibrate.CalibratePG(m, calibrate.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// Full grid: CPU sweeps repeated at every memory setting.
+	var gridCost calibrate.Cost
+	renorm := indep.RenormSeconds
+	rpc := indep.RandomPageCost
+	sysPG := pgSystem()
+	for _, mem := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		if _, err := calibrate.PGCPUSamples(m, sysPG, defaultShares(), mem, renorm, rpc, &gridCost); err != nil {
+			return nil, err
+		}
+	}
+	res.AddSeries("simulated-seconds", []float64{indep.Spent.SimulatedSeconds, gridCost.SimulatedSeconds})
+	res.AddSeries("vm-configs", []float64{float64(indep.Spent.VMConfigs), float64(gridCost.VMConfigs)})
+	res.Note("parameter independence (§4.4) cuts calibration configurations from NxM to N+M")
+	return res, nil
+}
+
+// pgSystem builds a PostgreSQL system over the calibration schema.
+func pgSystem() *pgsim.System { return pgsim.New(calibrate.Schema()) }
+
+// defaultShares is the standard calibration CPU sweep.
+func defaultShares() []float64 {
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+}

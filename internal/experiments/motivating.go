@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func init() { register("fig02", Fig02Motivating) }
+
+// Fig02Motivating reproduces the §1 motivating example (Fig. 2): a
+// PostgreSQL VM running TPC-H Q17 and a DB2 VM running TPC-H Q18 on 10 GB
+// databases. Q17 is I/O-bound in this environment, Q18 CPU-bound; the
+// advisor should shift most CPU and memory to DB2, hurting PostgreSQL only
+// slightly while speeding DB2 up substantially.
+func Fig02Motivating(env *Env) (*Result, error) {
+	schema := env.schema("tpch10", func() *catalog.Schema { return tpch.Schema(10) })
+	pgT := env.PGTenant("pg-q17", schema, workload.New("q17", tpch.Statement(17)))
+	db2T := env.DB2Tenant("db2-q18", schema, workload.New("q18", tpch.Statement(18)))
+	tenants := []*Tenant{pgT, db2T}
+
+	opts := core.Options{Resources: 2, Delta: 0.05}
+	rec, err := core.Recommend(Estimators(tenants), opts)
+	if err != nil {
+		return nil, err
+	}
+	def := equalAlloc(2, 2)
+
+	res := &Result{
+		ID:     "fig02",
+		Title:  "Motivating example: PostgreSQL Q17 vs DB2 Q18 (SF10)",
+		XLabel: "workload (1=PG/Q17, 2=DB2/Q18)",
+		X:      []float64{1, 2},
+		YLabel: "seconds",
+	}
+	var defSecs, recSecs []float64
+	for i, t := range tenants {
+		d, err := env.Actual(t, def[i])
+		if err != nil {
+			return nil, err
+		}
+		r, err := env.Actual(t, rec.Allocations[i])
+		if err != nil {
+			return nil, err
+		}
+		defSecs = append(defSecs, d)
+		recSecs = append(recSecs, r)
+	}
+	res.AddSeries("default(s)", defSecs)
+	res.AddSeries("recommended(s)", recSecs)
+	res.AddSeries("cpu-share", []float64{rec.Allocations[0][0], rec.Allocations[1][0]})
+	res.AddSeries("mem-share", []float64{rec.Allocations[0][1], rec.Allocations[1][1]})
+
+	overall := improvement(defSecs[0]+defSecs[1], recSecs[0]+recSecs[1])
+	res.Note("PG degradation: %.1f%% (paper: ~7%% slight)", (recSecs[0]/defSecs[0]-1)*100)
+	res.Note("DB2 improvement: %.1f%% (paper: ~55%%)", improvement(defSecs[1], recSecs[1])*100)
+	res.Note("overall improvement: %.1f%% (paper: ~24%%)", overall*100)
+	return res, nil
+}

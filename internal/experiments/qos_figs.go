@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+func init() {
+	register("fig19", Fig19DegradationLimit)
+	register("fig20", Fig20GainFactor)
+}
+
+// fiveIdentical builds the §7.5 scenario: five identical DB2 workloads of
+// one C unit each.
+func (e *Env) fiveIdentical() ([]*Tenant, error) {
+	c, _, err := e.unitsCI("db2")
+	if err != nil {
+		return nil, err
+	}
+	tenants := make([]*Tenant, 5)
+	for i := range tenants {
+		tenants[i] = e.tpchTenant("db2", fmt.Sprintf("W%d", 9+i), c.Clone())
+	}
+	return tenants, nil
+}
+
+// Fig19DegradationLimit reproduces Fig. 19: five identical workloads
+// W9–W13; L9 swept from 1.5 to 4.5 with L10 fixed at 2.5. The advisor must
+// cap W9 and W10's degradation at their limits (at the cost of more
+// degradation for the rest), except at L9 = 1.5, which is unsatisfiable.
+func Fig19DegradationLimit(env *Env) (*Result, error) {
+	tenants, err := env.fiveIdentical()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "fig19",
+		Title:  "Effect of degradation limit L9 (DB2, 5 identical workloads, L10=2.5)",
+		XLabel: "L9",
+		YLabel: "degradation vs dedicated machine",
+	}
+	var w9, w10, others []float64
+	for _, l9 := range []float64{1.5, 2.5, 3.5, 4.5} {
+		res.X = append(res.X, l9)
+		limits := []float64{l9, 2.5, math.Inf(1), math.Inf(1), math.Inf(1)}
+		rec, err := core.Recommend(Estimators(tenants), core.Options{
+			Resources: 1, Delta: 0.05, Limits: limits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		deg := rec.Degradations()
+		w9 = append(w9, deg[0])
+		w10 = append(w10, deg[1])
+		others = append(others, (deg[2]+deg[3]+deg[4])/3)
+		if deg[0] > l9+1e-9 {
+			res.Note("L9=%.1f not met (degradation %.2f) — unsatisfiable, as the paper observed for 1.5", l9, deg[0])
+		}
+	}
+	res.AddSeries("W9", w9)
+	res.AddSeries("W10", w10)
+	res.AddSeries("others(avg)", others)
+	return res, nil
+}
+
+// Fig20GainFactor reproduces Fig. 20: G9 swept 1–10 with G10 = 4 and the
+// rest at 1. W10 should hold the most CPU until G9 overtakes it (the paper
+// sees the flip at G9 ≥ 5).
+func Fig20GainFactor(env *Env) (*Result, error) {
+	tenants, err := env.fiveIdentical()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "fig20",
+		Title:  "Effect of benefit gain factor G9 (DB2, 5 identical workloads, G10=4)",
+		XLabel: "G9",
+		YLabel: "CPU share",
+	}
+	var w9, w10, others []float64
+	flip := -1.0
+	for g9 := 1.0; g9 <= 10; g9++ {
+		res.X = append(res.X, g9)
+		gains := []float64{g9, 4, 1, 1, 1}
+		rec, err := core.Recommend(Estimators(tenants), core.Options{
+			Resources: 1, Delta: 0.05, Gains: gains,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w9 = append(w9, rec.Allocations[0][0])
+		w10 = append(w10, rec.Allocations[1][0])
+		others = append(others, (rec.Allocations[2][0]+rec.Allocations[3][0]+rec.Allocations[4][0])/3)
+		if flip < 0 && rec.Allocations[0][0] >= rec.Allocations[1][0] {
+			flip = g9
+		}
+	}
+	res.AddSeries("W9", w9)
+	res.AddSeries("W10", w10)
+	res.AddSeries("others(avg)", others)
+	if flip > 0 {
+		res.Note("W9 overtakes W10 at G9=%.0f (paper: G9 >= 5)", flip)
+	}
+	return res, nil
+}

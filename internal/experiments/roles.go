@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Query-role selection. §7.3: "we examined the behavior of the 22 TPC-H
+// queries ... and we determined that Q18 is one of the most CPU intensive
+// queries in the benchmark while Q21 is one of the least". The examination
+// is environment-specific (it depends on memory policies and device
+// speeds), so this reproduction performs the same examination instead of
+// hard-coding the paper's query numbers: CPU intensity is measured black-
+// box as the run-time sensitivity to halving the CPU share,
+//
+//	frac = (T(cpu=50%) − T(cpu=100%)) / T(cpu=100%)
+//
+// which equals cpu/(cpu+io) for a run that splits into CPU and I/O time.
+// On the DB2-flavoured system the examination reproduces the paper's
+// choice (Q18-class CPU-heavy, Q21/Q22-class I/O-heavy); on the
+// PostgreSQL-flavoured system the fixed 5 MB work_mem policy makes Q18's
+// large sorts spill, so a different query wins the CPU-intensive role —
+// the roles, not the numbers, drive the experiments.
+
+type roleKey struct {
+	sys string
+	sf  float64
+}
+
+var (
+	roleMu    sync.Mutex
+	roleCache = map[roleKey]roleInfo{}
+)
+
+type roleInfo struct {
+	cpuQuery, ioQuery int
+	cpuFrac, ioFrac   float64
+}
+
+// cpuFraction measures a workload's CPU-share sensitivity on a tenant.
+func (e *Env) cpuFraction(t *Tenant) (float64, error) {
+	tFull, err := e.Actual(t, core.Allocation{1})
+	if err != nil {
+		return 0, err
+	}
+	tHalf, err := e.Actual(t, core.Allocation{0.5})
+	if err != nil {
+		return 0, err
+	}
+	if tFull <= 0 {
+		return 0, nil
+	}
+	return (tHalf - tFull) / tFull, nil
+}
+
+// examineRoles finds the most and least CPU-intensive TPC-H queries on a
+// system at a scale factor, among queries long enough to matter (≥ 10 s
+// at full allocation).
+func (e *Env) examineRoles(sysName string, sf float64) (roleInfo, error) {
+	roleMu.Lock()
+	if ri, ok := roleCache[roleKey{sysName, sf}]; ok {
+		roleMu.Unlock()
+		return ri, nil
+	}
+	roleMu.Unlock()
+
+	const minSeconds = 10
+	ri := roleInfo{cpuQuery: -1, ioQuery: -1}
+	for n := 1; n <= tpch.QueryCount; n++ {
+		w := workload.New(fmt.Sprintf("q%d", n), tpch.Statement(n))
+		t := e.tpchTenantSF(sysName, sf, w.Name, w)
+		total, err := e.Actual(t, core.Allocation{1})
+		if err != nil {
+			return ri, err
+		}
+		if total < minSeconds {
+			continue
+		}
+		frac, err := e.cpuFraction(t)
+		if err != nil {
+			return ri, err
+		}
+		if ri.cpuQuery == -1 || frac > ri.cpuFrac {
+			ri.cpuQuery, ri.cpuFrac = n, frac
+		}
+		if ri.ioQuery == -1 || frac < ri.ioFrac {
+			ri.ioQuery, ri.ioFrac = n, frac
+		}
+	}
+	if ri.cpuQuery == -1 || ri.ioQuery == -1 || ri.cpuQuery == ri.ioQuery {
+		return ri, fmt.Errorf("experiments: role examination degenerate: %+v", ri)
+	}
+	roleMu.Lock()
+	roleCache[roleKey{sysName, sf}] = ri
+	roleMu.Unlock()
+	return ri, nil
+}

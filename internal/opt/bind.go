@@ -1,0 +1,692 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// Query is a bound, semantically analyzed statement, ready for physical
+// planning. The engine's row executor also consumes Query directly, which
+// keeps "what the optimizer believed" and "what actually ran" anchored to
+// the same analysis.
+type Query struct {
+	Select *sqlmini.SelectStmt // nil for DML
+
+	Tables    []*BoundTable
+	JoinPreds []JoinPred
+	// Residual are predicates not usable for access paths or joins
+	// (cross-table non-equi, ORs, same-table column comparisons); they are
+	// applied after joins. ResidualSel is their combined selectivity.
+	Residual    []sqlmini.Expr
+	ResidualSel float64
+
+	Semis []*SemiJoin
+
+	GroupBy []BoundCol
+	// AggCount is the number of aggregate expressions computed.
+	AggCount int
+	// HavingPreds is the number of HAVING predicates (costed per group).
+	HavingPreds int
+	OrderKeys   int
+	Limit       int // -1 when absent
+
+	// DML fields.
+	Modify     xplan.ModifyOp
+	SetColumns int // UPDATE SET list size
+}
+
+// BoundTable is one FROM entry with its local filters analyzed.
+type BoundTable struct {
+	Ref sqlmini.TableRef
+	Tab *catalog.Table
+
+	Filters []sqlmini.Expr
+	// Selectivity is the combined selectivity of Filters.
+	Selectivity float64
+	// PredCount is how many predicate evaluations Filters cost per row.
+	PredCount float64
+
+	// Best single-column index opportunity discovered among the filters:
+	// an equality or range predicate on an indexed column.
+	IndexCol *catalog.Column
+	Index    *catalog.Index
+	IndexSel float64
+}
+
+// FilteredRows is the estimated row count after local filters.
+func (bt *BoundTable) FilteredRows() float64 {
+	r := bt.Tab.Rows * bt.Selectivity
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// BoundCol is a resolved column: which bound table, which column.
+type BoundCol struct {
+	TableIdx int
+	Col      *catalog.Column
+}
+
+// JoinPred is an equi-join predicate between two bound tables.
+type JoinPred struct {
+	L, R       int // table indexes
+	LCol, RCol *catalog.Column
+}
+
+// SemiJoin is a flattened IN/EXISTS subquery: the outer side is joined
+// (semi) against the subquery's result on OuterCol = SubCol.
+type SemiJoin struct {
+	OuterIdx int
+	OuterCol *catalog.Column
+	Sub      *Query
+	SubCol   *catalog.Column
+	Negated  bool
+	// Sel is the estimated fraction of outer rows retained.
+	Sel float64
+}
+
+// Bind analyzes a statement against the schema.
+func Bind(schema *catalog.Schema, stmt sqlmini.Statement) (*Query, error) {
+	switch s := stmt.(type) {
+	case *sqlmini.SelectStmt:
+		return bindSelect(schema, s, nil)
+	case *sqlmini.UpdateStmt:
+		return bindDML(schema, s.Table, s.Where, xplan.ModifyUpdate, len(s.Set))
+	case *sqlmini.DeleteStmt:
+		return bindDML(schema, s.Table, s.Where, xplan.ModifyDelete, 0)
+	case *sqlmini.InsertStmt:
+		return bindInsert(schema, s)
+	}
+	return nil, fmt.Errorf("opt: unsupported statement type %T", stmt)
+}
+
+func bindDML(schema *catalog.Schema, table string, where sqlmini.Expr, op xplan.ModifyOp, setCols int) (*Query, error) {
+	tab := schema.Table(table)
+	if tab == nil {
+		return nil, fmt.Errorf("opt: unknown table %q", table)
+	}
+	q := &Query{
+		Tables: []*BoundTable{{
+			Ref:         sqlmini.TableRef{Table: table},
+			Tab:         tab,
+			Selectivity: 1,
+		}},
+		ResidualSel: 1,
+		Limit:       -1,
+		Modify:      op,
+		SetColumns:  setCols,
+	}
+	b := &binder{schema: schema, q: q}
+	if where != nil {
+		for _, conj := range sqlmini.Conjuncts(where) {
+			if err := b.classify(conj); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.chooseAccessPaths()
+	return q, nil
+}
+
+func bindInsert(schema *catalog.Schema, ins *sqlmini.InsertStmt) (*Query, error) {
+	tab := schema.Table(ins.Table)
+	if tab == nil {
+		return nil, fmt.Errorf("opt: unknown table %q", ins.Table)
+	}
+	if ins.Query != nil {
+		q, err := bindSelect(schema, ins.Query, nil)
+		if err != nil {
+			return nil, err
+		}
+		q.Modify = xplan.ModifyInsert
+		return q, nil
+	}
+	// VALUES insert: a one-row query with no scan work.
+	return &Query{
+		Tables: []*BoundTable{{
+			Ref:         sqlmini.TableRef{Table: ins.Table},
+			Tab:         tab,
+			Selectivity: 1 / maxf(tab.Rows, 1), // a single row's worth
+		}},
+		ResidualSel: 1,
+		Limit:       -1,
+		Modify:      xplan.ModifyInsert,
+	}, nil
+}
+
+func bindSelect(schema *catalog.Schema, sel *sqlmini.SelectStmt, outer *binder) (*Query, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("opt: SELECT without FROM")
+	}
+	q := &Query{Select: sel, ResidualSel: 1, Limit: sel.Limit}
+	b := &binder{schema: schema, q: q, outer: outer}
+	for _, tr := range sel.From {
+		tab := schema.Table(tr.Table)
+		if tab == nil {
+			return nil, fmt.Errorf("opt: unknown table %q", tr.Table)
+		}
+		q.Tables = append(q.Tables, &BoundTable{Ref: tr, Tab: tab, Selectivity: 1})
+	}
+	for _, conj := range sqlmini.Conjuncts(sel.Where) {
+		if err := b.classify(conj); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range sel.GroupBy {
+		bc, ok := b.resolve(g)
+		if !ok {
+			return nil, fmt.Errorf("opt: cannot resolve GROUP BY column %s", g)
+		}
+		q.GroupBy = append(q.GroupBy, bc)
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		q.AggCount += countAggs(item.Expr)
+	}
+	if sel.Having != nil {
+		q.HavingPreds = len(sqlmini.Conjuncts(sel.Having))
+		// HAVING may reference aggregates; any aggregates inside count too.
+		q.AggCount += countAggs(sel.Having)
+	}
+	q.OrderKeys = len(sel.OrderBy)
+	b.chooseAccessPaths()
+	return q, nil
+}
+
+func countAggs(e sqlmini.Expr) int {
+	n := 0
+	var walk func(sqlmini.Expr)
+	walk = func(e sqlmini.Expr) {
+		switch v := e.(type) {
+		case nil:
+		case *sqlmini.FuncExpr:
+			n++
+		case *sqlmini.BinaryExpr:
+			walk(v.L)
+			walk(v.R)
+		case *sqlmini.Comparison:
+			walk(v.L)
+			walk(v.R)
+		case *sqlmini.AndExpr:
+			walk(v.L)
+			walk(v.R)
+		case *sqlmini.OrExpr:
+			walk(v.L)
+			walk(v.R)
+		case *sqlmini.NotExpr:
+			walk(v.X)
+		}
+	}
+	walk(e)
+	return n
+}
+
+// binder tracks resolution scope; outer chains to an enclosing query for
+// correlated subqueries.
+type binder struct {
+	schema *catalog.Schema
+	q      *Query
+	outer  *binder
+}
+
+// resolve maps a column reference to a bound table in this scope only.
+func (b *binder) resolve(cr *sqlmini.ColumnRef) (BoundCol, bool) {
+	for i, bt := range b.q.Tables {
+		if cr.Qualifier != "" && cr.Qualifier != bt.Ref.Name() {
+			continue
+		}
+		if c := bt.Tab.Column(cr.Name); c != nil {
+			return BoundCol{TableIdx: i, Col: c}, true
+		}
+	}
+	return BoundCol{}, false
+}
+
+// resolveOuter resolves in enclosing scopes.
+func (b *binder) resolveOuter(cr *sqlmini.ColumnRef) (BoundCol, *binder, bool) {
+	for ob := b.outer; ob != nil; ob = ob.outer {
+		if bc, ok := ob.resolve(cr); ok {
+			return bc, ob, true
+		}
+	}
+	return BoundCol{}, nil, false
+}
+
+// classify routes one conjunct to filters, join predicates, semijoins, or
+// residuals.
+func (b *binder) classify(e sqlmini.Expr) error {
+	switch v := e.(type) {
+	case *sqlmini.ExistsExpr:
+		return b.bindExists(v)
+	case *sqlmini.InExpr:
+		if v.Sub != nil {
+			return b.bindInSubquery(v)
+		}
+	case *sqlmini.Comparison:
+		if lc, lok := v.L.(*sqlmini.ColumnRef); lok {
+			if rc, rok := v.R.(*sqlmini.ColumnRef); rok {
+				lb, lfound := b.resolve(lc)
+				rb, rfound := b.resolve(rc)
+				switch {
+				case lfound && rfound && lb.TableIdx != rb.TableIdx && v.Op == "=":
+					b.q.JoinPreds = append(b.q.JoinPreds, JoinPred{
+						L: lb.TableIdx, R: rb.TableIdx, LCol: lb.Col, RCol: rb.Col,
+					})
+					return nil
+				case lfound && rfound && lb.TableIdx != rb.TableIdx:
+					// Cross-table non-equi predicate.
+					b.addResidual(e, 1.0/3)
+					return nil
+				case lfound && rfound:
+					// Same-table column comparison (e.g. receiptdate >
+					// commitdate): a local filter with default selectivity.
+					b.addFilter(lb.TableIdx, e, 1.0/3, 1)
+					return nil
+				case lfound != rfound:
+					// One side resolves here, the other in an outer scope:
+					// a correlation predicate. The caller (bindExists)
+					// extracts these before classify sees them; reaching
+					// here means a stray correlation — treat as residual.
+					b.addResidual(e, 1.0/3)
+					return nil
+				}
+			}
+		}
+	}
+	// Single-table predicate?
+	refs := sqlmini.ColumnRefs(e)
+	tblIdx := -1
+	allLocal := len(refs) > 0
+	for _, cr := range refs {
+		bc, ok := b.resolve(cr)
+		if !ok {
+			allLocal = false
+			break
+		}
+		if tblIdx == -1 {
+			tblIdx = bc.TableIdx
+		} else if tblIdx != bc.TableIdx {
+			tblIdx = -2
+		}
+	}
+	if allLocal && tblIdx >= 0 {
+		sel, preds := b.selectivityOf(tblIdx, e)
+		b.addFilter(tblIdx, e, sel, preds)
+		return nil
+	}
+	b.addResidual(e, 1.0/3)
+	return nil
+}
+
+func (b *binder) addFilter(tblIdx int, e sqlmini.Expr, sel, preds float64) {
+	bt := b.q.Tables[tblIdx]
+	bt.Filters = append(bt.Filters, e)
+	bt.Selectivity *= sel
+	bt.PredCount += preds
+	b.noteIndexOpportunity(bt, e, sel)
+}
+
+func (b *binder) addResidual(e sqlmini.Expr, sel float64) {
+	b.q.Residual = append(b.q.Residual, e)
+	b.q.ResidualSel *= sel
+}
+
+// noteIndexOpportunity records the most selective indexable predicate.
+func (b *binder) noteIndexOpportunity(bt *BoundTable, e sqlmini.Expr, sel float64) {
+	cr := indexableColumn(e)
+	if cr == nil {
+		return
+	}
+	col := bt.Tab.Column(cr.Name)
+	if col == nil {
+		return
+	}
+	ix := bt.Tab.IndexOn(col.Name)
+	if ix == nil {
+		return
+	}
+	if bt.Index == nil || sel < bt.IndexSel {
+		bt.Index = ix
+		bt.IndexCol = col
+		bt.IndexSel = sel
+	}
+}
+
+// indexableColumn returns the column of a col-vs-constant comparison,
+// BETWEEN, or IN-list; otherwise nil.
+func indexableColumn(e sqlmini.Expr) *sqlmini.ColumnRef {
+	switch v := e.(type) {
+	case *sqlmini.Comparison:
+		if cr, ok := v.L.(*sqlmini.ColumnRef); ok && isConst(v.R) {
+			return cr
+		}
+		if cr, ok := v.R.(*sqlmini.ColumnRef); ok && isConst(v.L) {
+			return cr
+		}
+	case *sqlmini.BetweenExpr:
+		if cr, ok := v.X.(*sqlmini.ColumnRef); ok && isConst(v.Lo) && isConst(v.Hi) {
+			return cr
+		}
+	case *sqlmini.InExpr:
+		if v.Sub == nil && !v.Negated {
+			if cr, ok := v.X.(*sqlmini.ColumnRef); ok {
+				return cr
+			}
+		}
+	}
+	return nil
+}
+
+func isConst(e sqlmini.Expr) bool {
+	switch v := e.(type) {
+	case *sqlmini.NumberLit, *sqlmini.StringLit, *sqlmini.DateLit:
+		return true
+	case *sqlmini.BinaryExpr:
+		return isConst(v.L) && isConst(v.R)
+	}
+	return false
+}
+
+// constValue evaluates a constant scalar expression to a float64 (strings
+// hash to a stable number purely for selectivity math).
+func constValue(e sqlmini.Expr) (float64, bool) {
+	switch v := e.(type) {
+	case *sqlmini.NumberLit:
+		return v.Val, true
+	case *sqlmini.DateLit:
+		return v.Days, true
+	case *sqlmini.StringLit:
+		var h float64
+		for _, c := range v.Val {
+			h = h*31 + float64(c)
+		}
+		return h, true
+	case *sqlmini.BinaryExpr:
+		l, lok := constValue(v.L)
+		r, rok := constValue(v.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch v.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		}
+	}
+	return 0, false
+}
+
+// selectivityOf estimates the selectivity of a single-table predicate and
+// the number of predicate evaluations it costs per row.
+func (b *binder) selectivityOf(tblIdx int, e sqlmini.Expr) (sel, preds float64) {
+	tab := b.q.Tables[tblIdx].Tab
+	switch v := e.(type) {
+	case *sqlmini.Comparison:
+		col, cval := comparisonParts(tab, v)
+		if col == nil {
+			return 1.0 / 3, 1
+		}
+		switch v.Op {
+		case "=":
+			return catalog.EqSelectivity(col), 1
+		case "<>":
+			return 1 - catalog.EqSelectivity(col), 1
+		case "<", "<=":
+			return catalog.RangeSelectivity(col, col.Min, cval), 1
+		case ">", ">=":
+			return catalog.RangeSelectivity(col, cval, col.Max), 1
+		}
+		return 1.0 / 3, 1
+	case *sqlmini.BetweenExpr:
+		cr, ok := v.X.(*sqlmini.ColumnRef)
+		if !ok {
+			return 1.0 / 3, 2
+		}
+		col := tab.Column(cr.Name)
+		lo, lok := constValue(v.Lo)
+		hi, hok := constValue(v.Hi)
+		if col == nil || !lok || !hok {
+			return 1.0 / 3, 2
+		}
+		return catalog.RangeSelectivity(col, lo, hi), 2
+	case *sqlmini.InExpr:
+		if v.Sub != nil {
+			return 0.5, 1
+		}
+		cr, ok := v.X.(*sqlmini.ColumnRef)
+		if !ok {
+			return 1.0 / 3, float64(len(v.List))
+		}
+		col := tab.Column(cr.Name)
+		s := catalog.EqSelectivity(col) * float64(len(v.List))
+		if s > 1 {
+			s = 1
+		}
+		if v.Negated {
+			s = 1 - s
+		}
+		return s, float64(len(v.List))
+	case *sqlmini.LikeExpr:
+		s := 0.1
+		if len(v.Pattern) > 0 && v.Pattern[0] == '%' {
+			s = 0.05
+		}
+		if v.Negated {
+			s = 1 - s
+		}
+		return s, 2 // pattern matching is costlier than a comparison
+	case *sqlmini.OrExpr:
+		ls, lp := b.selectivityOf(tblIdx, v.L)
+		rs, rp := b.selectivityOf(tblIdx, v.R)
+		return ls + rs - ls*rs, lp + rp
+	case *sqlmini.AndExpr:
+		ls, lp := b.selectivityOf(tblIdx, v.L)
+		rs, rp := b.selectivityOf(tblIdx, v.R)
+		return ls * rs, lp + rp
+	case *sqlmini.NotExpr:
+		s, p := b.selectivityOf(tblIdx, v.X)
+		return 1 - s, p
+	}
+	return 1.0 / 3, 1
+}
+
+// comparisonParts extracts (column, constant) from col-op-const or
+// const-op-col with the operator logically oriented as col op const.
+func comparisonParts(tab *catalog.Table, v *sqlmini.Comparison) (*catalog.Column, float64) {
+	if cr, ok := v.L.(*sqlmini.ColumnRef); ok {
+		if cv, cok := constValue(v.R); cok {
+			if col := tab.Column(cr.Name); col != nil {
+				return col, cv
+			}
+		}
+	}
+	if cr, ok := v.R.(*sqlmini.ColumnRef); ok {
+		if cv, cok := constValue(v.L); cok {
+			if col := tab.Column(cr.Name); col != nil {
+				return col, cv
+			}
+		}
+	}
+	return nil, 0
+}
+
+// chooseAccessPaths finalizes per-table index opportunities (no-op today;
+// selection happens during costing where the CostModel is known).
+func (b *binder) chooseAccessPaths() {}
+
+// bindExists flattens [NOT] EXISTS (subquery) into a SemiJoin: the
+// correlation predicate inside the subquery becomes the join condition.
+func (b *binder) bindExists(v *sqlmini.ExistsExpr) error {
+	subQ, outerBC, subBC, err := b.bindSubWithCorrelation(v.Sub)
+	if err != nil {
+		return err
+	}
+	if outerBC == nil {
+		// Uncorrelated EXISTS degenerates to a constant predicate; keep it
+		// as a cheap residual.
+		b.addResidual(v, 0.9)
+		return nil
+	}
+	sel := semijoinSel(outerBC.Col, subBC.Col, subQ)
+	if v.Negated {
+		sel = 1 - sel
+	}
+	b.q.Semis = append(b.q.Semis, &SemiJoin{
+		OuterIdx: outerBC.TableIdx,
+		OuterCol: outerBC.Col,
+		Sub:      subQ,
+		SubCol:   subBC.Col,
+		Negated:  v.Negated,
+		Sel:      sel,
+	})
+	return nil
+}
+
+// bindInSubquery flattens X IN (SELECT y FROM ...) into a SemiJoin.
+func (b *binder) bindInSubquery(v *sqlmini.InExpr) error {
+	cr, ok := v.X.(*sqlmini.ColumnRef)
+	if !ok {
+		b.addResidual(v, 0.5)
+		return nil
+	}
+	outerBC, ok := b.resolve(cr)
+	if !ok {
+		return fmt.Errorf("opt: cannot resolve IN column %s", cr)
+	}
+	subQ, err := bindSelect(b.schema, v.Sub, b)
+	if err != nil {
+		return err
+	}
+	// The subquery's single projected column is the join key.
+	subBC, err := subProjectionColumn(subQ)
+	if err != nil {
+		return err
+	}
+	sel := semijoinSel(outerBC.Col, subBC.Col, subQ)
+	if v.Negated {
+		sel = 1 - sel
+	}
+	b.q.Semis = append(b.q.Semis, &SemiJoin{
+		OuterIdx: outerBC.TableIdx,
+		OuterCol: outerBC.Col,
+		Sub:      subQ,
+		SubCol:   subBC.Col,
+		Negated:  v.Negated,
+		Sel:      sel,
+	})
+	return nil
+}
+
+func subProjectionColumn(subQ *Query) (BoundCol, error) {
+	if subQ.Select == nil || len(subQ.Select.Items) == 0 {
+		return BoundCol{}, fmt.Errorf("opt: IN subquery must project a column")
+	}
+	item := subQ.Select.Items[0]
+	cr, ok := item.Expr.(*sqlmini.ColumnRef)
+	if !ok {
+		// Projected expression (e.g. 0.5*avg(...)); fall back to the first
+		// table's first column for statistics.
+		bt := subQ.Tables[0]
+		if len(bt.Tab.Columns) == 0 {
+			return BoundCol{}, fmt.Errorf("opt: subquery projects no usable column")
+		}
+		return BoundCol{TableIdx: 0, Col: bt.Tab.Columns[0]}, nil
+	}
+	sb := &binder{schema: nil, q: subQ}
+	bc, ok := sb.resolve(cr)
+	if !ok {
+		return BoundCol{}, fmt.Errorf("opt: cannot resolve subquery projection %s", cr)
+	}
+	return bc, nil
+}
+
+// bindSubWithCorrelation binds an EXISTS subquery, pulling out the single
+// correlation equi-predicate (subCol = outerCol).
+func (b *binder) bindSubWithCorrelation(sub *sqlmini.SelectStmt) (subQ *Query, outerBC *BoundCol, subBC *BoundCol, err error) {
+	// Bind sub tables first so resolution sees them.
+	subQ = &Query{Select: sub, ResidualSel: 1, Limit: sub.Limit}
+	sb := &binder{schema: b.schema, q: subQ, outer: b}
+	for _, tr := range sub.From {
+		tab := b.schema.Table(tr.Table)
+		if tab == nil {
+			return nil, nil, nil, fmt.Errorf("opt: unknown table %q", tr.Table)
+		}
+		subQ.Tables = append(subQ.Tables, &BoundTable{Ref: tr, Tab: tab, Selectivity: 1})
+	}
+	for _, conj := range sqlmini.Conjuncts(sub.Where) {
+		// Correlation: one side local, one side outer.
+		if cmp, ok := conj.(*sqlmini.Comparison); ok && cmp.Op == "=" {
+			lc, lok := cmp.L.(*sqlmini.ColumnRef)
+			rc, rok := cmp.R.(*sqlmini.ColumnRef)
+			if lok && rok {
+				lLocal, lfound := sb.resolve(lc)
+				rLocal, rfound := sb.resolve(rc)
+				switch {
+				case lfound && !rfound:
+					if obc, _, ook := sb.resolveOuter(rc); ook && outerBC == nil {
+						outerBC = &obc
+						subBC = &lLocal
+						continue
+					}
+				case rfound && !lfound:
+					if obc, _, ook := sb.resolveOuter(lc); ook && outerBC == nil {
+						outerBC = &obc
+						subBC = &rLocal
+						continue
+					}
+				}
+			}
+		}
+		if err := sb.classify(conj); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	sb.chooseAccessPaths()
+	return subQ, outerBC, subBC, nil
+}
+
+// semijoinSel estimates the fraction of outer rows with a match in the
+// subquery result: min(1, matchable-values / outer-NDV).
+func semijoinSel(outerCol, subCol *catalog.Column, subQ *Query) float64 {
+	outNDV := 100.0
+	if outerCol != nil && outerCol.NDV > 0 {
+		outNDV = outerCol.NDV
+	}
+	subRows := 1.0
+	for _, bt := range subQ.Tables {
+		subRows *= bt.FilteredRows()
+	}
+	subNDV := subRows
+	if subCol != nil && subCol.NDV > 0 && subCol.NDV < subNDV {
+		subNDV = subCol.NDV
+	}
+	sel := subNDV / outNDV
+	if sel > 1 {
+		sel = 1
+	}
+	if sel <= 0 {
+		sel = 1e-6
+	}
+	return sel
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/xplan"
+)
+
+// coster prices physical operators under one CostModel. Every constructor
+// fills the node's physical description (volumes, cardinalities) and then
+// prices it through the shared Physical/Price pair, so the model cost and
+// the engine's true accounting are two readings of the same work vector.
+// Node costs are cumulative (children included), matching how optimizers
+// report plan cost.
+type coster struct {
+	cm       CostModel
+	cachePgs float64
+	workPgs  float64
+	dbPages  float64 // total database pages, for cache apportioning
+}
+
+func newCoster(cm CostModel, dbPages float64) *coster {
+	return &coster{cm: cm, cachePgs: cachePages(cm), workPgs: workMemPages(cm), dbPages: dbPages}
+}
+
+// finish prices node n and returns it; childCost is the summed cost of its
+// children.
+func (c *coster) finish(n *xplan.Node, childCost float64) *xplan.Node {
+	n.Cost = childCost + Price(Physical(n, c.cm.CacheBytes(), c.cm.WorkMemBytes()), c.cm)
+	return n
+}
+
+// seqScan builds a sequential scan node for bt.
+func (c *coster) seqScan(bt *BoundTable) *xplan.Node {
+	t := bt.Tab
+	return c.finish(&xplan.Node{
+		Kind:        xplan.KindSeqScan,
+		Table:       bt.Ref.Name(),
+		TablePages:  t.Pages,
+		DBPages:     c.dbPages,
+		InputRows:   t.Rows,
+		PredsPerRow: bt.PredCount,
+		Rows:        bt.FilteredRows(),
+		Width:       t.RowWidth(),
+	}, 0)
+}
+
+// indexScan builds an index scan node using bt's recorded opportunity, or
+// nil when none exists.
+func (c *coster) indexScan(bt *BoundTable) *xplan.Node {
+	if bt.Index == nil {
+		return nil
+	}
+	t := bt.Tab
+	matched := t.Rows * bt.IndexSel
+	if matched < 1 {
+		matched = 1
+	}
+	leafTouched := bt.Index.LeafPages*bt.IndexSel + float64(bt.Index.Height)
+	return c.finish(&xplan.Node{
+		Kind:        xplan.KindIndexScan,
+		Table:       bt.Ref.Name(),
+		Index:       bt.Index.Name,
+		Clustered:   bt.Index.Clustered,
+		TablePages:  t.Pages,
+		DBPages:     c.dbPages,
+		LeafPages:   leafTouched,
+		InputRows:   matched,
+		PredsPerRow: bt.PredCount,
+		Rows:        bt.FilteredRows(),
+		Width:       t.RowWidth(),
+	}, 0)
+}
+
+// bestAccess returns the cheaper of sequential and index access for bt.
+func (c *coster) bestAccess(bt *BoundTable) *xplan.Node {
+	seq := c.seqScan(bt)
+	if ix := c.indexScan(bt); ix != nil && ix.Cost < seq.Cost {
+		return ix
+	}
+	return seq
+}
+
+func pagesFor(rows float64, width int) float64 {
+	p := rows * float64(width+16) / catalog.PageSize
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// hashJoin prices build ⋈ probe with the given output cardinality. Memory
+// pressure introduces Grace partitioning passes that read and write both
+// inputs — the plan change that makes memory cost piecewise-linear.
+func (c *coster) hashJoin(build, probe *xplan.Node, outRows float64) *xplan.Node {
+	buildPages := pagesFor(build.Rows, build.Width)
+	probePages := pagesFor(probe.Rows, probe.Width)
+	passes := storage.HashPartitionPasses(buildPages, c.workPgs)
+	return c.finish(&xplan.Node{
+		Kind:       xplan.KindHashJoin,
+		Children:   []*xplan.Node{build, probe},
+		External:   passes > 0,
+		Passes:     passes,
+		BuildPages: buildPages,
+		ProbePages: probePages,
+		Rows:       outRows,
+		Width:      build.Width + probe.Width,
+		MemBytes:   math.Min(buildPages, c.workPgs) * catalog.PageSize,
+	}, build.Cost+probe.Cost)
+}
+
+// nlJoin prices a nested-loop join probing inner's table through an index
+// on the join column; innerBT supplies statistics. Returns nil when inner
+// has no usable index.
+func (c *coster) nlJoin(outer *xplan.Node, innerBT *BoundTable, innerCol *catalog.Column, outRows float64) *xplan.Node {
+	ix := innerBT.Tab.IndexOn(innerCol.Name)
+	if ix == nil {
+		return nil
+	}
+	t := innerBT.Tab
+	// Every index match is fetched; non-index filters apply afterwards.
+	matchPerProbe := t.Rows * catalog.EqSelectivity(innerCol)
+	totalFetches := outer.Rows * maxf(matchPerProbe, 1)
+	// Index descent traffic: Height pages per probe, served mostly from
+	// cache after the first probes.
+	descentPages := outer.Rows * float64(ix.Height)
+	inner := c.finish(&xplan.Node{
+		Kind:        xplan.KindIndexScan,
+		Table:       innerBT.Ref.Name(),
+		Index:       ix.Name,
+		Clustered:   ix.Clustered,
+		TablePages:  t.Pages,
+		DBPages:     c.dbPages,
+		LeafPages:   descentPages,
+		InputRows:   totalFetches,
+		PredsPerRow: innerBT.PredCount,
+		Rows:        outRows,
+		Width:       t.RowWidth(),
+	}, 0)
+	return c.finish(&xplan.Node{
+		Kind:     xplan.KindNLJoin,
+		Children: []*xplan.Node{outer, inner},
+		Rows:     outRows,
+		Width:    outer.Width + t.RowWidth(),
+	}, outer.Cost+inner.Cost)
+}
+
+// sortNode prices sorting input on keys.
+func (c *coster) sortNode(input *xplan.Node, keys int) *xplan.Node {
+	dataPages := pagesFor(input.Rows, input.Width)
+	passes := storage.SortRunPasses(dataPages, c.workPgs)
+	return c.finish(&xplan.Node{
+		Kind:       xplan.KindSort,
+		Children:   []*xplan.Node{input},
+		External:   passes > 0,
+		Passes:     passes,
+		BuildPages: dataPages,
+		SortKeys:   keys,
+		Rows:       input.Rows,
+		Width:      input.Width,
+		MemBytes:   math.Min(dataPages, c.workPgs) * catalog.PageSize,
+	}, input.Cost)
+}
+
+// mergeJoin prices sort-merge: sort both inputs then a linear merge.
+func (c *coster) mergeJoin(l, r *xplan.Node, outRows float64) *xplan.Node {
+	sl := c.sortNode(l, 1)
+	sr := c.sortNode(r, 1)
+	return c.finish(&xplan.Node{
+		Kind:     xplan.KindMergeJoin,
+		Children: []*xplan.Node{sl, sr},
+		Rows:     outRows,
+		Width:    l.Width + r.Width,
+	}, sl.Cost+sr.Cost)
+}
+
+// aggregate prices grouping with aggCount aggregate expressions into
+// `groups` output rows, choosing the cheaper of hash aggregation (when the
+// table fits in working memory) and sort-based aggregation.
+func (c *coster) aggregate(input *xplan.Node, groupKeys int, groups float64, aggCount, havingPreds int) *xplan.Node {
+	width := groupKeys*8 + maxi(aggCount, 1)*8
+	hashBytes := groups * float64(width+48)
+	var hash *xplan.Node
+	if hashBytes <= c.cm.WorkMemBytes() || groupKeys == 0 {
+		hash = c.finish(&xplan.Node{
+			Kind:        xplan.KindAggregate,
+			Children:    []*xplan.Node{input},
+			HashAgg:     true,
+			GroupKeys:   groupKeys,
+			AggExprs:    aggCount,
+			PredsPerRow: float64(havingPreds),
+			Rows:        groups,
+			Width:       width,
+			MemBytes:    hashBytes,
+		}, input.Cost)
+		if groupKeys == 0 {
+			return hash
+		}
+	}
+	sorted := c.sortNode(input, maxi(groupKeys, 1))
+	sortAgg := c.finish(&xplan.Node{
+		Kind:        xplan.KindAggregate,
+		Children:    []*xplan.Node{sorted},
+		HashAgg:     false,
+		GroupKeys:   groupKeys,
+		AggExprs:    aggCount,
+		PredsPerRow: float64(havingPreds),
+		Rows:        groups,
+		Width:       width,
+	}, sorted.Cost)
+	if hash != nil && hash.Cost <= sortAgg.Cost {
+		return hash
+	}
+	return sortAgg
+}
+
+// modify prices the DML application on top of a scan. Deliberately, the
+// model charges only tuple-processing CPU — no lock manager work, no log
+// writes, no dirty-page flushes. That omission is real: the paper observes
+// that "the optimizer cost model does not accurately capture contention or
+// update costs, which are significant factors in TPC-C workloads" (§7.8),
+// and the engine's true accounting charges them.
+func (c *coster) modify(input *xplan.Node, op xplan.ModifyOp, setCols int) *xplan.Node {
+	var tablePages float64
+	input.Walk(func(nd *xplan.Node) {
+		if nd.TablePages > tablePages {
+			tablePages = nd.TablePages
+		}
+	})
+	return c.finish(&xplan.Node{
+		Kind:        xplan.KindModify,
+		Children:    []*xplan.Node{input},
+		Op:          op,
+		RowsChanged: input.Rows,
+		SetCols:     setCols,
+		TablePages:  tablePages,
+		Rows:        input.Rows,
+		Width:       input.Width,
+	}, input.Cost)
+}
+
+// semiJoin prices outer ⋉ sub as a hash semi-join (build the subquery).
+func (c *coster) semiJoin(outer, sub *xplan.Node, sel float64) *xplan.Node {
+	outRows := outer.Rows * sel
+	if outRows < 1 {
+		outRows = 1
+	}
+	buildPages := pagesFor(sub.Rows, maxi(sub.Width, 8))
+	probePages := pagesFor(outer.Rows, outer.Width)
+	passes := storage.HashPartitionPasses(buildPages, c.workPgs)
+	return c.finish(&xplan.Node{
+		Kind:       xplan.KindHashJoin,
+		Children:   []*xplan.Node{sub, outer},
+		External:   passes > 0,
+		Passes:     passes,
+		BuildPages: buildPages,
+		ProbePages: probePages,
+		Rows:       outRows,
+		Width:      outer.Width,
+		MemBytes:   math.Min(buildPages, c.workPgs) * catalog.PageSize,
+	}, outer.Cost+sub.Cost)
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+// Package opt implements the cost-based query optimizer shared by the two
+// simulated database systems. It binds SQL statements against a catalog,
+// estimates selectivities and cardinalities, enumerates join orders
+// (dynamic programming over connected subsets), chooses operators —
+// including the memory-sensitive choices (in-memory vs external sort,
+// single- vs multi-pass hash join) that create the paper's piecewise-linear
+// memory cost behaviour — and costs plans through a per-DBMS CostModel.
+//
+// The "what-if" mode of §4.1 is realized by costing the same statement
+// under different CostModel parameterizations: the calibration layer maps a
+// candidate resource allocation to parameters, and this package turns
+// parameters into an estimated cost.
+package opt
+
+import "repro/internal/catalog"
+
+// CostModel supplies the per-unit costs (in the DBMS's own model units)
+// and memory configuration the optimizer plans against. PostgreSQL-style
+// systems express unit costs relative to a sequential page read; DB2-style
+// systems express them in timerons. The optimizer is agnostic: it just
+// multiplies and adds.
+type CostModel interface {
+	// SeqPage is the cost of one sequential page read.
+	SeqPage() float64
+	// RandPage is the cost of one random page read.
+	RandPage() float64
+	// CPUTuple is the cost of processing one tuple.
+	CPUTuple() float64
+	// CPUOperator is the per-tuple cost of evaluating one predicate or
+	// expression operator.
+	CPUOperator() float64
+	// CPUIndexTuple is the cost of processing one index entry.
+	CPUIndexTuple() float64
+	// CacheBytes is the memory the cost model assumes absorbs repeated
+	// page reads (buffer pool plus, for PostgreSQL, effective_cache_size).
+	CacheBytes() float64
+	// WorkMemBytes is the per-operator working memory (work_mem /
+	// sortheap) that gates in-memory operator variants.
+	WorkMemBytes() float64
+}
+
+// FixedModel is a simple literal CostModel, used in tests and as a
+// building block for the DBMS parameter adapters.
+type FixedModel struct {
+	SeqPageC, RandPageC          float64
+	CPUTupleC, CPUOpC, CPUIndexC float64
+	CacheB, WorkMemB             float64
+}
+
+// SeqPage implements CostModel.
+func (m FixedModel) SeqPage() float64 { return m.SeqPageC }
+
+// RandPage implements CostModel.
+func (m FixedModel) RandPage() float64 { return m.RandPageC }
+
+// CPUTuple implements CostModel.
+func (m FixedModel) CPUTuple() float64 { return m.CPUTupleC }
+
+// CPUOperator implements CostModel.
+func (m FixedModel) CPUOperator() float64 { return m.CPUOpC }
+
+// CPUIndexTuple implements CostModel.
+func (m FixedModel) CPUIndexTuple() float64 { return m.CPUIndexC }
+
+// CacheBytes implements CostModel.
+func (m FixedModel) CacheBytes() float64 { return m.CacheB }
+
+// WorkMemBytes implements CostModel.
+func (m FixedModel) WorkMemBytes() float64 { return m.WorkMemB }
+
+// cachePages converts the model's cache bytes into pages.
+func cachePages(cm CostModel) float64 {
+	p := cm.CacheBytes() / catalog.PageSize
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// workMemPages converts the model's working memory into pages.
+func workMemPages(cm CostModel) float64 {
+	p := cm.WorkMemBytes() / catalog.PageSize
+	if p < 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,403 @@
+package opt
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// testSchema builds a small TPC-H-flavoured schema for planner tests.
+func testSchema() *catalog.Schema {
+	s := catalog.NewSchema("test")
+	s.Add(&catalog.Table{
+		Name: "lineitem",
+		Columns: []*catalog.Column{
+			{Name: "l_orderkey", Type: catalog.Int, NDV: 150000, Min: 1, Max: 600000},
+			{Name: "l_partkey", Type: catalog.Int, NDV: 20000, Min: 1, Max: 20000},
+			{Name: "l_suppkey", Type: catalog.Int, NDV: 1000, Min: 1, Max: 1000},
+			{Name: "l_quantity", Type: catalog.Float, NDV: 50, Min: 1, Max: 50},
+			{Name: "l_extendedprice", Type: catalog.Float, NDV: 100000, Min: 900, Max: 105000},
+			{Name: "l_discount", Type: catalog.Float, NDV: 11, Min: 0, Max: 0.1},
+			{Name: "l_shipdate", Type: catalog.Date, NDV: 2500, Min: 8000, Max: 10500},
+			{Name: "l_commitdate", Type: catalog.Date, NDV: 2500, Min: 8000, Max: 10500},
+			{Name: "l_receiptdate", Type: catalog.Date, NDV: 2500, Min: 8000, Max: 10500},
+			{Name: "l_returnflag", Type: catalog.String, NDV: 3, Width: 1},
+		},
+		Rows: 600000,
+		Indexes: []*catalog.Index{
+			{Name: "lineitem_pk", Columns: []string{"l_orderkey"}, Clustered: true},
+			{Name: "lineitem_part", Columns: []string{"l_partkey"}},
+		},
+	})
+	s.Add(&catalog.Table{
+		Name: "orders",
+		Columns: []*catalog.Column{
+			{Name: "o_orderkey", Type: catalog.Int, NDV: 150000, Min: 1, Max: 600000},
+			{Name: "o_custkey", Type: catalog.Int, NDV: 10000, Min: 1, Max: 15000},
+			{Name: "o_totalprice", Type: catalog.Float, NDV: 140000, Min: 800, Max: 500000},
+			{Name: "o_orderdate", Type: catalog.Date, NDV: 2400, Min: 8000, Max: 10500},
+		},
+		Rows: 150000,
+		Indexes: []*catalog.Index{
+			{Name: "orders_pk", Columns: []string{"o_orderkey"}, Unique: true, Clustered: true},
+			{Name: "orders_cust", Columns: []string{"o_custkey"}},
+		},
+	})
+	s.Add(&catalog.Table{
+		Name: "customer",
+		Columns: []*catalog.Column{
+			{Name: "c_custkey", Type: catalog.Int, NDV: 15000, Min: 1, Max: 15000},
+			{Name: "c_name", Type: catalog.String, NDV: 15000, Width: 18},
+			{Name: "c_nationkey", Type: catalog.Int, NDV: 25, Min: 0, Max: 24},
+			{Name: "c_acctbal", Type: catalog.Float, NDV: 14000, Min: -999, Max: 9999},
+		},
+		Rows: 15000,
+		Indexes: []*catalog.Index{
+			{Name: "customer_pk", Columns: []string{"c_custkey"}, Unique: true, Clustered: true},
+		},
+	})
+	return s
+}
+
+// baseModel is a PostgreSQL-flavoured parameterization: costs relative to a
+// sequential page read.
+func baseModel() FixedModel {
+	return FixedModel{
+		SeqPageC:  1,
+		RandPageC: 4,
+		CPUTupleC: 0.01, CPUOpC: 0.0025, CPUIndexC: 0.005,
+		CacheB:   64 << 20,
+		WorkMemB: 5 << 20,
+	}
+}
+
+func plan(t *testing.T, cm CostModel, sql string) *xplan.Node {
+	t.Helper()
+	p := &Planner{Schema: testSchema(), Model: cm}
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := p.Plan(stmt)
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	if n.Cost <= 0 {
+		t.Fatalf("non-positive cost for %q: %v", sql, n.Cost)
+	}
+	return n
+}
+
+func TestBindClassification(t *testing.T) {
+	stmt := sqlmini.MustParse(`SELECT c.c_name, sum(o.o_totalprice) FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND c.c_acctbal > 0 AND o.o_orderdate >= DATE '1995-01-01'
+		GROUP BY c.c_name`)
+	q, err := Bind(testSchema(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 2 {
+		t.Fatalf("tables: %d", len(q.Tables))
+	}
+	if len(q.JoinPreds) != 1 {
+		t.Fatalf("join preds: %d", len(q.JoinPreds))
+	}
+	if len(q.Tables[0].Filters) != 1 || len(q.Tables[1].Filters) != 1 {
+		t.Fatalf("filters: %d/%d", len(q.Tables[0].Filters), len(q.Tables[1].Filters))
+	}
+	if q.Tables[0].Selectivity >= 1 || q.Tables[1].Selectivity >= 1 {
+		t.Fatalf("selectivity not applied: %v %v", q.Tables[0].Selectivity, q.Tables[1].Selectivity)
+	}
+	if len(q.GroupBy) != 1 || q.AggCount != 1 {
+		t.Fatalf("agg shape: %d groups, %d aggs", len(q.GroupBy), q.AggCount)
+	}
+}
+
+func TestBindUnknownTable(t *testing.T) {
+	stmt := sqlmini.MustParse("SELECT a FROM nosuch")
+	if _, err := Bind(testSchema(), stmt); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}
+
+func TestBindSemijoinIn(t *testing.T) {
+	stmt := sqlmini.MustParse(`SELECT c_name FROM customer WHERE c_custkey IN
+		(SELECT o_custkey FROM orders WHERE o_totalprice > 100000)`)
+	q, err := Bind(testSchema(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Semis) != 1 {
+		t.Fatalf("semijoins: %d", len(q.Semis))
+	}
+	sj := q.Semis[0]
+	if sj.Sub == nil || sj.OuterCol.Name != "c_custkey" || sj.SubCol.Name != "o_custkey" {
+		t.Fatalf("semijoin shape: %+v", sj)
+	}
+	if sj.Sel <= 0 || sj.Sel > 1 {
+		t.Fatalf("semijoin sel: %v", sj.Sel)
+	}
+}
+
+func TestBindCorrelatedExists(t *testing.T) {
+	stmt := sqlmini.MustParse(`SELECT c_name FROM customer WHERE EXISTS
+		(SELECT o_orderkey FROM orders WHERE o_custkey = c_custkey AND o_totalprice > 400000)`)
+	q, err := Bind(testSchema(), stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Semis) != 1 {
+		t.Fatalf("semijoins: %d", len(q.Semis))
+	}
+	sj := q.Semis[0]
+	if sj.OuterCol.Name != "c_custkey" || sj.SubCol.Name != "o_custkey" {
+		t.Fatalf("correlation: outer=%v sub=%v", sj.OuterCol.Name, sj.SubCol.Name)
+	}
+	// The subquery's local filter must stay local.
+	if len(sj.Sub.Tables[0].Filters) != 1 {
+		t.Fatalf("sub filters: %d", len(sj.Sub.Tables[0].Filters))
+	}
+}
+
+func TestPlanSingleTableAggregation(t *testing.T) {
+	n := plan(t, baseModel(), `SELECT l_returnflag, count(*), sum(l_extendedprice) FROM lineitem
+		WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag`)
+	if n.Kind != xplan.KindAggregate {
+		t.Fatalf("top: %v", n.Kind)
+	}
+	if n.Rows > 3.5 {
+		t.Fatalf("groups should be capped by NDV(returnflag)=3: %v", n.Rows)
+	}
+}
+
+func TestPlanIndexVsSeqScan(t *testing.T) {
+	// Highly selective key lookup should choose the index.
+	sel := plan(t, baseModel(), "SELECT o_totalprice FROM orders WHERE o_orderkey = 42")
+	if sel.Kind != xplan.KindIndexScan {
+		t.Fatalf("selective lookup used %v\n%s", sel.Kind, sel.Explain())
+	}
+	// A predicate touching most rows should scan.
+	scan := plan(t, baseModel(), "SELECT o_totalprice FROM orders WHERE o_totalprice > 1000")
+	if scan.Kind != xplan.KindSeqScan {
+		t.Fatalf("unselective predicate used %v", scan.Kind)
+	}
+}
+
+func TestPlanJoinProducesJoinOperator(t *testing.T) {
+	n := plan(t, baseModel(), `SELECT c.c_name, o.o_totalprice FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 400000`)
+	joins := 0
+	n.Walk(func(nd *xplan.Node) {
+		switch nd.Kind {
+		case xplan.KindHashJoin, xplan.KindNLJoin, xplan.KindMergeJoin:
+			joins++
+		}
+	})
+	if joins != 1 {
+		t.Fatalf("joins = %d\n%s", joins, n.Explain())
+	}
+}
+
+func TestPlanThreeWayJoinConnected(t *testing.T) {
+	n := plan(t, baseModel(), `SELECT c.c_name FROM customer c, orders o, lineitem l
+		WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey AND l.l_quantity > 49`)
+	joins := 0
+	n.Walk(func(nd *xplan.Node) {
+		switch nd.Kind {
+		case xplan.KindHashJoin, xplan.KindNLJoin, xplan.KindMergeJoin:
+			joins++
+		}
+	})
+	if joins != 2 {
+		t.Fatalf("joins = %d\n%s", joins, n.Explain())
+	}
+}
+
+func TestPlanMemoryChangesOperatorChoice(t *testing.T) {
+	// A big sort with tiny working memory must be external; with plenty it
+	// must be in-memory, and the signature must differ (the piecewise
+	// interval boundary of §5.1).
+	small := baseModel()
+	small.WorkMemB = 256 << 10
+	big := baseModel()
+	big.WorkMemB = 2 << 30
+	q := "SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice"
+	ns := plan(t, small, q)
+	nb := plan(t, big, q)
+	var extSmall, extBig bool
+	ns.Walk(func(nd *xplan.Node) {
+		if nd.Kind == xplan.KindSort && nd.External {
+			extSmall = true
+		}
+	})
+	nb.Walk(func(nd *xplan.Node) {
+		if nd.Kind == xplan.KindSort && nd.External {
+			extBig = true
+		}
+	})
+	if !extSmall {
+		t.Fatalf("small work_mem should be external:\n%s", ns.Explain())
+	}
+	if extBig {
+		t.Fatalf("large work_mem should be in-memory:\n%s", nb.Explain())
+	}
+	if ns.Signature() == nb.Signature() {
+		t.Fatal("signatures should differ across the memory boundary")
+	}
+	if nb.Cost >= ns.Cost {
+		t.Fatalf("more memory should not cost more: %v >= %v", nb.Cost, ns.Cost)
+	}
+}
+
+func TestPlanCPUParamsScaleCPUBoundCost(t *testing.T) {
+	// Everything cached: cost should be (nearly) pure CPU, so doubling CPU
+	// unit costs should nearly double plan cost.
+	cm := baseModel()
+	cm.CacheB = 8 << 30
+	slow := cm
+	slow.CPUTupleC *= 2
+	slow.CPUOpC *= 2
+	slow.CPUIndexC *= 2
+	q := "SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag"
+	c1 := plan(t, cm, q).Cost
+	c2 := plan(t, slow, q).Cost
+	if ratio := c2 / c1; ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("CPU scaling ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestPlanDML(t *testing.T) {
+	n := plan(t, baseModel(), "UPDATE orders SET o_totalprice = o_totalprice + 1 WHERE o_orderkey = 7")
+	if n.Kind != xplan.KindModify || n.Op != xplan.ModifyUpdate {
+		t.Fatalf("top: %+v", n)
+	}
+	if n.RowsChanged <= 0 {
+		t.Fatalf("rows changed: %v", n.RowsChanged)
+	}
+	d := plan(t, baseModel(), "DELETE FROM orders WHERE o_custkey = 3")
+	if d.Op != xplan.ModifyDelete {
+		t.Fatalf("delete op: %v", d.Op)
+	}
+	i := plan(t, baseModel(), "INSERT INTO orders (o_orderkey) VALUES (1)")
+	if i.Op != xplan.ModifyInsert {
+		t.Fatalf("insert op: %v", i.Op)
+	}
+}
+
+func TestPlanSemijoinQuery(t *testing.T) {
+	n := plan(t, baseModel(), `SELECT c_name FROM customer WHERE c_custkey IN
+		(SELECT o_custkey FROM orders WHERE o_totalprice > 100000)`)
+	if !strings.Contains(n.Signature(), "HashJoin") {
+		t.Fatalf("semijoin should plan as hash join:\n%s", n.Explain())
+	}
+}
+
+func TestPlanLimitCapsRows(t *testing.T) {
+	n := plan(t, baseModel(), "SELECT o_totalprice FROM orders WHERE o_totalprice > 0 ORDER BY o_totalprice DESC LIMIT 10")
+	if n.Rows > 10 {
+		t.Fatalf("limit not applied: rows=%v", n.Rows)
+	}
+}
+
+// Property: plan cost is monotonically non-increasing in cache and working
+// memory — more resources never make the optimizer's best plan costlier.
+// This is the foundation of the advisor's objective function shape (§4.5).
+func TestPropertyCostMonotoneInMemory(t *testing.T) {
+	queries := []string{
+		"SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag",
+		"SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice",
+		`SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 200000`,
+	}
+	schema := testSchema()
+	f := func(memAraw, memBraw uint16, qi uint8) bool {
+		a := float64(memAraw%2048+1) * (1 << 20)
+		b := float64(memBraw%2048+1) * (1 << 20)
+		if a > b {
+			a, b = b, a
+		}
+		mk := func(mem float64) CostModel {
+			m := baseModel()
+			m.CacheB = mem
+			m.WorkMemB = mem / 8
+			return m
+		}
+		q := queries[int(qi)%len(queries)]
+		stmt := sqlmini.MustParse(q)
+		pa := &Planner{Schema: schema, Model: mk(a)}
+		pb := &Planner{Schema: schema, Model: mk(b)}
+		na, err := pa.Plan(stmt)
+		if err != nil {
+			return false
+		}
+		nb, err := pb.Plan(stmt)
+		if err != nil {
+			return false
+		}
+		return nb.Cost <= na.Cost*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all CPU unit costs by f >= 1 scales total cost by a
+// factor in [1, f] — CPU terms scale, I/O terms do not.
+func TestPropertyCPUScalingBounds(t *testing.T) {
+	schema := testSchema()
+	stmt := sqlmini.MustParse("SELECT l_returnflag, count(*) FROM lineitem WHERE l_quantity > 10 GROUP BY l_returnflag")
+	f := func(fraw uint8) bool {
+		factor := 1 + float64(fraw%40)/10 // 1..4.9
+		m1 := baseModel()
+		m2 := m1
+		m2.CPUTupleC *= factor
+		m2.CPUOpC *= factor
+		m2.CPUIndexC *= factor
+		p1 := &Planner{Schema: schema, Model: m1}
+		p2 := &Planner{Schema: schema, Model: m2}
+		n1, err1 := p1.Plan(stmt)
+		n2, err2 := p2.Plan(stmt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		r := n2.Cost / n1.Cost
+		return r >= 1-1e-9 && r <= factor+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	n := plan(t, baseModel(), "SELECT o_totalprice FROM orders WHERE o_orderkey = 42")
+	out := n.Explain()
+	if !strings.Contains(out, "IndexScan") || !strings.Contains(out, "orders") {
+		t.Fatalf("explain: %s", out)
+	}
+}
+
+func TestGroupCardinalityCaps(t *testing.T) {
+	q := &Query{GroupBy: []BoundCol{{Col: &catalog.Column{NDV: 1e9}}}}
+	if got := groupCardinality(q, 1000); got > 1000 {
+		t.Fatalf("groups should be capped by input rows: %v", got)
+	}
+	if got := groupCardinality(&Query{}, 1000); got != 1 {
+		t.Fatalf("no group by should give 1: %v", got)
+	}
+}
+
+func TestJoinCardinalityFloor(t *testing.T) {
+	if got := joinCardinality(1, 1, nil); got != 1 {
+		t.Fatalf("floor: %v", got)
+	}
+	lc := &catalog.Column{NDV: 100}
+	rc := &catalog.Column{NDV: 1000}
+	got := joinCardinality(1000, 1000, []JoinPred{{LCol: lc, RCol: rc}})
+	if math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("equi-join cardinality: %v", got)
+	}
+}

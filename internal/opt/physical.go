@@ -1,0 +1,167 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/xplan"
+)
+
+// Phys is the physical work vector of one plan node (node-local, not
+// cumulative): abstract CPU operation counts by class and physical page
+// traffic. Both the optimizer's model cost and the engine's true resource
+// accounting are linear functions of this vector, which is what makes the
+// what-if estimates (§4.1) structurally faithful to execution: when the
+// calibration is exact and the memory environment matches, estimate equals
+// actual; they diverge exactly where the paper says optimizers err (cache
+// sizing, memory-dependent passes, and unmodeled update/contention costs).
+type Phys struct {
+	TupleOps float64 // tuple-processing operations
+	PredOps  float64 // predicate/expression evaluations
+	IndexOps float64 // index-entry operations
+
+	SeqReads  float64 // sequential page reads (after cache filtering)
+	RandReads float64 // random page reads (after cache filtering)
+	Writes    float64 // page writes (spills)
+
+	MemBytes float64 // working memory this node occupies
+}
+
+// Physical computes the work vector of node n in an environment with the
+// given cache and per-operator working memory. Memory-dependent pass counts
+// (external sort, multi-pass hash join) are recomputed from the node's data
+// volumes, so the same plan accounts differently under different memory —
+// which is how run-time behaviour tracks the actual allocation even when
+// the plan was chosen under the optimizer's assumed parameters.
+func Physical(n *xplan.Node, cacheBytes, workMemBytes float64) Phys {
+	cachePgs := cacheBytes / catalog.PageSize
+	if cachePgs < 0 {
+		cachePgs = 0
+	}
+	workPgs := workMemBytes / catalog.PageSize
+	if workPgs < 1 {
+		workPgs = 1
+	}
+	var ph Phys
+	switch n.Kind {
+	case xplan.KindSeqScan:
+		ph.TupleOps = n.InputRows
+		ph.PredOps = n.InputRows * n.PredsPerRow
+		miss := n.TablePages - tableCache(n, cachePgs)
+		if miss < 0 {
+			miss = 0
+		}
+		ph.SeqReads = miss
+
+	case xplan.KindIndexScan:
+		ph.TupleOps = n.InputRows
+		ph.IndexOps = n.InputRows
+		ph.PredOps = n.InputRows * n.PredsPerRow
+		// Index interior/leaf pages are hot and get cache priority; heap
+		// pages compete with the rest of the database working set.
+		idxMiss := n.LeafPages - cachePgs
+		if idxMiss < 0 {
+			idxMiss = 0
+		}
+		heapMiss := storage.IndexFetchMisses(n.TablePages, tableCache(n, cachePgs), n.InputRows, n.Clustered)
+		if n.Clustered {
+			ph.SeqReads = heapMiss
+			ph.RandReads = idxMiss
+		} else {
+			ph.RandReads = idxMiss + heapMiss
+		}
+
+	case xplan.KindNLJoin:
+		// Children (outer scan, inner index scan) account for themselves;
+		// the join node only assembles output tuples and applies any
+		// residual predicates pushed onto it.
+		ph.TupleOps = n.Rows
+		ph.PredOps = n.Rows * n.PredsPerRow
+
+	case xplan.KindHashJoin:
+		build, probe := n.Children[0], n.Children[1]
+		ph.TupleOps = build.Rows + n.Rows
+		ph.PredOps = build.Rows + probe.Rows + n.Rows*n.PredsPerRow
+		passes := storage.HashPartitionPasses(n.BuildPages, workPgs)
+		ph.SeqReads = passes * (n.BuildPages + n.ProbePages)
+		ph.Writes = passes * (n.BuildPages + n.ProbePages)
+		ph.MemBytes = math.Min(n.BuildPages, workPgs) * catalog.PageSize
+
+	case xplan.KindMergeJoin:
+		l, r := n.Children[0], n.Children[1]
+		ph.PredOps = l.Rows + r.Rows + n.Rows*n.PredsPerRow
+		ph.TupleOps = n.Rows
+
+	case xplan.KindSort:
+		in := n.Children[0]
+		rows := in.Rows
+		if rows < 2 {
+			rows = 2
+		}
+		keyFactor := 1 + 0.2*float64(maxi(n.SortKeys, 1)-1)
+		ph.PredOps = rows * math.Log2(rows) * keyFactor
+		passes := storage.SortRunPasses(n.BuildPages, workPgs)
+		ph.SeqReads = passes * n.BuildPages
+		ph.Writes = passes * n.BuildPages
+		ph.MemBytes = math.Min(n.BuildPages, workPgs) * catalog.PageSize
+
+	case xplan.KindAggregate:
+		in := n.Children[0]
+		ph.PredOps = in.Rows * float64(1+n.AggExprs)
+		ph.TupleOps = n.Rows
+		ph.PredOps += n.Rows * n.PredsPerRow // HAVING
+		if n.HashAgg {
+			ph.PredOps += in.Rows // hashing
+			ph.MemBytes = n.MemBytes
+		}
+
+	case xplan.KindModify:
+		// The model charges only tuple-processing CPU for DML; locks, log
+		// writes, and dirty-page flushes are charged by the engine's true
+		// accounting (see internal/engine), reproducing the optimizer's
+		// OLTP blind spot from §7.8.
+		ph.TupleOps = n.RowsChanged * (1 + 0.5*float64(n.SetCols))
+	}
+	return ph
+}
+
+// tableCache apportions the cache among the database's tables: a warm
+// cache holds each table's pages roughly in proportion to the table's
+// share of the database working set, so the cache available to one
+// table's accesses is cache × (tablePages / dbPages). Without this, a
+// single hot table would be credited with the entire buffer pool and
+// memory would look far more productive than it is.
+func tableCache(n *xplan.Node, cachePgs float64) float64 {
+	if n.DBPages > n.TablePages && n.DBPages > 0 {
+		return cachePgs * (n.TablePages / n.DBPages)
+	}
+	return cachePgs
+}
+
+// Price converts a work vector into model units under a CostModel.
+func Price(ph Phys, cm CostModel) float64 {
+	return ph.TupleOps*cm.CPUTuple() +
+		ph.PredOps*cm.CPUOperator() +
+		ph.IndexOps*cm.CPUIndexTuple() +
+		ph.SeqReads*cm.SeqPage() +
+		ph.RandReads*cm.RandPage() +
+		ph.Writes*cm.SeqPage()
+}
+
+// RepriceTotal prices an existing plan tree under a different CostModel
+// without re-planning or mutating it. This is the arithmetic of the
+// what-if mode (§4.1): the deployed system's plan is fixed by its own
+// configuration, and a candidate allocation changes what that plan would
+// cost — CPU terms scale with the calibrated 1/share parameters, I/O terms
+// with the cache the allocation implies, memory-dependent pass counts with
+// the working memory. Plans still change across memory allocations because
+// the deployed configuration itself follows the memory policy, which is
+// exactly the paper's piecewise-in-memory, linear-in-CPU cost structure.
+func RepriceTotal(root *xplan.Node, cm CostModel) float64 {
+	var total float64
+	root.Walk(func(n *xplan.Node) {
+		total += Price(Physical(n, cm.CacheBytes(), cm.WorkMemBytes()), cm)
+	})
+	return total
+}

@@ -1,0 +1,273 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// Planner turns SQL statements into costed physical plans for one schema
+// under one CostModel (one what-if parameterization).
+type Planner struct {
+	Schema *catalog.Schema
+	Model  CostModel
+}
+
+// Plan binds and plans a statement.
+func (p *Planner) Plan(stmt sqlmini.Statement) (*xplan.Node, error) {
+	q, err := Bind(p.Schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return p.PlanQuery(q)
+}
+
+// PlanQuery plans an already bound query.
+func (p *Planner) PlanQuery(q *Query) (*xplan.Node, error) {
+	c := newCoster(p.Model, p.Schema.TotalPages())
+	node, err := p.planJoins(c, q)
+	if err != nil {
+		return nil, err
+	}
+	// Semijoins from flattened subqueries.
+	for _, sj := range q.Semis {
+		sub, err := p.PlanQuery(sj.Sub)
+		if err != nil {
+			return nil, err
+		}
+		node = c.semiJoin(node, sub, sj.Sel)
+	}
+	// Residual predicates evaluated on the joined rows.
+	if len(q.Residual) > 0 {
+		node.Rows *= q.ResidualSel
+		if node.Rows < 1 {
+			node.Rows = 1
+		}
+		node.PredsPerRow += float64(len(q.Residual))
+		node.Cost += node.Rows * float64(len(q.Residual)) * p.Model.CPUOperator()
+	}
+	// Aggregation.
+	if len(q.GroupBy) > 0 || q.AggCount > 0 {
+		groups := groupCardinality(q, node.Rows)
+		node = c.aggregate(node, len(q.GroupBy), groups, q.AggCount, q.HavingPreds)
+		if q.HavingPreds > 0 {
+			node.Rows *= math.Pow(1.0/3, float64(q.HavingPreds))
+			if node.Rows < 1 {
+				node.Rows = 1
+			}
+		}
+	}
+	// ORDER BY.
+	if q.OrderKeys > 0 && node.Rows > 1 {
+		node = c.sortNode(node, q.OrderKeys)
+	}
+	// LIMIT.
+	if q.Limit >= 0 && float64(q.Limit) < node.Rows {
+		node.Rows = float64(q.Limit)
+	}
+	// DML application.
+	if q.Modify != xplan.ModifyNone {
+		node = c.modify(node, q.Modify, q.SetColumns)
+	}
+	return node, nil
+}
+
+// groupCardinality estimates the number of groups: the product of group-
+// column NDVs capped by the input cardinality.
+func groupCardinality(q *Query, inRows float64) float64 {
+	if len(q.GroupBy) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, g := range q.GroupBy {
+		ndv := g.Col.NDV
+		if ndv <= 0 {
+			ndv = 100
+		}
+		groups *= ndv
+		if groups > inRows {
+			return maxf(inRows, 1)
+		}
+	}
+	return maxf(math.Min(groups, inRows), 1)
+}
+
+// planJoins picks access paths and a join order. Dynamic programming over
+// connected subsets is used up to dpLimit tables; beyond that, a greedy
+// chain (smallest-result-first) keeps planning polynomial.
+const dpLimit = 11
+
+func (p *Planner) planJoins(c *coster, q *Query) (*xplan.Node, error) {
+	n := len(q.Tables)
+	if n == 0 {
+		return nil, fmt.Errorf("opt: query has no tables")
+	}
+	access := make([]*xplan.Node, n)
+	for i, bt := range q.Tables {
+		access[i] = c.bestAccess(bt)
+	}
+	if n == 1 {
+		return access[0], nil
+	}
+	if n <= dpLimit {
+		return p.dpJoin(c, q, access)
+	}
+	return p.greedyJoin(c, q, access)
+}
+
+type dpEntry struct {
+	node *xplan.Node
+}
+
+// dpJoin is left-deep dynamic programming over table subsets.
+func (p *Planner) dpJoin(c *coster, q *Query, access []*xplan.Node) (*xplan.Node, error) {
+	n := len(q.Tables)
+	full := (1 << n) - 1
+	dp := make([]*dpEntry, full+1)
+	for i := 0; i < n; i++ {
+		dp[1<<i] = &dpEntry{node: access[i]}
+	}
+	for mask := 1; mask <= full; mask++ {
+		if dp[mask] == nil {
+			continue
+		}
+		for t := 0; t < n; t++ {
+			bit := 1 << t
+			if mask&bit != 0 {
+				continue
+			}
+			preds := connecting(q, mask, t)
+			if len(preds) == 0 && hasConnectedOption(q, mask, n) {
+				// Defer cartesian products while connected joins remain.
+				continue
+			}
+			cand := p.bestJoin(c, q, dp[mask].node, t, access[t], preds)
+			next := mask | bit
+			if dp[next] == nil || cand.Cost < dp[next].node.Cost {
+				dp[next] = &dpEntry{node: cand}
+			}
+		}
+	}
+	if dp[full] == nil {
+		return nil, fmt.Errorf("opt: join enumeration failed")
+	}
+	return dp[full].node, nil
+}
+
+// hasConnectedOption reports whether any not-yet-joined table connects to
+// mask via a join predicate.
+func hasConnectedOption(q *Query, mask, n int) bool {
+	for t := 0; t < n; t++ {
+		if mask&(1<<t) != 0 {
+			continue
+		}
+		if len(connecting(q, mask, t)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// connecting returns the join predicates linking table t to the set mask.
+func connecting(q *Query, mask, t int) []JoinPred {
+	var out []JoinPred
+	for _, jp := range q.JoinPreds {
+		if jp.L == t && mask&(1<<jp.R) != 0 {
+			out = append(out, jp)
+		} else if jp.R == t && mask&(1<<jp.L) != 0 {
+			out = append(out, jp)
+		}
+	}
+	return out
+}
+
+// bestJoin prices the physical alternatives for joining the accumulated
+// plan with table t and returns the cheapest.
+func (p *Planner) bestJoin(c *coster, q *Query, acc *xplan.Node, t int, accessT *xplan.Node, preds []JoinPred) *xplan.Node {
+	outRows := joinCardinality(acc.Rows, accessT.Rows, preds)
+	best := c.hashJoin(accessT, acc, outRows) // build the new (usually smaller) side
+	if alt := c.hashJoin(acc, accessT, outRows); alt.Cost < best.Cost {
+		best = alt
+	}
+	if alt := c.mergeJoin(acc, accessT, outRows); alt.Cost < best.Cost {
+		best = alt
+	}
+	// Index nested loop with t as inner.
+	for _, jp := range preds {
+		innerCol := jp.LCol
+		if jp.R == t {
+			innerCol = jp.RCol
+		}
+		if jp.L == t {
+			innerCol = jp.LCol
+		}
+		if alt := c.nlJoin(acc, q.Tables[t], innerCol, outRows); alt != nil && alt.Cost < best.Cost {
+			best = alt
+		}
+	}
+	return best
+}
+
+// joinCardinality applies every connecting predicate's selectivity to the
+// cross product.
+func joinCardinality(lRows, rRows float64, preds []JoinPred) float64 {
+	rows := lRows * rRows
+	for _, jp := range preds {
+		rows *= catalog.JoinSelectivity(jp.LCol, jp.RCol)
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// greedyJoin repeatedly joins the pair producing the smallest intermediate
+// result; used beyond the DP size limit.
+func (p *Planner) greedyJoin(c *coster, q *Query, access []*xplan.Node) (*xplan.Node, error) {
+	n := len(q.Tables)
+	remaining := make(map[int]bool, n)
+	for i := range access {
+		remaining[i] = true
+	}
+	// Start from the smallest filtered table.
+	start := -1
+	for i := range access {
+		if start == -1 || access[i].Rows < access[start].Rows {
+			start = i
+		}
+	}
+	cur := access[start]
+	mask := 1 << start
+	delete(remaining, start)
+	for len(remaining) > 0 {
+		bestT := -1
+		var bestNode *xplan.Node
+		for t := range remaining {
+			preds := connecting(q, mask, t)
+			if len(preds) == 0 && hasConnectedOption(q, mask, n) {
+				continue
+			}
+			cand := p.bestJoin(c, q, cur, t, access[t], preds)
+			if bestNode == nil || cand.Rows < bestNode.Rows ||
+				(cand.Rows == bestNode.Rows && cand.Cost < bestNode.Cost) {
+				bestNode, bestT = cand, t
+			}
+		}
+		if bestT == -1 {
+			// Only cartesian moves remain.
+			for t := range remaining {
+				cand := p.bestJoin(c, q, cur, t, access[t], nil)
+				if bestNode == nil || cand.Cost < bestNode.Cost {
+					bestNode, bestT = cand, t
+				}
+			}
+		}
+		cur = bestNode
+		mask |= 1 << bestT
+		delete(remaining, bestT)
+	}
+	return cur, nil
+}

@@ -1,0 +1,229 @@
+// Package pgsim simulates a PostgreSQL-flavoured database system: the
+// query optimizer exposes exactly the cost-model configuration parameters
+// of the paper's Table II, costs are normalized to sequential-page-read
+// units (the PostgreSQL convention the renormalization step of §4.2 relies
+// on), and the tuning policy mirrors the paper's experimental setup
+// (shared_buffers = 10/16 of VM memory, work_mem fixed at 5 MB).
+package pgsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/opt"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// Params are the PostgreSQL optimizer configuration parameters of
+// Table II. Costs are relative to one sequential page read (= 1.0).
+type Params struct {
+	// RandomPageCost is the cost of a non-sequential page read
+	// (descriptive).
+	RandomPageCost float64
+	// CPUTupleCost is the CPU cost of processing one tuple (descriptive).
+	CPUTupleCost float64
+	// CPUOperatorCost is the per-tuple cost of each predicate/operator
+	// evaluation (descriptive).
+	CPUOperatorCost float64
+	// CPUIndexTupleCost is the CPU cost of processing one index entry
+	// (descriptive).
+	CPUIndexTupleCost float64
+	// SharedBuffersBytes is the buffer pool size (prescriptive).
+	SharedBuffersBytes float64
+	// WorkMemBytes is per-operator working memory (prescriptive).
+	WorkMemBytes float64
+	// EffectiveCacheSizeBytes describes the OS page cache the planner may
+	// assume (descriptive).
+	EffectiveCacheSizeBytes float64
+}
+
+// DefaultParams is the expert-tuned baseline configuration for the
+// simulated hardware, mirroring the paper's expert-tuned installs. In
+// particular random_page_cost reflects the true random/sequential service
+// ratio of the simulated disk (~80:1, a mid-2000s spindle), not the stock
+// PostgreSQL value of 4 — with the stock value the engine would pick
+// random-I/O plans that are an order of magnitude slower at run time.
+// These are the parameters the *deployed* DBMS plans with; the what-if
+// pipeline replaces the descriptive fields with calibrated functions of
+// the candidate allocation (§4.3).
+func DefaultParams() Params {
+	return Params{
+		RandomPageCost:          80.0,
+		CPUTupleCost:            0.018,
+		CPUOperatorCost:         0.0045,
+		CPUIndexTupleCost:       0.009,
+		SharedBuffersBytes:      32 << 20,
+		WorkMemBytes:            5 << 20,
+		EffectiveCacheSizeBytes: 128 << 20,
+	}
+}
+
+// model adapts Params to the optimizer's CostModel.
+type model struct{ p Params }
+
+func (m model) SeqPage() float64       { return 1 }
+func (m model) RandPage() float64      { return m.p.RandomPageCost }
+func (m model) CPUTuple() float64      { return m.p.CPUTupleCost }
+func (m model) CPUOperator() float64   { return m.p.CPUOperatorCost }
+func (m model) CPUIndexTuple() float64 { return m.p.CPUIndexTupleCost }
+func (m model) CacheBytes() float64 {
+	return m.p.SharedBuffersBytes + m.p.EffectiveCacheSizeBytes
+}
+func (m model) WorkMemBytes() float64 { return m.p.WorkMemBytes }
+
+// System is a simulated PostgreSQL instance over one schema.
+type System struct {
+	schema *catalog.Schema
+
+	mu       sync.Mutex
+	bound    map[sqlmini.Statement]*opt.Query
+	deployed map[deployKey]*xplan.Node
+}
+
+// deployKey caches deployed plans per statement and memory bucket.
+type deployKey struct {
+	stmt sqlmini.Statement
+	mem  int64
+}
+
+// New creates a system over the schema.
+func New(schema *catalog.Schema) *System {
+	return &System{
+		schema:   schema,
+		bound:    make(map[sqlmini.Statement]*opt.Query),
+		deployed: make(map[deployKey]*xplan.Node),
+	}
+}
+
+// Name implements dbms.System.
+func (s *System) Name() string { return "pgsim" }
+
+// Schema implements dbms.System.
+func (s *System) Schema() *catalog.Schema { return s.schema }
+
+// bind caches semantic analysis per statement; statements are treated as
+// immutable once parsed.
+func (s *System) bind(stmt sqlmini.Statement) (*opt.Query, error) {
+	s.mu.Lock()
+	q, ok := s.bound[stmt]
+	s.mu.Unlock()
+	if ok {
+		return q, nil
+	}
+	q, err := opt.Bind(s.schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.bound[stmt] = q
+	s.mu.Unlock()
+	return q, nil
+}
+
+// Optimize implements dbms.System: what-if planning under explicit
+// parameters, cost in sequential-page units.
+func (s *System) Optimize(stmt sqlmini.Statement, params any) (*xplan.Node, error) {
+	p, ok := params.(Params)
+	if !ok {
+		return nil, fmt.Errorf("pgsim: want pgsim.Params, got %T", params)
+	}
+	q, err := s.bind(stmt)
+	if err != nil {
+		return nil, err
+	}
+	pl := &opt.Planner{Schema: s.schema, Model: model{p: p}}
+	return pl.PlanQuery(q)
+}
+
+// deployedPlan returns (and caches) the plan the deployed system runs in
+// a VM with the given memory: planned under the expert-tuned defaults with
+// the memory policy applied. The deployed system does not know its CPU
+// share, so — matching reality and the paper's cost model — plans vary
+// with memory but not with CPU.
+func (s *System) deployedPlan(stmt sqlmini.Statement, vmMemBytes float64) (*xplan.Node, error) {
+	k := deployKey{stmt: stmt, mem: int64(vmMemBytes / (32 << 20))}
+	s.mu.Lock()
+	pl, ok := s.deployed[k]
+	s.mu.Unlock()
+	if ok {
+		return pl, nil
+	}
+	pl, err := s.Optimize(stmt, PolicyParams(DefaultParams(), vmMemBytes))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.deployed[k] = pl
+	s.mu.Unlock()
+	return pl, nil
+}
+
+// WhatIf implements dbms.System: reprice the deployed plan under the
+// candidate parameters (§4.1's what-if mode).
+func (s *System) WhatIf(stmt sqlmini.Statement, vmMemBytes float64, params any) (float64, string, error) {
+	p, ok := params.(Params)
+	if !ok {
+		return 0, "", fmt.Errorf("pgsim: want pgsim.Params, got %T", params)
+	}
+	pl, err := s.deployedPlan(stmt, vmMemBytes)
+	if err != nil {
+		return 0, "", err
+	}
+	return opt.RepriceTotal(pl, model{p: p}), pl.Signature(), nil
+}
+
+// osOverheadBytes is the memory the guest OS itself occupies; it is not
+// available as page cache.
+const osOverheadBytes = 64 << 20
+
+// Policy applies the paper's PostgreSQL tuning policy to a VM memory size:
+// shared_buffers = 10/16 of memory, work_mem fixed at 5 MB, and
+// effective_cache_size set to the OS page cache actually available (the
+// remaining memory minus the OS footprint — the accuracy a tuned install
+// gets right; an inflated value would push the planner onto random-I/O
+// plans that run slower than it believes).
+func Policy(vmMemBytes float64) (sharedBuffers, workMem, effectiveCache float64) {
+	sharedBuffers = vmMemBytes * 10 / 16
+	workMem = 5 << 20
+	effectiveCache = vmMemBytes - sharedBuffers - osOverheadBytes
+	if effectiveCache < 0 {
+		effectiveCache = 0
+	}
+	return sharedBuffers, workMem, effectiveCache
+}
+
+// PolicyParams returns params with the prescriptive fields set per Policy
+// and descriptive fields from base.
+func PolicyParams(base Params, vmMemBytes float64) Params {
+	sb, wm, ec := Policy(vmMemBytes)
+	base.SharedBuffersBytes = sb
+	base.WorkMemBytes = wm
+	base.EffectiveCacheSizeBytes = ec
+	return base
+}
+
+// PolicyEnv implements dbms.System: true cache is shared buffers plus the
+// OS page cache (PostgreSQL does buffered I/O), minus a small OS
+// footprint; true sort memory is the fixed work_mem.
+func (s *System) PolicyEnv(vmMemBytes float64) engine.Env {
+	sb, wm, ec := Policy(vmMemBytes)
+	cache := sb + ec
+	if cache < 1<<20 {
+		cache = 1 << 20
+	}
+	return engine.Env{CacheBytes: cache, SortMemBytes: wm}
+}
+
+// Run implements dbms.System: true execution accounting. The plan is the
+// one the optimizer would pick under the policy parameters for this VM
+// size; run-time behaviour then reflects the true environment and profile.
+func (s *System) Run(stmt sqlmini.Statement, vmMemBytes float64, prof xplan.TrueProfile) (xplan.Usage, error) {
+	plan, err := s.deployedPlan(stmt, vmMemBytes)
+	if err != nil {
+		return xplan.Usage{}, err
+	}
+	return engine.Account(plan, s.PolicyEnv(vmMemBytes), prof), nil
+}

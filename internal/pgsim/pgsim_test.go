@@ -1,0 +1,94 @@
+package pgsim
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+func TestPolicyMirrorsPaper(t *testing.T) {
+	vm := 1024.0 * (1 << 20)
+	sb, wm, ec := Policy(vm)
+	if sb != vm*10/16 {
+		t.Fatalf("shared_buffers = %v, want 10/16 of memory", sb)
+	}
+	if wm != 5<<20 {
+		t.Fatalf("work_mem = %v, want fixed 5MB", wm)
+	}
+	if ec != vm-sb-(64<<20) {
+		t.Fatalf("effective_cache_size = %v, want remaining memory minus OS footprint", ec)
+	}
+}
+
+func TestOptimizeCostsInSeqPageUnits(t *testing.T) {
+	sys := New(calSchema())
+	stmt := sqlmini.MustParse("SELECT count(*) FROM cal")
+	p := DefaultParams()
+	pl, err := sys.Optimize(stmt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling only cpu_tuple_cost must increase cost but less than 2x
+	// (other terms unchanged).
+	p2 := p
+	p2.CPUTupleCost *= 2
+	pl2, err := sys.Optimize(stmt, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.Cost <= pl.Cost || pl2.Cost >= 2*pl.Cost {
+		t.Fatalf("cpu_tuple_cost scaling: %v -> %v", pl.Cost, pl2.Cost)
+	}
+}
+
+func TestBindCacheReuses(t *testing.T) {
+	sys := New(calSchema())
+	stmt := sqlmini.MustParse("SELECT count(*) FROM cal")
+	if _, err := sys.Optimize(stmt, DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.bound[stmt]; !ok {
+		t.Fatal("bound query not cached")
+	}
+}
+
+func TestRunMoreMemoryNeverSlower(t *testing.T) {
+	sys := New(calSchema())
+	stmt := sqlmini.MustParse("SELECT v, count(*) FROM cal GROUP BY v")
+	lo, err := sys.Run(stmt, 128<<20, xplan.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := sys.Run(stmt, 2<<30, xplan.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loT := lo.CPUOps + lo.SeqPages + lo.RandPages
+	hiT := hi.CPUOps + hi.SeqPages + hi.RandPages
+	if hiT > loT*(1+1e-9) {
+		t.Fatalf("more memory increased work: %v -> %v", loT, hiT)
+	}
+}
+
+// calSchema builds a small uniform test table (equivalent to the
+// calibration database, but local to avoid an import cycle with
+// internal/calibrate).
+func calSchema() *catalog.Schema {
+	s := catalog.NewSchema("cal")
+	rows := 200_000.0
+	s.Add(&catalog.Table{
+		Name: "cal",
+		Columns: []*catalog.Column{
+			{Name: "k", Type: catalog.Int, NDV: rows, Min: 1, Max: rows},
+			{Name: "v", Type: catalog.Int, NDV: 100, Min: 0, Max: 99},
+			{Name: "pad", Type: catalog.String, NDV: rows, Width: 80},
+		},
+		Rows: rows,
+		Indexes: []*catalog.Index{
+			{Name: "cal_pk", Columns: []string{"k"}, Unique: true, Clustered: true},
+		},
+	})
+	return s
+}

@@ -1,0 +1,352 @@
+// Package refine implements the paper's online refinement (§5): after the
+// advisor's recommendation is deployed, observed actual workload run times
+// are used to correct the optimizer-derived cost models, and the advisor
+// is re-run on the corrected models until the recommendation stabilizes.
+//
+// Cost models have the paper's generalized form (§5.2): for M resources,
+// the first M−1 (CPU-like) contribute linearly in the inverse share and
+// the last (memory-like) selects a piecewise interval whose boundaries are
+// query-plan changes observed during configuration enumeration:
+//
+//	Cost(W, R) = Σ_j α_jk / r_j + β_k      for r_M ∈ A_Mk
+//
+// Refinement scales models by Act/Est (all intervals on the first
+// iteration, the observed interval afterwards) and switches to pure
+// regression on observations once an interval has enough of them.
+package refine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/regress"
+)
+
+// Obs is one actual-cost observation at an allocation.
+type Obs struct {
+	Alloc core.Allocation
+	Act   float64
+}
+
+// Interval is one piece of the piecewise dimension: a plan regime over
+// [Lo, Hi] of the last resource with a full linear model in inverse
+// shares.
+type Interval struct {
+	Lo, Hi float64
+	Plan   string
+	// Alphas has one coefficient per resource; Beta is the intercept.
+	Alphas []float64
+	Beta   float64
+	// Obs are actual observations assigned to this interval.
+	Obs []Obs
+}
+
+// Eval returns the interval's cost prediction at allocation a.
+func (iv *Interval) Eval(a core.Allocation) float64 {
+	v := iv.Beta
+	for j, alpha := range iv.Alphas {
+		r := a[j]
+		if r <= 0 {
+			r = 1e-3
+		}
+		v += alpha / r
+	}
+	return v
+}
+
+// Scale multiplies the interval's coefficients by f (the Act/Est
+// correction of §5.1).
+func (iv *Interval) Scale(f float64) {
+	for j := range iv.Alphas {
+		iv.Alphas[j] *= f
+	}
+	iv.Beta *= f
+}
+
+// Model is one workload's refinable cost model.
+type Model struct {
+	// M is the number of resources.
+	M int
+	// Intervals over the last resource, sorted by Lo.
+	Intervals []*Interval
+	// FirstScaled records whether the first-iteration scale-all step has
+	// happened (§5.1 scales all intervals once to remove uniform bias).
+	FirstScaled bool
+}
+
+// NewModel fits a model from the samples collected during configuration
+// enumeration: samples are grouped by plan signature into intervals of the
+// last resource, and each interval's linear model is fitted to the
+// optimizer's estimated costs (§5: "we obtain the initial α and β values
+// ... by running a linear regression on estimated costs obtained during
+// configuration enumeration").
+func NewModel(samples []core.Sample, m int) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("refine: no enumeration samples")
+	}
+	if m <= 0 {
+		m = len(samples[0].Alloc)
+	}
+	last := m - 1
+	groups := make(map[string][]core.Sample)
+	for _, s := range samples {
+		groups[s.PlanSig] = append(groups[s.PlanSig], s)
+	}
+	model := &Model{M: m}
+	for sig, grp := range groups {
+		iv := &Interval{Plan: sig, Lo: math.Inf(1), Hi: math.Inf(-1), Alphas: make([]float64, m)}
+		var X [][]float64
+		var y []float64
+		for _, s := range grp {
+			lvl := s.Alloc[last]
+			if lvl < iv.Lo {
+				iv.Lo = lvl
+			}
+			if lvl > iv.Hi {
+				iv.Hi = lvl
+			}
+			X = append(X, invFeatures(s.Alloc, m))
+			y = append(y, s.Seconds)
+		}
+		fitInterval(iv, X, y)
+		model.Intervals = append(model.Intervals, iv)
+	}
+	sort.Slice(model.Intervals, func(i, j int) bool {
+		a, b := model.Intervals[i], model.Intervals[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Plan < b.Plan
+	})
+	return model, nil
+}
+
+func invFeatures(a core.Allocation, m int) []float64 {
+	f := make([]float64, m)
+	for j := 0; j < m; j++ {
+		r := a[j]
+		if r <= 0 {
+			r = 1e-3
+		}
+		f[j] = 1 / r
+	}
+	return f
+}
+
+// fitInterval fits α/β to (features, y); with too few or degenerate
+// points it falls back to lower-dimensional fits, ultimately a constant.
+func fitInterval(iv *Interval, X [][]float64, y []float64) {
+	m := len(iv.Alphas)
+	if multi, err := regress.FitMulti(X, y); err == nil && sane(multi.Coef, multi.Intercept) {
+		copy(iv.Alphas, multi.Coef)
+		iv.Beta = multi.Intercept
+		return
+	}
+	// 1-D fallback on the first resource (CPU), the dominant linear term.
+	xs := make([]float64, len(X))
+	for i := range X {
+		xs[i] = X[i][0]
+	}
+	if line, err := regress.Fit1D(xs, y); err == nil && sane([]float64{line.Slope}, line.Intercept) {
+		for j := range iv.Alphas {
+			iv.Alphas[j] = 0
+		}
+		iv.Alphas[0] = line.Slope
+		iv.Beta = line.Intercept
+		return
+	}
+	for j := range iv.Alphas {
+		iv.Alphas[j] = 0
+	}
+	iv.Beta = regress.Mean(y)
+	_ = m
+}
+
+func sane(coef []float64, intercept float64) bool {
+	if math.IsNaN(intercept) || math.IsInf(intercept, 0) {
+		return false
+	}
+	for _, c := range coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Locate returns the interval index for the last-resource level x: the
+// containing interval, or — in a gap — the closer one (§5.1's rule when
+// no actual observation is available).
+func (md *Model) Locate(x float64) int {
+	if len(md.Intervals) == 0 {
+		return -1
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, iv := range md.Intervals {
+		if x >= iv.Lo-1e-12 && x <= iv.Hi+1e-12 {
+			return i
+		}
+		var d float64
+		if x < iv.Lo {
+			d = iv.Lo - x
+		} else {
+			d = x - iv.Hi
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Estimate evaluates the model at an allocation; it implements the same
+// contract as the optimizer-backed estimator, so the advisor can re-run
+// over refined models without consulting the optimizer (§7.2: "for online
+// refinement, the search algorithm uses its own cost model and does not
+// need to call the optimizer").
+func (md *Model) Estimate(a core.Allocation) (float64, string, error) {
+	idx := md.Locate(levelOf(a, md.M))
+	if idx < 0 {
+		return 0, "", errors.New("refine: empty model")
+	}
+	iv := md.Intervals[idx]
+	v := iv.Eval(a)
+	if v < 0 {
+		v = 0
+	}
+	return v, iv.Plan, nil
+}
+
+var _ core.Estimator = (*Model)(nil)
+
+// levelOf extracts the piecewise (last-resource) level of an allocation.
+func levelOf(a core.Allocation, m int) float64 {
+	if m-1 < len(a) {
+		return a[m-1]
+	}
+	return a[len(a)-1]
+}
+
+// Observe incorporates one actual measurement at an allocation, applying
+// the paper's refinement rules:
+//
+//   - First iteration (FirstScaled false): scale ALL intervals by Act/Est,
+//     eliminating a uniform optimizer bias (§5.1).
+//   - Later iterations: resolve the interval (by predicted-vs-actual
+//     proximity in gaps), extend its boundary, record the observation,
+//     then either scale only that interval (fewer than M+1 observations)
+//     or refit it purely from observations, discarding optimizer
+//     estimates (§5.2).
+//
+// It returns the model's estimate prior to the update.
+func (md *Model) Observe(a core.Allocation, act float64) (est float64, err error) {
+	est, _, err = md.Estimate(a)
+	if err != nil {
+		return 0, err
+	}
+	lvlNow := levelOf(a, md.M)
+	if est <= 0 {
+		// A sparse or ill-conditioned interval fit can extrapolate to a
+		// non-positive cost. Act/Est scaling is meaningless there, so the
+		// owning interval is reset to the observed constant; later
+		// observations re-fit it by regression.
+		iv := md.assign(lvlNow, act)
+		for j := range iv.Alphas {
+			iv.Alphas[j] = 0
+		}
+		iv.Beta = act
+		iv.Obs = append(iv.Obs, Obs{Alloc: a.Clone(), Act: act})
+		md.FirstScaled = true
+		return act, nil
+	}
+	ratio := act / est
+	lvl := lvlNow
+	if !md.FirstScaled {
+		for _, iv := range md.Intervals {
+			iv.Scale(ratio)
+		}
+		md.FirstScaled = true
+		md.assign(lvl, act).Obs = append(md.assign(lvl, act).Obs, Obs{Alloc: a.Clone(), Act: act})
+		return est, nil
+	}
+	iv := md.assign(lvl, act)
+	iv.Obs = append(iv.Obs, Obs{Alloc: a.Clone(), Act: act})
+	if len(iv.Obs) >= md.M+1 {
+		var X [][]float64
+		var y []float64
+		for _, o := range iv.Obs {
+			X = append(X, invFeatures(o.Alloc, md.M))
+			y = append(y, o.Act)
+		}
+		if multi, ferr := regress.FitMulti(X, y); ferr == nil && sane(multi.Coef, multi.Intercept) {
+			copy(iv.Alphas, multi.Coef)
+			iv.Beta = multi.Intercept
+			return est, nil
+		}
+	}
+	iv.Scale(ratio)
+	return est, nil
+}
+
+// assign resolves which interval owns level lvl given an actual cost,
+// extending the chosen interval's boundaries (§5.1's gap rule with an
+// observation in hand).
+func (md *Model) assign(lvl, act float64) *Interval {
+	idx := md.Locate(lvl)
+	best := md.Intervals[idx]
+	if lvl >= best.Lo && lvl <= best.Hi {
+		return best
+	}
+	// In a gap: compare the two neighbours' predictions against actual.
+	var lo, hi *Interval
+	for _, iv := range md.Intervals {
+		if iv.Hi < lvl {
+			lo = iv
+		}
+		if iv.Lo > lvl && hi == nil {
+			hi = iv
+		}
+	}
+	pick := best
+	if lo != nil && hi != nil {
+		aLo := approxAt(lo, lvl, md.M)
+		aHi := approxAt(hi, lvl, md.M)
+		if math.Abs(aLo-act) <= math.Abs(aHi-act) {
+			pick = lo
+		} else {
+			pick = hi
+		}
+	}
+	if lvl < pick.Lo {
+		pick.Lo = lvl
+	}
+	if lvl > pick.Hi {
+		pick.Hi = lvl
+	}
+	return pick
+}
+
+// approxAt evaluates an interval at a nominal allocation with the
+// piecewise resource set to lvl and others at their typical share.
+func approxAt(iv *Interval, lvl float64, m int) float64 {
+	a := make(core.Allocation, m)
+	for j := range a {
+		a[j] = 0.5
+	}
+	a[m-1] = lvl
+	return iv.Eval(a)
+}
+
+// String renders the model for diagnostics.
+func (md *Model) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "model(M=%d)", md.M)
+	for _, iv := range md.Intervals {
+		fmt.Fprintf(&sb, " [%.2f,%.2f]α=%v β=%.3g", iv.Lo, iv.Hi, iv.Alphas, iv.Beta)
+	}
+	return sb.String()
+}

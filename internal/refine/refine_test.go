@@ -1,0 +1,273 @@
+package refine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// synthSamples builds enumeration-style samples from a ground-truth cost
+// function over a grid, tagging plans by a memory threshold to create two
+// intervals.
+func synthSamples(cost func(cpu, mem float64) float64, planAt func(mem float64) string) []core.Sample {
+	var out []core.Sample
+	for _, cpu := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for _, mem := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			out = append(out, core.Sample{
+				Alloc:   core.Allocation{cpu, mem},
+				Seconds: cost(cpu, mem),
+				PlanSig: planAt(mem),
+			})
+		}
+	}
+	return out
+}
+
+func singlePlan(float64) string { return "p" }
+
+func TestNewModelRecoversLinearCost(t *testing.T) {
+	truth := func(cpu, mem float64) float64 { return 40/cpu + 10/mem + 3 }
+	md, err := NewModel(synthSamples(truth, singlePlan), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Intervals) != 1 {
+		t.Fatalf("intervals: %d", len(md.Intervals))
+	}
+	for _, a := range []core.Allocation{{0.2, 0.4}, {0.6, 0.8}, {0.45, 0.15}} {
+		est, _, err := md.Estimate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := truth(a[0], a[1])
+		if math.Abs(est-want) > 1e-6*want {
+			t.Fatalf("estimate at %v: %v want %v", a, est, want)
+		}
+	}
+}
+
+func TestNewModelBuildsIntervalsFromPlanChanges(t *testing.T) {
+	truth := func(cpu, mem float64) float64 {
+		if mem < 0.5 {
+			return 80/cpu + 30/mem + 5 // external plan
+		}
+		return 40/cpu + 8/mem + 2
+	}
+	plans := func(mem float64) string {
+		if mem < 0.5 {
+			return "ext"
+		}
+		return "mem"
+	}
+	md, err := NewModel(synthSamples(truth, plans), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Intervals) != 2 {
+		t.Fatalf("want 2 intervals, got %d: %s", len(md.Intervals), md)
+	}
+	if md.Intervals[0].Plan != "ext" || md.Intervals[1].Plan != "mem" {
+		t.Fatalf("interval order: %s", md)
+	}
+	est, sig, err := md.Estimate(core.Allocation{0.5, 0.3})
+	if err != nil || sig != "ext" {
+		t.Fatalf("est=%v sig=%q err=%v", est, sig, err)
+	}
+	if want := truth(0.5, 0.3); math.Abs(est-want) > 1e-6*want {
+		t.Fatalf("ext interval estimate: %v want %v", est, want)
+	}
+}
+
+func TestObserveFirstIterationScalesAllIntervals(t *testing.T) {
+	truth := func(cpu, mem float64) float64 {
+		if mem < 0.5 {
+			return 80/cpu + 30/mem + 5
+		}
+		return 40/cpu + 8/mem + 2
+	}
+	plans := func(mem float64) string {
+		if mem < 0.5 {
+			return "ext"
+		}
+		return "mem"
+	}
+	md, _ := NewModel(synthSamples(truth, plans), 2)
+	a := core.Allocation{0.5, 0.7}
+	est0, _, _ := md.Estimate(a)
+	// Actual is uniformly 2x the model: first observation should scale
+	// every interval by ~2.
+	other := core.Allocation{0.5, 0.2}
+	beforeOther, _, _ := md.Estimate(other)
+	if _, err := md.Observe(a, est0*2); err != nil {
+		t.Fatal(err)
+	}
+	afterSame, _, _ := md.Estimate(a)
+	afterOther, _, _ := md.Estimate(other)
+	if math.Abs(afterSame-2*est0) > 1e-6*est0 {
+		t.Fatalf("observed interval not scaled: %v want %v", afterSame, 2*est0)
+	}
+	if math.Abs(afterOther-2*beforeOther) > 1e-6*beforeOther {
+		t.Fatalf("other interval not scaled on first iteration: %v want %v", afterOther, 2*beforeOther)
+	}
+}
+
+func TestObserveLaterIterationsScaleOnlyObservedInterval(t *testing.T) {
+	truth := func(cpu, mem float64) float64 {
+		if mem < 0.5 {
+			return 80/cpu + 30/mem + 5
+		}
+		return 40/cpu + 8/mem + 2
+	}
+	plans := func(mem float64) string {
+		if mem < 0.5 {
+			return "ext"
+		}
+		return "mem"
+	}
+	md, _ := NewModel(synthSamples(truth, plans), 2)
+	md.FirstScaled = true // skip the scale-all step
+	a := core.Allocation{0.5, 0.7}
+	other := core.Allocation{0.5, 0.2}
+	estA0, _, _ := md.Estimate(a)
+	estO0, _, _ := md.Estimate(other)
+	if _, err := md.Observe(a, estA0*1.5); err != nil {
+		t.Fatal(err)
+	}
+	estA1, _, _ := md.Estimate(a)
+	estO1, _, _ := md.Estimate(other)
+	if math.Abs(estA1-1.5*estA0) > 1e-6*estA0 {
+		t.Fatalf("observed interval: %v want %v", estA1, 1.5*estA0)
+	}
+	if math.Abs(estO1-estO0) > 1e-9 {
+		t.Fatalf("unobserved interval must not move: %v -> %v", estO0, estO1)
+	}
+}
+
+func TestObserveSwitchesToRegressionWithEnoughObservations(t *testing.T) {
+	// Model starts wrong (estimates from a biased optimizer); after M+1=3
+	// observations in the interval, the model must refit to the truth.
+	biased := func(cpu, mem float64) float64 { return 10/cpu + 2/mem + 1 }
+	truth := func(cpu, mem float64) float64 { return 50/cpu + 20/mem + 5 }
+	md, _ := NewModel(synthSamples(biased, singlePlan), 2)
+	obsAt := []core.Allocation{{0.2, 0.3}, {0.6, 0.5}, {0.4, 0.8}, {0.8, 0.2}}
+	for _, a := range obsAt {
+		if _, err := md.Observe(a, truth(a[0], a[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := core.Allocation{0.5, 0.5}
+	est, _, _ := md.Estimate(probe)
+	want := truth(0.5, 0.5)
+	if math.Abs(est-want) > 0.01*want {
+		t.Fatalf("after regression switch: est %v want %v", est, want)
+	}
+}
+
+// End-to-end §5 behaviour: the optimizer systematically underestimates
+// workload 1's CPU appetite; refinement must move CPU toward it and
+// converge near the true optimum.
+func TestRunCorrectsOptimizerBias(t *testing.T) {
+	trueCosts := []func(cpu, mem float64) float64{
+		func(cpu, mem float64) float64 { return 30/cpu + 5/mem + 1 },
+		func(cpu, mem float64) float64 { return 90/cpu + 5/mem + 1 }, // truly CPU-hungry
+	}
+	estCosts := []func(cpu, mem float64) float64{
+		trueCosts[0],
+		func(cpu, mem float64) float64 { return 15/cpu + 5/mem + 1 }, // optimizer sees 1/6 of the CPU need
+	}
+	ests := []core.Estimator{
+		core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+			return estCosts[0](a[0], a[1]), "p", nil
+		}),
+		core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+			return estCosts[1](a[0], a[1]), "p", nil
+		}),
+	}
+	opts := core.Options{Delta: 0.05}
+	initial, err := core.Recommend(ests, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Misled by the optimizer, the advisor gives workload 0 at least as
+	// much CPU as workload 1.
+	if initial.Allocations[1][0] > initial.Allocations[0][0] {
+		t.Fatalf("premise broken: initial %v", initial.Allocations)
+	}
+	out, err := Run(initial, Config{
+		Opts:     opts,
+		MaxIters: 8,
+		Measure: func(i int, a core.Allocation) (float64, error) {
+			return trueCosts[i](a[0], a[1]), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Allocations[1][0] <= out.Allocations[0][0] {
+		t.Fatalf("refinement failed to shift CPU: %v", out.Allocations)
+	}
+	// Compare with the advisor run directly on the truth.
+	truthEsts := []core.Estimator{
+		core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+			return trueCosts[0](a[0], a[1]), "p", nil
+		}),
+		core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+			return trueCosts[1](a[0], a[1]), "p", nil
+		}),
+	}
+	oracle, err := core.Recommend(truthEsts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refined, optimal float64
+	for i := range trueCosts {
+		refined += trueCosts[i](out.Allocations[i][0], out.Allocations[i][1])
+		optimal += trueCosts[i](oracle.Allocations[i][0], oracle.Allocations[i][1])
+	}
+	if refined > optimal*1.08 {
+		t.Fatalf("refined cost %.3f too far from oracle %.3f", refined, optimal)
+	}
+	if len(out.History) == 0 {
+		t.Fatal("history missing")
+	}
+}
+
+func TestRunConvergesWhenModelIsAlreadyRight(t *testing.T) {
+	truth := func(cpu, mem float64) float64 { return 20/cpu + 10/mem }
+	est := core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+		return truth(a[0], a[1]), "p", nil
+	})
+	initial, err := core.Recommend([]core.Estimator{est, est}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(initial, Config{
+		Opts:     core.Options{},
+		MaxIters: 5,
+		Measure: func(i int, a core.Allocation) (float64, error) {
+			return truth(a[0], a[1]), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("should converge immediately with a perfect model")
+	}
+	if len(out.History) != 1 {
+		t.Fatalf("expected a single iteration, got %d", len(out.History))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(&core.Result{}, Config{}); err == nil {
+		t.Fatal("missing Measure should error")
+	}
+}
+
+func TestNewModelErrors(t *testing.T) {
+	if _, err := NewModel(nil, 2); err == nil {
+		t.Fatal("no samples should error")
+	}
+}

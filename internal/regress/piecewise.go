@@ -1,0 +1,217 @@
+package regress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is one (allocation level, cost) observation tagged with the query
+// plan signature the optimizer produced at that level. Plan signatures
+// delimit the intervals of the paper's piecewise-linear memory model (§5.1):
+// "boundaries of the pieces correspond to changes in the query execution
+// plan".
+type Sample struct {
+	X    float64 // resource allocation level, in (0,1]
+	Y    float64 // cost at that level
+	Plan string  // plan signature at that level
+}
+
+// Interval is one piece of a piecewise model: the allocation range [Lo, Hi]
+// over which a single plan was observed, with a linear model in 1/x.
+// Cost(x) = Alpha/x + Beta for x in [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+	Plan   string
+	Alpha  float64
+	Beta   float64
+}
+
+// Eval returns the interval's cost prediction at allocation x.
+func (iv Interval) Eval(x float64) float64 { return iv.Alpha/x + iv.Beta }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.3f,%.3f] plan=%s cost=%.4g/x+%.4g", iv.Lo, iv.Hi, iv.Plan, iv.Alpha, iv.Beta)
+}
+
+// Piecewise is a piecewise-linear (in 1/x) cost model over one resource.
+// Intervals are sorted by Lo and non-overlapping; gaps may exist between
+// the Hi of one interval and the Lo of the next when the optimizer was not
+// consulted at intermediate allocations (§5.1 discusses how to assign
+// points that fall inside such gaps).
+type Piecewise struct {
+	Intervals []Interval
+}
+
+// FitPiecewise groups samples by consecutive runs of identical plan
+// signature (after sorting by X) and fits Cost = Alpha/x + Beta within each
+// run. Runs with a single sample produce a degenerate interval with
+// Alpha = 0 and Beta = the observed cost; refinement handles those by
+// scaling.
+func FitPiecewise(samples []Sample) (Piecewise, error) {
+	if len(samples) == 0 {
+		return Piecewise{}, ErrShape
+	}
+	s := append([]Sample(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i].X < s[j].X })
+	var pw Piecewise
+	start := 0
+	for i := 1; i <= len(s); i++ {
+		if i < len(s) && s[i].Plan == s[start].Plan {
+			continue
+		}
+		run := s[start:i]
+		iv := Interval{Lo: run[0].X, Hi: run[len(run)-1].X, Plan: run[0].Plan}
+		if fitted, ok := fitInverse(run); ok {
+			iv.Alpha, iv.Beta = fitted.Slope, fitted.Intercept
+		} else {
+			iv.Alpha, iv.Beta = 0, Mean(ysOf(run))
+		}
+		pw.Intervals = append(pw.Intervals, iv)
+		start = i
+	}
+	return pw, nil
+}
+
+func ysOf(run []Sample) []float64 {
+	ys := make([]float64, len(run))
+	for i, r := range run {
+		ys[i] = r.Y
+	}
+	return ys
+}
+
+// fitInverse fits y = a*(1/x) + b over the run; ok is false when the run is
+// too short or degenerate.
+func fitInverse(run []Sample) (Line, bool) {
+	if len(run) < 2 {
+		return Line{}, false
+	}
+	xs := make([]float64, len(run))
+	ys := make([]float64, len(run))
+	for i, r := range run {
+		xs[i] = 1 / r.X
+		ys[i] = r.Y
+	}
+	l, err := Fit1D(xs, ys)
+	if err != nil {
+		return Line{}, false
+	}
+	return l, true
+}
+
+// Locate returns the index of the interval containing x. When x falls in a
+// gap between two intervals, the paper's rule applies: without an actual
+// observation, assign x to the closer interval (§5.1). Returns -1 only for
+// an empty model.
+func (pw Piecewise) Locate(x float64) int {
+	if len(pw.Intervals) == 0 {
+		return -1
+	}
+	for i, iv := range pw.Intervals {
+		if x >= iv.Lo && x <= iv.Hi {
+			return i
+		}
+	}
+	// In a gap, before the first, or after the last: pick nearest edge.
+	best, bestDist := 0, -1.0
+	for i, iv := range pw.Intervals {
+		var d float64
+		switch {
+		case x < iv.Lo:
+			d = iv.Lo - x
+		case x > iv.Hi:
+			d = x - iv.Hi
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Eval predicts the cost at allocation x using the containing (or nearest)
+// interval.
+func (pw Piecewise) Eval(x float64) float64 {
+	i := pw.Locate(x)
+	if i < 0 {
+		return 0
+	}
+	return pw.Intervals[i].Eval(x)
+}
+
+// ScaleAll multiplies every interval's Alpha and Beta by f. The first
+// iteration of online refinement scales all intervals to remove a uniform
+// optimizer bias (§5.1).
+func (pw *Piecewise) ScaleAll(f float64) {
+	for i := range pw.Intervals {
+		pw.Intervals[i].Alpha *= f
+		pw.Intervals[i].Beta *= f
+	}
+}
+
+// ScaleAt multiplies only the interval containing x by f. Second and later
+// refinement iterations localize corrections to the observed interval.
+func (pw *Piecewise) ScaleAt(x, f float64) {
+	i := pw.Locate(x)
+	if i < 0 {
+		return
+	}
+	pw.Intervals[i].Alpha *= f
+	pw.Intervals[i].Beta *= f
+}
+
+// AssignObservation resolves gap ambiguity with an actual measurement: x is
+// assigned to whichever neighbouring interval predicts a cost closer to the
+// observed actual, and that interval's boundary is extended to cover x
+// (§5.1: "we assign r_i to the interval that produces the estimated cost
+// that is closer to the actual cost and we update the interval boundaries
+// accordingly"). It returns the chosen interval index.
+func (pw *Piecewise) AssignObservation(x, actual float64) int {
+	if len(pw.Intervals) == 0 {
+		return -1
+	}
+	// If inside an interval already, nothing to resolve.
+	for i, iv := range pw.Intervals {
+		if x >= iv.Lo && x <= iv.Hi {
+			return i
+		}
+	}
+	// Find neighbours around the gap.
+	lo, hi := -1, -1
+	for i, iv := range pw.Intervals {
+		if iv.Hi < x {
+			lo = i
+		}
+		if iv.Lo > x && hi == -1 {
+			hi = i
+		}
+	}
+	pick := func(i int) int {
+		if x < pw.Intervals[i].Lo {
+			pw.Intervals[i].Lo = x
+		}
+		if x > pw.Intervals[i].Hi {
+			pw.Intervals[i].Hi = x
+		}
+		return i
+	}
+	switch {
+	case lo == -1:
+		return pick(hi)
+	case hi == -1:
+		return pick(lo)
+	}
+	dLo := absf(pw.Intervals[lo].Eval(x) - actual)
+	dHi := absf(pw.Intervals[hi].Eval(x) - actual)
+	if dLo <= dHi {
+		return pick(lo)
+	}
+	return pick(hi)
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoPlanSamples builds samples from two plans: plan "ext" below memory 0.5
+// with cost 10/x + 5, plan "mem" at or above 0.5 with cost 2/x + 1.
+func twoPlanSamples() []Sample {
+	var s []Sample
+	for _, x := range []float64{0.1, 0.2, 0.3, 0.4} {
+		s = append(s, Sample{X: x, Y: 10/x + 5, Plan: "ext"})
+	}
+	for _, x := range []float64{0.6, 0.7, 0.8, 0.9} {
+		s = append(s, Sample{X: x, Y: 2/x + 1, Plan: "mem"})
+	}
+	return s
+}
+
+func TestFitPiecewiseTwoPlans(t *testing.T) {
+	pw, err := FitPiecewise(twoPlanSamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw.Intervals) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(pw.Intervals))
+	}
+	ext, mem := pw.Intervals[0], pw.Intervals[1]
+	if ext.Plan != "ext" || mem.Plan != "mem" {
+		t.Fatalf("plan order wrong: %v %v", ext, mem)
+	}
+	if !almostEq(ext.Alpha, 10, 1e-6) || !almostEq(ext.Beta, 5, 1e-6) {
+		t.Fatalf("ext fit: %v", ext)
+	}
+	if !almostEq(mem.Alpha, 2, 1e-6) || !almostEq(mem.Beta, 1, 1e-6) {
+		t.Fatalf("mem fit: %v", mem)
+	}
+}
+
+func TestFitPiecewiseEmpty(t *testing.T) {
+	if _, err := FitPiecewise(nil); err != ErrShape {
+		t.Fatalf("got %v, want ErrShape", err)
+	}
+}
+
+func TestFitPiecewiseSingletonRun(t *testing.T) {
+	pw, err := FitPiecewise([]Sample{{X: 0.5, Y: 7, Plan: "only"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw.Intervals) != 1 {
+		t.Fatalf("intervals: %d", len(pw.Intervals))
+	}
+	if got := pw.Eval(0.5); !almostEq(got, 7, 1e-12) {
+		t.Fatalf("Eval=%v want 7", got)
+	}
+}
+
+func TestLocateInsideAndGap(t *testing.T) {
+	pw, _ := FitPiecewise(twoPlanSamples())
+	if i := pw.Locate(0.25); i != 0 {
+		t.Fatalf("0.25 -> %d, want 0", i)
+	}
+	if i := pw.Locate(0.75); i != 1 {
+		t.Fatalf("0.75 -> %d, want 1", i)
+	}
+	// Gap point nearer to the first interval's Hi (0.4) than second's Lo (0.6).
+	if i := pw.Locate(0.45); i != 0 {
+		t.Fatalf("0.45 -> %d, want 0 (closer interval)", i)
+	}
+	if i := pw.Locate(0.55); i != 1 {
+		t.Fatalf("0.55 -> %d, want 1 (closer interval)", i)
+	}
+	// Outside either end.
+	if i := pw.Locate(0.01); i != 0 {
+		t.Fatalf("0.01 -> %d, want 0", i)
+	}
+	if i := pw.Locate(0.99); i != 1 {
+		t.Fatalf("0.99 -> %d, want 1", i)
+	}
+}
+
+func TestScaleAllAndAt(t *testing.T) {
+	pw, _ := FitPiecewise(twoPlanSamples())
+	before0 := pw.Eval(0.2)
+	before1 := pw.Eval(0.8)
+	pw.ScaleAll(2)
+	if !almostEq(pw.Eval(0.2), 2*before0, 1e-9) || !almostEq(pw.Eval(0.8), 2*before1, 1e-9) {
+		t.Fatal("ScaleAll did not scale both intervals")
+	}
+	pw.ScaleAt(0.8, 0.5)
+	if !almostEq(pw.Eval(0.8), before1, 1e-9) {
+		t.Fatal("ScaleAt did not scale the located interval")
+	}
+	if !almostEq(pw.Eval(0.2), 2*before0, 1e-9) {
+		t.Fatal("ScaleAt leaked into another interval")
+	}
+}
+
+func TestAssignObservationPicksCloserPrediction(t *testing.T) {
+	pw, _ := FitPiecewise(twoPlanSamples())
+	// At x=0.5 (in the gap): ext predicts 25, mem predicts 5. An actual of
+	// 6 should be assigned to interval 1 and extend its Lo to 0.5.
+	i := pw.AssignObservation(0.5, 6)
+	if i != 1 {
+		t.Fatalf("assigned to %d, want 1", i)
+	}
+	if pw.Intervals[1].Lo != 0.5 {
+		t.Fatalf("Lo not extended: %v", pw.Intervals[1])
+	}
+	// An actual of 24 should go to interval 0.
+	pw2, _ := FitPiecewise(twoPlanSamples())
+	if i := pw2.AssignObservation(0.5, 24); i != 0 {
+		t.Fatalf("assigned to %d, want 0", i)
+	}
+	if pw2.Intervals[0].Hi != 0.5 {
+		t.Fatalf("Hi not extended: %v", pw2.Intervals[0])
+	}
+}
+
+func TestAssignObservationInsideInterval(t *testing.T) {
+	pw, _ := FitPiecewise(twoPlanSamples())
+	if i := pw.AssignObservation(0.3, 123); i != 0 {
+		t.Fatalf("inside point reassigned: %d", i)
+	}
+}
+
+// Property: for samples generated from any two-piece inverse-linear model,
+// Eval reproduces the generating model inside the sampled ranges.
+func TestPiecewisePropertyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a1, b1 := 1+rng.Float64()*20, rng.Float64()*10
+		a2, b2 := 1+rng.Float64()*5, rng.Float64()*3
+		var samples []Sample
+		for _, x := range []float64{0.1, 0.15, 0.2, 0.25, 0.3} {
+			samples = append(samples, Sample{X: x, Y: a1/x + b1, Plan: "p1"})
+		}
+		for _, x := range []float64{0.6, 0.7, 0.8, 0.9, 1.0} {
+			samples = append(samples, Sample{X: x, Y: a2/x + b2, Plan: "p2"})
+		}
+		pw, err := FitPiecewise(samples)
+		if err != nil || len(pw.Intervals) != 2 {
+			return false
+		}
+		for _, x := range []float64{0.12, 0.22, 0.28} {
+			if math.Abs(pw.Eval(x)-(a1/x+b1)) > 1e-6*(1+a1/x+b1) {
+				return false
+			}
+		}
+		for _, x := range []float64{0.65, 0.85, 0.95} {
+			if math.Abs(pw.Eval(x)-(a2/x+b2)) > 1e-6*(1+a2/x+b2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

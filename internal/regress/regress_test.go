@@ -1,0 +1,218 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestFit1DExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3.5*x - 2
+	}
+	l, err := Fit1D(xs, ys)
+	if err != nil {
+		t.Fatalf("Fit1D: %v", err)
+	}
+	if !almostEq(l.Slope, 3.5, 1e-9) || !almostEq(l.Intercept, -2, 1e-9) {
+		t.Fatalf("got %v, want slope 3.5 intercept -2", l)
+	}
+	if l.R2 < 0.999999 {
+		t.Fatalf("R2 = %v, want ~1", l.R2)
+	}
+}
+
+func TestFit1DErrors(t *testing.T) {
+	if _, err := Fit1D([]float64{1}, []float64{1}); err != ErrShape {
+		t.Fatalf("short input: got %v, want ErrShape", err)
+	}
+	if _, err := Fit1D([]float64{1, 2}, []float64{1}); err != ErrShape {
+		t.Fatalf("mismatched input: got %v, want ErrShape", err)
+	}
+	if _, err := Fit1D([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrSingular {
+		t.Fatalf("constant x: got %v, want ErrSingular", err)
+	}
+}
+
+func TestFit1DRecoversNoisyLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		ys[i] = 2*xs[i] + 1 + rng.NormFloat64()*0.01
+	}
+	l, err := Fit1D(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.Slope, 2, 1e-2) || !almostEq(l.Intercept, 1, 1e-2) {
+		t.Fatalf("noisy fit off: %v", l)
+	}
+}
+
+func TestFitThroughOrigin(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	ys := []float64{0.5, 1.0, 2.0}
+	l, err := FitThroughOrigin(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.Slope, 0.5, 1e-12) || l.Intercept != 0 {
+		t.Fatalf("got %v", l)
+	}
+	if _, err := FitThroughOrigin([]float64{0, 0}, []float64{0, 0}); err != ErrSingular {
+		t.Fatalf("zero x: got %v", err)
+	}
+}
+
+// Property: Fit1D recovers any non-degenerate line exactly.
+func TestFit1DPropertyExactRecovery(t *testing.T) {
+	f := func(slope, intercept float64, seed int64) bool {
+		if math.IsNaN(slope) || math.IsInf(slope, 0) || math.Abs(slope) > 1e6 {
+			return true // skip pathological generator output
+		}
+		if math.IsNaN(intercept) || math.IsInf(intercept, 0) || math.Abs(intercept) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 8)
+		ys := make([]float64, 8)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()
+			ys[i] = slope*xs[i] + intercept
+		}
+		l, err := Fit1D(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(l.Slope, slope, 1e-6) && almostEq(l.Intercept, intercept, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolve2x2(t *testing.T) {
+	// 2x + y = 5; x - y = 1 -> x=2, y=1
+	x, err := Solve([][]float64{{2, 1}, {1, -1}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-12) || !almostEq(x[1], 1, 1e-12) {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	_, err := Solve([][]float64{{1, 2}, {2, 4}}, []float64{3, 6})
+	if err != ErrSingular {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestSolvePreservesInputs(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	if _, err := Solve(A, b); err != nil {
+		t.Fatal(err)
+	}
+	if A[0][0] != 2 || A[1][1] != -1 || b[0] != 5 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+// Property: Solve(A, A·x) == x for random well-conditioned A.
+func TestSolvePropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		A := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range A {
+			A[i] = make([]float64, n)
+			for j := range A[i] {
+				A[i][j] = rng.NormFloat64()
+			}
+			A[i][i] += float64(n) + 1 // diagonal dominance => well-conditioned
+			x[i] = rng.NormFloat64() * 10
+		}
+		b := make([]float64, n)
+		for i := range A {
+			for j := range A[i] {
+				b[i] += A[i][j] * x[j]
+			}
+		}
+		got, err := Solve(A, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitMultiExactPlane(t *testing.T) {
+	// y = 2*a - 3*b + 4
+	var X [][]float64
+	var y []float64
+	for a := 0.0; a < 4; a++ {
+		for b := 0.0; b < 4; b++ {
+			X = append(X, []float64{a, b})
+			y = append(y, 2*a-3*b+4)
+		}
+	}
+	m, err := FitMulti(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Coef[0], 2, 1e-9) || !almostEq(m.Coef[1], -3, 1e-9) || !almostEq(m.Intercept, 4, 1e-9) {
+		t.Fatalf("got %+v", m)
+	}
+	if m.R2 < 0.999999 {
+		t.Fatalf("R2=%v", m.R2)
+	}
+}
+
+func TestFitMultiShapeErrors(t *testing.T) {
+	if _, err := FitMulti(nil, nil); err != ErrShape {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := FitMulti([][]float64{{1, 2}}, []float64{1}); err != ErrShape {
+		t.Fatalf("underdetermined: %v", err)
+	}
+	if _, err := FitMulti([][]float64{{1, 2}, {3}}, []float64{1, 2}); err != ErrShape {
+		t.Fatalf("ragged: %v", err)
+	}
+}
+
+func TestMaxAbsRelError(t *testing.T) {
+	got := MaxAbsRelError([]float64{1.1, 2.0}, []float64{1.0, 2.0})
+	if !almostEq(got, 0.1, 1e-9) {
+		t.Fatalf("got %v", got)
+	}
+	if MaxAbsRelError(nil, nil) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+}

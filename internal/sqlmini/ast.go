@@ -1,0 +1,454 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+// Expr is any scalar or boolean expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent; conjunction/disjunction tree
+	GroupBy  []*ColumnRef
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// SelectItem is one projection; Star means "*".
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the binding name for the reference (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// UpdateStmt is an UPDATE statement.
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmtNode() {}
+
+// Assignment is one SET column = expr pair.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// InsertStmt is an INSERT; exactly one of Values or Query is set.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Values  []Expr
+	Query   *SelectStmt
+}
+
+func (*InsertStmt) stmtNode() {}
+
+// DeleteStmt is a DELETE statement.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmtNode() {}
+
+// ColumnRef is a possibly-qualified column reference.
+type ColumnRef struct {
+	Qualifier string // table or alias, "" when unqualified
+	Name      string
+}
+
+func (*ColumnRef) exprNode() {}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Val   float64
+	IsInt bool
+}
+
+func (*NumberLit) exprNode() {}
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+func (*StringLit) exprNode() {}
+
+// DateLit is a DATE 'YYYY-MM-DD' literal; Days is days since 1970-01-01.
+type DateLit struct {
+	Days float64
+	Text string
+}
+
+func (*DateLit) exprNode() {}
+
+// ParseDateDays converts an ISO date string to days since the Unix epoch.
+func ParseDateDays(s string) (float64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, err
+	}
+	return float64(t.Unix()) / 86400, nil
+}
+
+// BinaryExpr is arithmetic: Op in {+, -, *, /}.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// Comparison is a relational predicate: Op in {=, <>, <, <=, >, >=}.
+type Comparison struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Comparison) exprNode() {}
+
+// AndExpr is conjunction.
+type AndExpr struct{ L, R Expr }
+
+func (*AndExpr) exprNode() {}
+
+// OrExpr is disjunction.
+type OrExpr struct{ L, R Expr }
+
+func (*OrExpr) exprNode() {}
+
+// NotExpr is negation.
+type NotExpr struct{ X Expr }
+
+func (*NotExpr) exprNode() {}
+
+// BetweenExpr is X BETWEEN Lo AND Hi.
+type BetweenExpr struct{ X, Lo, Hi Expr }
+
+func (*BetweenExpr) exprNode() {}
+
+// InExpr is X IN (list) or X IN (subquery).
+type InExpr struct {
+	X       Expr
+	List    []Expr
+	Sub     *SelectStmt
+	Negated bool
+}
+
+func (*InExpr) exprNode() {}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub     *SelectStmt
+	Negated bool
+}
+
+func (*ExistsExpr) exprNode() {}
+
+// LikeExpr is X [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Negated bool
+}
+
+func (*LikeExpr) exprNode() {}
+
+// FuncExpr is an aggregate call. Star marks COUNT(*).
+type FuncExpr struct {
+	Name     string // upper case: COUNT, SUM, AVG, MIN, MAX
+	Star     bool
+	Distinct bool
+	Arg      Expr
+}
+
+func (*FuncExpr) exprNode() {}
+
+// ---- Printing ----------------------------------------------------------
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if it.Star {
+			sb.WriteString("*")
+			continue
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, tr := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(tr.Table)
+		if tr.Alias != "" {
+			sb.WriteString(" " + tr.Alias)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT " + strconv.Itoa(s.Limit))
+	}
+	return sb.String()
+}
+
+func (u *UpdateStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE " + u.Table + " SET ")
+	for i, a := range u.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Column + " = " + a.Value.String())
+	}
+	if u.Where != nil {
+		sb.WriteString(" WHERE " + u.Where.String())
+	}
+	return sb.String()
+}
+
+func (ins *InsertStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + ins.Table)
+	if len(ins.Columns) > 0 {
+		sb.WriteString(" (" + strings.Join(ins.Columns, ", ") + ")")
+	}
+	if ins.Query != nil {
+		sb.WriteString(" " + ins.Query.String())
+		return sb.String()
+	}
+	sb.WriteString(" VALUES (")
+	for i, v := range ins.Values {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (d *DeleteStmt) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}
+
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+func (n *NumberLit) String() string {
+	if n.IsInt {
+		return strconv.FormatInt(int64(n.Val), 10)
+	}
+	return strconv.FormatFloat(n.Val, 'g', -1, 64)
+}
+
+func (s *StringLit) String() string {
+	return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'"
+}
+
+func (d *DateLit) String() string { return "DATE '" + d.Text + "'" }
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+func (c *Comparison) String() string {
+	return c.L.String() + " " + c.Op + " " + c.R.String()
+}
+
+func (a *AndExpr) String() string { return "(" + a.L.String() + " AND " + a.R.String() + ")" }
+func (o *OrExpr) String() string  { return "(" + o.L.String() + " OR " + o.R.String() + ")" }
+func (n *NotExpr) String() string { return "NOT (" + n.X.String() + ")" }
+
+func (b *BetweenExpr) String() string {
+	return b.X.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+func (in *InExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.X.String())
+	if in.Negated {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	if in.Sub != nil {
+		sb.WriteString(in.Sub.String())
+	} else {
+		for i, e := range in.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (e *ExistsExpr) String() string {
+	s := "EXISTS (" + e.Sub.String() + ")"
+	if e.Negated {
+		return "NOT " + s
+	}
+	return s
+}
+
+func (l *LikeExpr) String() string {
+	op := " LIKE "
+	if l.Negated {
+		op = " NOT LIKE "
+	}
+	return l.X.String() + op + "'" + l.Pattern + "'"
+}
+
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	inner := f.Arg.String()
+	if f.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return f.Name + "(" + inner + ")"
+}
+
+// Conjuncts flattens an expression tree into its top-level AND-ed factors.
+// OR trees remain single conjuncts. A nil input returns nil.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*AndExpr); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// ColumnRefs collects every column reference in the expression tree,
+// including those inside subqueries' correlation predicates.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case nil:
+		case *ColumnRef:
+			out = append(out, v)
+		case *BinaryExpr:
+			walk(v.L)
+			walk(v.R)
+		case *Comparison:
+			walk(v.L)
+			walk(v.R)
+		case *AndExpr:
+			walk(v.L)
+			walk(v.R)
+		case *OrExpr:
+			walk(v.L)
+			walk(v.R)
+		case *NotExpr:
+			walk(v.X)
+		case *BetweenExpr:
+			walk(v.X)
+			walk(v.Lo)
+			walk(v.Hi)
+		case *InExpr:
+			walk(v.X)
+			for _, it := range v.List {
+				walk(it)
+			}
+		case *LikeExpr:
+			walk(v.X)
+		case *FuncExpr:
+			if v.Arg != nil {
+				walk(v.Arg)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

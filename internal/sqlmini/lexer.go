@@ -1,0 +1,153 @@
+package sqlmini
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// lexer produces tokens from SQL text.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes the whole input, returning the token stream including a
+// trailing TokEOF.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		return lx.lexWord(start), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(start)
+	case c == '\'':
+		return lx.lexString(start)
+	}
+	// Symbols, longest match first.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<>", "<=", ">=", "!=":
+		lx.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+	}
+	switch c {
+	case '(', ')', ',', '.', '=', '<', '>', '+', '-', '*', '/', ';':
+		lx.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, errf(start, "unexpected character %q", c)
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) lexWord(start int) Token {
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	word := lx.src[start:lx.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		return Token{Kind: TokKeyword, Text: up, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start}
+}
+
+func (lx *lexer) lexNumber(start int) (Token, error) {
+	sawDot := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '.' {
+			if sawDot {
+				break
+			}
+			// Don't consume a trailing dot that isn't followed by a digit
+			// (e.g. "1.x" is invalid anyway, but be conservative).
+			if lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] < '0' || lx.src[lx.pos+1] > '9' {
+				break
+			}
+			sawDot = true
+			lx.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, errf(start, "bad number %q", text)
+	}
+	return Token{Kind: TokNumber, Text: text, Num: v, IsInt: !sawDot, Pos: start}, nil
+}
+
+func (lx *lexer) lexString(start int) (Token, error) {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return Token{}, errf(start, "unterminated string literal")
+}

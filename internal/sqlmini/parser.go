@@ -1,0 +1,645 @@
+package sqlmini
+
+import "strings"
+
+// Parse parses a single SQL statement (optionally ';'-terminated).
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, errf(p.peek().Pos, "trailing input after statement: %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+// MustParse parses or panics; for statically-known query templates.
+func MustParse(src string) Statement {
+	s, err := Parse(src)
+	if err != nil {
+		panic("sqlmini.MustParse: " + err.Error() + " in " + src)
+	}
+	return s
+}
+
+// ParseSelect parses and requires a SELECT statement.
+func ParseSelect(src string) (*SelectStmt, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok {
+		return nil, errf(0, "expected SELECT statement")
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind and (if non-empty) text.
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.peek()
+	return Token{}, errf(t.Pos, "expected %s %q, found %s %q", kind, text, t.Kind, t.Text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(TokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(TokKeyword, "DELETE"):
+		return p.parseDelete()
+	}
+	t := p.peek()
+	return nil, errf(t.Pos, "expected a statement, found %q", t.Text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	sel.Distinct = p.accept(TokKeyword, "DISTINCT")
+	for {
+		if p.accept(TokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(TokKeyword, "AS") {
+				id, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = id.Text
+			} else if p.at(TokIdent, "") {
+				item.Alias = p.next().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		// "JOIN t ON pred" / "INNER JOIN t ON pred" sugar: the join
+		// predicate is folded into WHERE, which is how the planner sees
+		// comma joins anyway.
+		if p.at(TokKeyword, "JOIN") || p.at(TokKeyword, "INNER") {
+			p.accept(TokKeyword, "INNER")
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			tr2, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr2)
+			if _, err := p.expect(TokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseBool()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = conjoin(sel.Where, pred)
+			// Allow chaining further joins or commas.
+			if p.at(TokKeyword, "JOIN") || p.at(TokKeyword, "INNER") || p.at(TokSymbol, ",") {
+				continue
+			}
+		}
+		break
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = conjoin(sel.Where, w)
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			cr, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, cr)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		h, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				oi.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, oi)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		n, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = int(n.Num)
+	}
+	return sel, nil
+}
+
+func conjoin(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &AndExpr{L: a, R: b}
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	id, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: id.Text}
+	if p.at(TokIdent, "") {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColumnRef() (*ColumnRef, error) {
+	id, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	cr := &ColumnRef{Name: id.Text}
+	if p.accept(TokSymbol, ".") {
+		id2, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		cr.Qualifier, cr.Name = cr.Name, id2.Text
+	}
+	return cr, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	id, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: id.Text}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, Assignment{Column: col.Text, Value: v})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: id.Text}
+	if p.accept(TokSymbol, "(") {
+		for {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col.Text)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.at(TokKeyword, "SELECT") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+		return ins, nil
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, v)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: id.Text}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}
+
+// ---- Boolean expressions ------------------------------------------------
+
+func (p *parser) parseBool() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		// NOT EXISTS/IN fold into their node's Negated flag for nicer
+		// planner handling.
+		switch v := x.(type) {
+		case *ExistsExpr:
+			v.Negated = !v.Negated
+			return v, nil
+		case *InExpr:
+			v.Negated = !v.Negated
+			return v, nil
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.at(TokKeyword, "EXISTS") {
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+	}
+	// A parenthesized boolean vs a parenthesized arithmetic expression is
+	// ambiguous at '('; try boolean first by lookahead on content is
+	// complex — instead parse an expression and continue with operators,
+	// but allow '(' bool ')' when it starts with NOT/EXISTS or when the
+	// parse as expression fails to be followed by a comparison.
+	save := p.i
+	l, err := p.parseExpr()
+	if err != nil {
+		// Retry as parenthesized boolean.
+		p.i = save
+		if p.accept(TokSymbol, "(") {
+			b, berr := p.parseBool()
+			if berr != nil {
+				return nil, err
+			}
+			if _, perr := p.expect(TokSymbol, ")"); perr != nil {
+				return nil, perr
+			}
+			return b, nil
+		}
+		return nil, err
+	}
+	switch {
+	case p.at(TokSymbol, "=") || p.at(TokSymbol, "<>") || p.at(TokSymbol, "<") ||
+		p.at(TokSymbol, "<=") || p.at(TokSymbol, ">") || p.at(TokSymbol, ">="):
+		op := p.next().Text
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Op: op, L: l, R: r}, nil
+	case p.at(TokKeyword, "BETWEEN"):
+		p.next()
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi}, nil
+	case p.at(TokKeyword, "NOT") || p.at(TokKeyword, "IN") || p.at(TokKeyword, "LIKE"):
+		negated := p.accept(TokKeyword, "NOT")
+		if p.accept(TokKeyword, "LIKE") {
+			pat, err := p.expect(TokString, "")
+			if err != nil {
+				return nil, err
+			}
+			return &LikeExpr{X: l, Pattern: pat.Text, Negated: negated}, nil
+		}
+		if _, err := p.expect(TokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: l, Negated: negated}
+		if p.at(TokKeyword, "SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Sub = sub
+		} else {
+			for {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, v)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	// Bare expression in boolean position is invalid in this subset.
+	return nil, errf(p.peek().Pos, "expected a predicate operator after expression")
+}
+
+// ---- Scalar expressions --------------------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, "+") || p.at(TokSymbol, "-") {
+		op := p.next().Text
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, "*") || p.at(TokSymbol, "/") {
+		op := p.next().Text
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func isAggKeyword(text string) bool {
+	switch text {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &NumberLit{Val: t.Num, IsInt: t.IsInt}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{Val: t.Text}, nil
+	case t.Kind == TokSymbol && t.Text == "-":
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(*NumberLit); ok {
+			return &NumberLit{Val: -n.Val, IsInt: n.IsInt}, nil
+		}
+		return &BinaryExpr{Op: "-", L: &NumberLit{Val: 0, IsInt: true}, R: x}, nil
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokKeyword && t.Text == "DATE":
+		p.next()
+		s, err := p.expect(TokString, "")
+		if err != nil {
+			return nil, err
+		}
+		days, derr := ParseDateDays(s.Text)
+		if derr != nil {
+			return nil, errf(s.Pos, "bad date literal %q: %v", s.Text, derr)
+		}
+		return &DateLit{Days: days, Text: s.Text}, nil
+	case t.Kind == TokKeyword && isAggKeyword(t.Text):
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		f := &FuncExpr{Name: t.Text}
+		if p.accept(TokSymbol, "*") {
+			if strings.ToUpper(t.Text) != "COUNT" {
+				return nil, errf(t.Pos, "%s(*) is only valid for COUNT", t.Text)
+			}
+			f.Star = true
+		} else {
+			f.Distinct = p.accept(TokKeyword, "DISTINCT")
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Arg = arg
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.Kind == TokIdent:
+		return p.parseColumnRef()
+	}
+	return nil, errf(t.Pos, "expected an expression, found %s %q", t.Kind, t.Text)
+}

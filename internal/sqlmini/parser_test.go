@@ -1,0 +1,315 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	s, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustSelect(t, "SELECT a, b FROM t WHERE a = 5")
+	if len(s.Items) != 2 || len(s.From) != 1 {
+		t.Fatalf("shape: %+v", s)
+	}
+	cmp, ok := s.Where.(*Comparison)
+	if !ok || cmp.Op != "=" {
+		t.Fatalf("where: %#v", s.Where)
+	}
+	if s.Limit != -1 {
+		t.Fatalf("limit default: %d", s.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustSelect(t, "select * from lineitem")
+	if !s.Items[0].Star {
+		t.Fatal("star not parsed")
+	}
+}
+
+func TestParseQualifiedAndAlias(t *testing.T) {
+	s := mustSelect(t, "SELECT o.o_orderkey AS k, c.c_name FROM orders o, customer c WHERE o.o_custkey = c.c_custkey")
+	if s.Items[0].Alias != "k" {
+		t.Fatalf("alias: %+v", s.Items[0])
+	}
+	if s.From[0].Name() != "o" || s.From[1].Name() != "c" {
+		t.Fatalf("from: %+v", s.From)
+	}
+	cr := s.Items[1].Expr.(*ColumnRef)
+	if cr.Qualifier != "c" || cr.Name != "c_name" {
+		t.Fatalf("colref: %+v", cr)
+	}
+}
+
+func TestParseJoinSyntaxFoldsIntoWhere(t *testing.T) {
+	s := mustSelect(t, "SELECT c.c_name FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey WHERE o.o_orderkey < 100")
+	if len(s.From) != 2 {
+		t.Fatalf("from: %+v", s.From)
+	}
+	conj := Conjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts: %d (%v)", len(conj), s.Where)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	s := mustSelect(t, `SELECT l_returnflag, count(*), sum(l_extendedprice * (1 - l_discount)) AS rev
+		FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'
+		GROUP BY l_returnflag ORDER BY l_returnflag`)
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Name != "l_returnflag" {
+		t.Fatalf("group by: %+v", s.GroupBy)
+	}
+	f, ok := s.Items[1].Expr.(*FuncExpr)
+	if !ok || !f.Star || f.Name != "COUNT" {
+		t.Fatalf("count(*): %#v", s.Items[1].Expr)
+	}
+	sum, ok := s.Items[2].Expr.(*FuncExpr)
+	if !ok || sum.Name != "SUM" || sum.Arg == nil {
+		t.Fatalf("sum: %#v", s.Items[2].Expr)
+	}
+	if s.Items[2].Alias != "rev" {
+		t.Fatalf("alias: %+v", s.Items[2])
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE d >= DATE '1994-01-01' AND d < DATE '1995-01-01'")
+	conj := Conjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts: %d", len(conj))
+	}
+	lo := conj[0].(*Comparison).R.(*DateLit)
+	hi := conj[1].(*Comparison).R.(*DateLit)
+	if hi.Days-lo.Days != 365 {
+		t.Fatalf("1994 should be 365 days: %v..%v", lo.Days, hi.Days)
+	}
+}
+
+func TestParseBetweenInLike(t *testing.T) {
+	s := mustSelect(t, `SELECT a FROM t WHERE x BETWEEN 1 AND 10 AND y IN (1, 2, 3) AND z LIKE '%green%' AND w NOT IN (5)`)
+	conj := Conjuncts(s.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts: %d", len(conj))
+	}
+	if _, ok := conj[0].(*BetweenExpr); !ok {
+		t.Fatalf("between: %#v", conj[0])
+	}
+	in := conj[1].(*InExpr)
+	if len(in.List) != 3 || in.Negated {
+		t.Fatalf("in: %+v", in)
+	}
+	like := conj[2].(*LikeExpr)
+	if like.Pattern != "%green%" {
+		t.Fatalf("like: %+v", like)
+	}
+	nin := conj[3].(*InExpr)
+	if !nin.Negated {
+		t.Fatalf("not in: %+v", nin)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	s := mustSelect(t, `SELECT c_name FROM customer WHERE c_custkey IN
+		(SELECT o_custkey FROM orders WHERE o_totalprice > 1000)`)
+	in := s.Where.(*InExpr)
+	if in.Sub == nil {
+		t.Fatalf("subquery not parsed: %+v", in)
+	}
+	s2 := mustSelect(t, `SELECT s_name FROM supplier WHERE EXISTS
+		(SELECT l_orderkey FROM lineitem WHERE l_suppkey = s_suppkey)`)
+	ex := s2.Where.(*ExistsExpr)
+	if ex.Sub == nil || ex.Negated {
+		t.Fatalf("exists: %+v", ex)
+	}
+	s3 := mustSelect(t, `SELECT s_name FROM supplier WHERE NOT EXISTS
+		(SELECT l_orderkey FROM lineitem WHERE l_suppkey = s_suppkey)`)
+	if !s3.Where.(*ExistsExpr).Negated {
+		t.Fatal("NOT EXISTS should set Negated")
+	}
+}
+
+func TestParseOrPrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*OrExpr)
+	if !ok {
+		t.Fatalf("top should be OR: %#v", s.Where)
+	}
+	if _, ok := or.R.(*AndExpr); !ok {
+		t.Fatalf("AND should bind tighter: %#v", or.R)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st, err := Parse("UPDATE stock SET s_quantity = s_quantity - 10, s_ytd = s_ytd + 10 WHERE s_i_id = 77 AND s_w_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := st.(*UpdateStmt)
+	if u.Table != "stock" || len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("update: %+v", u)
+	}
+}
+
+func TestParseInsertValuesAndSelect(t *testing.T) {
+	st, err := Parse("INSERT INTO history (h_c_id, h_amount) VALUES (42, 3.14)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if ins.Table != "history" || len(ins.Columns) != 2 || len(ins.Values) != 2 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	st2, err := Parse("INSERT INTO t2 SELECT a FROM t1 WHERE a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*InsertStmt).Query == nil {
+		t.Fatal("insert-select query missing")
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st, err := Parse("DELETE FROM new_order WHERE no_o_id = 9 AND no_w_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.(*DeleteStmt)
+	if d.Table != "new_order" || d.Where == nil {
+		t.Fatalf("delete: %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a",
+		"SELECT a FROM t WHERE a = ",
+		"SELECT a FROM t GROUP a",
+		"SELECT sum(*) FROM t",
+		"SELECT a FROM t extra stuff here ???",
+		"SELECT a FROM t WHERE d > DATE 'not-a-date'",
+		"SELECT 'unterminated FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	s := mustSelect(t, "SELECT a -- projection\nFROM t -- table\nWHERE a = 1")
+	if len(s.Items) != 1 {
+		t.Fatalf("comments broke lexing: %+v", s)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE n = 'O''Brien'")
+	lit := s.Where.(*Comparison).R.(*StringLit)
+	if lit.Val != "O'Brien" {
+		t.Fatalf("escape: %q", lit.Val)
+	}
+	if !strings.Contains(lit.String(), "O''Brien") {
+		t.Fatalf("print escape: %q", lit.String())
+	}
+}
+
+// Round-trip property: parse → print → parse → print is a fixed point.
+func TestPrintParseRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, b FROM t WHERE a = 5",
+		"SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 10",
+		"SELECT l_returnflag, sum(l_extendedprice * (1 - l_discount)) AS rev FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag ORDER BY l_returnflag",
+		"SELECT c_name FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders WHERE o_totalprice > 1000)",
+		"SELECT s_name FROM supplier WHERE NOT EXISTS (SELECT l_orderkey FROM lineitem WHERE l_suppkey = s_suppkey)",
+		"UPDATE stock SET s_quantity = (s_quantity - 10) WHERE s_i_id = 77",
+		"INSERT INTO history (h_c_id, h_amount) VALUES (42, 3.14)",
+		"DELETE FROM new_order WHERE no_o_id = 9",
+		"SELECT a FROM t WHERE x BETWEEN 1 AND 10 OR y LIKE '%x%'",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		p1 := s1.String()
+		s2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p1, err)
+		}
+		p2 := s2.String()
+		if p1 != p2 {
+			t.Fatalf("round trip not stable:\n 1: %s\n 2: %s", p1, p2)
+		}
+	}
+}
+
+func TestColumnRefsCollection(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE x + y > 3 AND z IN (1,2) AND q LIKE 'p%'")
+	refs := ColumnRefs(s.Where)
+	names := map[string]bool{}
+	for _, r := range refs {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"x", "y", "z", "q"} {
+		if !names[want] {
+			t.Fatalf("missing ref %q in %v", want, names)
+		}
+	}
+}
+
+// Property: the printer never emits something the parser rejects, for
+// randomized simple comparison queries.
+func TestPropertyGeneratedComparisons(t *testing.T) {
+	cols := []string{"a", "b", "c", "total", "qty"}
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	f := func(ci, oi uint8, v float64, desc bool) bool {
+		if v != v || v > 1e15 || v < -1e15 { // NaN/huge floats print fine but keep sane
+			return true
+		}
+		col := cols[int(ci)%len(cols)]
+		op := ops[int(oi)%len(ops)]
+		q := "SELECT " + col + " FROM t WHERE " + col + " " + op + " 42.5"
+		if desc {
+			q += " ORDER BY " + col + " DESC"
+		}
+		s, err := Parse(q)
+		if err != nil {
+			return false
+		}
+		_, err = Parse(s.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParsePanicsOnBadSQL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("NOT SQL AT ALL")
+}
+
+func TestParseSelectRejectsNonSelect(t *testing.T) {
+	if _, err := ParseSelect("DELETE FROM t"); err == nil {
+		t.Fatal("ParseSelect should reject DELETE")
+	}
+}

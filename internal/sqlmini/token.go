@@ -1,0 +1,85 @@
+// Package sqlmini implements the SQL subset used to describe database
+// workloads: SELECT-FROM-WHERE-GROUP BY-HAVING-ORDER BY-LIMIT queries with
+// joins, aggregates, IN/EXISTS subqueries, plus UPDATE/INSERT/DELETE
+// statement forms for OLTP transactions.
+//
+// Workloads in the paper are "a set of SQL statements (possibly with a
+// frequency of occurrence for each statement)" (§3). This package supplies
+// the statement half; internal/workload supplies frequencies.
+package sqlmini
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "ident"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokSymbol:
+		return "symbol"
+	}
+	return "?"
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the token text; keywords are upper-cased, identifiers are
+	// lower-cased (the subset is case-insensitive, like SQL).
+	Text string
+	// Num holds the parsed value for TokNumber.
+	Num float64
+	// IsInt records whether a number literal had no fractional part.
+	IsInt bool
+	Pos   int // byte offset in the input
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s(%q)@%d", t.Kind, t.Text, t.Pos)
+}
+
+// keywords is the reserved-word set. Identifiers matching these (case-
+// insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "IN": true,
+	"EXISTS": true, "LIKE": true, "IS": true, "NULL": true,
+	"UPDATE": true, "SET": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "DELETE": true, "DATE": true, "INTERVAL": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"JOIN": true, "INNER": true, "ON": true,
+}
+
+// Error is a lexing or parsing error with position context.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

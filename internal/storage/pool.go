@@ -1,0 +1,93 @@
+// Package storage models the storage layer of the simulated database
+// systems: a page-granular buffer pool with clock eviction used by the
+// row-level executor, and the analytic formulas (Cardenas estimator,
+// scan/index miss models) used to cost page accesses at any scale without
+// materializing data.
+package storage
+
+// PageID identifies one page of one table or index.
+type PageID struct {
+	Object string // table or index name
+	Page   int64
+}
+
+// Pool is a buffer pool with clock (second-chance) eviction. It tracks hit
+// and miss counts so executions can report true physical I/O. The zero
+// value is not usable; construct with NewPool.
+type Pool struct {
+	capacity int
+	frames   map[PageID]int // page -> frame index
+	pages    []PageID
+	refbit   []bool
+	used     int
+	hand     int
+
+	hits   int64
+	misses int64
+}
+
+// NewPool creates a pool holding capacity pages; capacity < 1 is treated
+// as 1 (a database cannot run with zero buffers).
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		capacity: capacity,
+		frames:   make(map[PageID]int, capacity),
+		pages:    make([]PageID, capacity),
+		refbit:   make([]bool, capacity),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Access touches a page, returning true on a buffer hit. On a miss the
+// page is brought in, evicting via the clock algorithm when full.
+func (p *Pool) Access(id PageID) bool {
+	if fi, ok := p.frames[id]; ok {
+		p.refbit[fi] = true
+		p.hits++
+		return true
+	}
+	p.misses++
+	var fi int
+	if p.used < p.capacity {
+		fi = p.used
+		p.used++
+	} else {
+		for {
+			if !p.refbit[p.hand] {
+				fi = p.hand
+				p.hand = (p.hand + 1) % p.capacity
+				break
+			}
+			p.refbit[p.hand] = false
+			p.hand = (p.hand + 1) % p.capacity
+		}
+		delete(p.frames, p.pages[fi])
+	}
+	p.frames[id] = fi
+	p.pages[fi] = id
+	// Insert with the reference bit clear: a page earns its second chance
+	// only by being re-referenced after admission.
+	p.refbit[fi] = false
+	return false
+}
+
+// Stats returns cumulative hit and miss counts.
+func (p *Pool) Stats() (hits, misses int64) { return p.hits, p.misses }
+
+// ResetStats clears counters without evicting contents, modeling the
+// paper's warm-cache measurement runs.
+func (p *Pool) ResetStats() { p.hits, p.misses = 0, 0 }
+
+// Resident reports whether the page is currently buffered.
+func (p *Pool) Resident(id PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int { return len(p.frames) }

@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolHitsAndMisses(t *testing.T) {
+	p := NewPool(2)
+	if hit := p.Access(PageID{"t", 1}); hit {
+		t.Fatal("first access should miss")
+	}
+	if hit := p.Access(PageID{"t", 1}); !hit {
+		t.Fatal("second access should hit")
+	}
+	p.Access(PageID{"t", 2})
+	p.Access(PageID{"t", 3}) // evicts something
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("stats = %d/%d, want 1/3", hits, misses)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestPoolClockGivesSecondChance(t *testing.T) {
+	p := NewPool(2)
+	p.Access(PageID{"t", 1})
+	p.Access(PageID{"t", 2})
+	// Re-reference page 1 so its refbit is set; inserting page 3 must then
+	// evict page 2 (1 gets a second chance).
+	p.Access(PageID{"t", 1})
+	p.Access(PageID{"t", 3})
+	if !p.Resident(PageID{"t", 1}) {
+		t.Fatal("page 1 should have survived (second chance)")
+	}
+	if p.Resident(PageID{"t", 2}) {
+		t.Fatal("page 2 should have been evicted")
+	}
+}
+
+func TestPoolMinimumCapacity(t *testing.T) {
+	p := NewPool(0)
+	if p.Capacity() != 1 {
+		t.Fatalf("capacity = %d", p.Capacity())
+	}
+	p.Access(PageID{"t", 1})
+	p.Access(PageID{"t", 2})
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestPoolResetStats(t *testing.T) {
+	p := NewPool(4)
+	p.Access(PageID{"t", 1})
+	p.ResetStats()
+	h, m := p.Stats()
+	if h != 0 || m != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !p.Resident(PageID{"t", 1}) {
+		t.Fatal("ResetStats must not evict")
+	}
+}
+
+// Property: hits+misses equals accesses, and resident set never exceeds
+// capacity, for arbitrary access strings.
+func TestPoolPropertyInvariants(t *testing.T) {
+	f := func(pages []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		p := NewPool(capacity)
+		for _, pg := range pages {
+			p.Access(PageID{"t", int64(pg % 64)})
+		}
+		hits, misses := p.Stats()
+		if int(hits+misses) != len(pages) {
+			return false
+		}
+		return p.Len() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCardenasPages(t *testing.T) {
+	// Fetching far more tuples than pages approaches all pages.
+	if got := CardenasPages(100, 1e7); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("saturation: %v", got)
+	}
+	// One fetch touches ~one page.
+	if got := CardenasPages(100, 1); math.Abs(got-1) > 0.01 {
+		t.Fatalf("single fetch: %v", got)
+	}
+	if CardenasPages(0, 10) != 0 || CardenasPages(10, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+	if CardenasPages(1, 5) != 1 {
+		t.Fatal("one-page table")
+	}
+}
+
+func TestCardenasMonotonic(t *testing.T) {
+	f := func(k1, k2 uint16) bool {
+		a, b := float64(k1), float64(k2)
+		if a > b {
+			a, b = b, a
+		}
+		pa := CardenasPages(500, a)
+		pb := CardenasPages(500, b)
+		return pb >= pa-1e-9 && pb <= 500+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanMisses(t *testing.T) {
+	// Fits in pool: only the cold faults regardless of passes.
+	if got := ScanMisses(100, 200, 5); got != 100 {
+		t.Fatalf("warm scans: %v", got)
+	}
+	// Does not fit: every pass misses the non-resident fraction.
+	got := ScanMisses(100, 40, 3)
+	want := 100 + 2*60.0
+	if got != want {
+		t.Fatalf("cold scans: %v want %v", got, want)
+	}
+	if ScanMisses(0, 10, 1) != 0 || ScanMisses(10, 10, 0) != 0 {
+		t.Fatal("degenerate")
+	}
+}
+
+func TestScanMissesMoreMemoryNeverHurts(t *testing.T) {
+	f := func(bufA, bufB uint16) bool {
+		a, b := float64(bufA%2000), float64(bufB%2000)
+		if a > b {
+			a, b = b, a
+		}
+		return ScanMisses(1000, b, 4) <= ScanMisses(1000, a, 4)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexFetchMisses(t *testing.T) {
+	// Full cache absorbs everything.
+	if got := IndexFetchMisses(100, 100, 50, false); got != 0 {
+		t.Fatalf("cached: %v", got)
+	}
+	// No cache: unclustered footprint is Cardenas.
+	got := IndexFetchMisses(100, 0, 50, false)
+	if math.Abs(got-CardenasPages(100, 50)) > 1e-9 {
+		t.Fatalf("uncached unclustered: %v", got)
+	}
+	// Clustered touches at most min(fetches, pages).
+	if got := IndexFetchMisses(100, 0, 20, true); got != 20 {
+		t.Fatalf("clustered: %v", got)
+	}
+	if got := IndexFetchMisses(100, 0, 1e6, true); got != 100 {
+		t.Fatalf("clustered saturation: %v", got)
+	}
+}
+
+func TestSortRunPasses(t *testing.T) {
+	if SortRunPasses(10, 20) != 0 {
+		t.Fatal("in-memory sort should need 0 passes")
+	}
+	if p := SortRunPasses(1000, 10); p < 1 {
+		t.Fatalf("external sort passes: %v", p)
+	}
+	// More memory never increases passes.
+	if SortRunPasses(1000, 100) > SortRunPasses(1000, 10) {
+		t.Fatal("passes should shrink with memory")
+	}
+}
+
+func TestHashPartitionPasses(t *testing.T) {
+	if HashPartitionPasses(10, 20) != 0 {
+		t.Fatal("in-memory hash join should need 0 passes")
+	}
+	if p := HashPartitionPasses(10000, 10); p < 1 {
+		t.Fatalf("grace hash passes: %v", p)
+	}
+	if HashPartitionPasses(10000, 100) > HashPartitionPasses(10000, 10) {
+		t.Fatal("passes should shrink with memory")
+	}
+}

@@ -1,0 +1,64 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table([]string{"x", "longer"}, [][]string{{"1", "22"}, {"a"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "x ") || !strings.Contains(lines[0], "longer") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// Missing cells render blank, not panic.
+	if !strings.HasPrefix(lines[3], "22") {
+		t.Fatalf("row 2: %q", lines[3])
+	}
+}
+
+func TestFmtRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		12345:  "12345",
+		42.5:   "42.5",
+		0.1234: "0.123",
+	}
+	for in, want := range cases {
+		if got := Fmt(in); got != want {
+			t.Errorf("Fmt(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := Fmt(1e-5); got == "" {
+		t.Error("tiny value should format")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.256); got != "25.6%" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBarScalesToWidth(t *testing.T) {
+	out := Bar([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar should hit width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar: %q", lines[0])
+	}
+	if !strings.Contains(Bar([]string{"z"}, []float64{0}, 0), "z") {
+		t.Fatal("zero width should default")
+	}
+}

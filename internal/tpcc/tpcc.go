@@ -1,0 +1,251 @@
+// Package tpcc provides a TPC-C-flavoured OLTP schema and the five
+// transaction types as parameterized statement bundles. Its role in the
+// reproduction mirrors its role in the paper (§7.6, §7.8): OLTP workloads
+// whose run-time cost includes contention and update work that the query
+// optimizers do not model, so the advisor's initial recommendations are
+// wrong and online refinement must correct them.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/workload"
+	"repro/internal/xplan"
+)
+
+// Schema builds the TPC-C schema for the given number of warehouses.
+func Schema(warehouses int) *catalog.Schema {
+	if warehouses < 1 {
+		warehouses = 1
+	}
+	w := float64(warehouses)
+	s := catalog.NewSchema("tpcc")
+
+	s.Add(&catalog.Table{
+		Name: "warehouse",
+		Columns: []*catalog.Column{
+			{Name: "w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "w_name", Type: catalog.String, NDV: w, Width: 10},
+			{Name: "w_tax", Type: catalog.Float, NDV: 20, Min: 0, Max: 0.2},
+			{Name: "w_ytd", Type: catalog.Float, NDV: w, Min: 0, Max: 1e7},
+		},
+		Rows: w,
+		Indexes: []*catalog.Index{
+			{Name: "warehouse_pk", Columns: []string{"w_id"}, Unique: true, Clustered: true},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "district",
+		Columns: []*catalog.Column{
+			{Name: "d_id", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "d_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "d_tax", Type: catalog.Float, NDV: 20, Min: 0, Max: 0.2},
+			{Name: "d_ytd", Type: catalog.Float, NDV: 10 * w, Min: 0, Max: 1e6},
+			{Name: "d_next_o_id", Type: catalog.Int, NDV: 10 * w, Min: 3001, Max: 100000},
+		},
+		Rows: 10 * w,
+		Indexes: []*catalog.Index{
+			{Name: "district_pk", Columns: []string{"d_w_id"}, Clustered: true},
+		},
+	})
+
+	cust := 30_000 * w
+	s.Add(&catalog.Table{
+		Name: "customer",
+		Columns: []*catalog.Column{
+			{Name: "c_id", Type: catalog.Int, NDV: 3000, Min: 1, Max: 3000},
+			{Name: "c_d_id", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "c_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "c_last", Type: catalog.String, NDV: 1000, Width: 16},
+			{Name: "c_balance", Type: catalog.Float, NDV: cust / 2, Min: -10000, Max: 10000},
+			{Name: "c_ytd_payment", Type: catalog.Float, NDV: cust / 2, Min: 0, Max: 1e6},
+		},
+		Rows: cust,
+		Indexes: []*catalog.Index{
+			{Name: "customer_pk", Columns: []string{"c_w_id"}, Clustered: true},
+			{Name: "customer_id", Columns: []string{"c_id"}},
+			{Name: "customer_last", Columns: []string{"c_last"}},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "history",
+		Columns: []*catalog.Column{
+			{Name: "h_c_id", Type: catalog.Int, NDV: 3000, Min: 1, Max: 3000},
+			{Name: "h_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "h_amount", Type: catalog.Float, NDV: 5000, Min: 1, Max: 5000},
+			{Name: "h_date", Type: catalog.Date, NDV: 365, Min: 12000, Max: 12365},
+		},
+		Rows: 30_000 * w,
+	})
+
+	orders := 30_000 * w
+	s.Add(&catalog.Table{
+		Name: "oorder",
+		Columns: []*catalog.Column{
+			{Name: "o_id", Type: catalog.Int, NDV: 3000, Min: 1, Max: 3000},
+			{Name: "o_d_id", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "o_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "o_c_id", Type: catalog.Int, NDV: 3000, Min: 1, Max: 3000},
+			{Name: "o_carrier_id", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "o_entry_d", Type: catalog.Date, NDV: 365, Min: 12000, Max: 12365},
+		},
+		Rows: orders,
+		Indexes: []*catalog.Index{
+			{Name: "oorder_pk", Columns: []string{"o_id"}, Clustered: true},
+			{Name: "oorder_cust", Columns: []string{"o_c_id"}},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "new_order",
+		Columns: []*catalog.Column{
+			{Name: "no_o_id", Type: catalog.Int, NDV: 900, Min: 2101, Max: 3000},
+			{Name: "no_d_id", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "no_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+		},
+		Rows: 9_000 * w,
+		Indexes: []*catalog.Index{
+			{Name: "new_order_pk", Columns: []string{"no_o_id"}, Clustered: true},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "order_line",
+		Columns: []*catalog.Column{
+			{Name: "ol_o_id", Type: catalog.Int, NDV: 3000, Min: 1, Max: 3000},
+			{Name: "ol_d_id", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "ol_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "ol_i_id", Type: catalog.Int, NDV: 100_000, Min: 1, Max: 100_000},
+			{Name: "ol_quantity", Type: catalog.Int, NDV: 10, Min: 1, Max: 10},
+			{Name: "ol_amount", Type: catalog.Float, NDV: 100_000, Min: 0, Max: 10_000},
+			{Name: "ol_delivery_d", Type: catalog.Date, NDV: 365, Min: 12000, Max: 12365},
+		},
+		Rows: 300_000 * w,
+		Indexes: []*catalog.Index{
+			{Name: "order_line_pk", Columns: []string{"ol_o_id"}, Clustered: true},
+			{Name: "order_line_item", Columns: []string{"ol_i_id"}},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "item",
+		Columns: []*catalog.Column{
+			{Name: "i_id", Type: catalog.Int, NDV: 100_000, Min: 1, Max: 100_000},
+			{Name: "i_name", Type: catalog.String, NDV: 100_000, Width: 24},
+			{Name: "i_price", Type: catalog.Float, NDV: 10_000, Min: 1, Max: 100},
+		},
+		Rows: 100_000,
+		Indexes: []*catalog.Index{
+			{Name: "item_pk", Columns: []string{"i_id"}, Unique: true, Clustered: true},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "stock",
+		Columns: []*catalog.Column{
+			{Name: "s_i_id", Type: catalog.Int, NDV: 100_000, Min: 1, Max: 100_000},
+			{Name: "s_w_id", Type: catalog.Int, NDV: w, Min: 1, Max: w},
+			{Name: "s_quantity", Type: catalog.Int, NDV: 100, Min: 0, Max: 100},
+			{Name: "s_ytd", Type: catalog.Float, NDV: 10_000, Min: 0, Max: 1e5},
+			{Name: "s_order_cnt", Type: catalog.Int, NDV: 1000, Min: 0, Max: 1000},
+		},
+		Rows: 100_000 * w,
+		Indexes: []*catalog.Index{
+			{Name: "stock_pk", Columns: []string{"s_i_id"}, Clustered: true},
+		},
+	})
+
+	return s
+}
+
+// Profile returns the true-behaviour profile of OLTP statements under
+// `clients` concurrent clients. The CPU factor and per-row lock work grow
+// with concurrency; none of it is visible to the query optimizers, which
+// is precisely the modeling error §7.8's online refinement corrects.
+func Profile(clients int, dml bool) xplan.TrueProfile {
+	p := xplan.DefaultProfile()
+	cf := 1.5 + 0.02*float64(clients)
+	if cf > 2.5 {
+		cf = 2.5
+	}
+	p.CPUFactor = cf
+	if dml {
+		p.LockOpsPerRow = 20 + 2*float64(clients)
+		p.LogPagesPerRow = 0.5
+	}
+	return p
+}
+
+// Mix builds a TPC-C workload touching `warehouses` warehouses with
+// `clients` clients per warehouse, deterministic under seed. Frequencies
+// follow the standard transaction mix (45/43/4/4/4) at txPerClient
+// transactions per client per monitoring interval.
+func Mix(warehouses, clients int, seed int64) *workload.Workload {
+	if warehouses < 1 {
+		warehouses = 1
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const txPerClient = 40.0
+	scale := txPerClient * float64(clients) * float64(warehouses)
+	w := &workload.Workload{Name: fmt.Sprintf("tpcc-w%d-c%d", warehouses, clients)}
+	add := func(freq float64, dml bool, sql string) {
+		st := workload.MustStatement(sql)
+		st.Freq = freq
+		st.Profile = Profile(clients*warehouses, dml)
+		w.Statements = append(w.Statements, st)
+	}
+	wid := 1 + rng.Intn(warehouses)
+	did := 1 + rng.Intn(10)
+	cid := 1 + rng.Intn(3000)
+	iid := 1 + rng.Intn(100_000)
+	oid := 2101 + rng.Intn(900)
+
+	// New-Order (45%): district bump, order insertion, 10 item/stock
+	// lookups and stock updates, 10 order lines.
+	no := 0.45 * scale
+	add(no, false, fmt.Sprintf("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d", wid, did))
+	add(no, true, fmt.Sprintf("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = %d AND d_id = %d", wid, did))
+	add(no, true, fmt.Sprintf("INSERT INTO oorder (o_id, o_d_id, o_w_id, o_c_id) VALUES (%d, %d, %d, %d)", oid, did, wid, cid))
+	add(no, true, fmt.Sprintf("INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES (%d, %d, %d)", oid, did, wid))
+	add(no*10, false, fmt.Sprintf("SELECT i_price, i_name FROM item WHERE i_id = %d", iid))
+	add(no*10, false, fmt.Sprintf("SELECT s_quantity FROM stock WHERE s_i_id = %d AND s_w_id = %d", iid, wid))
+	add(no*10, true, fmt.Sprintf("UPDATE stock SET s_quantity = s_quantity - 5, s_ytd = s_ytd + 5, s_order_cnt = s_order_cnt + 1 WHERE s_i_id = %d AND s_w_id = %d", iid, wid))
+	add(no*10, true, fmt.Sprintf("INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_i_id, ol_quantity) VALUES (%d, %d, %d, %d, 5)", oid, did, wid, iid))
+
+	// Payment (43%).
+	pay := 0.43 * scale
+	add(pay, true, fmt.Sprintf("UPDATE warehouse SET w_ytd = w_ytd + 100 WHERE w_id = %d", wid))
+	add(pay, true, fmt.Sprintf("UPDATE district SET d_ytd = d_ytd + 100 WHERE d_w_id = %d AND d_id = %d", wid, did))
+	add(pay, false, fmt.Sprintf("SELECT c_balance, c_last FROM customer WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", wid, did, cid))
+	add(pay, true, fmt.Sprintf("UPDATE customer SET c_balance = c_balance - 100, c_ytd_payment = c_ytd_payment + 100 WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", wid, did, cid))
+	add(pay, true, fmt.Sprintf("INSERT INTO history (h_c_id, h_w_id, h_amount) VALUES (%d, %d, 100)", cid, wid))
+
+	// Order-Status (4%).
+	os := 0.04 * scale
+	add(os, false, fmt.Sprintf("SELECT c_balance FROM customer WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", wid, did, cid))
+	add(os, false, fmt.Sprintf("SELECT o_id, o_carrier_id FROM oorder WHERE o_c_id = %d ORDER BY o_id DESC LIMIT 1", cid))
+	add(os, false, fmt.Sprintf("SELECT ol_i_id, ol_quantity, ol_amount FROM order_line WHERE ol_o_id = %d AND ol_w_id = %d", oid, wid))
+
+	// Delivery (4%), batched over the 10 districts.
+	del := 0.04 * scale
+	add(del*10, false, fmt.Sprintf("SELECT no_o_id FROM new_order WHERE no_d_id = %d AND no_w_id = %d ORDER BY no_o_id LIMIT 1", did, wid))
+	add(del*10, true, fmt.Sprintf("DELETE FROM new_order WHERE no_o_id = %d AND no_d_id = %d AND no_w_id = %d", oid, did, wid))
+	add(del*10, true, fmt.Sprintf("UPDATE oorder SET o_carrier_id = 7 WHERE o_id = %d AND o_d_id = %d AND o_w_id = %d", oid, did, wid))
+	add(del*10, true, fmt.Sprintf("UPDATE order_line SET ol_delivery_d = DATE '2003-01-01' WHERE ol_o_id = %d AND ol_d_id = %d AND ol_w_id = %d", oid, did, wid))
+	add(del*10, true, fmt.Sprintf("UPDATE customer SET c_balance = c_balance + 50 WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d", wid, did, cid))
+
+	// Stock-Level (4%).
+	sl := 0.04 * scale
+	add(sl, false, fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d", wid, did))
+	add(sl, false, fmt.Sprintf(`SELECT count(DISTINCT s.s_i_id) FROM order_line ol, stock s
+		WHERE ol.ol_w_id = %d AND ol.ol_o_id > %d AND s.s_i_id = ol.ol_i_id AND s.s_quantity < 15`, wid, oid-20))
+
+	return w
+}

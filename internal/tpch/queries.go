@@ -1,0 +1,192 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/internal/xplan"
+)
+
+// queryText holds the 22 query analogues. They follow the benchmark's
+// intent within this repository's SQL subset (no CASE/substring/outer
+// joins; correlated scalar subqueries are rewritten as selective joins or
+// IN/EXISTS semijoins).
+var queryText = map[int]string{
+	1: `SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+	       sum(l_extendedprice * (1 - l_discount)), avg(l_quantity), count(*)
+	    FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'
+	    GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+	2: `SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey
+	    FROM part p, supplier s, partsupp ps, nation n, region r
+	    WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+	      AND p.p_size = 15 AND s.s_nationkey = n.n_nationkey
+	      AND n.n_regionkey = r.r_regionkey AND r.r_name = 'EUROPE'
+	    ORDER BY s.s_acctbal DESC LIMIT 100`,
+	3: `SELECT l.l_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue, o.o_orderdate
+	    FROM customer c, orders o, lineitem l
+	    WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey
+	      AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < DATE '1995-03-15'
+	      AND l.l_shipdate > DATE '1995-03-15'
+	    GROUP BY l.l_orderkey, o.o_orderdate ORDER BY revenue DESC LIMIT 10`,
+	4: `SELECT o_orderpriority, count(*) FROM orders
+	    WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+	      AND EXISTS (SELECT l_orderkey FROM lineitem
+	                  WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+	    GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+	5: `SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount))
+	    FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+	    WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+	      AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+	      AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+	      AND r.r_name = 'ASIA' AND o.o_orderdate >= DATE '1994-01-01'
+	      AND o.o_orderdate < DATE '1995-01-01'
+	    GROUP BY n.n_name`,
+	6: `SELECT sum(l_extendedprice * l_discount) FROM lineitem
+	    WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+	      AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+	7: `SELECT n1.n_name, n2.n_name, sum(l.l_extendedprice * (1 - l.l_discount))
+	    FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+	    WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+	      AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+	      AND c.c_nationkey = n2.n_nationkey
+	      AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+	    GROUP BY n1.n_name, n2.n_name ORDER BY n1.n_name, n2.n_name`,
+	8: `SELECT o.o_orderdate, sum(l.l_extendedprice * (1 - l.l_discount))
+	    FROM part p, supplier s, lineitem l, orders o, customer c, nation n, region r
+	    WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+	      AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+	      AND c.c_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+	      AND r.r_name = 'AMERICA'
+	      AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+	      AND p.p_type = 'ECONOMY ANODIZED STEEL'
+	    GROUP BY o.o_orderdate`,
+	9: `SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity)
+	    FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+	    WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+	      AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+	      AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+	      AND p.p_name LIKE '%green%'
+	    GROUP BY n.n_name`,
+	10: `SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+	     FROM customer c, orders o, lineitem l, nation n
+	     WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+	       AND o.o_orderdate >= DATE '1993-10-01' AND o.o_orderdate < DATE '1994-01-01'
+	       AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+	     GROUP BY c.c_custkey, c.c_name ORDER BY revenue DESC LIMIT 20`,
+	11: `SELECT ps.ps_partkey, sum(ps.ps_supplycost * ps.ps_availqty) AS val
+	     FROM partsupp ps, supplier s, nation n
+	     WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+	       AND n.n_name = 'GERMANY'
+	     GROUP BY ps.ps_partkey ORDER BY val DESC LIMIT 100`,
+	12: `SELECT l.l_shipmode, count(*) FROM orders o, lineitem l
+	     WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('MAIL', 'SHIP')
+	       AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < l.l_commitdate
+	       AND l.l_receiptdate >= DATE '1994-01-01' AND l.l_receiptdate < DATE '1995-01-01'
+	     GROUP BY l.l_shipmode ORDER BY l.l_shipmode`,
+	13: `SELECT c.c_custkey, count(*) FROM customer c, orders o
+	     WHERE c.c_custkey = o.o_custkey AND o.o_comment NOT LIKE '%special%'
+	     GROUP BY c.c_custkey`,
+	14: `SELECT sum(l.l_extendedprice * (1 - l.l_discount)) FROM lineitem l, part p
+	     WHERE l.l_partkey = p.p_partkey AND l.l_shipdate >= DATE '1995-09-01'
+	       AND l.l_shipdate < DATE '1995-10-01' AND p.p_type LIKE 'PROMO%'`,
+	15: `SELECT l_suppkey, sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+	     FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+	     GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 1`,
+	16: `SELECT p.p_brand, p.p_type, p.p_size, count(DISTINCT ps.ps_suppkey)
+	     FROM partsupp ps, part p
+	     WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#45'
+	       AND p.p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+	     GROUP BY p.p_brand, p.p_type, p.p_size ORDER BY p.p_brand`,
+	17: `SELECT avg(l.l_extendedprice) FROM lineitem l, part p
+	     WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23'
+	       AND p.p_container = 'MED BOX' AND l.l_quantity < 3`,
+	18: `SELECT c.c_name, o.o_orderkey, sum(l.l_quantity)
+	     FROM customer c, orders o, lineitem l
+	     WHERE o.o_orderkey = l.l_orderkey AND c.c_custkey = o.o_custkey
+	       AND o.o_totalprice > 400000
+	     GROUP BY c.c_name, o.o_orderkey ORDER BY o.o_orderkey LIMIT 100`,
+	19: `SELECT sum(l.l_extendedprice * (1 - l.l_discount)) FROM lineitem l, part p
+	     WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#12'
+	       AND l.l_quantity BETWEEN 1 AND 11 AND p.p_size BETWEEN 1 AND 5`,
+	20: `SELECT s.s_name, s.s_address FROM supplier s, nation n
+	     WHERE s.s_nationkey = n.n_nationkey AND n.n_name = 'CANADA'
+	       AND s.s_suppkey IN (SELECT ps_suppkey FROM partsupp WHERE ps_availqty > 5000)
+	     ORDER BY s.s_name`,
+	21: `SELECT s.s_name, count(*) AS numwait
+	     FROM supplier s, lineitem l1, orders o, nation n
+	     WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey
+	       AND l1.l_receiptdate > l1.l_commitdate
+	       AND EXISTS (SELECT l2.l_orderkey FROM lineitem l2
+	                   WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey)
+	       AND s.s_nationkey = n.n_nationkey AND n.n_name = 'SAUDI ARABIA'
+	     GROUP BY s.s_name ORDER BY numwait DESC LIMIT 100`,
+	22: `SELECT c.c_nationkey, count(*), sum(c.c_acctbal) FROM customer c
+	     WHERE c.c_acctbal > 0
+	       AND NOT EXISTS (SELECT o_orderkey FROM orders WHERE o_custkey = c_custkey)
+	     GROUP BY c.c_nationkey ORDER BY c.c_nationkey`,
+}
+
+// QueryCount is the number of query templates (22, as in the benchmark).
+const QueryCount = 22
+
+// QueryText returns the SQL text of query n (1-based); it panics for
+// numbers outside 1..22, which indicates a programming error.
+func QueryText(n int) string {
+	q, ok := queryText[n]
+	if !ok {
+		panic(fmt.Sprintf("tpch: no query %d", n))
+	}
+	return q
+}
+
+// Statement returns query n as a workload statement with frequency 1.
+func Statement(n int) workload.Statement {
+	return workload.MustStatement(QueryText(n))
+}
+
+// Q18ModText is the modified Q18 of §7.6: an added shipdate predicate makes
+// the query touch less data and wait less on I/O.
+const Q18ModText = `SELECT c.c_name, o.o_orderkey, sum(l.l_quantity)
+	FROM customer c, orders o, lineitem l
+	WHERE o.o_orderkey = l.l_orderkey AND c.c_custkey = o.o_custkey
+	  AND o.o_totalprice > 400000 AND l.l_shipdate >= DATE '1997-06-01'
+	GROUP BY c.c_name, o.o_orderkey ORDER BY o.o_orderkey LIMIT 100`
+
+// Q18Mod returns the modified Q18 as a statement.
+func Q18Mod() workload.Statement { return workload.MustStatement(Q18ModText) }
+
+// SortHeapProfile marks queries whose sort/hash-memory benefit the DB2
+// optimizer underestimates (§7.9 uses Q4 and Q18): at run time they gain up
+// to `boost` fractional speedup when the sort heap covers their demand,
+// beyond what the model predicts.
+func SortHeapProfile(boost float64) xplan.TrueProfile {
+	p := xplan.DefaultProfile()
+	p.MemBoost = boost
+	return p
+}
+
+// UnitC is the CPU-intensive workload unit: `instances` copies of Q18
+// (§7.3 uses 25 for DB2, 20 for PostgreSQL).
+func UnitC(instances float64) *workload.Workload {
+	st := Statement(18)
+	st.Freq = instances
+	return workload.New("C", st)
+}
+
+// UnitI is the CPU-non-intensive (I/O-heavy) unit: one instance of Q21.
+func UnitI() *workload.Workload {
+	return workload.New("I", Statement(21))
+}
+
+// UnitB is the memory-sensitive unit of §7.4: one instance of Q7.
+func UnitB() *workload.Workload {
+	return workload.New("B", Statement(7))
+}
+
+// UnitD is the memory-insensitive unit of §7.4: `instances` copies of Q16
+// (150 in the paper, scaled to match B's run time).
+func UnitD(instances float64) *workload.Workload {
+	st := Statement(16)
+	st.Freq = instances
+	return workload.New("D", st)
+}

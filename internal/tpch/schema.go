@@ -1,0 +1,168 @@
+// Package tpch provides a TPC-H-flavoured decision-support schema, scale-
+// factor-driven statistics, and analogues of the 22 benchmark queries
+// written in the repository's SQL subset. The experiments use the same
+// query roles the paper does: Q18 as the CPU-intensive unit, Q21 as the
+// I/O-heavy low-CPU unit, Q7 as the memory-sensitive unit, Q16 as the
+// memory-insensitive unit, Q17 as the random-I/O-bound motivating query,
+// and Q4/Q18 as the sort-heap-underestimated pair of §7.9.
+package tpch
+
+import "repro/internal/catalog"
+
+// Day numbers (days since 1970-01-01) bounding the TPC-H date domain.
+const (
+	dateMin = 8035  // 1992-01-01
+	dateMax = 10591 // 1998-12-31
+)
+
+// Schema builds the TPC-H schema at the given scale factor (1 ≈ 1 GB of
+// raw data, matching the spec's cardinalities).
+func Schema(sf float64) *catalog.Schema {
+	if sf <= 0 {
+		sf = 1
+	}
+	s := catalog.NewSchema("tpch")
+
+	s.Add(&catalog.Table{
+		Name: "region",
+		Columns: []*catalog.Column{
+			{Name: "r_regionkey", Type: catalog.Int, NDV: 5, Min: 0, Max: 4},
+			{Name: "r_name", Type: catalog.String, NDV: 5, Width: 12},
+		},
+		Rows: 5,
+		Indexes: []*catalog.Index{
+			{Name: "region_pk", Columns: []string{"r_regionkey"}, Unique: true, Clustered: true},
+		},
+	})
+
+	s.Add(&catalog.Table{
+		Name: "nation",
+		Columns: []*catalog.Column{
+			{Name: "n_nationkey", Type: catalog.Int, NDV: 25, Min: 0, Max: 24},
+			{Name: "n_name", Type: catalog.String, NDV: 25, Width: 16},
+			{Name: "n_regionkey", Type: catalog.Int, NDV: 5, Min: 0, Max: 4},
+		},
+		Rows: 25,
+		Indexes: []*catalog.Index{
+			{Name: "nation_pk", Columns: []string{"n_nationkey"}, Unique: true, Clustered: true},
+		},
+	})
+
+	supp := 10_000 * sf
+	s.Add(&catalog.Table{
+		Name: "supplier",
+		Columns: []*catalog.Column{
+			{Name: "s_suppkey", Type: catalog.Int, NDV: supp, Min: 1, Max: supp},
+			{Name: "s_name", Type: catalog.String, NDV: supp, Width: 18},
+			{Name: "s_address", Type: catalog.String, NDV: supp, Width: 30},
+			{Name: "s_nationkey", Type: catalog.Int, NDV: 25, Min: 0, Max: 24},
+			{Name: "s_acctbal", Type: catalog.Float, NDV: supp * 0.9, Min: -999, Max: 9999},
+		},
+		Rows: supp,
+		Indexes: []*catalog.Index{
+			{Name: "supplier_pk", Columns: []string{"s_suppkey"}, Unique: true, Clustered: true},
+			{Name: "supplier_nation", Columns: []string{"s_nationkey"}},
+		},
+	})
+
+	cust := 150_000 * sf
+	s.Add(&catalog.Table{
+		Name: "customer",
+		Columns: []*catalog.Column{
+			{Name: "c_custkey", Type: catalog.Int, NDV: cust, Min: 1, Max: cust},
+			{Name: "c_name", Type: catalog.String, NDV: cust, Width: 18},
+			{Name: "c_nationkey", Type: catalog.Int, NDV: 25, Min: 0, Max: 24},
+			{Name: "c_acctbal", Type: catalog.Float, NDV: cust * 0.9, Min: -999, Max: 9999},
+			{Name: "c_mktsegment", Type: catalog.String, NDV: 5, Width: 10},
+		},
+		Rows: cust,
+		Indexes: []*catalog.Index{
+			{Name: "customer_pk", Columns: []string{"c_custkey"}, Unique: true, Clustered: true},
+			{Name: "customer_nation", Columns: []string{"c_nationkey"}},
+		},
+	})
+
+	part := 200_000 * sf
+	s.Add(&catalog.Table{
+		Name: "part",
+		Columns: []*catalog.Column{
+			{Name: "p_partkey", Type: catalog.Int, NDV: part, Min: 1, Max: part},
+			{Name: "p_name", Type: catalog.String, NDV: part, Width: 34},
+			{Name: "p_brand", Type: catalog.String, NDV: 25, Width: 10},
+			{Name: "p_type", Type: catalog.String, NDV: 150, Width: 20},
+			{Name: "p_size", Type: catalog.Int, NDV: 50, Min: 1, Max: 50},
+			{Name: "p_container", Type: catalog.String, NDV: 40, Width: 10},
+			{Name: "p_retailprice", Type: catalog.Float, NDV: part / 10, Min: 900, Max: 2100},
+		},
+		Rows: part,
+		Indexes: []*catalog.Index{
+			{Name: "part_pk", Columns: []string{"p_partkey"}, Unique: true, Clustered: true},
+		},
+	})
+
+	ps := 800_000 * sf
+	s.Add(&catalog.Table{
+		Name: "partsupp",
+		Columns: []*catalog.Column{
+			{Name: "ps_partkey", Type: catalog.Int, NDV: part, Min: 1, Max: part},
+			{Name: "ps_suppkey", Type: catalog.Int, NDV: supp, Min: 1, Max: supp},
+			{Name: "ps_availqty", Type: catalog.Int, NDV: 9999, Min: 1, Max: 9999},
+			{Name: "ps_supplycost", Type: catalog.Float, NDV: 99_900, Min: 1, Max: 1000},
+		},
+		Rows: ps,
+		Indexes: []*catalog.Index{
+			{Name: "partsupp_part", Columns: []string{"ps_partkey"}, Clustered: true},
+			{Name: "partsupp_supp", Columns: []string{"ps_suppkey"}},
+		},
+	})
+
+	orders := 1_500_000 * sf
+	s.Add(&catalog.Table{
+		Name: "orders",
+		Columns: []*catalog.Column{
+			{Name: "o_orderkey", Type: catalog.Int, NDV: orders, Min: 1, Max: orders * 4},
+			{Name: "o_custkey", Type: catalog.Int, NDV: cust * 2 / 3, Min: 1, Max: cust},
+			{Name: "o_orderstatus", Type: catalog.String, NDV: 3, Width: 1},
+			{Name: "o_totalprice", Type: catalog.Float, NDV: orders * 0.9, Min: 800, Max: 510_000},
+			{Name: "o_orderdate", Type: catalog.Date, NDV: 2406, Min: dateMin, Max: dateMax - 90},
+			{Name: "o_orderpriority", Type: catalog.String, NDV: 5, Width: 15},
+			{Name: "o_comment", Type: catalog.String, NDV: orders, Width: 48},
+		},
+		Rows: orders,
+		Indexes: []*catalog.Index{
+			{Name: "orders_pk", Columns: []string{"o_orderkey"}, Unique: true, Clustered: true},
+			{Name: "orders_cust", Columns: []string{"o_custkey"}},
+			{Name: "orders_date", Columns: []string{"o_orderdate"}},
+		},
+	})
+
+	li := 6_000_000 * sf
+	s.Add(&catalog.Table{
+		Name: "lineitem",
+		Columns: []*catalog.Column{
+			{Name: "l_orderkey", Type: catalog.Int, NDV: orders, Min: 1, Max: orders * 4},
+			{Name: "l_partkey", Type: catalog.Int, NDV: part, Min: 1, Max: part},
+			{Name: "l_suppkey", Type: catalog.Int, NDV: supp, Min: 1, Max: supp},
+			{Name: "l_linenumber", Type: catalog.Int, NDV: 7, Min: 1, Max: 7},
+			{Name: "l_quantity", Type: catalog.Float, NDV: 50, Min: 1, Max: 50},
+			{Name: "l_extendedprice", Type: catalog.Float, NDV: li / 10, Min: 900, Max: 105_000},
+			{Name: "l_discount", Type: catalog.Float, NDV: 11, Min: 0, Max: 0.1},
+			{Name: "l_tax", Type: catalog.Float, NDV: 9, Min: 0, Max: 0.08},
+			{Name: "l_returnflag", Type: catalog.String, NDV: 3, Width: 1},
+			{Name: "l_linestatus", Type: catalog.String, NDV: 2, Width: 1},
+			{Name: "l_shipdate", Type: catalog.Date, NDV: 2526, Min: dateMin, Max: dateMax},
+			{Name: "l_commitdate", Type: catalog.Date, NDV: 2466, Min: dateMin, Max: dateMax},
+			{Name: "l_receiptdate", Type: catalog.Date, NDV: 2554, Min: dateMin, Max: dateMax},
+			{Name: "l_shipmode", Type: catalog.String, NDV: 7, Width: 10},
+		},
+		Rows: li,
+		Indexes: []*catalog.Index{
+			{Name: "lineitem_order", Columns: []string{"l_orderkey"}, Clustered: true},
+			{Name: "lineitem_part", Columns: []string{"l_partkey"}},
+			{Name: "lineitem_supp", Columns: []string{"l_suppkey"}},
+			{Name: "lineitem_ship", Columns: []string{"l_shipdate"}},
+		},
+	})
+
+	return s
+}

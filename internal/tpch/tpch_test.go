@@ -1,0 +1,178 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/db2sim"
+	"repro/internal/opt"
+	"repro/internal/pgsim"
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+func TestSchemaScaling(t *testing.T) {
+	s1 := Schema(1)
+	s10 := Schema(10)
+	li1 := s1.Table("lineitem")
+	li10 := s10.Table("lineitem")
+	if li1.Rows != 6_000_000 || li10.Rows != 60_000_000 {
+		t.Fatalf("lineitem rows: %v / %v", li1.Rows, li10.Rows)
+	}
+	if li10.Pages <= li1.Pages {
+		t.Fatal("pages must scale")
+	}
+	if Schema(0).Table("lineitem").Rows != 6_000_000 {
+		t.Fatal("sf<=0 should default to 1")
+	}
+	for _, name := range s1.TableNames() {
+		tab := s1.Table(name)
+		if tab.Pages <= 0 {
+			t.Fatalf("%s has no pages", name)
+		}
+	}
+}
+
+func TestAll22QueriesParse(t *testing.T) {
+	for n := 1; n <= QueryCount; n++ {
+		if _, err := sqlmini.Parse(QueryText(n)); err != nil {
+			t.Errorf("Q%d does not parse: %v", n, err)
+		}
+	}
+	if _, err := sqlmini.Parse(Q18ModText); err != nil {
+		t.Errorf("Q18mod does not parse: %v", err)
+	}
+}
+
+func TestAll22QueriesPlanOnBothSystems(t *testing.T) {
+	schema := Schema(1)
+	pg := pgsim.New(schema)
+	db2 := db2sim.New(schema)
+	for n := 1; n <= QueryCount; n++ {
+		st := Statement(n)
+		if pl, err := pg.Optimize(st.Stmt, pgsim.DefaultParams()); err != nil || pl.Cost <= 0 {
+			t.Errorf("pgsim Q%d: err=%v", n, err)
+		}
+		if pl, err := db2.Optimize(st.Stmt, db2sim.DefaultParams()); err != nil || pl.Cost <= 0 {
+			t.Errorf("db2sim Q%d: err=%v", n, err)
+		}
+	}
+}
+
+func TestQueryRolesMatchPaper(t *testing.T) {
+	// The experiments depend on relative resource profiles. On the DB2-
+	// flavoured system (the one the paper's §7.3 examination used), Q18
+	// must be more CPU-bound than Q21; on PostgreSQL, Q17 must be
+	// I/O-dominated (the motivating example's premise).
+	schema := Schema(1)
+	vmMem := 512.0 * (1 << 20)
+	// Times mirror the standard machine, including the noise VM's 2x I/O
+	// contention, which is part of every run in the paper's setup (§7.1).
+	secs := func(u xplan.Usage) (cpu, io float64) {
+		cpu = u.CPUOps * 2000 / 2.2e9
+		io = (u.SeqPages*50e-6 + u.RandPages*4e-3 + u.WritePages*100e-6) * 2
+		return
+	}
+	db2 := db2sim.New(schema)
+	frac := func(sys interface {
+		Run(stmt sqlmini.Statement, vmMemBytes float64, prof xplan.TrueProfile) (xplan.Usage, error)
+	}, n int) float64 {
+		u, err := sys.Run(Statement(n).Stmt, vmMem, xplan.DefaultProfile())
+		if err != nil {
+			t.Fatalf("run Q%d: %v", n, err)
+		}
+		c, i := secs(u)
+		return c / (c + i)
+	}
+	if f18, f21 := frac(db2, 18), frac(db2, 21); f18 <= f21 {
+		t.Errorf("DB2: Q18 should be more CPU-bound than Q21: %.2f vs %.2f", f18, f21)
+	}
+	// The motivating example (Fig. 2) runs Q17 on PostgreSQL over the
+	// 10 GB database, where its scans cannot be cached and I/O leads.
+	// (At SF1 the expert-tuned planner picks hash plans and Q17 becomes
+	// CPU-leaning — roles are environment-dependent, which is why the
+	// experiment harness selects units by measurement, §7.3-style.)
+	pg10 := pgsim.New(Schema(10))
+	u, err := pg10.Run(Statement(17).Stmt, vmMem, xplan.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, i := secs(u)
+	if f17 := c / (c + i); f17 >= 0.5 {
+		t.Errorf("PG/SF10: Q17 should lean I/O: cpu frac %.2f", f17)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	c := UnitC(25)
+	if c.TotalFreq() != 25 {
+		t.Fatalf("C freq: %v", c.TotalFreq())
+	}
+	i := UnitI()
+	if len(i.Statements) != 1 || i.Statements[0].Freq != 1 {
+		t.Fatalf("I: %+v", i)
+	}
+	b := UnitB()
+	d := UnitD(150)
+	if b.Name != "B" || d.TotalFreq() != 150 {
+		t.Fatalf("B/D units wrong")
+	}
+}
+
+func TestSortHeapProfile(t *testing.T) {
+	p := SortHeapProfile(0.35)
+	if p.MemBoost != 0.35 || p.CPUFactor != 1 {
+		t.Fatalf("profile: %+v", p)
+	}
+}
+
+func TestDB2MemoryPiecewise(t *testing.T) {
+	// DB2's sortheap grows with VM memory (policy), so a memory-hungry
+	// query's plan signature must change across memory levels — these are
+	// the piecewise interval boundaries of §5.1.
+	schema := Schema(10)
+	db2 := db2sim.New(schema)
+	st := Statement(7)
+	sigs := map[string]bool{}
+	for _, memGB := range []float64{0.5, 1, 2, 4, 8} {
+		params := db2sim.PolicyParams(db2sim.DefaultParams(), memGB*(1<<30))
+		pl, err := db2.Optimize(st.Stmt, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[pl.Signature()] = true
+	}
+	if len(sigs) < 2 {
+		t.Fatalf("Q7 plans should change with memory; got %d distinct signatures", len(sigs))
+	}
+}
+
+func TestPlansAreDeterministic(t *testing.T) {
+	schema := Schema(1)
+	pg := pgsim.New(schema)
+	st := Statement(5)
+	p1, err := pg.Optimize(st.Stmt, pgsim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pg.Optimize(st.Stmt, pgsim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Signature() != p2.Signature() || p1.Cost != p2.Cost {
+		t.Fatal("planning is not deterministic")
+	}
+}
+
+func TestOptimizeRejectsWrongParams(t *testing.T) {
+	schema := Schema(1)
+	pg := pgsim.New(schema)
+	if _, err := pg.Optimize(Statement(1).Stmt, db2sim.DefaultParams()); err == nil {
+		t.Fatal("pgsim should reject db2 params")
+	}
+	db2 := db2sim.New(schema)
+	if _, err := db2.Optimize(Statement(1).Stmt, pgsim.DefaultParams()); err == nil {
+		t.Fatal("db2sim should reject pg params")
+	}
+}
+
+func _(s *opt.Planner) {} // keep opt import for documentation reference

@@ -1,0 +1,122 @@
+package vmsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dbms"
+	"repro/internal/pgsim"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+	"repro/internal/xplan"
+)
+
+func TestSecondsCPUInverseInShare(t *testing.T) {
+	m := Default()
+	u := xplan.Usage{CPUOps: 1e6}
+	full := m.Seconds(u, 1.0)
+	half := m.Seconds(u, 0.5)
+	if math.Abs(half-2*full) > 1e-9*full {
+		t.Fatalf("CPU time should double at half share: %v vs %v", half, full)
+	}
+}
+
+func TestSecondsIOIndependentOfShare(t *testing.T) {
+	m := Default()
+	u := xplan.Usage{SeqPages: 1000, RandPages: 10}
+	if m.Seconds(u, 1.0) != m.Seconds(u, 0.1) {
+		t.Fatal("I/O time must not depend on the CPU share")
+	}
+}
+
+func TestContentionMultipliesIO(t *testing.T) {
+	quiet := New(DefaultHardware(), 1.0)
+	noisy := New(DefaultHardware(), 2.0)
+	u := xplan.Usage{SeqPages: 1000}
+	if noisy.Seconds(u, 1) != 2*quiet.Seconds(u, 1) {
+		t.Fatal("contention factor should multiply I/O")
+	}
+	if New(DefaultHardware(), 0.1).IOContention != 1 {
+		t.Fatal("contention must clamp to >= 1")
+	}
+}
+
+func TestVMMemBytesClamped(t *testing.T) {
+	m := Default()
+	if m.VMMemBytes(-1) != 0 {
+		t.Fatal("negative share")
+	}
+	if m.VMMemBytes(2) != m.HW.MemoryBytes {
+		t.Fatal("share above 1")
+	}
+	if m.VMMemBytes(0.5) != m.HW.MemoryBytes/2 {
+		t.Fatal("half share")
+	}
+}
+
+func TestSecondsGuardsBadShares(t *testing.T) {
+	m := Default()
+	u := xplan.Usage{CPUOps: 1e6}
+	if v := m.Seconds(u, 0); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("zero share should clamp: %v", v)
+	}
+	if m.Seconds(u, 5) != m.Seconds(u, 1) {
+		t.Fatal("share above 1 should clamp to 1")
+	}
+}
+
+func TestRunWorkloadSumsFrequencies(t *testing.T) {
+	m := Default()
+	sys := pgsim.New(tpch.Schema(1))
+	w1 := workload.New("one", tpch.Statement(6))
+	w2 := w1.Scale(3)
+	a := dbms.Alloc{CPU: 0.5, Mem: 0.25}
+	s1, err := m.RunWorkload(sys, w1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := m.RunWorkload(sys, w2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s3-3*s1) > 1e-9*s1 {
+		t.Fatalf("frequency 3 should triple time: %v vs %v", s3, s1)
+	}
+}
+
+// Property: workload time is (near-)monotone non-increasing in both CPU
+// share and memory share — the premise of the advisor's search space. A
+// small tolerance is allowed: plans are chosen under the optimizer's
+// modeled cache (the full VM memory) while the true cache excludes the OS
+// footprint, so a plan switch near a cache boundary can cost a few
+// percent — a genuine, bounded optimizer error of the kind §5 refines away.
+func TestPropertyMonotoneInResources(t *testing.T) {
+	m := Default()
+	sys := pgsim.New(tpch.Schema(1))
+	w := workload.New("w", tpch.Statement(1), tpch.Statement(3))
+	f := func(c1, c2, m1, m2 uint8) bool {
+		cpuA := 0.05 + float64(c1%90)/100
+		cpuB := 0.05 + float64(c2%90)/100
+		memA := 0.05 + float64(m1%90)/100
+		memB := 0.05 + float64(m2%90)/100
+		if cpuA > cpuB {
+			cpuA, cpuB = cpuB, cpuA
+		}
+		if memA > memB {
+			memA, memB = memB, memA
+		}
+		lo, err := m.RunWorkload(sys, w, dbms.Alloc{CPU: cpuA, Mem: memA})
+		if err != nil {
+			return false
+		}
+		hi, err := m.RunWorkload(sys, w, dbms.Alloc{CPU: cpuB, Mem: memB})
+		if err != nil {
+			return false
+		}
+		return hi <= lo*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

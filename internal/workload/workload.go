@@ -1,0 +1,102 @@
+// Package workload models database workloads as the paper defines them
+// (§3): a set of SQL statements, each with a frequency of occurrence
+// within a fixed monitoring interval. A "longer" workload (higher total
+// frequency) represents a higher arrival rate, which is how relative
+// workload intensity is expressed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sqlmini"
+	"repro/internal/xplan"
+)
+
+// Statement is one SQL statement with its execution frequency and the
+// true-behaviour profile the engine applies at run time (optimizer blind
+// spots: contention, logging, sort-memory benefit).
+type Statement struct {
+	SQL     string
+	Stmt    sqlmini.Statement
+	Freq    float64
+	Profile xplan.TrueProfile
+}
+
+// Workload is a named set of statements.
+type Workload struct {
+	Name       string
+	Statements []Statement
+}
+
+// MustStatement parses SQL and wraps it with frequency 1 and a faithful
+// profile; panics on parse errors (statements are static templates).
+func MustStatement(sql string) Statement {
+	return Statement{
+		SQL:     sql,
+		Stmt:    sqlmini.MustParse(sql),
+		Freq:    1,
+		Profile: xplan.DefaultProfile(),
+	}
+}
+
+// New builds a workload from statements.
+func New(name string, stmts ...Statement) *Workload {
+	return &Workload{Name: name, Statements: stmts}
+}
+
+// Clone deep-copies the workload (statement ASTs are shared; they are
+// immutable after parsing).
+func (w *Workload) Clone() *Workload {
+	c := &Workload{Name: w.Name, Statements: make([]Statement, len(w.Statements))}
+	copy(c.Statements, w.Statements)
+	return c
+}
+
+// Scale multiplies every statement frequency by f, modeling a change in
+// workload intensity (more clients, faster arrivals) without a change in
+// the nature of the queries — the distinction §6.1's change metric relies
+// on.
+func (w *Workload) Scale(f float64) *Workload {
+	c := w.Clone()
+	for i := range c.Statements {
+		c.Statements[i].Freq *= f
+	}
+	return c
+}
+
+// TotalFreq is the summed statement frequency (workload "length").
+func (w *Workload) TotalFreq() float64 {
+	var t float64
+	for _, s := range w.Statements {
+		t += s.Freq
+	}
+	return t
+}
+
+// Combine concatenates workloads into one under a new name.
+func Combine(name string, parts ...*Workload) *Workload {
+	out := &Workload{Name: name}
+	for _, p := range parts {
+		out.Statements = append(out.Statements, p.Statements...)
+	}
+	return out
+}
+
+// Repeat returns w with all frequencies multiplied by n, named like
+// "3xUnit". It is the k·C / k·I workload-unit composition used throughout
+// the paper's §7.3–§7.4 experiments.
+func Repeat(w *Workload, n float64) *Workload {
+	c := w.Scale(n)
+	c.Name = fmt.Sprintf("%gx%s", n, w.Name)
+	return c
+}
+
+// WithProfile returns a copy of the workload with every statement's
+// true-behaviour profile replaced.
+func (w *Workload) WithProfile(p xplan.TrueProfile) *Workload {
+	c := w.Clone()
+	for i := range c.Statements {
+		c.Statements[i].Profile = p
+	}
+	return c
+}

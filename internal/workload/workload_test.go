@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/xplan"
+)
+
+func TestMustStatementDefaults(t *testing.T) {
+	st := MustStatement("SELECT a FROM t WHERE a > 0")
+	if st.Freq != 1 || st.Stmt == nil {
+		t.Fatalf("defaults: %+v", st)
+	}
+	if st.Profile.CPUFactor != 1 || st.Profile.IOFactor != 1 {
+		t.Fatalf("profile should be faithful: %+v", st.Profile)
+	}
+}
+
+func TestScaleDoesNotMutateOriginal(t *testing.T) {
+	w := New("w", MustStatement("SELECT a FROM t"))
+	s := w.Scale(5)
+	if w.Statements[0].Freq != 1 {
+		t.Fatal("Scale mutated the original")
+	}
+	if s.Statements[0].Freq != 5 {
+		t.Fatalf("scaled freq: %v", s.Statements[0].Freq)
+	}
+}
+
+func TestTotalFreqAndCombine(t *testing.T) {
+	a := New("a", MustStatement("SELECT a FROM t")).Scale(2)
+	b := New("b", MustStatement("SELECT b FROM t")).Scale(3)
+	c := Combine("c", a, b)
+	if c.TotalFreq() != 5 {
+		t.Fatalf("total: %v", c.TotalFreq())
+	}
+	if len(c.Statements) != 2 {
+		t.Fatalf("statements: %d", len(c.Statements))
+	}
+}
+
+func TestRepeatNames(t *testing.T) {
+	w := New("Unit", MustStatement("SELECT a FROM t"))
+	r := Repeat(w, 3)
+	if r.Name != "3xUnit" || r.TotalFreq() != 3 {
+		t.Fatalf("repeat: %s %v", r.Name, r.TotalFreq())
+	}
+}
+
+func TestWithProfile(t *testing.T) {
+	w := New("w", MustStatement("SELECT a FROM t"), MustStatement("SELECT b FROM t"))
+	p := xplan.TrueProfile{CPUFactor: 2, IOFactor: 1}
+	w2 := w.WithProfile(p)
+	for _, st := range w2.Statements {
+		if st.Profile.CPUFactor != 2 {
+			t.Fatalf("profile not applied: %+v", st.Profile)
+		}
+	}
+	if w.Statements[0].Profile.CPUFactor != 1 {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	w := New("w", MustStatement("SELECT a FROM t"))
+	c := w.Clone()
+	c.Statements[0].Freq = 42
+	if w.Statements[0].Freq == 42 {
+		t.Fatal("clone shares statement slice")
+	}
+}

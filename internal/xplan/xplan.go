@@ -1,0 +1,256 @@
+// Package xplan defines physical query plans and resource-usage vectors.
+// Plans are produced by the optimizer (internal/opt) under a particular
+// parameter setting, costed in DBMS-specific model units, and accounted by
+// the engine (internal/engine) in true physical resources.
+//
+// Plan signatures — a canonical string of the operator tree shape — are how
+// online refinement (§5.1) detects the plan changes that delimit the
+// piecewise-linear memory cost model: "boundaries of the pieces correspond
+// to changes in the query execution plan".
+package xplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates physical operators.
+type Kind int
+
+// Physical operator kinds.
+const (
+	KindSeqScan Kind = iota
+	KindIndexScan
+	KindNLJoin
+	KindHashJoin
+	KindMergeJoin
+	KindSort
+	KindAggregate
+	KindModify // UPDATE / INSERT / DELETE application on top of a scan
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSeqScan:
+		return "SeqScan"
+	case KindIndexScan:
+		return "IndexScan"
+	case KindNLJoin:
+		return "NLJoin"
+	case KindHashJoin:
+		return "HashJoin"
+	case KindMergeJoin:
+		return "MergeJoin"
+	case KindSort:
+		return "Sort"
+	case KindAggregate:
+		return "Aggregate"
+	case KindModify:
+		return "Modify"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ModifyOp distinguishes Modify nodes.
+type ModifyOp int
+
+// Modify operations.
+const (
+	ModifyNone ModifyOp = iota
+	ModifyUpdate
+	ModifyInsert
+	ModifyDelete
+)
+
+// Node is one physical plan operator. Children are inputs (scans have
+// none; joins have exactly two, build/outer first).
+type Node struct {
+	Kind     Kind
+	Children []*Node
+
+	// Scan fields.
+	Table      string
+	Index      string  // index name for KindIndexScan
+	Clustered  bool    // index order matches heap order
+	TablePages float64 // heap pages of the scanned table
+	DBPages    float64 // total pages of the database (cache competition)
+	LeafPages  float64 // index leaf pages touched (KindIndexScan)
+	InputRows  float64 // rows examined before filtering (scans)
+
+	// Predicate bookkeeping: number of predicate evaluations applied per
+	// examined row at this node (drives cpu_operator_cost).
+	PredsPerRow float64
+
+	// Join fields.
+	External   bool    // external sort / multi-pass hash join
+	Passes     float64 // extra partition/merge passes beyond in-memory
+	BuildPages float64 // hash build / sort data volume in pages
+	ProbePages float64 // hash probe volume in pages
+
+	// Aggregate/sort fields.
+	GroupKeys int
+	SortKeys  int
+	AggExprs  int  // number of aggregate expressions computed
+	HashAgg   bool // hash aggregation (vs sorted aggregation)
+
+	// Modify fields.
+	Op          ModifyOp
+	RowsChanged float64
+	SetCols     int // UPDATE SET list size
+
+	// Estimated output.
+	Rows  float64
+	Width int // output row width in bytes
+
+	// Cost in model units (seq-page-cost units for pgsim, timerons for
+	// db2sim), cumulative including children.
+	Cost float64
+
+	// MemBytes is the operator's planned working memory (hash table, sort
+	// heap); informational, used by accounting.
+	MemBytes float64
+}
+
+// Signature returns the canonical operator-tree signature. Two plans with
+// the same signature use the same operators in the same shape, which is the
+// paper's criterion for "same plan" when building piecewise intervals.
+func (n *Node) Signature() string {
+	var sb strings.Builder
+	n.writeSig(&sb)
+	return sb.String()
+}
+
+func (n *Node) writeSig(sb *strings.Builder) {
+	sb.WriteString(n.Kind.String())
+	switch n.Kind {
+	case KindSeqScan:
+		sb.WriteString("(" + n.Table + ")")
+	case KindIndexScan:
+		sb.WriteString("(" + n.Table + "." + n.Index + ")")
+	case KindSort, KindHashJoin:
+		if n.External {
+			sb.WriteString("[ext]")
+		}
+	case KindAggregate:
+		if n.HashAgg {
+			sb.WriteString("[hash]")
+		} else {
+			sb.WriteString("[sort]")
+		}
+	case KindModify:
+		sb.WriteString(fmt.Sprintf("[op%d]", int(n.Op)))
+	}
+	if len(n.Children) > 0 {
+		sb.WriteString("{")
+		for i, c := range n.Children {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			c.writeSig(sb)
+		}
+		sb.WriteString("}")
+	}
+}
+
+// Explain renders an indented plan tree with cardinalities and costs, in
+// the spirit of EXPLAIN output.
+func (n *Node) Explain() string {
+	var sb strings.Builder
+	n.explain(&sb, 0)
+	return sb.String()
+}
+
+func (n *Node) explain(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.Kind.String())
+	if n.Table != "" {
+		sb.WriteString(" " + n.Table)
+		if n.Index != "" {
+			sb.WriteString(" using " + n.Index)
+		}
+	}
+	fmt.Fprintf(sb, "  (rows=%.0f cost=%.2f", n.Rows, n.Cost)
+	if n.External {
+		sb.WriteString(" external")
+	}
+	sb.WriteString(")\n")
+	for _, c := range n.Children {
+		c.explain(sb, depth+1)
+	}
+}
+
+// Walk visits n and all descendants in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Usage is the physical resource footprint of executing a plan once: the
+// quantities a virtual machine converts into time given its resource
+// allocation. CPU is abstract "operations" (roughly tuple touches), I/O is
+// physical page reads after buffer-pool filtering.
+type Usage struct {
+	CPUOps     float64 // abstract CPU operations
+	SeqPages   float64 // sequential physical page reads
+	RandPages  float64 // random physical page reads
+	WritePages float64 // physical page writes (spills, logs, data)
+	MemPeak    float64 // peak working memory in bytes
+}
+
+// Add accumulates v into u.
+func (u *Usage) Add(v Usage) {
+	u.CPUOps += v.CPUOps
+	u.SeqPages += v.SeqPages
+	u.RandPages += v.RandPages
+	u.WritePages += v.WritePages
+	if v.MemPeak > u.MemPeak {
+		u.MemPeak = v.MemPeak
+	}
+}
+
+// Scaled returns u with all additive components multiplied by f.
+func (u Usage) Scaled(f float64) Usage {
+	return Usage{
+		CPUOps:     u.CPUOps * f,
+		SeqPages:   u.SeqPages * f,
+		RandPages:  u.RandPages * f,
+		WritePages: u.WritePages * f,
+		MemPeak:    u.MemPeak,
+	}
+}
+
+func (u Usage) String() string {
+	return fmt.Sprintf("cpu=%.3g seq=%.3g rand=%.3g write=%.3g mem=%.3g",
+		u.CPUOps, u.SeqPages, u.RandPages, u.WritePages, u.MemPeak)
+}
+
+// TrueProfile captures run-time behaviour the query optimizer does not
+// model. The paper's online-refinement experiments (§7.8–7.9) rely on two
+// such effects: OLTP contention/update costs ("the optimizer cost model
+// does not accurately capture contention or update costs") and DB2's
+// underestimated sort-heap benefit ("for some queries the optimizer
+// underestimates the effect of increasing the DB2 sort heap").
+type TrueProfile struct {
+	// CPUFactor multiplies modeled CPU work at run time (contention,
+	// interpretation overhead). 1 = as modeled.
+	CPUFactor float64
+	// IOFactor multiplies modeled physical reads. 1 = as modeled.
+	IOFactor float64
+	// LockOpsPerRow adds unmodeled CPU operations per modified row
+	// (latching, lock-manager work under concurrent clients).
+	LockOpsPerRow float64
+	// LogPagesPerRow adds unmodeled write pages per modified row (WAL).
+	LogPagesPerRow float64
+	// MemBoost is the unmodeled fractional speedup available from fully
+	// provisioned sort memory: when sort-memory demand is satisfied the
+	// actual cost shrinks by up to this fraction beyond the model.
+	MemBoost float64
+}
+
+// DefaultProfile is faithful execution: what the optimizer models is what
+// runs.
+func DefaultProfile() TrueProfile {
+	return TrueProfile{CPUFactor: 1, IOFactor: 1}
+}

@@ -1,0 +1,71 @@
+package xplan
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTree(externalSort bool) *Node {
+	scan := &Node{Kind: KindSeqScan, Table: "t", TablePages: 100, InputRows: 1000, Rows: 500, Width: 16}
+	sort := &Node{Kind: KindSort, Children: []*Node{scan}, External: externalSort, BuildPages: 10, Rows: 500, Width: 16}
+	return &Node{Kind: KindAggregate, Children: []*Node{sort}, HashAgg: false, GroupKeys: 1, Rows: 10, Width: 16}
+}
+
+func TestSignatureCapturesOperatorChanges(t *testing.T) {
+	a := sampleTree(false)
+	b := sampleTree(true)
+	if a.Signature() == b.Signature() {
+		t.Fatal("external flag must change the signature (piecewise boundaries depend on it)")
+	}
+	if !strings.Contains(a.Signature(), "SeqScan(t)") {
+		t.Fatalf("signature: %s", a.Signature())
+	}
+	if a.Signature() != sampleTree(false).Signature() {
+		t.Fatal("signatures must be deterministic")
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	count := 0
+	sampleTree(false).Walk(func(*Node) { count++ })
+	if count != 3 {
+		t.Fatalf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	out := sampleTree(true).Explain()
+	for _, want := range []string{"Aggregate", "Sort", "SeqScan t", "external"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageAddAndScale(t *testing.T) {
+	var u Usage
+	u.Add(Usage{CPUOps: 10, SeqPages: 5, RandPages: 2, WritePages: 1, MemPeak: 100})
+	u.Add(Usage{CPUOps: 10, MemPeak: 50})
+	if u.CPUOps != 20 || u.SeqPages != 5 || u.MemPeak != 100 {
+		t.Fatalf("add: %+v", u)
+	}
+	s := u.Scaled(0.5)
+	if s.CPUOps != 10 || s.SeqPages != 2.5 || s.MemPeak != 100 {
+		t.Fatalf("scaled: %+v", s)
+	}
+}
+
+func TestDefaultProfileIsFaithful(t *testing.T) {
+	p := DefaultProfile()
+	if p.CPUFactor != 1 || p.IOFactor != 1 || p.LockOpsPerRow != 0 || p.MemBoost != 0 {
+		t.Fatalf("default profile: %+v", p)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSeqScan; k <= KindModify; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}

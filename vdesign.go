@@ -1,0 +1,252 @@
+// Package vdesign is the public API of this repository: a virtualization
+// design advisor for database workloads, reproducing Soror et al.,
+// "Automatic Virtual Machine Configuration for Database Workloads"
+// (SIGMOD 2008 / TODS).
+//
+// A Server models one physical machine whose CPU and memory are shared by
+// N virtual machines, each running a simulated DBMS (PostgreSQL- or
+// DB2-flavoured) with a SQL workload. The advisor recommends per-VM
+// resource shares using the DBMS query optimizers in what-if mode, can
+// refine the recommendation online against observed run times, and can
+// manage allocations across monitoring periods as workloads change.
+//
+// Quick start:
+//
+//	srv, _ := vdesign.NewServer()
+//	t1, _ := srv.AddTenant("dss", vdesign.PostgreSQL, tpchSchema, dssSQL)
+//	t2, _ := srv.AddTenant("oltp", vdesign.DB2, tpccSchema, oltpSQL)
+//	rec, _ := srv.Recommend(nil)
+//	fmt.Println(rec.Shares(t1), rec.Shares(t2))
+package vdesign
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/db2sim"
+	"repro/internal/dbms"
+	"repro/internal/pgsim"
+	"repro/internal/refine"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// Flavor selects which simulated DBMS a tenant runs.
+type Flavor int
+
+// Supported database system flavors.
+const (
+	// PostgreSQL is the PostgreSQL-flavoured system: costs in
+	// sequential-page units, Table II parameters, shared_buffers = 10/16
+	// of VM memory.
+	PostgreSQL Flavor = iota
+	// DB2 is the DB2-flavoured system: costs in timerons, Table III
+	// parameters, bufferpool = 70% of free VM memory.
+	DB2
+)
+
+// QoS carries the per-tenant quality-of-service settings of §3: the
+// degradation limit L (≥ 1, 0 meaning unlimited) and the benefit gain
+// factor G (≥ 1, 0 meaning 1).
+type QoS struct {
+	DegradationLimit float64
+	GainFactor       float64
+}
+
+// Server is a consolidated physical machine with tenant VMs.
+type Server struct {
+	machine *vmsim.Machine
+	pgCal   *calibrate.PGResult
+	db2Cal  *calibrate.DB2Result
+	tenants []*TenantHandle
+}
+
+// TenantHandle identifies one tenant (one VM running one DBMS+workload).
+type TenantHandle struct {
+	index int
+	name  string
+	sys   dbms.System
+	w     *workload.Workload
+	est   *core.WhatIfEstimator
+	qos   QoS
+}
+
+// Name returns the tenant's name.
+func (t *TenantHandle) Name() string { return t.name }
+
+// NewServer creates a server with the default simulated hardware and runs
+// the one-time optimizer calibrations (§4.3) for both DBMS flavors.
+func NewServer() (*Server, error) {
+	m := vmsim.Default()
+	pg, err := calibrate.CalibratePG(m, calibrate.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("vdesign: calibrating PostgreSQL: %w", err)
+	}
+	db2, err := calibrate.CalibrateDB2(m, calibrate.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("vdesign: calibrating DB2: %w", err)
+	}
+	return &Server{machine: m, pgCal: pg, db2Cal: db2}, nil
+}
+
+// Machine exposes the underlying simulated machine.
+func (s *Server) Machine() *vmsim.Machine { return s.machine }
+
+// AddTenant registers a VM running the given DBMS flavor over a schema
+// with a workload of SQL statements (each executed once per monitoring
+// interval; use AddTenantWorkload for explicit frequencies).
+func (s *Server) AddTenant(name string, f Flavor, schema *catalog.Schema, statements []string) (*TenantHandle, error) {
+	w := &workload.Workload{Name: name}
+	for _, sql := range statements {
+		st := workload.MustStatement(sql)
+		w.Statements = append(w.Statements, st)
+	}
+	return s.AddTenantWorkload(name, f, schema, w)
+}
+
+// AddTenantWorkload registers a VM with a fully specified workload.
+func (s *Server) AddTenantWorkload(name string, f Flavor, schema *catalog.Schema, w *workload.Workload) (*TenantHandle, error) {
+	if schema == nil || w == nil || len(w.Statements) == 0 {
+		return nil, errors.New("vdesign: tenant needs a schema and a non-empty workload")
+	}
+	var sys dbms.System
+	var est *core.WhatIfEstimator
+	switch f {
+	case PostgreSQL:
+		ps := pgsim.New(schema)
+		sys = ps
+		est = &core.WhatIfEstimator{
+			Sys:             ps,
+			Params:          func(a dbms.Alloc) any { return s.pgCal.Params(a) },
+			Renorm:          s.pgCal.Renorm(),
+			Workload:        w,
+			MachineMemBytes: s.machine.HW.MemoryBytes,
+		}
+	case DB2:
+		ds := db2sim.New(schema)
+		sys = ds
+		est = &core.WhatIfEstimator{
+			Sys:             ds,
+			Params:          func(a dbms.Alloc) any { return s.db2Cal.Params(a) },
+			Renorm:          s.db2Cal.Renorm(),
+			Workload:        w,
+			MachineMemBytes: s.machine.HW.MemoryBytes,
+		}
+	default:
+		return nil, fmt.Errorf("vdesign: unknown flavor %d", f)
+	}
+	t := &TenantHandle{index: len(s.tenants), name: name, sys: sys, w: w, est: est}
+	s.tenants = append(s.tenants, t)
+	return t, nil
+}
+
+// SetQoS sets a tenant's degradation limit and gain factor.
+func (s *Server) SetQoS(t *TenantHandle, q QoS) { s.tenants[t.index].qos = q }
+
+// Recommendation is a completed advisor run.
+type Recommendation struct {
+	server *Server
+	res    *core.Result
+}
+
+// Shares returns (cpuShare, memShare) recommended for a tenant.
+func (r *Recommendation) Shares(t *TenantHandle) (cpu, mem float64) {
+	a := r.res.Allocations[t.index]
+	return a[0], a[1]
+}
+
+// EstimatedSeconds returns the estimated workload cost at the
+// recommendation.
+func (r *Recommendation) EstimatedSeconds(t *TenantHandle) float64 {
+	return r.res.Costs[t.index]
+}
+
+// Degradation returns the estimated degradation vs a dedicated machine.
+func (r *Recommendation) Degradation(t *TenantHandle) float64 {
+	return r.res.Degradations()[t.index]
+}
+
+// Options tunes the advisor run.
+type Options struct {
+	// Delta is the greedy step (default 5%).
+	Delta float64
+}
+
+// Recommend runs the virtualization design advisor (§4) over all tenants,
+// allocating CPU and memory shares.
+func (s *Server) Recommend(opts *Options) (*Recommendation, error) {
+	if len(s.tenants) == 0 {
+		return nil, errors.New("vdesign: no tenants")
+	}
+	coreOpts := core.Options{Resources: 2}
+	if opts != nil && opts.Delta > 0 {
+		coreOpts.Delta = opts.Delta
+	}
+	coreOpts.Gains = make([]float64, len(s.tenants))
+	coreOpts.Limits = make([]float64, len(s.tenants))
+	for i, t := range s.tenants {
+		coreOpts.Gains[i] = 1
+		if t.qos.GainFactor >= 1 {
+			coreOpts.Gains[i] = t.qos.GainFactor
+		}
+		if t.qos.DegradationLimit >= 1 {
+			coreOpts.Limits[i] = t.qos.DegradationLimit
+		} else {
+			coreOpts.Limits[i] = inf()
+		}
+	}
+	ests := make([]core.Estimator, len(s.tenants))
+	for i, t := range s.tenants {
+		ests[i] = t.est
+	}
+	res, err := core.Recommend(ests, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Recommendation{server: s, res: res}, nil
+}
+
+// MeasureSeconds runs a tenant's workload in its VM under explicit shares
+// and returns simulated seconds — the Act_i measurement of §5.
+func (s *Server) MeasureSeconds(t *TenantHandle, cpuShare, memShare float64) (float64, error) {
+	a := dbms.Alloc{CPU: cpuShare, Mem: memShare}.Clamp(0.01)
+	return s.machine.RunWorkload(t.sys, t.w, a)
+}
+
+// Refined runs online refinement (§5) from a recommendation: measure
+// actual run times at the deployed allocation, correct the cost models by
+// Act/Est, re-run the advisor, and repeat until stable.
+func (s *Server) Refined(rec *Recommendation) (*Recommendation, error) {
+	out, err := refine.Run(rec.res, refine.Config{
+		Opts:     core.Options{Resources: 2},
+		MaxIters: 8,
+		Measure: func(i int, a core.Allocation) (float64, error) {
+			t := s.tenants[i]
+			return s.MeasureSeconds(t, a[0], a[1])
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Package the refined allocations in a Recommendation-compatible shape.
+	res := &core.Result{
+		Allocations:    out.Allocations,
+		Costs:          make([]float64, len(s.tenants)),
+		DedicatedCosts: rec.res.DedicatedCosts,
+		Samples:        rec.res.Samples,
+	}
+	for i, md := range out.Models {
+		c, _, err := md.Estimate(out.Allocations[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Costs[i] = c
+		res.TotalCost += c
+	}
+	return &Recommendation{server: s, res: res}, nil
+}
+
+func inf() float64 { return 1e308 }

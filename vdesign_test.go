@@ -1,0 +1,117 @@
+package vdesign
+
+import (
+	"testing"
+
+	"repro/internal/tpcc"
+	"repro/internal/tpch"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer()
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return srv
+}
+
+func TestServerRecommendTwoTenants(t *testing.T) {
+	srv := newTestServer(t)
+	schema := tpch.Schema(1)
+	a, err := srv.AddTenant("a", PostgreSQL, schema, []string{tpch.QueryText(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.AddTenant("b", DB2, schema, []string{tpch.QueryText(17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := srv.Recommend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, ma := rec.Shares(a)
+	cb, mb := rec.Shares(b)
+	if ca+cb < 0.99 || ca+cb > 1.01 || ma+mb < 0.99 || ma+mb > 1.01 {
+		t.Fatalf("shares must sum to 1: cpu %v+%v mem %v+%v", ca, cb, ma, mb)
+	}
+	if rec.EstimatedSeconds(a) <= 0 || rec.Degradation(a) < 1 {
+		t.Fatalf("estimates: %v / %v", rec.EstimatedSeconds(a), rec.Degradation(a))
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := newTestServer(t)
+	if _, err := srv.Recommend(nil); err == nil {
+		t.Fatal("no tenants should error")
+	}
+	if _, err := srv.AddTenant("x", PostgreSQL, nil, nil); err == nil {
+		t.Fatal("nil schema should error")
+	}
+	if _, err := srv.AddTenant("x", Flavor(99), tpch.Schema(1), []string{tpch.QueryText(1)}); err == nil {
+		t.Fatal("unknown flavor should error")
+	}
+}
+
+func TestServerQoSLimit(t *testing.T) {
+	srv := newTestServer(t)
+	schema := tpch.Schema(1)
+	var handles []*TenantHandle
+	for i := 0; i < 4; i++ {
+		h, err := srv.AddTenant(string(rune('a'+i)), DB2, schema, []string{tpch.QueryText(18)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	srv.SetQoS(handles[0], QoS{DegradationLimit: 3})
+	rec, err := srv.Recommend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rec.Degradation(handles[0]); d > 3+1e-9 {
+		t.Fatalf("degradation limit not enforced: %v", d)
+	}
+}
+
+func TestServerMeasureAndRefine(t *testing.T) {
+	srv := newTestServer(t)
+	dss, err := srv.AddTenant("dss", DB2, tpch.Schema(1), []string{tpch.QueryText(1), tpch.QueryText(18)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oltp, err := srv.AddTenantWorkload("oltp", DB2, tpcc.Schema(5), tpcc.Mix(5, 10, 1).Scale(0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := srv.Recommend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := srv.MeasureSeconds(dss, 0.5, 0.5)
+	if err != nil || sec <= 0 {
+		t.Fatalf("measure: %v %v", sec, err)
+	}
+	refined, err := srv.Refined(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refinement must not make the actual total worse than the initial
+	// recommendation's actual total.
+	actualOf := func(r *Recommendation) float64 {
+		var total float64
+		for _, h := range []*TenantHandle{dss, oltp} {
+			c, m := r.Shares(h)
+			s, err := srv.MeasureSeconds(h, c, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s
+		}
+		return total
+	}
+	if actualOf(refined) > actualOf(initial)*1.001 {
+		t.Fatalf("refinement worsened actuals: %v -> %v", actualOf(initial), actualOf(refined))
+	}
+}
