@@ -1,0 +1,35 @@
+# CI and humans run the same targets. `make check` is what the workflow
+# in .github/workflows/ci.yml executes.
+
+GO ?= go
+
+.PHONY: build test race bench lint fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Parallel-search benchmarks: greedy and the exhaustive oracle across
+# worker counts (results are bit-identical; only wall-clock changes).
+bench:
+	$(GO) test -run '^$$' -bench 'Parallel' -benchtime 10x .
+
+# Full paper-reproduction benchmark suite (every figure/table).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+lint: fmt vet
+
+check: build lint test race

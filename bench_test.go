@@ -6,10 +6,13 @@
 package vdesign
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/tpch"
 )
 
 var (
@@ -80,3 +83,72 @@ func BenchmarkSec72SearchCost(b *testing.B)          { runExperiment(b, "sec7.2"
 func BenchmarkAblationCostCache(b *testing.B)        { runExperiment(b, "ablation-cache") }
 func BenchmarkAblationDelta(b *testing.B)            { runExperiment(b, "ablation-delta") }
 func BenchmarkAblationCalibrationGrid(b *testing.B)  { runExperiment(b, "ablation-calibgrid") }
+
+// parallelBenchEstimators builds n calibrated TPC-H what-if estimators —
+// the real workload of the advisor's hot loop — through the public server
+// API.
+func parallelBenchEstimators(b *testing.B, n int) []core.Estimator {
+	b.Helper()
+	srv, err := NewServer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := tpch.Schema(1)
+	for i := 0; i < n; i++ {
+		// Vary the query mix so tenants have distinct resource appetites.
+		var queries []string
+		for q := 1 + i%4; q <= tpch.QueryCount; q += 4 {
+			queries = append(queries, tpch.QueryText(q))
+		}
+		if _, err := srv.AddTenant(fmt.Sprintf("t%d", i), PostgreSQL, schema, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ests := make([]core.Estimator, n)
+	for i, t := range srv.tenants {
+		ests[i] = t.est
+	}
+	return ests
+}
+
+// BenchmarkGreedyParallel measures the greedy enumerator at 4 and 8
+// tenants across worker counts. Results are bit-identical across the
+// sub-benchmarks; only wall-clock changes.
+func BenchmarkGreedyParallel(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		ests := parallelBenchEstimators(b, n)
+		// Warm the simulated systems' deployed-plan caches so every
+		// sub-benchmark measures what-if repricing, not one-time planning.
+		if _, err := core.Recommend(ests, core.Options{Delta: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("tenants=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Recommend(ests, core.Options{Delta: 0.05, Parallelism: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExhaustiveParallel measures the exhaustive oracle over the full
+// CPU×memory δ-grid at 4 tenants across worker counts (chunked
+// work-stealing with early-abandon on the running best).
+func BenchmarkExhaustiveParallel(b *testing.B) {
+	ests := parallelBenchEstimators(b, 4)
+	if _, err := core.Exhaustive(ests, core.Options{Delta: 0.1}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tenants=4/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Exhaustive(ests, core.Options{Delta: 0.1, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -35,6 +36,8 @@ func main() {
 	flag.Var(&qos, "qos", "QoS spec name:limit=L or name:gain=G (repeatable)")
 	delta := flag.Float64("delta", 0.05, "greedy step size")
 	refine := flag.Bool("refine", false, "apply online refinement after the initial recommendation")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
+		"concurrent what-if estimations (results are identical across settings)")
 	flag.Parse()
 	if len(tenants) == 0 {
 		fmt.Fprintln(os.Stderr, "at least one -tenant is required; see -h")
@@ -102,7 +105,7 @@ func main() {
 		srv.SetQoS(h, q)
 	}
 
-	rec, err := srv.Recommend(&vdesign.Options{Delta: *delta})
+	rec, err := srv.Recommend(&vdesign.Options{Delta: *delta, Parallelism: *parallelism})
 	if err != nil {
 		fatal(err)
 	}

@@ -14,7 +14,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallelism := flag.Int("parallelism", 0,
+		"concurrent what-if estimations per advisor run (0 = all cores; results are identical across settings)")
 	flag.Parse()
+	experiments.SetParallelism(*parallelism)
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

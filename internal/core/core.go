@@ -8,9 +8,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Allocation is the paper's R_i = [r_i1, ..., r_iM]: one share in [0,1]
@@ -58,6 +61,17 @@ type Options struct {
 	// Limits are the degradation limits L_i relative to a dedicated
 	// machine (default all +Inf).
 	Limits []float64
+	// Parallelism bounds how many estimator evaluations run concurrently
+	// (default 1: fully sequential). The search result is bit-identical
+	// across Parallelism settings — only wall-clock time and the order of
+	// estimator invocations change — because candidate selection always
+	// replays in the sequential order over the costed grid. Estimators
+	// must be safe for concurrent use when Parallelism > 1; the
+	// repository's what-if estimators are.
+	Parallelism int
+	// Ctx cancels a long-running search between evaluation batches; nil
+	// means context.Background().
+	Ctx context.Context
 }
 
 func (o Options) withDefaults(n int) (Options, error) {
@@ -75,6 +89,12 @@ func (o Options) withDefaults(n int) (Options, error) {
 	}
 	if o.MaxIters <= 0 {
 		o.MaxIters = 400
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	if o.Gains == nil {
 		o.Gains = make([]float64, n)
@@ -150,18 +170,41 @@ func (r *Result) Degradations() []float64 {
 	return out
 }
 
-// searcher wraps the estimators with a memo cache.
+// memoShards stripes each workload's memo cache so concurrent evaluations
+// of different allocations rarely contend on the same lock.
+const memoShards = 16 // power of two
+
+// memoEntry is one cached evaluation. The entry is registered in its shard
+// before the estimator runs and resolved exactly once, so concurrent
+// lookups of the same quantized allocation block on the single in-flight
+// evaluation instead of duplicating it (and EstimatorCalls/CacheHits stay
+// identical to a sequential search).
+type memoEntry struct {
+	once sync.Once
+	sm   Sample
+	err  error
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry
+}
+
+// searcher wraps the estimators with a concurrency-safe memo cache.
 type searcher struct {
-	ests  []Estimator
-	memo  []map[string]Sample
-	calls int
-	hits  int
+	ests   []Estimator
+	shards [][]memoShard // [workload][shard]
+	calls  atomic.Int64
+	hits   atomic.Int64
 }
 
 func newSearcher(ests []Estimator) *searcher {
-	s := &searcher{ests: ests, memo: make([]map[string]Sample, len(ests))}
-	for i := range s.memo {
-		s.memo[i] = make(map[string]Sample)
+	s := &searcher{ests: ests, shards: make([][]memoShard, len(ests))}
+	for i := range s.shards {
+		s.shards[i] = make([]memoShard, memoShards)
+		for j := range s.shards[i] {
+			s.shards[i][j].m = make(map[string]*memoEntry)
+		}
 	}
 	return s
 }
@@ -176,20 +219,55 @@ func key(a Allocation) string {
 	return string(b)
 }
 
+// shardOf hashes a memo key onto a shard index (FNV-1a).
+func shardOf(k string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return int(h & (memoShards - 1))
+}
+
 func (s *searcher) cost(i int, a Allocation) (Sample, error) {
 	k := key(a)
-	if sm, ok := s.memo[i][k]; ok {
-		s.hits++
-		return sm, nil
+	sh := &s.shards[i][shardOf(k)]
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if !ok {
+		e = &memoEntry{}
+		sh.m[k] = e
 	}
-	s.calls++
-	sec, sig, err := s.ests[i].Estimate(a)
-	if err != nil {
-		return Sample{}, fmt.Errorf("core: estimating workload %d at %v: %w", i, a, err)
+	sh.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
 	}
-	sm := Sample{Alloc: a.Clone(), Seconds: sec, PlanSig: sig}
-	s.memo[i][k] = sm
-	return sm, nil
+	e.once.Do(func() {
+		s.calls.Add(1)
+		sec, sig, err := s.ests[i].Estimate(a)
+		if err != nil {
+			e.err = fmt.Errorf("core: estimating workload %d at %v: %w", i, a, err)
+			return
+		}
+		e.sm = Sample{Alloc: a.Clone(), Seconds: sec, PlanSig: sig}
+	})
+	return e.sm, e.err
+}
+
+// samples collects every resolved evaluation of workload i.
+func (s *searcher) samples(i int) []Sample {
+	var out []Sample
+	for j := range s.shards[i] {
+		sh := &s.shards[i][j]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			if e.err == nil && e.sm.Alloc != nil {
+				out = append(out, e.sm)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Recommend runs the greedy configuration enumeration of Fig. 11.
@@ -250,12 +328,56 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// candidate is one costed δ-shift: workload i gains (up) or donates
+	// resource j. The sample pointer is nil while uncosted.
+	type candidate struct {
+		i, j int
+		up   bool
+		a    Allocation
+		sm   Sample
+	}
+
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Phase 1: enumerate every feasible ±δ candidate in the sequential
+		// order and cost them all over the worker pool. The memo cache
+		// deduplicates across iterations, so the set of estimator calls is
+		// exactly the sequential set regardless of Parallelism.
+		var cands []candidate
+		for j := 0; j < opts.Resources; j++ {
+			for i := 0; i < n; i++ {
+				if up, err := adjusted(i, j, opts.Delta); err == nil {
+					cands = append(cands, candidate{i: i, j: j, up: true, a: up})
+				}
+				if allocs[i][j]-opts.Delta < opts.MinShare-1e-9 {
+					continue
+				}
+				if down, err := adjusted(i, j, -opts.Delta); err == nil {
+					cands = append(cands, candidate{i: i, j: j, up: false, a: down})
+				}
+			}
+		}
+		if err := forEach(opts.Ctx, opts.Parallelism, len(cands), func(c int) error {
+			sm, err := s.cost(cands[c].i, cands[c].a)
+			if err != nil {
+				return err
+			}
+			cands[c].sm = sm
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Phase 2: replay the sequential selection over the costed grid —
+		// identical tie-breaking, so the result is bit-identical to a
+		// Parallelism=1 run.
 		maxDiff := 0.0
 		var bestGainI, bestLoseI, bestJ int
 		var bestGainCost, bestLoseCost float64
 		found := false
+		c := 0
 		for j := 0; j < opts.Resources; j++ {
 			maxGain := 0.0
 			minLoss := math.Inf(1)
@@ -263,36 +385,27 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 			var gainCost, loseCost float64
 			for i := 0; i < n; i++ {
 				// Who benefits most from an increase?
-				if up, err := adjusted(i, j, opts.Delta); err == nil {
-					sm, err := s.cost(i, up)
-					if err != nil {
-						return nil, err
-					}
-					c := opts.Gains[i] * sm.Seconds
-					if gain := costs[i] - c; gain > maxGain {
-						maxGain, iGain, gainCost = gain, i, c
+				if c < len(cands) && cands[c].i == i && cands[c].j == j && cands[c].up {
+					sm := cands[c].sm
+					c++
+					cost := opts.Gains[i] * sm.Seconds
+					if gain := costs[i] - cost; gain > maxGain {
+						maxGain, iGain, gainCost = gain, i, cost
 					}
 				}
 				// Who suffers least from a reduction?
-				if allocs[i][j]-opts.Delta < opts.MinShare-1e-9 {
-					continue
-				}
-				down, err := adjusted(i, j, -opts.Delta)
-				if err != nil {
-					continue
-				}
-				sm, err := s.cost(i, down)
-				if err != nil {
-					return nil, err
-				}
-				// Degradation limit: only take resources from workloads
-				// that stay within L_i afterwards (Fig. 11).
-				if dedicated[i] > 0 && sm.Seconds/dedicated[i] > opts.Limits[i]+1e-12 {
-					continue
-				}
-				c := opts.Gains[i] * sm.Seconds
-				if loss := c - costs[i]; loss < minLoss {
-					minLoss, iLose, loseCost = loss, i, c
+				if c < len(cands) && cands[c].i == i && cands[c].j == j && !cands[c].up {
+					sm := cands[c].sm
+					c++
+					// Degradation limit: only take resources from workloads
+					// that stay within L_i afterwards (Fig. 11).
+					if dedicated[i] > 0 && sm.Seconds/dedicated[i] > opts.Limits[i]+1e-12 {
+						continue
+					}
+					cost := opts.Gains[i] * sm.Seconds
+					if loss := cost - costs[i]; loss < minLoss {
+						minLoss, iLose, loseCost = loss, i, cost
+					}
 				}
 			}
 			if iGain >= 0 && iLose >= 0 && iGain != iLose && maxGain-minLoss > maxDiff {
@@ -311,13 +424,16 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		costs[bestLoseI] = bestLoseCost
 	}
 
+	// Snapshot the cache statistics before the final per-workload costing
+	// pass: its lookups are guaranteed memo hits and the §4.5 cache
+	// ablation counts only the search itself.
 	res := &Result{
 		Allocations:    allocs,
 		Costs:          make([]float64, n),
 		DedicatedCosts: dedicated,
 		Iterations:     iters,
-		EstimatorCalls: s.calls,
-		CacheHits:      s.hits,
+		EstimatorCalls: int(s.calls.Load()),
+		CacheHits:      int(s.hits.Load()),
 		Samples:        make([][]Sample, n),
 	}
 	for i := range allocs {
@@ -327,9 +443,7 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		}
 		res.Costs[i] = sm.Seconds
 		res.TotalCost += opts.Gains[i] * sm.Seconds
-		for _, v := range s.memo[i] {
-			res.Samples[i] = append(res.Samples[i], v)
-		}
+		res.Samples[i] = s.samples(i)
 	}
 	return res, nil
 }

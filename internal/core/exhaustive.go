@@ -2,13 +2,30 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 )
+
+// exhaustiveChunk is how many cross-product candidates one worker claims
+// at a time. Large enough to amortize the claim, small enough to steal
+// work from stragglers near the end of the grid.
+const exhaustiveChunk = 1024
 
 // Exhaustive searches the full δ-grid of feasible allocations and returns
 // the cheapest, as the oracle the paper compares greedy against (§4.5:
 // "we have extensively compared the results of the greedy algorithm to
 // the results of an exhaustive search"). Cost is exponential in N·M; it is
 // intended for validation at small N.
+//
+// The search runs in two phases, both fanned over Options.Parallelism
+// workers. Phase 1 evaluates every distinct per-workload allocation on the
+// δ-grid — the what-if estimator calls where all the real time goes — into
+// a flat cost table. Phase 2 scans the cross-product of per-resource
+// compositions in work-stealing chunks using only that table (no locks),
+// sharing a running best for early-abandon: a candidate whose partial
+// gain-weighted total already exceeds the best cannot win, because
+// estimates are times and therefore nonnegative. The returned optimum is
+// deterministic and identical to a sequential scan: ties on total cost are
+// broken toward the smaller enumeration index.
 func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 	n := len(ests)
 	opts, err := opts.withDefaults(n)
@@ -21,25 +38,28 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 	minSteps := int(math.Ceil(opts.MinShare/opts.Delta - 1e-9))
 
 	// Enumerate compositions of `steps` δ-units into n parts (each ≥
-	// minSteps) independently per resource, then take cross products.
-	var perResource [][][]int
-	var compose func(remaining, parts int, cur []int, out *[][]int)
-	compose = func(remaining, parts int, cur []int, out *[][]int) {
+	// minSteps) once; every resource shares the same composition list, and
+	// candidates are the cross product of one composition per resource.
+	var comps [][]int
+	var compose func(remaining, parts int, cur []int)
+	compose = func(remaining, parts int, cur []int) {
 		if parts == 1 {
 			if remaining >= minSteps {
-				comp := append(append([]int(nil), cur...), remaining)
-				*out = append(*out, comp)
+				comps = append(comps, append(append([]int(nil), cur...), remaining))
 			}
 			return
 		}
 		for v := minSteps; v <= remaining-minSteps*(parts-1); v++ {
-			compose(remaining-v, parts-1, append(cur, v), out)
+			compose(remaining-v, parts-1, append(cur, v))
 		}
 	}
+	compose(steps, n, nil)
+	if len(comps) == 0 {
+		return nil, errInfeasible
+	}
+	total := 1
 	for j := 0; j < opts.Resources; j++ {
-		var comps [][]int
-		compose(steps, n, nil, &comps)
-		perResource = append(perResource, comps)
+		total *= len(comps)
 	}
 
 	dedicated := make([]float64, n)
@@ -55,61 +75,168 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 		dedicated[i] = sm.Seconds
 	}
 
-	best := math.Inf(1)
-	var bestAllocs []Allocation
-	var bestCosts []float64
+	// Phase 1: cost every distinct per-workload allocation. One workload's
+	// share of any resource is lo..hi δ-units, so the distinct allocations
+	// are the V^M lattice points; evaluate all n·V^M of them concurrently.
+	lo := minSteps
+	hi := steps - minSteps*(n-1)
+	v := hi - lo + 1
+	cells := 1
+	for j := 0; j < opts.Resources; j++ {
+		cells *= v
+	}
+	costTab := make([][]float64, n) // [workload][lattice cell] seconds
+	okTab := make([][]bool, n)      // feasible under the workload's limit
+	for i := 0; i < n; i++ {
+		costTab[i] = make([]float64, cells)
+		okTab[i] = make([]bool, cells)
+	}
+	if err := forEach(opts.Ctx, opts.Parallelism, n*cells, func(job int) error {
+		// Workload-minor job order: concurrent workers land on different
+		// workloads' estimators, not all on one simulated system at once.
+		i, cell := job%n, job/n
+		a := make(Allocation, opts.Resources)
+		for j, c := 0, cell; j < opts.Resources; j++ {
+			a[j] = float64(lo+c%v) * opts.Delta
+			c /= v
+		}
+		sm, err := s.cost(i, a)
+		if err != nil {
+			return err
+		}
+		costTab[i][cell] = sm.Seconds
+		okTab[i][cell] = !(dedicated[i] > 0 && sm.Seconds/dedicated[i] > opts.Limits[i]+1e-12)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
-	idx := make([]int, opts.Resources)
-	for {
-		// Materialize the candidate allocation set.
-		allocs := make([]Allocation, n)
-		for i := 0; i < n; i++ {
-			allocs[i] = make(Allocation, opts.Resources)
-			for j := 0; j < opts.Resources; j++ {
-				allocs[i][j] = float64(perResource[j][idx[j]][i]) * opts.Delta
+	// localBest is one worker's champion over the chunks it scanned.
+	type localBest struct {
+		total float64
+		lin   int // enumeration index, the deterministic tie-breaker
+	}
+
+	workers := opts.Parallelism
+	if maxW := (total + exhaustiveChunk - 1) / exhaustiveChunk; workers > maxW {
+		workers = maxW
+	}
+	bests := make([]localBest, workers)
+	var sharedBest atomic.Uint64 // Float64bits of the running best total
+	sharedBest.Store(math.Float64bits(math.Inf(1)))
+	lowerBest := func(t float64) {
+		for {
+			cur := sharedBest.Load()
+			if t >= math.Float64frombits(cur) {
+				return
 			}
-		}
-		total := 0.0
-		costs := make([]float64, n)
-		feasible := true
-		for i := 0; i < n && feasible; i++ {
-			sm, err := s.cost(i, allocs[i])
-			if err != nil {
-				return nil, err
+			if sharedBest.CompareAndSwap(cur, math.Float64bits(t)) {
+				return
 			}
-			costs[i] = sm.Seconds
-			if dedicated[i] > 0 && sm.Seconds/dedicated[i] > opts.Limits[i]+1e-12 {
-				feasible = false
-			}
-			total += opts.Gains[i] * sm.Seconds
-		}
-		if feasible && total < best {
-			best = total
-			bestAllocs = allocs
-			bestCosts = costs
-		}
-		// Advance the cross-product odometer.
-		j := 0
-		for ; j < opts.Resources; j++ {
-			idx[j]++
-			if idx[j] < len(perResource[j]) {
-				break
-			}
-			idx[j] = 0
-		}
-		if j == opts.Resources {
-			break
 		}
 	}
-	if bestAllocs == nil {
+
+	// Phase 2: scan the cross product. Pure table arithmetic per
+	// candidate; the only shared state is the atomic running best.
+	var nextChunk atomic.Int64
+	scan := func(w int) error {
+		lb := &bests[w]
+		lb.total = math.Inf(1)
+		lb.lin = -1
+		idx := make([]int, opts.Resources)
+		for {
+			if err := opts.Ctx.Err(); err != nil {
+				return err
+			}
+			start := int(nextChunk.Add(1)-1) * exhaustiveChunk
+			if start >= total {
+				return nil
+			}
+			end := start + exhaustiveChunk
+			if end > total {
+				end = total
+			}
+			for lin := start; lin < end; lin++ {
+				// Decode the enumeration index into one composition per
+				// resource (resource 0 varies fastest).
+				t := lin
+				for j := 0; j < opts.Resources; j++ {
+					idx[j] = t % len(comps)
+					t /= len(comps)
+				}
+				bound := math.Float64frombits(sharedBest.Load())
+				sum := 0.0
+				feasible := true
+				for i := 0; i < n && feasible; i++ {
+					cell := 0
+					for j := opts.Resources - 1; j >= 0; j-- {
+						cell = cell*v + (comps[idx[j]][i] - lo)
+					}
+					if !okTab[i][cell] {
+						feasible = false
+					}
+					sum += opts.Gains[i] * costTab[i][cell]
+					if sum > bound {
+						// Early-abandon: remaining costs are nonnegative,
+						// so this candidate is strictly worse than the
+						// running best and cannot win even a tie-break.
+						feasible = false
+					}
+				}
+				if feasible && sum < lb.total {
+					lb.total = sum
+					lb.lin = lin
+					lowerBest(sum)
+				}
+			}
+		}
+	}
+	if err := forEach(opts.Ctx, workers, workers, scan); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: smallest total, ties toward the smallest
+	// enumeration index — exactly what a sequential scan keeps.
+	best := localBest{total: math.Inf(1), lin: -1}
+	for _, lb := range bests {
+		if lb.lin < 0 {
+			continue
+		}
+		if lb.total < best.total || (lb.total == best.total && lb.lin < best.lin) {
+			best = lb
+		}
+	}
+	if best.lin < 0 {
 		return nil, errInfeasible
+	}
+
+	// Materialize the winning allocation set from its enumeration index.
+	bestAllocs := make([]Allocation, n)
+	bestCosts := make([]float64, n)
+	for i := range bestAllocs {
+		bestAllocs[i] = make(Allocation, opts.Resources)
+	}
+	t := best.lin
+	for j := 0; j < opts.Resources; j++ {
+		comp := comps[t%len(comps)]
+		t /= len(comps)
+		for i := 0; i < n; i++ {
+			bestAllocs[i][j] = float64(comp[i]) * opts.Delta
+		}
+	}
+	for i := 0; i < n; i++ {
+		cell := 0
+		for j := opts.Resources - 1; j >= 0; j-- {
+			cell = cell*v + int(math.Round(bestAllocs[i][j]/opts.Delta)) - lo
+		}
+		bestCosts[i] = costTab[i][cell]
 	}
 	return &Result{
 		Allocations:    bestAllocs,
 		Costs:          bestCosts,
-		TotalCost:      best,
+		TotalCost:      best.total,
 		DedicatedCosts: dedicated,
-		EstimatorCalls: s.calls,
-		CacheHits:      s.hits,
+		EstimatorCalls: int(s.calls.Load()),
+		CacheHits:      int(s.hits.Load()),
 	}, nil
 }

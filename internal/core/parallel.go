@@ -1,0 +1,118 @@
+// Concurrent evaluation machinery for the decision layer. The advisor
+// spends virtually all of its time in what-if cost estimation (§4, Fig.
+// 11), and estimates for distinct candidate allocations are independent,
+// so both enumerators fan their candidate evaluations out over a bounded
+// worker pool. All parallel paths are engineered to return bit-identical
+// results to a sequential run: candidate selection replays in sequential
+// order, and the exhaustive oracle breaks ties by enumeration index.
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) with at most `workers` concurrent calls,
+// stopping at the first error or context cancellation. With workers <= 1
+// it degenerates to a plain sequential loop.
+func forEach(ctx context.Context, workers, n int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// ParallelEstimator fans what-if evaluations of one workload out over a
+// bounded worker pool. It implements Estimator (single calls delegate
+// unchanged) and adds EstimateBatch for costing many candidate allocations
+// at once. The wrapped estimator must be safe for concurrent use; the
+// repository's optimizer-backed estimators are (the simulated systems
+// guard their plan caches, and what-if repricing does not mutate plans).
+type ParallelEstimator struct {
+	// Est is the underlying estimator.
+	Est Estimator
+	// Workers bounds concurrent evaluations (0 means GOMAXPROCS).
+	Workers int
+	// Ctx cancels in-flight batches; nil means context.Background().
+	Ctx context.Context
+}
+
+var _ Estimator = (*ParallelEstimator)(nil)
+
+// Estimate implements Estimator by delegating to the wrapped estimator.
+func (p *ParallelEstimator) Estimate(a Allocation) (float64, string, error) {
+	return p.Est.Estimate(a)
+}
+
+// EstimateBatch costs every allocation concurrently and returns the
+// samples in input order. The first evaluation error cancels the batch.
+func (p *ParallelEstimator) EstimateBatch(allocs []Allocation) ([]Sample, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Sample, len(allocs))
+	err := forEach(ctx, workers, len(allocs), func(i int) error {
+		sec, sig, err := p.Est.Estimate(allocs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = Sample{Alloc: allocs[i].Clone(), Seconds: sec, PlanSig: sig}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

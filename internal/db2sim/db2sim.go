@@ -80,9 +80,11 @@ func (m model) WorkMemBytes() float64 { return m.p.SortHeapBytes }
 type System struct {
 	schema *catalog.Schema
 
-	mu       sync.Mutex
-	bound    map[sqlmini.Statement]*opt.Query
-	deployed map[deployKey]*xplan.Node
+	// bound and deployed are read-mostly plan caches (sync.Map: written
+	// once per statement / memory bucket, then read concurrently by the
+	// parallel what-if search without lock contention).
+	bound    sync.Map // sqlmini.Statement -> *opt.Query
+	deployed sync.Map // deployKey -> *xplan.Node
 }
 
 // deployKey caches deployed plans per statement and memory bucket.
@@ -93,11 +95,7 @@ type deployKey struct {
 
 // New creates a system over the schema.
 func New(schema *catalog.Schema) *System {
-	return &System{
-		schema:   schema,
-		bound:    make(map[sqlmini.Statement]*opt.Query),
-		deployed: make(map[deployKey]*xplan.Node),
-	}
+	return &System{schema: schema}
 }
 
 // Name implements dbms.System.
@@ -107,20 +105,16 @@ func (s *System) Name() string { return "db2sim" }
 func (s *System) Schema() *catalog.Schema { return s.schema }
 
 func (s *System) bind(stmt sqlmini.Statement) (*opt.Query, error) {
-	s.mu.Lock()
-	q, ok := s.bound[stmt]
-	s.mu.Unlock()
-	if ok {
-		return q, nil
+	if q, ok := s.bound.Load(stmt); ok {
+		return q.(*opt.Query), nil
 	}
 	q, err := opt.Bind(s.schema, stmt)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.bound[stmt] = q
-	s.mu.Unlock()
-	return q, nil
+	// A racing binder may store first; both results are equivalent.
+	got, _ := s.bound.LoadOrStore(stmt, q)
+	return got.(*opt.Query), nil
 }
 
 // Optimize implements dbms.System: what-if planning under explicit
@@ -144,20 +138,17 @@ func (s *System) Optimize(stmt sqlmini.Statement, params any) (*xplan.Node, erro
 // adapt to memory allocation — the paper's piecewise behaviour).
 func (s *System) deployedPlan(stmt sqlmini.Statement, vmMemBytes float64) (*xplan.Node, error) {
 	k := deployKey{stmt: stmt, mem: int64(vmMemBytes / (32 << 20))}
-	s.mu.Lock()
-	pl, ok := s.deployed[k]
-	s.mu.Unlock()
-	if ok {
-		return pl, nil
+	if pl, ok := s.deployed.Load(k); ok {
+		return pl.(*xplan.Node), nil
 	}
 	pl, err := s.Optimize(stmt, PolicyParams(DefaultParams(), vmMemBytes))
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.deployed[k] = pl
-	s.mu.Unlock()
-	return pl, nil
+	// A racing planner may store first; plans are deterministic, so both
+	// are identical.
+	got, _ := s.deployed.LoadOrStore(k, pl)
+	return got.(*xplan.Node), nil
 }
 
 // WhatIf implements dbms.System: reprice the deployed plan under the

@@ -83,7 +83,11 @@ type Manager struct {
 	Tau float64
 	// ErrThreshold is the E_ip guard (default 0.05, §6.2).
 	ErrThreshold float64
-	// Opts configures the advisor's enumerator.
+	// Opts configures the advisor's enumerator. Opts.Parallelism and
+	// Opts.Ctx thread straight through to every per-period re-run of the
+	// advisor, so a manager driving many tenants can fan its what-if
+	// estimations over all cores; reports are bit-identical across
+	// Parallelism settings.
 	Opts core.Options
 	// ForceContinuous disables change classification, treating every
 	// change as minor — the "continuous online refinement" baseline the

@@ -176,3 +176,37 @@ func TestPeriodInputValidation(t *testing.T) {
 		t.Fatal("mismatched input count should error")
 	}
 }
+
+// A manager run with Opts.Parallelism > 1 must produce exactly the same
+// period-by-period allocations as a sequential one — the per-period
+// advisor re-runs are bit-identical across parallelism settings.
+func TestPeriodParallelParity(t *testing.T) {
+	run := func(parallelism int) []*PeriodReport {
+		sc := newScenario()
+		m := NewManager(2, core.Options{Delta: 0.05, Parallelism: parallelism})
+		var reports []*PeriodReport
+		for p := 0; p < 5; p++ {
+			if p == 2 {
+				sc.intensity[0] = 1.05 // minor change mid-run
+			}
+			rep, err := m.Period(sc.inputs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+		return reports
+	}
+	seq := run(1)
+	par := run(8)
+	for p := range seq {
+		for i := range seq[p].Allocations {
+			for j := range seq[p].Allocations[i] {
+				if seq[p].Allocations[i][j] != par[p].Allocations[i][j] {
+					t.Fatalf("period %d tenant %d: allocations diverge: %v vs %v",
+						p, i, seq[p].Allocations[i], par[p].Allocations[i])
+				}
+			}
+		}
+	}
+}

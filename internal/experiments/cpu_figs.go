@@ -77,7 +77,11 @@ func mix(name string, c, i *workload.Workload, a, b float64) *workload.Workload 
 }
 
 // cpuOnlyOpts is the §7.3 setting: allocate CPU only, memory fixed.
-var cpuOnlyOpts = core.Options{Resources: 1, Delta: 0.05}
+// It is a function so searchParallelism is read at call time and stays
+// the single source of truth for the worker count.
+func cpuOnlyOpts() core.Options {
+	return core.Options{Resources: 1, Delta: 0.05, Parallelism: searchParallelism}
+}
 
 // varyCPUIntensity reproduces Figs. 12–13: W1 = 5C+5I fixed, W2 = kC +
 // (10−k)I for k = 0..10; plot the CPU share given to W2 and the estimated
@@ -101,7 +105,7 @@ func varyCPUIntensity(env *Env, id, sysName string) (*Result, error) {
 		t1 := env.tpchTenant(sysName, "w1", w1)
 		t2 := env.tpchTenant(sysName, "w2", w2)
 		tenants := []*Tenant{t1, t2}
-		rec, err := core.Recommend(Estimators(tenants), cpuOnlyOpts)
+		rec, err := core.Recommend(Estimators(tenants), cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +156,7 @@ func varySize(env *Env, id, sysName string, intensive bool) (*Result, error) {
 		t3 := env.tpchTenant(sysName, "w3", w3)
 		t4 := env.tpchTenant(sysName, "w4", w4)
 		tenants := []*Tenant{t3, t4}
-		rec, err := core.Recommend(Estimators(tenants), cpuOnlyOpts)
+		rec, err := core.Recommend(Estimators(tenants), cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}

@@ -110,7 +110,7 @@ func (sc *dynamicScenario) input(i int) (dynmgmt.PeriodInput, error) {
 // improvement over the default split per period (Fig. 36).
 func dynamicRun(env *Env, id string, shares bool) (*Result, error) {
 	mkMgr := func(force bool) *dynmgmt.Manager {
-		m := dynmgmt.NewManager(2, core.Options{Resources: 1, Delta: 0.05})
+		m := dynmgmt.NewManager(2, core.Options{Resources: 1, Delta: 0.05, Parallelism: searchParallelism})
 		m.ForceContinuous = force
 		return m
 	}
@@ -171,7 +171,7 @@ func dynamicRun(env *Env, id string, shares bool) (*Result, error) {
 		t0, t1 := optScenario.tenant(0), optScenario.tenant(1)
 		best, err := core.Recommend([]core.Estimator{
 			env.ActualEstimator(t0), env.ActualEstimator(t1),
-		}, core.Options{Resources: 1, Delta: 0.05})
+		}, core.Options{Resources: 1, Delta: 0.05, Parallelism: searchParallelism})
 		if err != nil {
 			return nil, err
 		}

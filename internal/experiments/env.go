@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/calibrate"
@@ -51,6 +52,22 @@ func (e *Env) schema(key string, build func() *catalog.Schema) *catalog.Schema {
 	s := build()
 	e.schemas[key] = s
 	return s
+}
+
+// searchParallelism is the enumerator worker count every experiment
+// driver passes to the advisor; it defaults to all cores. The parallel
+// search is bit-identical to sequential — including the estimator-call
+// and cache-hit counts the §7.2 and cache-ablation tables report — so the
+// reproduced figures do not depend on this setting.
+var searchParallelism = runtime.GOMAXPROCS(0)
+
+// SetParallelism overrides the worker count used by the experiment
+// drivers; n <= 0 restores the all-cores default.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	searchParallelism = n
 }
 
 // Tenant is one consolidated database: a DBMS instance in its own VM with

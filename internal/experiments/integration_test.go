@@ -87,7 +87,7 @@ func TestEndToEndAdvisorNeverWorseThanDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := tenants[:4]
-	initial, out, err := runRefinement(env, sub, cpuOnlyOpts)
+	initial, out, err := runRefinement(env, sub, cpuOnlyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -130,7 +130,7 @@ func Fig18VaryMemory(env *Env) (*Result, error) {
 		XLabel: "k",
 		YLabel: "share / improvement",
 	}
-	opts := core.Options{Resources: 1, Delta: 0.05}
+	opts := core.Options{Resources: 1, Delta: 0.05, Parallelism: searchParallelism}
 	var shares, improvements []float64
 	for k := 0; k <= 10; k++ {
 		res.X = append(res.X, float64(k))

@@ -42,7 +42,7 @@ func Sec72Costs(env *Env) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rec, err := core.Recommend(Estimators(tenants[:5]), cpuOnlyOpts)
+	rec, err := core.Recommend(Estimators(tenants[:5]), cpuOnlyOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -56,11 +56,11 @@ func Sec72Costs(env *Env) (*Result, error) {
 	worstGap := 0.0
 	for trial := 0; trial < 10; trial++ {
 		ests := []core.Estimator{synthEst(rng), synthEst(rng)}
-		g, err := core.Recommend(ests, core.Options{Delta: 0.05})
+		g, err := core.Recommend(ests, core.Options{Delta: 0.05, Parallelism: searchParallelism})
 		if err != nil {
 			return nil, err
 		}
-		x, err := core.Exhaustive(ests, core.Options{Delta: 0.05})
+		x, err := core.Exhaustive(ests, core.Options{Delta: 0.05, Parallelism: searchParallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +98,7 @@ func AblationCostCache(env *Env) (*Result, error) {
 	var with, without []float64
 	for n := 2; n <= 6; n++ {
 		res.X = append(res.X, float64(n))
-		rec, err := core.Recommend(Estimators(tenants[:n]), cpuOnlyOpts)
+		rec, err := core.Recommend(Estimators(tenants[:n]), cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +129,7 @@ func AblationDelta(env *Env) (*Result, error) {
 	var costs, iters []float64
 	for _, d := range []float64{0.01, 0.025, 0.05, 0.1} {
 		res.X = append(res.X, d)
-		rec, err := core.Recommend(Estimators(sub), core.Options{Resources: 1, Delta: d})
+		rec, err := core.Recommend(Estimators(sub), core.Options{Resources: 1, Delta: d, Parallelism: searchParallelism})
 		if err != nil {
 			return nil, err
 		}

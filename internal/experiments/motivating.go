@@ -20,7 +20,7 @@ func Fig02Motivating(env *Env) (*Result, error) {
 	db2T := env.DB2Tenant("db2-q18", schema, workload.New("q18", tpch.Statement(18)))
 	tenants := []*Tenant{pgT, db2T}
 
-	opts := core.Options{Resources: 2, Delta: 0.05}
+	opts := core.Options{Resources: 2, Delta: 0.05, Parallelism: searchParallelism}
 	rec, err := core.Recommend(Estimators(tenants), opts)
 	if err != nil {
 		return nil, err

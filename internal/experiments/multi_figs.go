@@ -72,7 +72,9 @@ func (e *Env) multiTenants(seed int64) ([]*Tenant, error) {
 	return tenants, nil
 }
 
-var multiOpts = core.Options{Resources: 2, Delta: 0.05}
+func multiOpts() core.Options {
+	return core.Options{Resources: 2, Delta: 0.05, Parallelism: searchParallelism}
+}
 
 // multiShares reproduces Figs. 25–26: per-workload CPU or memory shares as
 // N grows, when both resources are allocated together.
@@ -90,7 +92,7 @@ func multiShares(env *Env, id string, resource int, label string) (*Result, erro
 	shareOf := make([][]float64, len(tenants))
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
-		rec, err := core.Recommend(Estimators(tenants[:n]), multiOpts)
+		rec, err := core.Recommend(Estimators(tenants[:n]), multiOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +126,7 @@ func Fig27MultiVsOptimal(env *Env) (*Result, error) {
 	var adv, opt []float64
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
-		a, o, err := advisorVsOptimal(env, tenants[:n], multiOpts)
+		a, o, err := advisorVsOptimal(env, tenants[:n], multiOpts())
 		if err != nil {
 			return nil, err
 		}

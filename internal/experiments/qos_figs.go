@@ -46,7 +46,7 @@ func Fig19DegradationLimit(env *Env) (*Result, error) {
 		res.X = append(res.X, l9)
 		limits := []float64{l9, 2.5, math.Inf(1), math.Inf(1), math.Inf(1)}
 		rec, err := core.Recommend(Estimators(tenants), core.Options{
-			Resources: 1, Delta: 0.05, Limits: limits,
+			Resources: 1, Delta: 0.05, Limits: limits, Parallelism: searchParallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -85,7 +85,7 @@ func Fig20GainFactor(env *Env) (*Result, error) {
 		res.X = append(res.X, g9)
 		gains := []float64{g9, 4, 1, 1, 1}
 		rec, err := core.Recommend(Estimators(tenants), core.Options{
-			Resources: 1, Delta: 0.05, Gains: gains,
+			Resources: 1, Delta: 0.05, Gains: gains, Parallelism: searchParallelism,
 		})
 		if err != nil {
 			return nil, err

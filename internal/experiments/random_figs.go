@@ -91,7 +91,7 @@ func sharesAsNGrows(env *Env, id, title string, tenants []*Tenant, resource int)
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
 		sub := tenants[:n]
-		rec, err := core.Recommend(Estimators(sub), cpuOnlyOpts)
+		rec, err := core.Recommend(Estimators(sub), cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +211,7 @@ func Fig24VsOptimalPG(env *Env) (*Result, error) {
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
 		sub := tenants[:n]
-		a, o, err := advisorVsOptimal(env, sub, cpuOnlyOpts)
+		a, o, err := advisorVsOptimal(env, sub, cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}

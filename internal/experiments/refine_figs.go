@@ -60,7 +60,7 @@ func refineShares(env *Env, id, sysName string) (*Result, error) {
 	oltpGained := 0
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
-		initial, out, err := runRefinement(env, tenants[:n], cpuOnlyOpts)
+		initial, out, err := runRefinement(env, tenants[:n], cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +99,7 @@ func refineImprove(env *Env, id, sysName string) (*Result, error) {
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
 		sub := tenants[:n]
-		initial, out, err := runRefinement(env, sub, cpuOnlyOpts)
+		initial, out, err := runRefinement(env, sub, cpuOnlyOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +188,7 @@ func refineMulti(env *Env, id string, resource int, label string) (*Result, erro
 	shareOf := make([][]float64, len(tenants))
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
-		_, out, err := runRefinement(env, tenants[:n], multiOpts)
+		_, out, err := runRefinement(env, tenants[:n], multiOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +221,7 @@ func Fig34RefineMultiImprove(env *Env) (*Result, error) {
 	for n := 2; n <= len(tenants); n++ {
 		res.X = append(res.X, float64(n))
 		sub := tenants[:n]
-		initial, out, err := runRefinement(env, sub, multiOpts)
+		initial, out, err := runRefinement(env, sub, multiOpts())
 		if err != nil {
 			return nil, err
 		}

@@ -49,7 +49,7 @@ func TestBindCacheReuses(t *testing.T) {
 	if _, err := sys.Optimize(stmt, DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := sys.bound[stmt]; !ok {
+	if _, ok := sys.bound.Load(stmt); !ok {
 		t.Fatal("bound query not cached")
 	}
 }

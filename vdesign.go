@@ -20,6 +20,7 @@
 package vdesign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -150,6 +151,11 @@ func (s *Server) SetQoS(t *TenantHandle, q QoS) { s.tenants[t.index].qos = q }
 type Recommendation struct {
 	server *Server
 	res    *core.Result
+	// opts are the enumerator options the recommendation was produced
+	// with; Refined reuses them (minus the context, which may have ended)
+	// so online refinement re-runs the advisor with the same parallelism
+	// and QoS shape.
+	opts core.Options
 }
 
 // Shares returns (cpuShare, memShare) recommended for a tenant.
@@ -173,6 +179,13 @@ func (r *Recommendation) Degradation(t *TenantHandle) float64 {
 type Options struct {
 	// Delta is the greedy step (default 5%).
 	Delta float64
+	// Parallelism bounds how many what-if estimations run concurrently
+	// (default 1). Recommendations are bit-identical across settings; use
+	// runtime.GOMAXPROCS(0) to exploit all cores.
+	Parallelism int
+	// Context cancels a long-running recommendation; nil means no
+	// cancellation.
+	Context context.Context
 }
 
 // Recommend runs the virtualization design advisor (§4) over all tenants,
@@ -182,8 +195,12 @@ func (s *Server) Recommend(opts *Options) (*Recommendation, error) {
 		return nil, errors.New("vdesign: no tenants")
 	}
 	coreOpts := core.Options{Resources: 2}
-	if opts != nil && opts.Delta > 0 {
-		coreOpts.Delta = opts.Delta
+	if opts != nil {
+		if opts.Delta > 0 {
+			coreOpts.Delta = opts.Delta
+		}
+		coreOpts.Parallelism = opts.Parallelism
+		coreOpts.Ctx = opts.Context
 	}
 	coreOpts.Gains = make([]float64, len(s.tenants))
 	coreOpts.Limits = make([]float64, len(s.tenants))
@@ -206,7 +223,7 @@ func (s *Server) Recommend(opts *Options) (*Recommendation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Recommendation{server: s, res: res}, nil
+	return &Recommendation{server: s, res: res, opts: coreOpts}, nil
 }
 
 // MeasureSeconds runs a tenant's workload in its VM under explicit shares
@@ -220,8 +237,14 @@ func (s *Server) MeasureSeconds(t *TenantHandle, cpuShare, memShare float64) (fl
 // actual run times at the deployed allocation, correct the cost models by
 // Act/Est, re-run the advisor, and repeat until stable.
 func (s *Server) Refined(rec *Recommendation) (*Recommendation, error) {
+	refineOpts := rec.opts
+	refineOpts.Resources = 2
+	// Drop the recommendation's context: it may be long dead by the time
+	// refinement runs (e.g. a request-scoped Recommend), and refinement is
+	// a new operation. Parallelism and the QoS-shaped options carry over.
+	refineOpts.Ctx = nil
 	out, err := refine.Run(rec.res, refine.Config{
-		Opts:     core.Options{Resources: 2},
+		Opts:     refineOpts,
 		MaxIters: 8,
 		Measure: func(i int, a core.Allocation) (float64, error) {
 			t := s.tenants[i]
@@ -246,7 +269,7 @@ func (s *Server) Refined(rec *Recommendation) (*Recommendation, error) {
 		res.Costs[i] = c
 		res.TotalCost += c
 	}
-	return &Recommendation{server: s, res: res}, nil
+	return &Recommendation{server: s, res: res, opts: rec.opts}, nil
 }
 
 func inf() float64 { return 1e308 }

@@ -1,6 +1,7 @@
 package vdesign
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/tpcc"
@@ -113,5 +114,57 @@ func TestServerMeasureAndRefine(t *testing.T) {
 	}
 	if actualOf(refined) > actualOf(initial)*1.001 {
 		t.Fatalf("refinement worsened actuals: %v -> %v", actualOf(initial), actualOf(refined))
+	}
+}
+
+func TestServerRecommendParallelParity(t *testing.T) {
+	build := func() (*Server, []*TenantHandle) {
+		srv := newTestServer(t)
+		schema := tpch.Schema(1)
+		var handles []*TenantHandle
+		for i, qs := range [][]string{
+			{tpch.QueryText(1), tpch.QueryText(6)},
+			{tpch.QueryText(3), tpch.QueryText(12)},
+			{tpch.QueryText(14)},
+		} {
+			h, err := srv.AddTenant(string(rune('a'+i)), PostgreSQL, schema, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		return srv, handles
+	}
+	srvSeq, hSeq := build()
+	recSeq, err := srvSeq.Recommend(&Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvPar, hPar := build()
+	recPar, err := srvPar.Recommend(&Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hSeq {
+		cs, ms := recSeq.Shares(hSeq[i])
+		cp, mp := recPar.Shares(hPar[i])
+		if cs != cp || ms != mp {
+			t.Fatalf("tenant %d: shares diverge across parallelism: (%v,%v) vs (%v,%v)", i, cs, ms, cp, mp)
+		}
+		if recSeq.EstimatedSeconds(hSeq[i]) != recPar.EstimatedSeconds(hPar[i]) {
+			t.Fatalf("tenant %d: estimates diverge", i)
+		}
+	}
+}
+
+func TestServerRecommendCanceledContext(t *testing.T) {
+	srv := newTestServer(t)
+	if _, err := srv.AddTenant("a", PostgreSQL, tpch.Schema(1), []string{tpch.QueryText(1)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Recommend(&Options{Context: ctx}); err == nil {
+		t.Fatal("canceled context should abort the recommendation")
 	}
 }
