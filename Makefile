@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint fmt vet check
+.PHONY: build test race bench bench-all bench-smoke lint fmt vet check
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Parallel-search benchmarks: greedy and the exhaustive oracle across
-# worker counts (results are bit-identical; only wall-clock changes).
+# Parallel-search benchmarks: greedy, the exhaustive oracle, and cluster
+# placement across worker counts (results are bit-identical; only
+# wall-clock changes).
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace' -benchtime 10x .
 
 # Full paper-reproduction benchmark suite (every figure/table).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Benchmark smoke: every benchmark in the module runs exactly once, so a
+# bench that stops compiling or starts erroring fails CI. Calibration is
+# shared process-wide, so the whole sweep takes about a second.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -32,4 +39,4 @@ vet:
 
 lint: fmt vet
 
-check: build lint test race
+check: build lint test race bench-smoke

@@ -86,7 +86,10 @@ func BenchmarkAblationCalibrationGrid(b *testing.B)  { runExperiment(b, "ablatio
 
 // parallelBenchEstimators builds n calibrated TPC-H what-if estimators —
 // the real workload of the advisor's hot loop — through the public server
-// API.
+// API. NewServer pulls both calibrations from the process-wide
+// calibration cache (one shared run per machine profile), so benchmark
+// setup time is search setup, not recalibration, no matter how many
+// sub-benchmarks construct servers.
 func parallelBenchEstimators(b *testing.B, n int) []core.Estimator {
 	b.Helper()
 	srv, err := NewServer()
@@ -150,5 +153,46 @@ func BenchmarkExhaustiveParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkClusterPlace measures the multi-machine placement layer: 6
+// TPC-H tenants packed onto 2 and 3 servers, across worker counts.
+// Assignments are bit-identical across the sub-benchmarks.
+func BenchmarkClusterPlace(b *testing.B) {
+	schema := tpch.Schema(1)
+	build := func(servers int) *Cluster {
+		c, err := NewCluster()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < servers; s++ {
+			c.AddServer()
+		}
+		for i := 0; i < 6; i++ {
+			var queries []string
+			for q := 1 + i%4; q <= tpch.QueryCount; q += 4 {
+				queries = append(queries, tpch.QueryText(q))
+			}
+			if _, err := c.AddTenant(fmt.Sprintf("t%d", i), PostgreSQL, schema, queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	for _, servers := range []int{2, 3} {
+		c := build(servers)
+		if _, err := c.Place(&Options{Delta: 0.1}); err != nil {
+			b.Fatal(err) // warm the deployed-plan caches
+		}
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("servers=%d/workers=%d", servers, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Place(&Options{Delta: 0.1, Parallelism: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,201 @@
+package vdesign
+
+import (
+	"testing"
+
+	"repro/internal/calibrate"
+	"repro/internal/tpcc"
+	"repro/internal/tpch"
+)
+
+// newTestCluster builds a 2-server cluster with four tenants of distinct
+// resource appetites.
+func newTestCluster(t *testing.T) (*Cluster, []*ClusterTenant) {
+	t.Helper()
+	c, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		c.AddServer()
+	}
+	schema := tpch.Schema(1)
+	var handles []*ClusterTenant
+	for i, qs := range [][]string{
+		{tpch.QueryText(1), tpch.QueryText(6)},
+		{tpch.QueryText(3), tpch.QueryText(12)},
+		{tpch.QueryText(14), tpch.QueryText(19)},
+		{tpch.QueryText(4)},
+	} {
+		h, err := c.AddTenant(string(rune('a'+i)), PostgreSQL, schema, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	return c, handles
+}
+
+func TestClusterPlaceAssignsEveryTenant(t *testing.T) {
+	c, handles := newTestCluster(t)
+	rec, err := c.Place(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perServer := map[int][]float64{}
+	for _, h := range handles {
+		s := rec.ServerOf(h)
+		if s < 0 || s >= c.Servers() {
+			t.Fatalf("tenant %s on out-of-range server %d", h.Name(), s)
+		}
+		cpu, mem := rec.Shares(h)
+		if cpu <= 0 || mem <= 0 || cpu > 1 || mem > 1 {
+			t.Fatalf("tenant %s shares (%v, %v)", h.Name(), cpu, mem)
+		}
+		if rec.EstimatedSeconds(h) <= 0 || rec.Degradation(h) < 1 {
+			t.Fatalf("tenant %s: est %v deg %v", h.Name(), rec.EstimatedSeconds(h), rec.Degradation(h))
+		}
+		perServer[s] = append(perServer[s], cpu)
+	}
+	// Each occupied server's CPU shares must sum to the whole machine.
+	for s, cpus := range perServer {
+		sum := 0.0
+		for _, v := range cpus {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("server %d CPU shares sum to %v", s, sum)
+		}
+	}
+	// TenantsOn must agree with ServerOf.
+	for s := 0; s < c.Servers(); s++ {
+		for _, h := range rec.TenantsOn(s) {
+			if rec.ServerOf(h) != s {
+				t.Fatalf("TenantsOn(%d) returned tenant assigned to %d", s, rec.ServerOf(h))
+			}
+		}
+	}
+	if rec.TotalCost() <= 0 {
+		t.Fatal("placement must report a positive total cost")
+	}
+}
+
+// Acceptance criterion: Place returns deterministic tenant→server
+// assignments and allocations, bit-identical at Parallelism 1 vs 8.
+func TestClusterPlaceParallelParity(t *testing.T) {
+	cSeq, hSeq := newTestCluster(t)
+	recSeq, err := cSeq.Place(&Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPar, hPar := newTestCluster(t)
+	recPar, err := cPar.Place(&Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recSeq.TotalCost() != recPar.TotalCost() {
+		t.Fatalf("total cost diverges: %v vs %v", recSeq.TotalCost(), recPar.TotalCost())
+	}
+	for i := range hSeq {
+		if recSeq.ServerOf(hSeq[i]) != recPar.ServerOf(hPar[i]) {
+			t.Fatalf("tenant %d assigned to %d vs %d",
+				i, recSeq.ServerOf(hSeq[i]), recPar.ServerOf(hPar[i]))
+		}
+		cs, ms := recSeq.Shares(hSeq[i])
+		cp, mp := recPar.Shares(hPar[i])
+		if cs != cp || ms != mp {
+			t.Fatalf("tenant %d: shares diverge: (%v,%v) vs (%v,%v)", i, cs, ms, cp, mp)
+		}
+		if recSeq.EstimatedSeconds(hSeq[i]) != recPar.EstimatedSeconds(hPar[i]) {
+			t.Fatalf("tenant %d: estimates diverge", i)
+		}
+	}
+}
+
+// Acceptance criterion: constructing a second Server or Cluster performs
+// zero additional calibration runs (the process-wide calibration cache).
+func TestSecondServerAndClusterNeedNoCalibration(t *testing.T) {
+	if _, err := NewServer(); err != nil { // ensure the profile is calibrated
+		t.Fatal(err)
+	}
+	before := calibrate.Runs()
+	if _, err := NewServer(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		c.AddServer()
+	}
+	if _, err := c.AddTenant("t", DB2, tpch.Schema(1), []string{tpch.QueryText(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := calibrate.Runs() - before; got != 0 {
+		t.Fatalf("second server + 4-server cluster ran %d calibrations, want 0", got)
+	}
+}
+
+func TestClusterQoSAndMixedFlavors(t *testing.T) {
+	c, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		c.AddServer()
+	}
+	dss, err := c.AddTenant("dss", PostgreSQL, tpch.Schema(1), []string{tpch.QueryText(1), tpch.QueryText(18)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oltp, err := c.AddTenantWorkload("oltp", DB2, tpcc.Schema(5), tpcc.Mix(5, 10, 1).Scale(0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := c.AddTenant("other", DB2, tpch.Schema(1), []string{tpch.QueryText(17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetQoS(oltp, QoS{DegradationLimit: 2})
+	rec, err := c.Place(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*ClusterTenant{dss, oltp, other} {
+		if rec.EstimatedSeconds(h) <= 0 {
+			t.Fatalf("tenant %s: no estimate", h.Name())
+		}
+	}
+	if d := rec.Degradation(oltp); d > 2+1e-9 {
+		t.Fatalf("oltp degradation limit not honored: %vx", d)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	c, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenants may be registered before servers; only Place needs both.
+	if _, err := c.AddTenant("x", PostgreSQL, tpch.Schema(1), []string{tpch.QueryText(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(nil); err == nil {
+		t.Fatal("placing with no servers should error")
+	}
+	empty, err := NewCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty.AddServer()
+	if _, err := empty.Place(nil); err == nil {
+		t.Fatal("placing with no tenants should error")
+	}
+	if _, err := c.AddTenant("y", Flavor(42), tpch.Schema(1), []string{tpch.QueryText(1)}); err == nil {
+		t.Fatal("unknown flavor should error")
+	}
+}

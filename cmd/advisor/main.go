@@ -3,10 +3,14 @@
 // `name:flavor:benchmark`, where flavor is pg|db2 and benchmark is one of
 // tpch1, tpch10 (the 22-query TPC-H mix at SF1/SF10) or tpcc (a 5-warehouse
 // transaction mix). QoS can be attached as name:limit=L or name:gain=G.
+// With -servers N > 1 the advisor also places the tenants across N
+// identical machines (the cluster placement layer) before splitting each
+// machine's resources.
 //
-// Example:
+// Examples:
 //
 //	advisor -tenant dss:pg:tpch1 -tenant oltp:db2:tpcc -qos oltp:limit=2.5
+//	advisor -servers 2 -tenant a:pg:tpch1 -tenant b:pg:tpch1 -tenant c:db2:tpcc
 package main
 
 import (
@@ -30,12 +34,21 @@ type tenantFlag []string
 func (t *tenantFlag) String() string     { return strings.Join(*t, ",") }
 func (t *tenantFlag) Set(v string) error { *t = append(*t, v); return nil }
 
+// tenantSpec is one parsed -tenant flag.
+type tenantSpec struct {
+	name   string
+	flavor vdesign.Flavor
+	schema *catalog.Schema
+	w      *workload.Workload
+}
+
 func main() {
 	var tenants, qos tenantFlag
 	flag.Var(&tenants, "tenant", "tenant spec name:flavor:benchmark (repeatable)")
 	flag.Var(&qos, "qos", "QoS spec name:limit=L or name:gain=G (repeatable)")
 	delta := flag.Float64("delta", 0.05, "greedy step size")
 	refine := flag.Bool("refine", false, "apply online refinement after the initial recommendation")
+	servers := flag.Int("servers", 1, "number of identical physical servers; > 1 places tenants across machines")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
 	flag.Parse()
@@ -43,17 +56,105 @@ func main() {
 		fmt.Fprintln(os.Stderr, "at least one -tenant is required; see -h")
 		os.Exit(2)
 	}
+	if *servers < 1 {
+		fatal(fmt.Errorf("-servers must be at least 1, got %d", *servers))
+	}
 
+	specs, err := parseTenants(tenants)
+	if err != nil {
+		fatal(err)
+	}
+	qosOf, err := parseQoS(qos, specs)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism}
+
+	if *servers > 1 {
+		if *refine {
+			fatal(fmt.Errorf("-refine applies to single-server runs; re-place instead"))
+		}
+		runCluster(specs, qosOf, *servers, opts)
+		return
+	}
+	runSingle(specs, qosOf, *refine, opts)
+}
+
+// runSingle is the paper's single-machine advisor.
+func runSingle(specs []tenantSpec, qosOf map[string]vdesign.QoS, refine bool, opts *vdesign.Options) {
 	srv, err := vdesign.NewServer()
 	if err != nil {
 		fatal(err)
 	}
-	handles := map[string]*vdesign.TenantHandle{}
-	var order []string
+	handles := make([]*vdesign.TenantHandle, len(specs))
+	for i, sp := range specs {
+		h, err := srv.AddTenantWorkload(sp.name, sp.flavor, sp.schema, sp.w)
+		if err != nil {
+			fatal(err)
+		}
+		if q, ok := qosOf[sp.name]; ok {
+			srv.SetQoS(h, q)
+		}
+		handles[i] = h
+	}
+	rec, err := srv.Recommend(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if refine {
+		rec, err = srv.Refined(rec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%-12s %8s %8s %12s %12s\n", "tenant", "cpu", "memory", "est-seconds", "degradation")
+	for _, h := range handles {
+		cpu, mem := rec.Shares(h)
+		fmt.Printf("%-12s %7.1f%% %7.1f%% %12.1f %11.2fx\n",
+			h.Name(), cpu*100, mem*100, rec.EstimatedSeconds(h), rec.Degradation(h))
+	}
+}
+
+// runCluster places the tenants across n identical servers.
+func runCluster(specs []tenantSpec, qosOf map[string]vdesign.QoS, n int, opts *vdesign.Options) {
+	c, err := vdesign.NewCluster()
+	if err != nil {
+		fatal(err)
+	}
+	for s := 0; s < n; s++ {
+		c.AddServer()
+	}
+	handles := make([]*vdesign.ClusterTenant, len(specs))
+	for i, sp := range specs {
+		h, err := c.AddTenantWorkload(sp.name, sp.flavor, sp.schema, sp.w)
+		if err != nil {
+			fatal(err)
+		}
+		if q, ok := qosOf[sp.name]; ok {
+			c.SetQoS(h, q)
+		}
+		handles[i] = h
+	}
+	rec, err := c.Place(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-12s %8s %8s %8s %12s %12s\n", "tenant", "server", "cpu", "memory", "est-seconds", "degradation")
+	for _, h := range handles {
+		cpu, mem := rec.Shares(h)
+		fmt.Printf("%-12s %8d %7.1f%% %7.1f%% %12.1f %11.2fx\n",
+			h.Name(), rec.ServerOf(h), cpu*100, mem*100, rec.EstimatedSeconds(h), rec.Degradation(h))
+	}
+	fmt.Printf("total gain-weighted cost: %.1fs over %d servers\n", rec.TotalCost(), n)
+}
+
+// parseTenants maps -tenant flags to specs.
+func parseTenants(tenants []string) ([]tenantSpec, error) {
+	specs := make([]tenantSpec, 0, len(tenants))
 	for _, spec := range tenants {
 		parts := strings.Split(spec, ":")
 		if len(parts) != 3 {
-			fatal(fmt.Errorf("bad tenant spec %q", spec))
+			return nil, fmt.Errorf("bad tenant spec %q", spec)
 		}
 		name, flavorS, bench := parts[0], parts[1], parts[2]
 		var flavor vdesign.Flavor
@@ -63,65 +164,52 @@ func main() {
 		case "db2":
 			flavor = vdesign.DB2
 		default:
-			fatal(fmt.Errorf("unknown flavor %q (want pg or db2)", flavorS))
+			return nil, fmt.Errorf("unknown flavor %q (want pg or db2)", flavorS)
 		}
 		schema, w, err := benchmarkWorkload(bench, name)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		h, err := srv.AddTenantWorkload(name, flavor, schema, w)
-		if err != nil {
-			fatal(err)
-		}
-		handles[name] = h
-		order = append(order, name)
+		specs = append(specs, tenantSpec{name: name, flavor: flavor, schema: schema, w: w})
 	}
+	return specs, nil
+}
+
+// parseQoS maps -qos flags to per-tenant settings, validating names.
+func parseQoS(qos []string, specs []tenantSpec) (map[string]vdesign.QoS, error) {
+	known := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		known[sp.name] = true
+	}
+	out := map[string]vdesign.QoS{}
 	for _, spec := range qos {
 		name, setting, ok := strings.Cut(spec, ":")
 		if !ok {
-			fatal(fmt.Errorf("bad qos spec %q", spec))
+			return nil, fmt.Errorf("bad qos spec %q", spec)
 		}
-		h := handles[name]
-		if h == nil {
-			fatal(fmt.Errorf("qos for unknown tenant %q", name))
+		if !known[name] {
+			return nil, fmt.Errorf("qos for unknown tenant %q", name)
 		}
 		key, valS, ok := strings.Cut(setting, "=")
 		if !ok {
-			fatal(fmt.Errorf("bad qos setting %q", setting))
+			return nil, fmt.Errorf("bad qos setting %q", setting)
 		}
 		v, err := strconv.ParseFloat(valS, 64)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		var q vdesign.QoS
+		q := out[name]
 		switch key {
 		case "limit":
 			q.DegradationLimit = v
 		case "gain":
 			q.GainFactor = v
 		default:
-			fatal(fmt.Errorf("unknown qos key %q", key))
+			return nil, fmt.Errorf("unknown qos key %q", key)
 		}
-		srv.SetQoS(h, q)
+		out[name] = q
 	}
-
-	rec, err := srv.Recommend(&vdesign.Options{Delta: *delta, Parallelism: *parallelism})
-	if err != nil {
-		fatal(err)
-	}
-	if *refine {
-		rec, err = srv.Refined(rec)
-		if err != nil {
-			fatal(err)
-		}
-	}
-	fmt.Printf("%-12s %8s %8s %12s %12s\n", "tenant", "cpu", "memory", "est-seconds", "degradation")
-	for _, name := range order {
-		h := handles[name]
-		cpu, mem := rec.Shares(h)
-		fmt.Printf("%-12s %7.1f%% %7.1f%% %12.1f %11.2fx\n",
-			name, cpu*100, mem*100, rec.EstimatedSeconds(h), rec.Degradation(h))
-	}
+	return out, nil
 }
 
 // benchmarkWorkload maps a benchmark keyword to (schema, workload).

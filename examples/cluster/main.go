@@ -1,0 +1,91 @@
+// Cluster placement walkthrough: consolidate five database tenants onto
+// a fleet of two identical physical servers. The placement layer decides
+// which tenants share a machine, and the per-machine advisor splits each
+// machine's CPU and memory — both driven by calibrated what-if optimizer
+// estimates.
+//
+// Also demonstrated: the process-wide calibration cache. The whole fleet
+// (and any later Server or Cluster on the same machine profile) shares
+// one PostgreSQL and one DB2 calibration, so only the very first
+// construction pays the §4.3 calibration cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/calibrate"
+	"repro/internal/tpcc"
+	"repro/internal/tpch"
+
+	vdesign "repro"
+)
+
+func main() {
+	cluster, err := vdesign.NewCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		cluster.AddServer()
+	}
+
+	// Five tenants with different appetites: two reporting workloads, two
+	// ad-hoc analytics mixes, and one OLTP system.
+	schema := tpch.Schema(1)
+	reporting1, err := cluster.AddTenant("reporting1", vdesign.PostgreSQL, schema,
+		[]string{tpch.QueryText(1), tpch.QueryText(6)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reporting2, err := cluster.AddTenant("reporting2", vdesign.PostgreSQL, schema,
+		[]string{tpch.QueryText(14), tpch.QueryText(19)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adhoc1, err := cluster.AddTenant("adhoc1", vdesign.DB2, schema,
+		[]string{tpch.QueryText(5), tpch.QueryText(7)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adhoc2, err := cluster.AddTenant("adhoc2", vdesign.DB2, schema,
+		[]string{tpch.QueryText(18)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oltp, err := cluster.AddTenantWorkload("oltp", vdesign.DB2, tpcc.Schema(5), tpcc.Mix(5, 10, 1).Scale(0.01))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The OLTP tenant carries a §3 QoS guarantee: at most 2× degradation
+	// vs a dedicated machine. Placement honors it when choosing both the
+	// machine and the shares.
+	cluster.SetQoS(oltp, vdesign.QoS{DegradationLimit: 2})
+
+	rec, err := cluster.Place(&vdesign.Options{Parallelism: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %7s %7s %7s %10s %12s\n", "tenant", "server", "cpu", "mem", "est", "degradation")
+	for _, t := range []*vdesign.ClusterTenant{reporting1, reporting2, adhoc1, adhoc2, oltp} {
+		cpu, mem := rec.Shares(t)
+		fmt.Printf("%-12s %7d %6.0f%% %6.0f%% %9.1fs %11.2fx\n",
+			t.Name(), rec.ServerOf(t), cpu*100, mem*100, rec.EstimatedSeconds(t), rec.Degradation(t))
+	}
+	fmt.Printf("cluster objective: %.1f gain-weighted seconds\n\n", rec.TotalCost())
+
+	// A second cluster on the same machine profile reuses the cached
+	// calibrations: zero additional calibration runs.
+	before := calibrate.Runs()
+	again, err := vdesign.NewCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		again.AddServer()
+	}
+	fmt.Printf("building a second 8-server cluster ran %d calibrations (cache shared)\n",
+		calibrate.Runs()-before)
+}

@@ -1,0 +1,87 @@
+package calibrate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vmsim"
+)
+
+// Calibration is a one-time, per-machine-profile cost (§7.2 budgets ~10
+// minutes per DBMS on real hardware), and its result depends only on the
+// machine's hardware profile, its I/O contention factor, and the
+// calibration options — not on which *vmsim.Machine value asked for it.
+// This file therefore shares calibrations process-wide: PGFor and DB2For
+// return a lazily-computed result keyed by the machine profile, so
+// constructing any number of servers, clusters, benchmarks, or examples
+// on the same simulated hardware pays for each calibration exactly once.
+//
+// Each profile's calibration runs at most once even under concurrent
+// first requests (singleflight via sync.Once); a calibration error is
+// cached alongside the result, since it is deterministic for the profile.
+
+// profileKey folds everything a calibration result depends on into a
+// deterministic map key.
+func profileKey(m *vmsim.Machine, opts Options) string {
+	opts = opts.withDefaults()
+	return fmt.Sprintf("%v|%v|%v|%v", m.HW, m.IOContention, opts.CPUShares, opts.MemShare)
+}
+
+type pgEntry struct {
+	once sync.Once
+	res  *PGResult
+	err  error
+}
+
+type db2Entry struct {
+	once sync.Once
+	res  *DB2Result
+	err  error
+}
+
+var (
+	cacheMu  sync.Mutex
+	pgCache  = make(map[string]*pgEntry)
+	db2Cache = make(map[string]*db2Entry)
+
+	// runs counts actual calibration executions (PG or DB2, cached or
+	// direct) process-wide.
+	runs atomic.Int64
+)
+
+// Runs reports how many full calibrations have actually executed in this
+// process. It is the hook behind the "a second server performs zero
+// additional calibration runs" guarantee: take the count before and after
+// a construction and assert the delta.
+func Runs() int64 { return runs.Load() }
+
+// PGFor returns the shared PostgreSQL calibration for the machine's
+// profile, computing it on first use.
+func PGFor(m *vmsim.Machine, opts Options) (*PGResult, error) {
+	k := profileKey(m, opts)
+	cacheMu.Lock()
+	e, ok := pgCache[k]
+	if !ok {
+		e = &pgEntry{}
+		pgCache[k] = e
+	}
+	cacheMu.Unlock()
+	e.once.Do(func() { e.res, e.err = CalibratePG(m, opts) })
+	return e.res, e.err
+}
+
+// DB2For returns the shared DB2 calibration for the machine's profile,
+// computing it on first use.
+func DB2For(m *vmsim.Machine, opts Options) (*DB2Result, error) {
+	k := profileKey(m, opts)
+	cacheMu.Lock()
+	e, ok := db2Cache[k]
+	if !ok {
+		e = &db2Entry{}
+		db2Cache[k] = e
+	}
+	cacheMu.Unlock()
+	e.once.Do(func() { e.res, e.err = CalibrateDB2(m, opts) })
+	return e.res, e.err
+}

@@ -42,6 +42,7 @@ type DB2Result struct {
 
 // CalibrateDB2 runs the DB2 calibration pipeline on the machine.
 func CalibrateDB2(m *vmsim.Machine, opts Options) (*DB2Result, error) {
+	runs.Add(1)
 	opts = opts.withDefaults()
 	res := &DB2Result{machine: m}
 	sys := db2sim.New(Schema())

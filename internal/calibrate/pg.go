@@ -45,6 +45,7 @@ type PGResult struct {
 // machine. The returned result maps any candidate allocation to a
 // parameter set via Params.
 func CalibratePG(m *vmsim.Machine, opts Options) (*PGResult, error) {
+	runs.Add(1)
 	opts = opts.withDefaults()
 	res := &PGResult{machine: m}
 	sys := pgsim.New(Schema())

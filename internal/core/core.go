@@ -190,16 +190,30 @@ type memoShard struct {
 	m  map[string]*memoEntry
 }
 
-// searcher wraps the estimators with a concurrency-safe memo cache.
+// searcher wraps the estimators with a concurrency-safe memo cache. When
+// the search runs with Parallelism > 1, estimators implementing
+// ConcurrentEstimator additionally fan the per-statement costing of a
+// cache-missing evaluation across a caller-chosen worker bound: the
+// sequential stretches of a search (dedicated costs, the initial
+// allocation) pass the full stmtWorkers budget, while parallel candidate
+// batches pass their batchShare so nesting divides the pool instead of
+// multiplying it.
 type searcher struct {
-	ests   []Estimator
-	shards [][]memoShard // [workload][shard]
-	calls  atomic.Int64
-	hits   atomic.Int64
+	ests        []Estimator
+	shards      [][]memoShard // [workload][shard]
+	calls       atomic.Int64
+	hits        atomic.Int64
+	stmtWorkers int
+	ctx         context.Context
 }
 
-func newSearcher(ests []Estimator) *searcher {
-	s := &searcher{ests: ests, shards: make([][]memoShard, len(ests))}
+func newSearcher(ests []Estimator, opts Options) *searcher {
+	s := &searcher{
+		ests:        ests,
+		shards:      make([][]memoShard, len(ests)),
+		stmtWorkers: opts.Parallelism,
+		ctx:         opts.Ctx,
+	}
 	for i := range s.shards {
 		s.shards[i] = make([]memoShard, memoShards)
 		for j := range s.shards[i] {
@@ -209,8 +223,12 @@ func newSearcher(ests []Estimator) *searcher {
 	return s
 }
 
-func key(a Allocation) string {
-	// Quantize to avoid float-noise cache misses.
+// AllocKey quantizes an allocation into a stable cache key (1e-6
+// rounding avoids float-noise misses). It is the canonical key for any
+// layer that memoizes per-allocation evaluations — the searcher's
+// per-run memo and the placement layer's cross-run estimator cache use
+// the same function, so the two caches can never quantize differently.
+func AllocKey(a Allocation) string {
 	b := make([]byte, 0, len(a)*8)
 	for _, v := range a {
 		q := int64(math.Round(v * 1e6))
@@ -229,8 +247,12 @@ func shardOf(k string) int {
 	return int(h & (memoShards - 1))
 }
 
-func (s *searcher) cost(i int, a Allocation) (Sample, error) {
-	k := key(a)
+// cost evaluates workload i at the allocation through the memo.
+// stmtWorkers bounds the statement-level fan-out of a cache-missing
+// evaluation: sequential stretches of a search pass the full
+// Parallelism budget, parallel candidate batches pass their batchShare.
+func (s *searcher) cost(i int, a Allocation, stmtWorkers int) (Sample, error) {
+	k := AllocKey(a)
 	sh := &s.shards[i][shardOf(k)]
 	sh.mu.Lock()
 	e, ok := sh.m[k]
@@ -244,7 +266,7 @@ func (s *searcher) cost(i int, a Allocation) (Sample, error) {
 	}
 	e.once.Do(func() {
 		s.calls.Add(1)
-		sec, sig, err := s.ests[i].Estimate(a)
+		sec, sig, err := EstimateWith(s.ctx, s.ests[i], stmtWorkers, a)
 		if err != nil {
 			e.err = fmt.Errorf("core: estimating workload %d at %v: %w", i, a, err)
 			return
@@ -277,7 +299,7 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := newSearcher(ests)
+	s := newSearcher(ests, opts)
 
 	// Dedicated-machine costs for the degradation constraint.
 	dedicated := make([]float64, n)
@@ -286,7 +308,7 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		full[j] = 1
 	}
 	for i := range ests {
-		sm, err := s.cost(i, full)
+		sm, err := s.cost(i, full, s.stmtWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +323,7 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		for j := range allocs[i] {
 			allocs[i][j] = 1 / float64(n)
 		}
-		sm, err := s.cost(i, allocs[i])
+		sm, err := s.cost(i, allocs[i], s.stmtWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -360,8 +382,9 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 				}
 			}
 		}
+		candShare := BatchShare(opts.Parallelism, len(cands))
 		if err := forEach(opts.Ctx, opts.Parallelism, len(cands), func(c int) error {
-			sm, err := s.cost(cands[c].i, cands[c].a)
+			sm, err := s.cost(cands[c].i, cands[c].a, candShare)
 			if err != nil {
 				return err
 			}
@@ -437,7 +460,7 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		Samples:        make([][]Sample, n),
 	}
 	for i := range allocs {
-		sm, err := s.cost(i, allocs[i])
+		sm, err := s.cost(i, allocs[i], 1) // guaranteed memo hits
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,40 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/dbms"
 	"repro/internal/workload"
 )
+
+// EstimateWith evaluates est at a, fanning the estimator's internal work
+// across `workers` when it implements ConcurrentEstimator and workers > 1,
+// and falling back to a plain Estimate otherwise. The two paths are
+// bit-identical by the ConcurrentEstimator contract; this is the single
+// dispatch point used by the searcher, the placement layer, and its
+// cross-run memo.
+func EstimateWith(ctx context.Context, est Estimator, workers int, a Allocation) (float64, string, error) {
+	if ce, ok := est.(ConcurrentEstimator); ok && workers > 1 {
+		return ce.EstimateConcurrent(ctx, workers, a)
+	}
+	return est.Estimate(a)
+}
+
+// ConcurrentEstimator is implemented by estimators that can fan the
+// internal work of a single Estimate call across a bounded worker pool.
+// The enumerators use it automatically when Options.Parallelism > 1, so
+// even the sequential stretches of a search — dedicated-machine costing,
+// the initial equal-share evaluation — exploit all workers when a
+// workload has many statements. Implementations must return bit-identical
+// results to Estimate at any worker count.
+type ConcurrentEstimator interface {
+	Estimator
+	// EstimateConcurrent is Estimate with an explicit context and worker
+	// bound; workers <= 1 must behave exactly like Estimate.
+	EstimateConcurrent(ctx context.Context, workers int, a Allocation) (float64, string, error)
+}
 
 // WhatIfEstimator estimates workload cost through a calibrated query
 // optimizer in what-if mode (§4.1, Fig. 4): map the candidate allocation
@@ -60,17 +88,22 @@ func (e *WhatIfEstimator) allocOf(a Allocation) dbms.Alloc {
 	return alloc.Clamp(0.01)
 }
 
+// vmMemBytes resolves the VM memory for an allocation.
+func (e *WhatIfEstimator) vmMemBytes(alloc dbms.Alloc) float64 {
+	machineMem := e.MachineMemBytes
+	if machineMem <= 0 {
+		machineMem = 8 << 30
+	}
+	return alloc.Mem * machineMem
+}
+
 // Estimate implements Estimator: for each statement, the deployed plan at
 // the candidate memory allocation is repriced under the calibrated
 // parameters (what-if mode) and renormalized to seconds.
 func (e *WhatIfEstimator) Estimate(a Allocation) (float64, string, error) {
 	alloc := e.allocOf(a)
 	params := e.Params(alloc)
-	machineMem := e.MachineMemBytes
-	if machineMem <= 0 {
-		machineMem = 8 << 30
-	}
-	vmMem := alloc.Mem * machineMem
+	vmMem := e.vmMemBytes(alloc)
 	var total float64
 	var sig strings.Builder
 	for _, st := range e.Workload.Statements {
@@ -80,6 +113,47 @@ func (e *WhatIfEstimator) Estimate(a Allocation) (float64, string, error) {
 		}
 		total += cost * e.Renorm * st.Freq
 		sig.WriteString(planSig)
+		sig.WriteByte(';')
+	}
+	return total, sig.String(), nil
+}
+
+var _ ConcurrentEstimator = (*WhatIfEstimator)(nil)
+
+// EstimateConcurrent implements ConcurrentEstimator: the per-statement
+// what-if calls of one estimate fan out over the worker pool, and the
+// per-statement costs are then combined in statement order — the same
+// floating-point summation order as Estimate, so the result is
+// bit-identical at any worker count.
+func (e *WhatIfEstimator) EstimateConcurrent(ctx context.Context, workers int, a Allocation) (float64, string, error) {
+	stmts := e.Workload.Statements
+	if workers <= 1 || len(stmts) < 2 {
+		return e.Estimate(a)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	alloc := e.allocOf(a)
+	params := e.Params(alloc)
+	vmMem := e.vmMemBytes(alloc)
+	costs := make([]float64, len(stmts))
+	sigs := make([]string, len(stmts))
+	if err := forEach(ctx, workers, len(stmts), func(i int) error {
+		cost, planSig, err := e.Sys.WhatIf(stmts[i].Stmt, vmMem, params)
+		if err != nil {
+			return fmt.Errorf("what-if %s: %w", e.Sys.Name(), err)
+		}
+		costs[i] = cost
+		sigs[i] = planSig
+		return nil
+	}); err != nil {
+		return 0, "", err
+	}
+	var total float64
+	var sig strings.Builder
+	for i, st := range stmts {
+		total += costs[i] * e.Renorm * st.Freq
+		sig.WriteString(sigs[i])
 		sig.WriteByte(';')
 	}
 	return total, sig.String(), nil

@@ -32,7 +32,7 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := newSearcher(ests)
+	s := newSearcher(ests, opts)
 
 	steps := int(math.Round(1 / opts.Delta))
 	minSteps := int(math.Ceil(opts.MinShare/opts.Delta - 1e-9))
@@ -68,7 +68,7 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 		full[j] = 1
 	}
 	for i := range ests {
-		sm, err := s.cost(i, full)
+		sm, err := s.cost(i, full, s.stmtWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -91,6 +91,7 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 		costTab[i] = make([]float64, cells)
 		okTab[i] = make([]bool, cells)
 	}
+	gridShare := BatchShare(opts.Parallelism, n*cells)
 	if err := forEach(opts.Ctx, opts.Parallelism, n*cells, func(job int) error {
 		// Workload-minor job order: concurrent workers land on different
 		// workloads' estimators, not all on one simulated system at once.
@@ -100,7 +101,7 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 			a[j] = float64(lo+c%v) * opts.Delta
 			c /= v
 		}
-		sm, err := s.cost(i, a)
+		sm, err := s.cost(i, a, gridShare)
 		if err != nil {
 			return err
 		}

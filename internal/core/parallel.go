@@ -69,6 +69,32 @@ func forEach(ctx context.Context, workers, n int, fn func(int) error) error {
 	return ctx.Err()
 }
 
+// ForEach exposes the bounded worker pool to the layers above core (the
+// placement enumerator, estimator fan-outs): run fn(0..n-1) with at most
+// `workers` concurrent calls, stopping at the first error or context
+// cancellation. A nil ctx means context.Background().
+func ForEach(ctx context.Context, workers, n int, fn func(int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return forEach(ctx, workers, n, fn)
+}
+
+// BatchShare divides a worker budget among the tasks of a parallel
+// batch, so nested fan-out (statement-level costing inside a candidate
+// batch, per-machine searches inside placement's candidate scoring)
+// divides the pool instead of multiplying it: each of `tasks` concurrent
+// calls gets an equal slice of `workers`, floored at 1.
+func BatchShare(workers, tasks int) int {
+	if tasks <= 0 {
+		return workers
+	}
+	if w := workers / tasks; w > 1 {
+		return w
+	}
+	return 1
+}
+
 // ParallelEstimator fans what-if evaluations of one workload out over a
 // bounded worker pool. It implements Estimator (single calls delegate
 // unchanged) and adds EstimateBatch for costing many candidate allocations

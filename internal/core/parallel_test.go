@@ -102,6 +102,43 @@ func TestGreedyParallelParity(t *testing.T) {
 	}
 }
 
+// Tight degradation limits make the initial equal-share allocation
+// infeasible, so the repairLimits pre-search engages; its parallel
+// candidate scan must keep repaired allocations, costs, and cache
+// statistics bit-identical across Parallelism settings.
+func TestRepairLimitsParallelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + trial%4 // 3..6 tenants
+		ests := randomScenario(rng, n)
+		opts := Options{Delta: 0.05, Limits: make([]float64, n)}
+		for i := range opts.Limits {
+			// Well under the ~n× degradation of equal shares: every trial
+			// starts violated and repair must actually move shares.
+			opts.Limits[i] = 1.2 + float64(i)*0.3
+		}
+		seqOpts := opts
+		seqOpts.Parallelism = 1
+		seq, err := Recommend(ests, seqOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8} {
+			parOpts := opts
+			parOpts.Parallelism = p
+			par, err := Recommend(ests, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "repair", seq, par)
+			if seq.EstimatorCalls != par.EstimatorCalls || seq.CacheHits != par.CacheHits {
+				t.Fatalf("trial %d p=%d: cache stats differ: calls %d vs %d, hits %d vs %d",
+					trial, p, seq.EstimatorCalls, par.EstimatorCalls, seq.CacheHits, par.CacheHits)
+			}
+		}
+	}
+}
+
 // The exhaustive oracle must find the identical optimum (allocations and
 // total) at any Parallelism; early-abandon may only change how many
 // evaluations it took to get there.

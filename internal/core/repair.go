@@ -9,31 +9,58 @@ import "math"
 // when all limits hold or the most-violating workload cannot be improved,
 // leaving the best-effort allocation (limits may be unsatisfiable; §7.5
 // shows exactly that for L_9 = 1.5).
+//
+// Each repair step costs its candidate moves — the violator's ±δ uplifts
+// and every donor's δ-reduction — over the worker pool before replaying
+// the sequential selection on the costed set, mirroring the two-phase
+// structure of the main greedy loop. The candidate set, the single
+// s.cost call per distinct (workload, allocation), and the selection
+// arithmetic are all independent of Parallelism, so repaired allocations
+// and cache statistics are bit-identical across settings.
 func repairLimits(s *searcher, allocs []Allocation, costs, dedicated []float64, opts Options,
 	adjusted func(i, j int, delta float64) (Allocation, error)) error {
 	n := len(allocs)
-	degradation := func(i int) (float64, error) {
-		sm, err := s.cost(i, allocs[i])
-		if err != nil {
-			return 0, err
+	anyLimit := false
+	for i := range opts.Limits {
+		if !math.IsInf(opts.Limits[i], 1) {
+			anyLimit = true
+			break
 		}
-		if dedicated[i] <= 0 {
-			return 1, nil
-		}
-		return sm.Seconds / dedicated[i], nil
 	}
+	if !anyLimit {
+		return nil // nothing can be violated
+	}
+
+	// costTask is one distinct (workload, allocation) evaluation a repair
+	// step needs; sm is filled by the parallel costing pass.
+	type costTask struct {
+		i  int
+		a  Allocation
+		sm Sample
+	}
+
 	maxRepairs := opts.MaxIters
 	for step := 0; step < maxRepairs; step++ {
-		// Find the worst violation.
-		worst, worstRatio := -1, 1.0
+		if err := opts.Ctx.Err(); err != nil {
+			return err
+		}
+		// Current costs of every workload (memo hits after step 0); found
+		// sequentially so the violation scan stays deterministic.
+		curSm := make([]Sample, n)
 		for i := 0; i < n; i++ {
-			if math.IsInf(opts.Limits[i], 1) {
-				continue
-			}
-			d, err := degradation(i)
+			sm, err := s.cost(i, allocs[i], s.stmtWorkers)
 			if err != nil {
 				return err
 			}
+			curSm[i] = sm
+		}
+		// Find the worst violation.
+		worst, worstRatio := -1, 1.0
+		for i := 0; i < n; i++ {
+			if math.IsInf(opts.Limits[i], 1) || dedicated[i] <= 0 {
+				continue
+			}
+			d := curSm[i].Seconds / dedicated[i]
 			if ratio := d / opts.Limits[i]; ratio > worstRatio+1e-12 {
 				worst, worstRatio = i, ratio
 			}
@@ -41,49 +68,97 @@ func repairLimits(s *searcher, allocs []Allocation, costs, dedicated []float64, 
 		if worst < 0 {
 			return nil // all limits satisfied
 		}
-		// Best repairing move: maximize the violator's improvement per
-		// unit of donor loss; require the violator to actually improve.
-		bestJ, bestDonor := -1, -1
-		bestScore := math.Inf(-1)
-		var bestVCost, bestDCost float64
+
+		// Phase 1 costs this step's candidates over the worker pool in two
+		// waves, so no estimate the sequential selection provably never
+		// reads is ever computed: wave 1 costs the violator's ≤M uplifts;
+		// wave 2 costs donor reductions only on resources whose uplift
+		// actually improves the violator (phase 2 skips the others).
+		var tasks []costTask
+		taskAt := make(map[int]map[string]int) // workload → alloc key → index
+		add := func(i int, a Allocation) {
+			k := AllocKey(a)
+			if taskAt[i] == nil {
+				taskAt[i] = make(map[string]int)
+			}
+			if _, ok := taskAt[i][k]; ok {
+				return
+			}
+			taskAt[i][k] = len(tasks)
+			tasks = append(tasks, costTask{i: i, a: a})
+		}
+		costFrom := func(start int) error {
+			wave := tasks[start:]
+			share := BatchShare(opts.Parallelism, len(wave))
+			return forEach(opts.Ctx, opts.Parallelism, len(wave), func(t int) error {
+				sm, err := s.cost(wave[t].i, wave[t].a, share)
+				if err != nil {
+					return err
+				}
+				wave[t].sm = sm
+				return nil
+			})
+		}
+		smOf := func(i int, a Allocation) Sample { return tasks[taskAt[i][AllocKey(a)]].sm }
+
+		ups := make([]Allocation, opts.Resources)
 		for j := 0; j < opts.Resources; j++ {
-			up, err := adjusted(worst, j, opts.Delta)
-			if err != nil {
-				continue
+			if up, err := adjusted(worst, j, opts.Delta); err == nil {
+				ups[j] = up
+				add(worst, up)
 			}
-			upSm, err := s.cost(worst, up)
-			if err != nil {
-				return err
-			}
-			curSm, err := s.cost(worst, allocs[worst])
-			if err != nil {
-				return err
-			}
-			improve := curSm.Seconds - upSm.Seconds
-			if improve <= 0 {
+		}
+		if err := costFrom(0); err != nil {
+			return err
+		}
+		donorsFrom := len(tasks)
+		downs := make([][]Allocation, opts.Resources)
+		for j := 0; j < opts.Resources; j++ {
+			downs[j] = make([]Allocation, n)
+			if ups[j] == nil || curSm[worst].Seconds-smOf(worst, ups[j]).Seconds <= 0 {
+				// Infeasible or non-improving uplift: phase 2 skips this
+				// resource entirely, so don't cost its donors.
 				continue
 			}
 			for d := 0; d < n; d++ {
 				if d == worst || allocs[d][j]-opts.Delta < opts.MinShare-1e-9 {
 					continue
 				}
-				down, err := adjusted(d, j, -opts.Delta)
-				if err != nil {
+				if down, err := adjusted(d, j, -opts.Delta); err == nil {
+					downs[j][d] = down
+					add(d, down)
+				}
+			}
+		}
+		if err := costFrom(donorsFrom); err != nil {
+			return err
+		}
+
+		// Phase 2: replay the sequential selection over the costed set.
+		// Best repairing move: maximize the violator's improvement per
+		// unit of donor loss; require the violator to actually improve.
+		bestJ, bestDonor := -1, -1
+		bestScore := math.Inf(-1)
+		var bestVCost, bestDCost float64
+		for j := 0; j < opts.Resources; j++ {
+			if ups[j] == nil {
+				continue
+			}
+			upSm := smOf(worst, ups[j])
+			improve := curSm[worst].Seconds - upSm.Seconds
+			if improve <= 0 {
+				continue
+			}
+			for d := 0; d < n; d++ {
+				if downs[j][d] == nil {
 					continue
 				}
-				downSm, err := s.cost(d, down)
-				if err != nil {
-					return err
-				}
+				downSm := smOf(d, downs[j][d])
 				// The donor must stay within its own limit.
 				if dedicated[d] > 0 && downSm.Seconds/dedicated[d] > opts.Limits[d]+1e-12 {
 					continue
 				}
-				dCur, err := s.cost(d, allocs[d])
-				if err != nil {
-					return err
-				}
-				loss := downSm.Seconds - dCur.Seconds
+				loss := downSm.Seconds - curSm[d].Seconds
 				score := improve - 1e-3*loss // prefer cheap donors
 				if score > bestScore {
 					bestScore = score

@@ -13,6 +13,7 @@
 package dynmgmt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -50,6 +51,24 @@ func (c ChangeClass) String() string {
 // current average optimizer estimate per query (the §6.1 change metric's
 // raw material), and a way to measure actual cost.
 type PeriodInput struct {
+	// ID identifies the tenant across periods. When IDs are used (all
+	// inputs of a period must then carry one), the manager keys its
+	// per-tenant state by ID, so the tenant set may change between
+	// periods — the fleet-level case where a placement layer moves
+	// tenants on and off a machine. A newly appearing ID starts with
+	// first-period semantics (no change to classify, model built fresh
+	// from the optimizer); a disappearing ID's state is dropped. With
+	// empty IDs, inputs are positional and the tenant count is fixed at
+	// NewManager's n.
+	ID string
+	// Gain and Limit optionally carry the tenant's QoS settings (the §3
+	// gain factor G_i ≥ 1 and degradation limit L_i ≥ 1; zero means
+	// default). When any input sets one, the period's advisor run uses
+	// these per-tenant values instead of Opts.Gains/Limits — positional
+	// option vectors cannot follow a tenant set that changes between
+	// periods, so ID-keyed managers must attach QoS here.
+	Gain  float64
+	Limit float64
 	// Estimator is optimizer-backed for the current workload.
 	Estimator core.Estimator
 	// AvgEstPerQuery is the optimizer's average per-query estimate for
@@ -93,10 +112,31 @@ type Manager struct {
 	// change as minor — the "continuous online refinement" baseline the
 	// paper compares against in Figs. 35–36.
 	ForceContinuous bool
+	// Recommend optionally replaces the per-period advisor run. It
+	// receives each tenant's current cost-model basis (the refined model,
+	// or the fresh optimizer-backed estimator after a rebuild) and the
+	// manager's options, and returns the allocations to deploy. A
+	// cluster-level caller installs a hook here that re-places this
+	// machine's tenants through the placement layer every period; nil
+	// means the single-machine core.Recommend.
+	Recommend func(ests []core.Estimator, opts core.Options) (*core.Result, error)
 
 	tenants []*tenantState
+	ids     []string
 	prev    []core.Allocation
+	// mode locks the manager to positional or ID-keyed inputs after the
+	// first period; switching midway would silently misattribute or drop
+	// accumulated per-tenant state, so it is rejected instead.
+	mode inputMode
 }
+
+type inputMode int
+
+const (
+	modeUnset inputMode = iota
+	modePositional
+	modeKeyed
+)
 
 type tenantState struct {
 	model      *refine.Model
@@ -115,20 +155,172 @@ func NewManager(n int, opts core.Options) *Manager {
 	return m
 }
 
+// reconciled is the tenant state computed from one period's inputs,
+// validated but not yet committed: Period applies it only after all
+// remaining input validation (advisorOpts) has also passed, so a
+// rejected call never locks the manager's mode or drops state.
+type reconciled struct {
+	keyed     bool
+	tenants   []*tenantState
+	ids       []string
+	resetPrev bool
+}
+
+// reconcile checks this period's inputs against the manager's mode and
+// computes the reconciled per-tenant state. Positional inputs (no IDs)
+// require a fixed tenant count; ID-carrying inputs may add tenants
+// (fresh state) or remove them (state dropped). When the tenant set
+// changes, the previous period's allocations must be forgotten —
+// comparing allocation vectors of different tenant sets would be
+// meaningless for the §5 convergence rule.
+func (m *Manager) reconcile(inputs []PeriodInput) (reconciled, error) {
+	withID := 0
+	for _, in := range inputs {
+		if in.ID != "" {
+			withID++
+		}
+	}
+	if withID == 0 {
+		if m.mode == modeKeyed {
+			return reconciled{}, errors.New("dynmgmt: manager has ID-keyed tenant state; inputs must keep carrying IDs")
+		}
+		if len(inputs) != len(m.tenants) {
+			return reconciled{}, fmt.Errorf("dynmgmt: %d inputs for %d tenants", len(inputs), len(m.tenants))
+		}
+		return reconciled{tenants: m.tenants, ids: m.ids}, nil
+	}
+	if withID != len(inputs) {
+		return reconciled{}, fmt.Errorf("dynmgmt: %d of %d inputs carry an ID; IDs are all-or-none", withID, len(inputs))
+	}
+	if m.mode == modePositional {
+		return reconciled{}, errors.New("dynmgmt: manager has positional tenant state; attaching IDs midway would discard it")
+	}
+	byID := make(map[string]*tenantState, len(m.tenants))
+	for i, id := range m.ids {
+		if id != "" {
+			byID[id] = m.tenants[i]
+		}
+	}
+	r := reconciled{
+		keyed:   true,
+		tenants: make([]*tenantState, len(inputs)),
+		ids:     make([]string, len(inputs)),
+	}
+	sameSet := len(inputs) == len(m.ids)
+	seen := make(map[string]bool, len(inputs))
+	for i, in := range inputs {
+		if seen[in.ID] {
+			return reconciled{}, fmt.Errorf("dynmgmt: duplicate tenant ID %q", in.ID)
+		}
+		seen[in.ID] = true
+		r.ids[i] = in.ID
+		if ts, ok := byID[in.ID]; ok {
+			r.tenants[i] = ts
+		} else {
+			r.tenants[i] = &tenantState{}
+		}
+		if sameSet && m.ids[i] != in.ID {
+			sameSet = false
+		}
+	}
+	r.resetPrev = !sameSet
+	return r, nil
+}
+
+// apply commits a reconciled state once the period has succeeded: the
+// manager's mode locks on the first completed period. (Period overwrites
+// m.prev with the fresh allocations right after, so resetPrev needs no
+// handling here.)
+func (m *Manager) apply(r reconciled) {
+	if r.keyed {
+		m.mode = modeKeyed
+		m.tenants = r.tenants
+		m.ids = r.ids
+	} else {
+		m.mode = modePositional
+	}
+}
+
+// advisorOpts shapes this period's enumerator options. Positional
+// managers without per-input QoS use Opts verbatim (the original,
+// fixed-tenant-set contract). As soon as inputs carry QoS — or the
+// manager is ID-keyed, where the tenant set may change size and order —
+// Gains and Limits are rebuilt from the inputs each period, and mixing
+// the two QoS channels is rejected rather than silently misassigned.
+func (m *Manager) advisorOpts(inputs []PeriodInput, keyed bool) (core.Options, error) {
+	opts := m.Opts
+	anyQoS := false
+	for _, in := range inputs {
+		if in.Gain != 0 || in.Limit != 0 {
+			anyQoS = true
+			break
+		}
+	}
+	positionalQoS := opts.Gains != nil || opts.Limits != nil
+	if keyed && positionalQoS {
+		return opts, errors.New("dynmgmt: ID-keyed inputs cannot use positional Opts.Gains/Limits; set Gain/Limit on each PeriodInput")
+	}
+	if anyQoS && positionalQoS {
+		return opts, errors.New("dynmgmt: set QoS either on Opts.Gains/Limits or on PeriodInput, not both")
+	}
+	if !anyQoS {
+		return opts, nil
+	}
+	n := len(inputs)
+	opts.Gains = make([]float64, n)
+	opts.Limits = make([]float64, n)
+	for i, in := range inputs {
+		// Values in (0,1) are always a caller bug (core rejects them on
+		// the positional channel); only the 0 zero-value means "default".
+		if in.Gain != 0 && in.Gain < 1 {
+			return opts, fmt.Errorf("dynmgmt: input %d gain %v < 1", i, in.Gain)
+		}
+		if in.Limit != 0 && in.Limit < 1 {
+			return opts, fmt.Errorf("dynmgmt: input %d degradation limit %v < 1", i, in.Limit)
+		}
+		opts.Gains[i] = 1
+		if in.Gain >= 1 {
+			opts.Gains[i] = in.Gain
+		}
+		opts.Limits[i] = math.Inf(1)
+		if in.Limit >= 1 {
+			opts.Limits[i] = in.Limit
+		}
+	}
+	return opts, nil
+}
+
 // Period processes one monitoring period end: classify changes, pick the
 // per-tenant cost-model basis, re-run the advisor, deploy, measure, and
 // refine. The first call is the initial recommendation (everything is
 // built from the optimizer).
 func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
-	if len(inputs) != len(m.tenants) {
-		return nil, fmt.Errorf("dynmgmt: %d inputs for %d tenants", len(inputs), len(m.tenants))
+	rec, err := m.reconcile(inputs)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := m.advisorOpts(inputs, rec.keyed)
+	if err != nil {
+		return nil, err
+	}
+	// The reconciled tenant set is committed only after the period
+	// succeeds: a mid-period failure (advisor error, measure error) must
+	// not drop a removed tenant's accumulated state — the failed period
+	// deployed nothing, so the caller may retry with the old set.
+	// (Survivor tenantStates are still shared pointers, so the step-1
+	// classification writes below are not rolled back on failure; see the
+	// transactional-Period open item in ROADMAP.md.)
+	tenants := rec.tenants
+	prev := m.prev
+	if rec.resetPrev {
+		prev = nil
 	}
 	n := len(inputs)
 	report := &PeriodReport{Tenants: make([]TenantReport, n)}
 
 	// 1. Classify changes via the §6.1 metric.
 	for i, in := range inputs {
-		ts := m.tenants[i]
+		ts := tenants[i]
 		tr := &report.Tenants[i]
 		switch {
 		case ts.prevAvg == 0:
@@ -161,13 +353,17 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 	// 2. Re-run the advisor over each tenant's current basis.
 	ests := make([]core.Estimator, n)
 	for i, in := range inputs {
-		if m.tenants[i].model != nil {
-			ests[i] = m.tenants[i].model
+		if tenants[i].model != nil {
+			ests[i] = tenants[i].model
 		} else {
 			ests[i] = in.Estimator
 		}
 	}
-	res, err := core.Recommend(ests, m.Opts)
+	advisor := m.Recommend
+	if advisor == nil {
+		advisor = core.Recommend
+	}
+	res, err := advisor(ests, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +371,7 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 
 	// 3. Deploy, measure, and refine.
 	for i, in := range inputs {
-		ts := m.tenants[i]
+		ts := tenants[i]
 		tr := &report.Tenants[i]
 		a := res.Allocations[i]
 		act, err := in.Measure(a)
@@ -231,12 +427,13 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 	// 4. Convergence: a repeated recommendation means refinement has
 	// settled (§5's stopping rule), so observation pauses until the next
 	// detected change.
-	if m.prev != nil && sameAllocs(m.prev, res.Allocations) {
-		for i := range m.tenants {
-			m.tenants[i].converged = true
+	if prev != nil && sameAllocs(prev, res.Allocations) {
+		for i := range tenants {
+			tenants[i].converged = true
 			report.Tenants[i].Converged = true
 		}
 	}
+	m.apply(rec)
 	m.prev = cloneAllocs(res.Allocations)
 	return report, nil
 }

@@ -1,6 +1,7 @@
 package dynmgmt
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -174,6 +175,249 @@ func TestPeriodInputValidation(t *testing.T) {
 	m := NewManager(2, core.Options{})
 	if _, err := m.Period(nil); err == nil {
 		t.Fatal("mismatched input count should error")
+	}
+}
+
+// synthInput builds one keyed tenant input with an inverse-linear true
+// cost; avg doubles as the §6.1 per-query estimate metric.
+func synthInput(id string, avg float64) PeriodInput {
+	return PeriodInput{
+		ID: id,
+		Estimator: core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+			return avg/a[0] + 2/a[1], "p", nil
+		}),
+		AvgEstPerQuery: avg,
+		Measure: func(a core.Allocation) (float64, error) {
+			return avg/a[0] + 2/a[1], nil
+		},
+	}
+}
+
+// A tenant appearing mid-run (the placement layer moved it onto this
+// machine) must get first-period semantics — nothing to classify, model
+// built fresh — while existing tenants keep their classification state.
+func TestTenantAddedBetweenPeriods(t *testing.T) {
+	m := NewManager(2, core.Options{Delta: 0.05})
+	base := []PeriodInput{synthInput("a", 30), synthInput("b", 20)}
+	for p := 0; p < 2; p++ {
+		if _, err := m.Period(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Period 3: tenant c joins, and tenant a's workload jumps far past τ.
+	rep, err := m.Period([]PeriodInput{synthInput("a", 60), synthInput("b", 20), synthInput("c", 40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Allocations) != 3 {
+		t.Fatalf("want 3 allocations, got %d", len(rep.Allocations))
+	}
+	if got := rep.Tenants[2].Change; got != ChangeNone {
+		t.Fatalf("new tenant change = %v, want none (first period)", got)
+	}
+	if !rep.Tenants[2].Refined {
+		t.Fatal("new tenant must be built fresh and refined")
+	}
+	if got := rep.Tenants[0].Change; got != ChangeMajor {
+		t.Fatalf("tenant a change = %v, want major: its state must survive the resize", got)
+	}
+	if got := rep.Tenants[1].Change; got != ChangeNone {
+		t.Fatalf("tenant b change = %v, want none", got)
+	}
+}
+
+// A tenant leaving mid-run must drop its state; survivors keep theirs,
+// and a tenant re-appearing later is treated as brand new.
+func TestTenantRemovedBetweenPeriods(t *testing.T) {
+	m := NewManager(3, core.Options{Delta: 0.05})
+	if _, err := m.Period([]PeriodInput{synthInput("a", 30), synthInput("b", 20), synthInput("c", 40)}); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant c leaves; tenant a shifts slightly (minor).
+	rep, err := m.Period([]PeriodInput{synthInput("a", 31.5), synthInput("b", 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Allocations) != 2 {
+		t.Fatalf("want 2 allocations, got %d", len(rep.Allocations))
+	}
+	if got := rep.Tenants[0].Change; got != ChangeMinor {
+		t.Fatalf("tenant a change = %v, want minor: survivor state must persist", got)
+	}
+	// Tenant c returns: its old state is gone, so nothing to classify.
+	rep, err = m.Period([]PeriodInput{synthInput("a", 31.5), synthInput("b", 20), synthInput("c", 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Tenants[2].Change; got != ChangeNone {
+		t.Fatalf("re-added tenant change = %v, want none (state was dropped)", got)
+	}
+}
+
+// A byte-for-byte unchanged workload must classify as ChangeNone, and
+// once refinement has converged the manager must stop observing — the
+// steady-state short-circuit.
+func TestUnchangedWorkloadShortCircuit(t *testing.T) {
+	m := NewManager(2, core.Options{Delta: 0.05})
+	inputs := []PeriodInput{synthInput("a", 30), synthInput("b", 20)}
+	var rep *PeriodReport
+	var err error
+	for p := 0; p < 4; p++ {
+		rep, err = m.Period(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tr := range rep.Tenants {
+		if tr.Change != ChangeNone {
+			t.Fatalf("tenant %d: unchanged workload classified %v", i, tr.Change)
+		}
+		if !tr.Converged {
+			t.Fatalf("tenant %d: stable workload should have converged", i)
+		}
+	}
+	// Post-convergence period: no model rebuild, no refinement step.
+	rep, err = m.Period(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range rep.Tenants {
+		if tr.Rebuilt || tr.Refined {
+			t.Fatalf("tenant %d: converged steady state must short-circuit (rebuilt=%v refined=%v)",
+				i, tr.Rebuilt, tr.Refined)
+		}
+	}
+}
+
+// With a changing tenant set, QoS must ride on the inputs so it follows
+// the tenant, not the slot: positional Opts vectors are rejected in
+// keyed mode, and a per-input limit is honored across a set change.
+func TestPeriodQoSFollowsTenantID(t *testing.T) {
+	m := NewManager(3, core.Options{Delta: 0.05})
+	limited := func(avg float64) PeriodInput {
+		in := synthInput("b", avg)
+		in.Limit = 2
+		return in
+	}
+	inputs := []PeriodInput{synthInput("a", 30), limited(30), synthInput("c", 40)}
+	if _, err := m.Period(inputs); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant c leaves: a 2-tenant period must still work (positional
+	// Gains/Limits sized for 3 would have failed here) and b's limit
+	// must still bind to b.
+	rep, err := m.Period([]PeriodInput{synthInput("a", 30), limited(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedicated := 30.0 + 2.0 // avg/1 + 2/1 at the full allocation
+	if deg := rep.Tenants[1].Est / dedicated; deg > 2+1e-9 {
+		t.Fatalf("tenant b degraded %vx past its travelling limit", deg)
+	}
+	// Positional QoS vectors cannot follow IDs: reject, don't misassign.
+	mPos := NewManager(2, core.Options{Delta: 0.05, Limits: []float64{2, 1e308}})
+	if _, err := mPos.Period([]PeriodInput{synthInput("a", 30), synthInput("b", 20)}); err == nil {
+		t.Fatal("keyed inputs with positional Opts.Limits should error")
+	}
+	// Both QoS channels at once is ambiguous even positionally.
+	mBoth := NewManager(1, core.Options{Delta: 0.05, Limits: []float64{2}})
+	in := synthInput("", 30)
+	in.Limit = 3
+	if _, err := mBoth.Period([]PeriodInput{in}); err == nil {
+		t.Fatal("QoS on both Opts and PeriodInput should error")
+	}
+}
+
+func TestPeriodIDValidation(t *testing.T) {
+	m := NewManager(2, core.Options{Delta: 0.05})
+	mixed := []PeriodInput{synthInput("a", 30), synthInput("", 20)}
+	if _, err := m.Period(mixed); err == nil {
+		t.Fatal("mixed keyed/positional inputs should error")
+	}
+	dup := []PeriodInput{synthInput("a", 30), synthInput("a", 20)}
+	if _, err := m.Period(dup); err == nil {
+		t.Fatal("duplicate IDs should error")
+	}
+	// Once keyed, always keyed: positional inputs against ID-keyed state
+	// would silently attribute one tenant's model to another.
+	if _, err := m.Period([]PeriodInput{synthInput("a", 30), synthInput("b", 20)}); err != nil {
+		t.Fatal(err)
+	}
+	positional := []PeriodInput{synthInput("", 30), synthInput("", 20)}
+	if _, err := m.Period(positional); err == nil {
+		t.Fatal("keyed manager must reject ID-less inputs")
+	}
+	// The reverse switch is equally destructive: a positional manager has
+	// per-slot state that attaching IDs would silently discard.
+	mp := NewManager(2, core.Options{Delta: 0.05})
+	if _, err := mp.Period(positional); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.Period([]PeriodInput{synthInput("a", 30), synthInput("b", 20)}); err == nil {
+		t.Fatal("positional manager must reject ID-carrying inputs")
+	}
+	// A rejected call must not lock the mode or drop state: a keyed call
+	// that fails validation (positional QoS vectors) leaves the manager
+	// free to continue positionally.
+	mv := NewManager(2, core.Options{Delta: 0.05, Limits: []float64{2, 1e308}})
+	if _, err := mv.Period([]PeriodInput{synthInput("a", 30), synthInput("b", 20)}); err == nil {
+		t.Fatal("keyed inputs with positional Opts.Limits should error")
+	}
+	if _, err := mv.Period(positional); err != nil {
+		t.Fatalf("failed keyed call must not lock the manager into keyed mode: %v", err)
+	}
+}
+
+// A period that fails mid-run (measure error) must not commit the
+// reconciled tenant set: a tenant absent from the failed inputs keeps
+// its accumulated state, since the failed period deployed nothing and
+// the caller will retry with the old set.
+func TestFailedPeriodPreservesTenantSet(t *testing.T) {
+	m := NewManager(3, core.Options{Delta: 0.05})
+	full := []PeriodInput{synthInput("a", 30), synthInput("b", 20), synthInput("c", 40)}
+	for p := 0; p < 2; p++ {
+		if _, err := m.Period(full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Try to migrate c away, but the period fails at measurement.
+	bad := synthInput("a", 30)
+	bad.Measure = func(a core.Allocation) (float64, error) {
+		return 0, fmt.Errorf("transient measurement failure")
+	}
+	if _, err := m.Period([]PeriodInput{bad, synthInput("b", 20)}); err == nil {
+		t.Fatal("failing Measure must surface an error")
+	}
+	// Retry with the old set: c's state must have survived, so doubling
+	// its per-query estimate classifies as a major change — a dropped
+	// state would classify ChangeNone (first period).
+	rep, err := m.Period([]PeriodInput{synthInput("a", 30), synthInput("b", 20), synthInput("c", 80)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Tenants[2].Change; got != ChangeMajor {
+		t.Fatalf("tenant c change = %v, want major: its state must survive the failed period", got)
+	}
+}
+
+// The Recommend hook lets a placement layer supply each period's
+// allocations; the manager must route every per-period advisor run
+// through it.
+func TestPeriodRecommendHook(t *testing.T) {
+	m := NewManager(2, core.Options{Delta: 0.05})
+	calls := 0
+	m.Recommend = func(ests []core.Estimator, opts core.Options) (*core.Result, error) {
+		calls++
+		return core.Recommend(ests, opts)
+	}
+	sc := newScenario()
+	for p := 0; p < 3; p++ {
+		if _, err := m.Period(sc.inputs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("hook ran %d times for 3 periods", calls)
 	}
 }
 

@@ -1,0 +1,385 @@
+// Package placement is the multi-machine layer above the single-machine
+// virtualization design advisor: given a fleet of identical physical
+// servers and a set of database tenants, it decides which tenants share
+// which machine, and with what resource shares.
+//
+// The paper's advisor (§4) answers "how should one machine's CPU and
+// memory be split among its N tenants?"; consolidation at scale also has
+// to answer "which tenants should be co-located at all?". Placement
+// composes the two: a greedy bin-packing enumerator assigns tenants to
+// servers one at a time, scoring every candidate assignment with the
+// per-machine advisor (core.Recommend) — so co-location decisions are
+// driven by the same calibrated what-if cost estimates as share
+// decisions, QoS limits and gain factors included.
+//
+// Like the single-machine enumerators, placement is engineered to be
+// bit-identical across Options.Parallelism settings: tenants are ordered
+// by a deterministic rule, candidate machines are scored concurrently but
+// selected by a sequential replay with index tie-breaks, and the inner
+// advisor runs are themselves parity-guaranteed.
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Tenant is one database workload to place: its calibrated estimator plus
+// the paper's per-tenant QoS settings.
+type Tenant struct {
+	// Name labels the tenant in errors and reports.
+	Name string
+	// Est estimates the tenant's workload cost under an allocation.
+	Est core.Estimator
+	// Gain is the benefit gain factor G_i (0 means 1; values in (0,1)
+	// are rejected, matching core.Options validation).
+	Gain float64
+	// Limit is the degradation limit L_i vs a dedicated machine (0 means
+	// unlimited; values in (0,1) are rejected).
+	Limit float64
+}
+
+// Options configures a placement run.
+type Options struct {
+	// Servers is the number of identical physical machines (≥ 1).
+	Servers int
+	// Core is the template for every per-machine advisor run; its Gains
+	// and Limits are overwritten per machine from the tenants placed
+	// there, and its Parallelism/Ctx also drive the placement layer's own
+	// candidate fan-out.
+	Core core.Options
+}
+
+// Machine is one physical server's share of a finished placement.
+type Machine struct {
+	// Tenants are global tenant indexes in placement order; the i-th entry
+	// corresponds to Result.Allocations[i].
+	Tenants []int
+	// Result is the machine's advisor recommendation (nil when the
+	// machine received no tenants).
+	Result *core.Result
+}
+
+// Placement is a completed tenant→server assignment.
+type Placement struct {
+	// Assignment maps tenant index → server index.
+	Assignment []int
+	// Machines holds the per-server plans.
+	Machines []Machine
+	// TotalCost is the gain-weighted objective summed over all machines.
+	TotalCost float64
+}
+
+// AllocationOf returns the allocation recommended for a tenant.
+func (p *Placement) AllocationOf(tenant int) core.Allocation {
+	m := p.Machines[p.Assignment[tenant]]
+	for slot, t := range m.Tenants {
+		if t == tenant {
+			return m.Result.Allocations[slot]
+		}
+	}
+	return nil
+}
+
+// CostOf returns the estimated workload seconds for a tenant at its
+// placed allocation, and the tenant's degradation vs a dedicated machine.
+func (p *Placement) CostOf(tenant int) (seconds, degradation float64) {
+	m := p.Machines[p.Assignment[tenant]]
+	for slot, t := range m.Tenants {
+		if t == tenant {
+			seconds = m.Result.Costs[slot]
+			if d := m.Result.DedicatedCosts[slot]; d > 0 {
+				degradation = seconds / d
+			}
+			return seconds, degradation
+		}
+	}
+	return 0, 0
+}
+
+// Place assigns every tenant to a server and splits each server's
+// resources among its tenants.
+//
+// The enumerator is greedy bin packing in two nested phases. Tenants are
+// first ordered by decreasing gain-weighted dedicated cost (expensive,
+// hard-to-place workloads claim machines early; ties keep input order).
+// Then, one tenant at a time, every machine with spare capacity is scored
+// by re-running the per-machine advisor over its tenants plus the new
+// one. Machines where every tenant's degradation limit holds are
+// preferred outright — a cheap machine that breaks someone's QoS loses
+// to a costlier one that honors it — and within the same feasibility
+// class the tenant lands where the gain-weighted total rises least, ties
+// toward the smaller server index. If no machine can satisfy the limits,
+// the cheapest best-effort machine is used (limits may simply be
+// unsatisfiable, as §7.5 shows for L_9 = 1.5). Only the first empty
+// machine is scored — empty machines are interchangeable, so this is
+// both the deterministic tie-break and a pruning of identical candidates.
+func Place(tenants []Tenant, opts Options) (*Placement, error) {
+	n := len(tenants)
+	if n == 0 {
+		return nil, errors.New("placement: no tenants")
+	}
+	for i, t := range tenants {
+		// Mirror core's Options validation: QoS values in (0,1) are
+		// always a caller bug, not a request for "no QoS".
+		if t.Gain != 0 && t.Gain < 1 {
+			return nil, fmt.Errorf("placement: tenant %d (%s) gain %v < 1", i, t.Name, t.Gain)
+		}
+		if t.Limit != 0 && t.Limit < 1 {
+			return nil, fmt.Errorf("placement: tenant %d (%s) degradation limit %v < 1", i, t.Name, t.Limit)
+		}
+	}
+	// One placement runs the per-machine advisor many times over the same
+	// estimators, so wrap each in a cross-run memo: scoring tenant k on
+	// machine s re-visits grid points costed by earlier candidate runs.
+	tenants = append([]Tenant(nil), tenants...)
+	for i := range tenants {
+		tenants[i].Est = newMemoEstimator(tenants[i].Est)
+	}
+	if opts.Servers < 1 {
+		return nil, fmt.Errorf("placement: %d servers", opts.Servers)
+	}
+	if opts.Core.Delta <= 0 {
+		opts.Core.Delta = 0.05
+	}
+	if opts.Core.MinShare <= 0 {
+		opts.Core.MinShare = opts.Core.Delta
+	}
+	if opts.Core.Parallelism <= 0 {
+		opts.Core.Parallelism = 1
+	}
+	if opts.Core.Ctx == nil {
+		opts.Core.Ctx = context.Background()
+	}
+	if opts.Core.Resources <= 0 {
+		opts.Core.Resources = 2
+	}
+	// A machine can hold at most ⌊1/MinShare⌋ tenants: each keeps a
+	// MinShare floor of every resource.
+	capacity := int((1 + 1e-9) / opts.Core.MinShare)
+	if n > opts.Servers*capacity {
+		return nil, fmt.Errorf("placement: %d tenants exceed %d servers × %d slots (MinShare %.0f%%)",
+			n, opts.Servers, capacity, opts.Core.MinShare*100)
+	}
+
+	// Dedicated-machine cost per tenant: the ordering key, and the same
+	// Cost(W_i, [1..1]) the degradation constraint uses. Fanned over the
+	// worker pool; results land by index, so order does not matter.
+	full := make(core.Allocation, opts.Core.Resources)
+	for j := range full {
+		full[j] = 1
+	}
+	dedicated := make([]float64, n)
+	dedShare := core.BatchShare(opts.Core.Parallelism, n)
+	if err := forEachTenant(opts, n, func(i int) error {
+		sec, _, err := core.EstimateWith(opts.Core.Ctx, tenants[i].Est, dedShare, full)
+		if err != nil {
+			return fmt.Errorf("placement: dedicated cost of %s: %w", tenants[i].Name, err)
+		}
+		dedicated[i] = sec
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return gain(tenants[order[x]])*dedicated[order[x]] > gain(tenants[order[y]])*dedicated[order[y]]
+	})
+
+	assignment := make([]int, n)
+	machines := make([]Machine, opts.Servers)
+	totals := make([]float64, opts.Servers) // gain-weighted total per machine
+
+	// candidate is one scored "tenant t on machine s" what-if.
+	type candidate struct {
+		server   int
+		members  []int
+		res      *core.Result
+		feasible bool // every member within its degradation limit
+	}
+	for _, t := range order {
+		// Phase 1: enumerate candidate machines in server order, scoring
+		// each concurrently. Empty machines beyond the first are skipped:
+		// identical hardware makes them interchangeable.
+		var cands []candidate
+		sawEmpty := false
+		for s := 0; s < opts.Servers; s++ {
+			if len(machines[s].Tenants) >= capacity {
+				continue
+			}
+			if len(machines[s].Tenants) == 0 {
+				if sawEmpty {
+					continue
+				}
+				sawEmpty = true
+			}
+			cands = append(cands, candidate{server: s})
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("placement: no machine can hold tenant %s", tenants[t].Name)
+		}
+		// Each concurrent candidate scoring gets an equal slice of the
+		// worker budget for its inner advisor run, so nesting divides the
+		// pool rather than multiplying it; inner results are bit-identical
+		// at any worker count, so this cannot change the placement.
+		candShare := core.BatchShare(opts.Core.Parallelism, len(cands))
+		if err := forEachTenant(opts, len(cands), func(c int) error {
+			s := cands[c].server
+			cands[c].members = append(append([]int(nil), machines[s].Tenants...), t)
+			res, err := recommend(tenants, cands[c].members, opts, candShare)
+			if err != nil {
+				return fmt.Errorf("placement: scoring %s on server %d: %w", tenants[t].Name, s, err)
+			}
+			cands[c].res = res
+			cands[c].feasible = withinLimits(res, tenants, cands[c].members)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Phase 2: sequential replay — limit-feasible machines beat
+		// infeasible ones, then the machine whose total rises least wins;
+		// ties toward the smaller server index (candidate order is server
+		// order, and only strict improvement switches).
+		best := -1
+		bestDelta := math.Inf(1)
+		bestFeasible := false
+		for c := range cands {
+			delta := cands[c].res.TotalCost - totals[cands[c].server]
+			switch {
+			case cands[c].feasible && !bestFeasible:
+				best, bestDelta, bestFeasible = c, delta, true
+			case cands[c].feasible == bestFeasible && delta < bestDelta:
+				best, bestDelta = c, delta
+			}
+		}
+		s := cands[best].server
+		assignment[t] = s
+		machines[s].Tenants = append(machines[s].Tenants, t)
+		machines[s].Result = cands[best].res
+		totals[s] = cands[best].res.TotalCost
+	}
+
+	p := &Placement{Assignment: assignment, Machines: machines}
+	for s := range machines {
+		p.TotalCost += totals[s]
+	}
+	return p, nil
+}
+
+// recommend runs the per-machine advisor over the given tenant subset,
+// shaping Gains and Limits from the members' QoS settings; workers
+// bounds the inner search's parallelism (its slice of the shared pool).
+func recommend(tenants []Tenant, members []int, opts Options, workers int) (*core.Result, error) {
+	co := opts.Core
+	co.Parallelism = workers
+	co.Gains = make([]float64, len(members))
+	co.Limits = make([]float64, len(members))
+	ests := make([]core.Estimator, len(members))
+	for i, t := range members {
+		co.Gains[i] = gain(tenants[t])
+		co.Limits[i] = limit(tenants[t])
+		ests[i] = tenants[t].Est
+	}
+	return core.Recommend(ests, co)
+}
+
+// withinLimits reports whether every member of a scored machine meets
+// its degradation limit (using the same tolerance as the enumerator).
+func withinLimits(res *core.Result, tenants []Tenant, members []int) bool {
+	for i, t := range members {
+		lim := limit(tenants[t])
+		if math.IsInf(lim, 1) {
+			continue
+		}
+		if d := res.DedicatedCosts[i]; d > 0 && res.Costs[i]/d > lim+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func gain(t Tenant) float64 {
+	if t.Gain >= 1 {
+		return t.Gain
+	}
+	return 1
+}
+
+func limit(t Tenant) float64 {
+	if t.Limit >= 1 {
+		return t.Limit
+	}
+	return math.Inf(1)
+}
+
+// forEachTenant fans fn over the placement layer's own worker pool.
+func forEachTenant(opts Options, n int, fn func(int) error) error {
+	return core.ForEach(opts.Core.Ctx, opts.Core.Parallelism, n, fn)
+}
+
+// memoEstimator caches one tenant's evaluations across the many advisor
+// runs a single placement performs. Each core.Recommend keeps its own
+// per-run memo (and per-run EstimatorCalls/CacheHits accounting, which
+// this wrapper sits below and does not disturb), but successive candidate
+// scorings of the same machine re-visit the same grid points; estimates
+// are deterministic, so serving them from a shared cache is transparent.
+// Entries resolve through sync.Once, so concurrent candidate runs block
+// on one in-flight evaluation instead of duplicating it.
+type memoEstimator struct {
+	est core.Estimator
+	mu  sync.Mutex
+	m   map[string]*memoCell
+}
+
+type memoCell struct {
+	once sync.Once
+	sec  float64
+	sig  string
+	err  error
+}
+
+func newMemoEstimator(est core.Estimator) *memoEstimator {
+	return &memoEstimator{est: est, m: make(map[string]*memoCell)}
+}
+
+var (
+	_ core.Estimator           = (*memoEstimator)(nil)
+	_ core.ConcurrentEstimator = (*memoEstimator)(nil)
+)
+
+func (me *memoEstimator) cell(a core.Allocation) *memoCell {
+	k := core.AllocKey(a)
+	me.mu.Lock()
+	c, ok := me.m[k]
+	if !ok {
+		c = &memoCell{}
+		me.m[k] = c
+	}
+	me.mu.Unlock()
+	return c
+}
+
+// Estimate implements core.Estimator with the cross-run cache.
+func (me *memoEstimator) Estimate(a core.Allocation) (float64, string, error) {
+	c := me.cell(a)
+	c.once.Do(func() { c.sec, c.sig, c.err = me.est.Estimate(a) })
+	return c.sec, c.sig, c.err
+}
+
+// EstimateConcurrent implements core.ConcurrentEstimator, passing the
+// statement-level worker bound through to the wrapped estimator on a
+// cache miss.
+func (me *memoEstimator) EstimateConcurrent(ctx context.Context, workers int, a core.Allocation) (float64, string, error) {
+	c := me.cell(a)
+	c.once.Do(func() { c.sec, c.sig, c.err = core.EstimateWith(ctx, me.est, workers, a) })
+	return c.sec, c.sig, c.err
+}

@@ -1,0 +1,268 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// synth is the analytic inverse-linear workload cost used across the
+// repository's enumerator tests: alpha/cpu + gamma/mem + beta.
+func synth(alpha, gamma, beta float64) core.Estimator {
+	return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+		cpu, mem := a[0], 1.0
+		if len(a) > 1 {
+			mem = a[1]
+		}
+		if cpu <= 0 {
+			cpu = 1e-3
+		}
+		if mem <= 0 {
+			mem = 1e-3
+		}
+		return alpha/cpu + gamma/mem + beta, "plan", nil
+	})
+}
+
+func TestPlaceSeparatesHeavyTenants(t *testing.T) {
+	// Two CPU-hungry tenants and two light ones on two machines: each
+	// heavy tenant should claim its own machine rather than share one.
+	tenants := []Tenant{
+		{Name: "heavy0", Est: synth(100, 20, 0)},
+		{Name: "light0", Est: synth(4, 2, 0)},
+		{Name: "heavy1", Est: synth(90, 25, 0)},
+		{Name: "light1", Est: synth(5, 1, 0)},
+	}
+	p, err := Place(tenants, Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assignment[0] == p.Assignment[2] {
+		t.Fatalf("heavy tenants share server %d: %v", p.Assignment[0], p.Assignment)
+	}
+	// Every machine's recommendation must allocate exactly its own
+	// resources.
+	for s, m := range p.Machines {
+		if m.Result == nil {
+			continue
+		}
+		for j := 0; j < 2; j++ {
+			sum := 0.0
+			for _, a := range m.Result.Allocations {
+				sum += a[j]
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Fatalf("server %d resource %d allocates %.3f of the machine", s, j, sum)
+			}
+		}
+	}
+	// Accessors agree with the underlying machine plans.
+	for i := range tenants {
+		a := p.AllocationOf(i)
+		if len(a) != 2 || a[0] <= 0 || a[1] <= 0 {
+			t.Fatalf("tenant %d allocation %v", i, a)
+		}
+		sec, deg := p.CostOf(i)
+		if sec <= 0 || deg < 1 {
+			t.Fatalf("tenant %d cost %v degradation %v", i, sec, deg)
+		}
+	}
+}
+
+func TestPlaceBeatsSingleMachine(t *testing.T) {
+	// Four competing tenants on two machines must cost no more than the
+	// same four squeezed onto one.
+	var tenants []Tenant
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4; i++ {
+		tenants = append(tenants, Tenant{
+			Name: fmt.Sprintf("t%d", i),
+			Est:  synth(rng.Float64()*80+10, rng.Float64()*30, rng.Float64()*5),
+		})
+	}
+	one, err := Place(tenants, Options{Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Place(tenants, Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.TotalCost > one.TotalCost {
+		t.Fatalf("more machines cost more: %v on 2 vs %v on 1", two.TotalCost, one.TotalCost)
+	}
+}
+
+// Placement must be bit-identical across Parallelism settings:
+// assignments, allocations, and costs.
+func TestPlaceParallelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		n := 4 + trial%3
+		var tenants []Tenant
+		for i := 0; i < n; i++ {
+			tn := Tenant{
+				Name: fmt.Sprintf("t%d", i),
+				Est:  synth(rng.Float64()*90+5, rng.Float64()*40, rng.Float64()*10),
+			}
+			if i%3 == 1 {
+				tn.Limit = 3
+			}
+			if i%3 == 2 {
+				tn.Gain = 2
+			}
+			tenants = append(tenants, tn)
+		}
+		seq, err := Place(tenants, Options{Servers: 2, Core: core.Options{Parallelism: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8} {
+			par, err := Place(tenants, Options{Servers: 2, Core: core.Options{Parallelism: p}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.TotalCost != seq.TotalCost {
+				t.Fatalf("trial %d p=%d: total %v vs %v", trial, p, par.TotalCost, seq.TotalCost)
+			}
+			for i := range tenants {
+				if par.Assignment[i] != seq.Assignment[i] {
+					t.Fatalf("trial %d p=%d: tenant %d on server %d vs %d",
+						trial, p, i, par.Assignment[i], seq.Assignment[i])
+				}
+				as, ap := seq.AllocationOf(i), par.AllocationOf(i)
+				for j := range as {
+					if as[j] != ap[j] {
+						t.Fatalf("trial %d p=%d tenant %d: allocations diverge: %v vs %v",
+							trial, p, i, ap, as)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A limit-feasible machine must beat a cheaper machine where the limit
+// is unsatisfiable. Construction: a hog claims one server; three
+// constant-cost tenants fill the other to 3 of its 4 MinShare slots. The
+// limited tenant placed last fits within L=1.4 next to the hog (it can
+// take a 75% CPU share, the hog's MinShare floor) but not on the crowded
+// machine (capped at 25% → ~4× degradation), while raw cost-delta favors
+// the crowded machine because squeezing the hog down to its floor is far
+// more expensive than packing one more flat-cost tenant.
+func TestPlacePrefersLimitFeasibleMachine(t *testing.T) {
+	tenants := []Tenant{
+		{Name: "hog", Est: synth(100, 0.1, 0)},
+		{Name: "flat0", Est: synth(1, 0.1, 60)},
+		{Name: "flat1", Est: synth(1, 0.1, 60)},
+		{Name: "flat2", Est: synth(1, 0.1, 60)},
+		{Name: "limited", Est: synth(50, 0.1, 0), Limit: 1.4},
+	}
+	p, err := Place(tenants, Options{Servers: 2, Core: core.Options{Delta: 0.05, MinShare: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assignment[4] != p.Assignment[0] {
+		t.Fatalf("limited tenant must co-locate with the hog (the only feasible machine): %v", p.Assignment)
+	}
+	if _, deg := p.CostOf(4); deg > 1.4+1e-9 {
+		t.Fatalf("limited tenant degraded %vx past its limit", deg)
+	}
+}
+
+// The cross-run memo must keep each distinct (tenant, allocation)
+// evaluation to exactly one true estimator invocation per Place call,
+// even though candidate scorings re-run the advisor over overlapping
+// tenant sets.
+func TestPlaceDedupsAcrossCandidateRuns(t *testing.T) {
+	type record struct {
+		mu    sync.Mutex
+		calls int
+		seen  map[string]bool
+	}
+	recs := make([]*record, 4)
+	tenants := make([]Tenant, 4)
+	for i := range tenants {
+		r := &record{seen: map[string]bool{}}
+		recs[i] = r
+		inner := synth(float64(20+10*i), 5, 1)
+		tenants[i] = Tenant{
+			Name: fmt.Sprintf("t%d", i),
+			Est: core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+				r.mu.Lock()
+				r.calls++
+				r.seen[fmt.Sprintf("%.6f|%.6f", a[0], a[1])] = true
+				r.mu.Unlock()
+				return inner.Estimate(a)
+			}),
+		}
+	}
+	if _, err := Place(tenants, Options{Servers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.calls != len(r.seen) {
+			t.Fatalf("tenant %d: %d invocations for %d distinct allocations — cross-run memo failed",
+				i, r.calls, len(r.seen))
+		}
+	}
+}
+
+func TestPlaceRespectsQoSLimit(t *testing.T) {
+	// Three identical tenants, one with a tight degradation limit, two
+	// machines: the limited tenant must end within its limit.
+	tenants := []Tenant{
+		{Name: "a", Est: synth(50, 10, 0), Limit: 1.5},
+		{Name: "b", Est: synth(50, 10, 0)},
+		{Name: "c", Est: synth(50, 10, 0)},
+	}
+	p, err := Place(tenants, Options{Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, deg := p.CostOf(0); deg > 1.5+1e-9 {
+		t.Fatalf("limited tenant degraded %vx > 1.5x", deg)
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	if _, err := Place(nil, Options{Servers: 1}); err == nil {
+		t.Fatal("no tenants should error")
+	}
+	tn := []Tenant{{Name: "a", Est: synth(10, 5, 0)}}
+	if _, err := Place(tn, Options{Servers: 0}); err == nil {
+		t.Fatal("zero servers should error")
+	}
+	// MinShare 0.5 → 2 slots per machine; 3 tenants on 1 machine cannot fit.
+	many := []Tenant{
+		{Name: "a", Est: synth(10, 5, 0)},
+		{Name: "b", Est: synth(10, 5, 0)},
+		{Name: "c", Est: synth(10, 5, 0)},
+	}
+	if _, err := Place(many, Options{Servers: 1, Core: core.Options{MinShare: 0.5, Delta: 0.25}}); err == nil {
+		t.Fatal("over-capacity placement should error")
+	}
+}
+
+func TestPlaceFillsBeforeOverflow(t *testing.T) {
+	// More tenants than one machine's slots: the overflow must land on
+	// the second machine, and every tenant must be assigned somewhere.
+	var tenants []Tenant
+	for i := 0; i < 3; i++ {
+		tenants = append(tenants, Tenant{Name: fmt.Sprintf("t%d", i), Est: synth(20, 10, 0)})
+	}
+	p, err := Place(tenants, Options{Servers: 2, Core: core.Options{MinShare: 0.5, Delta: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, s := range p.Assignment {
+		counts[s]++
+	}
+	if counts[0]+counts[1] != 3 || counts[0] > 2 || counts[1] > 2 {
+		t.Fatalf("bad distribution: %v", p.Assignment)
+	}
+}

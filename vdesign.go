@@ -78,15 +78,24 @@ type TenantHandle struct {
 // Name returns the tenant's name.
 func (t *TenantHandle) Name() string { return t.name }
 
-// NewServer creates a server with the default simulated hardware and runs
-// the one-time optimizer calibrations (§4.3) for both DBMS flavors.
+// NewServer creates a server with the default simulated hardware. The
+// one-time optimizer calibrations (§4.3) for both DBMS flavors come from
+// the process-wide calibration cache keyed by the machine profile, so
+// only the first server constructed on a given profile pays for them —
+// every later Server (or Cluster) construction is cheap.
 func NewServer() (*Server, error) {
-	m := vmsim.Default()
-	pg, err := calibrate.CalibratePG(m, calibrate.Options{})
+	return NewServerOn(vmsim.Default())
+}
+
+// NewServerOn creates a server on an explicitly configured simulated
+// machine, sharing calibrations with every other server on the same
+// machine profile.
+func NewServerOn(m *vmsim.Machine) (*Server, error) {
+	pg, err := calibrate.PGFor(m, calibrate.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("vdesign: calibrating PostgreSQL: %w", err)
 	}
-	db2, err := calibrate.CalibrateDB2(m, calibrate.Options{})
+	db2, err := calibrate.DB2For(m, calibrate.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("vdesign: calibrating DB2: %w", err)
 	}
@@ -110,38 +119,44 @@ func (s *Server) AddTenant(name string, f Flavor, schema *catalog.Schema, statem
 
 // AddTenantWorkload registers a VM with a fully specified workload.
 func (s *Server) AddTenantWorkload(name string, f Flavor, schema *catalog.Schema, w *workload.Workload) (*TenantHandle, error) {
-	if schema == nil || w == nil || len(w.Statements) == 0 {
-		return nil, errors.New("vdesign: tenant needs a schema and a non-empty workload")
-	}
-	var sys dbms.System
-	var est *core.WhatIfEstimator
-	switch f {
-	case PostgreSQL:
-		ps := pgsim.New(schema)
-		sys = ps
-		est = &core.WhatIfEstimator{
-			Sys:             ps,
-			Params:          func(a dbms.Alloc) any { return s.pgCal.Params(a) },
-			Renorm:          s.pgCal.Renorm(),
-			Workload:        w,
-			MachineMemBytes: s.machine.HW.MemoryBytes,
-		}
-	case DB2:
-		ds := db2sim.New(schema)
-		sys = ds
-		est = &core.WhatIfEstimator{
-			Sys:             ds,
-			Params:          func(a dbms.Alloc) any { return s.db2Cal.Params(a) },
-			Renorm:          s.db2Cal.Renorm(),
-			Workload:        w,
-			MachineMemBytes: s.machine.HW.MemoryBytes,
-		}
-	default:
-		return nil, fmt.Errorf("vdesign: unknown flavor %d", f)
+	sys, est, err := newTenantEstimator(f, schema, w, s.machine, s.pgCal, s.db2Cal)
+	if err != nil {
+		return nil, err
 	}
 	t := &TenantHandle{index: len(s.tenants), name: name, sys: sys, w: w, est: est}
 	s.tenants = append(s.tenants, t)
 	return t, nil
+}
+
+// newTenantEstimator builds the simulated DBMS and the calibrated what-if
+// estimator for one tenant; shared by Server and Cluster.
+func newTenantEstimator(f Flavor, schema *catalog.Schema, w *workload.Workload, m *vmsim.Machine,
+	pgCal *calibrate.PGResult, db2Cal *calibrate.DB2Result) (dbms.System, *core.WhatIfEstimator, error) {
+	if schema == nil || w == nil || len(w.Statements) == 0 {
+		return nil, nil, errors.New("vdesign: tenant needs a schema and a non-empty workload")
+	}
+	switch f {
+	case PostgreSQL:
+		ps := pgsim.New(schema)
+		return ps, &core.WhatIfEstimator{
+			Sys:             ps,
+			Params:          func(a dbms.Alloc) any { return pgCal.Params(a) },
+			Renorm:          pgCal.Renorm(),
+			Workload:        w,
+			MachineMemBytes: m.HW.MemoryBytes,
+		}, nil
+	case DB2:
+		ds := db2sim.New(schema)
+		return ds, &core.WhatIfEstimator{
+			Sys:             ds,
+			Params:          func(a dbms.Alloc) any { return db2Cal.Params(a) },
+			Renorm:          db2Cal.Renorm(),
+			Workload:        w,
+			MachineMemBytes: m.HW.MemoryBytes,
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("vdesign: unknown flavor %d", f)
+	}
 }
 
 // SetQoS sets a tenant's degradation limit and gain factor.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/tpcc"
 	"repro/internal/tpch"
 )
@@ -153,6 +154,38 @@ func TestServerRecommendParallelParity(t *testing.T) {
 		}
 		if recSeq.EstimatedSeconds(hSeq[i]) != recPar.EstimatedSeconds(hPar[i]) {
 			t.Fatalf("tenant %d: estimates diverge", i)
+		}
+	}
+}
+
+// The per-statement fan-out inside one what-if estimate must return
+// bit-identical cost and plan signature at any worker count: the
+// enumerators lean on that when Parallelism > 1.
+func TestWhatIfEstimateConcurrentParity(t *testing.T) {
+	srv := newTestServer(t)
+	var queries []string
+	for q := 1; q <= tpch.QueryCount; q++ {
+		queries = append(queries, tpch.QueryText(q))
+	}
+	h, err := srv.AddTenant("dss", PostgreSQL, tpch.Schema(1), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := srv.tenants[h.index].est
+	for _, a := range []core.Allocation{{0.3, 0.7}, {0.55, 0.45}, {1, 1}} {
+		seq, sigSeq, err := est.Estimate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			par, sigPar, err := est.EstimateConcurrent(context.Background(), w, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par != seq || sigPar != sigSeq {
+				t.Fatalf("workers=%d at %v: (%v, %q) vs sequential (%v, %q)",
+					w, a, par, sigPar, seq, sigSeq)
+			}
 		}
 	}
 }
