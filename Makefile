@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-smoke lint fmt vet check
+.PHONY: build test race bench bench-all bench-smoke examples lint fmt vet check
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Parallel-search benchmarks: greedy, the exhaustive oracle, and cluster
-# placement across worker counts (results are bit-identical; only
-# wall-clock changes).
+# Parallel-search benchmarks: greedy, the exhaustive oracle, cluster
+# placement, and the fleet period loop across worker counts (results are
+# bit-identical; only wall-clock changes).
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace|FleetPeriod' -benchtime 10x .
 
 # Full paper-reproduction benchmark suite (every figure/table).
 bench-all:
@@ -30,6 +30,12 @@ bench-all:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Build (compile + link) every example program; binaries land in a
+# scratch dir so the repo stays clean.
+examples:
+	@set -e; mkdir -p .bin; for d in examples/*; do \
+		echo "build $$d"; $(GO) build -o .bin/ "./$$d"; done; rm -rf .bin
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -39,4 +45,4 @@ vet:
 
 lint: fmt vet
 
-check: build lint test race bench-smoke
+check: build lint test race bench-smoke examples

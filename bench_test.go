@@ -80,6 +80,7 @@ func BenchmarkFig34RefineMultiImprove(b *testing.B)  { runExperiment(b, "fig34")
 func BenchmarkFig35DynamicShares(b *testing.B)       { runExperiment(b, "fig35") }
 func BenchmarkFig36DynamicImprove(b *testing.B)      { runExperiment(b, "fig36") }
 func BenchmarkSec72SearchCost(b *testing.B)          { runExperiment(b, "sec7.2") }
+func BenchmarkFleetMigration(b *testing.B)           { runExperiment(b, "fleet-migration") }
 func BenchmarkAblationCostCache(b *testing.B)        { runExperiment(b, "ablation-cache") }
 func BenchmarkAblationDelta(b *testing.B)            { runExperiment(b, "ablation-delta") }
 func BenchmarkAblationCalibrationGrid(b *testing.B)  { runExperiment(b, "ablation-calibgrid") }
@@ -149,6 +150,42 @@ func BenchmarkExhaustiveParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("tenants=4/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Exhaustive(ests, core.Options{Delta: 0.1, Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetPeriod measures one fleet monitoring period in steady
+// state — the orchestrator's hot path: candidate + stay-put placement
+// pricing plus the per-machine dynamic-management loop — on a 3-machine,
+// 2-profile fleet with 6 tenants, across worker counts. Reports are
+// bit-identical across the sub-benchmarks.
+func BenchmarkFleetPeriod(b *testing.B) {
+	schema := tpch.Schema(1)
+	for _, workers := range []int{1, 4} {
+		f := NewFleet(&FleetOptions{MigrationCost: 5, Delta: 0.1, Parallelism: workers})
+		for _, p := range []MachineProfile{{}, {}, {CPUHz: 1.1e9, MemoryBytes: 4 << 30}} {
+			if _, err := f.AddServer(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i, q := range []int{1, 18, 6, 5, 14, 17} {
+			flavor := PostgreSQL
+			if i%2 == 1 {
+				flavor = DB2
+			}
+			if _, err := f.AddTenant(fmt.Sprintf("t%d", i), flavor, schema, []string{tpch.QueryText(q)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := f.Period(); err != nil { // initial placement + warm caches
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Period(); err != nil {
 					b.Fatal(err)
 				}
 			}

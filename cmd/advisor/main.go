@@ -7,10 +7,20 @@
 // identical machines (the cluster placement layer) before splitting each
 // machine's resources.
 //
+// With -periods N > 1 the advisor runs the fleet orchestrator instead:
+// the tenants are placed once and then driven through N monitoring
+// periods of dynamic management, re-examining placement each period
+// under the -migration-cost penalty per moved tenant. Heterogeneous
+// fleets are described with repeatable -profile cpuGHz:memGB flags (each
+// adds one server of that hardware generation; without -profile the
+// fleet is -servers identical default machines).
+//
 // Examples:
 //
 //	advisor -tenant dss:pg:tpch1 -tenant oltp:db2:tpcc -qos oltp:limit=2.5
 //	advisor -servers 2 -tenant a:pg:tpch1 -tenant b:pg:tpch1 -tenant c:db2:tpcc
+//	advisor -periods 4 -migration-cost 10 -profile 2.2:8 -profile 1.1:4 \
+//	    -tenant a:pg:tpch1 -tenant b:db2:tpcc
 package main
 
 import (
@@ -43,12 +53,16 @@ type tenantSpec struct {
 }
 
 func main() {
-	var tenants, qos tenantFlag
+	var tenants, qos, profiles tenantFlag
 	flag.Var(&tenants, "tenant", "tenant spec name:flavor:benchmark (repeatable)")
 	flag.Var(&qos, "qos", "QoS spec name:limit=L or name:gain=G (repeatable)")
+	flag.Var(&profiles, "profile", "fleet server profile cpuGHz:memGB (repeatable; fleet mode only)")
 	delta := flag.Float64("delta", 0.05, "greedy step size")
 	refine := flag.Bool("refine", false, "apply online refinement after the initial recommendation")
 	servers := flag.Int("servers", 1, "number of identical physical servers; > 1 places tenants across machines")
+	periods := flag.Int("periods", 1, "monitoring periods; > 1 runs the fleet orchestrator")
+	migrationCost := flag.Float64("migration-cost", 0,
+		"fleet mode: penalty (gain-weighted seconds) per moved tenant when re-placing")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
 	flag.Parse()
@@ -58,6 +72,9 @@ func main() {
 	}
 	if *servers < 1 {
 		fatal(fmt.Errorf("-servers must be at least 1, got %d", *servers))
+	}
+	if *periods < 1 {
+		fatal(fmt.Errorf("-periods must be at least 1, got %d", *periods))
 	}
 
 	specs, err := parseTenants(tenants)
@@ -70,6 +87,26 @@ func main() {
 	}
 	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism}
 
+	if *periods > 1 {
+		if *refine {
+			fatal(fmt.Errorf("-refine applies to single-server runs; the fleet refines per period"))
+		}
+		if len(profiles) > 0 && *servers != 1 {
+			fatal(fmt.Errorf("-servers cannot be combined with -profile; each -profile flag adds one server"))
+		}
+		machines, err := parseProfiles(profiles, *servers)
+		if err != nil {
+			fatal(err)
+		}
+		runFleet(specs, qosOf, machines, *periods, *migrationCost, *delta, *parallelism)
+		return
+	}
+	if len(profiles) > 0 {
+		fatal(fmt.Errorf("-profile requires fleet mode (-periods > 1)"))
+	}
+	if *migrationCost != 0 {
+		fatal(fmt.Errorf("-migration-cost requires fleet mode (-periods > 1)"))
+	}
 	if *servers > 1 {
 		if *refine {
 			fatal(fmt.Errorf("-refine applies to single-server runs; re-place instead"))
@@ -78,6 +115,79 @@ func main() {
 		return
 	}
 	runSingle(specs, qosOf, *refine, opts)
+}
+
+// parseProfiles maps -profile flags (cpuGHz:memGB) to machine profiles;
+// without any, the fleet is `servers` identical default machines.
+func parseProfiles(profiles []string, servers int) ([]vdesign.MachineProfile, error) {
+	if len(profiles) == 0 {
+		return make([]vdesign.MachineProfile, servers), nil
+	}
+	out := make([]vdesign.MachineProfile, 0, len(profiles))
+	for _, spec := range profiles {
+		cpuS, memS, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad profile spec %q (want cpuGHz:memGB)", spec)
+		}
+		cpu, err := strconv.ParseFloat(cpuS, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad profile cpu %q: %w", cpuS, err)
+		}
+		mem, err := strconv.ParseFloat(memS, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad profile memory %q: %w", memS, err)
+		}
+		if cpu <= 0 || mem <= 0 {
+			return nil, fmt.Errorf("profile %q must be positive", spec)
+		}
+		out = append(out, vdesign.MachineProfile{CPUHz: cpu * 1e9, MemoryBytes: mem * float64(1<<30)})
+	}
+	return out, nil
+}
+
+// runFleet drives the tenants through monitoring periods on a (possibly
+// heterogeneous) fleet, reporting placement and tuning per period.
+func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesign.MachineProfile,
+	periods int, migrationCost, delta float64, parallelism int) {
+	f := vdesign.NewFleet(&vdesign.FleetOptions{
+		MigrationCost: migrationCost,
+		Delta:         delta,
+		Parallelism:   parallelism,
+	})
+	for _, p := range machines {
+		if _, err := f.AddServer(p); err != nil {
+			fatal(err)
+		}
+	}
+	handles := make([]*vdesign.FleetTenant, len(specs))
+	for i, sp := range specs {
+		h, err := f.AddTenantWorkload(sp.name, sp.flavor, sp.schema, sp.w)
+		if err != nil {
+			fatal(err)
+		}
+		if q, ok := qosOf[sp.name]; ok {
+			f.SetQoS(h, q)
+		}
+		handles[i] = h
+	}
+	var rep *vdesign.FleetPeriodReport
+	for p := 1; p <= periods; p++ {
+		var err error
+		rep, err = f.Period()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("period %d: cost=%.1fs migrations=%d rebuilds=%d max-degradation=%.2fx replaced=%v\n",
+			rep.Period(), rep.TotalCost(), rep.Migrations(), rep.Rebuilds(),
+			rep.MaxDegradation(), rep.Replaced())
+	}
+	fmt.Printf("\n%-12s %8s %8s %8s %12s\n", "tenant", "server", "cpu", "memory", "degradation")
+	for _, h := range handles {
+		cpu, mem := rep.Shares(h)
+		fmt.Printf("%-12s %8d %7.1f%% %7.1f%% %11.2fx\n",
+			h.ID(), rep.ServerOf(h), cpu*100, mem*100, rep.Degradation(h))
+	}
+	fmt.Printf("fleet of %d servers, migration cost %.1fs/move\n", f.Servers(), migrationCost)
 }
 
 // runSingle is the paper's single-machine advisor.

@@ -1,0 +1,100 @@
+// Fleet walkthrough: a heterogeneous cluster managed through time. Three
+// servers across two hardware generations host six database tenants;
+// over five monitoring periods one tenant's workload drifts, one tenant
+// departs, and a new one arrives. The fleet orchestrator re-examines
+// placement each period but only migrates tenants when the estimated
+// improvement beats a configurable migration penalty — the same scenario
+// is run with free migrations (penalty 0) and with a priced penalty, to
+// show the hysteresis: the priced fleet moves tenants only when a
+// departure frees a machine genuinely worth moving to.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/tpch"
+	"repro/internal/workload"
+
+	vdesign "repro"
+)
+
+// oldGen is the previous hardware generation: half the CPU, half the
+// memory of the standard machine.
+var oldGen = vdesign.MachineProfile{CPUHz: 1.1e9, MemoryBytes: 4 << 30}
+
+func runScenario(migrationCost float64) {
+	f := vdesign.NewFleet(&vdesign.FleetOptions{
+		MigrationCost: migrationCost,
+		Delta:         0.1,
+		Parallelism:   runtime.GOMAXPROCS(0),
+	})
+	for _, p := range []vdesign.MachineProfile{{}, {}, oldGen} {
+		if _, err := f.AddServer(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	schema := tpch.Schema(1)
+	add := func(id string, flavor vdesign.Flavor, queries ...int) *vdesign.FleetTenant {
+		var sql []string
+		for _, q := range queries {
+			sql = append(sql, tpch.QueryText(q))
+		}
+		h, err := f.AddTenant(id, flavor, schema, sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	reporting := add("reporting", vdesign.PostgreSQL, 1)
+	orders := add("orders", vdesign.DB2, 18)
+	add("adhoc1", vdesign.PostgreSQL, 6)
+	add("adhoc2", vdesign.DB2, 5)
+	batch := add("batch", vdesign.PostgreSQL, 14)
+	add("audit", vdesign.DB2, 17)
+	// The orders tenant carries a §3 QoS guarantee that travels with it
+	// across machines.
+	f.SetQoS(orders, vdesign.QoS{DegradationLimit: 3})
+
+	fmt.Printf("--- migration penalty %.0f gain-weighted seconds per move ---\n", migrationCost)
+	for period := 1; period <= 5; period++ {
+		switch period {
+		case 3:
+			// The reporting workload drifts to a heavier statement mix: a
+			// major change the per-machine managers detect and rebuild for.
+			w := &workload.Workload{Name: "reporting"}
+			w.Statements = append(w.Statements, tpch.Statement(1), tpch.Statement(18))
+			if err := f.SetWorkload(reporting, w); err != nil {
+				log.Fatal(err)
+			}
+		case 4:
+			// The batch tenant departs — its machine may now be worth
+			// vacating into, which is exactly what the penalty arbitrates.
+			f.RemoveTenant(batch)
+			if _, err := f.AddTenant("ingest", vdesign.PostgreSQL, schema,
+				[]string{tpch.QueryText(19)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rep, err := f.Period()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("period %d: cost=%7.1fs migrations=%d arrivals=%d departures=%d rebuilds=%d replaced=%v\n",
+			rep.Period(), rep.TotalCost(), rep.Migrations(), rep.Arrivals(),
+			rep.Departures(), rep.Rebuilds(), rep.Replaced())
+	}
+	total := 0.0
+	migrations := 0
+	for _, rep := range f.Report() {
+		total += rep.TotalCost()
+		migrations += rep.Migrations()
+	}
+	fmt.Printf("total: %.1f gain-weighted seconds, %d migrations\n\n", total, migrations)
+}
+
+func main() {
+	runScenario(0)  // free migrations: the fleet re-places every period
+	runScenario(25) // priced migrations: move only when it pays
+}

@@ -1,0 +1,394 @@
+package vdesign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dbms"
+	"repro/internal/fleet"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+// MachineProfile describes one fleet server's hardware generation. Zero
+// fields take the standard experimental machine's values, so
+// MachineProfile{} is the paper's server and
+// MachineProfile{CPUHz: 1.1e9, MemoryBytes: 4 << 30} is an older
+// half-size box. Servers with equal profiles share one PostgreSQL and
+// one DB2 calibration from the process-wide calibration cache; each
+// distinct profile is calibrated once per process (§4.3).
+type MachineProfile struct {
+	// CPUHz is effective instructions per second at a 100% CPU share.
+	CPUHz float64
+	// MemoryBytes is the machine memory divided among its VMs.
+	MemoryBytes float64
+	// IOContention multiplies I/O service times (the §7.1 noise VM; the
+	// default is 2.0).
+	IOContention float64
+}
+
+// machineOf builds the simulated machine for a profile.
+func (p MachineProfile) machineOf() *vmsim.Machine {
+	hw := vmsim.DefaultHardware()
+	if p.CPUHz > 0 {
+		hw.CPUHz = p.CPUHz
+	}
+	if p.MemoryBytes > 0 {
+		hw.MemoryBytes = p.MemoryBytes
+	}
+	io := p.IOContention
+	if io <= 0 {
+		io = 2.0
+	}
+	return vmsim.New(hw, io)
+}
+
+// FleetOptions tunes a fleet run.
+type FleetOptions struct {
+	// MigrationCost is the penalty, in gain-weighted estimated seconds,
+	// charged per moved tenant when deciding whether to adopt a
+	// re-placement each period. 0 means migrations are free (the fleet
+	// adopts the fresh placement every period); math.Inf(1) freezes the
+	// initial placement.
+	MigrationCost float64
+	// Delta is the advisor's greedy step (default 5%).
+	Delta float64
+	// Parallelism bounds concurrent what-if estimations (default 1).
+	// Reports are bit-identical across settings.
+	Parallelism int
+	// Context cancels long-running periods; nil means no cancellation.
+	Context context.Context
+}
+
+// fleetCal is one hardware profile's machine and calibrations.
+type fleetCal struct {
+	machine *vmsim.Machine
+	pg      *calibrate.PGResult
+	db2     *calibrate.DB2Result
+}
+
+// Fleet is a heterogeneous cluster of servers managed through monitoring
+// periods: the dynamic multi-machine layer above Cluster. Each Period
+// call re-examines tenant placement (arrivals are seated, migrations
+// happen only when the estimated improvement beats
+// FleetOptions.MigrationCost per moved tenant) and re-tunes every
+// machine's resource shares through the §6 dynamic-management loop.
+type Fleet struct {
+	opts     FleetOptions
+	machines []*vmsim.Machine
+	keys     []string // profile key per server
+	cals     map[string]*fleetCal
+	tenants  []*FleetTenant
+	seq      int // tenant registration counter (see FleetTenant.key)
+	orch     *fleet.Orchestrator
+	reports  []*FleetPeriodReport
+}
+
+// FleetTenant identifies one tenant registered with a fleet.
+type FleetTenant struct {
+	id string
+	// key is the orchestrator-facing identity: the user ID plus a
+	// registration sequence number, so re-registering a removed tenant's
+	// ID is a fresh arrival — it must never inherit the departed
+	// tenant's assignment or refined models.
+	key     string
+	flavor  Flavor
+	schema  *catalog.Schema
+	w       *workload.Workload
+	sys     dbms.System
+	qos     QoS
+	removed bool
+	// ests caches the per-profile what-if estimators for the current
+	// workload; SetWorkload invalidates it.
+	ests map[string]*core.WhatIfEstimator
+}
+
+// ID returns the tenant's identifier.
+func (t *FleetTenant) ID() string { return t.id }
+
+// NewFleet creates an empty fleet. Add servers with AddServer and
+// tenants with AddTenant, then drive monitoring periods with Period.
+func NewFleet(opts *FleetOptions) *Fleet {
+	f := &Fleet{cals: map[string]*fleetCal{}}
+	if opts != nil {
+		f.opts = *opts
+	}
+	return f
+}
+
+// profileKeyOf folds a machine's hardware into the fleet's profile key;
+// equal hardware shares estimators, calibrations, and placement's
+// empty-machine pruning.
+func profileKeyOf(m *vmsim.Machine) string {
+	return fmt.Sprintf("%v|%v", m.HW, m.IOContention)
+}
+
+// AddServer grows the fleet by one server of the given hardware profile
+// and returns its server index. The profile's calibrations come from the
+// process-wide calibration cache, so only the first server (or Server or
+// Cluster) on a distinct profile pays for them. The fleet topology is
+// fixed once the first Period has run.
+func (f *Fleet) AddServer(p MachineProfile) (int, error) {
+	if f.orch != nil {
+		return 0, errors.New("vdesign: fleet topology is fixed once periods begin")
+	}
+	m := p.machineOf()
+	key := profileKeyOf(m)
+	if _, ok := f.cals[key]; !ok {
+		pg, err := calibrate.PGFor(m, calibrate.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("vdesign: calibrating PostgreSQL: %w", err)
+		}
+		db2, err := calibrate.DB2For(m, calibrate.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("vdesign: calibrating DB2: %w", err)
+		}
+		f.cals[key] = &fleetCal{machine: m, pg: pg, db2: db2}
+	}
+	f.machines = append(f.machines, m)
+	f.keys = append(f.keys, key)
+	return len(f.machines) - 1, nil
+}
+
+// Servers returns the fleet size.
+func (f *Fleet) Servers() int { return len(f.machines) }
+
+// AddTenant registers a tenant: a VM running the given DBMS flavor over
+// a schema with a workload of SQL statements. The ID names the tenant
+// across periods (arrivals mid-run are simply tenants added between
+// Period calls). IDs must be unique among live tenants.
+func (f *Fleet) AddTenant(id string, flavor Flavor, schema *catalog.Schema, statements []string) (*FleetTenant, error) {
+	w := &workload.Workload{Name: id}
+	for _, sql := range statements {
+		w.Statements = append(w.Statements, workload.MustStatement(sql))
+	}
+	return f.AddTenantWorkload(id, flavor, schema, w)
+}
+
+// AddTenantWorkload registers a tenant with a fully specified workload.
+func (f *Fleet) AddTenantWorkload(id string, flavor Flavor, schema *catalog.Schema, w *workload.Workload) (*FleetTenant, error) {
+	if id == "" {
+		return nil, errors.New("vdesign: fleet tenant needs an ID")
+	}
+	for _, t := range f.tenants {
+		if !t.removed && t.id == id {
+			return nil, fmt.Errorf("vdesign: duplicate fleet tenant ID %q", id)
+		}
+	}
+	if schema == nil || w == nil || len(w.Statements) == 0 {
+		return nil, errors.New("vdesign: tenant needs a schema and a non-empty workload")
+	}
+	sys, err := newSystem(flavor, schema)
+	if err != nil {
+		return nil, err
+	}
+	t := &FleetTenant{id: id, key: fmt.Sprintf("%s#%d", id, f.seq), flavor: flavor, schema: schema, w: w, sys: sys}
+	f.seq++
+	f.tenants = append(f.tenants, t)
+	return t, nil
+}
+
+// SetQoS sets a tenant's degradation limit and gain factor; they travel
+// with the tenant across machines.
+func (f *Fleet) SetQoS(t *FleetTenant, q QoS) { t.qos = q }
+
+// SetWorkload replaces a tenant's workload — the fleet-level form of
+// workload drift. The next Period observes the new workload, and each
+// machine's manager classifies the change (§6.1) from the per-query
+// estimate shift.
+func (f *Fleet) SetWorkload(t *FleetTenant, w *workload.Workload) error {
+	if w == nil || len(w.Statements) == 0 {
+		return errors.New("vdesign: tenant workload must be non-empty")
+	}
+	t.w = w
+	t.ests = nil
+	return nil
+}
+
+// RemoveTenant departs a tenant from the fleet: the next Period drops
+// its state and frees its shares.
+func (f *Fleet) RemoveTenant(t *FleetTenant) { t.removed = true }
+
+// estOn returns (building if needed) the tenant's what-if estimator for
+// one profile key: the current workload costed under that profile's
+// calibration and machine memory.
+func (f *Fleet) estOn(t *FleetTenant, key string) *core.WhatIfEstimator {
+	if est, ok := t.ests[key]; ok {
+		return est
+	}
+	cal := f.cals[key]
+	est := whatIfEstimator(t.flavor, t.sys, t.w, cal.pg, cal.db2, cal.machine.HW.MemoryBytes)
+	if t.ests == nil {
+		t.ests = map[string]*core.WhatIfEstimator{}
+	}
+	t.ests[key] = est
+	return est
+}
+
+// coreOpts shapes the advisor-option template for the orchestrator.
+func (f *Fleet) coreOpts() core.Options {
+	co := core.Options{Resources: 2}
+	if f.opts.Delta > 0 {
+		co.Delta = f.opts.Delta
+	}
+	co.Parallelism = f.opts.Parallelism
+	co.Ctx = f.opts.Context
+	return co
+}
+
+// avgRef is the fixed reference allocation for the §6.1 change metric.
+var avgRef = core.Allocation{0.5, 0.5}
+
+// periodInputs builds the orchestrator inputs for the live tenants. The
+// AvgEstPerQuery metric is always measured on server 0's profile so that
+// period-over-period changes reflect the workload, not a migration.
+func (f *Fleet) periodInputs() ([]fleet.Tenant, error) {
+	var inputs []fleet.Tenant
+	for _, t := range f.tenants {
+		if t.removed {
+			continue
+		}
+		t := t
+		w, sys := t.w, t.sys // snapshot: SetWorkload may drift them later
+		avg, err := f.estOn(t, f.keys[0]).AvgEstimatePerQuery(avgRef)
+		if err != nil {
+			return nil, fmt.Errorf("vdesign: tenant %q change metric: %w", t.id, err)
+		}
+		in := fleet.Tenant{
+			ID:             t.key,
+			AvgEstPerQuery: avg,
+			EstFor: func(profile string) core.Estimator {
+				return f.estOn(t, profile)
+			},
+			Measure: func(server int, a core.Allocation) (float64, error) {
+				alloc := dbms.Alloc{CPU: a[0], Mem: a[1]}.Clamp(0.01)
+				return f.machines[server].RunWorkload(sys, w, alloc)
+			},
+		}
+		if t.qos.GainFactor >= 1 {
+			in.Gain = t.qos.GainFactor
+		}
+		if t.qos.DegradationLimit >= 1 {
+			in.Limit = t.qos.DegradationLimit
+		}
+		inputs = append(inputs, in)
+	}
+	if len(inputs) == 0 {
+		return nil, errors.New("vdesign: fleet has no live tenants")
+	}
+	return inputs, nil
+}
+
+// Period runs one monitoring period: place (or keep) every live tenant,
+// then classify, re-tune, measure, and refine each machine. The first
+// call fixes the fleet topology and performs the initial placement.
+// Reports are bit-identical across FleetOptions.Parallelism settings.
+func (f *Fleet) Period() (*FleetPeriodReport, error) {
+	if len(f.machines) == 0 {
+		return nil, errors.New("vdesign: fleet has no servers")
+	}
+	if f.orch == nil {
+		orch, err := fleet.New(fleet.Options{
+			Profiles:      f.keys,
+			MigrationCost: f.opts.MigrationCost,
+			Core:          f.coreOpts(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vdesign: %w", err)
+		}
+		f.orch = orch
+	}
+	inputs, err := f.periodInputs()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := f.orch.Period(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("vdesign: fleet period: %w", err)
+	}
+	// The period observed every departure, so removed tenants can be
+	// released — a long-lived fleet with per-period churn must not grow
+	// with its total departure count. (Their handles stay usable against
+	// earlier reports, which are keyed by the tenant's registration key.)
+	live := f.tenants[:0]
+	for _, t := range f.tenants {
+		if !t.removed {
+			live = append(live, t)
+		}
+	}
+	f.tenants = live
+	out := &FleetPeriodReport{fleet: f, rep: rep}
+	f.reports = append(f.reports, out)
+	return out, nil
+}
+
+// Report returns the fleet's per-period history so far.
+func (f *Fleet) Report() []*FleetPeriodReport {
+	return append([]*FleetPeriodReport(nil), f.reports...)
+}
+
+// FleetPeriodReport is the outcome of one fleet monitoring period.
+type FleetPeriodReport struct {
+	fleet *Fleet
+	rep   *fleet.PeriodReport
+}
+
+// Period is the 1-based period number.
+func (r *FleetPeriodReport) Period() int { return r.rep.Period }
+
+// Migrations counts surviving tenants that changed servers this period.
+func (r *FleetPeriodReport) Migrations() int { return r.rep.Migrations }
+
+// Arrivals and Departures count tenant-set changes vs the previous
+// period.
+func (r *FleetPeriodReport) Arrivals() int   { return r.rep.Arrivals }
+func (r *FleetPeriodReport) Departures() int { return r.rep.Departures }
+
+// Replaced reports whether the period adopted the fresh re-placement
+// (vs keeping survivors put under the migration penalty).
+func (r *FleetPeriodReport) Replaced() bool { return r.rep.Replaced }
+
+// TotalCost is the fleet's gain-weighted estimated cost at the deployed
+// allocations.
+func (r *FleetPeriodReport) TotalCost() float64 { return r.rep.TotalCost }
+
+// CandidateCost and StayCost are the placement objectives the migration
+// decision compared.
+func (r *FleetPeriodReport) CandidateCost() float64 { return r.rep.CandidateCost }
+func (r *FleetPeriodReport) StayCost() float64      { return r.rep.StayCost }
+
+// MaxDegradation is the worst per-tenant degradation this period;
+// QoSViolations counts tenants past their limit; Rebuilds counts §6.2
+// cost-model rebuilds.
+func (r *FleetPeriodReport) MaxDegradation() float64 { return r.rep.MaxDegradation }
+func (r *FleetPeriodReport) QoSViolations() int      { return r.rep.QoSViolations }
+func (r *FleetPeriodReport) Rebuilds() int           { return r.rep.Rebuilds }
+
+// ServerOf returns the server a tenant was assigned to this period, or
+// -1 if the tenant was not part of the period.
+func (r *FleetPeriodReport) ServerOf(t *FleetTenant) int {
+	if s, ok := r.rep.Assignment[t.key]; ok {
+		return s
+	}
+	return -1
+}
+
+// Shares returns (cpuShare, memShare) deployed for a tenant this period
+// (zeros if the tenant was not part of the period).
+func (r *FleetPeriodReport) Shares(t *FleetTenant) (cpu, mem float64) {
+	if a, ok := r.rep.Allocations[t.key]; ok && len(a) >= 2 {
+		return a[0], a[1]
+	}
+	return 0, 0
+}
+
+// Degradation returns the tenant's estimated degradation vs a dedicated
+// machine of its server's profile (0 if the tenant was not part of the
+// period).
+func (r *FleetPeriodReport) Degradation(t *FleetTenant) float64 {
+	return r.rep.Degradations[t.key]
+}

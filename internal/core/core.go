@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -276,7 +277,13 @@ func (s *searcher) cost(i int, a Allocation, stmtWorkers int) (Sample, error) {
 	return e.sm, e.err
 }
 
-// samples collects every resolved evaluation of workload i.
+// samples collects every resolved evaluation of workload i, sorted by
+// allocation. The memo shards iterate in map order, so without the sort
+// the sample order — and everything fitted to it, like the refinement
+// layer's regression models — would vary run to run even at Parallelism
+// 1; the sort makes Result.Samples (and every layer above it)
+// deterministic. Allocations are unique per sample (one memo entry per
+// quantized key), so the order is total.
 func (s *searcher) samples(i int) []Sample {
 	var out []Sample
 	for j := range s.shards[i] {
@@ -289,6 +296,15 @@ func (s *searcher) samples(i int) []Sample {
 		}
 		sh.mu.Unlock()
 	}
+	sort.Slice(out, func(x, y int) bool {
+		ax, ay := out[x].Alloc, out[y].Alloc
+		for j := range ax {
+			if ax[j] != ay[j] {
+				return ax[j] < ay[j]
+			}
+		}
+		return false
+	})
 	return out
 }
 

@@ -155,6 +155,49 @@ func NewManager(n int, opts core.Options) *Manager {
 	return m
 }
 
+// State is an opaque deep snapshot of a manager's accumulated per-tenant
+// state. A single Period call is already transactional on its own; the
+// Snapshot/Restore pair extends that guarantee to callers coordinating
+// several managers — the fleet orchestrator snapshots every machine's
+// manager before a period and restores them all if any machine fails, so
+// a fleet period commits everywhere or nowhere.
+type State struct {
+	tenants []*tenantState
+	ids     []string
+	prev    []core.Allocation
+	mode    inputMode
+}
+
+// cloneTenants deep-copies per-tenant states (models included).
+func cloneTenants(in []*tenantState) []*tenantState {
+	out := make([]*tenantState, len(in))
+	for i, ts := range in {
+		c := *ts
+		c.model = ts.model.Clone()
+		out[i] = &c
+	}
+	return out
+}
+
+// Snapshot captures the manager's state; Restore returns to it.
+func (m *Manager) Snapshot() *State {
+	return &State{
+		tenants: cloneTenants(m.tenants),
+		ids:     append([]string(nil), m.ids...),
+		prev:    cloneAllocs(m.prev),
+		mode:    m.mode,
+	}
+}
+
+// Restore rewinds the manager to a snapshot. The snapshot remains valid
+// (restoring clones again), so one snapshot can back multiple retries.
+func (m *Manager) Restore(s *State) {
+	m.tenants = cloneTenants(s.tenants)
+	m.ids = append([]string(nil), s.ids...)
+	m.prev = cloneAllocs(s.prev)
+	m.mode = s.mode
+}
+
 // reconciled is the tenant state computed from one period's inputs,
 // validated but not yet committed: Period applies it only after all
 // remaining input validation (advisorOpts) has also passed, so a
@@ -294,6 +337,11 @@ func (m *Manager) advisorOpts(inputs []PeriodInput, keyed bool) (core.Options, e
 // per-tenant cost-model basis, re-run the advisor, deploy, measure, and
 // refine. The first call is the initial recommendation (everything is
 // built from the optimizer).
+//
+// Period is transactional: a failure anywhere mid-period (advisor error,
+// measurement error, model rebuild error) restores every tenant's
+// classification state and cost model to their pre-call values, so the
+// manager is fully retryable — the failed period deployed nothing.
 func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 	rec, err := m.reconcile(inputs)
 	if err != nil {
@@ -307,10 +355,25 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 	// succeeds: a mid-period failure (advisor error, measure error) must
 	// not drop a removed tenant's accumulated state — the failed period
 	// deployed nothing, so the caller may retry with the old set.
-	// (Survivor tenantStates are still shared pointers, so the step-1
-	// classification writes below are not rolled back on failure; see the
-	// transactional-Period open item in ROADMAP.md.)
+	// Survivor tenantStates are shared pointers, so every per-tenant
+	// field this period mutates (classification in step 1, models and
+	// error history in step 3) is snapshotted here and restored on any
+	// failure: a failed Period leaves the manager exactly as it found it.
 	tenants := rec.tenants
+	snaps := make([]tenantState, len(tenants))
+	for i, ts := range tenants {
+		snaps[i] = *ts
+		snaps[i].model = ts.model.Clone()
+	}
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		for i, ts := range tenants {
+			*ts = snaps[i]
+		}
+	}()
 	prev := m.prev
 	if rec.resetPrev {
 		prev = nil
@@ -340,9 +403,10 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 
 		if tr.Change == ChangeMajor {
 			// §6.2: discard the refined model; restart from the optimizer.
+			// (prevErr/hasPrevErr need no reset: step 3 unconditionally
+			// records this period's E_ip for every tenant.)
 			ts.model = nil
 			ts.converged = false
-			ts.hasPrevErr = false
 			tr.Rebuilt = true
 		}
 		if tr.Change != ChangeNone {
@@ -398,17 +462,21 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 			tr.Refined = true
 		} else {
 			refineOK := true
-			if tr.Change == ChangeMinor && !ts.converged && ts.hasPrevErr {
+			if !ts.converged && ts.hasPrevErr {
 				// §6.2 guard: continue refinement only if errors are small
-				// or decreasing.
+				// or decreasing. The guard applies to every unconverged
+				// refinement step, not just minor changes: an unchanged
+				// workload whose model extrapolated badly (large, growing
+				// E_ip) must also fall back to the optimizer instead of
+				// oscillating on Act/Est corrections.
 				small := ts.prevErr < m.ErrThreshold && tr.Eip < m.ErrThreshold
 				decreasing := tr.Eip < ts.prevErr
 				if !small && !decreasing && !m.ForceContinuous {
 					// Conservatively treat as major: discard; rebuild next
-					// period from the optimizer.
+					// period from the optimizer. (prevErr/hasPrevErr are
+					// recorded unconditionally below.)
 					ts.model = nil
 					ts.converged = false
-					ts.hasPrevErr = false
 					tr.Rebuilt = true
 					refineOK = false
 				}
@@ -433,6 +501,7 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 			report.Tenants[i].Converged = true
 		}
 	}
+	committed = true
 	m.apply(rec)
 	m.prev = cloneAllocs(res.Allocations)
 	return report, nil

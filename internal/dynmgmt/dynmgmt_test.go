@@ -400,6 +400,89 @@ func TestFailedPeriodPreservesTenantSet(t *testing.T) {
 	}
 }
 
+// Failure injection for the transactional Period: a period that fails at
+// measurement — after step 1 already classified changes and step 3
+// already refined an earlier tenant's model — must restore every
+// tenant's classification state and cost model, so a retry behaves as if
+// the failed call never happened.
+func TestFailedPeriodRestoresClassificationState(t *testing.T) {
+	m := NewManager(2, core.Options{Delta: 0.05})
+	inputs := []PeriodInput{synthInput("a", 30), synthInput("b", 20)}
+	for p := 0; p < 2; p++ {
+		if _, err := m.Period(inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Period 3: tenant a's workload doubles (major change, model
+	// discarded in step 1; then measured and its fresh model refined in
+	// step 3) but tenant b's measurement fails afterwards.
+	badB := synthInput("b", 20)
+	badB.Measure = func(a core.Allocation) (float64, error) {
+		return 0, fmt.Errorf("transient measurement failure")
+	}
+	if _, err := m.Period([]PeriodInput{synthInput("a", 60), badB}); err == nil {
+		t.Fatal("failing Measure must surface an error")
+	}
+	// Retry with the same inputs: a's prevAvg must still be 30, so the
+	// doubled estimate classifies ChangeMajor again. Without the rollback
+	// the failed call already advanced prevAvg to 60 and the retry would
+	// see no change at all.
+	rep, err := m.Period([]PeriodInput{synthInput("a", 60), synthInput("b", 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Tenants[0].Change; got != ChangeMajor {
+		t.Fatalf("retry classified %v, want major: classification state leaked from the failed period", got)
+	}
+	if !rep.Tenants[0].Rebuilt {
+		t.Fatal("retry must rebuild tenant a's model")
+	}
+	if got := rep.Tenants[1].Change; got != ChangeNone {
+		t.Fatalf("tenant b classified %v, want none", got)
+	}
+}
+
+// The same rollback must cover advisor failures (step 2) — including the
+// refined models already scaled by step 1's rebuild decisions — and a
+// converged manager interrupted by a failure must stay converged.
+func TestFailedPeriodRestoresModels(t *testing.T) {
+	m := NewManager(2, core.Options{Delta: 0.05})
+	inputs := []PeriodInput{synthInput("a", 30), synthInput("b", 20)}
+	var last *PeriodReport
+	for p := 0; p < 4; p++ {
+		rep, err := m.Period(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = rep
+	}
+	if !last.Tenants[0].Converged {
+		t.Fatal("setup: stable workload should have converged")
+	}
+	// A failing advisor run aborts the period after step 1 reset the
+	// converged flags (the inputs drifted slightly).
+	m.Recommend = func(ests []core.Estimator, opts core.Options) (*core.Result, error) {
+		return nil, fmt.Errorf("injected advisor failure")
+	}
+	drifted := []PeriodInput{synthInput("a", 31), synthInput("b", 20)}
+	if _, err := m.Period(drifted); err == nil {
+		t.Fatal("failing advisor must surface an error")
+	}
+	m.Recommend = nil
+	// Retry: the drift must classify minor again (prevAvg rolled back)
+	// and refinement must pick up from the restored models.
+	rep, err := m.Period(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Tenants[0].Change; got != ChangeMinor {
+		t.Fatalf("retry classified %v, want minor", got)
+	}
+	if rep.Tenants[0].Rebuilt {
+		t.Fatal("minor drift must refine the restored model, not rebuild it")
+	}
+}
+
 // The Recommend hook lets a placement layer supply each period's
 // allocations; the manager must route every per-period advisor run
 // through it.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -29,6 +30,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"fig26", "fig27", "fig28", "fig29", "fig30", "fig31", "fig32",
 		"fig33", "fig34", "fig35", "fig36", "sec7.2",
 		"ablation-cache", "ablation-delta", "ablation-calibgrid",
+		"fleet-migration",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -38,6 +40,57 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		if !have[id] {
 			t.Errorf("experiment %q missing from registry", id)
 		}
+	}
+}
+
+// The dynamic-fleet sweep's headline shape: the largest migration
+// penalty performs zero migrations, no penalty migrates more than
+// penalty 0, and a well-priced finite penalty achieves an actual
+// (measured) cost no worse than either extreme — thrashing at 0, or
+// freezing the placement at the largest penalty.
+func TestFleetMigrationSweepShape(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fleet-migration", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acts, migs []float64
+	for _, s := range res.Series {
+		switch s.Name {
+		case "total-act-cost":
+			acts = s.Y
+		case "migrations":
+			migs = s.Y
+		}
+	}
+	if len(acts) != len(res.X) || len(migs) != len(res.X) {
+		t.Fatalf("ragged series: %+v", res.Series)
+	}
+	last := len(migs) - 1
+	if migs[last] != 0 {
+		t.Fatalf("largest penalty migrated %v times, want 0", migs[last])
+	}
+	for i := 1; i < len(migs); i++ {
+		if migs[i] > migs[0] {
+			t.Fatalf("penalty %v migrates more (%v) than penalty 0 (%v)", res.X[i], migs[i], migs[0])
+		}
+	}
+	for i, a := range acts {
+		if a <= 0 {
+			t.Fatalf("penalty %v: non-positive actual cost %v", res.X[i], a)
+		}
+	}
+	// The hysteresis sweet spot: some finite nonzero penalty beats (or
+	// ties) both thrashing and freezing on measured cost.
+	best := math.Inf(1)
+	for i := 1; i < last; i++ {
+		if acts[i] < best {
+			best = acts[i]
+		}
+	}
+	if best > acts[0]+1e-9 || best > acts[last]+1e-9 {
+		t.Fatalf("no finite penalty beats both extremes: mid-best %v vs thrash %v / frozen %v",
+			best, acts[0], acts[last])
 	}
 }
 

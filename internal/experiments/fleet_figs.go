@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/calibrate"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dbms"
+	"repro/internal/fleet"
+	"repro/internal/tpch"
+	"repro/internal/vmsim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fleet-migration", FleetMigrationSweep)
+}
+
+// fleetProfile is one hardware generation in the dynamic-fleet
+// experiment: a machine plus its calibrations (from the process-wide
+// cache, so repeated runs calibrate each profile once).
+type fleetProfile struct {
+	key     string
+	machine *vmsim.Machine
+	pg      *calibrate.PGResult
+	db2     *calibrate.DB2Result
+}
+
+func newFleetProfile(key string, m *vmsim.Machine) (*fleetProfile, error) {
+	pg, err := calibrate.PGFor(m, calibrate.Options{})
+	if err != nil {
+		return nil, err
+	}
+	db2, err := calibrate.DB2For(m, calibrate.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &fleetProfile{key: key, machine: m, pg: pg, db2: db2}, nil
+}
+
+// fleetFigTenant is one tenant of the sweep; its workload mutates as the
+// drift script plays out.
+type fleetFigTenant struct {
+	id     string
+	tenant *Tenant // built on the reference machine; Sys is shared
+	w      *workload.Workload
+	schema *catalog.Schema
+}
+
+// estOn builds the tenant's what-if estimator under one profile's
+// calibration (DB2 tenants throughout, like the paper's §7.7+ figures).
+func (ft *fleetFigTenant) estOn(p *fleetProfile) *core.WhatIfEstimator {
+	return &core.WhatIfEstimator{
+		Sys:             ft.tenant.Sys,
+		Params:          func(a dbms.Alloc) any { return p.db2.Params(a) },
+		Renorm:          p.db2.Renorm(),
+		Workload:        ft.w,
+		MachineMemBytes: p.machine.HW.MemoryBytes,
+	}
+}
+
+// FleetMigrationSweep is the dynamic-fleet figure: the same 6-period
+// scenario — workload drift, one departure, one arrival, on 3 machines
+// across 2 hardware generations — run at increasing migration penalties.
+// It reports the fleet's total estimated cost over the run and the
+// number of migrations performed: at penalty 0 the fleet re-places every
+// period (most migrations), while large penalties freeze the initial
+// placement (0 migrations) at some cost — the hysteresis trade-off the
+// orchestrator exposes.
+func FleetMigrationSweep(env *Env) (*Result, error) {
+	big, err := newFleetProfile("big", env.Machine)
+	if err != nil {
+		return nil, err
+	}
+	smallHW := vmsim.DefaultHardware()
+	smallHW.CPUHz /= 2
+	smallHW.MemoryBytes /= 2
+	small, err := newFleetProfile("small", vmsim.New(smallHW, env.Machine.IOContention))
+	if err != nil {
+		return nil, err
+	}
+	profiles := []*fleetProfile{big, big, small}
+	byKey := map[string]*fleetProfile{"big": big, "small": small}
+	keys := make([]string, len(profiles))
+	for i, p := range profiles {
+		keys[i] = p.key
+	}
+
+	schema := env.schema("tpch1", func() *catalog.Schema { return tpch.Schema(1) })
+	mkTenant := func(id string, queries ...int) *fleetFigTenant {
+		w := &workload.Workload{Name: id}
+		for _, q := range queries {
+			w.Statements = append(w.Statements, tpch.Statement(q))
+		}
+		return &fleetFigTenant{id: id, tenant: env.DB2Tenant(id, schema, w), w: w, schema: schema}
+	}
+
+	res := &Result{
+		ID:     "fleet-migration",
+		Title:  "Dynamic fleet: total cost and migrations vs migration penalty",
+		XLabel: "migration penalty (gain-weighted s/move)",
+		YLabel: "total cost over 6 periods / migrations",
+	}
+	var actuals, costs, migrations []float64
+	for _, penalty := range []float64{0, 1, 5, 25, 1e6} {
+		res.X = append(res.X, penalty)
+		orch, err := fleet.New(fleet.Options{
+			Profiles:      keys,
+			MigrationCost: penalty,
+			Core:          core.Options{Resources: 2, Delta: 0.1, Parallelism: searchParallelism},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tenants := []*fleetFigTenant{
+			mkTenant("w1", 1),
+			mkTenant("w2", 18),
+			mkTenant("w3", 6),
+			mkTenant("w4", 5),
+			mkTenant("w5", 14),
+			mkTenant("w6", 17),
+		}
+		totalAct, totalCost, totalMigrations := 0.0, 0.0, 0
+		for period := 1; period <= 6; period++ {
+			switch period {
+			case 3:
+				// w1 drifts to a different statement mix (major change).
+				tenants[0].w = &workload.Workload{Name: "w1",
+					Statements: []workload.Statement{tpch.Statement(1), tpch.Statement(18)}}
+			case 4:
+				// w5 departs; the heaviest machine may now be worth
+				// vacating — exactly what the penalty arbitrates.
+				tenants = append(tenants[:4], tenants[5:]...)
+			case 5:
+				tenants = append(tenants, mkTenant("w7", 19))
+			}
+			inputs := make([]fleet.Tenant, len(tenants))
+			for i, ft := range tenants {
+				ft := ft
+				w := ft.w
+				// The §6.1 change metric: per-query estimate at a fixed
+				// reference allocation on the reference (big) profile.
+				avg, err := ft.estOn(big).AvgEstimatePerQuery(core.Allocation{0.5, 0.5})
+				if err != nil {
+					return nil, err
+				}
+				inputs[i] = fleet.Tenant{
+					ID:             ft.id,
+					AvgEstPerQuery: avg,
+					EstFor: func(profile string) core.Estimator {
+						return ft.estOn(byKey[profile])
+					},
+					Measure: func(server int, a core.Allocation) (float64, error) {
+						alloc := dbms.Alloc{CPU: a[0], Mem: a[1]}.Clamp(0.01)
+						return profiles[server].machine.RunWorkload(ft.tenant.Sys, w, alloc)
+					},
+				}
+			}
+			rep, err := orch.Period(inputs)
+			if err != nil {
+				return nil, fmt.Errorf("penalty %v period %d: %w", penalty, period, err)
+			}
+			totalCost += rep.TotalCost
+			totalMigrations += rep.Migrations
+			// The deployed allocations' measured cost — the paper's
+			// actual-performance metric, which charges migrations their
+			// true price (reset models mis-allocate until they re-learn).
+			for _, m := range rep.Machines {
+				if m.Dyn == nil {
+					continue
+				}
+				for _, tr := range m.Dyn.Tenants {
+					totalAct += tr.Act
+				}
+			}
+		}
+		actuals = append(actuals, totalAct)
+		costs = append(costs, totalCost)
+		migrations = append(migrations, float64(totalMigrations))
+	}
+	res.AddSeries("total-act-cost", actuals)
+	res.AddSeries("total-est-cost", costs)
+	res.AddSeries("migrations", migrations)
+	res.Note("penalty 0 re-places every period; the largest penalty performs 0 migrations after the initial placement")
+	return res, nil
+}

@@ -1,0 +1,532 @@
+// Package fleet orchestrates a cluster of database servers through time:
+// the layer where the paper's dynamic configuration management (§6,
+// internal/dynmgmt) and the multi-machine placement advisor
+// (internal/placement) meet.
+//
+// Each monitoring period the orchestrator receives the fleet's current
+// tenants — IDs may appear (arrivals) or disappear (departures), and a
+// surviving tenant's workload may have drifted — and decides two things:
+//
+//  1. Who lives where. A candidate re-placement is computed with
+//     placement.Place over the tenants' current workloads, and priced
+//     against the "stay put" alternative (the same placement run with
+//     every surviving tenant pinned to its current server, so only the
+//     arrivals are placed). The candidate is adopted only when its
+//     estimated improvement beats a configurable migration penalty per
+//     moved tenant — hysteresis that keeps the fleet from thrashing
+//     tenants between machines for marginal gains, in the spirit of
+//     autonomous cloud placement services. Moving a tenant also discards
+//     its refined cost model (the model was calibrated against the old
+//     machine's hardware), which is exactly the hidden cost the penalty
+//     prices in.
+//
+//  2. How each machine splits its resources. One dynmgmt.Manager per
+//     machine classifies its tenants' workload changes, re-runs the
+//     advisor over refined models or fresh optimizer estimates, measures,
+//     and refines — the §6 loop, with the fleet's placement decision
+//     feeding each manager ID-keyed PeriodInputs so tenants carry their
+//     QoS (and lose their per-machine state) as they move.
+//
+// Servers are heterogeneous: Options.Profiles names each machine's
+// hardware profile, and tenants resolve per-profile estimators through
+// EstFor, so both placement and per-machine tuning price a workload
+// differently on different hardware generations.
+//
+// Like every enumerator below it, the orchestrator is bit-identical
+// across Options.Core.Parallelism settings: machines run in index order,
+// placement and the per-machine advisors are parity-guaranteed, and all
+// report aggregation is sequential.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dynmgmt"
+	"repro/internal/placement"
+)
+
+// Tenant is one database workload's monitoring data for one period.
+type Tenant struct {
+	// ID identifies the tenant across periods (required, unique per
+	// period). A new ID is an arrival; an ID missing from a period's
+	// inputs is a departure and its state is dropped.
+	ID string
+	// Gain and Limit are the tenant's §3 QoS settings (0 means default);
+	// they travel with the tenant across machines.
+	Gain  float64
+	Limit float64
+	// EstFor resolves the tenant's current-workload what-if estimator on
+	// a machine profile (required; must return non-nil for every profile
+	// in Options.Profiles).
+	EstFor func(profile string) core.Estimator
+	// AvgEstPerQuery is the §6.1 change-detection metric for the current
+	// workload, measured at a fixed reference allocation and profile so
+	// that period-over-period changes reflect the workload, not the
+	// observation point.
+	AvgEstPerQuery float64
+	// Measure returns the actual cost of the tenant's current workload on
+	// the given server under an allocation (required).
+	Measure func(server int, a core.Allocation) (float64, error)
+}
+
+// Options configures an orchestrator.
+type Options struct {
+	// Profiles names each server's hardware profile; len(Profiles) is the
+	// fleet size. Servers sharing a profile are identical machines.
+	Profiles []string
+	// MigrationCost is the penalty (in gain-weighted estimated seconds)
+	// charged per moved tenant when deciding whether to adopt a
+	// re-placement. 0 means migrations are free: the fleet adopts the
+	// fresh placement every period. Higher values add hysteresis; +Inf
+	// freezes the initial placement.
+	MigrationCost float64
+	// Core is the advisor-option template for placement and every
+	// per-machine manager; its Parallelism/Ctx bound all concurrent
+	// estimation. Gains/Limits must be unset — QoS rides on the tenants.
+	Core core.Options
+	// Tau and ErrThreshold override the managers' §6 thresholds when > 0.
+	Tau          float64
+	ErrThreshold float64
+}
+
+// MachineReport is one server's slice of a period.
+type MachineReport struct {
+	// TenantIDs are the machine's tenants in this period's input order;
+	// the i-th entry corresponds to Dyn.Allocations[i] / Dyn.Tenants[i].
+	TenantIDs []string
+	// Dyn is the machine's dynamic-management outcome.
+	Dyn *dynmgmt.PeriodReport
+	// Result is the machine's advisor run (captured through the Recommend
+	// hook); Costs/DedicatedCosts are indexed like TenantIDs.
+	Result *core.Result
+}
+
+// PeriodReport aggregates one fleet period.
+type PeriodReport struct {
+	// Period counts from 1.
+	Period int
+	// Assignment maps tenant ID → server index after this period.
+	Assignment map[string]int
+	// Allocations and Degradations map tenant ID → the deployed
+	// allocation and the estimated degradation vs a dedicated machine of
+	// the tenant's server profile.
+	Allocations  map[string]core.Allocation
+	Degradations map[string]float64
+	// Arrivals and Departures count tenant-set changes vs the previous
+	// period; Migrations counts surviving tenants that changed servers.
+	Arrivals, Departures, Migrations int
+	// Replaced reports whether the candidate re-placement was adopted
+	// (always true on the first period, and whenever MigrationCost is 0).
+	Replaced bool
+	// CandidateCost and StayCost are the gain-weighted placement
+	// objectives of the free re-placement and the pinned stay-put
+	// alternative. They are reported equal when the stay-put run was not
+	// priced: on the first period (nothing to pin), at MigrationCost 0
+	// (the candidate is adopted unconditionally), and in steady state
+	// (no moves and no arrivals — the runs would provably tie).
+	CandidateCost, StayCost float64
+	// TotalCost sums the machines' gain-weighted advisor objectives —
+	// the fleet's estimated cost at the deployed allocations, from the
+	// managers' (refined-model-aware) runs.
+	TotalCost float64
+	// MaxDegradation is the worst per-tenant degradation;  QoSViolations
+	// counts tenants past their limit (a best-effort placement may exceed
+	// unsatisfiable limits, as §7.5 shows).
+	MaxDegradation float64
+	QoSViolations  int
+	// Rebuilds counts per-tenant cost-model rebuilds this period (§6.2
+	// discards: major changes, migration resets, diverging refinements).
+	Rebuilds int
+	// Machines holds the per-server detail.
+	Machines []MachineReport
+}
+
+// machine is one server's persistent state: its dynamic-management
+// manager and the advisor result captured from the manager's last run.
+type machine struct {
+	mgr  *dynmgmt.Manager
+	last *core.Result
+}
+
+func newMachine(opts Options) *machine {
+	m := &machine{mgr: dynmgmt.NewManager(0, opts.Core)}
+	if opts.Tau > 0 {
+		m.mgr.Tau = opts.Tau
+	}
+	if opts.ErrThreshold > 0 {
+		m.mgr.ErrThreshold = opts.ErrThreshold
+	}
+	// The hook captures each period's advisor result for the fleet
+	// report; allocation decisions are unchanged (core.Recommend is what
+	// a hookless manager would run).
+	m.mgr.Recommend = func(ests []core.Estimator, o core.Options) (*core.Result, error) {
+		res, err := core.Recommend(ests, o)
+		if err == nil {
+			m.last = res
+		}
+		return res, err
+	}
+	return m
+}
+
+// Orchestrator runs a fleet of servers through monitoring periods.
+type Orchestrator struct {
+	opts       Options
+	machines   []*machine
+	assignment map[string]int
+	period     int
+	history    []*PeriodReport
+}
+
+// New creates an orchestrator for the given fleet topology. The topology
+// is fixed for the orchestrator's lifetime.
+func New(opts Options) (*Orchestrator, error) {
+	if len(opts.Profiles) == 0 {
+		return nil, errors.New("fleet: no servers (Options.Profiles is empty)")
+	}
+	if opts.MigrationCost < 0 {
+		return nil, fmt.Errorf("fleet: negative migration cost %v", opts.MigrationCost)
+	}
+	if opts.Core.Gains != nil || opts.Core.Limits != nil {
+		return nil, errors.New("fleet: QoS rides on each Tenant, not on Options.Core.Gains/Limits")
+	}
+	o := &Orchestrator{opts: opts, assignment: map[string]int{}}
+	for range opts.Profiles {
+		o.machines = append(o.machines, newMachine(opts))
+	}
+	return o, nil
+}
+
+// Servers returns the fleet size.
+func (o *Orchestrator) Servers() int { return len(o.machines) }
+
+// Assignment returns a copy of the current tenant→server assignment.
+func (o *Orchestrator) Assignment() map[string]int {
+	out := make(map[string]int, len(o.assignment))
+	for id, s := range o.assignment {
+		out[id] = s
+	}
+	return out
+}
+
+// Report returns the per-period history so far.
+func (o *Orchestrator) Report() []*PeriodReport {
+	return append([]*PeriodReport(nil), o.history...)
+}
+
+// validate checks one period's tenant inputs.
+func validate(tenants []Tenant) error {
+	if len(tenants) == 0 {
+		return errors.New("fleet: a period needs at least one tenant")
+	}
+	seen := make(map[string]bool, len(tenants))
+	for i, t := range tenants {
+		if t.ID == "" {
+			return fmt.Errorf("fleet: tenant %d has no ID", i)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("fleet: duplicate tenant ID %q", t.ID)
+		}
+		seen[t.ID] = true
+		if t.EstFor == nil {
+			return fmt.Errorf("fleet: tenant %q has no EstFor", t.ID)
+		}
+		if t.Measure == nil {
+			return fmt.Errorf("fleet: tenant %q has no Measure", t.ID)
+		}
+	}
+	return nil
+}
+
+// countMoved counts surviving tenants whose assignment differs from
+// their incumbent server.
+func countMoved(assign, pinned []int) int {
+	moved := 0
+	for i := range assign {
+		if pinned[i] >= 0 && assign[i] != pinned[i] {
+			moved++
+		}
+	}
+	return moved
+}
+
+// canonicalAssignment relabels the candidate assignment's machines
+// within each profile class to match the incumbent as closely as
+// possible. Same-profile machines are identical hardware, so a fresh
+// placement seating a machine's whole tenant group on a different
+// server of the same profile is a relabeling, not a set of migrations —
+// left uncanonicalized it would overcharge the migration penalty and,
+// when adopted, pointlessly reset the group's refined models. Candidate
+// machines are greedily matched to the same-profile incumbent machine
+// they share the most surviving tenants with (ties toward smaller
+// server indexes); unmatched machines keep distinct same-profile
+// servers in index order.
+func canonicalAssignment(cand, pinned []int, profiles []string) []int {
+	servers := len(profiles)
+	// overlap[s][t]: surviving tenants candidate machine s shares with
+	// incumbent machine t (same profile only).
+	overlap := make([][]int, servers)
+	for s := range overlap {
+		overlap[s] = make([]int, servers)
+	}
+	for i, s := range cand {
+		t := pinned[i]
+		if t >= 0 && profiles[s] == profiles[t] {
+			overlap[s][t]++
+		}
+	}
+	perm := make([]int, servers) // candidate server → relabeled server
+	taken := make([]bool, servers)
+	for s := range perm {
+		perm[s] = -1
+	}
+	// Greedy maximum-overlap matching: repeatedly take the best
+	// remaining (candidate, incumbent) pair. Deterministic: strict
+	// improvement only, scanning in index order.
+	for {
+		bestS, bestT, bestN := -1, -1, 0
+		for s := 0; s < servers; s++ {
+			if perm[s] >= 0 {
+				continue
+			}
+			for t := 0; t < servers; t++ {
+				// Cross-profile overlap is always 0, so matches stay
+				// within a profile class.
+				if !taken[t] && overlap[s][t] > bestN {
+					bestS, bestT, bestN = s, t, overlap[s][t]
+				}
+			}
+		}
+		if bestS < 0 {
+			break
+		}
+		perm[bestS] = bestT
+		taken[bestT] = true
+	}
+	// Unmatched candidate machines take the free servers of their
+	// profile in index order.
+	for s := 0; s < servers; s++ {
+		if perm[s] >= 0 {
+			continue
+		}
+		for t := 0; t < servers; t++ {
+			if !taken[t] && profiles[t] == profiles[s] {
+				perm[s] = t
+				taken[t] = true
+				break
+			}
+		}
+		if perm[s] < 0 {
+			perm[s] = s // cannot happen (perm is a bijection within profiles), but stay safe
+		}
+	}
+	out := make([]int, len(cand))
+	for i, s := range cand {
+		out[i] = perm[s]
+	}
+	return out
+}
+
+// Period runs one monitoring period over the fleet's current tenants:
+// decide placement (with migration hysteresis), then drive every
+// machine's dynamic manager.
+//
+// Period is transactional at the fleet level: on any error the
+// assignment, the period count, and every machine manager's accumulated
+// state (classification history, refined models) are exactly as before
+// the call, so the caller may simply retry.
+func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
+	if err := validate(tenants); err != nil {
+		return nil, err
+	}
+	ptenants := make([]placement.Tenant, len(tenants))
+	for i, t := range tenants {
+		ptenants[i] = placement.Tenant{Name: t.ID, EstFor: t.EstFor, Gain: t.Gain, Limit: t.Limit}
+	}
+	popts := placement.Options{Profiles: o.opts.Profiles, Core: o.opts.Core}
+	candidate, err := placement.Place(ptenants, popts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: candidate placement: %w", err)
+	}
+
+	rep := &PeriodReport{
+		Assignment:    make(map[string]int, len(tenants)),
+		Allocations:   make(map[string]core.Allocation, len(tenants)),
+		Degradations:  make(map[string]float64, len(tenants)),
+		CandidateCost: candidate.TotalCost,
+		StayCost:      candidate.TotalCost,
+		Machines:      make([]MachineReport, len(o.machines)),
+	}
+	present := make(map[string]bool, len(tenants))
+	pinned := make([]int, len(tenants))
+	anySurvivor := false
+	for i, t := range tenants {
+		present[t.ID] = true
+		if s, ok := o.assignment[t.ID]; ok {
+			pinned[i] = s
+			anySurvivor = true
+		} else {
+			pinned[i] = -1
+			rep.Arrivals++
+		}
+	}
+	for id := range o.assignment {
+		if !present[id] {
+			rep.Departures++
+		}
+	}
+
+	// Placement decision. With no survivors (first period, or everyone
+	// departed) there is nothing to migrate: the candidate is free. At
+	// penalty 0 moves are declared free, so the fresh placement is
+	// adopted unconditionally and verbatim (the fleet simply tracks the
+	// placement advisor period by period) and the stay-put pricing run is
+	// skipped — it could never change the decision. Otherwise the
+	// candidate assignment is first canonicalized against the incumbent —
+	// a fresh Place run may relabel machines within a profile class, and
+	// same-profile machines are interchangeable, so such relabelings are
+	// neither charged as migrations nor executed as them — and the
+	// stay-put alternative (every survivor on its machine, only the
+	// arrivals placed) must then be beaten by the migration penalty for
+	// the re-placement to be adopted.
+	chosenAssign := candidate.Assignment
+	rep.Replaced = true
+	if anySurvivor {
+		if o.opts.MigrationCost == 0 {
+			rep.Migrations = countMoved(candidate.Assignment, pinned)
+		} else {
+			canon := canonicalAssignment(candidate.Assignment, pinned, o.opts.Profiles)
+			moved := countMoved(canon, pinned)
+			switch {
+			case moved == 0 && rep.Arrivals == 0:
+				// Steady state: the canonicalized candidate IS the
+				// incumbent assignment, so the stay-put run would rebuild
+				// the identical machines and tie at improvement 0 — skip
+				// the fleet's second full placement pass entirely.
+				chosenAssign = canon
+				rep.Replaced = false
+			default:
+				stayOpts := popts
+				stayOpts.Pinned = pinned
+				stay, err := placement.Place(ptenants, stayOpts)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: stay-put placement: %w", err)
+				}
+				rep.StayCost = stay.TotalCost
+				improvement := stay.TotalCost - candidate.TotalCost
+				penalty := 0.0 // no moves, no penalty (and no Inf·0 = NaN)
+				if moved > 0 {
+					penalty = o.opts.MigrationCost * float64(moved)
+				}
+				if improvement > penalty {
+					chosenAssign = canon
+					rep.Migrations = moved
+				} else {
+					chosenAssign = stay.Assignment
+					rep.Replaced = false
+				}
+			}
+		}
+	}
+
+	perMachine := make([][]int, len(o.machines)) // tenant indexes in input order
+	for i, t := range tenants {
+		s := chosenAssign[i]
+		rep.Assignment[t.ID] = s
+		perMachine[s] = append(perMachine[s], i)
+	}
+
+	// Drive each machine's dynamic manager in server order. A machine's
+	// manager receives ID-keyed inputs for exactly the tenants placed on
+	// it, so tenants migrating in start with first-period semantics and
+	// tenants migrating out (or departing) have their state dropped.
+	// Every manager is snapshotted first and all are restored if any
+	// machine fails, extending each Period's own transactionality to the
+	// fleet level: a failed fleet period commits nothing anywhere — no
+	// dropped migrant models, no half-advanced classification state.
+	snaps := make([]*dynmgmt.State, len(o.machines))
+	for s, mach := range o.machines {
+		snaps[s] = mach.mgr.Snapshot()
+	}
+	restore := func() {
+		for s, mach := range o.machines {
+			mach.mgr.Restore(snaps[s])
+		}
+	}
+	for s, mach := range o.machines {
+		idxs := perMachine[s]
+		if len(idxs) == 0 {
+			continue
+		}
+		profile := o.opts.Profiles[s]
+		inputs := make([]dynmgmt.PeriodInput, len(idxs))
+		for k, i := range idxs {
+			t := tenants[i]
+			est := t.EstFor(profile)
+			if est == nil {
+				restore()
+				return nil, fmt.Errorf("fleet: tenant %q has no estimator for profile %q", t.ID, profile)
+			}
+			server, measure := s, t.Measure
+			inputs[k] = dynmgmt.PeriodInput{
+				ID:             t.ID,
+				Gain:           t.Gain,
+				Limit:          t.Limit,
+				Estimator:      est,
+				AvgEstPerQuery: t.AvgEstPerQuery,
+				Measure: func(a core.Allocation) (float64, error) {
+					return measure(server, a)
+				},
+			}
+		}
+		mach.last = nil
+		dynRep, err := mach.mgr.Period(inputs)
+		if err != nil {
+			restore()
+			return nil, fmt.Errorf("fleet: machine %d period: %w", s, err)
+		}
+		mrep := MachineReport{Dyn: dynRep, Result: mach.last}
+		for k, i := range idxs {
+			t := tenants[i]
+			mrep.TenantIDs = append(mrep.TenantIDs, t.ID)
+			rep.Allocations[t.ID] = dynRep.Allocations[k]
+			var deg float64
+			if r := mach.last; r != nil && r.DedicatedCosts[k] > 0 {
+				deg = r.Costs[k] / r.DedicatedCosts[k]
+			}
+			rep.Degradations[t.ID] = deg
+			if deg > rep.MaxDegradation {
+				rep.MaxDegradation = deg
+			}
+			if t.Limit >= 1 && deg > t.Limit+1e-9 {
+				rep.QoSViolations++
+			}
+			if dynRep.Tenants[k].Rebuilt {
+				rep.Rebuilds++
+			}
+		}
+		if mach.last != nil {
+			rep.TotalCost += mach.last.TotalCost
+		}
+		rep.Machines[s] = mrep
+	}
+
+	// Commit: the new assignment, and fresh managers for machines that
+	// emptied out (their remaining per-tenant state belongs to tenants
+	// that moved away or departed).
+	for s := range o.machines {
+		if len(perMachine[s]) == 0 {
+			o.machines[s] = newMachine(o.opts)
+		}
+	}
+	o.assignment = make(map[string]int, len(rep.Assignment))
+	for id, s := range rep.Assignment {
+		o.assignment[id] = s
+	}
+	o.period++
+	rep.Period = o.period
+	o.history = append(o.history, rep)
+	return rep, nil
+}

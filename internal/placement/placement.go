@@ -1,7 +1,7 @@
 // Package placement is the multi-machine layer above the single-machine
-// virtualization design advisor: given a fleet of identical physical
-// servers and a set of database tenants, it decides which tenants share
-// which machine, and with what resource shares.
+// virtualization design advisor: given a fleet of physical servers and a
+// set of database tenants, it decides which tenants share which machine,
+// and with what resource shares.
 //
 // The paper's advisor (§4) answers "how should one machine's CPU and
 // memory be split among its N tenants?"; consolidation at scale also has
@@ -11,6 +11,18 @@
 // per-machine advisor (core.Recommend) — so co-location decisions are
 // driven by the same calibrated what-if cost estimates as share
 // decisions, QoS limits and gain factors included.
+//
+// Servers need not be identical: Options.Profiles gives each server a
+// hardware-profile key, and a tenant's cost on a server is estimated by
+// the profile-specific estimator its EstFor hook resolves (the estimator
+// embeds the profile's calibration, so a slower machine prices the same
+// workload higher). Degradation limits are relative to a dedicated
+// machine of the same profile as the one the tenant lands on.
+//
+// Options.Pinned holds tenants on fixed servers while the enumerator
+// places only the rest — how the fleet orchestrator prices "keep everyone
+// put, place only the arrivals" against a free re-placement when deciding
+// whether migrations are worth their cost.
 //
 // Like the single-machine enumerators, placement is engineered to be
 // bit-identical across Options.Parallelism settings: tenants are ordered
@@ -35,8 +47,14 @@ import (
 type Tenant struct {
 	// Name labels the tenant in errors and reports.
 	Name string
-	// Est estimates the tenant's workload cost under an allocation.
+	// Est estimates the tenant's workload cost under an allocation. On a
+	// heterogeneous fleet it is the fallback for profiles EstFor does not
+	// resolve.
 	Est core.Estimator
+	// EstFor resolves the tenant's estimator for one machine profile
+	// (Options.Profiles): the same workload costed under that profile's
+	// calibration. A nil hook, or a nil return, falls back to Est.
+	EstFor func(profile string) core.Estimator
 	// Gain is the benefit gain factor G_i (0 means 1; values in (0,1)
 	// are rejected, matching core.Options validation).
 	Gain float64
@@ -47,8 +65,19 @@ type Tenant struct {
 
 // Options configures a placement run.
 type Options struct {
-	// Servers is the number of identical physical machines (≥ 1).
+	// Servers is the number of identical physical machines (≥ 1); ignored
+	// when Profiles is set.
 	Servers int
+	// Profiles optionally describes a heterogeneous fleet: one hardware-
+	// profile key per server (the fleet size is len(Profiles)). Tenants'
+	// per-profile estimators are resolved through their EstFor hook.
+	// Servers sharing a key are interchangeable identical machines.
+	Profiles []string
+	// Pinned optionally fixes tenants to servers: Pinned[i] is tenant i's
+	// server, or -1 to let the enumerator choose. Pinned tenants are
+	// assigned first (in tenant order) and never moved; the greedy search
+	// places only the free tenants around them.
+	Pinned []int
 	// Core is the template for every per-machine advisor run; its Gains
 	// and Limits are overwritten per machine from the tenants placed
 	// there, and its Parallelism/Ctx also drive the placement layer's own
@@ -76,9 +105,20 @@ type Placement struct {
 	TotalCost float64
 }
 
-// AllocationOf returns the allocation recommended for a tenant.
+// AllocationOf returns the allocation recommended for a tenant, or nil
+// for an index that names no placed tenant.
 func (p *Placement) AllocationOf(tenant int) core.Allocation {
-	m := p.Machines[p.Assignment[tenant]]
+	if tenant < 0 || tenant >= len(p.Assignment) {
+		return nil
+	}
+	s := p.Assignment[tenant]
+	if s < 0 || s >= len(p.Machines) {
+		return nil
+	}
+	m := p.Machines[s]
+	if m.Result == nil {
+		return nil
+	}
 	for slot, t := range m.Tenants {
 		if t == tenant {
 			return m.Result.Allocations[slot]
@@ -88,9 +128,21 @@ func (p *Placement) AllocationOf(tenant int) core.Allocation {
 }
 
 // CostOf returns the estimated workload seconds for a tenant at its
-// placed allocation, and the tenant's degradation vs a dedicated machine.
+// placed allocation, and the tenant's degradation vs a dedicated machine
+// (of the same profile). An index that names no placed tenant returns
+// (0, 0).
 func (p *Placement) CostOf(tenant int) (seconds, degradation float64) {
-	m := p.Machines[p.Assignment[tenant]]
+	if tenant < 0 || tenant >= len(p.Assignment) {
+		return 0, 0
+	}
+	s := p.Assignment[tenant]
+	if s < 0 || s >= len(p.Machines) {
+		return 0, 0
+	}
+	m := p.Machines[s]
+	if m.Result == nil {
+		return 0, 0
+	}
 	for slot, t := range m.Tenants {
 		if t == tenant {
 			seconds = m.Result.Costs[slot]
@@ -103,23 +155,60 @@ func (p *Placement) CostOf(tenant int) (seconds, degradation float64) {
 	return 0, 0
 }
 
+// fleetShape is the resolved server topology of one Place call.
+type fleetShape struct {
+	// profiles is the per-server profile key ("" for identical fleets).
+	profiles []string
+	// distinct holds the distinct profile keys in first-appearance order;
+	// profIdx maps server index → index into distinct.
+	distinct []string
+	profIdx  []int
+}
+
+func shapeOf(opts Options) (fleetShape, error) {
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		if opts.Servers < 1 {
+			return fleetShape{}, fmt.Errorf("placement: %d servers", opts.Servers)
+		}
+		profiles = make([]string, opts.Servers)
+	}
+	sh := fleetShape{profiles: profiles, profIdx: make([]int, len(profiles))}
+	seen := make(map[string]int)
+	for s, p := range profiles {
+		d, ok := seen[p]
+		if !ok {
+			d = len(sh.distinct)
+			seen[p] = d
+			sh.distinct = append(sh.distinct, p)
+		}
+		sh.profIdx[s] = d
+	}
+	return sh, nil
+}
+
 // Place assigns every tenant to a server and splits each server's
 // resources among its tenants.
 //
 // The enumerator is greedy bin packing in two nested phases. Tenants are
 // first ordered by decreasing gain-weighted dedicated cost (expensive,
-// hard-to-place workloads claim machines early; ties keep input order).
-// Then, one tenant at a time, every machine with spare capacity is scored
-// by re-running the per-machine advisor over its tenants plus the new
-// one. Machines where every tenant's degradation limit holds are
+// hard-to-place workloads claim machines early; on a heterogeneous fleet
+// the key is the tenant's cheapest dedicated machine; ties keep input
+// order). Then, one tenant at a time, every machine with spare capacity
+// is scored by re-running the per-machine advisor over its tenants plus
+// the new one. Machines where every tenant's degradation limit holds are
 // preferred outright — a cheap machine that breaks someone's QoS loses
 // to a costlier one that honors it — and within the same feasibility
 // class the tenant lands where the gain-weighted total rises least, ties
 // toward the smaller server index. If no machine can satisfy the limits,
 // the cheapest best-effort machine is used (limits may simply be
 // unsatisfiable, as §7.5 shows for L_9 = 1.5). Only the first empty
-// machine is scored — empty machines are interchangeable, so this is
-// both the deterministic tie-break and a pruning of identical candidates.
+// machine of each profile is scored — empty machines of one profile are
+// interchangeable, so this is both the deterministic tie-break and a
+// pruning of identical candidates.
+//
+// Tenants pinned through Options.Pinned are assigned to their servers
+// before the greedy loop runs and are never reconsidered.
 func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	n := len(tenants)
 	if n == 0 {
@@ -135,16 +224,11 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 			return nil, fmt.Errorf("placement: tenant %d (%s) degradation limit %v < 1", i, t.Name, t.Limit)
 		}
 	}
-	// One placement runs the per-machine advisor many times over the same
-	// estimators, so wrap each in a cross-run memo: scoring tenant k on
-	// machine s re-visits grid points costed by earlier candidate runs.
-	tenants = append([]Tenant(nil), tenants...)
-	for i := range tenants {
-		tenants[i].Est = newMemoEstimator(tenants[i].Est)
+	sh, err := shapeOf(opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.Servers < 1 {
-		return nil, fmt.Errorf("placement: %d servers", opts.Servers)
-	}
+	servers := len(sh.profiles)
 	if opts.Core.Delta <= 0 {
 		opts.Core.Delta = 0.05
 	}
@@ -163,41 +247,131 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	// A machine can hold at most ⌊1/MinShare⌋ tenants: each keeps a
 	// MinShare floor of every resource.
 	capacity := int((1 + 1e-9) / opts.Core.MinShare)
-	if n > opts.Servers*capacity {
+	if n > servers*capacity {
 		return nil, fmt.Errorf("placement: %d tenants exceed %d servers × %d slots (MinShare %.0f%%)",
-			n, opts.Servers, capacity, opts.Core.MinShare*100)
+			n, servers, capacity, opts.Core.MinShare*100)
+	}
+	if opts.Pinned != nil && len(opts.Pinned) != n {
+		return nil, fmt.Errorf("placement: %d pinned entries for %d tenants", len(opts.Pinned), n)
 	}
 
-	// Dedicated-machine cost per tenant: the ordering key, and the same
-	// Cost(W_i, [1..1]) the degradation constraint uses. Fanned over the
-	// worker pool; results land by index, so order does not matter.
+	// One placement runs the per-machine advisor many times over the same
+	// estimators, so wrap each (tenant, profile) estimator in a cross-run
+	// memo: scoring tenant k on machine s re-visits grid points costed by
+	// earlier candidate runs.
+	ests := make([][]core.Estimator, n) // [tenant][distinct profile]
+	for i := range tenants {
+		ests[i] = make([]core.Estimator, len(sh.distinct))
+		for d, p := range sh.distinct {
+			base := tenants[i].Est
+			if tenants[i].EstFor != nil {
+				if e := tenants[i].EstFor(p); e != nil {
+					base = e
+				}
+			}
+			if base == nil {
+				return nil, fmt.Errorf("placement: tenant %d (%s) has no estimator for profile %q",
+					i, tenants[i].Name, p)
+			}
+			ests[i][d] = newMemoEstimator(base)
+		}
+	}
+
+	// Dedicated-machine cost per free tenant per profile: the greedy
+	// loop's ordering key (the same Cost(W_i, [1..1]) the degradation
+	// constraint uses, so these estimates are re-served from the memo by
+	// the advisor runs). Pinned tenants never enter the ordering, so
+	// their rows are skipped — the fleet's stay-put pricing run pins
+	// every survivor and would otherwise pay a full-workload estimate per
+	// survivor per profile for nothing. Fanned over the worker pool;
+	// results land by index, so order does not matter.
 	full := make(core.Allocation, opts.Core.Resources)
 	for j := range full {
 		full[j] = 1
 	}
-	dedicated := make([]float64, n)
-	dedShare := core.BatchShare(opts.Core.Parallelism, n)
-	if err := forEachTenant(opts, n, func(i int) error {
-		sec, _, err := core.EstimateWith(opts.Core.Ctx, tenants[i].Est, dedShare, full)
-		if err != nil {
-			return fmt.Errorf("placement: dedicated cost of %s: %w", tenants[i].Name, err)
+	np := len(sh.distinct)
+	free := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if opts.Pinned == nil || opts.Pinned[i] < 0 {
+			free = append(free, i)
 		}
-		dedicated[i] = sec
+	}
+	dedicated := make([][]float64, n) // [tenant][distinct profile]; free rows only
+	for _, i := range free {
+		dedicated[i] = make([]float64, np)
+	}
+	dedShare := core.BatchShare(opts.Core.Parallelism, len(free)*np)
+	if err := forEachTenant(opts, len(free)*np, func(task int) error {
+		i, d := free[task/np], task%np
+		sec, _, err := core.EstimateWith(opts.Core.Ctx, ests[i][d], dedShare, full)
+		if err != nil {
+			return fmt.Errorf("placement: dedicated cost of %s on profile %q: %w",
+				tenants[i].Name, sh.distinct[d], err)
+		}
+		dedicated[i][d] = sec
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	orderKey := make([]float64, n) // gain × cheapest dedicated machine
+	for _, i := range free {
+		best := math.Inf(1)
+		for _, sec := range dedicated[i] {
+			if sec < best {
+				best = sec
+			}
+		}
+		orderKey[i] = gain(tenants[i]) * best
 	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return gain(tenants[order[x]])*dedicated[order[x]] > gain(tenants[order[y]])*dedicated[order[y]]
-	})
+	order := append([]int(nil), free...)
+	sort.SliceStable(order, func(x, y int) bool { return orderKey[order[x]] > orderKey[order[y]] })
 
 	assignment := make([]int, n)
-	machines := make([]Machine, opts.Servers)
-	totals := make([]float64, opts.Servers) // gain-weighted total per machine
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	machines := make([]Machine, servers)
+	totals := make([]float64, servers) // gain-weighted total per machine
+
+	// Seat the pinned tenants first (in tenant order) and score each
+	// occupied machine once; the greedy loop then grows these machines
+	// like any other.
+	if opts.Pinned != nil {
+		for i, s := range opts.Pinned {
+			if s < 0 {
+				continue
+			}
+			if s >= servers {
+				return nil, fmt.Errorf("placement: tenant %d (%s) pinned to server %d of %d",
+					i, tenants[i].Name, s, servers)
+			}
+			if len(machines[s].Tenants) >= capacity {
+				return nil, fmt.Errorf("placement: server %d over capacity (%d slots) from pinned tenants",
+					s, capacity)
+			}
+			machines[s].Tenants = append(machines[s].Tenants, i)
+			assignment[i] = s
+		}
+		var occupied []int
+		for s := range machines {
+			if len(machines[s].Tenants) > 0 {
+				occupied = append(occupied, s)
+			}
+		}
+		pinShare := core.BatchShare(opts.Core.Parallelism, len(occupied))
+		if err := forEachTenant(opts, len(occupied), func(k int) error {
+			s := occupied[k]
+			res, err := recommend(tenants, ests, machines[s].Tenants, sh.profIdx[s], opts, pinShare)
+			if err != nil {
+				return fmt.Errorf("placement: scoring pinned server %d: %w", s, err)
+			}
+			machines[s].Result = res
+			totals[s] = res.TotalCost
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
 
 	// candidate is one scored "tenant t on machine s" what-if.
 	type candidate struct {
@@ -208,19 +382,20 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	}
 	for _, t := range order {
 		// Phase 1: enumerate candidate machines in server order, scoring
-		// each concurrently. Empty machines beyond the first are skipped:
-		// identical hardware makes them interchangeable.
+		// each concurrently. Empty machines beyond the first of each
+		// profile are skipped: identical hardware makes them
+		// interchangeable.
 		var cands []candidate
-		sawEmpty := false
-		for s := 0; s < opts.Servers; s++ {
+		sawEmpty := make([]bool, np)
+		for s := 0; s < servers; s++ {
 			if len(machines[s].Tenants) >= capacity {
 				continue
 			}
 			if len(machines[s].Tenants) == 0 {
-				if sawEmpty {
+				if sawEmpty[sh.profIdx[s]] {
 					continue
 				}
-				sawEmpty = true
+				sawEmpty[sh.profIdx[s]] = true
 			}
 			cands = append(cands, candidate{server: s})
 		}
@@ -235,7 +410,7 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 		if err := forEachTenant(opts, len(cands), func(c int) error {
 			s := cands[c].server
 			cands[c].members = append(append([]int(nil), machines[s].Tenants...), t)
-			res, err := recommend(tenants, cands[c].members, opts, candShare)
+			res, err := recommend(tenants, ests, cands[c].members, sh.profIdx[s], opts, candShare)
 			if err != nil {
 				return fmt.Errorf("placement: scoring %s on server %d: %w", tenants[t].Name, s, err)
 			}
@@ -275,21 +450,23 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	return p, nil
 }
 
-// recommend runs the per-machine advisor over the given tenant subset,
-// shaping Gains and Limits from the members' QoS settings; workers
-// bounds the inner search's parallelism (its slice of the shared pool).
-func recommend(tenants []Tenant, members []int, opts Options, workers int) (*core.Result, error) {
+// recommend runs the per-machine advisor over the given tenant subset on
+// a machine of the given profile, shaping Gains and Limits from the
+// members' QoS settings; workers bounds the inner search's parallelism
+// (its slice of the shared pool).
+func recommend(tenants []Tenant, ests [][]core.Estimator, members []int, profile int,
+	opts Options, workers int) (*core.Result, error) {
 	co := opts.Core
 	co.Parallelism = workers
 	co.Gains = make([]float64, len(members))
 	co.Limits = make([]float64, len(members))
-	ests := make([]core.Estimator, len(members))
+	memberEsts := make([]core.Estimator, len(members))
 	for i, t := range members {
 		co.Gains[i] = gain(tenants[t])
 		co.Limits[i] = limit(tenants[t])
-		ests[i] = tenants[t].Est
+		memberEsts[i] = ests[t][profile]
 	}
-	return core.Recommend(ests, co)
+	return core.Recommend(memberEsts, co)
 }
 
 // withinLimits reports whether every member of a scored machine meets

@@ -8,7 +8,11 @@ import (
 
 // Measure returns the actual cost (seconds) of running workload i under
 // the allocation — in production, a measurement of the deployed VMs; in
-// this repository, a simulated run (internal/vmsim).
+// this repository, a simulated run (internal/vmsim). When
+// Config.Opts.Parallelism > 1 the loop measures all workloads of one
+// iteration concurrently, so Measure must be safe for concurrent use
+// (the repository's simulated runs are: distinct VMs share only the
+// systems' concurrency-safe plan caches).
 type Measure func(i int, a core.Allocation) (float64, error)
 
 // Config controls the refinement loop.
@@ -86,18 +90,30 @@ func Run(initial *core.Result, cfg Config) (*Outcome, error) {
 			Act:         make([]float64, n),
 		}
 		// Observe actuals at the deployed allocation and refine models.
-		total := 0.0
-		for i := 0; i < n; i++ {
+		// Measurements of distinct workloads are independent, so they fan
+		// over the worker pool (the sequential-replay pattern shared with
+		// repairLimits: acts land by index, then the model updates replay
+		// in workload order, so the refined models — and therefore the
+		// whole loop — are bit-identical across Parallelism settings).
+		acts := make([]float64, n)
+		if err := core.ForEach(cfg.Opts.Ctx, cfg.Opts.Parallelism, n, func(i int) error {
 			act, err := cfg.Measure(i, current[i])
 			if err != nil {
-				return nil, fmt.Errorf("refine: measuring workload %d: %w", i, err)
+				return fmt.Errorf("refine: measuring workload %d: %w", i, err)
 			}
-			est, err := models[i].Observe(current[i], act)
+			acts[i] = act
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		total := 0.0
+		for i := 0; i < n; i++ {
+			est, err := models[i].Observe(current[i], acts[i])
 			if err != nil {
 				return nil, err
 			}
-			rec.Est[i], rec.Act[i] = est, act
-			total += act
+			rec.Est[i], rec.Act[i] = est, acts[i]
+			total += acts[i]
 		}
 		out.History = append(out.History, rec)
 		if bestActual < 0 || total < bestActual {

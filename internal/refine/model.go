@@ -231,6 +231,35 @@ func levelOf(a core.Allocation, m int) float64 {
 	return a[len(a)-1]
 }
 
+// Clone returns a deep copy of the model: intervals, coefficients, and
+// observations are all copied, so observing on one copy leaves the other
+// untouched. dynmgmt's transactional Period snapshots per-tenant models
+// with it before a period mutates them. A nil receiver clones to nil.
+func (md *Model) Clone() *Model {
+	if md == nil {
+		return nil
+	}
+	out := &Model{M: md.M, FirstScaled: md.FirstScaled}
+	out.Intervals = make([]*Interval, len(md.Intervals))
+	for i, iv := range md.Intervals {
+		c := &Interval{
+			Lo:     iv.Lo,
+			Hi:     iv.Hi,
+			Plan:   iv.Plan,
+			Alphas: append([]float64(nil), iv.Alphas...),
+			Beta:   iv.Beta,
+		}
+		if len(iv.Obs) > 0 {
+			c.Obs = make([]Obs, len(iv.Obs))
+			for j, o := range iv.Obs {
+				c.Obs[j] = Obs{Alloc: o.Alloc.Clone(), Act: o.Act}
+			}
+		}
+		out.Intervals[i] = c
+	}
+	return out
+}
+
 // Observe incorporates one actual measurement at an allocation, applying
 // the paper's refinement rules:
 //

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -257,6 +258,96 @@ func TestRunConvergesWhenModelIsAlreadyRight(t *testing.T) {
 	}
 	if len(out.History) != 1 {
 		t.Fatalf("expected a single iteration, got %d", len(out.History))
+	}
+}
+
+// The measurement phase fans over the worker pool when Opts.Parallelism
+// > 1; like every other parallel path, the refined outcome — iteration
+// history, models, and final allocations — must be bit-identical to a
+// sequential run.
+func TestRunMeasurementParallelParity(t *testing.T) {
+	trueCosts := []func(cpu, mem float64) float64{
+		func(cpu, mem float64) float64 { return 30 / cpu },
+		func(cpu, mem float64) float64 { return 90/cpu + 10/mem },
+		func(cpu, mem float64) float64 { return 20/cpu + 40/mem + 3 },
+		func(cpu, mem float64) float64 { return 55/cpu + 5/mem + 1 },
+	}
+	run := func(parallelism int) *Outcome {
+		ests := make([]core.Estimator, len(trueCosts))
+		for i := range trueCosts {
+			f := trueCosts[i]
+			bias := 0.5 + 0.3*float64(i) // optimizer misjudges each tenant differently
+			ests[i] = core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+				return bias * f(a[0], a[1]), "p", nil
+			})
+		}
+		opts := core.Options{Delta: 0.05, Parallelism: parallelism}
+		initial, err := core.Recommend(ests, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(initial, Config{
+			Opts:     opts,
+			MaxIters: 6,
+			Measure: func(i int, a core.Allocation) (float64, error) {
+				return trueCosts[i](a[0], a[1]), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, p := range []int{2, 8} {
+		par := run(p)
+		if par.Converged != seq.Converged || len(par.History) != len(seq.History) {
+			t.Fatalf("p=%d: converged=%v/%v iterations=%d/%d",
+				p, par.Converged, seq.Converged, len(par.History), len(seq.History))
+		}
+		for i := range seq.Allocations {
+			for j := range seq.Allocations[i] {
+				if seq.Allocations[i][j] != par.Allocations[i][j] {
+					t.Fatalf("p=%d workload %d: allocations diverge: %v vs %v",
+						p, i, par.Allocations[i], seq.Allocations[i])
+				}
+			}
+		}
+		for it := range seq.History {
+			for i := range seq.History[it].Act {
+				if seq.History[it].Act[i] != par.History[it].Act[i] ||
+					seq.History[it].Est[i] != par.History[it].Est[i] {
+					t.Fatalf("p=%d iteration %d workload %d: history diverges", p, it, i)
+				}
+			}
+		}
+	}
+}
+
+// A measurement failure in the parallel phase must surface (not hang or
+// panic) regardless of worker count.
+func TestRunMeasurementErrorPropagates(t *testing.T) {
+	est := core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+		return 20/a[0] + 10/a[1], "p", nil
+	})
+	for _, p := range []int{1, 4} {
+		initial, err := core.Recommend([]core.Estimator{est, est}, core.Options{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(initial, Config{
+			Opts:     core.Options{Parallelism: p},
+			MaxIters: 3,
+			Measure: func(i int, a core.Allocation) (float64, error) {
+				if i == 1 {
+					return 0, fmt.Errorf("injected measurement failure")
+				}
+				return 20/a[0] + 10/a[1], nil
+			},
+		})
+		if err == nil {
+			t.Fatalf("p=%d: measurement failure must surface", p)
+		}
 	}
 }
 

@@ -128,6 +128,36 @@ func (s *Server) AddTenantWorkload(name string, f Flavor, schema *catalog.Schema
 	return t, nil
 }
 
+// newSystem builds the simulated DBMS for a flavor over a schema.
+func newSystem(f Flavor, schema *catalog.Schema) (dbms.System, error) {
+	switch f {
+	case PostgreSQL:
+		return pgsim.New(schema), nil
+	case DB2:
+		return db2sim.New(schema), nil
+	default:
+		return nil, fmt.Errorf("vdesign: unknown flavor %d", f)
+	}
+}
+
+// whatIfEstimator wires the calibrated what-if estimator for an existing
+// simulated system under one machine profile's calibrations and memory —
+// the single place the flavor→(Params, Renorm) mapping lives; Server,
+// Cluster, and the Fleet's per-profile estimators all come through here.
+func whatIfEstimator(f Flavor, sys dbms.System, w *workload.Workload,
+	pgCal *calibrate.PGResult, db2Cal *calibrate.DB2Result, machineMemBytes float64) *core.WhatIfEstimator {
+	est := &core.WhatIfEstimator{Sys: sys, Workload: w, MachineMemBytes: machineMemBytes}
+	switch f {
+	case PostgreSQL:
+		est.Params = func(a dbms.Alloc) any { return pgCal.Params(a) }
+		est.Renorm = pgCal.Renorm()
+	case DB2:
+		est.Params = func(a dbms.Alloc) any { return db2Cal.Params(a) }
+		est.Renorm = db2Cal.Renorm()
+	}
+	return est
+}
+
 // newTenantEstimator builds the simulated DBMS and the calibrated what-if
 // estimator for one tenant; shared by Server and Cluster.
 func newTenantEstimator(f Flavor, schema *catalog.Schema, w *workload.Workload, m *vmsim.Machine,
@@ -135,28 +165,11 @@ func newTenantEstimator(f Flavor, schema *catalog.Schema, w *workload.Workload, 
 	if schema == nil || w == nil || len(w.Statements) == 0 {
 		return nil, nil, errors.New("vdesign: tenant needs a schema and a non-empty workload")
 	}
-	switch f {
-	case PostgreSQL:
-		ps := pgsim.New(schema)
-		return ps, &core.WhatIfEstimator{
-			Sys:             ps,
-			Params:          func(a dbms.Alloc) any { return pgCal.Params(a) },
-			Renorm:          pgCal.Renorm(),
-			Workload:        w,
-			MachineMemBytes: m.HW.MemoryBytes,
-		}, nil
-	case DB2:
-		ds := db2sim.New(schema)
-		return ds, &core.WhatIfEstimator{
-			Sys:             ds,
-			Params:          func(a dbms.Alloc) any { return db2Cal.Params(a) },
-			Renorm:          db2Cal.Renorm(),
-			Workload:        w,
-			MachineMemBytes: m.HW.MemoryBytes,
-		}, nil
-	default:
-		return nil, nil, fmt.Errorf("vdesign: unknown flavor %d", f)
+	sys, err := newSystem(f, schema)
+	if err != nil {
+		return nil, nil, err
 	}
+	return sys, whatIfEstimator(f, sys, w, pgCal, db2Cal, m.HW.MemoryBytes), nil
 }
 
 // SetQoS sets a tenant's degradation limit and gain factor.
