@@ -15,10 +15,11 @@ race:
 	$(GO) test -race ./...
 
 # Parallel-search benchmarks: greedy, the exhaustive oracle, cluster
-# placement, and the fleet period loop across worker counts (results are
-# bit-identical; only wall-clock changes).
+# placement, the fleet period loop (cached and uncached), and placement
+# local search across worker counts (results are bit-identical; only
+# wall-clock changes).
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace|FleetPeriod' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace|FleetPeriod|PlacementLocalSearch|FleetScale' -benchtime 10x .
 
 # Full paper-reproduction benchmark suite (every figure/table).
 bench-all:
@@ -26,9 +27,16 @@ bench-all:
 
 # Benchmark smoke: every benchmark in the module runs exactly once, so a
 # bench that stops compiling or starts erroring fails CI. Calibration is
-# shared process-wide, so the whole sweep takes about a second.
+# shared process-wide, so the whole sweep takes about a second. The exit
+# status is checked explicitly AND the output is scanned for panics and
+# failures, so a benchmark that panics (even in a goroutine the test
+# binary survives long enough to report) fails CI with a non-zero exit.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	@out=$$($(GO) test -run '^$$' -bench . -benchtime 1x ./... 2>&1); status=$$?; \
+	echo "$$out"; \
+	if [ $$status -ne 0 ]; then echo "bench-smoke: FAILED (exit $$status)"; exit 1; fi; \
+	if echo "$$out" | grep -qE 'panic:|--- FAIL'; then \
+		echo "bench-smoke: benchmark panic or failure detected in output"; exit 1; fi
 
 # Build (compile + link) every example program; binaries land in a
 # scratch dir so the repo stays clean.

@@ -233,3 +233,91 @@ func BenchmarkClusterPlace(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkFleetScale(b *testing.B) { runExperiment(b, "fleet-scale") }
+
+// BenchmarkPlacementLocalSearch measures the post-greedy local-search
+// phase: 6 TPC-H tenants packed onto 3 servers with rounds=0 (plain
+// greedy) vs rounds=3. Placements are bit-identical across worker
+// counts; local search only ever lowers the objective.
+func BenchmarkPlacementLocalSearch(b *testing.B) {
+	schema := tpch.Schema(1)
+	c, err := NewCluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		c.AddServer()
+	}
+	for i := 0; i < 6; i++ {
+		var queries []string
+		for q := 1 + i%4; q <= tpch.QueryCount; q += 4 {
+			queries = append(queries, tpch.QueryText(q))
+		}
+		if _, err := c.AddTenant(fmt.Sprintf("t%d", i), PostgreSQL, schema, queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := c.Place(&Options{Delta: 0.1}); err != nil {
+		b.Fatal(err) // warm the deployed-plan caches
+	}
+	for _, rounds := range []int{0, 3} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Place(&Options{Delta: 0.1, LocalSearch: rounds}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetPeriodCached measures a steady-state fleet monitoring
+// period — no arrivals, no departures, no drift — with the machine-score
+// cache on vs off. With the cache, a steady period performs zero fresh
+// core.Recommend runs on the unchanged machines (logged below); without
+// it, every machine is re-scored every period.
+func BenchmarkFleetPeriodCached(b *testing.B) {
+	schema := tpch.Schema(1)
+	for _, disable := range []bool{false, true} {
+		f := NewFleet(&FleetOptions{MigrationCost: 5, Delta: 0.1, DisableScoreCache: disable})
+		for _, p := range []MachineProfile{{}, {}, {CPUHz: 1.1e9, MemoryBytes: 4 << 30}} {
+			if _, err := f.AddServer(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i, q := range []int{1, 18, 6, 5, 14, 17} {
+			flavor := PostgreSQL
+			if i%2 == 1 {
+				flavor = DB2
+			}
+			if _, err := f.AddTenant(fmt.Sprintf("t%d", i), flavor, schema, []string{tpch.QueryText(q)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Warm to steady state: the managers converge and, with the cache
+		// on, a period stops producing fresh advisor runs.
+		for p := 0; p < 6; p++ {
+			if _, err := f.Period(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		name := "cache=on"
+		if disable {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			_, _, runsBefore := f.ScoreStats()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Period(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if !disable {
+				_, _, runsAfter := f.ScoreStats()
+				b.Logf("fresh advisor runs over %d steady period(s): %d (want 0)", b.N, runsAfter-runsBefore)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbms"
 	"repro/internal/placement"
+	"repro/internal/score"
 	"repro/internal/vmsim"
 	"repro/internal/workload"
 )
@@ -102,11 +103,16 @@ func (c *Cluster) SetQoS(t *ClusterTenant, q QoS) { c.tenants[t.index].qos = q }
 type ClusterPlacement struct {
 	cluster *Cluster
 	p       *placement.Placement
+	scores  *score.Cache
 }
 
 // Place assigns every tenant to a server and each server's resources to
 // its tenants. Results are deterministic and bit-identical across
-// Options.Parallelism settings.
+// Options.Parallelism settings. Every per-machine advisor run of the call
+// goes through a machine-score cache, so configurations revisited within
+// the placement — greedy candidates re-examined by local search, most
+// prominently — are never scored twice; ScoreStats on the result reports
+// the traffic.
 func (c *Cluster) Place(opts *Options) (*ClusterPlacement, error) {
 	if c.servers == 0 {
 		return nil, errors.New("vdesign: cluster has no servers")
@@ -117,6 +123,7 @@ func (c *Cluster) Place(opts *Options) (*ClusterPlacement, error) {
 	popts := placement.Options{
 		Servers: c.servers,
 		Core:    core.Options{Resources: 2},
+		Scores:  score.NewCache(),
 	}
 	if opts != nil {
 		if opts.Delta > 0 {
@@ -124,12 +131,15 @@ func (c *Cluster) Place(opts *Options) (*ClusterPlacement, error) {
 		}
 		popts.Core.Parallelism = opts.Parallelism
 		popts.Core.Ctx = opts.Context
+		popts.LocalSearch = opts.LocalSearch
 	}
 	tenants := make([]placement.Tenant, len(c.tenants))
 	for i, t := range c.tenants {
 		// The vdesign QoS convention (matching Server.Recommend): values
-		// below 1, including the 0 zero-value, mean "default".
-		pt := placement.Tenant{Name: t.name, Est: t.est}
+		// below 1, including the 0 zero-value, mean "default". Cluster
+		// tenants' workloads are immutable after registration, so the
+		// tenant index is a sound per-call fingerprint.
+		pt := placement.Tenant{Name: t.name, Est: t.est, Fingerprint: fmt.Sprintf("t%d", i)}
 		if t.qos.GainFactor >= 1 {
 			pt.Gain = t.qos.GainFactor
 		}
@@ -143,7 +153,7 @@ func (c *Cluster) Place(opts *Options) (*ClusterPlacement, error) {
 		return nil, fmt.Errorf("vdesign: placing %d tenants on %d servers: %w",
 			len(c.tenants), c.servers, err)
 	}
-	return &ClusterPlacement{cluster: c, p: p}, nil
+	return &ClusterPlacement{cluster: c, p: p, scores: popts.Scores}, nil
 }
 
 // ServerOf returns the index of the server a tenant was assigned to.
@@ -172,6 +182,26 @@ func (r *ClusterPlacement) Degradation(t *ClusterTenant) float64 {
 
 // TotalCost is the gain-weighted objective summed over all servers.
 func (r *ClusterPlacement) TotalCost() float64 { return r.p.TotalCost }
+
+// GreedyCost is the objective before local search; it equals TotalCost
+// when Options.LocalSearch is 0 or no improving change existed.
+func (r *ClusterPlacement) GreedyCost() float64 { return r.p.GreedyCost }
+
+// LocalSearchImprovement is how much local search lowered the objective
+// below greedy packing.
+func (r *ClusterPlacement) LocalSearchImprovement() float64 {
+	return r.p.GreedyCost - r.p.TotalCost
+}
+
+// LocalSearchMoves counts the moves and swaps local search applied.
+func (r *ClusterPlacement) LocalSearchMoves() int { return r.p.LocalSearchMoves }
+
+// ScoreStats reports the placement's machine-score cache counters: runs
+// served from the cache (hits), cacheable configurations scored fresh
+// (misses), and total fresh advisor executions (runs).
+func (r *ClusterPlacement) ScoreStats() (hits, misses, runs int64) {
+	return r.scores.Stats()
+}
 
 // TenantsOn returns the tenants assigned to one server, in placement
 // order.

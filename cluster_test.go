@@ -199,3 +199,52 @@ func TestClusterValidation(t *testing.T) {
 		t.Fatal("unknown flavor should error")
 	}
 }
+
+// Local search through the public API: never costlier than greedy,
+// bit-identical across Parallelism, and the per-call score cache reports
+// its traffic.
+func TestClusterPlaceLocalSearch(t *testing.T) {
+	c, handles := newTestCluster(t)
+	greedy, err := c.Place(&Options{Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.LocalSearchMoves() != 0 || greedy.LocalSearchImprovement() != 0 {
+		t.Fatalf("local search off must be a no-op: %d moves", greedy.LocalSearchMoves())
+	}
+	refined, err := c.Place(&Options{Delta: 0.1, LocalSearch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.TotalCost() > greedy.TotalCost()+1e-9 {
+		t.Fatalf("local search worsened the placement: %v > %v",
+			refined.TotalCost(), greedy.TotalCost())
+	}
+	if refined.GreedyCost() != greedy.TotalCost() {
+		t.Fatalf("GreedyCost %v should equal the greedy objective %v",
+			refined.GreedyCost(), greedy.TotalCost())
+	}
+	if got := refined.GreedyCost() - refined.TotalCost(); got != refined.LocalSearchImprovement() {
+		t.Fatalf("improvement accounting: %v vs %v", got, refined.LocalSearchImprovement())
+	}
+	if _, _, runs := refined.ScoreStats(); runs == 0 {
+		t.Fatal("placement should report its advisor runs")
+	}
+	par, err := c.Place(&Options{Delta: 0.1, LocalSearch: 3, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalCost() != refined.TotalCost() {
+		t.Fatalf("parallel local search diverges: %v vs %v", par.TotalCost(), refined.TotalCost())
+	}
+	for _, h := range handles {
+		if par.ServerOf(h) != refined.ServerOf(h) {
+			t.Fatalf("tenant %s server diverges across parallelism", h.Name())
+		}
+		c1, m1 := refined.Shares(h)
+		c2, m2 := par.Shares(h)
+		if c1 != c2 || m1 != m2 {
+			t.Fatalf("tenant %s shares diverge across parallelism", h.Name())
+		}
+	}
+}

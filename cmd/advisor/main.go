@@ -63,6 +63,10 @@ func main() {
 	periods := flag.Int("periods", 1, "monitoring periods; > 1 runs the fleet orchestrator")
 	migrationCost := flag.Float64("migration-cost", 0,
 		"fleet mode: penalty (gain-weighted seconds) per moved tenant when re-placing")
+	localSearch := flag.Int("local-search", 0,
+		"post-greedy local-search rounds (tenant moves/swaps) in multi-machine placement; 0 disables")
+	admitQoS := flag.Bool("admit-qos", false,
+		"fleet mode: reject arrivals no machine can host within their degradation limit")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
 	flag.Parse()
@@ -85,7 +89,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism}
+	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism, LocalSearch: *localSearch}
 
 	if *periods > 1 {
 		if *refine {
@@ -98,7 +102,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runFleet(specs, qosOf, machines, *periods, *migrationCost, *delta, *parallelism)
+		runFleet(specs, qosOf, machines, *periods, fleetConfig{
+			migrationCost: *migrationCost,
+			delta:         *delta,
+			parallelism:   *parallelism,
+			localSearch:   *localSearch,
+			admitQoS:      *admitQoS,
+		})
 		return
 	}
 	if len(profiles) > 0 {
@@ -107,12 +117,18 @@ func main() {
 	if *migrationCost != 0 {
 		fatal(fmt.Errorf("-migration-cost requires fleet mode (-periods > 1)"))
 	}
+	if *admitQoS {
+		fatal(fmt.Errorf("-admit-qos requires fleet mode (-periods > 1)"))
+	}
 	if *servers > 1 {
 		if *refine {
 			fatal(fmt.Errorf("-refine applies to single-server runs; re-place instead"))
 		}
 		runCluster(specs, qosOf, *servers, opts)
 		return
+	}
+	if *localSearch > 0 {
+		fatal(fmt.Errorf("-local-search applies to multi-machine runs (-servers > 1 or -periods > 1)"))
 	}
 	runSingle(specs, qosOf, *refine, opts)
 }
@@ -145,14 +161,27 @@ func parseProfiles(profiles []string, servers int) ([]vdesign.MachineProfile, er
 	return out, nil
 }
 
+// fleetConfig bundles the fleet-mode command-line knobs.
+type fleetConfig struct {
+	migrationCost float64
+	delta         float64
+	parallelism   int
+	localSearch   int
+	admitQoS      bool
+}
+
 // runFleet drives the tenants through monitoring periods on a (possibly
-// heterogeneous) fleet, reporting placement and tuning per period.
+// heterogeneous) fleet, reporting placement and tuning per period. One
+// machine-score cache persists across the periods, so unchanged machines
+// are re-scored from it instead of re-running the advisor.
 func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesign.MachineProfile,
-	periods int, migrationCost, delta float64, parallelism int) {
+	periods int, cfg fleetConfig) {
 	f := vdesign.NewFleet(&vdesign.FleetOptions{
-		MigrationCost: migrationCost,
-		Delta:         delta,
-		Parallelism:   parallelism,
+		MigrationCost: cfg.migrationCost,
+		Delta:         cfg.delta,
+		Parallelism:   cfg.parallelism,
+		LocalSearch:   cfg.localSearch,
+		AdmitQoS:      cfg.admitQoS,
 	})
 	for _, p := range machines {
 		if _, err := f.AddServer(p); err != nil {
@@ -171,15 +200,25 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		handles[i] = h
 	}
 	var rep *vdesign.FleetPeriodReport
+	lsImproved := 0.0
 	for p := 1; p <= periods; p++ {
 		var err error
 		rep, err = f.Period()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("period %d: cost=%.1fs migrations=%d rebuilds=%d max-degradation=%.2fx replaced=%v\n",
+		if rep.Replaced() {
+			// Count only improvements the fleet actually deployed: a
+			// candidate discarded for stay-put never benefited anyone.
+			lsImproved += rep.LocalSearchImprovement()
+		}
+		line := fmt.Sprintf("period %d: cost=%.1fs migrations=%d rebuilds=%d max-degradation=%.2fx replaced=%v",
 			rep.Period(), rep.TotalCost(), rep.Migrations(), rep.Rebuilds(),
 			rep.MaxDegradation(), rep.Replaced())
+		if rejected := rep.Rejected(); len(rejected) > 0 {
+			line += fmt.Sprintf(" rejected=%s", strings.Join(rejected, ","))
+		}
+		fmt.Println(line)
 	}
 	fmt.Printf("\n%-12s %8s %8s %8s %12s\n", "tenant", "server", "cpu", "memory", "degradation")
 	for _, h := range handles {
@@ -187,7 +226,9 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		fmt.Printf("%-12s %8d %7.1f%% %7.1f%% %11.2fx\n",
 			h.ID(), rep.ServerOf(h), cpu*100, mem*100, rep.Degradation(h))
 	}
-	fmt.Printf("fleet of %d servers, migration cost %.1fs/move\n", f.Servers(), migrationCost)
+	hits, misses, runs := f.ScoreStats()
+	fmt.Printf("fleet of %d servers, migration cost %.1fs/move; score cache %d hits / %d misses (%d advisor runs); local search improved %.1fs\n",
+		f.Servers(), cfg.migrationCost, hits, misses, runs, lsImproved)
 }
 
 // runSingle is the paper's single-machine advisor.
@@ -255,7 +296,9 @@ func runCluster(specs []tenantSpec, qosOf map[string]vdesign.QoS, n int, opts *v
 		fmt.Printf("%-12s %8d %7.1f%% %7.1f%% %12.1f %11.2fx\n",
 			h.Name(), rec.ServerOf(h), cpu*100, mem*100, rec.EstimatedSeconds(h), rec.Degradation(h))
 	}
-	fmt.Printf("total gain-weighted cost: %.1fs over %d servers\n", rec.TotalCost(), n)
+	hits, misses, _ := rec.ScoreStats()
+	fmt.Printf("total gain-weighted cost: %.1fs over %d servers; score cache %d hits / %d misses; local search improved %.1fs in %d moves\n",
+		rec.TotalCost(), n, hits, misses, rec.LocalSearchImprovement(), rec.LocalSearchMoves())
 }
 
 // parseTenants maps -tenant flags to specs.

@@ -62,6 +62,26 @@ type FleetOptions struct {
 	Parallelism int
 	// Context cancels long-running periods; nil means no cancellation.
 	Context context.Context
+	// LocalSearch bounds the post-greedy local-search refinement of each
+	// period's placement runs (single-tenant moves and pairwise swaps,
+	// applied only while the fleet objective strictly improves). 0
+	// disables it.
+	LocalSearch int
+	// AdmitQoS enables fleet-level admission control: an arriving tenant
+	// is rejected for the period — reported by
+	// FleetPeriodReport.Rejected — when every machine slot is taken or no
+	// machine can seat it with every member's degradation limit holding
+	// (the arrival's own and the incumbent residents'). A rejected tenant
+	// stays registered and is re-considered every following period. Each
+	// arrival is checked independently against the incumbent residents;
+	// several same-period arrivals are not checked against each other, so
+	// staggering arrivals across periods gives the strict guarantee.
+	AdmitQoS bool
+	// DisableScoreCache turns off the fleet's machine-score cache. By
+	// default every per-machine advisor run is memoized across candidates
+	// and periods, so unchanged machines are never re-scored; reports are
+	// bit-identical with the cache on or off.
+	DisableScoreCache bool
 }
 
 // fleetCal is one hardware profile's machine and calibrations.
@@ -102,6 +122,10 @@ type FleetTenant struct {
 	sys     dbms.System
 	qos     QoS
 	removed bool
+	// wver counts workload versions: SetWorkload bumps it, and the
+	// tenant's score-cache fingerprint (key@wver) re-keys every machine
+	// configuration containing the tenant when its workload drifts.
+	wver int
 	// ests caches the per-profile what-if estimators for the current
 	// workload; SetWorkload invalidates it.
 	ests map[string]*core.WhatIfEstimator
@@ -205,6 +229,7 @@ func (f *Fleet) SetWorkload(t *FleetTenant, w *workload.Workload) error {
 		return errors.New("vdesign: tenant workload must be non-empty")
 	}
 	t.w = w
+	t.wver++
 	t.ests = nil
 	return nil
 }
@@ -261,6 +286,7 @@ func (f *Fleet) periodInputs() ([]fleet.Tenant, error) {
 		in := fleet.Tenant{
 			ID:             t.key,
 			AvgEstPerQuery: avg,
+			Fingerprint:    fmt.Sprintf("%s@%d", t.key, t.wver),
 			EstFor: func(profile string) core.Estimator {
 				return f.estOn(t, profile)
 			},
@@ -293,9 +319,12 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 	}
 	if f.orch == nil {
 		orch, err := fleet.New(fleet.Options{
-			Profiles:      f.keys,
-			MigrationCost: f.opts.MigrationCost,
-			Core:          f.coreOpts(),
+			Profiles:          f.keys,
+			MigrationCost:     f.opts.MigrationCost,
+			Core:              f.coreOpts(),
+			LocalSearch:       f.opts.LocalSearch,
+			AdmitQoS:          f.opts.AdmitQoS,
+			DisableScoreCache: f.opts.DisableScoreCache,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("vdesign: %w", err)
@@ -310,6 +339,18 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vdesign: fleet period: %w", err)
 	}
+	// Translate the orchestrator's rejected registration keys back to
+	// user-facing tenant IDs while the handles are still registered.
+	var rejected []string
+	if len(rep.Rejected) > 0 {
+		byKey := make(map[string]string, len(f.tenants))
+		for _, t := range f.tenants {
+			byKey[t.key] = t.id
+		}
+		for _, k := range rep.Rejected {
+			rejected = append(rejected, byKey[k])
+		}
+	}
 	// The period observed every departure, so removed tenants can be
 	// released — a long-lived fleet with per-period churn must not grow
 	// with its total departure count. (Their handles stay usable against
@@ -321,7 +362,7 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 		}
 	}
 	f.tenants = live
-	out := &FleetPeriodReport{fleet: f, rep: rep}
+	out := &FleetPeriodReport{fleet: f, rep: rep, rejected: rejected}
 	f.reports = append(f.reports, out)
 	return out, nil
 }
@@ -331,10 +372,23 @@ func (f *Fleet) Report() []*FleetPeriodReport {
 	return append([]*FleetPeriodReport(nil), f.reports...)
 }
 
+// ScoreStats reports the fleet's machine-score cache counters — runs
+// served from the cache (hits), cacheable configurations scored fresh
+// (misses), and total fresh advisor executions (runs) — accumulated over
+// every period so far. All zeros before the first period or with
+// FleetOptions.DisableScoreCache.
+func (f *Fleet) ScoreStats() (hits, misses, runs int64) {
+	if f.orch == nil {
+		return 0, 0, 0
+	}
+	return f.orch.ScoreStats()
+}
+
 // FleetPeriodReport is the outcome of one fleet monitoring period.
 type FleetPeriodReport struct {
-	fleet *Fleet
-	rep   *fleet.PeriodReport
+	fleet    *Fleet
+	rep      *fleet.PeriodReport
+	rejected []string
 }
 
 // Period is the 1-based period number.
@@ -367,6 +421,18 @@ func (r *FleetPeriodReport) StayCost() float64      { return r.rep.StayCost }
 func (r *FleetPeriodReport) MaxDegradation() float64 { return r.rep.MaxDegradation }
 func (r *FleetPeriodReport) QoSViolations() int      { return r.rep.QoSViolations }
 func (r *FleetPeriodReport) Rebuilds() int           { return r.rep.Rebuilds }
+
+// LocalSearchImprovement is how much local search lowered the candidate
+// placement's objective below greedy packing this period (0 with
+// FleetOptions.LocalSearch unset).
+func (r *FleetPeriodReport) LocalSearchImprovement() float64 { return r.rep.LocalSearchImprovement }
+
+// Rejected lists tenants turned away by QoS admission control this
+// period (FleetOptions.AdmitQoS), in input order. Rejected tenants stay
+// registered and are re-considered next period.
+func (r *FleetPeriodReport) Rejected() []string {
+	return append([]string(nil), r.rejected...)
+}
 
 // ServerOf returns the server a tenant was assigned to this period, or
 // -1 if the tenant was not part of the period.

@@ -312,3 +312,122 @@ func TestFleetValidation(t *testing.T) {
 		t.Fatal("re-registered tenant must be assigned")
 	}
 }
+
+// The fleet's score cache must not change a single report — only how
+// often the advisor runs. Same scenario, cache on vs off, compared
+// period by period; the cached run must also show real hit traffic and
+// a steady final period with zero fresh advisor runs.
+func TestFleetScoreCacheParityAndSteadyState(t *testing.T) {
+	run := func(disable bool) (*Fleet, []*FleetPeriodReport, []*FleetTenant) {
+		f := NewFleet(&FleetOptions{
+			MigrationCost:     5,
+			Delta:             0.1,
+			DisableScoreCache: disable,
+		})
+		for _, p := range []MachineProfile{{}, smallProfile()} {
+			if _, err := f.AddServer(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		schema := tpch.Schema(1)
+		var handles []*FleetTenant
+		for i, q := range []int{1, 6, 14} {
+			h, err := f.AddTenant(fmt.Sprintf("t%d", i), PostgreSQL, schema, []string{tpch.QueryText(q)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		var reports []*FleetPeriodReport
+		for period := 1; period <= 4; period++ {
+			rep, err := f.Period()
+			if err != nil {
+				t.Fatalf("period %d: %v", period, err)
+			}
+			reports = append(reports, rep)
+		}
+		return f, reports, handles
+	}
+	cached, cachedReps, cachedHandles := run(false)
+	plain, plainReps, plainHandles := run(true)
+	for p := range cachedReps {
+		a, b := cachedReps[p], plainReps[p]
+		if a.TotalCost() != b.TotalCost() || a.Migrations() != b.Migrations() ||
+			a.Replaced() != b.Replaced() || a.CandidateCost() != b.CandidateCost() ||
+			a.StayCost() != b.StayCost() {
+			t.Fatalf("period %d diverges with cache on vs off", p+1)
+		}
+		for i := range cachedHandles {
+			if a.ServerOf(cachedHandles[i]) != b.ServerOf(plainHandles[i]) {
+				t.Fatalf("period %d tenant %d server diverges", p+1, i)
+			}
+			c1, m1 := a.Shares(cachedHandles[i])
+			c2, m2 := b.Shares(plainHandles[i])
+			if c1 != c2 || m1 != m2 {
+				t.Fatalf("period %d tenant %d shares diverge", p+1, i)
+			}
+		}
+	}
+	hits, _, runsBefore := cached.ScoreStats()
+	if hits == 0 {
+		t.Fatal("repeated periods over unchanged workloads should hit the cache")
+	}
+	if h, m, r := plain.ScoreStats(); h != 0 || m != 0 || r != 0 {
+		t.Fatalf("disabled cache must report zeros, got %d/%d/%d", h, m, r)
+	}
+	// A further steady-state period performs zero fresh advisor runs.
+	if _, err := cached.Period(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, runsAfter := cached.ScoreStats(); runsAfter != runsBefore {
+		t.Fatalf("steady-state period ran %d fresh advisor runs, want 0", runsAfter-runsBefore)
+	}
+}
+
+// QoS admission control end-to-end: a tight-limited arrival that cannot
+// share the single machine is rejected (and reported by ID), then
+// admitted once a slot with acceptable degradation exists.
+func TestFleetAdmitQoSPublicAPI(t *testing.T) {
+	f := NewFleet(&FleetOptions{Delta: 0.1, AdmitQoS: true, MigrationCost: 5})
+	if _, err := f.AddServer(MachineProfile{}); err != nil {
+		t.Fatal(err)
+	}
+	schema := tpch.Schema(1)
+	if _, err := f.AddTenant("resident", PostgreSQL, schema, []string{tpch.QueryText(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Period(); err != nil {
+		t.Fatal(err)
+	}
+	tight, err := f.AddTenant("tight", PostgreSQL, schema, []string{tpch.QueryText(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetQoS(tight, QoS{DegradationLimit: 1.05})
+	rep, err := f.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := rep.Rejected()
+	if len(rejected) != 1 || rejected[0] != "tight" {
+		t.Fatalf("tight arrival should be rejected by ID: %v", rejected)
+	}
+	if rep.ServerOf(tight) != -1 {
+		t.Fatal("rejected tenant must not be placed")
+	}
+	if rep.Arrivals() != 0 {
+		t.Fatalf("rejected tenants are not arrivals: %d", rep.Arrivals())
+	}
+	// Loosen the limit: the same tenant is admitted next period.
+	f.SetQoS(tight, QoS{DegradationLimit: 50})
+	rep, err = f.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected()) != 0 {
+		t.Fatalf("loosened arrival should be admitted: %v", rep.Rejected())
+	}
+	if rep.ServerOf(tight) != 0 {
+		t.Fatal("admitted tenant should be placed")
+	}
+}

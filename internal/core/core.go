@@ -75,6 +75,16 @@ type Options struct {
 	Ctx context.Context
 }
 
+// Normalize returns the options as the enumerators will actually run
+// them for n workloads: defaults filled (Resources, Delta, MinShare,
+// MaxIters, unit Gains, +Inf Limits) and QoS vectors validated. It is
+// the single source of truth for defaulting — any layer that needs to
+// compare or key option sets (the machine-score cache) must normalize
+// through here rather than re-deriving the constants.
+func (o Options) Normalize(n int) (Options, error) {
+	return o.withDefaults(n)
+}
+
 func (o Options) withDefaults(n int) (Options, error) {
 	if n == 0 {
 		return o, errors.New("core: no workloads")
@@ -156,6 +166,11 @@ type Result struct {
 	// cache ablation reports both).
 	EstimatorCalls int
 	CacheHits      int
+	// DominancePruned counts cross-product candidates the exhaustive
+	// oracle skipped through per-resource dominance pruning (always 0 for
+	// greedy runs, and for exhaustive runs whose cost tables are not
+	// monotone in every resource).
+	DominancePruned int
 	// Samples holds every distinct evaluation per workload.
 	Samples [][]Sample
 }

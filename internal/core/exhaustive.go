@@ -23,9 +23,27 @@ const exhaustiveChunk = 1024
 // compositions in work-stealing chunks using only that table (no locks),
 // sharing a running best for early-abandon: a candidate whose partial
 // gain-weighted total already exceeds the best cannot win, because
-// estimates are times and therefore nonnegative. The returned optimum is
-// deterministic and identical to a sequential scan: ties on total cost are
-// broken toward the smaller enumeration index.
+// estimates are times and therefore nonnegative.
+//
+// Between the phases the scan is shrunk by per-resource dominance
+// pruning: when every workload's cost table is monotone non-increasing in
+// every resource (the physical norm — more CPU or memory never makes a
+// database workload slower), a lattice cell whose cost is already
+// achieved at one δ-unit less of some resource is dominated, and no
+// candidate assigning a dominated cell to one of the first N−1 workloads
+// needs scanning. Proof sketch: reduce each such workload to an
+// equal-cost non-dominated cell and give all freed δ-units to the last
+// workload, whose monotone cost cannot rise and whose share stays within
+// the grid — an equal-or-cheaper, equally feasible candidate the scan
+// still visits. The last workload is exempt precisely to absorb that
+// slack (shares must still sum to 1). Cost tables with any increase
+// disable pruning entirely, so arbitrary estimators remain exact.
+//
+// The returned optimum is deterministic and identical to a sequential
+// scan with the same pruning: ties on total cost are broken toward the
+// smaller enumeration index. (On cost plateaus the winning index can
+// differ from an unpruned scan's — the total, the per-workload costs, and
+// feasibility never do.)
 func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 	n := len(ests)
 	opts, err := opts.withDefaults(n)
@@ -112,10 +130,57 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Dominance pruning: mark lattice cells whose cost is matched at one
+	// δ-unit less of some resource. Sound only when every workload's cost
+	// table is monotone non-increasing in every resource (checked below,
+	// against the fully materialized table, so no assumption is made about
+	// the estimators). Under monotonicity a cell dominated by ANY cheaper
+	// cell is also dominated by an immediate neighbour — costs along the
+	// coordinate-decreasing chain are sandwiched into equality — so the
+	// local check is complete.
+	stride := make([]int, opts.Resources)
+	for j := range stride {
+		stride[j] = 1
+		for k := 0; k < j; k++ {
+			stride[j] *= v
+		}
+	}
+	var domTab [][]bool // nil when pruning is disabled
+	if n >= 2 {
+		monotone := true
+		for i := 0; i < n && monotone; i++ {
+			for cell := 0; cell < cells && monotone; cell++ {
+				for j, c := 0, cell; j < opts.Resources; j++ {
+					if c%v < v-1 && costTab[i][cell+stride[j]] > costTab[i][cell] {
+						monotone = false
+						break
+					}
+					c /= v
+				}
+			}
+		}
+		if monotone {
+			domTab = make([][]bool, n)
+			for i := 0; i < n; i++ {
+				domTab[i] = make([]bool, cells)
+				for cell := 0; cell < cells; cell++ {
+					for j, c := 0, cell; j < opts.Resources; j++ {
+						if c%v > 0 && costTab[i][cell-stride[j]] <= costTab[i][cell] {
+							domTab[i][cell] = true
+							break
+						}
+						c /= v
+					}
+				}
+			}
+		}
+	}
+
 	// localBest is one worker's champion over the chunks it scanned.
 	type localBest struct {
-		total float64
-		lin   int // enumeration index, the deterministic tie-breaker
+		total  float64
+		lin    int // enumeration index, the deterministic tie-breaker
+		pruned int // candidates skipped by dominance in this worker's chunks
 	}
 
 	workers := opts.Parallelism
@@ -145,6 +210,7 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 		lb.total = math.Inf(1)
 		lb.lin = -1
 		idx := make([]int, opts.Resources)
+		cellBuf := make([]int, n)
 		for {
 			if err := opts.Ctx.Err(); err != nil {
 				return err
@@ -165,13 +231,43 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 					idx[j] = t % len(comps)
 					t /= len(comps)
 				}
+				// Dominance skip, decided before any cost work so the
+				// pruned count is independent of the early-abandon bound
+				// (and therefore of Parallelism). The full-candidate cell
+				// decode is paid only when pruning is active; the unpruned
+				// path keeps the lazy per-workload decode that
+				// early-abandon cuts short.
+				if domTab != nil {
+					for i := 0; i < n; i++ {
+						cell := 0
+						for j := opts.Resources - 1; j >= 0; j-- {
+							cell = cell*v + (comps[idx[j]][i] - lo)
+						}
+						cellBuf[i] = cell
+					}
+					dominated := false
+					for i := 0; i < n-1; i++ {
+						if domTab[i][cellBuf[i]] {
+							dominated = true
+							break
+						}
+					}
+					if dominated {
+						lb.pruned++
+						continue
+					}
+				}
 				bound := math.Float64frombits(sharedBest.Load())
 				sum := 0.0
 				feasible := true
 				for i := 0; i < n && feasible; i++ {
-					cell := 0
-					for j := opts.Resources - 1; j >= 0; j-- {
-						cell = cell*v + (comps[idx[j]][i] - lo)
+					var cell int
+					if domTab != nil {
+						cell = cellBuf[i]
+					} else {
+						for j := opts.Resources - 1; j >= 0; j-- {
+							cell = cell*v + (comps[idx[j]][i] - lo)
+						}
 					}
 					if !okTab[i][cell] {
 						feasible = false
@@ -197,9 +293,12 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 	}
 
 	// Deterministic merge: smallest total, ties toward the smallest
-	// enumeration index — exactly what a sequential scan keeps.
+	// enumeration index — exactly what a sequential scan keeps. The pruned
+	// counts sum over the workers' disjoint chunks.
 	best := localBest{total: math.Inf(1), lin: -1}
+	pruned := 0
 	for _, lb := range bests {
+		pruned += lb.pruned
 		if lb.lin < 0 {
 			continue
 		}
@@ -233,11 +332,12 @@ func Exhaustive(ests []Estimator, opts Options) (*Result, error) {
 		bestCosts[i] = costTab[i][cell]
 	}
 	return &Result{
-		Allocations:    bestAllocs,
-		Costs:          bestCosts,
-		TotalCost:      best.total,
-		DedicatedCosts: dedicated,
-		EstimatorCalls: int(s.calls.Load()),
-		CacheHits:      int(s.hits.Load()),
+		Allocations:     bestAllocs,
+		Costs:           bestCosts,
+		TotalCost:       best.total,
+		DedicatedCosts:  dedicated,
+		EstimatorCalls:  int(s.calls.Load()),
+		CacheHits:       int(s.hits.Load()),
+		DominancePruned: pruned,
 	}, nil
 }

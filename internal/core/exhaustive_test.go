@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// plateauEstimator is inverse-linear in CPU but flat in memory above a
+// saturation level: the cost landscape real DB workloads show once the
+// working set fits in the buffer pool, and the shape dominance pruning
+// exploits (extra memory beyond saturation buys nothing, so those lattice
+// cells are dominated).
+func plateauEstimator(alpha, gamma, sat float64) Estimator {
+	return EstimatorFunc(func(a Allocation) (float64, string, error) {
+		mem := 1.0
+		if len(a) > 1 {
+			mem = a[1]
+		}
+		if mem > sat {
+			mem = sat
+		}
+		return alpha/a[0] + gamma/mem, "p", nil
+	})
+}
+
+// bruteForce scans the full composition cross-product with no pruning and
+// no early-abandon: the reference the pruned oracle must match on total
+// cost and per-candidate feasibility. Two workloads, two resources.
+func bruteForce(t *testing.T, ests []Estimator, opts Options) (total float64, feasible bool) {
+	t.Helper()
+	steps := int(math.Round(1 / opts.Delta))
+	minSteps := 1
+	dedicated := make([]float64, len(ests))
+	for i, est := range ests {
+		sec, _, err := est.Estimate(Allocation{1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dedicated[i] = sec
+	}
+	gains := opts.Gains
+	if gains == nil {
+		gains = []float64{1, 1}
+	}
+	limits := opts.Limits
+	if limits == nil {
+		limits = []float64{math.Inf(1), math.Inf(1)}
+	}
+	best := math.Inf(1)
+	found := false
+	for c := minSteps; c <= steps-minSteps; c++ {
+		for m := minSteps; m <= steps-minSteps; m++ {
+			// Build allocations exactly like the oracle's lattice decode so
+			// floats match bit for bit.
+			allocs := []Allocation{
+				{float64(c) * opts.Delta, float64(m) * opts.Delta},
+				{float64(steps-c) * opts.Delta, float64(steps-m) * opts.Delta},
+			}
+			sum := 0.0
+			ok := true
+			for i, est := range ests {
+				sec, _, err := est.Estimate(allocs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dedicated[i] > 0 && sec/dedicated[i] > limits[i]+1e-12 {
+					ok = false
+				}
+				sum += gains[i] * sec
+			}
+			if ok && sum < best {
+				best = sum
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Dominance pruning must skip plateau cells yet return the exact optimum
+// of an unpruned scan, at any Parallelism, with identical pruned counts.
+func TestExhaustiveDominancePruningKeepsOptimum(t *testing.T) {
+	ests := []Estimator{
+		plateauEstimator(60, 20, 0.4), // flat in memory above 40%
+		plateauEstimator(25, 30, 0.6),
+	}
+	opts := Options{Delta: 0.1, Parallelism: 1}
+	res, err := Exhaustive(ests, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DominancePruned == 0 {
+		t.Fatal("plateau landscape should prune dominated candidates")
+	}
+	want, ok := bruteForce(t, ests, opts)
+	if !ok {
+		t.Fatal("brute force found no feasible candidate")
+	}
+	if math.Abs(res.TotalCost-want) > 1e-12 {
+		t.Fatalf("pruned optimum %v != brute-force optimum %v", res.TotalCost, want)
+	}
+	// The winning allocation itself must not sit on a dominated plateau:
+	// memory beyond saturation would be pure waste.
+	for i, sat := range []float64{0.4, 0.6} {
+		if res.Allocations[i][ResMem] > sat+0.1+1e-9 {
+			t.Fatalf("workload %d wastes memory: %v (saturates at %v)", i, res.Allocations[i], sat)
+		}
+	}
+	for _, p := range []int{2, 8} {
+		po := opts
+		po.Parallelism = p
+		pres, err := Exhaustive(ests, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "pruned parity", res, pres)
+		if pres.DominancePruned != res.DominancePruned {
+			t.Fatalf("pruned count diverges at parallelism %d: %d vs %d",
+				p, pres.DominancePruned, res.DominancePruned)
+		}
+	}
+}
+
+// Pruning must honor degradation limits: the optimum over the feasible
+// set matches the unpruned reference even when limits carve the grid.
+func TestExhaustiveDominancePruningRespectsLimits(t *testing.T) {
+	ests := []Estimator{
+		plateauEstimator(80, 10, 0.3),
+		plateauEstimator(15, 25, 0.5),
+	}
+	opts := Options{Delta: 0.1, Limits: []float64{math.Inf(1), 2.0}}
+	res, err := Exhaustive(ests, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := bruteForce(t, ests, opts)
+	if !ok {
+		t.Fatal("brute force found no feasible candidate")
+	}
+	if math.Abs(res.TotalCost-want) > 1e-12 {
+		t.Fatalf("pruned optimum %v != brute-force optimum %v", res.TotalCost, want)
+	}
+	if d := res.Degradations()[1]; d > 2.0+1e-9 {
+		t.Fatalf("limit violated under pruning: %v", d)
+	}
+}
+
+// A cost table that rises anywhere with extra resources (a pathological
+// estimator) must disable pruning entirely — exactness over speed.
+func TestExhaustiveNonMonotoneDisablesPruning(t *testing.T) {
+	bump := EstimatorFunc(func(a Allocation) (float64, string, error) {
+		mem := a[1]
+		cost := 30/a[0] + 5*mem // more memory HURTS: non-monotone
+		return cost, "p", nil
+	})
+	ests := []Estimator{bump, bump}
+	opts := Options{Delta: 0.1}
+	res, err := Exhaustive(ests, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DominancePruned != 0 {
+		t.Fatalf("non-monotone table must not prune, pruned %d", res.DominancePruned)
+	}
+	want, ok := bruteForce(t, ests, opts)
+	if !ok {
+		t.Fatal("brute force found no feasible candidate")
+	}
+	if math.Abs(res.TotalCost-want) > 1e-12 {
+		t.Fatalf("optimum %v != brute-force optimum %v", res.TotalCost, want)
+	}
+}
+
+// Completely flat workloads are the worst case for a naive
+// dominated-candidate skip (every candidate touches a plateau); the
+// last-workload slack exemption must keep the scan non-empty and exact.
+func TestExhaustiveAllFlatWorkloads(t *testing.T) {
+	flat := func(c float64) Estimator {
+		return EstimatorFunc(func(a Allocation) (float64, string, error) { return c, "p", nil })
+	}
+	ests := []Estimator{flat(7), flat(3)}
+	res, err := Exhaustive(ests, Options{Delta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost != 10 {
+		t.Fatalf("flat optimum should be 10, got %v", res.TotalCost)
+	}
+	if res.DominancePruned == 0 {
+		t.Fatal("flat landscape should prune aggressively")
+	}
+}

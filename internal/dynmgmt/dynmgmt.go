@@ -343,6 +343,21 @@ func (m *Manager) advisorOpts(inputs []PeriodInput, keyed bool) (core.Options, e
 // classification state and cost model to their pre-call values, so the
 // manager is fully retryable — the failed period deployed nothing.
 func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
+	return m.period(inputs, true)
+}
+
+// PeriodNoSnapshot is Period without the internal per-tenant snapshot:
+// the deferred-rollback variant for callers that already hold a manager
+// Snapshot — the fleet orchestrator snapshots every machine before a
+// period, so the per-Period snapshot would clone every refined model a
+// second time for nothing. On error the manager's per-tenant state may be
+// partially advanced; the caller MUST Restore its snapshot before
+// retrying or continuing. On success the two variants are identical.
+func (m *Manager) PeriodNoSnapshot(inputs []PeriodInput) (*PeriodReport, error) {
+	return m.period(inputs, false)
+}
+
+func (m *Manager) period(inputs []PeriodInput, guard bool) (*PeriodReport, error) {
 	rec, err := m.reconcile(inputs)
 	if err != nil {
 		return nil, err
@@ -358,22 +373,37 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 	// Survivor tenantStates are shared pointers, so every per-tenant
 	// field this period mutates (classification in step 1, models and
 	// error history in step 3) is snapshotted here and restored on any
-	// failure: a failed Period leaves the manager exactly as it found it.
+	// failure — unless the caller holds its own Snapshot and asked for the
+	// deferred-rollback variant.
 	tenants := rec.tenants
-	snaps := make([]tenantState, len(tenants))
-	for i, ts := range tenants {
-		snaps[i] = *ts
-		snaps[i].model = ts.model.Clone()
-	}
-	committed := false
-	defer func() {
-		if committed {
-			return
-		}
+	if guard {
+		snaps := make([]tenantState, len(tenants))
 		for i, ts := range tenants {
-			*ts = snaps[i]
+			snaps[i] = *ts
+			snaps[i].model = ts.model.Clone()
 		}
-	}()
+		committed := false
+		defer func() {
+			if committed {
+				return
+			}
+			for i, ts := range tenants {
+				*ts = snaps[i]
+			}
+		}()
+		rep, err := m.periodLocked(inputs, rec, opts)
+		if err == nil {
+			committed = true
+		}
+		return rep, err
+	}
+	return m.periodLocked(inputs, rec, opts)
+}
+
+// periodLocked is the period body proper; any error may leave per-tenant
+// state partially advanced (the callers above decide who rolls back).
+func (m *Manager) periodLocked(inputs []PeriodInput, rec reconciled, opts core.Options) (*PeriodReport, error) {
+	tenants := rec.tenants
 	prev := m.prev
 	if rec.resetPrev {
 		prev = nil
@@ -501,7 +531,6 @@ func (m *Manager) Period(inputs []PeriodInput) (*PeriodReport, error) {
 			report.Tenants[i].Converged = true
 		}
 	}
-	committed = true
 	m.apply(rec)
 	m.prev = cloneAllocs(res.Allocations)
 	return report, nil

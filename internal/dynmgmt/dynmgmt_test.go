@@ -537,3 +537,74 @@ func TestPeriodParallelParity(t *testing.T) {
 		}
 	}
 }
+
+// PeriodNoSnapshot must behave exactly like Period on success — same
+// reports, same state advance — while skipping the internal per-tenant
+// model clones (the caller holds its own Snapshot).
+func TestPeriodNoSnapshotMatchesPeriod(t *testing.T) {
+	run := func(noSnap bool) []*PeriodReport {
+		sc := newScenario()
+		m := NewManager(2, core.Options{Delta: 0.05})
+		var reports []*PeriodReport
+		for p := 0; p < 4; p++ {
+			if p == 2 {
+				sc.intensity[0] = 1.05
+			}
+			var rep *PeriodReport
+			var err error
+			if noSnap {
+				rep, err = m.PeriodNoSnapshot(sc.inputs())
+			} else {
+				rep, err = m.Period(sc.inputs())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+		return reports
+	}
+	guarded := run(false)
+	bare := run(true)
+	for p := range guarded {
+		for i := range guarded[p].Tenants {
+			g, b := guarded[p].Tenants[i], bare[p].Tenants[i]
+			if g != b {
+				t.Fatalf("period %d tenant %d reports diverge: %+v vs %+v", p, i, g, b)
+			}
+			for j := range guarded[p].Allocations[i] {
+				if guarded[p].Allocations[i][j] != bare[p].Allocations[i][j] {
+					t.Fatalf("period %d tenant %d allocations diverge", p, i)
+				}
+			}
+		}
+	}
+}
+
+// A failed PeriodNoSnapshot may leave per-tenant state dirty; the
+// caller's Snapshot/Restore must bring the manager back exactly, so a
+// retry behaves like the guarded variant's automatic rollback.
+func TestPeriodNoSnapshotRollsBackThroughManagerSnapshot(t *testing.T) {
+	sc := newScenario()
+	m := NewManager(2, core.Options{Delta: 0.05})
+	if _, err := m.Period(sc.inputs()); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	sc.intensity[0] = 1.3 // major change for tenant 0
+	bad := sc.inputs()
+	bad[1].Measure = func(a core.Allocation) (float64, error) {
+		return 0, fmt.Errorf("injected measurement failure")
+	}
+	if _, err := m.PeriodNoSnapshot(bad); err == nil {
+		t.Fatal("failing Measure must surface")
+	}
+	m.Restore(snap)
+	rep, err := m.PeriodNoSnapshot(sc.inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tenants[0].Change != ChangeMajor || !rep.Tenants[0].Rebuilt {
+		t.Fatalf("retry after restore should classify the major change again: %+v", rep.Tenants[0])
+	}
+}

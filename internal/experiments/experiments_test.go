@@ -30,7 +30,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"fig26", "fig27", "fig28", "fig29", "fig30", "fig31", "fig32",
 		"fig33", "fig34", "fig35", "fig36", "sec7.2",
 		"ablation-cache", "ablation-delta", "ablation-calibgrid",
-		"fleet-migration",
+		"fleet-migration", "fleet-scale",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -213,6 +213,42 @@ func TestResultRender(t *testing.T) {
 	for _, want := range []string{"== x: T ==", "k", "s", "note 7"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The incremental-scoring figure's headline shape: a steady-state period
+// performs zero fresh advisor runs at every fleet size, while the
+// uncached equivalent grows with the fleet.
+func TestFleetScaleCacheShape(t *testing.T) {
+	env := sharedEnv(t)
+	res, err := Run("fleet-scale", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached, uncached []float64
+	for _, s := range res.Series {
+		switch s.Name {
+		case "steady-runs-cached":
+			cached = s.Y
+		case "steady-runs-uncached":
+			uncached = s.Y
+		}
+	}
+	if len(cached) != len(res.X) || len(uncached) != len(res.X) {
+		t.Fatalf("ragged series: %+v", res.Series)
+	}
+	for i := range res.X {
+		if cached[i] != 0 {
+			t.Fatalf("fleet of %v: steady period ran %v fresh advisor runs, want 0", res.X[i], cached[i])
+		}
+		if uncached[i] <= 0 {
+			t.Fatalf("fleet of %v: uncached equivalent should be positive, got %v", res.X[i], uncached[i])
+		}
+	}
+	for i := 1; i < len(uncached); i++ {
+		if uncached[i] < uncached[i-1] {
+			t.Fatalf("uncached advisor runs should grow with fleet size: %v", uncached)
 		}
 	}
 }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+func init() {
+	register("fleet-scale", FleetScaleCache)
+}
+
+// scaleTenant builds one synthetic fleet tenant for the scaling figure:
+// an analytic inverse-linear workload (deterministic parameters from the
+// index) whose measured cost equals its estimate, so the managers
+// converge quickly and the steady state is genuine.
+func scaleTenant(i int, profiles []string, factors map[string]float64) fleet.Tenant {
+	alpha := 10 + float64((i*37)%60)
+	gamma := 5 + float64((i*23)%40)
+	id := fmt.Sprintf("w%d", i)
+	return fleet.Tenant{
+		ID:             id,
+		Fingerprint:    fmt.Sprintf("%s@0", id),
+		AvgEstPerQuery: alpha + gamma,
+		EstFor: func(profile string) core.Estimator {
+			f := factors[profile]
+			return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+				return f * (alpha/a[0] + gamma/a[1]), "p", nil
+			})
+		},
+		Measure: func(server int, a core.Allocation) (float64, error) {
+			f := factors[profiles[server]]
+			return f * (alpha/a[0] + gamma/a[1]), nil
+		},
+	}
+}
+
+// FleetScaleCache is the incremental-scoring scaling figure: steady-state
+// monitoring-period cost — fresh advisor runs and wall-clock latency —
+// with the machine-score cache on vs off, as the fleet grows. Without
+// the cache every period re-scores every machine (candidate placement
+// plus one manager advisor run per machine), so period cost grows with
+// fleet size even when nothing changed; with the cache a steady period
+// performs zero fresh advisor runs — the whole period is served from the
+// previous periods' scorings.
+func FleetScaleCache(env *Env) (*Result, error) {
+	res := &Result{
+		ID:     "fleet-scale",
+		Title:  "Incremental scoring: steady-period advisor runs and latency, cache on vs off, vs fleet size",
+		XLabel: "servers",
+		YLabel: "fresh advisor runs / period milliseconds",
+	}
+	var runsCached, runsUncached, msCached, msUncached []float64
+	for _, servers := range []int{2, 3, 4} {
+		profiles := make([]string, servers)
+		factors := map[string]float64{"big": 1, "small": 2}
+		for s := range profiles {
+			profiles[s] = "big"
+			if s%2 == 1 {
+				profiles[s] = "small"
+			}
+		}
+		inputs := make([]fleet.Tenant, 2*servers)
+		for i := range inputs {
+			inputs[i] = scaleTenant(i, profiles, factors)
+		}
+		build := func(disable bool) (*fleet.Orchestrator, error) {
+			return fleet.New(fleet.Options{
+				Profiles:          profiles,
+				MigrationCost:     5,
+				Core:              core.Options{Delta: 0.1, Parallelism: searchParallelism},
+				DisableScoreCache: disable,
+			})
+		}
+		// Cached fleet: warm to steady state (a period with zero fresh
+		// runs), then measure one steady period.
+		cached, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		warm := 0
+		for ; warm < 10; warm++ {
+			_, _, before := cached.ScoreStats()
+			if _, err := cached.Period(inputs); err != nil {
+				return nil, err
+			}
+			if _, _, after := cached.ScoreStats(); after == before {
+				break
+			}
+		}
+		hitsBefore, _, runsBefore := cached.ScoreStats()
+		start := time.Now()
+		if _, err := cached.Period(inputs); err != nil {
+			return nil, err
+		}
+		cachedMs := float64(time.Since(start).Microseconds()) / 1000
+		hitsAfter, _, runsAfter := cached.ScoreStats()
+		runsCached = append(runsCached, float64(runsAfter-runsBefore))
+		// Every steady-period cache hit stands in for a fresh advisor run
+		// a cache-less fleet would perform.
+		runsUncached = append(runsUncached, float64((runsAfter-runsBefore)+(hitsAfter-hitsBefore)))
+		msCached = append(msCached, cachedMs)
+
+		// Uncached fleet: same warmup length, then time one period.
+		plain, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p <= warm; p++ {
+			if _, err := plain.Period(inputs); err != nil {
+				return nil, err
+			}
+		}
+		start = time.Now()
+		if _, err := plain.Period(inputs); err != nil {
+			return nil, err
+		}
+		msUncached = append(msUncached, float64(time.Since(start).Microseconds())/1000)
+
+		res.X = append(res.X, float64(servers))
+	}
+	res.AddSeries("steady-runs-cached", runsCached)
+	res.AddSeries("steady-runs-uncached", runsUncached)
+	res.AddSeries("steady-ms-cached", msCached)
+	res.AddSeries("steady-ms-uncached", msUncached)
+	res.Note("a steady-state period performs 0 fresh advisor runs with the cache; without it every machine re-scores every period")
+	res.Note("wall-clock series are environment-dependent; the runs series are deterministic")
+	return res, nil
+}

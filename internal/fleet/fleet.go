@@ -32,10 +32,23 @@
 // EstFor, so both placement and per-machine tuning price a workload
 // differently on different hardware generations.
 //
+// Scoring is incremental: the orchestrator owns a machine-score cache
+// (internal/score) shared by the candidate placement, the stay-put
+// pricing run, placement's local search, and every machine's per-period
+// advisor run. Machine configurations are keyed by hardware profile,
+// tenant workload fingerprints (or refined-model versions), QoS, and
+// search options, so a machine whose membership and workloads did not
+// change between periods is re-scored by a map lookup — a steady-state
+// period performs zero fresh advisor runs. Options.AdmitQoS adds
+// fleet-level admission control (arrivals that fit nowhere within their
+// degradation limit are rejected, not placed best-effort), and
+// Options.LocalSearch refines every placement run past greedy packing.
+//
 // Like every enumerator below it, the orchestrator is bit-identical
 // across Options.Core.Parallelism settings: machines run in index order,
 // placement and the per-machine advisors are parity-guaranteed, and all
-// report aggregation is sequential.
+// report aggregation is sequential. The score cache changes only how
+// often the advisor runs, never a report.
 package fleet
 
 import (
@@ -45,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynmgmt"
 	"repro/internal/placement"
+	"repro/internal/score"
 )
 
 // Tenant is one database workload's monitoring data for one period.
@@ -66,6 +80,12 @@ type Tenant struct {
 	// that period-over-period changes reflect the workload, not the
 	// observation point.
 	AvgEstPerQuery float64
+	// Fingerprint identifies the tenant's current workload for the
+	// machine-score cache: unique per tenant, changed whenever the
+	// workload (and hence every EstFor estimator) changes. Empty makes
+	// the tenant uncacheable — machine configurations containing it are
+	// always scored fresh, never wrongly reused.
+	Fingerprint string
 	// Measure returns the actual cost of the tenant's current workload on
 	// the given server under an allocation (required).
 	Measure func(server int, a core.Allocation) (float64, error)
@@ -89,6 +109,28 @@ type Options struct {
 	// Tau and ErrThreshold override the managers' §6 thresholds when > 0.
 	Tau          float64
 	ErrThreshold float64
+	// LocalSearch bounds the post-greedy local-search refinement of every
+	// placement run this orchestrator performs (see
+	// placement.Options.LocalSearch); 0 disables it.
+	LocalSearch int
+	// AdmitQoS enables fleet-level admission control: an arriving tenant
+	// is rejected for the period — reported in PeriodReport.Rejected —
+	// when every slot is taken, or when no machine can seat it beside its
+	// incumbent residents with every member's degradation limit holding
+	// (the arrival's own AND the residents'), rather than placed
+	// best-effort over someone's QoS. Rejected tenants may simply be
+	// resubmitted next period. Each arrival is checked independently
+	// against the incumbent residents: a batch of individually-admissible
+	// but jointly-conflicting same-period arrivals can still be admitted
+	// together (joint admission is a roadmap item); staggering arrivals
+	// across periods gives the strict guarantee.
+	AdmitQoS bool
+	// DisableScoreCache turns off the orchestrator's machine-score cache.
+	// The cache memoizes per-machine advisor runs across greedy
+	// candidates, local search, the stay-put pricing run, and — most
+	// importantly — across periods, so unchanged machines are never
+	// re-scored; results are bit-identical with it on or off.
+	DisableScoreCache bool
 }
 
 // MachineReport is one server's slice of a period.
@@ -131,6 +173,14 @@ type PeriodReport struct {
 	// the fleet's estimated cost at the deployed allocations, from the
 	// managers' (refined-model-aware) runs.
 	TotalCost float64
+	// LocalSearchImprovement is how much the candidate placement's
+	// local-search phase lowered its objective below plain greedy packing
+	// (0 when Options.LocalSearch is 0 or no improving change existed).
+	LocalSearchImprovement float64
+	// Rejected lists tenants turned away by QoS admission control this
+	// period (Options.AdmitQoS), in input order. Rejected tenants are not
+	// placed, not managed, and not counted as Arrivals.
+	Rejected []string
 	// MaxDegradation is the worst per-tenant degradation;  QoSViolations
 	// counts tenants past their limit (a best-effort placement may exceed
 	// unsatisfiable limits, as §7.5 shows).
@@ -150,7 +200,7 @@ type machine struct {
 	last *core.Result
 }
 
-func newMachine(opts Options) *machine {
+func newMachine(opts Options, profile string, scores *score.Cache) *machine {
 	m := &machine{mgr: dynmgmt.NewManager(0, opts.Core)}
 	if opts.Tau > 0 {
 		m.mgr.Tau = opts.Tau
@@ -158,11 +208,17 @@ func newMachine(opts Options) *machine {
 	if opts.ErrThreshold > 0 {
 		m.mgr.ErrThreshold = opts.ErrThreshold
 	}
-	// The hook captures each period's advisor result for the fleet
-	// report; allocation decisions are unchanged (core.Recommend is what
-	// a hookless manager would run).
+	// The hook captures each period's advisor result for the fleet report
+	// and serves the run through the machine-score cache when every
+	// estimator in the basis carries a fingerprint — refined models
+	// fingerprint themselves (lineage + observation count), and the
+	// orchestrator wraps the tenants' raw estimators. In steady state the
+	// basis is unchanged converged models, so the period's advisor run is
+	// a cache hit: zero fresh core.Recommend work on unchanged machines.
+	// Allocation decisions are unchanged either way (a nil cache, or any
+	// unfingerprinted estimator, falls back to a fresh core.Recommend).
 	m.mgr.Recommend = func(ests []core.Estimator, o core.Options) (*core.Result, error) {
-		res, err := core.Recommend(ests, o)
+		res, err := scores.RecommendEsts(profile, ests, o)
 		if err == nil {
 			m.last = res
 		}
@@ -178,6 +234,10 @@ type Orchestrator struct {
 	assignment map[string]int
 	period     int
 	history    []*PeriodReport
+	// scores memoizes per-machine advisor runs across candidates, the
+	// stay-put pricing run, local search, the per-machine managers, and
+	// periods (nil when Options.DisableScoreCache).
+	scores *score.Cache
 }
 
 // New creates an orchestrator for the given fleet topology. The topology
@@ -193,14 +253,23 @@ func New(opts Options) (*Orchestrator, error) {
 		return nil, errors.New("fleet: QoS rides on each Tenant, not on Options.Core.Gains/Limits")
 	}
 	o := &Orchestrator{opts: opts, assignment: map[string]int{}}
-	for range opts.Profiles {
-		o.machines = append(o.machines, newMachine(opts))
+	if !opts.DisableScoreCache {
+		o.scores = score.NewCache()
+	}
+	for s := range opts.Profiles {
+		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores))
 	}
 	return o, nil
 }
 
 // Servers returns the fleet size.
 func (o *Orchestrator) Servers() int { return len(o.machines) }
+
+// ScoreStats reports the machine-score cache's (hits, misses, fresh
+// advisor runs) counters — all zero when the cache is disabled.
+func (o *Orchestrator) ScoreStats() (hits, misses, runs int64) {
+	return o.scores.Stats()
+}
 
 // Assignment returns a copy of the current tenant→server assignment.
 func (o *Orchestrator) Assignment() map[string]int {
@@ -341,23 +410,8 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	if err := validate(tenants); err != nil {
 		return nil, err
 	}
-	ptenants := make([]placement.Tenant, len(tenants))
-	for i, t := range tenants {
-		ptenants[i] = placement.Tenant{Name: t.ID, EstFor: t.EstFor, Gain: t.Gain, Limit: t.Limit}
-	}
-	popts := placement.Options{Profiles: o.opts.Profiles, Core: o.opts.Core}
-	candidate, err := placement.Place(ptenants, popts)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: candidate placement: %w", err)
-	}
-
 	rep := &PeriodReport{
-		Assignment:    make(map[string]int, len(tenants)),
-		Allocations:   make(map[string]core.Allocation, len(tenants)),
-		Degradations:  make(map[string]float64, len(tenants)),
-		CandidateCost: candidate.TotalCost,
-		StayCost:      candidate.TotalCost,
-		Machines:      make([]MachineReport, len(o.machines)),
+		Machines: make([]MachineReport, len(o.machines)),
 	}
 	present := make(map[string]bool, len(tenants))
 	pinned := make([]int, len(tenants))
@@ -377,6 +431,90 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 			rep.Departures++
 		}
 	}
+
+	ptenants := make([]placement.Tenant, len(tenants))
+	for i, t := range tenants {
+		ptenants[i] = placement.Tenant{Name: t.ID, EstFor: t.EstFor,
+			Gain: t.Gain, Limit: t.Limit, Fingerprint: t.Fingerprint}
+	}
+	popts := placement.Options{
+		Profiles:    o.opts.Profiles,
+		Core:        o.opts.Core,
+		Scores:      o.scores,
+		LocalSearch: o.opts.LocalSearch,
+	}
+
+	// QoS admission control: before any placement work, turn away
+	// arrivals the fleet provably cannot host — every slot taken, or (for
+	// limit-carrying arrivals) no machine able to seat the tenant beside
+	// its incumbent residents without someone's degradation limit
+	// breaking. The check prices residents+arrival configurations the
+	// stay-put run would score anyway, so with the score cache on it adds
+	// almost no fresh advisor work.
+	if o.opts.AdmitQoS && rep.Arrivals > 0 {
+		capacity := placement.Capacity(popts)
+		slots := len(o.machines) * capacity
+		for _, s := range pinned {
+			if s >= 0 {
+				slots--
+			}
+		}
+		admitOpts := popts
+		admitOpts.Pinned = pinned
+		rejected := make([]bool, len(tenants))
+		anyRejected := false
+		for i, t := range tenants {
+			if pinned[i] >= 0 {
+				continue
+			}
+			reject := slots <= 0
+			if !reject {
+				// Checked for every arrival, limited or not: an unlimited
+				// arrival can still break an incumbent resident's limit,
+				// and Admissible guards all members of a machine.
+				ok, err := placement.Admissible(ptenants, admitOpts, i)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
+				}
+				reject = !ok
+			}
+			if reject {
+				rejected[i] = true
+				anyRejected = true
+				rep.Rejected = append(rep.Rejected, t.ID)
+				rep.Arrivals--
+			} else {
+				slots--
+			}
+		}
+		if anyRejected {
+			var ft []Tenant
+			var fpt []placement.Tenant
+			var fpin []int
+			for i := range tenants {
+				if !rejected[i] {
+					ft = append(ft, tenants[i])
+					fpt = append(fpt, ptenants[i])
+					fpin = append(fpin, pinned[i])
+				}
+			}
+			if len(ft) == 0 {
+				return nil, errors.New("fleet: admission control rejected every tenant this period")
+			}
+			tenants, ptenants, pinned = ft, fpt, fpin
+		}
+	}
+
+	candidate, err := placement.Place(ptenants, popts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: candidate placement: %w", err)
+	}
+	rep.Assignment = make(map[string]int, len(tenants))
+	rep.Allocations = make(map[string]core.Allocation, len(tenants))
+	rep.Degradations = make(map[string]float64, len(tenants))
+	rep.CandidateCost = candidate.TotalCost
+	rep.StayCost = candidate.TotalCost
+	rep.LocalSearchImprovement = candidate.GreedyCost - candidate.TotalCost
 
 	// Placement decision. With no survivors (first period, or everyone
 	// departed) there is nothing to migrate: the candidate is free. At
@@ -469,6 +607,13 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 				restore()
 				return nil, fmt.Errorf("fleet: tenant %q has no estimator for profile %q", t.ID, profile)
 			}
+			if t.Fingerprint != "" && o.scores != nil {
+				// Fingerprint the raw estimator so the manager's advisor
+				// run is cacheable while the tenant's model is rebuilt
+				// from the optimizer (refined models fingerprint
+				// themselves).
+				est = score.WithFingerprint(est, t.Fingerprint)
+			}
 			server, measure := s, t.Measure
 			inputs[k] = dynmgmt.PeriodInput{
 				ID:             t.ID,
@@ -482,7 +627,11 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 			}
 		}
 		mach.last = nil
-		dynRep, err := mach.mgr.Period(inputs)
+		// The deferred-rollback period variant: the fleet-level snapshot
+		// above already cloned every manager's models, so the manager's
+		// internal per-Period snapshot would clone them all a second time
+		// for nothing. On failure, restore() rolls every machine back.
+		dynRep, err := mach.mgr.PeriodNoSnapshot(inputs)
 		if err != nil {
 			restore()
 			return nil, fmt.Errorf("fleet: machine %d period: %w", s, err)
@@ -518,7 +667,7 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// that moved away or departed).
 	for s := range o.machines {
 		if len(perMachine[s]) == 0 {
-			o.machines[s] = newMachine(o.opts)
+			o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores)
 		}
 	}
 	o.assignment = make(map[string]int, len(rep.Assignment))

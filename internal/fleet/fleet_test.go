@@ -45,6 +45,10 @@ func (sf *simFleet) input(t *simTenant) Tenant {
 		ID:    t.id,
 		Gain:  t.gain,
 		Limit: t.limit,
+		// Content-addressed workload fingerprint: any drift in the
+		// tenant's parameters re-keys every machine configuration that
+		// contains it.
+		Fingerprint: fmt.Sprintf("%s|%g|%g|%g", t.id, alpha, gamma, bias),
 		EstFor: func(profile string) core.Estimator {
 			f := sf.factor(profile)
 			return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {

@@ -24,11 +24,23 @@
 // put, place only the arrivals" against a free re-placement when deciding
 // whether migrations are worth their cost.
 //
+// Two optional refinements sit on top of the greedy enumerator.
+// Options.Scores plugs in a machine-score cache (internal/score): every
+// per-machine advisor run is then memoized by (profile, tenant
+// fingerprints, QoS, search options), so re-scoring configurations seen
+// before — by an earlier greedy step, the fleet's stay-put pricing run,
+// or a previous monitoring period — is a map lookup. Options.LocalSearch
+// bounds a post-greedy local-search phase: single-tenant moves and
+// pairwise swaps, applied best-first and only while the fleet objective
+// strictly improves, which un-sticks the greedy packer from the myopic
+// choices it made before later tenants arrived.
+//
 // Like the single-machine enumerators, placement is engineered to be
 // bit-identical across Options.Parallelism settings: tenants are ordered
 // by a deterministic rule, candidate machines are scored concurrently but
 // selected by a sequential replay with index tie-breaks, and the inner
-// advisor runs are themselves parity-guaranteed.
+// advisor runs are themselves parity-guaranteed. The score cache changes
+// only how often the advisor actually runs, never a result.
 package placement
 
 import (
@@ -40,6 +52,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/score"
 )
 
 // Tenant is one database workload to place: its calibrated estimator plus
@@ -61,6 +74,12 @@ type Tenant struct {
 	// Limit is the degradation limit L_i vs a dedicated machine (0 means
 	// unlimited; values in (0,1) are rejected).
 	Limit float64
+	// Fingerprint identifies the tenant's current workload for the score
+	// cache (Options.Scores): it must be unique per tenant and change
+	// whenever the workload (and hence the estimators) changes. Empty
+	// means uncacheable — machine configurations containing this tenant
+	// always run the advisor fresh.
+	Fingerprint string
 }
 
 // Options configures a placement run.
@@ -83,6 +102,18 @@ type Options struct {
 	// there, and its Parallelism/Ctx also drive the placement layer's own
 	// candidate fan-out.
 	Core core.Options
+	// Scores optionally memoizes the per-machine advisor runs across
+	// placements (and across a fleet's monitoring periods). Only machine
+	// configurations whose every member carries a Fingerprint are cached;
+	// a nil cache runs every scoring fresh. Results are bit-identical
+	// either way.
+	Scores *score.Cache
+	// LocalSearch bounds the post-greedy refinement rounds: each round
+	// scores every single-tenant move and pairwise swap of free tenants
+	// and applies the one that improves the fleet objective most, stopping
+	// early when no strict improvement remains. 0 disables the phase.
+	// Pinned tenants never move.
+	LocalSearch int
 }
 
 // Machine is one physical server's share of a finished placement.
@@ -103,6 +134,13 @@ type Placement struct {
 	Machines []Machine
 	// TotalCost is the gain-weighted objective summed over all machines.
 	TotalCost float64
+	// GreedyCost is the objective after greedy packing, before local
+	// search (equal to TotalCost when Options.LocalSearch is 0 or no
+	// improving move existed); GreedyCost − TotalCost is the local-search
+	// improvement.
+	GreedyCost float64
+	// LocalSearchMoves counts the moves and swaps local search applied.
+	LocalSearchMoves int
 }
 
 // AllocationOf returns the allocation recommended for a tenant, or nil
@@ -229,24 +267,8 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 		return nil, err
 	}
 	servers := len(sh.profiles)
-	if opts.Core.Delta <= 0 {
-		opts.Core.Delta = 0.05
-	}
-	if opts.Core.MinShare <= 0 {
-		opts.Core.MinShare = opts.Core.Delta
-	}
-	if opts.Core.Parallelism <= 0 {
-		opts.Core.Parallelism = 1
-	}
-	if opts.Core.Ctx == nil {
-		opts.Core.Ctx = context.Background()
-	}
-	if opts.Core.Resources <= 0 {
-		opts.Core.Resources = 2
-	}
-	// A machine can hold at most ⌊1/MinShare⌋ tenants: each keeps a
-	// MinShare floor of every resource.
-	capacity := int((1 + 1e-9) / opts.Core.MinShare)
+	opts = withDefaults(opts)
+	capacity := Capacity(opts)
 	if n > servers*capacity {
 		return nil, fmt.Errorf("placement: %d tenants exceed %d servers × %d slots (MinShare %.0f%%)",
 			n, servers, capacity, opts.Core.MinShare*100)
@@ -255,27 +277,7 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 		return nil, fmt.Errorf("placement: %d pinned entries for %d tenants", len(opts.Pinned), n)
 	}
 
-	// One placement runs the per-machine advisor many times over the same
-	// estimators, so wrap each (tenant, profile) estimator in a cross-run
-	// memo: scoring tenant k on machine s re-visits grid points costed by
-	// earlier candidate runs.
-	ests := make([][]core.Estimator, n) // [tenant][distinct profile]
-	for i := range tenants {
-		ests[i] = make([]core.Estimator, len(sh.distinct))
-		for d, p := range sh.distinct {
-			base := tenants[i].Est
-			if tenants[i].EstFor != nil {
-				if e := tenants[i].EstFor(p); e != nil {
-					base = e
-				}
-			}
-			if base == nil {
-				return nil, fmt.Errorf("placement: tenant %d (%s) has no estimator for profile %q",
-					i, tenants[i].Name, p)
-			}
-			ests[i][d] = newMemoEstimator(base)
-		}
-	}
+	sc := newScorer(tenants, sh, opts)
 
 	// Dedicated-machine cost per free tenant per profile: the greedy
 	// loop's ordering key (the same Cost(W_i, [1..1]) the degradation
@@ -303,7 +305,11 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	dedShare := core.BatchShare(opts.Core.Parallelism, len(free)*np)
 	if err := forEachTenant(opts, len(free)*np, func(task int) error {
 		i, d := free[task/np], task%np
-		sec, _, err := core.EstimateWith(opts.Core.Ctx, ests[i][d], dedShare, full)
+		est, err := sc.est(i, d)
+		if err != nil {
+			return err
+		}
+		sec, _, err := core.EstimateWith(opts.Core.Ctx, est, dedShare, full)
 		if err != nil {
 			return fmt.Errorf("placement: dedicated cost of %s on profile %q: %w",
 				tenants[i].Name, sh.distinct[d], err)
@@ -361,7 +367,7 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 		pinShare := core.BatchShare(opts.Core.Parallelism, len(occupied))
 		if err := forEachTenant(opts, len(occupied), func(k int) error {
 			s := occupied[k]
-			res, err := recommend(tenants, ests, machines[s].Tenants, sh.profIdx[s], opts, pinShare)
+			res, err := sc.recommend(machines[s].Tenants, sh.profIdx[s], pinShare)
 			if err != nil {
 				return fmt.Errorf("placement: scoring pinned server %d: %w", s, err)
 			}
@@ -410,7 +416,7 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 		if err := forEachTenant(opts, len(cands), func(c int) error {
 			s := cands[c].server
 			cands[c].members = append(append([]int(nil), machines[s].Tenants...), t)
-			res, err := recommend(tenants, ests, cands[c].members, sh.profIdx[s], opts, candShare)
+			res, err := sc.recommend(cands[c].members, sh.profIdx[s], candShare)
 			if err != nil {
 				return fmt.Errorf("placement: scoring %s on server %d: %w", tenants[t].Name, s, err)
 			}
@@ -443,45 +449,225 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 		totals[s] = cands[best].res.TotalCost
 	}
 
-	p := &Placement{Assignment: assignment, Machines: machines}
+	greedyCost := 0.0
+	for s := range totals {
+		greedyCost += totals[s]
+	}
+	lsMoves := 0
+	if opts.LocalSearch > 0 {
+		lsMoves, err = sc.localSearch(assignment, machines, totals, capacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	p := &Placement{Assignment: assignment, Machines: machines,
+		GreedyCost: greedyCost, LocalSearchMoves: lsMoves}
 	for s := range machines {
 		p.TotalCost += totals[s]
 	}
 	return p, nil
 }
 
+// withDefaults fills the core-option defaults every entry point of this
+// package relies on.
+func withDefaults(opts Options) Options {
+	if opts.Core.Delta <= 0 {
+		opts.Core.Delta = 0.05
+	}
+	if opts.Core.MinShare <= 0 {
+		opts.Core.MinShare = opts.Core.Delta
+	}
+	if opts.Core.Parallelism <= 0 {
+		opts.Core.Parallelism = 1
+	}
+	if opts.Core.Ctx == nil {
+		opts.Core.Ctx = context.Background()
+	}
+	if opts.Core.Resources <= 0 {
+		opts.Core.Resources = 2
+	}
+	return opts
+}
+
+// Capacity returns how many tenants one machine can hold: each keeps a
+// MinShare floor of every resource, so at most ⌊1/MinShare⌋ fit.
+func Capacity(opts Options) int {
+	opts = withDefaults(opts)
+	return int((1 + 1e-9) / opts.Core.MinShare)
+}
+
+// Admissible reports whether at least one machine could host the arrival
+// tenant within every member's degradation limit, with the surviving
+// tenants held on their current machines by Options.Pinned (the arrival's
+// own entry must be -1). It scores each machine with spare capacity over
+// its residents plus the arrival — exactly the configurations a stay-put
+// placement run would price, so with Options.Scores set the subsequent
+// Place call reuses these runs. Fleet-level QoS admission control is
+// built on this: an arrival for which no machine passes is rejected
+// rather than placed best-effort.
+//
+// Admission is checked against the pinned residents only: other
+// unplaced tenants (for example, a batch of simultaneous arrivals) are
+// not considered, and an already-violating resident makes its machine
+// inadmissible for any arrival.
+func Admissible(tenants []Tenant, opts Options, arrival int) (bool, error) {
+	if arrival < 0 || arrival >= len(tenants) {
+		return false, fmt.Errorf("placement: arrival index %d of %d tenants", arrival, len(tenants))
+	}
+	sh, err := shapeOf(opts)
+	if err != nil {
+		return false, err
+	}
+	servers := len(sh.profiles)
+	opts = withDefaults(opts)
+	capacity := Capacity(opts)
+	if opts.Pinned != nil && len(opts.Pinned) != len(tenants) {
+		return false, fmt.Errorf("placement: %d pinned entries for %d tenants", len(opts.Pinned), len(tenants))
+	}
+	residents := make([][]int, servers)
+	if opts.Pinned != nil {
+		if opts.Pinned[arrival] >= 0 {
+			return false, fmt.Errorf("placement: arrival %d is pinned to server %d", arrival, opts.Pinned[arrival])
+		}
+		for i, s := range opts.Pinned {
+			if s < 0 {
+				continue
+			}
+			if s >= servers {
+				return false, fmt.Errorf("placement: tenant %d pinned to server %d of %d", i, s, servers)
+			}
+			residents[s] = append(residents[s], i)
+		}
+	}
+	sc := newScorer(tenants, sh, opts)
+	sawEmpty := make([]bool, len(sh.distinct))
+	for s := 0; s < servers; s++ {
+		if len(residents[s]) >= capacity {
+			continue
+		}
+		if len(residents[s]) == 0 {
+			d := sh.profIdx[s]
+			if sawEmpty[d] {
+				continue
+			}
+			sawEmpty[d] = true
+		}
+		members := appendMember(residents[s], arrival)
+		// A machine whose every member (arrival included) is unlimited
+		// can host anything a free slot allows — no scoring needed.
+		limited := false
+		for _, m := range members {
+			if !math.IsInf(limit(tenants[m]), 1) {
+				limited = true
+				break
+			}
+		}
+		if !limited {
+			return true, nil
+		}
+		res, err := sc.recommend(members, sh.profIdx[s], opts.Core.Parallelism)
+		if err != nil {
+			return false, fmt.Errorf("placement: admission scoring server %d: %w", s, err)
+		}
+		if withinLimits(res, tenants, members) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// scorer carries one Place (or Admissible) call's machine-scoring state:
+// the tenants, their per-profile memoized estimators, the cache
+// fingerprints, and the resolved fleet shape.
+type scorer struct {
+	tenants []Tenant
+	sh      fleetShape
+	opts    Options
+
+	// mu guards the lazily-built estimator table; estimators are
+	// constructed on first use, so an admission check for one arrival
+	// never invokes EstFor for tenants it does not score.
+	mu   sync.Mutex
+	ests [][]core.Estimator // [tenant][distinct profile], nil until used
+}
+
+func newScorer(tenants []Tenant, sh fleetShape, opts Options) *scorer {
+	return &scorer{tenants: tenants, sh: sh, opts: opts,
+		ests: make([][]core.Estimator, len(tenants))}
+}
+
+// est returns tenant t's estimator for distinct profile d, wrapping it in
+// a cross-run memo on first use: one placement runs the per-machine
+// advisor many times over the same estimators, and scoring tenant k on
+// machine s re-visits grid points costed by earlier candidate runs.
+func (sc *scorer) est(t, d int) (core.Estimator, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.ests[t] == nil {
+		sc.ests[t] = make([]core.Estimator, len(sc.sh.distinct))
+	}
+	if e := sc.ests[t][d]; e != nil {
+		return e, nil
+	}
+	p := sc.sh.distinct[d]
+	base := sc.tenants[t].Est
+	if sc.tenants[t].EstFor != nil {
+		if e := sc.tenants[t].EstFor(p); e != nil {
+			base = e
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("placement: tenant %d (%s) has no estimator for profile %q",
+			t, sc.tenants[t].Name, p)
+	}
+	me := newMemoEstimator(base)
+	sc.ests[t][d] = me
+	return me, nil
+}
+
 // recommend runs the per-machine advisor over the given tenant subset on
 // a machine of the given profile, shaping Gains and Limits from the
 // members' QoS settings; workers bounds the inner search's parallelism
-// (its slice of the shared pool).
-func recommend(tenants []Tenant, ests [][]core.Estimator, members []int, profile int,
-	opts Options, workers int) (*core.Result, error) {
-	co := opts.Core
+// (its slice of the shared pool). When a score cache is configured and
+// every member carries a fingerprint, the run is served through the
+// cache — bit-identical to a fresh run, by the enumerator's determinism.
+func (sc *scorer) recommend(members []int, profile int, workers int) (*core.Result, error) {
+	co := sc.opts.Core
 	co.Parallelism = workers
 	co.Gains = make([]float64, len(members))
 	co.Limits = make([]float64, len(members))
 	memberEsts := make([]core.Estimator, len(members))
 	for i, t := range members {
-		co.Gains[i] = gain(tenants[t])
-		co.Limits[i] = limit(tenants[t])
-		memberEsts[i] = ests[t][profile]
+		co.Gains[i] = gain(sc.tenants[t])
+		co.Limits[i] = limit(sc.tenants[t])
+		est, err := sc.est(t, profile)
+		if err != nil {
+			return nil, err
+		}
+		memberEsts[i] = est
+	}
+	if sc.opts.Scores != nil {
+		fps := make([]string, len(members))
+		cacheable := true
+		for i, t := range members {
+			fps[i] = sc.tenants[t].Fingerprint
+			if fps[i] == "" {
+				cacheable = false
+				break
+			}
+		}
+		if cacheable {
+			return sc.opts.Scores.Recommend(sc.sh.distinct[profile], fps, memberEsts, co)
+		}
 	}
 	return core.Recommend(memberEsts, co)
 }
 
 // withinLimits reports whether every member of a scored machine meets
-// its degradation limit (using the same tolerance as the enumerator).
+// its degradation limit (the single limit predicate lives in violators).
 func withinLimits(res *core.Result, tenants []Tenant, members []int) bool {
-	for i, t := range members {
-		lim := limit(tenants[t])
-		if math.IsInf(lim, 1) {
-			continue
-		}
-		if d := res.DedicatedCosts[i]; d > 0 && res.Costs[i]/d > lim+1e-12 {
-			return false
-		}
-	}
-	return true
+	return len(violators(res, tenants, members)) == 0
 }
 
 func gain(t Tenant) float64 {

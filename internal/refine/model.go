@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/regress"
@@ -76,6 +77,35 @@ type Model struct {
 	// FirstScaled records whether the first-iteration scale-all step has
 	// happened (§5.1 scales all intervals once to remove uniform bias).
 	FirstScaled bool
+
+	// id names the model's lineage (assigned at NewModel, preserved by
+	// Clone) and version counts content mutations: together they form the
+	// ScoreFingerprint that lets machine-score caches recognize an
+	// unchanged model across monitoring periods.
+	id      int64
+	version int64
+}
+
+// modelSeq hands out process-unique model lineage IDs.
+var modelSeq atomic.Int64
+
+// modelClones counts Model.Clone calls process-wide — the test hook
+// behind the "a fleet period clones each refined model once, not twice"
+// guarantee of the deferred-rollback period variant.
+var modelClones atomic.Int64
+
+// ModelClones reports how many model clones have been taken in this
+// process: take the count before and after an operation and assert the
+// delta.
+func ModelClones() int64 { return modelClones.Load() }
+
+// ScoreFingerprint identifies the model's exact content for machine-score
+// caching: it changes on every Observe (and differs across rebuilt
+// lineages), so equal fingerprints imply bit-identical Estimate
+// behaviour. A clone shares its original's fingerprint until either side
+// observes again.
+func (md *Model) ScoreFingerprint() string {
+	return fmt.Sprintf("refine.Model:%d.%d", md.id, md.version)
 }
 
 // NewModel fits a model from the samples collected during configuration
@@ -96,7 +126,7 @@ func NewModel(samples []core.Sample, m int) (*Model, error) {
 	for _, s := range samples {
 		groups[s.PlanSig] = append(groups[s.PlanSig], s)
 	}
-	model := &Model{M: m}
+	model := &Model{M: m, id: modelSeq.Add(1)}
 	for sig, grp := range groups {
 		iv := &Interval{Plan: sig, Lo: math.Inf(1), Hi: math.Inf(-1), Alphas: make([]float64, m)}
 		var X [][]float64
@@ -239,7 +269,8 @@ func (md *Model) Clone() *Model {
 	if md == nil {
 		return nil
 	}
-	out := &Model{M: md.M, FirstScaled: md.FirstScaled}
+	modelClones.Add(1)
+	out := &Model{M: md.M, FirstScaled: md.FirstScaled, id: md.id, version: md.version}
 	out.Intervals = make([]*Interval, len(md.Intervals))
 	for i, iv := range md.Intervals {
 		c := &Interval{
@@ -277,6 +308,9 @@ func (md *Model) Observe(a core.Allocation, act float64) (est float64, err error
 	if err != nil {
 		return 0, err
 	}
+	// Every path below mutates the model (scale, refit, or boundary
+	// extension), so the content fingerprint advances unconditionally.
+	md.version++
 	lvlNow := levelOf(a, md.M)
 	if est <= 0 {
 		// A sparse or ill-conditioned interval fit can extrapolate to a

@@ -362,3 +362,48 @@ func TestNewModelErrors(t *testing.T) {
 		t.Fatal("no samples should error")
 	}
 }
+
+// The score fingerprint must identify the model's exact content: stable
+// while the model is untouched, advanced by every Observe, distinct
+// across lineages, and preserved (then diverged) by Clone.
+func TestModelScoreFingerprint(t *testing.T) {
+	truth := func(cpu, mem float64) float64 { return 20/cpu + 5/mem }
+	md, err := NewModel(synthSamples(truth, singlePlan), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewModel(synthSamples(truth, singlePlan), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.ScoreFingerprint() == other.ScoreFingerprint() {
+		t.Fatal("independent models must have distinct fingerprints")
+	}
+	fp0 := md.ScoreFingerprint()
+	if again := md.ScoreFingerprint(); again != fp0 {
+		t.Fatal("fingerprint must be stable without mutation")
+	}
+	before := ModelClones()
+	clone := md.Clone()
+	if ModelClones() != before+1 {
+		t.Fatal("Clone must count")
+	}
+	if clone.ScoreFingerprint() != fp0 {
+		t.Fatal("a clone shares its original's fingerprint")
+	}
+	if _, err := md.Observe(core.Allocation{0.5, 0.5}, truth(0.5, 0.5)*1.1); err != nil {
+		t.Fatal(err)
+	}
+	if md.ScoreFingerprint() == fp0 {
+		t.Fatal("Observe must advance the fingerprint")
+	}
+	if clone.ScoreFingerprint() != fp0 {
+		t.Fatal("observing the original must not touch the clone")
+	}
+	// Note: a clone observed with DIFFERENT data would reach the same
+	// lineage+version as the original with different content. The
+	// snapshot discipline makes that unreachable for cache keys: clones
+	// exist only as rollback snapshots, are restored only INSTEAD of the
+	// state they were taken from, and within a period every advisor run
+	// (the only cache writer) happens before any Observe.
+}

@@ -1,0 +1,282 @@
+// Package score is the incremental machine-scoring service shared by the
+// placement enumerator, the cluster layer, and the fleet orchestrator: a
+// deterministic cache of per-machine advisor runs.
+//
+// Every layer above internal/core ultimately prices a candidate "these
+// tenants share this machine" configuration by running core.Recommend
+// over the tenants' estimators. At fleet scale that makes each monitoring
+// period O(machines × candidate placements) full advisor runs even when
+// most machines' tenant sets did not change between periods. Advisor runs
+// are deterministic: the result depends only on the machine's hardware
+// profile, the (ordered) tenant set with its workloads and QoS settings,
+// and the enumerator's search options — notably NOT on Parallelism, which
+// the repository guarantees bit-identical results across. The cache keys
+// on exactly those inputs, so re-scoring an unchanged machine is a map
+// lookup and only genuinely new configurations run the advisor.
+//
+// Tenant workloads are identified by caller-supplied fingerprints: an
+// opaque string that must change whenever the estimator's behaviour
+// changes (a workload drifts, a refined cost model observes a new
+// measurement) and must differ between tenants. Layers that cannot
+// fingerprint a member simply bypass the cache for that configuration —
+// correctness never depends on a hit.
+//
+// Results returned from the cache are shared pointers and must be treated
+// as immutable, the repository-wide convention for *core.Result.
+package score
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Fingerprinter is implemented by estimators that carry a stable identity
+// for the workload (and cost-model state) they estimate: equal
+// fingerprints on the same machine profile must imply bit-identical
+// Estimate results. The refinement layer's models and the score package's
+// WithFingerprint wrapper implement it.
+type Fingerprinter interface {
+	ScoreFingerprint() string
+}
+
+// FingerprintOf returns the estimator's fingerprint, or "" when it does
+// not carry one (such an estimator is uncacheable).
+func FingerprintOf(est core.Estimator) string {
+	if f, ok := est.(Fingerprinter); ok {
+		return f.ScoreFingerprint()
+	}
+	return ""
+}
+
+// fingerprinted attaches a caller-chosen fingerprint to an estimator. It
+// forwards concurrent estimation so wrapping never serializes a
+// ConcurrentEstimator.
+type fingerprinted struct {
+	est core.Estimator
+	fp  string
+}
+
+// WithFingerprint wraps an estimator with a fingerprint, making it
+// cacheable by a score.Cache. The fingerprint must identify the
+// estimator's behaviour: two estimators with equal fingerprints (and
+// equal machine profile) must produce identical estimates.
+func WithFingerprint(est core.Estimator, fp string) core.Estimator {
+	return &fingerprinted{est: est, fp: fp}
+}
+
+var (
+	_ core.Estimator           = (*fingerprinted)(nil)
+	_ core.ConcurrentEstimator = (*fingerprinted)(nil)
+	_ Fingerprinter            = (*fingerprinted)(nil)
+)
+
+func (f *fingerprinted) Estimate(a core.Allocation) (float64, string, error) {
+	return f.est.Estimate(a)
+}
+
+func (f *fingerprinted) EstimateConcurrent(ctx context.Context, workers int, a core.Allocation) (float64, string, error) {
+	return core.EstimateWith(ctx, f.est, workers, a)
+}
+
+func (f *fingerprinted) ScoreFingerprint() string { return f.fp }
+
+// entry is one cached advisor run, resolved exactly once: concurrent
+// requests for the same configuration block on the single in-flight run
+// instead of duplicating it.
+type entry struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+// Cache memoizes core.Recommend results across machine scorings. A nil
+// *Cache is valid and simply runs everything fresh, so callers can thread
+// an optional cache without branching. Safe for concurrent use.
+//
+// Entries are never evicted: a cache grows with the number of distinct
+// configurations ever scored (drifted workloads and departed tenants
+// keep their stale entries — Len reports the size). Bounding it with an
+// eviction policy is a roadmap item; very long-lived, high-churn callers
+// can simply start a fresh Cache periodically, trading one round of
+// re-scoring for the reclaimed memory.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	runs   atomic.Int64
+}
+
+// NewCache creates an empty machine-score cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// Hits counts lookups served from the cache.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses counts cacheable lookups that had to run the advisor.
+func (c *Cache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Runs counts fresh core.Recommend executions performed through the cache
+// (cacheable misses plus uncacheable requests) — the counter behind the
+// "a steady-state fleet period performs zero fresh advisor runs on
+// unchanged machines" guarantee: take the count before and after a period
+// and assert the delta.
+func (c *Cache) Runs() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.runs.Load()
+}
+
+// Stats returns (hits, misses, runs) in one call.
+func (c *Cache) Stats() (hits, misses, runs int64) {
+	return c.Hits(), c.Misses(), c.Runs()
+}
+
+// Len reports how many distinct machine configurations are cached.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// fmtFloat renders a float64 into its shortest round-trip form — distinct
+// values get distinct key fragments, equal values always the same one.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// keyOf folds everything a core.Recommend result depends on into a
+// deterministic cache key: the machine profile, the ordered member
+// fingerprints with their QoS settings, and the search options — which
+// the caller must already have passed through core's own
+// Options.Normalize, the single defaulting routine, so a zero Delta and
+// an explicit 0.05 hit the same entry without this package re-deriving
+// any constant. Parallelism and Ctx are deliberately excluded — results
+// are bit-identical across Parallelism by the enumerator's parity
+// guarantee, so runs at different worker counts share entries.
+func keyOf(profile string, fps []string, opts core.Options) string {
+	n := len(fps)
+	var sb strings.Builder
+	sb.Grow(64 + 24*n)
+	sb.WriteString(strconv.Itoa(len(profile)))
+	sb.WriteByte('#')
+	sb.WriteString(profile)
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(opts.Resources))
+	sb.WriteByte(',')
+	sb.WriteString(fmtFloat(opts.Delta))
+	sb.WriteByte(',')
+	sb.WriteString(fmtFloat(opts.MinShare))
+	sb.WriteByte(',')
+	sb.WriteString(strconv.Itoa(opts.MaxIters))
+	for i, fp := range fps {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(len(fp)))
+		sb.WriteByte('#')
+		sb.WriteString(fp)
+		sb.WriteByte(',')
+		sb.WriteString(fmtFloat(opts.Gains[i]))
+		sb.WriteByte(',')
+		sb.WriteString(fmtFloat(opts.Limits[i]))
+	}
+	return sb.String()
+}
+
+// Recommend returns the advisor result for the machine configuration,
+// serving it from the cache when an identical configuration was scored
+// before. fps carries one fingerprint per estimator (the member order
+// matters: the enumerator's tie-breaks are index-dependent, so permuted
+// member lists are distinct configurations). Any empty fingerprint makes
+// the configuration uncacheable: the advisor runs fresh (counted in
+// Runs) and nothing is stored. Errors are never cached — a failed
+// configuration re-runs on the next request, so a cancelled context
+// cannot poison the cache.
+func (c *Cache) Recommend(profile string, fps []string, ests []core.Estimator, opts core.Options) (*core.Result, error) {
+	if c == nil {
+		return core.Recommend(ests, opts)
+	}
+	cacheable := len(fps) == len(ests)
+	if cacheable {
+		for _, fp := range fps {
+			if fp == "" {
+				cacheable = false
+				break
+			}
+		}
+	}
+	if !cacheable {
+		c.runs.Add(1)
+		return core.Recommend(ests, opts)
+	}
+	norm, err := opts.Normalize(len(ests))
+	if err != nil {
+		// Invalid options cannot be keyed; run direct so the caller gets
+		// core's own validation error.
+		c.runs.Add(1)
+		return core.Recommend(ests, opts)
+	}
+	k := keyOf(profile, fps, norm)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &entry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		c.runs.Add(1)
+		e.res, e.err = core.Recommend(ests, opts)
+	})
+	if e.err != nil {
+		// Do not cache failures: deterministic errors simply re-run, and
+		// transient ones (context cancellation mid-search) must not stick.
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+	}
+	return e.res, e.err
+}
+
+// RecommendEsts is Recommend with fingerprints drawn from the estimators
+// themselves (via the Fingerprinter interface): the path used by dynamic
+// managers, whose estimator basis per tenant alternates between refined
+// cost models and fresh optimizer-backed estimators.
+func (c *Cache) RecommendEsts(profile string, ests []core.Estimator, opts core.Options) (*core.Result, error) {
+	if c == nil {
+		return core.Recommend(ests, opts)
+	}
+	fps := make([]string, len(ests))
+	for i, est := range ests {
+		fps[i] = FingerprintOf(est)
+	}
+	return c.Recommend(profile, fps, ests, opts)
+}

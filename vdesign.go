@@ -214,6 +214,12 @@ type Options struct {
 	// Context cancels a long-running recommendation; nil means no
 	// cancellation.
 	Context context.Context
+	// LocalSearch bounds the post-greedy local-search refinement of
+	// multi-machine placements (Cluster.Place): each round applies the
+	// single-tenant move or pairwise swap that lowers the fleet objective
+	// most, stopping when no strict improvement remains. 0 disables the
+	// phase; it has no effect on single-machine Recommend runs.
+	LocalSearch int
 }
 
 // Recommend runs the virtualization design advisor (§4) over all tenants,
