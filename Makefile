@@ -3,13 +3,17 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-smoke examples lint fmt vet check
+.PHONY: build test race bench bench-all bench-smoke cover examples lint fmt vet check
 
 build:
 	$(GO) build ./...
 
+# -short skips the multi-hundred-period fleet soaks for a fast local
+# loop; they still run in full under `race` and `cover` below (and under
+# a plain `go test ./...`), so `make check` exercises them exactly once
+# per mode instead of three times.
 test:
-	$(GO) test ./...
+	$(GO) test -short ./...
 
 race:
 	$(GO) test -race ./...
@@ -44,6 +48,27 @@ examples:
 	@set -e; mkdir -p .bin; for d in examples/*; do \
 		echo "build $$d"; $(GO) build -o .bin/ "./$$d"; done; rm -rf .bin
 
+# Package coverage with per-package floors on the long-lived-fleet
+# subsystems (score cache, placement, orchestrator): the soak/property
+# harnesses are what holds these numbers up, so a PR that guts them
+# fails here. The full (non -short) suites run, soaks included.
+cover:
+	@out=$$($(GO) test -cover ./internal/score ./internal/placement ./internal/fleet); status=$$?; \
+	echo "$$out"; \
+	if [ $$status -ne 0 ]; then echo "cover: tests failed"; exit 1; fi; \
+	echo "$$out" | awk '/coverage:/ { \
+		pct = ""; \
+		for (i = 1; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub("%", "", pct) } \
+		floor = 0; \
+		if ($$2 ~ /internal\/score$$/) floor = 90; \
+		if ($$2 ~ /internal\/placement$$/) floor = 85; \
+		if ($$2 ~ /internal\/fleet$$/) floor = 90; \
+		if (floor > 0) floored++; \
+		if (pct + 0 < floor) { printf "cover: %s at %s%% is below the %d%% floor\n", $$2, pct, floor; bad = 1 } \
+	} END { \
+		if (floored != 3) { printf "cover: only %d of 3 floored packages reported coverage (test suite missing?)\n", floored + 0; bad = 1 } \
+		exit bad }'
+
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -53,4 +78,4 @@ vet:
 
 lint: fmt vet
 
-check: build lint test race bench-smoke examples
+check: build lint test race bench-smoke cover examples

@@ -31,6 +31,13 @@ type Cluster struct {
 	db2Cal  *calibrate.DB2Result
 	servers int
 	tenants []*ClusterTenant
+	// scores and estimates persist across Place calls: cluster workloads
+	// are immutable after registration (fingerprints are tenant indexes)
+	// and QoS settings key the score cache through Gains/Limits, so a
+	// re-placement — after adding a server, a tenant, or changing QoS —
+	// reuses every advisor run and point estimate that still applies.
+	scores    *score.Cache
+	estimates *score.EstimateCache
 }
 
 // ClusterTenant identifies one tenant registered with a cluster.
@@ -108,11 +115,13 @@ type ClusterPlacement struct {
 
 // Place assigns every tenant to a server and each server's resources to
 // its tenants. Results are deterministic and bit-identical across
-// Options.Parallelism settings. Every per-machine advisor run of the call
-// goes through a machine-score cache, so configurations revisited within
-// the placement — greedy candidates re-examined by local search, most
-// prominently — are never scored twice; ScoreStats on the result reports
-// the traffic.
+// Options.Parallelism settings. Every per-machine advisor run goes
+// through the cluster's machine-score cache and every what-if point
+// through its estimate cache, both persistent across Place calls: within
+// one call, configurations revisited by local search are never scored
+// twice; across calls, a re-placement after adding a server or tenant
+// reuses every run that still applies. ScoreStats on the result reports
+// the cumulative traffic.
 func (c *Cluster) Place(opts *Options) (*ClusterPlacement, error) {
 	if c.servers == 0 {
 		return nil, errors.New("vdesign: cluster has no servers")
@@ -120,10 +129,15 @@ func (c *Cluster) Place(opts *Options) (*ClusterPlacement, error) {
 	if len(c.tenants) == 0 {
 		return nil, errors.New("vdesign: cluster has no tenants")
 	}
+	if c.scores == nil {
+		c.scores = score.NewCache()
+		c.estimates = score.NewEstimates()
+	}
 	popts := placement.Options{
-		Servers: c.servers,
-		Core:    core.Options{Resources: 2},
-		Scores:  score.NewCache(),
+		Servers:   c.servers,
+		Core:      core.Options{Resources: 2},
+		Scores:    c.scores,
+		Estimates: c.estimates,
 	}
 	if opts != nil {
 		if opts.Delta > 0 {
@@ -196,9 +210,10 @@ func (r *ClusterPlacement) LocalSearchImprovement() float64 {
 // LocalSearchMoves counts the moves and swaps local search applied.
 func (r *ClusterPlacement) LocalSearchMoves() int { return r.p.LocalSearchMoves }
 
-// ScoreStats reports the placement's machine-score cache counters: runs
+// ScoreStats reports the cluster's machine-score cache counters: runs
 // served from the cache (hits), cacheable configurations scored fresh
-// (misses), and total fresh advisor executions (runs).
+// (misses), and total fresh advisor executions (runs) — cumulative over
+// every Place call on the cluster.
 func (r *ClusterPlacement) ScoreStats() (hits, misses, runs int64) {
 	return r.scores.Stats()
 }

@@ -66,7 +66,15 @@ func main() {
 	localSearch := flag.Int("local-search", 0,
 		"post-greedy local-search rounds (tenant moves/swaps) in multi-machine placement; 0 disables")
 	admitQoS := flag.Bool("admit-qos", false,
-		"fleet mode: reject arrivals no machine can host within their degradation limit")
+		"fleet mode: reject arrivals no machine can host within their degradation limit (batches admitted jointly)")
+	cacheCapacity := flag.Int("cache-capacity", 0,
+		"fleet mode: LRU bound on the machine-score cache (entries; 0 = unbounded)")
+	estimateCapacity := flag.Int("estimate-cache-capacity", 0,
+		"fleet mode: LRU bound on the point-estimate cache (entries; 0 = unbounded)")
+	cacheSweep := flag.Int("cache-sweep", 0,
+		"fleet mode: drop cache entries untouched for this many periods (0 = never)")
+	incremental := flag.Bool("incremental", false,
+		"fleet mode: seed each period's placement search from the incumbent assignment")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
 	flag.Parse()
@@ -103,13 +111,23 @@ func main() {
 			fatal(err)
 		}
 		runFleet(specs, qosOf, machines, *periods, fleetConfig{
-			migrationCost: *migrationCost,
-			delta:         *delta,
-			parallelism:   *parallelism,
-			localSearch:   *localSearch,
-			admitQoS:      *admitQoS,
+			migrationCost:    *migrationCost,
+			delta:            *delta,
+			parallelism:      *parallelism,
+			localSearch:      *localSearch,
+			admitQoS:         *admitQoS,
+			cacheCapacity:    *cacheCapacity,
+			estimateCapacity: *estimateCapacity,
+			cacheSweep:       *cacheSweep,
+			incremental:      *incremental,
 		})
 		return
+	}
+	if *cacheCapacity != 0 || *estimateCapacity != 0 || *cacheSweep != 0 {
+		fatal(fmt.Errorf("-cache-capacity/-estimate-cache-capacity/-cache-sweep require fleet mode (-periods > 1)"))
+	}
+	if *incremental {
+		fatal(fmt.Errorf("-incremental requires fleet mode (-periods > 1)"))
 	}
 	if len(profiles) > 0 {
 		fatal(fmt.Errorf("-profile requires fleet mode (-periods > 1)"))
@@ -163,11 +181,15 @@ func parseProfiles(profiles []string, servers int) ([]vdesign.MachineProfile, er
 
 // fleetConfig bundles the fleet-mode command-line knobs.
 type fleetConfig struct {
-	migrationCost float64
-	delta         float64
-	parallelism   int
-	localSearch   int
-	admitQoS      bool
+	migrationCost    float64
+	delta            float64
+	parallelism      int
+	localSearch      int
+	admitQoS         bool
+	cacheCapacity    int
+	estimateCapacity int
+	cacheSweep       int
+	incremental      bool
 }
 
 // runFleet drives the tenants through monitoring periods on a (possibly
@@ -177,11 +199,15 @@ type fleetConfig struct {
 func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesign.MachineProfile,
 	periods int, cfg fleetConfig) {
 	f := vdesign.NewFleet(&vdesign.FleetOptions{
-		MigrationCost: cfg.migrationCost,
-		Delta:         cfg.delta,
-		Parallelism:   cfg.parallelism,
-		LocalSearch:   cfg.localSearch,
-		AdmitQoS:      cfg.admitQoS,
+		MigrationCost:         cfg.migrationCost,
+		Delta:                 cfg.delta,
+		Parallelism:           cfg.parallelism,
+		LocalSearch:           cfg.localSearch,
+		AdmitQoS:              cfg.admitQoS,
+		ScoreCacheCapacity:    cfg.cacheCapacity,
+		EstimateCacheCapacity: cfg.estimateCapacity,
+		ScoreCacheSweep:       cfg.cacheSweep,
+		Incremental:           cfg.incremental,
 	})
 	for _, p := range machines {
 		if _, err := f.AddServer(p); err != nil {
@@ -216,7 +242,12 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 			rep.Period(), rep.TotalCost(), rep.Migrations(), rep.Rebuilds(),
 			rep.MaxDegradation(), rep.Replaced())
 		if rejected := rep.Rejected(); len(rejected) > 0 {
-			line += fmt.Sprintf(" rejected=%s", strings.Join(rejected, ","))
+			reasons := rep.RejectedReasons()
+			parts := make([]string, len(rejected))
+			for i, id := range rejected {
+				parts[i] = fmt.Sprintf("%s(%s)", id, reasons[i])
+			}
+			line += fmt.Sprintf(" rejected=%s", strings.Join(parts, ","))
 		}
 		fmt.Println(line)
 	}
@@ -227,8 +258,12 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 			h.ID(), rep.ServerOf(h), cpu*100, mem*100, rep.Degradation(h))
 	}
 	hits, misses, runs := f.ScoreStats()
+	scoreN, estN := f.CacheSizes()
+	scoreEv, estEv := f.CacheEvictions()
 	fmt.Printf("fleet of %d servers, migration cost %.1fs/move; score cache %d hits / %d misses (%d advisor runs); local search improved %.1fs\n",
 		f.Servers(), cfg.migrationCost, hits, misses, runs, lsImproved)
+	fmt.Printf("cache entries: %d scores (%d evicted), %d estimates (%d evicted)\n",
+		scoreN, scoreEv, estN, estEv)
 }
 
 // runSingle is the paper's single-machine advisor.

@@ -68,20 +68,48 @@ type FleetOptions struct {
 	// disables it.
 	LocalSearch int
 	// AdmitQoS enables fleet-level admission control: an arriving tenant
-	// is rejected for the period — reported by
-	// FleetPeriodReport.Rejected — when every machine slot is taken or no
-	// machine can seat it with every member's degradation limit holding
-	// (the arrival's own and the incumbent residents'). A rejected tenant
-	// stays registered and is re-considered every following period. Each
-	// arrival is checked independently against the incumbent residents;
-	// several same-period arrivals are not checked against each other, so
-	// staggering arrivals across periods gives the strict guarantee.
+	// is rejected for the period — reported by FleetPeriodReport.Rejected
+	// with a reason in RejectedReasons — when every machine slot is taken
+	// or no machine can seat it with every member's degradation limit
+	// holding (the arrival's own and the incumbent residents'). A
+	// rejected tenant stays registered and is re-considered every
+	// following period. Simultaneous arrivals are admitted jointly: each
+	// admitted arrival is tentatively seated before the next is checked,
+	// so arrivals that fit alone but conflict as a batch are split
+	// deterministically in registration order.
 	AdmitQoS bool
-	// DisableScoreCache turns off the fleet's machine-score cache. By
-	// default every per-machine advisor run is memoized across candidates
-	// and periods, so unchanged machines are never re-scored; reports are
-	// bit-identical with the cache on or off.
+	// DisableScoreCache turns off the fleet's machine-score cache (and
+	// the estimate cache riding with it). By default every per-machine
+	// advisor run is memoized across candidates and periods, so unchanged
+	// machines are never re-scored; reports are bit-identical with the
+	// cache on or off.
 	DisableScoreCache bool
+	// ScoreCacheCapacity bounds the machine-score cache to at most this
+	// many entries, evicting least-recently-used first (0 = unbounded).
+	// Long-lived fleets otherwise grow the cache with every configuration
+	// ever scored; a capacity at least the per-period working set keeps
+	// steady periods at zero fresh advisor runs while capping memory.
+	// Eviction can cost re-runs, never change a report.
+	ScoreCacheCapacity int
+	// EstimateCacheCapacity bounds the estimate cache — point what-if
+	// evaluations keyed by (profile, workload fingerprint, allocation),
+	// a far higher-cardinality space than machine scores — the same way
+	// (0 = unbounded). Size it in the thousands: one tenant costs one
+	// entry per profile per grid allocation its advisor runs visit.
+	EstimateCacheCapacity int
+	// ScoreCacheSweep drops cache entries untouched for this many
+	// consecutive periods (0 = never): each Period advances a cache
+	// generation, so configurations the fleet stopped visiting — departed
+	// tenants, drifted-away workloads — age out even without a capacity.
+	// The sweep applies to both caches.
+	ScoreCacheSweep int
+	// Incremental seeds each period's candidate placement from the
+	// incumbent assignment: survivors start where they are, arrivals are
+	// placed greedily, and local search refines the whole fleet, instead
+	// of repacking greedily from scratch every period. Reports remain
+	// deterministic and bit-identical across Parallelism. Most useful
+	// with LocalSearch > 0.
+	Incremental bool
 }
 
 // fleetCal is one hardware profile's machine and calibrations.
@@ -319,12 +347,16 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 	}
 	if f.orch == nil {
 		orch, err := fleet.New(fleet.Options{
-			Profiles:          f.keys,
-			MigrationCost:     f.opts.MigrationCost,
-			Core:              f.coreOpts(),
-			LocalSearch:       f.opts.LocalSearch,
-			AdmitQoS:          f.opts.AdmitQoS,
-			DisableScoreCache: f.opts.DisableScoreCache,
+			Profiles:              f.keys,
+			MigrationCost:         f.opts.MigrationCost,
+			Core:                  f.coreOpts(),
+			LocalSearch:           f.opts.LocalSearch,
+			AdmitQoS:              f.opts.AdmitQoS,
+			DisableScoreCache:     f.opts.DisableScoreCache,
+			CacheCapacity:         f.opts.ScoreCacheCapacity,
+			EstimateCacheCapacity: f.opts.EstimateCacheCapacity,
+			CacheSweep:            f.opts.ScoreCacheSweep,
+			Incremental:           f.opts.Incremental,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("vdesign: %w", err)
@@ -341,14 +373,15 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 	}
 	// Translate the orchestrator's rejected registration keys back to
 	// user-facing tenant IDs while the handles are still registered.
-	var rejected []string
+	var rejected, reasons []string
 	if len(rep.Rejected) > 0 {
 		byKey := make(map[string]string, len(f.tenants))
 		for _, t := range f.tenants {
 			byKey[t.key] = t.id
 		}
-		for _, k := range rep.Rejected {
+		for i, k := range rep.Rejected {
 			rejected = append(rejected, byKey[k])
+			reasons = append(reasons, rep.RejectedReasons[i].String())
 		}
 	}
 	// The period observed every departure, so removed tenants can be
@@ -362,7 +395,7 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 		}
 	}
 	f.tenants = live
-	out := &FleetPeriodReport{fleet: f, rep: rep, rejected: rejected}
+	out := &FleetPeriodReport{fleet: f, rep: rep, rejected: rejected, reasons: reasons}
 	f.reports = append(f.reports, out)
 	return out, nil
 }
@@ -384,11 +417,31 @@ func (f *Fleet) ScoreStats() (hits, misses, runs int64) {
 	return f.orch.ScoreStats()
 }
 
+// CacheSizes reports the current entry counts of the fleet's
+// machine-score cache and estimate cache — the numbers
+// FleetOptions.ScoreCacheCapacity bounds and ScoreCacheSweep drains.
+func (f *Fleet) CacheSizes() (scores, estimates int) {
+	if f.orch == nil {
+		return 0, 0
+	}
+	return f.orch.CacheSizes()
+}
+
+// CacheEvictions reports how many entries each cache dropped to the
+// capacity bound or a generation sweep.
+func (f *Fleet) CacheEvictions() (scores, estimates int64) {
+	if f.orch == nil {
+		return 0, 0
+	}
+	return f.orch.CacheEvictions()
+}
+
 // FleetPeriodReport is the outcome of one fleet monitoring period.
 type FleetPeriodReport struct {
 	fleet    *Fleet
 	rep      *fleet.PeriodReport
 	rejected []string
+	reasons  []string
 }
 
 // Period is the 1-based period number.
@@ -432,6 +485,15 @@ func (r *FleetPeriodReport) LocalSearchImprovement() float64 { return r.rep.Loca
 // registered and are re-considered next period.
 func (r *FleetPeriodReport) Rejected() []string {
 	return append([]string(nil), r.rejected...)
+}
+
+// RejectedReasons says why each Rejected tenant was turned away,
+// index-aligned with Rejected: "capacity" (every slot taken), "qos" (no
+// machine can seat it within everyone's degradation limit), or
+// "batch-conflict" (admissible alone, but not jointly with arrivals
+// admitted earlier in the same period's batch).
+func (r *FleetPeriodReport) RejectedReasons() []string {
+	return append([]string(nil), r.reasons...)
 }
 
 // ServerOf returns the server a tenant was assigned to this period, or

@@ -412,6 +412,9 @@ func TestFleetAdmitQoSPublicAPI(t *testing.T) {
 	if len(rejected) != 1 || rejected[0] != "tight" {
 		t.Fatalf("tight arrival should be rejected by ID: %v", rejected)
 	}
+	if reasons := rep.RejectedReasons(); len(reasons) != 1 || reasons[0] != "qos" {
+		t.Fatalf("tight arrival should carry the qos reason: %v", reasons)
+	}
 	if rep.ServerOf(tight) != -1 {
 		t.Fatal("rejected tenant must not be placed")
 	}
@@ -429,5 +432,83 @@ func TestFleetAdmitQoSPublicAPI(t *testing.T) {
 	}
 	if rep.ServerOf(tight) != 0 {
 		t.Fatal("admitted tenant should be placed")
+	}
+}
+
+// The long-lived-fleet knobs through the public API: a bounded, swept
+// score cache plus incremental search must reproduce the default
+// configuration's reports exactly, while actually bounding the caches.
+func TestFleetLongLivedKnobsPublicAPI(t *testing.T) {
+	run := func(opts *FleetOptions) (*Fleet, []*FleetPeriodReport, []*FleetTenant) {
+		f := NewFleet(opts)
+		for _, p := range []MachineProfile{{}, smallProfile()} {
+			if _, err := f.AddServer(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		schema := tpch.Schema(1)
+		var handles []*FleetTenant
+		for i, q := range []int{1, 6, 14} {
+			h, err := f.AddTenant(fmt.Sprintf("t%d", i), PostgreSQL, schema, []string{tpch.QueryText(q)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		var reports []*FleetPeriodReport
+		for period := 1; period <= 4; period++ {
+			if period == 3 {
+				// One drift so the runs exercise re-scoring, not just hits.
+				if err := f.SetWorkload(handles[0],
+					mustWorkload("t0", tpch.QueryText(1), tpch.QueryText(6))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := f.Period()
+			if err != nil {
+				t.Fatalf("period %d: %v", period, err)
+			}
+			reports = append(reports, rep)
+		}
+		return f, reports, handles
+	}
+	base, baseReps, baseHandles := run(&FleetOptions{MigrationCost: 5, Delta: 0.1})
+	bounded, boundedReps, boundedHandles := run(&FleetOptions{
+		MigrationCost:      5,
+		Delta:              0.1,
+		LocalSearch:        2,
+		Incremental:        true,
+		ScoreCacheCapacity: 64,
+		ScoreCacheSweep:    2,
+	})
+	for p := range baseReps {
+		a, b := baseReps[p], boundedReps[p]
+		// Incremental search may legitimately find a different (never
+		// worse) candidate; the deployed outcome on this scenario matches.
+		if a.TotalCost() != b.TotalCost() || a.Migrations() != b.Migrations() {
+			t.Fatalf("period %d diverges under the long-lived knobs: %v/%d vs %v/%d",
+				p+1, a.TotalCost(), a.Migrations(), b.TotalCost(), b.Migrations())
+		}
+		for i := range baseHandles {
+			if a.ServerOf(baseHandles[i]) != b.ServerOf(boundedHandles[i]) {
+				t.Fatalf("period %d tenant %d server diverges", p+1, i)
+			}
+		}
+	}
+	if s, e := bounded.CacheSizes(); s == 0 || s > 64 || e == 0 {
+		t.Fatalf("bounded cache sizes out of range: scores=%d estimates=%d", s, e)
+	}
+	if s, _ := base.CacheSizes(); s == 0 {
+		t.Fatal("default fleet should populate its cache")
+	}
+	if s, e := bounded.CacheEvictions(); s == 0 && e == 0 {
+		t.Log("note: scenario small enough that nothing evicted") // informational, bounds still held
+	}
+	f := NewFleet(nil)
+	if s, e := f.CacheSizes(); s != 0 || e != 0 {
+		t.Fatal("pre-period fleet must report empty caches")
+	}
+	if s, e := f.CacheEvictions(); s != 0 || e != 0 {
+		t.Fatal("pre-period fleet must report zero evictions")
 	}
 }

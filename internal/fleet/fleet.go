@@ -114,23 +114,86 @@ type Options struct {
 	// placement.Options.LocalSearch); 0 disables it.
 	LocalSearch int
 	// AdmitQoS enables fleet-level admission control: an arriving tenant
-	// is rejected for the period — reported in PeriodReport.Rejected —
-	// when every slot is taken, or when no machine can seat it beside its
-	// incumbent residents with every member's degradation limit holding
-	// (the arrival's own AND the residents'), rather than placed
-	// best-effort over someone's QoS. Rejected tenants may simply be
-	// resubmitted next period. Each arrival is checked independently
-	// against the incumbent residents: a batch of individually-admissible
-	// but jointly-conflicting same-period arrivals can still be admitted
-	// together (joint admission is a roadmap item); staggering arrivals
-	// across periods gives the strict guarantee.
+	// is rejected for the period — reported in PeriodReport.Rejected,
+	// with a reason in PeriodReport.RejectedReasons — when every slot is
+	// taken, or when no machine can seat it beside its incumbent
+	// residents with every member's degradation limit holding (the
+	// arrival's own AND the residents'), rather than placed best-effort
+	// over someone's QoS. Rejected tenants may simply be resubmitted next
+	// period. Simultaneous arrivals are admitted jointly by a greedy
+	// seat-and-check in input order: each admitted arrival is tentatively
+	// seated on its admitting machine before the next arrival is checked,
+	// so two arrivals that each fit alone but jointly overflow a machine
+	// are split deterministically — the first admitted, the second
+	// rejected with RejectBatchConflict.
 	AdmitQoS bool
-	// DisableScoreCache turns off the orchestrator's machine-score cache.
-	// The cache memoizes per-machine advisor runs across greedy
-	// candidates, local search, the stay-put pricing run, and — most
-	// importantly — across periods, so unchanged machines are never
-	// re-scored; results are bit-identical with it on or off.
+	// DisableScoreCache turns off the orchestrator's machine-score cache
+	// (and the estimate cache riding with it). The cache memoizes
+	// per-machine advisor runs across greedy candidates, local search,
+	// the stay-put pricing run, and — most importantly — across periods,
+	// so unchanged machines are never re-scored; results are
+	// bit-identical with it on or off.
 	DisableScoreCache bool
+	// CacheCapacity bounds the machine-score cache to at most this many
+	// entries with least-recently-used eviction (0 = unbounded). A
+	// long-lived fleet's cache otherwise grows with every configuration
+	// ever scored; a capacity at least the per-period working set keeps
+	// steady-state periods at zero fresh advisor runs while capping
+	// memory. Eviction can cost re-runs, never change a report.
+	CacheCapacity int
+	// EstimateCacheCapacity bounds the estimate cache (point what-if
+	// evaluations) the same way (0 = unbounded).
+	EstimateCacheCapacity int
+	// CacheSweep drops cache entries untouched for this many consecutive
+	// periods (0 = never): each Period advances one cache generation and
+	// sweeps both caches on commit, so configurations the fleet stopped
+	// visiting — departed tenants, drifted-away workloads — age out even
+	// without a capacity bound.
+	CacheSweep int
+	// Incremental seeds each period's candidate placement from the
+	// incumbent assignment instead of packing greedily from scratch:
+	// survivors start where they are, arrivals are placed greedily, and
+	// local search then refines the whole fleet. Steady periods cost
+	// almost no search work, drifted ones only re-examine what local
+	// search touches; reports remain deterministic and bit-identical
+	// across Parallelism. Most useful with LocalSearch > 0 (without it
+	// the candidate is simply the incumbent plus greedy arrivals).
+	Incremental bool
+	// ShadowScratch additionally computes the greedy-from-scratch
+	// candidate each period and records its objectives in
+	// PeriodReport.ShadowGreedyCost/ShadowScratchCost without affecting
+	// any decision — the test hook that verifies incremental mode never
+	// ends worse than scratch packing.
+	ShadowScratch bool
+}
+
+// RejectReason classifies why admission control turned an arrival away.
+type RejectReason int
+
+const (
+	// RejectCapacity: every machine slot in the fleet was taken.
+	RejectCapacity RejectReason = iota + 1
+	// RejectQoS: no machine can seat the arrival beside its incumbent
+	// residents within every member's degradation limit.
+	RejectQoS
+	// RejectBatchConflict: the arrival fits beside the incumbents alone,
+	// but not together with arrivals admitted earlier in this period's
+	// batch — resubmitting it next period will likely succeed if the
+	// conflicting arrivals departed or spread out.
+	RejectBatchConflict
+)
+
+// String names the reason for reports and logs.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectCapacity:
+		return "capacity"
+	case RejectQoS:
+		return "qos"
+	case RejectBatchConflict:
+		return "batch-conflict"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
 }
 
 // MachineReport is one server's slice of a period.
@@ -180,7 +243,14 @@ type PeriodReport struct {
 	// Rejected lists tenants turned away by QoS admission control this
 	// period (Options.AdmitQoS), in input order. Rejected tenants are not
 	// placed, not managed, and not counted as Arrivals.
-	Rejected []string
+	// RejectedReasons[i] says why Rejected[i] was turned away.
+	Rejected        []string
+	RejectedReasons []RejectReason
+	// ShadowGreedyCost and ShadowScratchCost are the greedy-from-scratch
+	// candidate's objective before and after local search, computed and
+	// recorded only under Options.ShadowScratch (both zero otherwise);
+	// they influence no decision.
+	ShadowGreedyCost, ShadowScratchCost float64
 	// MaxDegradation is the worst per-tenant degradation;  QoSViolations
 	// counts tenants past their limit (a best-effort placement may exceed
 	// unsatisfiable limits, as §7.5 shows).
@@ -236,8 +306,10 @@ type Orchestrator struct {
 	history    []*PeriodReport
 	// scores memoizes per-machine advisor runs across candidates, the
 	// stay-put pricing run, local search, the per-machine managers, and
-	// periods (nil when Options.DisableScoreCache).
-	scores *score.Cache
+	// periods (nil when Options.DisableScoreCache). estimates memoizes
+	// point what-if evaluations below it, under the same lifecycle.
+	scores    *score.Cache
+	estimates *score.EstimateCache
 }
 
 // New creates an orchestrator for the given fleet topology. The topology
@@ -252,9 +324,16 @@ func New(opts Options) (*Orchestrator, error) {
 	if opts.Core.Gains != nil || opts.Core.Limits != nil {
 		return nil, errors.New("fleet: QoS rides on each Tenant, not on Options.Core.Gains/Limits")
 	}
+	if opts.CacheCapacity < 0 || opts.EstimateCacheCapacity < 0 || opts.CacheSweep < 0 {
+		return nil, fmt.Errorf("fleet: negative cache bound (capacity %d/%d, sweep %d)",
+			opts.CacheCapacity, opts.EstimateCacheCapacity, opts.CacheSweep)
+	}
 	o := &Orchestrator{opts: opts, assignment: map[string]int{}}
 	if !opts.DisableScoreCache {
 		o.scores = score.NewCache()
+		o.scores.SetCapacity(opts.CacheCapacity)
+		o.estimates = score.NewEstimates()
+		o.estimates.SetCapacity(opts.EstimateCacheCapacity)
 	}
 	for s := range opts.Profiles {
 		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores))
@@ -269,6 +348,19 @@ func (o *Orchestrator) Servers() int { return len(o.machines) }
 // advisor runs) counters — all zero when the cache is disabled.
 func (o *Orchestrator) ScoreStats() (hits, misses, runs int64) {
 	return o.scores.Stats()
+}
+
+// CacheSizes reports the current entry counts of the machine-score cache
+// and the estimate cache — the numbers Options.CacheCapacity /
+// EstimateCacheCapacity bound and Options.CacheSweep drains.
+func (o *Orchestrator) CacheSizes() (scores, estimates int) {
+	return o.scores.Size(), o.estimates.Size()
+}
+
+// CacheEvictions reports how many entries each cache has dropped to its
+// capacity bound or a generation sweep.
+func (o *Orchestrator) CacheEvictions() (scores, estimates int64) {
+	return o.scores.Evictions(), o.estimates.Evictions()
 }
 
 // Assignment returns a copy of the current tenant→server assignment.
@@ -410,6 +502,12 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	if err := validate(tenants); err != nil {
 		return nil, err
 	}
+	// One cache generation per period: entries this period touches are
+	// re-stamped, and the commit-time sweep (Options.CacheSweep) drops
+	// whatever the fleet stopped visiting. A failed period advances the
+	// generation without sweeping — entries merely age one step faster.
+	o.scores.BeginGeneration()
+	o.estimates.BeginGeneration()
 	rep := &PeriodReport{
 		Machines: make([]MachineReport, len(o.machines)),
 	}
@@ -441,16 +539,22 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		Profiles:    o.opts.Profiles,
 		Core:        o.opts.Core,
 		Scores:      o.scores,
+		Estimates:   o.estimates,
 		LocalSearch: o.opts.LocalSearch,
 	}
 
 	// QoS admission control: before any placement work, turn away
-	// arrivals the fleet provably cannot host — every slot taken, or (for
-	// limit-carrying arrivals) no machine able to seat the tenant beside
-	// its incumbent residents without someone's degradation limit
-	// breaking. The check prices residents+arrival configurations the
-	// stay-put run would score anyway, so with the score cache on it adds
-	// almost no fresh advisor work.
+	// arrivals the fleet provably cannot host — every slot taken, or no
+	// machine able to seat the tenant without someone's degradation limit
+	// breaking. The batch of arrivals is admitted jointly by a greedy
+	// seat-and-check in input order: each admitted arrival is tentatively
+	// pinned to its admitting machine, so later arrivals are checked
+	// against incumbents AND the batch admitted so far — two arrivals
+	// that each pass the incumbent-only check but jointly overflow a
+	// machine are split, the loser rejected as a batch conflict. The
+	// checks price residents+arrival configurations the placement runs
+	// would score anyway, so with the score cache on they add almost no
+	// fresh advisor work.
 	if o.opts.AdmitQoS && rep.Arrivals > 0 {
 		capacity := placement.Capacity(popts)
 		slots := len(o.machines) * capacity
@@ -459,33 +563,83 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 				slots--
 			}
 		}
-		admitOpts := popts
-		admitOpts.Pinned = pinned
+		// seated accumulates the tentative pins: incumbents plus the
+		// arrivals admitted so far. It exists only for the joint check —
+		// the real placement still seats arrivals wherever it likes.
+		// baseSlots remembers the slot count against the incumbents
+		// alone, so rejections are classified relative to what THIS
+		// arrival would have seen without the rest of the batch: only an
+		// incumbent-full fleet is a capacity rejection, and an arrival
+		// blocked solely by earlier batch admissions — a slot or a QoS
+		// conflict they consumed — is a batch conflict.
+		seated := append([]int(nil), pinned...)
+		baseSlots := slots
+		admitted := 0
 		rejected := make([]bool, len(tenants))
 		anyRejected := false
+		// incumbentAdmissible asks whether the arrival would fit beside
+		// the incumbents alone, ignoring the batch.
+		incumbentAdmissible := func(i int) (bool, error) {
+			baseOpts := popts
+			baseOpts.Pinned = pinned
+			return placement.Admissible(ptenants, baseOpts, i)
+		}
 		for i, t := range tenants {
 			if pinned[i] >= 0 {
 				continue
 			}
-			reject := slots <= 0
-			if !reject {
-				// Checked for every arrival, limited or not: an unlimited
-				// arrival can still break an incumbent resident's limit,
-				// and Admissible guards all members of a machine.
-				ok, err := placement.Admissible(ptenants, admitOpts, i)
+			var reason RejectReason
+			switch {
+			case baseSlots <= 0:
+				reason = RejectCapacity
+			case slots <= 0:
+				// The batch consumed the incumbents' spare slots: a batch
+				// conflict if the arrival would have fit alone, a QoS
+				// rejection if it could not have joined anyway.
+				ok, err := incumbentAdmissible(i)
 				if err != nil {
 					return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
 				}
-				reject = !ok
+				if ok {
+					reason = RejectBatchConflict
+				} else {
+					reason = RejectQoS
+				}
+			default:
+				// Checked for every arrival, limited or not: an unlimited
+				// arrival can still break an incumbent resident's limit,
+				// and AdmitSeat guards all members of a machine.
+				admitOpts := popts
+				admitOpts.Pinned = seated
+				seat, err := placement.AdmitSeat(ptenants, admitOpts, i)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
+				}
+				if seat >= 0 {
+					seated[i] = seat
+					admitted++
+					slots--
+					continue
+				}
+				reason = RejectQoS
+				if admitted > 0 {
+					// Distinguish a genuine QoS impossibility from a batch
+					// conflict: would the arrival have fit beside the
+					// incumbents alone?
+					ok, err := incumbentAdmissible(i)
+					if err != nil {
+						return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
+					}
+					if ok {
+						reason = RejectBatchConflict
+					}
+				}
 			}
-			if reject {
-				rejected[i] = true
-				anyRejected = true
-				rep.Rejected = append(rep.Rejected, t.ID)
-				rep.Arrivals--
-			} else {
-				slots--
-			}
+			rejected[i] = true
+			anyRejected = true
+			rep.Rejected = append(rep.Rejected, t.ID)
+			rep.RejectedReasons = append(rep.RejectedReasons, reason)
+			rep.Arrivals--
 		}
 		if anyRejected {
 			var ft []Tenant
@@ -505,9 +659,30 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		}
 	}
 
-	candidate, err := placement.Place(ptenants, popts)
+	// The candidate re-placement. Incremental mode seeds the search from
+	// the incumbent assignment — survivors start where they are, arrivals
+	// are placed greedily, local search refines the whole fleet — instead
+	// of repacking everything from scratch; on the first period (or after
+	// everyone departed) there is no incumbent and the modes coincide.
+	var candidate *placement.Placement
+	var err error
+	if o.opts.Incremental && anySurvivor {
+		candidate, err = placement.PlaceSeeded(ptenants, popts, pinned)
+	} else {
+		candidate, err = placement.Place(ptenants, popts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fleet: candidate placement: %w", err)
+	}
+	if o.opts.ShadowScratch {
+		// Test hook: price the greedy-from-scratch candidate too, for
+		// incremental-vs-scratch comparisons. Recorded, never acted on.
+		shadow, err := placement.Place(ptenants, popts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shadow scratch placement: %w", err)
+		}
+		rep.ShadowGreedyCost = shadow.GreedyCost
+		rep.ShadowScratchCost = shadow.TotalCost
 	}
 	rep.Assignment = make(map[string]int, len(tenants))
 	rep.Allocations = make(map[string]core.Allocation, len(tenants))
@@ -611,8 +786,16 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 				// Fingerprint the raw estimator so the manager's advisor
 				// run is cacheable while the tenant's model is rebuilt
 				// from the optimizer (refined models fingerprint
-				// themselves).
-				est = score.WithFingerprint(est, t.Fingerprint)
+				// themselves). The estimate-cache wrapper both serves the
+				// raw estimator's grid points from the shared point cache
+				// — rebuild runs re-visit allocations the placement layer
+				// already costed on this profile — and carries the
+				// fingerprint itself.
+				if o.estimates != nil {
+					est = o.estimates.Estimator(profile, t.Fingerprint, est)
+				} else {
+					est = score.WithFingerprint(est, t.Fingerprint)
+				}
 			}
 			server, measure := s, t.Measure
 			inputs[k] = dynmgmt.PeriodInput{
@@ -677,5 +860,12 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	o.period++
 	rep.Period = o.period
 	o.history = append(o.history, rep)
+	if k := o.opts.CacheSweep; k > 0 {
+		// Commit-time sweep: everything this period touched is stamped
+		// with the current generation, so what falls out is exactly the
+		// configurations (and point estimates) untouched for k periods.
+		o.scores.Sweep(k)
+		o.estimates.Sweep(k)
+	}
 	return rep, nil
 }

@@ -35,6 +35,10 @@ func samePeriodReports(t *testing.T, label string, a, b []*PeriodReport) {
 			if x.Rejected[i] != y.Rejected[i] {
 				t.Fatalf("%s period %d: rejected diverge", label, p+1)
 			}
+			if x.RejectedReasons[i] != y.RejectedReasons[i] {
+				t.Fatalf("%s period %d: rejection reasons diverge: %v vs %v",
+					label, p+1, x.RejectedReasons, y.RejectedReasons)
+			}
 		}
 		if len(x.Assignment) != len(y.Assignment) {
 			t.Fatalf("%s period %d: assignment sizes diverge", label, p+1)

@@ -108,6 +108,14 @@ type Options struct {
 	// a nil cache runs every scoring fresh. Results are bit-identical
 	// either way.
 	Scores *score.Cache
+	// Estimates optionally memoizes individual what-if evaluations by
+	// (machine profile, tenant fingerprint, allocation) across Place
+	// calls and monitoring periods: a tenant's dedicated-machine cost and
+	// the grid points its advisor runs visit are evaluated once per
+	// workload version, not once per call. Only fingerprinted tenants use
+	// it (unfingerprinted ones keep the per-call memo); estimates are
+	// deterministic in the key, so results are bit-identical either way.
+	Estimates *score.EstimateCache
 	// LocalSearch bounds the post-greedy refinement rounds: each round
 	// scores every single-tenant move and pairwise swap of free tenants
 	// and applies the one that improves the fleet objective most, stopping
@@ -248,6 +256,39 @@ func shapeOf(opts Options) (fleetShape, error) {
 // Tenants pinned through Options.Pinned are assigned to their servers
 // before the greedy loop runs and are never reconsidered.
 func Place(tenants []Tenant, opts Options) (*Placement, error) {
+	return place(tenants, opts, nil)
+}
+
+// PlaceSeeded is Place starting from a known assignment instead of an
+// empty fleet: tenants with seed[i] ≥ 0 begin on that server, tenants
+// with -1 (arrivals) are placed by the greedy enumerator around them,
+// and the local-search phase may then move ANY non-pinned tenant —
+// seeded ones included. This is the fleet orchestrator's incremental
+// mode: each period's search starts from the incumbent placement, so
+// only arrivals and drift-induced improvements cost search work, instead
+// of rebuilding the whole fleet greedily from scratch.
+//
+// The seed plays the same seating role as Options.Pinned (which still
+// works and wins over the seed where both name a server) but, unlike a
+// pin, does not survive into local search: a pin is a constraint, a seed
+// is a starting point. With Options.LocalSearch 0 the result is exactly
+// the seeded assignment plus greedily placed arrivals. The usual
+// guarantees hold: deterministic, bit-identical across Parallelism, and
+// local search only ever strictly improves on the seeded objective.
+func PlaceSeeded(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
+	if seed == nil {
+		return nil, errors.New("placement: PlaceSeeded needs a seed assignment")
+	}
+	if len(seed) != len(tenants) {
+		return nil, fmt.Errorf("placement: %d seed entries for %d tenants", len(seed), len(tenants))
+	}
+	return place(tenants, opts, seed)
+}
+
+// place is the shared enumerator behind Place and PlaceSeeded: seed
+// optionally pre-seats tenants for the greedy phase (merged with
+// Options.Pinned, pins winning) without constraining local search.
+func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 	n := len(tenants)
 	if n == 0 {
 		return nil, errors.New("placement: no tenants")
@@ -276,17 +317,30 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	if opts.Pinned != nil && len(opts.Pinned) != n {
 		return nil, fmt.Errorf("placement: %d pinned entries for %d tenants", len(opts.Pinned), n)
 	}
+	// seats merges the permanent pins with the optional seed into the
+	// greedy phase's pre-assignment (pins win where both name a server).
+	seats := opts.Pinned
+	if seed != nil {
+		seats = make([]int, n)
+		for i := range seats {
+			seats[i] = seed[i]
+			if opts.Pinned != nil && opts.Pinned[i] >= 0 {
+				seats[i] = opts.Pinned[i]
+			}
+		}
+	}
 
 	sc := newScorer(tenants, sh, opts)
 
 	// Dedicated-machine cost per free tenant per profile: the greedy
 	// loop's ordering key (the same Cost(W_i, [1..1]) the degradation
 	// constraint uses, so these estimates are re-served from the memo by
-	// the advisor runs). Pinned tenants never enter the ordering, so
-	// their rows are skipped — the fleet's stay-put pricing run pins
-	// every survivor and would otherwise pay a full-workload estimate per
-	// survivor per profile for nothing. Fanned over the worker pool;
-	// results land by index, so order does not matter.
+	// the advisor runs). Pre-seated tenants (pinned or seeded) never
+	// enter the ordering, so their rows are skipped — the fleet's
+	// stay-put pricing run pins every survivor and would otherwise pay a
+	// full-workload estimate per survivor per profile for nothing. Fanned
+	// over the worker pool; results land by index, so order does not
+	// matter.
 	full := make(core.Allocation, opts.Core.Resources)
 	for j := range full {
 		full[j] = 1
@@ -294,7 +348,7 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	np := len(sh.distinct)
 	free := make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		if opts.Pinned == nil || opts.Pinned[i] < 0 {
+		if seats == nil || seats[i] < 0 {
 			free = append(free, i)
 		}
 	}
@@ -339,11 +393,11 @@ func Place(tenants []Tenant, opts Options) (*Placement, error) {
 	machines := make([]Machine, servers)
 	totals := make([]float64, servers) // gain-weighted total per machine
 
-	// Seat the pinned tenants first (in tenant order) and score each
-	// occupied machine once; the greedy loop then grows these machines
-	// like any other.
-	if opts.Pinned != nil {
-		for i, s := range opts.Pinned {
+	// Seat the pre-assigned tenants first (in tenant order) and score
+	// each occupied machine once; the greedy loop then grows these
+	// machines like any other.
+	if seats != nil {
+		for i, s := range seats {
 			if s < 0 {
 				continue
 			}
@@ -508,34 +562,50 @@ func Capacity(opts Options) int {
 // rather than placed best-effort.
 //
 // Admission is checked against the pinned residents only: other
-// unplaced tenants (for example, a batch of simultaneous arrivals) are
-// not considered, and an already-violating resident makes its machine
-// inadmissible for any arrival.
+// unplaced tenants are not considered, and an already-violating resident
+// makes its machine inadmissible for any arrival. Batches of
+// simultaneous arrivals are admitted jointly by seating each admitted
+// arrival through AdmitSeat and pinning it for the next arrival's check.
 func Admissible(tenants []Tenant, opts Options, arrival int) (bool, error) {
+	s, err := AdmitSeat(tenants, opts, arrival)
+	return s >= 0, err
+}
+
+// AdmitSeat returns the smallest-indexed server that can host the
+// arrival tenant beside its pinned residents with every member's
+// degradation limit holding, or -1 when no machine can. The returned
+// seat is how batch admission pins an admitted arrival before checking
+// the next one (greedy seat-and-check): two arrivals that each fit
+// alone but not together are then correctly split instead of both
+// slipping through the incumbent-only check. (Among a profile class's
+// empty interchangeable machines only the first is probed, so the seat
+// is the deterministic canonical choice, not always the literal
+// smallest index.)
+func AdmitSeat(tenants []Tenant, opts Options, arrival int) (int, error) {
 	if arrival < 0 || arrival >= len(tenants) {
-		return false, fmt.Errorf("placement: arrival index %d of %d tenants", arrival, len(tenants))
+		return -1, fmt.Errorf("placement: arrival index %d of %d tenants", arrival, len(tenants))
 	}
 	sh, err := shapeOf(opts)
 	if err != nil {
-		return false, err
+		return -1, err
 	}
 	servers := len(sh.profiles)
 	opts = withDefaults(opts)
 	capacity := Capacity(opts)
 	if opts.Pinned != nil && len(opts.Pinned) != len(tenants) {
-		return false, fmt.Errorf("placement: %d pinned entries for %d tenants", len(opts.Pinned), len(tenants))
+		return -1, fmt.Errorf("placement: %d pinned entries for %d tenants", len(opts.Pinned), len(tenants))
 	}
 	residents := make([][]int, servers)
 	if opts.Pinned != nil {
 		if opts.Pinned[arrival] >= 0 {
-			return false, fmt.Errorf("placement: arrival %d is pinned to server %d", arrival, opts.Pinned[arrival])
+			return -1, fmt.Errorf("placement: arrival %d is pinned to server %d", arrival, opts.Pinned[arrival])
 		}
 		for i, s := range opts.Pinned {
 			if s < 0 {
 				continue
 			}
 			if s >= servers {
-				return false, fmt.Errorf("placement: tenant %d pinned to server %d of %d", i, s, servers)
+				return -1, fmt.Errorf("placement: tenant %d pinned to server %d of %d", i, s, servers)
 			}
 			residents[s] = append(residents[s], i)
 		}
@@ -564,17 +634,17 @@ func Admissible(tenants []Tenant, opts Options, arrival int) (bool, error) {
 			}
 		}
 		if !limited {
-			return true, nil
+			return s, nil
 		}
 		res, err := sc.recommend(members, sh.profIdx[s], opts.Core.Parallelism)
 		if err != nil {
-			return false, fmt.Errorf("placement: admission scoring server %d: %w", s, err)
+			return -1, fmt.Errorf("placement: admission scoring server %d: %w", s, err)
 		}
 		if withinLimits(res, tenants, members) {
-			return true, nil
+			return s, nil
 		}
 	}
-	return false, nil
+	return -1, nil
 }
 
 // scorer carries one Place (or Admissible) call's machine-scoring state:
@@ -621,7 +691,16 @@ func (sc *scorer) est(t, d int) (core.Estimator, error) {
 		return nil, fmt.Errorf("placement: tenant %d (%s) has no estimator for profile %q",
 			t, sc.tenants[t].Name, p)
 	}
-	me := newMemoEstimator(base)
+	// A fingerprinted tenant with a persistent estimate cache shares its
+	// point estimates across Place calls and monitoring periods; its
+	// fingerprint changes with the workload, so reuse is exactly as safe
+	// as the per-call memo. Everyone else memoizes within this call only.
+	var me core.Estimator
+	if fp := sc.tenants[t].Fingerprint; fp != "" && sc.opts.Estimates != nil {
+		me = sc.opts.Estimates.Estimator(p, fp, base)
+	} else {
+		me = newMemoEstimator(base)
+	}
 	sc.ests[t][d] = me
 	return me, nil
 }

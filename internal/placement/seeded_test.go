@@ -1,0 +1,268 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/score"
+)
+
+// seededTenant builds a fingerprinted analytic tenant whose cost scales
+// with the profile's speed factor.
+func seededTenant(name string, alpha, gamma, gain, lim float64, factors map[string]float64, calls *atomic.Int64) Tenant {
+	return Tenant{
+		Name:        name,
+		Gain:        gain,
+		Limit:       lim,
+		Fingerprint: fmt.Sprintf("%s|%g|%g", name, alpha, gamma),
+		EstFor: func(profile string) core.Estimator {
+			f := factors[profile]
+			if f == 0 {
+				f = 1
+			}
+			return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+				if calls != nil {
+					calls.Add(1)
+				}
+				return f * (alpha/a[0] + gamma/a[1]), "p", nil
+			})
+		},
+	}
+}
+
+func randTenants(rng *rand.Rand, n int, factors map[string]float64) []Tenant {
+	out := make([]Tenant, n)
+	for i := range out {
+		alpha := 5 + 95*rng.Float64()
+		gamma := 2 + 40*rng.Float64()
+		gain, lim := 0.0, 0.0
+		if rng.Intn(3) == 0 {
+			gain = 1 + 2*rng.Float64()
+		}
+		if rng.Intn(4) == 0 {
+			lim = 2.5 + 3*rng.Float64()
+		}
+		out[i] = seededTenant(fmt.Sprintf("t%d", i), alpha, gamma, gain, lim, factors, nil)
+	}
+	return out
+}
+
+// Without local search, PlaceSeeded reproduces exactly the seeded
+// assignment plus greedily placed arrivals.
+func TestPlaceSeededReproducesSeed(t *testing.T) {
+	factors := map[string]float64{"big": 1, "small": 2}
+	tenants := randTenants(rand.New(rand.NewSource(1)), 5, factors)
+	opts := Options{Profiles: []string{"big", "big", "small"}, Core: core.Options{Delta: 0.1}}
+	seed := []int{2, 0, -1, 1, 2} // t2 is the arrival
+	p, err := PlaceSeeded(tenants, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seed {
+		if s >= 0 && p.Assignment[i] != s {
+			t.Fatalf("tenant %d seeded on %d, placed on %d", i, s, p.Assignment[i])
+		}
+	}
+	if a := p.Assignment[2]; a < 0 || a >= 3 {
+		t.Fatalf("arrival not placed: %d", a)
+	}
+	if p.TotalCost != p.GreedyCost || p.LocalSearchMoves != 0 {
+		t.Fatalf("no local search requested: %+v", p)
+	}
+}
+
+func TestPlaceSeededValidation(t *testing.T) {
+	factors := map[string]float64{}
+	tenants := randTenants(rand.New(rand.NewSource(2)), 3, factors)
+	opts := Options{Servers: 2, Core: core.Options{Delta: 0.1}}
+	if _, err := PlaceSeeded(tenants, opts, nil); err == nil {
+		t.Fatal("nil seed must error")
+	}
+	if _, err := PlaceSeeded(tenants, opts, []int{0}); err == nil {
+		t.Fatal("short seed must error")
+	}
+	if _, err := PlaceSeeded(tenants, opts, []int{0, 5, -1}); err == nil {
+		t.Fatal("out-of-range seed must error")
+	}
+	// Pins win over a conflicting seed entry.
+	opts.Pinned = []int{1, -1, -1}
+	p, err := PlaceSeeded(tenants, opts, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Assignment[0] != 1 {
+		t.Fatalf("pin must win over seed: %v", p.Assignment)
+	}
+}
+
+// The incremental contract on randomized fleets: local search from a
+// seeded incumbent never ends worse than the incumbent seed itself, and
+// never worse than greedy-from-scratch packing; and when the incumbent
+// IS the (converged) scratch result, incremental reproduces it exactly.
+func TestPlaceSeededIncrementalVsScratchParity(t *testing.T) {
+	factors := map[string]float64{"big": 1, "small": 2}
+	profiles := []string{"big", "big", "small", "small"}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		tenants := randTenants(rng, 6+rng.Intn(3), factors)
+		opts := Options{Profiles: profiles, Core: core.Options{Delta: 0.1}, LocalSearch: 50}
+
+		scratch, err := Place(tenants, opts)
+		if err != nil {
+			t.Fatalf("trial %d scratch: %v", trial, err)
+		}
+
+		// Incumbent unchanged: seeding from the converged scratch result
+		// must reproduce it (local search finds no improving change).
+		same, err := PlaceSeeded(tenants, opts, scratch.Assignment)
+		if err != nil {
+			t.Fatalf("trial %d reseed: %v", trial, err)
+		}
+		for i := range scratch.Assignment {
+			if same.Assignment[i] != scratch.Assignment[i] {
+				t.Fatalf("trial %d: unchanged incumbent moved tenant %d: %v vs %v",
+					trial, i, same.Assignment, scratch.Assignment)
+			}
+		}
+		if same.TotalCost != scratch.TotalCost {
+			t.Fatalf("trial %d: unchanged incumbent cost %v != scratch %v",
+				trial, same.TotalCost, scratch.TotalCost)
+		}
+
+		// Drift a third of the tenants and add an arrival, then place
+		// incrementally from the stale incumbent.
+		drifted := append([]Tenant(nil), tenants...)
+		for i := range drifted {
+			if rng.Intn(3) == 0 {
+				alpha := 5 + 95*rng.Float64()
+				gamma := 2 + 40*rng.Float64()
+				drifted[i] = seededTenant(drifted[i].Name, alpha, gamma,
+					drifted[i].Gain, drifted[i].Limit, factors, nil)
+			}
+		}
+		drifted = append(drifted, seededTenant("arrival", 30+20*rng.Float64(), 10, 0, 0, factors, nil))
+		seed := append(append([]int(nil), scratch.Assignment...), -1)
+
+		incremental, err := PlaceSeeded(drifted, opts, seed)
+		if err != nil {
+			t.Fatalf("trial %d incremental: %v", trial, err)
+		}
+		scratch2, err := Place(drifted, opts)
+		if err != nil {
+			t.Fatalf("trial %d scratch2: %v", trial, err)
+		}
+		const eps = 1e-9
+		if incremental.TotalCost > incremental.GreedyCost+eps {
+			t.Fatalf("trial %d: local search worsened the seed: %v > %v",
+				trial, incremental.TotalCost, incremental.GreedyCost)
+		}
+		if incremental.TotalCost > scratch2.GreedyCost+eps {
+			t.Fatalf("trial %d: incremental %v worse than greedy-from-scratch %v",
+				trial, incremental.TotalCost, scratch2.GreedyCost)
+		}
+	}
+}
+
+// The estimate cache closes the cross-call gap: a second identical Place
+// call with both caches performs zero fresh estimator evaluations (the
+// score cache serves the advisor runs, the estimate cache the
+// dedicated-cost anchors), where the score cache alone re-evaluates the
+// dedicated costs every call.
+func TestPlaceEstimateCacheCrossCallReuse(t *testing.T) {
+	factors := map[string]float64{"big": 1, "small": 2}
+	profiles := []string{"big", "small"}
+	var calls atomic.Int64
+	tenants := []Tenant{
+		seededTenant("a", 50, 10, 0, 0, factors, &calls),
+		seededTenant("b", 30, 15, 2, 0, factors, &calls),
+		seededTenant("c", 12, 6, 0, 3, factors, &calls),
+	}
+	opts := Options{
+		Profiles:  profiles,
+		Core:      core.Options{Delta: 0.1},
+		Scores:    score.NewCache(),
+		Estimates: score.NewEstimates(),
+	}
+	first, err := Place(tenants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := calls.Load()
+	if warm == 0 {
+		t.Fatal("first call must evaluate estimates")
+	}
+	second, err := Place(tenants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != warm {
+		t.Fatalf("second identical Place evaluated %d fresh estimates", got-warm)
+	}
+	if second.TotalCost != first.TotalCost {
+		t.Fatalf("cached run diverged: %v vs %v", second.TotalCost, first.TotalCost)
+	}
+	for i := range first.Assignment {
+		if first.Assignment[i] != second.Assignment[i] {
+			t.Fatalf("assignment diverged at %d", i)
+		}
+	}
+
+	// Score cache alone still re-anchors dedicated costs each call —
+	// the regression the estimate cache exists to prevent.
+	var plainCalls atomic.Int64
+	plain := []Tenant{
+		seededTenant("a", 50, 10, 0, 0, factors, &plainCalls),
+		seededTenant("b", 30, 15, 2, 0, factors, &plainCalls),
+		seededTenant("c", 12, 6, 0, 3, factors, &plainCalls),
+	}
+	popts := Options{Profiles: profiles, Core: core.Options{Delta: 0.1}, Scores: score.NewCache()}
+	if _, err := Place(plain, popts); err != nil {
+		t.Fatal(err)
+	}
+	w := plainCalls.Load()
+	if _, err := Place(plain, popts); err != nil {
+		t.Fatal(err)
+	}
+	if plainCalls.Load() == w {
+		t.Fatal("without the estimate cache the second call should re-evaluate dedicated costs")
+	}
+}
+
+// Estimate-cache parity: results are bit-identical with and without the
+// cache, across Parallelism settings.
+func TestPlaceEstimateCacheParity(t *testing.T) {
+	factors := map[string]float64{"big": 1, "small": 2}
+	profiles := []string{"big", "big", "small"}
+	build := func() []Tenant {
+		return randTenants(rand.New(rand.NewSource(42)), 6, factors)
+	}
+	run := func(est *score.EstimateCache, parallelism int) *Placement {
+		t.Helper()
+		p, err := Place(build(), Options{
+			Profiles:    profiles,
+			Core:        core.Options{Delta: 0.1, Parallelism: parallelism},
+			Scores:      score.NewCache(),
+			Estimates:   est,
+			LocalSearch: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := run(nil, 1)
+	for _, p := range []*Placement{run(score.NewEstimates(), 1), run(score.NewEstimates(), 8)} {
+		if p.TotalCost != base.TotalCost || p.GreedyCost != base.GreedyCost {
+			t.Fatalf("estimate cache changed the objective: %v/%v vs %v/%v",
+				p.TotalCost, p.GreedyCost, base.TotalCost, base.GreedyCost)
+		}
+		for i := range base.Assignment {
+			if p.Assignment[i] != base.Assignment[i] {
+				t.Fatalf("assignment diverged at tenant %d", i)
+			}
+		}
+	}
+}

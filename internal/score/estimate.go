@@ -1,0 +1,215 @@
+// The estimate cache: point-estimate memoization below the machine-score
+// cache. The score Cache memoizes whole advisor runs, so it only helps
+// when an entire machine configuration recurs. Individual estimates recur
+// far more often: the same tenant's dedicated-machine cost anchors the
+// greedy ordering and the degradation constraint of every Place call, and
+// a fresh advisor run over a novel configuration revisits grid points
+// costed by runs over other configurations sharing a member. Estimates
+// are deterministic in (machine profile, workload fingerprint,
+// allocation) — exactly the Fingerprinter contract — so they are cached
+// across Place calls and monitoring periods under that key.
+package score
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// estCell is one cached point estimate, resolved exactly once:
+// concurrent requests for the same (profile, fingerprint, allocation)
+// block on the single in-flight evaluation.
+type estCell struct {
+	once sync.Once
+	sec  float64
+	sig  string
+	err  error
+}
+
+// EstimateCache memoizes single what-if estimates by (machine profile,
+// workload fingerprint, allocation), persisting across Place calls and
+// monitoring periods. A nil *EstimateCache is valid and caches nothing.
+// Safe for concurrent use.
+//
+// Like the score Cache it is unbounded by default and offers the same
+// two bounding policies — SetCapacity (LRU over point estimates) and
+// BeginGeneration/Sweep — with the same guarantee: eviction can cost
+// re-evaluations, never change a value.
+type EstimateCache struct {
+	mu sync.Mutex
+	b  bounded[*estCell]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewEstimates creates an empty, unbounded estimate cache.
+func NewEstimates() *EstimateCache {
+	c := &EstimateCache{}
+	c.b.init()
+	return c
+}
+
+// Hits counts estimates served from the cache; Misses counts estimates
+// evaluated fresh through it.
+func (c *EstimateCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses counts estimates evaluated fresh through the cache.
+func (c *EstimateCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Size reports how many point estimates are cached. With a capacity set,
+// Size() ≤ capacity holds after every operation.
+func (c *EstimateCache) Size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.b.m)
+}
+
+// Evictions counts entries dropped by the capacity bound or a sweep.
+func (c *EstimateCache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.evictions
+}
+
+// SetCapacity bounds the cache to at most capacity point estimates with
+// LRU eviction (0 restores the unbounded default).
+func (c *EstimateCache) SetCapacity(capacity int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.b.setCapacity(capacity)
+}
+
+// BeginGeneration starts a new generation (see Cache.BeginGeneration).
+func (c *EstimateCache) BeginGeneration() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.b.beginGeneration()
+}
+
+// Sweep evicts every entry untouched for k or more generations and
+// returns how many were dropped (0 for k ≤ 0).
+func (c *EstimateCache) Sweep(k int) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.sweep(k)
+}
+
+// estKeyPrefix length-prefixes the identity fields so distinct
+// (profile, fingerprint) pairs can never collide by concatenation.
+func estKeyPrefix(profile, fp string) string {
+	var sb strings.Builder
+	sb.Grow(len(profile) + len(fp) + 16)
+	sb.WriteString(strconv.Itoa(len(profile)))
+	sb.WriteByte('#')
+	sb.WriteString(profile)
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(len(fp)))
+	sb.WriteByte('#')
+	sb.WriteString(fp)
+	sb.WriteByte('|')
+	return sb.String()
+}
+
+// Estimator wraps est so its evaluations are served through the cache
+// under (profile, fp). The fingerprint carries the usual contract: it
+// must change whenever the estimator's behaviour changes, so a drifted
+// workload's new fingerprint misses cleanly past the old entries (which
+// age out by LRU or sweep). A nil cache or empty fingerprint returns est
+// unchanged. The wrapper implements Fingerprinter (reporting fp), so it
+// composes directly with the score Cache's RecommendEsts path.
+func (c *EstimateCache) Estimator(profile, fp string, est core.Estimator) core.Estimator {
+	if c == nil || fp == "" || est == nil {
+		return est
+	}
+	return &cachedEstimator{c: c, est: est, prefix: estKeyPrefix(profile, fp), fp: fp}
+}
+
+// cachedEstimator serves one (profile, fingerprint)'s estimates from the
+// shared cache.
+type cachedEstimator struct {
+	c      *EstimateCache
+	est    core.Estimator
+	prefix string
+	fp     string
+}
+
+var (
+	_ core.Estimator           = (*cachedEstimator)(nil)
+	_ core.ConcurrentEstimator = (*cachedEstimator)(nil)
+	_ Fingerprinter            = (*cachedEstimator)(nil)
+)
+
+func (e *cachedEstimator) ScoreFingerprint() string { return e.fp }
+
+// cell returns (inserting if needed) the cache cell for one allocation.
+func (e *cachedEstimator) cell(a core.Allocation) (*estCell, string) {
+	k := e.prefix + core.AllocKey(a)
+	e.c.mu.Lock()
+	cell, ok := e.c.b.get(k)
+	if !ok {
+		cell = &estCell{}
+		e.c.b.put(k, cell)
+	}
+	e.c.mu.Unlock()
+	if ok {
+		e.c.hits.Add(1)
+	} else {
+		e.c.misses.Add(1)
+	}
+	return cell, k
+}
+
+// resolve finishes a cell: failed evaluations are removed so transient
+// errors (context cancellation) never stick, matching the score Cache.
+func (e *cachedEstimator) resolve(cell *estCell, k string) (float64, string, error) {
+	if cell.err != nil {
+		e.c.mu.Lock()
+		if n := e.c.b.lookup(k); n != nil && n.val == cell {
+			e.c.b.remove(n)
+		}
+		e.c.mu.Unlock()
+	}
+	return cell.sec, cell.sig, cell.err
+}
+
+func (e *cachedEstimator) Estimate(a core.Allocation) (float64, string, error) {
+	cell, k := e.cell(a)
+	cell.once.Do(func() { cell.sec, cell.sig, cell.err = e.est.Estimate(a) })
+	return e.resolve(cell, k)
+}
+
+func (e *cachedEstimator) EstimateConcurrent(ctx context.Context, workers int, a core.Allocation) (float64, string, error) {
+	cell, k := e.cell(a)
+	cell.once.Do(func() { cell.sec, cell.sig, cell.err = core.EstimateWith(ctx, e.est, workers, a) })
+	return e.resolve(cell, k)
+}

@@ -98,24 +98,29 @@ type entry struct {
 // *Cache is valid and simply runs everything fresh, so callers can thread
 // an optional cache without branching. Safe for concurrent use.
 //
-// Entries are never evicted: a cache grows with the number of distinct
-// configurations ever scored (drifted workloads and departed tenants
-// keep their stale entries — Len reports the size). Bounding it with an
-// eviction policy is a roadmap item; very long-lived, high-churn callers
-// can simply start a fresh Cache periodically, trading one round of
-// re-scoring for the reclaimed memory.
+// By default entries are never evicted and the cache grows with the
+// number of distinct configurations ever scored. Long-lived callers bound
+// it two ways, separately or together: SetCapacity caps the entry count
+// with least-recently-used eviction, and BeginGeneration/Sweep drop
+// entries untouched for K generations (the fleet orchestrator advances
+// one generation per monitoring period). Eviction is a memory policy
+// only: a dropped configuration re-runs the advisor on its next request
+// and — advisor runs being deterministic — recomputes the identical
+// result, so eviction can cost re-runs but never change one.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*entry
+	mu sync.Mutex
+	b  bounded[*entry]
 
 	hits   atomic.Int64
 	misses atomic.Int64
 	runs   atomic.Int64
 }
 
-// NewCache creates an empty machine-score cache.
+// NewCache creates an empty, unbounded machine-score cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]*entry)}
+	c := &Cache{}
+	c.b.init()
+	return c
 }
 
 // Hits counts lookups served from the cache.
@@ -151,14 +156,65 @@ func (c *Cache) Stats() (hits, misses, runs int64) {
 	return c.Hits(), c.Misses(), c.Runs()
 }
 
-// Len reports how many distinct machine configurations are cached.
-func (c *Cache) Len() int {
+// Size reports how many distinct machine configurations are cached.
+// With a capacity set, Size() ≤ capacity holds after every operation.
+func (c *Cache) Size() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return len(c.b.m)
+}
+
+// Len is Size under its historical name.
+func (c *Cache) Len() int { return c.Size() }
+
+// Evictions counts entries dropped by the capacity bound or a sweep.
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.evictions
+}
+
+// SetCapacity bounds the cache to at most capacity entries, evicting
+// least-recently-used entries first (0 restores the unbounded default).
+// Shrinking below the current size evicts down immediately.
+func (c *Cache) SetCapacity(capacity int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.b.setCapacity(capacity)
+}
+
+// BeginGeneration starts a new generation: entries served or inserted
+// from now on are stamped with it. Periodic callers (the fleet advances
+// one generation per monitoring period) pair it with Sweep to drop
+// entries their working set no longer touches.
+func (c *Cache) BeginGeneration() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.b.beginGeneration()
+}
+
+// Sweep evicts every entry untouched for k or more generations and
+// returns how many were dropped (0 for k ≤ 0). Like capacity eviction,
+// a sweep can cost re-runs but never changes a result.
+func (c *Cache) Sweep(k int) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.b.sweep(k)
 }
 
 // fmtFloat renders a float64 into its shortest round-trip form — distinct
@@ -239,10 +295,10 @@ func (c *Cache) Recommend(profile string, fps []string, ests []core.Estimator, o
 	}
 	k := keyOf(profile, fps, norm)
 	c.mu.Lock()
-	e, ok := c.entries[k]
+	e, ok := c.b.get(k)
 	if !ok {
 		e = &entry{}
-		c.entries[k] = e
+		c.b.put(k, e)
 	}
 	c.mu.Unlock()
 	if ok {
@@ -257,9 +313,11 @@ func (c *Cache) Recommend(profile string, fps []string, ests []core.Estimator, o
 	if e.err != nil {
 		// Do not cache failures: deterministic errors simply re-run, and
 		// transient ones (context cancellation mid-search) must not stick.
+		// The identity check guards against an eviction-and-replacement
+		// racing in while this run was in flight.
 		c.mu.Lock()
-		if c.entries[k] == e {
-			delete(c.entries, k)
+		if n := c.b.lookup(k); n != nil && n.val == e {
+			c.b.remove(n)
 		}
 		c.mu.Unlock()
 	}
