@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-smoke cover examples lint fmt vet check
+.PHONY: build test race bench bench-all bench-smoke bench-record bench-check cover examples lint fmt vet check
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,23 @@ race:
 # Parallel-search benchmarks: greedy, the exhaustive oracle, cluster
 # placement, the fleet period loop (cached and uncached), and placement
 # local search across worker counts (results are bit-identical; only
-# wall-clock changes).
+# wall-clock changes). BenchmarkFleetScale is excluded here — it is a
+# full 1000-machine sweep; run it via bench-record (or bench-smoke,
+# which runs everything once).
 bench:
-	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace|FleetPeriod|PlacementLocalSearch|FleetScale' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'Parallel|ClusterPlace|FleetPeriod|PlacementLocalSearch' -benchtime 10x .
+
+# Regenerate the committed fleet-scale benchmark record (the cell
+# architecture's scaling evidence; see internal/experiments/scale_figs.go
+# for the sweep) and validate an existing record. CI runs bench-check
+# against the committed BENCH_fleet_scale.json — a missing, unparseable,
+# or stale-schema record fails — and then regenerates it to prove the
+# sweep still completes.
+bench-record:
+	$(GO) run ./cmd/benchrecord -out BENCH_fleet_scale.json
+
+bench-check:
+	$(GO) run ./cmd/benchrecord -check BENCH_fleet_scale.json
 
 # Full paper-reproduction benchmark suite (every figure/table).
 bench-all:
@@ -51,7 +65,9 @@ examples:
 # Package coverage with per-package floors on the long-lived-fleet
 # subsystems (score cache, placement, orchestrator): the soak/property
 # harnesses are what holds these numbers up, so a PR that guts them
-# fails here. The full (non -short) suites run, soaks included.
+# fails here. The full (non -short) suites run, soaks included. The
+# placement floor was raised to 90 when the cell partitioner and
+# two-level search landed — the cell edge-case tests hold it there.
 cover:
 	@out=$$($(GO) test -cover ./internal/score ./internal/placement ./internal/fleet); status=$$?; \
 	echo "$$out"; \
@@ -61,7 +77,7 @@ cover:
 		for (i = 1; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub("%", "", pct) } \
 		floor = 0; \
 		if ($$2 ~ /internal\/score$$/) floor = 90; \
-		if ($$2 ~ /internal\/placement$$/) floor = 85; \
+		if ($$2 ~ /internal\/placement$$/) floor = 90; \
 		if ($$2 ~ /internal\/fleet$$/) floor = 90; \
 		if (floor > 0) floored++; \
 		if (pct + 0 < floor) { printf "cover: %s at %s%% is below the %d%% floor\n", $$2, pct, floor; bad = 1 } \

@@ -75,6 +75,8 @@ func main() {
 		"fleet mode: drop cache entries untouched for this many periods (0 = never)")
 	incremental := flag.Bool("incremental", false,
 		"fleet mode: seed each period's placement search from the incumbent assignment")
+	cells := flag.Int("cells", 0,
+		"partition multi-machine placement into cells of at most this many servers (0 disables)")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
 	flag.Parse()
@@ -97,7 +99,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism, LocalSearch: *localSearch}
+	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism, LocalSearch: *localSearch, Cells: *cells}
 
 	if *periods > 1 {
 		if *refine {
@@ -120,6 +122,7 @@ func main() {
 			estimateCapacity: *estimateCapacity,
 			cacheSweep:       *cacheSweep,
 			incremental:      *incremental,
+			cells:            *cells,
 		})
 		return
 	}
@@ -147,6 +150,9 @@ func main() {
 	}
 	if *localSearch > 0 {
 		fatal(fmt.Errorf("-local-search applies to multi-machine runs (-servers > 1 or -periods > 1)"))
+	}
+	if *cells > 0 {
+		fatal(fmt.Errorf("-cells applies to multi-machine runs (-servers > 1 or -periods > 1)"))
 	}
 	runSingle(specs, qosOf, *refine, opts)
 }
@@ -190,6 +196,7 @@ type fleetConfig struct {
 	estimateCapacity int
 	cacheSweep       int
 	incremental      bool
+	cells            int
 }
 
 // runFleet drives the tenants through monitoring periods on a (possibly
@@ -208,6 +215,7 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		EstimateCacheCapacity: cfg.estimateCapacity,
 		ScoreCacheSweep:       cfg.cacheSweep,
 		Incremental:           cfg.incremental,
+		Cells:                 cfg.cells,
 	})
 	for _, p := range machines {
 		if _, err := f.AddServer(p); err != nil {

@@ -1,0 +1,68 @@
+// Command benchrecord runs the fleet-scale sweep (10 → 1000 machines,
+// 10× tenants, cells on; flat baseline at the small sizes) and writes
+// the results as BENCH_fleet_scale.json, the benchmark record committed
+// with the repo. With -check it validates an existing record instead of
+// measuring: CI regenerates the record and runs the check, so a missing,
+// unparseable, or stale-schema record fails the build.
+//
+// Usage:
+//
+//	benchrecord [-out BENCH_fleet_scale.json]
+//	benchrecord -check [BENCH_fleet_scale.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_fleet_scale.json", "record file to write")
+	check := flag.Bool("check", false, "validate the record file instead of regenerating it")
+	flag.Parse()
+
+	path := *out
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+
+	if *check {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("benchrecord: %w (run `make bench-record`)", err))
+		}
+		if err := experiments.ValidateScaleRecord(data); err != nil {
+			fatal(fmt.Errorf("benchrecord: %s: %w", path, err))
+		}
+		fmt.Printf("benchrecord: %s ok\n", path)
+		return
+	}
+
+	start := time.Now()
+	rec, err := experiments.FleetScaleRecord()
+	if err != nil {
+		fatal(fmt.Errorf("benchrecord: sweep: %w", err))
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := experiments.ValidateScaleRecord(data); err != nil {
+		fatal(fmt.Errorf("benchrecord: generated record invalid: %w", err))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchrecord: wrote %s (%d points, %s)\n", path, len(rec.Points), time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

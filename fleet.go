@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbms"
 	"repro/internal/fleet"
+	"repro/internal/placement"
 	"repro/internal/vmsim"
 	"repro/internal/workload"
 )
@@ -110,6 +111,18 @@ type FleetOptions struct {
 	// deterministic and bit-identical across Parallelism. Most useful
 	// with LocalSearch > 0.
 	Incremental bool
+	// Cells bounds a placement cell to at most this many servers
+	// (0 disables partitioning). Large fleets are partitioned into cells
+	// — servers grouped by hardware profile, then dealt round-robin so
+	// every cell sees every profile — and each period routes tenants to
+	// cells (survivors stay with their server's cell, arrivals go to the
+	// cell with the most free slots) and runs the cells' placement and
+	// tuning work concurrently under Parallelism. Reports stay
+	// bit-identical across Parallelism, and a fleet of at most Cells
+	// servers behaves bit-identically to Cells == 0. Tenants never
+	// migrate across cells, so a cell size keeps each period's search
+	// O(cells × cellSize²) instead of O(servers²).
+	Cells int
 }
 
 // fleetCal is one hardware profile's machine and calibrations.
@@ -357,6 +370,7 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 			EstimateCacheCapacity: f.opts.EstimateCacheCapacity,
 			CacheSweep:            f.opts.ScoreCacheSweep,
 			Incremental:           f.opts.Incremental,
+			Cells:                 f.opts.Cells,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("vdesign: %w", err)
@@ -434,6 +448,26 @@ func (f *Fleet) CacheEvictions() (scores, estimates int64) {
 		return 0, 0
 	}
 	return f.orch.CacheEvictions()
+}
+
+// Cells reports how many placement cells the current topology forms
+// under FleetOptions.Cells (1 when partitioning is disabled or the fleet
+// fits in one cell; 0 for an empty fleet).
+func (f *Fleet) Cells() int {
+	if len(f.keys) == 0 {
+		return 0
+	}
+	return placement.NumCells(len(f.keys), f.opts.Cells)
+}
+
+// CellOf returns the placement cell owning a server under the current
+// topology (-1 for an out-of-range server index). Tenants placed in a
+// cell stay within it across periods.
+func (f *Fleet) CellOf(server int) int {
+	if server < 0 || server >= len(f.keys) {
+		return -1
+	}
+	return placement.CellIndex(f.keys, f.opts.Cells)[server]
 }
 
 // FleetPeriodReport is the outcome of one fleet monitoring period.

@@ -166,10 +166,12 @@ type Result struct {
 	// cache ablation reports both).
 	EstimatorCalls int
 	CacheHits      int
-	// DominancePruned counts cross-product candidates the exhaustive
-	// oracle skipped through per-resource dominance pruning (always 0 for
-	// greedy runs, and for exhaustive runs whose cost tables are not
-	// monotone in every resource).
+	// DominancePruned counts candidates skipped through dominance
+	// pruning: cross-product candidates for the exhaustive oracle,
+	// never-selectable up-candidates for greedy runs (dominance.go). It
+	// is 0 whenever a workload's observed cost surface is not monotone
+	// in every resource — pruning never assumes monotonicity. Pruning
+	// changes evaluation counters only, never a recommendation.
 	DominancePruned int
 	// Samples holds every distinct evaluation per workload.
 	Samples [][]Sample
@@ -390,6 +392,14 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		sm   Sample
 	}
 
+	// Dominance pruning over the candidate batches (see dominance.go):
+	// an up-candidate for a workload already at its dedicated-machine
+	// cost floor can never pass Phase 2's strictly-positive gain test
+	// when the workload's observed cost surface is monotone, so it is
+	// skipped before any estimator work.
+	mono := newMonoCheck(s, n)
+	pruned := 0
+
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
 		if err := opts.Ctx.Err(); err != nil {
@@ -403,7 +413,12 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 		for j := 0; j < opts.Resources; j++ {
 			for i := 0; i < n; i++ {
 				if up, err := adjusted(i, j, opts.Delta); err == nil {
-					cands = append(cands, candidate{i: i, j: j, up: true, a: up})
+					if !disableGreedyDominance && n >= 2 &&
+						costs[i] <= opts.Gains[i]*dedicated[i] && mono.monotone(i) {
+						pruned++
+					} else {
+						cands = append(cands, candidate{i: i, j: j, up: true, a: up})
+					}
 				}
 				if allocs[i][j]-opts.Delta < opts.MinShare-1e-9 {
 					continue
@@ -482,13 +497,14 @@ func Recommend(ests []Estimator, opts Options) (*Result, error) {
 	// pass: its lookups are guaranteed memo hits and the §4.5 cache
 	// ablation counts only the search itself.
 	res := &Result{
-		Allocations:    allocs,
-		Costs:          make([]float64, n),
-		DedicatedCosts: dedicated,
-		Iterations:     iters,
-		EstimatorCalls: int(s.calls.Load()),
-		CacheHits:      int(s.hits.Load()),
-		Samples:        make([][]Sample, n),
+		Allocations:     allocs,
+		Costs:           make([]float64, n),
+		DedicatedCosts:  dedicated,
+		Iterations:      iters,
+		EstimatorCalls:  int(s.calls.Load()),
+		CacheHits:       int(s.hits.Load()),
+		DominancePruned: pruned,
+		Samples:         make([][]Sample, n),
 	}
 	for i := range allocs {
 		sm, err := s.cost(i, allocs[i], 1) // guaranteed memo hits

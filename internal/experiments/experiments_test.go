@@ -30,7 +30,7 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 		"fig26", "fig27", "fig28", "fig29", "fig30", "fig31", "fig32",
 		"fig33", "fig34", "fig35", "fig36", "sec7.2",
 		"ablation-cache", "ablation-delta", "ablation-calibgrid",
-		"fleet-migration", "fleet-scale",
+		"fleet-migration", "fleet-cache", "fleet-scale",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -222,7 +222,7 @@ func TestResultRender(t *testing.T) {
 // uncached equivalent grows with the fleet.
 func TestFleetScaleCacheShape(t *testing.T) {
 	env := sharedEnv(t)
-	res, err := Run("fleet-scale", env)
+	res, err := Run("fleet-cache", env)
 	if err != nil {
 		t.Fatal(err)
 	}

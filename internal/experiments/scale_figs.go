@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+func init() {
+	register("fleet-scale", FleetScale)
+}
+
+// The fleet-scale sweep: the cell architecture's headline measurement.
+// It grows a synthetic heterogeneous fleet to 1000 machines / 10000
+// tenants, runs a build period (every tenant arrives at once), a warm
+// period, a steady period, and a drift period (2% tenant churn), and
+// records wall-clock plus the deterministic counters
+// (fresh advisor runs, cache hit rate, migrations) per size. At the
+// smaller sizes it also times the non-cellular (Cells: 0) fleet — the
+// quadratic baseline the two-level search is measured against; at 1000
+// machines the baseline is intractable by construction, which is the
+// point.
+//
+// `make bench-record` serializes the sweep as BENCH_fleet_scale.json
+// (ScaleRecord below) and CI regenerates + validates it, so a PR that
+// regresses the cell path to quadratic behaviour, or breaks the record
+// schema, fails.
+
+// ScaleSchema versions the BENCH_fleet_scale.json layout; bump it when
+// ScaleRecord/ScalePoint change shape so a stale committed record fails
+// validation instead of parsing into zero values.
+const ScaleSchema = "fleet-scale/v1"
+
+// Sweep shape. Tests substitute smaller sweeps via fleetScaleRecord;
+// the registered experiment, BenchmarkFleetScale, and cmd/benchrecord
+// all use these.
+var (
+	// scaleSizes are the fleet sizes (machines) swept.
+	scaleSizes = []int{10, 100, 1000}
+	// scaleBaselineMax is the largest size at which the non-cellular
+	// baseline is also timed.
+	scaleBaselineMax = 100
+	// scaleCellSize is Options.Cells for the cellular runs.
+	scaleCellSize = 8
+	// scaleTenantsPerMachine sets tenant count = this × machines.
+	scaleTenantsPerMachine = 10
+)
+
+// ScalePoint is one fleet size's measurements.
+type ScalePoint struct {
+	Machines int `json:"machines"`
+	Tenants  int `json:"tenants"`
+	// Cells is the Options.Cells setting (max machines per cell).
+	Cells int `json:"cells"`
+	// BuildNs, SteadyNs, and DriftNs are the wall-clock of the build
+	// period (all tenants arrive), a steady period (nothing changed),
+	// and the drift period (2% of tenants churned).
+	BuildNs  int64 `json:"build_ns"`
+	SteadyNs int64 `json:"steady_ns"`
+	DriftNs  int64 `json:"drift_ns"`
+	// SteadyRuns counts fresh advisor runs during the steady period
+	// (deterministic; 0 when the score cache fully covers it).
+	SteadyRuns int64 `json:"steady_runs"`
+	// HitRate is steady-period cache hits / (hits + misses).
+	HitRate float64 `json:"hit_rate"`
+	// Migrations counts server moves during the drift period.
+	Migrations int `json:"migrations"`
+	// Baseline* time the same build + steady periods with Cells: 0,
+	// present only when Baseline is true (small sizes).
+	Baseline         bool  `json:"baseline"`
+	BaselineBuildNs  int64 `json:"baseline_build_ns,omitempty"`
+	BaselineSteadyNs int64 `json:"baseline_steady_ns,omitempty"`
+}
+
+// ScaleRecord is the BENCH_fleet_scale.json document.
+type ScaleRecord struct {
+	Schema string `json:"schema"`
+	// Go records the toolchain that produced the numbers (wall-clock
+	// fields are environment-dependent; the counter fields are not).
+	Go     string       `json:"go"`
+	Points []ScalePoint `json:"points"`
+}
+
+// scaleFleetTenant builds one synthetic tenant for the scaling sweep:
+// the same analytic inverse-linear family as the fleet-cache figure,
+// with deterministic per-index parameters (the drift period churns by
+// substituting tenants at fresh indexes).
+func scaleFleetTenant(i int, profiles []string, factors map[string]float64) fleet.Tenant {
+	alpha := 10 + float64((i*37)%60)
+	gamma := 5 + float64((i*23)%40)
+	id := fmt.Sprintf("w%d", i)
+	return fleet.Tenant{
+		ID:             id,
+		Fingerprint:    fmt.Sprintf("%s@0", id),
+		AvgEstPerQuery: alpha + gamma,
+		EstFor: func(profile string) core.Estimator {
+			f := factors[profile]
+			return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+				return f * (alpha/a[0] + gamma/a[1]), "p", nil
+			})
+		},
+		Measure: func(server int, a core.Allocation) (float64, error) {
+			f := factors[profiles[server]]
+			return f * (alpha/a[0] + gamma/a[1]), nil
+		},
+	}
+}
+
+// scaleProfiles alternates two machine profiles so every fleet is
+// heterogeneous and the cell partitioner has real profile groups.
+func scaleProfiles(machines int) ([]string, map[string]float64) {
+	profiles := make([]string, machines)
+	for s := range profiles {
+		profiles[s] = "big"
+		if s%2 == 1 {
+			profiles[s] = "small"
+		}
+	}
+	return profiles, map[string]float64{"big": 1, "small": 2}
+}
+
+// scaleOptions is the sweep's fleet configuration: coarse search (the
+// tenants are analytic, so a coarse δ converges immediately), modest
+// per-machine packing headroom, and the given cell size.
+func scaleOptions(profiles []string, cells int) fleet.Options {
+	return fleet.Options{
+		Profiles:      profiles,
+		MigrationCost: 0.1,
+		Core: core.Options{
+			Delta:       0.5,
+			MinShare:    0.05,
+			Parallelism: searchParallelism,
+		},
+		Cells: cells,
+	}
+}
+
+// runScalePoint measures one fleet size at one cell setting, returning
+// the four period timings plus the steady-period counters and the
+// drift-period migration count.
+func runScalePoint(machines, tenantsPer, cells int) (p ScalePoint, err error) {
+	profiles, factors := scaleProfiles(machines)
+	n := tenantsPer * machines
+	inputs := make([]fleet.Tenant, n)
+	for i := range inputs {
+		inputs[i] = scaleFleetTenant(i, profiles, factors)
+	}
+	orch, err := fleet.New(scaleOptions(profiles, cells))
+	if err != nil {
+		return p, err
+	}
+	p.Machines, p.Tenants, p.Cells = machines, n, cells
+
+	start := time.Now()
+	if _, err := orch.Period(inputs); err != nil {
+		return p, fmt.Errorf("build period (%d machines): %w", machines, err)
+	}
+	p.BuildNs = time.Since(start).Nanoseconds()
+
+	// Warm until the caches fully cover a drift-free period (fresh-run
+	// count stops moving): the second period prices the stay-put
+	// alternative, and residual misses land over the next couple.
+	for warm := 0; warm < 8; warm++ {
+		_, _, before := orch.ScoreStats()
+		if _, err := orch.Period(inputs); err != nil {
+			return p, fmt.Errorf("warm period (%d machines): %w", machines, err)
+		}
+		if _, _, after := orch.ScoreStats(); after == before {
+			break
+		}
+	}
+
+	hitsBefore, missesBefore, runsBefore := orch.ScoreStats()
+	start = time.Now()
+	if _, err := orch.Period(inputs); err != nil {
+		return p, fmt.Errorf("steady period (%d machines): %w", machines, err)
+	}
+	p.SteadyNs = time.Since(start).Nanoseconds()
+	hits, misses, runs := orch.ScoreStats()
+	p.SteadyRuns = runs - runsBefore
+	if lookups := (hits - hitsBefore) + (misses - missesBefore); lookups > 0 {
+		p.HitRate = float64(hits-hitsBefore) / float64(lookups)
+	}
+
+	// Drift: 2% churn — every 50th tenant departs and a new one (fresh
+	// ID, different workload) arrives in its place, so the affected
+	// cells re-score, re-pack, and migrate survivors where that pays.
+	for i := 0; i < n; i += 50 {
+		inputs[i] = scaleFleetTenant(n+i, profiles, factors)
+	}
+	start = time.Now()
+	rep, err := orch.Period(inputs)
+	if err != nil {
+		return p, fmt.Errorf("drift period (%d machines): %w", machines, err)
+	}
+	p.DriftNs = time.Since(start).Nanoseconds()
+	p.Migrations = rep.Migrations
+	return p, nil
+}
+
+// fleetScaleRecord runs the sweep at the given shape; tests call it
+// with reduced sizes.
+func fleetScaleRecord(sizes []int, baselineMax, cellSize, tenantsPer int) (*ScaleRecord, error) {
+	rec := &ScaleRecord{Schema: ScaleSchema, Go: runtime.Version()}
+	for _, m := range sizes {
+		p, err := runScalePoint(m, tenantsPer, cellSize)
+		if err != nil {
+			return nil, err
+		}
+		if m <= baselineMax {
+			base, err := runScalePoint(m, tenantsPer, 0)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: %w", err)
+			}
+			p.Baseline = true
+			p.BaselineBuildNs = base.BuildNs
+			p.BaselineSteadyNs = base.SteadyNs
+		}
+		rec.Points = append(rec.Points, p)
+	}
+	return rec, nil
+}
+
+// FleetScaleRecord runs the full sweep (10 → 1000 machines, 10× tenants)
+// and returns the record cmd/benchrecord serializes.
+func FleetScaleRecord() (*ScaleRecord, error) {
+	return fleetScaleRecord(scaleSizes, scaleBaselineMax, scaleCellSize, scaleTenantsPerMachine)
+}
+
+// ValidateScaleRecord checks a serialized BENCH_fleet_scale.json: it
+// must parse, carry the current schema version, and cover the full
+// sweep (≥1000 machines, ≥10000 tenants) with sane measurements. CI
+// runs this against the committed record so a stale or hand-mangled
+// file fails the build.
+func ValidateScaleRecord(data []byte) error {
+	var rec ScaleRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("fleet-scale record: unparseable: %w", err)
+	}
+	if rec.Schema != ScaleSchema {
+		return fmt.Errorf("fleet-scale record: schema %q, want %q (stale record? run `make bench-record`)", rec.Schema, ScaleSchema)
+	}
+	if rec.Go == "" {
+		return fmt.Errorf("fleet-scale record: missing go version")
+	}
+	if len(rec.Points) == 0 {
+		return fmt.Errorf("fleet-scale record: no points")
+	}
+	maxMachines, maxTenants := 0, 0
+	for _, p := range rec.Points {
+		if p.Machines <= 0 || p.Tenants <= 0 {
+			return fmt.Errorf("fleet-scale record: degenerate point %+v", p)
+		}
+		if p.BuildNs <= 0 || p.SteadyNs <= 0 || p.DriftNs <= 0 {
+			return fmt.Errorf("fleet-scale record: non-positive timing in point %+v", p)
+		}
+		if p.SteadyRuns < 0 || p.HitRate < 0 || p.HitRate > 1 || p.Migrations < 0 {
+			return fmt.Errorf("fleet-scale record: counter out of range in point %+v", p)
+		}
+		if p.Baseline && (p.BaselineBuildNs <= 0 || p.BaselineSteadyNs <= 0) {
+			return fmt.Errorf("fleet-scale record: baseline point missing timings %+v", p)
+		}
+		if p.Machines > maxMachines {
+			maxMachines = p.Machines
+		}
+		if p.Tenants > maxTenants {
+			maxTenants = p.Tenants
+		}
+	}
+	if maxMachines < 1000 || maxTenants < 10000 {
+		return fmt.Errorf("fleet-scale record: sweep tops out at %d machines / %d tenants, want ≥1000 / ≥10000",
+			maxMachines, maxTenants)
+	}
+	return nil
+}
+
+// FleetScale is the registered experiment: the full sweep rendered as
+// series over fleet size.
+func FleetScale(env *Env) (*Result, error) {
+	rec, err := FleetScaleRecord()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "fleet-scale",
+		Title:  "Cell scale-out: period latency and advisor work vs fleet size",
+		XLabel: "machines",
+		YLabel: "period milliseconds / counters",
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	var build, steady, drift, runs, hit, migs, baseBuild []float64
+	for _, p := range rec.Points {
+		res.X = append(res.X, float64(p.Machines))
+		build = append(build, ms(p.BuildNs))
+		steady = append(steady, ms(p.SteadyNs))
+		drift = append(drift, ms(p.DriftNs))
+		runs = append(runs, float64(p.SteadyRuns))
+		hit = append(hit, p.HitRate)
+		migs = append(migs, float64(p.Migrations))
+		if p.Baseline {
+			baseBuild = append(baseBuild, ms(p.BaselineBuildNs))
+		}
+	}
+	res.AddSeries("build-ms", build)
+	res.AddSeries("steady-ms", steady)
+	res.AddSeries("drift-ms", drift)
+	res.AddSeries("steady-runs", runs)
+	res.AddSeries("hit-rate", hit)
+	res.AddSeries("migrations", migs)
+	res.AddSeries("flat-build-ms", baseBuild)
+	res.Note("cells of ≤%d machines; tenants = %d × machines; flat (Cells: 0) baseline timed through %d machines",
+		scaleCellSize, scaleTenantsPerMachine, scaleBaselineMax)
+	res.Note("wall-clock series are environment-dependent; steady-runs, hit-rate, and migrations are deterministic")
+	return res, nil
+}

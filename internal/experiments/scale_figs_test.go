@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// A reduced sweep (the full one is the benchmark's job): the cellular
+// fleet builds, reaches a zero-fresh-run steady state, and the drift
+// period moves at least one tenant; the flat baseline at the same size
+// measures successfully.
+func TestFleetScaleRecordShape(t *testing.T) {
+	rec, err := fleetScaleRecord([]int{4, 8}, 8, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != ScaleSchema || rec.Go == "" {
+		t.Fatalf("bad header: %+v", rec)
+	}
+	if len(rec.Points) != 2 {
+		t.Fatalf("want 2 points, got %+v", rec.Points)
+	}
+	for _, p := range rec.Points {
+		if p.Tenants != 4*p.Machines {
+			t.Errorf("point %d machines: %d tenants, want %d", p.Machines, p.Tenants, 4*p.Machines)
+		}
+		if p.BuildNs <= 0 || p.SteadyNs <= 0 || p.DriftNs <= 0 {
+			t.Errorf("point %d machines: non-positive timings %+v", p.Machines, p)
+		}
+		if p.SteadyRuns != 0 {
+			t.Errorf("point %d machines: steady period ran %d fresh advisor runs, want 0", p.Machines, p.SteadyRuns)
+		}
+		if p.HitRate <= 0 || p.HitRate > 1 {
+			t.Errorf("point %d machines: hit rate %v out of (0,1]", p.Machines, p.HitRate)
+		}
+		if !p.Baseline || p.BaselineBuildNs <= 0 || p.BaselineSteadyNs <= 0 {
+			t.Errorf("point %d machines: baseline missing: %+v", p.Machines, p)
+		}
+	}
+}
+
+// The deterministic counters of the sweep are identical across
+// Parallelism, like every other report in the module.
+func TestFleetScaleRecordParallelismParity(t *testing.T) {
+	counters := func(workers int) []ScalePoint {
+		t.Helper()
+		old := searchParallelism
+		searchParallelism = workers
+		defer func() { searchParallelism = old }()
+		rec, err := fleetScaleRecord([]int{6}, 0, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Blank the environment-dependent wall-clock fields.
+		for i := range rec.Points {
+			rec.Points[i].BuildNs, rec.Points[i].SteadyNs, rec.Points[i].DriftNs = 0, 0, 0
+		}
+		return rec.Points
+	}
+	seq, par := counters(1), counters(8)
+	a, _ := json.Marshal(seq)
+	b, _ := json.Marshal(par)
+	if string(a) != string(b) {
+		t.Fatalf("counters diverged across Parallelism:\n%s\n%s", a, b)
+	}
+}
+
+func TestValidateScaleRecord(t *testing.T) {
+	good := ScaleRecord{Schema: ScaleSchema, Go: "go1.x", Points: []ScalePoint{
+		{Machines: 10, Tenants: 100, Cells: 8, BuildNs: 1, SteadyNs: 1, DriftNs: 1, HitRate: 1,
+			Baseline: true, BaselineBuildNs: 1, BaselineSteadyNs: 1},
+		{Machines: 1000, Tenants: 10000, Cells: 8, BuildNs: 1, SteadyNs: 1, DriftNs: 1, HitRate: 1},
+	}}
+	enc := func(r ScaleRecord) []byte {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if err := ValidateScaleRecord(enc(good)); err != nil {
+		t.Fatalf("good record rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"unparseable", []byte("{"), "unparseable"},
+		{"stale schema", enc(func() ScaleRecord { r := good; r.Schema = "fleet-scale/v0"; return r }()), "schema"},
+		{"no points", enc(ScaleRecord{Schema: ScaleSchema, Go: "go1.x"}), "no points"},
+		{"missing go", enc(func() ScaleRecord { r := good; r.Go = ""; return r }()), "go version"},
+		{"short sweep", enc(ScaleRecord{Schema: ScaleSchema, Go: "go1.x", Points: []ScalePoint{
+			{Machines: 10, Tenants: 100, BuildNs: 1, SteadyNs: 1, DriftNs: 1},
+		}}), "tops out"},
+		{"zero timing", enc(func() ScaleRecord {
+			r := good
+			r.Points = append([]ScalePoint(nil), good.Points...)
+			r.Points[1].SteadyNs = 0
+			return r
+		}()), "non-positive"},
+		{"bad hit rate", enc(func() ScaleRecord {
+			r := good
+			r.Points = append([]ScalePoint(nil), good.Points...)
+			r.Points[1].HitRate = 1.5
+			return r
+		}()), "out of range"},
+	}
+	for _, tc := range cases {
+		err := ValidateScaleRecord(tc.data)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

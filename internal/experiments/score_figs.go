@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register("fleet-scale", FleetScaleCache)
+	register("fleet-cache", FleetScaleCache)
 }
 
 // scaleTenant builds one synthetic fleet tenant for the scaling figure:
@@ -47,7 +47,7 @@ func scaleTenant(i int, profiles []string, factors map[string]float64) fleet.Ten
 // previous periods' scorings.
 func FleetScaleCache(env *Env) (*Result, error) {
 	res := &Result{
-		ID:     "fleet-scale",
+		ID:     "fleet-cache",
 		Title:  "Incremental scoring: steady-period advisor runs and latency, cache on vs off, vs fleet size",
 		XLabel: "servers",
 		YLabel: "fresh advisor runs / period milliseconds",

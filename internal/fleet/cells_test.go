@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Cell edge cases at the orchestrator layer: one cell ≡ flat bit for
+// bit, empty cells are inert, admission falls through a full cell,
+// tenants never silently cross cells, and the multi-cell period fan-out
+// is bit-identical across Parallelism (soak-covered).
+
+// A fleet no larger than Options.Cells forms one cell, and one cell IS
+// the flat orchestrator: the full report history — drift, arrivals,
+// departures, admission, hysteresis, local search — matches bit for
+// bit, at the exact bound and far above it.
+func TestFleetOneCellMatchesFlat(t *testing.T) {
+	periods := 60
+	if testing.Short() {
+		periods = 12
+	}
+	scenario := soakScenario(11, periods)
+	sf := soakFleet()
+	flat := runSoak(t, scenario, soakOptions(sf), nil)
+	for _, cells := range []int{4, 99} {
+		opts := soakOptions(sf)
+		opts.Cells = cells
+		samePeriodReports(t, fmt.Sprintf("cells=%d", cells), flat, runSoak(t, scenario, opts, nil))
+	}
+}
+
+// The multi-cell fan-out is bit-identical across Parallelism: cells
+// execute concurrently but merge in fixed cell order.
+func TestFleetSoakCellsParallelParity(t *testing.T) {
+	periods := 120
+	if testing.Short() {
+		periods = 15
+	}
+	scenario := soakScenario(13, periods)
+	sf := soakFleet()
+	seq := soakOptions(sf)
+	seq.Cells = 2 // 4 machines → 2 cells of 2
+	reports := runSoak(t, scenario, seq, nil)
+	p8 := seq
+	p8.Core.Parallelism = 8
+	samePeriodReports(t, "cells p8", reports, runSoak(t, scenario, p8, nil))
+}
+
+// Cells with no tenants are inert: a fleet partitioned finer than its
+// tenant count runs periods (and churn) without touching the empty
+// cells' machines.
+func TestFleetEmptyCells(t *testing.T) {
+	sf := soakFleet()
+	opts := soakOptions(sf)
+	opts.Cells = 1 // 4 machines → 4 single-machine cells
+	o, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := []*simTenant{
+		{id: "a", alpha: 40, gamma: 10},
+		{id: "b", alpha: 25, gamma: 8},
+	}
+	rep, err := o.Period(sf.inputs(tenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Assignment) != 2 || rep.Arrivals != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	// Departure down to one tenant: still fine with three empty cells.
+	rep, err = o.Period(sf.inputs(tenants[:1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Assignment) != 1 || rep.Departures != 1 {
+		t.Fatalf("unexpected report after departure: %+v", rep)
+	}
+}
+
+// Admission routing falls through a full cell: with seats for exactly
+// every arrival, QoS admission seats tenants in later-ranked cells once
+// the best-ranked one fills, rejecting no one — and a genuinely
+// over-capacity batch rejects exactly the overflow.
+func TestFleetAdmissionCellFallthrough(t *testing.T) {
+	sf := soakFleet()
+	opts := soakOptions(sf)
+	opts.Cells = 2           // 2 cells × 2 machines
+	opts.Core.MinShare = 0.5 // 2 seats per machine → 4 per cell
+	opts.Core.Delta = 0.25
+	opts.LocalSearch = 0
+	var tenants []*simTenant
+	for i := 0; i < 9; i++ {
+		tenants = append(tenants, &simTenant{
+			id:    fmt.Sprintf("t%d", i),
+			alpha: 20 + float64(i),
+			gamma: 5,
+		})
+	}
+	o, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := o.Period(sf.inputs(tenants[:8]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 0 {
+		t.Fatalf("exactly-full batch rejected %v (cell fallthrough missing)", rep.Rejected)
+	}
+	perServer := map[int]int{}
+	for _, s := range rep.Assignment {
+		perServer[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if perServer[s] != 2 {
+			t.Fatalf("server %d seats %d tenants, want 2: %v", s, perServer[s], rep.Assignment)
+		}
+	}
+
+	// One beyond fleet capacity: exactly one rejection — a batch
+	// conflict (the fleet had seats before the batch; the batch itself
+	// exhausted them), same as the flat orchestrator reports.
+	o2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = o2.Period(sf.inputs(tenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 1 || rep.RejectedReasons[0] != RejectBatchConflict {
+		t.Fatalf("over-capacity batch: rejected %v (%v), want 1 batch-conflict rejection",
+			rep.Rejected, rep.RejectedReasons)
+	}
+	flat := opts
+	flat.Cells = 0
+	o3, err := New(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frep, err := o3.Period(sf.inputs(tenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frep.Rejected) != 1 || frep.Rejected[0] != rep.Rejected[0] ||
+		frep.RejectedReasons[0] != rep.RejectedReasons[0] {
+		t.Fatalf("cellular rejection %v (%v) diverges from flat %v (%v)",
+			rep.Rejected, rep.RejectedReasons, frep.Rejected, frep.RejectedReasons)
+	}
+}
+
+// A surviving tenant never crosses cells: periods re-place, drift, and
+// migrate within a cell, but only a departure + re-arrival can change a
+// tenant's cell.
+func TestFleetTenantsNeverCrossCells(t *testing.T) {
+	periods := 80
+	if testing.Short() {
+		periods = 15
+	}
+	scenario := soakScenario(17, periods)
+	sf := soakFleet()
+	opts := soakOptions(sf)
+	opts.Cells = 2
+	o, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrations := 0
+	prevCell := map[string]int{}
+	for p, tenants := range scenario {
+		rep, err := o.Period(sf.inputs(tenants))
+		if err != nil {
+			t.Fatalf("period %d: %v", p+1, err)
+		}
+		migrations += rep.Migrations
+		cur := map[string]int{}
+		for id, s := range rep.Assignment {
+			cur[id] = o.cellOf[s]
+		}
+		for id, c := range cur {
+			if before, survived := prevCell[id]; survived && before != c {
+				t.Fatalf("period %d: tenant %s crossed cell %d → %d", p+1, id, before, c)
+			}
+		}
+		prevCell = cur
+	}
+	if migrations == 0 {
+		t.Fatal("scenario exercised no migrations; the confinement check proved nothing")
+	}
+}

@@ -165,6 +165,20 @@ type Options struct {
 	// any decision — the test hook that verifies incremental mode never
 	// ends worse than scratch packing.
 	ShadowScratch bool
+	// Cells bounds a placement cell to at most this many machines
+	// (0 disables partitioning — the whole fleet is one cell, the flat
+	// orchestrator). On larger fleets the servers are partitioned by
+	// placement.PartitionCells, each cell gets its own score/estimate
+	// cache shard, and every period routes tenants to cells (survivors
+	// stay with their incumbent's cell; arrivals go to the cell with the
+	// most headroom) and runs the cells' placement + manager work
+	// concurrently over the Core.Parallelism worker pool — see cells.go.
+	// Reports stay bit-identical across Parallelism because each cell is
+	// deterministic and outcomes merge in fixed cell order; a fleet of at
+	// most Cells machines behaves bit-identically to Cells == 0. With
+	// more than one cell, Tenant.EstFor and Tenant.Measure must tolerate
+	// concurrent calls for tenants of different cells.
+	Cells int
 }
 
 // RejectReason classifies why admission control turned an arrival away.
@@ -224,6 +238,9 @@ type PeriodReport struct {
 	Arrivals, Departures, Migrations int
 	// Replaced reports whether the candidate re-placement was adopted
 	// (always true on the first period, and whenever MigrationCost is 0).
+	// On a multi-cell fleet (Options.Cells) each cell decides
+	// independently and Replaced is true when any cell adopted its
+	// candidate.
 	Replaced bool
 	// CandidateCost and StayCost are the gain-weighted placement
 	// objectives of the free re-placement and the pinned stay-put
@@ -304,12 +321,24 @@ type Orchestrator struct {
 	assignment map[string]int
 	period     int
 	history    []*PeriodReport
-	// scores memoizes per-machine advisor runs across candidates, the
-	// stay-put pricing run, local search, the per-machine managers, and
-	// periods (nil when Options.DisableScoreCache). estimates memoizes
-	// point what-if evaluations below it, under the same lifecycle.
-	scores    *score.Cache
-	estimates *score.EstimateCache
+	// The cell partition (see Options.Cells and cells.go): cells lists
+	// each cell's global server indexes, cellOf maps a server to its
+	// cell, localIdx to its index within that cell, and cellProfiles
+	// holds each cell's profile slice. With Cells == 0 there is exactly
+	// one cell covering the fleet and local indexes equal global ones.
+	cells        [][]int
+	cellOf       []int
+	localIdx     []int
+	cellProfiles [][]string
+	// scores[c] memoizes cell c's per-machine advisor runs across
+	// candidates, the stay-put pricing run, local search, the
+	// per-machine managers, and periods (entries nil when
+	// Options.DisableScoreCache). estimates[c] memoizes point what-if
+	// evaluations below it, under the same lifecycle. Cells never share
+	// machines, so the shards never share keys — sharding only splits
+	// the capacity bounds and the lock traffic.
+	scores    []*score.Cache
+	estimates []*score.EstimateCache
 }
 
 // New creates an orchestrator for the given fleet topology. The topology
@@ -328,39 +357,115 @@ func New(opts Options) (*Orchestrator, error) {
 		return nil, fmt.Errorf("fleet: negative cache bound (capacity %d/%d, sweep %d)",
 			opts.CacheCapacity, opts.EstimateCacheCapacity, opts.CacheSweep)
 	}
+	if opts.Cells < 0 {
+		return nil, fmt.Errorf("fleet: negative cell size %d", opts.Cells)
+	}
 	o := &Orchestrator{opts: opts, assignment: map[string]int{}}
+	o.cells = placement.PartitionCells(opts.Profiles, opts.Cells)
+	o.cellOf = placement.CellIndex(opts.Profiles, opts.Cells)
+	o.localIdx = make([]int, len(opts.Profiles))
+	o.cellProfiles = make([][]string, len(o.cells))
+	for c, servers := range o.cells {
+		profiles := make([]string, len(servers))
+		for l, s := range servers {
+			o.localIdx[s] = l
+			profiles[l] = opts.Profiles[s]
+		}
+		o.cellProfiles[c] = profiles
+	}
+	// Cache shards: one score + estimate cache per cell, splitting any
+	// capacity bound evenly (rounded up, so the fleet-wide bound is
+	// respected within numCells entries).
+	o.scores = make([]*score.Cache, len(o.cells))
+	o.estimates = make([]*score.EstimateCache, len(o.cells))
 	if !opts.DisableScoreCache {
-		o.scores = score.NewCache()
-		o.scores.SetCapacity(opts.CacheCapacity)
-		o.estimates = score.NewEstimates()
-		o.estimates.SetCapacity(opts.EstimateCacheCapacity)
+		scap := perCellCapacity(opts.CacheCapacity, len(o.cells))
+		ecap := perCellCapacity(opts.EstimateCacheCapacity, len(o.cells))
+		for c := range o.cells {
+			o.scores[c] = score.NewCache()
+			o.scores[c].SetCapacity(scap)
+			o.estimates[c] = score.NewEstimates()
+			o.estimates[c].SetCapacity(ecap)
+		}
 	}
 	for s := range opts.Profiles {
-		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores))
+		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores[o.cellOf[s]]))
 	}
 	return o, nil
+}
+
+// perCellCapacity splits a fleet-wide cache bound across cells (0 stays
+// unbounded).
+func perCellCapacity(capacity, cells int) int {
+	if capacity <= 0 || cells <= 1 {
+		return capacity
+	}
+	return (capacity + cells - 1) / cells
 }
 
 // Servers returns the fleet size.
 func (o *Orchestrator) Servers() int { return len(o.machines) }
 
+// Cells returns how many placement cells the fleet is partitioned into
+// (1 when Options.Cells is 0 or the fleet fits in one cell).
+func (o *Orchestrator) Cells() int { return len(o.cells) }
+
+// CellOf returns the placement cell owning a server (-1 for an
+// out-of-range server index).
+func (o *Orchestrator) CellOf(server int) int {
+	if server < 0 || server >= len(o.cellOf) {
+		return -1
+	}
+	return o.cellOf[server]
+}
+
+// CellScoreStats reports one cell's machine-score cache counters — all
+// zero when the cache is disabled or the cell index is out of range.
+func (o *Orchestrator) CellScoreStats(cell int) score.Stats {
+	if cell < 0 || cell >= len(o.scores) {
+		return score.Stats{}
+	}
+	return o.scores[cell].Snapshot()
+}
+
+// scoreStats sums the score-cache shards' counters.
+func (o *Orchestrator) scoreStats() score.Stats {
+	var sum score.Stats
+	for _, c := range o.scores {
+		sum = sum.Plus(c.Snapshot())
+	}
+	return sum
+}
+
+// estimateStats sums the estimate-cache shards' counters.
+func (o *Orchestrator) estimateStats() score.Stats {
+	var sum score.Stats
+	for _, c := range o.estimates {
+		sum = sum.Plus(c.Snapshot())
+	}
+	return sum
+}
+
 // ScoreStats reports the machine-score cache's (hits, misses, fresh
-// advisor runs) counters — all zero when the cache is disabled.
+// advisor runs) counters, summed over the cell shards — all zero when
+// the cache is disabled.
 func (o *Orchestrator) ScoreStats() (hits, misses, runs int64) {
-	return o.scores.Stats()
+	s := o.scoreStats()
+	return s.Hits, s.Misses, s.Runs
 }
 
 // CacheSizes reports the current entry counts of the machine-score cache
-// and the estimate cache — the numbers Options.CacheCapacity /
-// EstimateCacheCapacity bound and Options.CacheSweep drains.
+// and the estimate cache (summed over the cell shards) — the numbers
+// Options.CacheCapacity / EstimateCacheCapacity bound and
+// Options.CacheSweep drains.
 func (o *Orchestrator) CacheSizes() (scores, estimates int) {
-	return o.scores.Size(), o.estimates.Size()
+	return o.scoreStats().Size, o.estimateStats().Size
 }
 
 // CacheEvictions reports how many entries each cache has dropped to its
-// capacity bound or a generation sweep.
+// capacity bound or a generation sweep, summed over the cell shards.
 func (o *Orchestrator) CacheEvictions() (scores, estimates int64) {
-	return o.scores.Evictions(), o.estimates.Evictions()
+	return o.scoreStats().Evictions, o.estimateStats().Evictions
 }
 
 // Assignment returns a copy of the current tenant→server assignment.
@@ -506,19 +611,21 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// re-stamped, and the commit-time sweep (Options.CacheSweep) drops
 	// whatever the fleet stopped visiting. A failed period advances the
 	// generation without sweeping — entries merely age one step faster.
-	o.scores.BeginGeneration()
-	o.estimates.BeginGeneration()
+	for _, c := range o.scores {
+		c.BeginGeneration()
+	}
+	for _, c := range o.estimates {
+		c.BeginGeneration()
+	}
 	rep := &PeriodReport{
 		Machines: make([]MachineReport, len(o.machines)),
 	}
 	present := make(map[string]bool, len(tenants))
 	pinned := make([]int, len(tenants))
-	anySurvivor := false
 	for i, t := range tenants {
 		present[t.ID] = true
 		if s, ok := o.assignment[t.ID]; ok {
 			pinned[i] = s
-			anySurvivor = true
 		} else {
 			pinned[i] = -1
 			rep.Arrivals++
@@ -535,230 +642,33 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		ptenants[i] = placement.Tenant{Name: t.ID, EstFor: t.EstFor,
 			Gain: t.Gain, Limit: t.Limit, Fingerprint: t.Fingerprint}
 	}
-	popts := placement.Options{
-		Profiles:    o.opts.Profiles,
-		Core:        o.opts.Core,
-		Scores:      o.scores,
-		Estimates:   o.estimates,
-		LocalSearch: o.opts.LocalSearch,
-	}
 
-	// QoS admission control: before any placement work, turn away
-	// arrivals the fleet provably cannot host — every slot taken, or no
-	// machine able to seat the tenant without someone's degradation limit
-	// breaking. The batch of arrivals is admitted jointly by a greedy
-	// seat-and-check in input order: each admitted arrival is tentatively
-	// pinned to its admitting machine, so later arrivals are checked
-	// against incumbents AND the batch admitted so far — two arrivals
-	// that each pass the incumbent-only check but jointly overflow a
-	// machine are split, the loser rejected as a batch conflict. The
-	// checks price residents+arrival configurations the placement runs
-	// would score anyway, so with the score cache on they add almost no
-	// fresh advisor work.
-	if o.opts.AdmitQoS && rep.Arrivals > 0 {
-		capacity := placement.Capacity(popts)
-		slots := len(o.machines) * capacity
-		for _, s := range pinned {
-			if s >= 0 {
-				slots--
-			}
-		}
-		// seated accumulates the tentative pins: incumbents plus the
-		// arrivals admitted so far. It exists only for the joint check —
-		// the real placement still seats arrivals wherever it likes.
-		// baseSlots remembers the slot count against the incumbents
-		// alone, so rejections are classified relative to what THIS
-		// arrival would have seen without the rest of the batch: only an
-		// incumbent-full fleet is a capacity rejection, and an arrival
-		// blocked solely by earlier batch admissions — a slot or a QoS
-		// conflict they consumed — is a batch conflict.
-		seated := append([]int(nil), pinned...)
-		baseSlots := slots
-		admitted := 0
-		rejected := make([]bool, len(tenants))
-		anyRejected := false
-		// incumbentAdmissible asks whether the arrival would fit beside
-		// the incumbents alone, ignoring the batch.
-		incumbentAdmissible := func(i int) (bool, error) {
-			baseOpts := popts
-			baseOpts.Pinned = pinned
-			return placement.Admissible(ptenants, baseOpts, i)
-		}
-		for i, t := range tenants {
-			if pinned[i] >= 0 {
-				continue
-			}
-			var reason RejectReason
-			switch {
-			case baseSlots <= 0:
-				reason = RejectCapacity
-			case slots <= 0:
-				// The batch consumed the incumbents' spare slots: a batch
-				// conflict if the arrival would have fit alone, a QoS
-				// rejection if it could not have joined anyway.
-				ok, err := incumbentAdmissible(i)
-				if err != nil {
-					return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
-				}
-				if ok {
-					reason = RejectBatchConflict
-				} else {
-					reason = RejectQoS
-				}
-			default:
-				// Checked for every arrival, limited or not: an unlimited
-				// arrival can still break an incumbent resident's limit,
-				// and AdmitSeat guards all members of a machine.
-				admitOpts := popts
-				admitOpts.Pinned = seated
-				seat, err := placement.AdmitSeat(ptenants, admitOpts, i)
-				if err != nil {
-					return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
-				}
-				if seat >= 0 {
-					seated[i] = seat
-					admitted++
-					slots--
-					continue
-				}
-				reason = RejectQoS
-				if admitted > 0 {
-					// Distinguish a genuine QoS impossibility from a batch
-					// conflict: would the arrival have fit beside the
-					// incumbents alone?
-					ok, err := incumbentAdmissible(i)
-					if err != nil {
-						return nil, fmt.Errorf("fleet: admission check for %q: %w", t.ID, err)
-					}
-					if ok {
-						reason = RejectBatchConflict
-					}
-				}
-			}
-			rejected[i] = true
-			anyRejected = true
-			rep.Rejected = append(rep.Rejected, t.ID)
-			rep.RejectedReasons = append(rep.RejectedReasons, reason)
-			rep.Arrivals--
-		}
-		if anyRejected {
-			var ft []Tenant
-			var fpt []placement.Tenant
-			var fpin []int
-			for i := range tenants {
-				if !rejected[i] {
-					ft = append(ft, tenants[i])
-					fpt = append(fpt, ptenants[i])
-					fpin = append(fpin, pinned[i])
-				}
-			}
-			if len(ft) == 0 {
-				return nil, errors.New("fleet: admission control rejected every tenant this period")
-			}
-			tenants, ptenants, pinned = ft, fpt, fpin
-		}
-	}
-
-	// The candidate re-placement. Incremental mode seeds the search from
-	// the incumbent assignment — survivors start where they are, arrivals
-	// are placed greedily, local search refines the whole fleet — instead
-	// of repacking everything from scratch; on the first period (or after
-	// everyone departed) there is no incumbent and the modes coincide.
-	var candidate *placement.Placement
-	var err error
-	if o.opts.Incremental && anySurvivor {
-		candidate, err = placement.PlaceSeeded(ptenants, popts, pinned)
-	} else {
-		candidate, err = placement.Place(ptenants, popts)
-	}
+	// Route every tenant to its placement cell; QoS admission control
+	// (Options.AdmitQoS) runs inside, turning away arrivals the fleet
+	// provably cannot host and recording them in rep. See cells.go — on
+	// a one-cell fleet this is exactly the flat orchestrator's joint
+	// seat-and-check in input order.
+	cellInputs, err := o.route(tenants, ptenants, pinned, rep)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: candidate placement: %w", err)
+		return nil, err
 	}
-	if o.opts.ShadowScratch {
-		// Test hook: price the greedy-from-scratch candidate too, for
-		// incremental-vs-scratch comparisons. Recorded, never acted on.
-		shadow, err := placement.Place(ptenants, popts)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: shadow scratch placement: %w", err)
-		}
-		rep.ShadowGreedyCost = shadow.GreedyCost
-		rep.ShadowScratchCost = shadow.TotalCost
-	}
-	rep.Assignment = make(map[string]int, len(tenants))
-	rep.Allocations = make(map[string]core.Allocation, len(tenants))
-	rep.Degradations = make(map[string]float64, len(tenants))
-	rep.CandidateCost = candidate.TotalCost
-	rep.StayCost = candidate.TotalCost
-	rep.LocalSearchImprovement = candidate.GreedyCost - candidate.TotalCost
-
-	// Placement decision. With no survivors (first period, or everyone
-	// departed) there is nothing to migrate: the candidate is free. At
-	// penalty 0 moves are declared free, so the fresh placement is
-	// adopted unconditionally and verbatim (the fleet simply tracks the
-	// placement advisor period by period) and the stay-put pricing run is
-	// skipped — it could never change the decision. Otherwise the
-	// candidate assignment is first canonicalized against the incumbent —
-	// a fresh Place run may relabel machines within a profile class, and
-	// same-profile machines are interchangeable, so such relabelings are
-	// neither charged as migrations nor executed as them — and the
-	// stay-put alternative (every survivor on its machine, only the
-	// arrivals placed) must then be beaten by the migration penalty for
-	// the re-placement to be adopted.
-	chosenAssign := candidate.Assignment
-	rep.Replaced = true
-	if anySurvivor {
-		if o.opts.MigrationCost == 0 {
-			rep.Migrations = countMoved(candidate.Assignment, pinned)
-		} else {
-			canon := canonicalAssignment(candidate.Assignment, pinned, o.opts.Profiles)
-			moved := countMoved(canon, pinned)
-			switch {
-			case moved == 0 && rep.Arrivals == 0:
-				// Steady state: the canonicalized candidate IS the
-				// incumbent assignment, so the stay-put run would rebuild
-				// the identical machines and tie at improvement 0 — skip
-				// the fleet's second full placement pass entirely.
-				chosenAssign = canon
-				rep.Replaced = false
-			default:
-				stayOpts := popts
-				stayOpts.Pinned = pinned
-				stay, err := placement.Place(ptenants, stayOpts)
-				if err != nil {
-					return nil, fmt.Errorf("fleet: stay-put placement: %w", err)
-				}
-				rep.StayCost = stay.TotalCost
-				improvement := stay.TotalCost - candidate.TotalCost
-				penalty := 0.0 // no moves, no penalty (and no Inf·0 = NaN)
-				if moved > 0 {
-					penalty = o.opts.MigrationCost * float64(moved)
-				}
-				if improvement > penalty {
-					chosenAssign = canon
-					rep.Migrations = moved
-				} else {
-					chosenAssign = stay.Assignment
-					rep.Replaced = false
-				}
-			}
+	placed := 0
+	var active []int
+	for c, idxs := range cellInputs {
+		if len(idxs) > 0 {
+			placed += len(idxs)
+			active = append(active, c)
 		}
 	}
-
-	perMachine := make([][]int, len(o.machines)) // tenant indexes in input order
-	for i, t := range tenants {
-		s := chosenAssign[i]
-		rep.Assignment[t.ID] = s
-		perMachine[s] = append(perMachine[s], i)
+	if placed == 0 {
+		return nil, errors.New("fleet: admission control rejected every tenant this period")
 	}
 
-	// Drive each machine's dynamic manager in server order. A machine's
-	// manager receives ID-keyed inputs for exactly the tenants placed on
-	// it, so tenants migrating in start with first-period semantics and
-	// tenants migrating out (or departing) have their state dropped.
-	// Every manager is snapshotted first and all are restored if any
-	// machine fails, extending each Period's own transactionality to the
-	// fleet level: a failed fleet period commits nothing anywhere — no
-	// dropped migrant models, no half-advanced classification state.
+	// Every manager is snapshotted before any cell runs and all are
+	// restored if any cell fails, extending each machine Period's own
+	// transactionality to the fleet level: a failed fleet period commits
+	// nothing anywhere — no dropped migrant models, no half-advanced
+	// classification state.
 	snaps := make([]*dynmgmt.State, len(o.machines))
 	for s, mach := range o.machines {
 		snaps[s] = mach.mgr.Snapshot()
@@ -768,89 +678,79 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 			mach.mgr.Restore(snaps[s])
 		}
 	}
-	for s, mach := range o.machines {
-		idxs := perMachine[s]
-		if len(idxs) == 0 {
-			continue
-		}
-		profile := o.opts.Profiles[s]
-		inputs := make([]dynmgmt.PeriodInput, len(idxs))
-		for k, i := range idxs {
-			t := tenants[i]
-			est := t.EstFor(profile)
-			if est == nil {
-				restore()
-				return nil, fmt.Errorf("fleet: tenant %q has no estimator for profile %q", t.ID, profile)
-			}
-			if t.Fingerprint != "" && o.scores != nil {
-				// Fingerprint the raw estimator so the manager's advisor
-				// run is cacheable while the tenant's model is rebuilt
-				// from the optimizer (refined models fingerprint
-				// themselves). The estimate-cache wrapper both serves the
-				// raw estimator's grid points from the shared point cache
-				// — rebuild runs re-visit allocations the placement layer
-				// already costed on this profile — and carries the
-				// fingerprint itself.
-				if o.estimates != nil {
-					est = o.estimates.Estimator(profile, t.Fingerprint, est)
-				} else {
-					est = score.WithFingerprint(est, t.Fingerprint)
-				}
-			}
-			server, measure := s, t.Measure
-			inputs[k] = dynmgmt.PeriodInput{
-				ID:             t.ID,
-				Gain:           t.Gain,
-				Limit:          t.Limit,
-				Estimator:      est,
-				AvgEstPerQuery: t.AvgEstPerQuery,
-				Measure: func(a core.Allocation) (float64, error) {
-					return measure(server, a)
-				},
-			}
-		}
-		mach.last = nil
-		// The deferred-rollback period variant: the fleet-level snapshot
-		// above already cloned every manager's models, so the manager's
-		// internal per-Period snapshot would clone them all a second time
-		// for nothing. On failure, restore() rolls every machine back.
-		dynRep, err := mach.mgr.PeriodNoSnapshot(inputs)
-		if err != nil {
+
+	// Fan the active cells out over the worker pool — cells own disjoint
+	// machines and cache shards, so they never race — and split the
+	// worker budget between them; a single cell keeps the whole pool,
+	// matching the flat orchestrator exactly. Each cell's outcome (or
+	// error) lands in its own slot, and the first error in CELL order
+	// wins, independent of completion order.
+	outs := make([]*cellOutcome, len(o.cells))
+	errs := make([]error, len(o.cells))
+	share := core.BatchShare(o.opts.Core.Parallelism, len(active))
+	if err := core.ForEach(o.opts.Core.Ctx, o.opts.Core.Parallelism, len(active), func(k int) error {
+		c := active[k]
+		outs[c], errs[c] = o.periodCell(c, cellInputs[c], tenants, ptenants, pinned, share)
+		return nil
+	}); err != nil {
+		restore()
+		return nil, err
+	}
+	for _, c := range active {
+		if errs[c] != nil {
 			restore()
-			return nil, fmt.Errorf("fleet: machine %d period: %w", s, err)
+			return nil, errs[c]
 		}
-		mrep := MachineReport{Dyn: dynRep, Result: mach.last}
-		for k, i := range idxs {
-			t := tenants[i]
-			mrep.TenantIDs = append(mrep.TenantIDs, t.ID)
-			rep.Allocations[t.ID] = dynRep.Allocations[k]
-			var deg float64
-			if r := mach.last; r != nil && r.DedicatedCosts[k] > 0 {
-				deg = r.Costs[k] / r.DedicatedCosts[k]
-			}
-			rep.Degradations[t.ID] = deg
-			if deg > rep.MaxDegradation {
-				rep.MaxDegradation = deg
-			}
-			if t.Limit >= 1 && deg > t.Limit+1e-9 {
-				rep.QoSViolations++
-			}
-			if dynRep.Tenants[k].Rebuilt {
-				rep.Rebuilds++
-			}
+	}
+
+	// Merge the cell outcomes in fixed cell order: sums and maxima are
+	// order-insensitive, map keys are disjoint (a tenant lives in exactly
+	// one cell), and Machines slots are global server indexes — so the
+	// merged report is bit-identical at any Parallelism.
+	rep.Assignment = make(map[string]int, placed)
+	rep.Allocations = make(map[string]core.Allocation, placed)
+	rep.Degradations = make(map[string]float64, placed)
+	for _, c := range active {
+		out := outs[c]
+		rep.CandidateCost += out.candidateCost
+		rep.StayCost += out.stayCost
+		rep.LocalSearchImprovement += out.lsImprovement
+		rep.ShadowGreedyCost += out.shadowGreedy
+		rep.ShadowScratchCost += out.shadowScratch
+		if out.replaced {
+			rep.Replaced = true
 		}
-		if mach.last != nil {
-			rep.TotalCost += mach.last.TotalCost
+		rep.Migrations += out.migrations
+		rep.TotalCost += out.totalCost
+		if out.maxDeg > rep.MaxDegradation {
+			rep.MaxDegradation = out.maxDeg
 		}
-		rep.Machines[s] = mrep
+		rep.QoSViolations += out.qosViolations
+		rep.Rebuilds += out.rebuilds
+		for id, s := range out.assignment {
+			rep.Assignment[id] = s
+		}
+		for id, a := range out.allocations {
+			rep.Allocations[id] = a
+		}
+		for id, d := range out.degradations {
+			rep.Degradations[id] = d
+		}
+		for gs, mrep := range out.machines {
+			rep.Machines[gs] = mrep
+		}
 	}
 
 	// Commit: the new assignment, and fresh managers for machines that
 	// emptied out (their remaining per-tenant state belongs to tenants
 	// that moved away or departed).
+	occupied := make([]bool, len(o.machines))
+	for _, s := range rep.Assignment {
+		occupied[s] = true
+	}
 	for s := range o.machines {
-		if len(perMachine[s]) == 0 {
-			o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores)
+		if !occupied[s] {
+			o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores[o.cellOf[s]])
 		}
 	}
 	o.assignment = make(map[string]int, len(rep.Assignment))
@@ -864,8 +764,12 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		// Commit-time sweep: everything this period touched is stamped
 		// with the current generation, so what falls out is exactly the
 		// configurations (and point estimates) untouched for k periods.
-		o.scores.Sweep(k)
-		o.estimates.Sweep(k)
+		for _, c := range o.scores {
+			c.Sweep(k)
+		}
+		for _, c := range o.estimates {
+			c.Sweep(k)
+		}
 	}
 	return rep, nil
 }

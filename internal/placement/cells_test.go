@@ -1,0 +1,248 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The partitioner's contract: deterministic, covering, balanced in
+// total size and per profile class, and degenerate (one cell) for small
+// fleets or a disabled bound.
+func TestCellPartitionShape(t *testing.T) {
+	profiles := []string{"a", "b", "a", "b", "a", "b", "a", "b", "a", "b"}
+	cells := PartitionCells(profiles, 4)
+	if len(cells) != 3 {
+		t.Fatalf("10 servers at cell size 4: want 3 cells, got %v", cells)
+	}
+	seen := make([]bool, len(profiles))
+	for c, servers := range cells {
+		if len(servers) < 3 || len(servers) > 4 {
+			t.Errorf("cell %d size %d, want 3..4: %v", c, len(servers), servers)
+		}
+		perProfile := map[string]int{}
+		for i, s := range servers {
+			if seen[s] {
+				t.Fatalf("server %d in two cells", s)
+			}
+			seen[s] = true
+			perProfile[profiles[s]]++
+			if i > 0 && servers[i-1] >= s {
+				t.Fatalf("cell %d not ascending: %v", c, servers)
+			}
+		}
+		// 5 of each profile over 3 cells: every cell gets 1 or 2 of each.
+		for p, n := range perProfile {
+			if n < 1 || n > 2 {
+				t.Errorf("cell %d holds %d %q machines, want 1..2", c, n, p)
+			}
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("server %d unassigned", s)
+		}
+	}
+	if !reflect.DeepEqual(cells, PartitionCells(profiles, 4)) {
+		t.Fatal("partition not deterministic")
+	}
+	// CellIndex agrees with the partition.
+	idx := CellIndex(profiles, 4)
+	for c, servers := range cells {
+		for _, s := range servers {
+			if idx[s] != c {
+				t.Fatalf("CellIndex[%d]=%d, partition says %d", s, idx[s], c)
+			}
+		}
+	}
+	// Small fleets and a disabled bound collapse to one cell.
+	for _, size := range []int{0, -1, 10, 99} {
+		if n := NumCells(10, size); n != 1 {
+			t.Errorf("NumCells(10, %d) = %d, want 1", size, n)
+		}
+	}
+}
+
+// cellTenants builds n deterministic synthetic tenants (fingerprinted,
+// with per-profile estimators) for the cell tests.
+func cellTenants(n int, seed int64) []Tenant {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Tenant, n)
+	for i := range out {
+		alpha := rng.Float64()*80 + 10
+		gamma := rng.Float64() * 30
+		out[i] = Tenant{
+			Name:        fmt.Sprintf("t%d", i),
+			Fingerprint: fmt.Sprintf("t%d", i),
+			EstFor: func(profile string) core.Estimator {
+				f := 1.0
+				if profile == "slow" {
+					f = 2
+				}
+				return synth(f*alpha, f*gamma, 0)
+			},
+		}
+	}
+	return out
+}
+
+// samePlacements compares everything a Placement reports.
+func samePlacements(t *testing.T, label string, a, b *Placement) {
+	t.Helper()
+	if a.TotalCost != b.TotalCost || a.GreedyCost != b.GreedyCost ||
+		a.LocalSearchMoves != b.LocalSearchMoves {
+		t.Fatalf("%s: objectives diverge: %v/%v/%d vs %v/%v/%d", label,
+			a.TotalCost, a.GreedyCost, a.LocalSearchMoves,
+			b.TotalCost, b.GreedyCost, b.LocalSearchMoves)
+	}
+	if !reflect.DeepEqual(a.Assignment, b.Assignment) {
+		t.Fatalf("%s: assignments diverge: %v vs %v", label, a.Assignment, b.Assignment)
+	}
+	for i := range a.Assignment {
+		if !reflect.DeepEqual(a.AllocationOf(i), b.AllocationOf(i)) {
+			t.Fatalf("%s tenant %d: allocations diverge: %v vs %v", label,
+				i, a.AllocationOf(i), b.AllocationOf(i))
+		}
+	}
+}
+
+// A fleet no larger than the cell bound forms one cell, and one cell is
+// the flat enumerator — bit for bit, local search included.
+func TestPlaceOneCellMatchesFlat(t *testing.T) {
+	tenants := cellTenants(7, 21)
+	base := Options{
+		Profiles:    []string{"fast", "slow", "fast"},
+		Core:        core.Options{Delta: 0.1, MinShare: 0.1},
+		LocalSearch: 2,
+	}
+	flat, err := Place(tenants, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cells := range []int{3, 4, 100} {
+		opts := base
+		opts.Cells = cells
+		celled, err := Place(tenants, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePlacements(t, fmt.Sprintf("cells=%d", cells), flat, celled)
+	}
+}
+
+// A multi-cell placement is bit-identical across Parallelism, like the
+// flat one.
+func TestPlaceCellsParallelParity(t *testing.T) {
+	tenants := cellTenants(12, 33)
+	profiles := []string{"fast", "slow", "fast", "slow", "fast", "slow"}
+	place := func(workers int) *Placement {
+		t.Helper()
+		p, err := Place(tenants, Options{
+			Profiles:    profiles,
+			Cells:       2,
+			Core:        core.Options{Delta: 0.1, MinShare: 0.25, Parallelism: workers},
+			LocalSearch: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	seq := place(1)
+	samePlacements(t, "p8", seq, place(8))
+	// And the two-level search really partitioned: 6 servers at cell
+	// size 2 is 3 cells.
+	if n := NumCells(len(profiles), 2); n != 3 {
+		t.Fatalf("expected 3 cells, got %d", n)
+	}
+}
+
+// A candidate cell with no admissible machine falls through to the
+// next-ranked cell: with seats for exactly every tenant, the two-level
+// search fills every machine of every cell instead of erroring when the
+// best-ranked cell fills up — and one tenant beyond fleet capacity
+// reports the same error the flat enumerator does.
+func TestPlaceCellFallthrough(t *testing.T) {
+	// 4 machines × 2 seats (MinShare 0.5), cells of 2.
+	opts := Options{
+		Profiles: []string{"m", "m", "m", "m"},
+		Cells:    2,
+		Core:     core.Options{Delta: 0.25, MinShare: 0.5},
+	}
+	if c := Capacity(opts); c != 2 {
+		t.Fatalf("capacity %d, want 2", c)
+	}
+	full := cellTenants(8, 5)
+	p, err := Place(full, opts)
+	if err != nil {
+		t.Fatalf("exactly-full fleet must place: %v", err)
+	}
+	perServer := map[int]int{}
+	for _, s := range p.Assignment {
+		perServer[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if perServer[s] != 2 {
+			t.Fatalf("server %d got %d tenants, want 2 (fallthrough missing): %v",
+				s, perServer[s], p.Assignment)
+		}
+	}
+
+	over := cellTenants(9, 5)
+	_, cellErr := Place(over, opts)
+	flat := opts
+	flat.Cells = 0
+	_, flatErr := Place(over, flat)
+	if cellErr == nil || flatErr == nil {
+		t.Fatalf("over-capacity fleet must error: cells=%v flat=%v", cellErr, flatErr)
+	}
+	if cellErr.Error() != flatErr.Error() {
+		t.Fatalf("cellular error diverges from flat:\n%v\nvs\n%v", cellErr, flatErr)
+	}
+}
+
+// Pinned tenants stay exactly where they are pinned, whatever cell that
+// is, and local search never moves a tenant out of its cell.
+func TestPlaceCellsPinnedAndConfined(t *testing.T) {
+	tenants := cellTenants(10, 77)
+	profiles := []string{"fast", "slow", "fast", "slow"}
+	pinned := []int{3, -1, -1, 0, -1, -1, -1, 1, -1, -1}
+	base := Options{
+		Profiles: profiles,
+		Cells:    2,
+		Pinned:   pinned,
+		Core:     core.Options{Delta: 0.1, MinShare: 0.2},
+	}
+	greedy, err := Place(tenants, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searched := base
+	searched.LocalSearch = 3
+	refined, err := Place(tenants, searched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := CellIndex(profiles, 2)
+	for i, want := range pinned {
+		if want < 0 {
+			continue
+		}
+		if greedy.Assignment[i] != want || refined.Assignment[i] != want {
+			t.Fatalf("tenant %d pinned to %d, placed on %d/%d",
+				i, want, greedy.Assignment[i], refined.Assignment[i])
+		}
+	}
+	for i := range tenants {
+		g, r := idx[greedy.Assignment[i]], idx[refined.Assignment[i]]
+		if g != r {
+			t.Fatalf("local search moved tenant %d across cells: %d → %d", i, g, r)
+		}
+	}
+	if refined.TotalCost > greedy.TotalCost {
+		t.Fatalf("local search raised the objective: %v > %v", refined.TotalCost, greedy.TotalCost)
+	}
+}

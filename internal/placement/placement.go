@@ -122,6 +122,14 @@ type Options struct {
 	// early when no strict improvement remains. 0 disables the phase.
 	// Pinned tenants never move.
 	LocalSearch int
+	// Cells bounds a placement cell to at most this many machines (0
+	// disables partitioning). On fleets larger than one cell the greedy
+	// loop runs a two-level search — per-cell headroom summaries pick at
+	// most one candidate cell per profile class, and only those cells'
+	// machines are scored — and local search confines moves and swaps to
+	// a single cell. A fleet of at most Cells machines forms one cell and
+	// places exactly like the flat enumerator, bit for bit. See cells.go.
+	Cells int
 }
 
 // Machine is one physical server's share of a finished placement.
@@ -433,6 +441,11 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 		}
 	}
 
+	// The two-level index: nil on fleets of one cell, where the flat scan
+	// below is already exact; otherwise per-cell headroom summaries that
+	// restrict each tenant's scan to the best candidate cells.
+	cells := newCellState(sh, machines, totals, capacity, opts.Cells)
+
 	// candidate is one scored "tenant t on machine s" what-if.
 	type candidate struct {
 		server   int
@@ -444,10 +457,18 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 		// Phase 1: enumerate candidate machines in server order, scoring
 		// each concurrently. Empty machines beyond the first of each
 		// profile are skipped: identical hardware makes them
-		// interchangeable.
+		// interchangeable. With cells active, level one first narrows the
+		// scan to the best-ranked cells' machines.
+		var allowed []bool
+		if cells != nil {
+			allowed = cells.candidates()
+		}
 		var cands []candidate
 		sawEmpty := make([]bool, np)
 		for s := 0; s < servers; s++ {
+			if cells != nil && (allowed == nil || !allowed[s]) {
+				continue
+			}
 			if len(machines[s].Tenants) >= capacity {
 				continue
 			}
@@ -498,9 +519,13 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 		}
 		s := cands[best].server
 		assignment[t] = s
+		prevTotal := totals[s]
 		machines[s].Tenants = append(machines[s].Tenants, t)
 		machines[s].Result = cands[best].res
 		totals[s] = cands[best].res.TotalCost
+		if cells != nil {
+			cells.seated(sh, s, len(machines[s].Tenants), capacity, prevTotal, totals[s])
+		}
 	}
 
 	greedyCost := 0.0
@@ -509,7 +534,11 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 	}
 	lsMoves := 0
 	if opts.LocalSearch > 0 {
-		lsMoves, err = sc.localSearch(assignment, machines, totals, capacity)
+		var cellOf []int // nil on one-cell fleets: no confinement
+		if cells != nil {
+			cellOf = cells.cellOf
+		}
+		lsMoves, err = sc.localSearch(assignment, machines, totals, capacity, cellOf)
 		if err != nil {
 			return nil, err
 		}

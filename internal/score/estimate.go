@@ -92,6 +92,20 @@ func (c *EstimateCache) Evictions() int64 {
 	return c.b.evictions
 }
 
+// Snapshot captures the cache's counters (all zero for a nil cache).
+// Estimate caches run no advisor, so Runs is always 0.
+func (c *EstimateCache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.Hits(),
+		Misses:    c.Misses(),
+		Evictions: c.Evictions(),
+		Size:      c.Size(),
+	}
+}
+
 // SetCapacity bounds the cache to at most capacity point estimates with
 // LRU eviction (0 restores the unbounded default).
 func (c *EstimateCache) SetCapacity(capacity int) {

@@ -156,6 +156,39 @@ func (c *Cache) Stats() (hits, misses, runs int64) {
 	return c.Hits(), c.Misses(), c.Runs()
 }
 
+// Stats is a point-in-time snapshot of one cache's counters, the unit of
+// cell-scoped accounting: a sharded caller (the fleet orchestrator keeps
+// one cache per placement cell) snapshots each shard and adds them up.
+type Stats struct {
+	Hits, Misses, Runs, Evictions int64
+	Size                          int
+}
+
+// Plus returns the element-wise sum — aggregation across cache shards.
+func (s Stats) Plus(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Runs:      s.Runs + o.Runs,
+		Evictions: s.Evictions + o.Evictions,
+		Size:      s.Size + o.Size,
+	}
+}
+
+// Snapshot captures the cache's counters (all zero for a nil cache).
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.Hits(),
+		Misses:    c.Misses(),
+		Runs:      c.Runs(),
+		Evictions: c.Evictions(),
+		Size:      c.Size(),
+	}
+}
+
 // Size reports how many distinct machine configurations are cached.
 // With a capacity set, Size() ≤ capacity holds after every operation.
 func (c *Cache) Size() int {
