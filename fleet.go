@@ -147,6 +147,9 @@ type Fleet struct {
 	seq      int // tenant registration counter (see FleetTenant.key)
 	orch     *fleet.Orchestrator
 	reports  []*FleetPeriodReport
+	// cellIdx caches the pre-period cell partition for CellOf;
+	// invalidated (by length mismatch) whenever a server is added.
+	cellIdx []int
 }
 
 // FleetTenant identifies one tenant registered with a fleet.
@@ -452,8 +455,12 @@ func (f *Fleet) CacheEvictions() (scores, estimates int64) {
 
 // Cells reports how many placement cells the current topology forms
 // under FleetOptions.Cells (1 when partitioning is disabled or the fleet
-// fits in one cell; 0 for an empty fleet).
+// fits in one cell; 0 for an empty fleet). Once periods have begun the
+// orchestrator's live partition is authoritative.
 func (f *Fleet) Cells() int {
+	if f.orch != nil {
+		return f.orch.Cells()
+	}
 	if len(f.keys) == 0 {
 		return 0
 	}
@@ -462,12 +469,20 @@ func (f *Fleet) Cells() int {
 
 // CellOf returns the placement cell owning a server under the current
 // topology (-1 for an out-of-range server index). Tenants placed in a
-// cell stay within it across periods.
+// cell stay within it across periods. Once periods have begun the
+// orchestrator's live partition is authoritative; before that the
+// partition is computed once and cached until the server list changes.
 func (f *Fleet) CellOf(server int) int {
+	if f.orch != nil {
+		return f.orch.CellOf(server)
+	}
 	if server < 0 || server >= len(f.keys) {
 		return -1
 	}
-	return placement.CellIndex(f.keys, f.opts.Cells)[server]
+	if len(f.cellIdx) != len(f.keys) {
+		f.cellIdx = placement.CellIndex(f.keys, f.opts.Cells)
+	}
+	return f.cellIdx[server]
 }
 
 // FleetPeriodReport is the outcome of one fleet monitoring period.
