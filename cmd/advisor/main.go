@@ -77,9 +77,18 @@ func main() {
 		"fleet mode: seed each period's placement search from the incumbent assignment")
 	cells := flag.Int("cells", 0,
 		"partition multi-machine placement into cells of at most this many servers (0 disables)")
+	cellRebalance := flag.Int("cell-rebalance", 0,
+		"fleet mode: migrate at most this many tenants per period from the hottest cell to the coldest (0 disables)")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 	if len(tenants) == 0 {
 		fmt.Fprintln(os.Stderr, "at least one -tenant is required; see -h")
 		os.Exit(2)
@@ -123,6 +132,7 @@ func main() {
 			cacheSweep:       *cacheSweep,
 			incremental:      *incremental,
 			cells:            *cells,
+			cellRebalance:    *cellRebalance,
 		})
 		return
 	}
@@ -131,6 +141,9 @@ func main() {
 	}
 	if *incremental {
 		fatal(fmt.Errorf("-incremental requires fleet mode (-periods > 1)"))
+	}
+	if *cellRebalance != 0 {
+		fatal(fmt.Errorf("-cell-rebalance requires fleet mode (-periods > 1)"))
 	}
 	if len(profiles) > 0 {
 		fatal(fmt.Errorf("-profile requires fleet mode (-periods > 1)"))
@@ -197,6 +210,7 @@ type fleetConfig struct {
 	cacheSweep       int
 	incremental      bool
 	cells            int
+	cellRebalance    int
 }
 
 // runFleet drives the tenants through monitoring periods on a (possibly
@@ -216,6 +230,7 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		ScoreCacheSweep:       cfg.cacheSweep,
 		Incremental:           cfg.incremental,
 		Cells:                 cfg.cells,
+		CellRebalance:         cfg.cellRebalance,
 	})
 	for _, p := range machines {
 		if _, err := f.AddServer(p); err != nil {

@@ -119,10 +119,20 @@ type FleetOptions struct {
 	// cell with the most free slots) and runs the cells' placement and
 	// tuning work concurrently under Parallelism. Reports stay
 	// bit-identical across Parallelism, and a fleet of at most Cells
-	// servers behaves bit-identically to Cells == 0. Tenants never
-	// migrate across cells, so a cell size keeps each period's search
-	// O(cells × cellSize²) instead of O(servers²).
+	// servers behaves bit-identically to Cells == 0. Tenants migrate
+	// across cells only through CellRebalance (or a pin), so a cell size
+	// keeps each period's search O(cells × cellSize²) instead of
+	// O(servers²).
 	Cells int
+	// CellRebalance bounds cross-cell rebalancing: after each period's
+	// placement work, at most this many tenants are migrated from the
+	// hottest cell (by mean machine load) to the coldest, each move
+	// priced against MigrationCost like any other migration and adopted
+	// only when the estimated improvement strictly beats the penalty.
+	// Moves take effect next period and are reported by
+	// FleetPeriodReport.RebalanceMoves/Rebalanced. 0 (the default)
+	// disables rebalancing: tenants then never leave their cell.
+	CellRebalance int
 }
 
 // fleetCal is one hardware profile's machine and calibrations.
@@ -170,6 +180,8 @@ type FleetTenant struct {
 	// tenant's score-cache fingerprint (key@wver) re-keys every machine
 	// configuration containing the tenant when its workload drifts.
 	wver int
+	// pin holds the 1-based pinned server (0 = unpinned); see PinTenant.
+	pin int
 	// ests caches the per-profile what-if estimators for the current
 	// workload; SetWorkload invalidates it.
 	ests map[string]*core.WhatIfEstimator
@@ -198,12 +210,11 @@ func profileKeyOf(m *vmsim.Machine) string {
 // AddServer grows the fleet by one server of the given hardware profile
 // and returns its server index. The profile's calibrations come from the
 // process-wide calibration cache, so only the first server (or Server or
-// Cluster) on a distinct profile pays for them. The fleet topology is
-// fixed once the first Period has run.
+// Cluster) on a distinct profile pays for them. Servers may be added
+// mid-run, between Period calls: the new server joins an existing
+// placement cell with room (or founds a new one) without disturbing any
+// other server's cell, and the next period may migrate tenants onto it.
 func (f *Fleet) AddServer(p MachineProfile) (int, error) {
-	if f.orch != nil {
-		return 0, errors.New("vdesign: fleet topology is fixed once periods begin")
-	}
 	m := p.machineOf()
 	key := profileKeyOf(m)
 	if _, ok := f.cals[key]; !ok {
@@ -219,8 +230,43 @@ func (f *Fleet) AddServer(p MachineProfile) (int, error) {
 	}
 	f.machines = append(f.machines, m)
 	f.keys = append(f.keys, key)
+	if f.orch != nil {
+		f.orch.AddServer(key)
+	}
 	return len(f.machines) - 1, nil
 }
+
+// RemoveServer retires a drained server once periods have begun: it
+// leaves its placement cell and hosts nothing from the next period on.
+// The server must be empty — pin its tenants elsewhere (PinTenant) or
+// remove them, then run a Period so the moves take effect. Server
+// indexes are never reused. Before the first Period the topology is
+// still forming and servers cannot be retired.
+func (f *Fleet) RemoveServer(server int) error {
+	if f.orch == nil {
+		return errors.New("vdesign: no periods have run; build the fleet without the server instead")
+	}
+	if err := f.orch.RemoveServer(server); err != nil {
+		return fmt.Errorf("vdesign: %w", err)
+	}
+	return nil
+}
+
+// PinTenant forces a tenant onto one server from the next Period on: the
+// placement runs hold it there, QoS admission control does not apply to
+// it, and — if its incumbent machine is in another placement cell — the
+// pin migrates it across cells. Pins survive until UnpinTenant.
+func (f *Fleet) PinTenant(t *FleetTenant, server int) error {
+	if server < 0 || server >= len(f.machines) {
+		return fmt.Errorf("vdesign: no server %d in a fleet of %d", server, len(f.machines))
+	}
+	t.pin = server + 1
+	return nil
+}
+
+// UnpinTenant releases a pin: from the next Period on the tenant is
+// placed freely again (within its cell, like any survivor).
+func (f *Fleet) UnpinTenant(t *FleetTenant) { t.pin = 0 }
 
 // Servers returns the fleet size.
 func (f *Fleet) Servers() int { return len(f.machines) }
@@ -331,6 +377,7 @@ func (f *Fleet) periodInputs() ([]fleet.Tenant, error) {
 			ID:             t.key,
 			AvgEstPerQuery: avg,
 			Fingerprint:    fmt.Sprintf("%s@%d", t.key, t.wver),
+			Pin:            t.pin,
 			EstFor: func(profile string) core.Estimator {
 				return f.estOn(t, profile)
 			},
@@ -374,6 +421,7 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 			CacheSweep:            f.opts.ScoreCacheSweep,
 			Incremental:           f.opts.Incremental,
 			Cells:                 f.opts.Cells,
+			CellRebalance:         f.opts.CellRebalance,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("vdesign: %w", err)
@@ -388,10 +436,11 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vdesign: fleet period: %w", err)
 	}
-	// Translate the orchestrator's rejected registration keys back to
-	// user-facing tenant IDs while the handles are still registered.
-	var rejected, reasons []string
-	if len(rep.Rejected) > 0 {
+	// Translate the orchestrator's rejected and rebalanced registration
+	// keys back to user-facing tenant IDs while the handles are still
+	// registered.
+	var rejected, reasons, rebalanced []string
+	if len(rep.Rejected) > 0 || len(rep.Rebalanced) > 0 {
 		byKey := make(map[string]string, len(f.tenants))
 		for _, t := range f.tenants {
 			byKey[t.key] = t.id
@@ -399,6 +448,9 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 		for i, k := range rep.Rejected {
 			rejected = append(rejected, byKey[k])
 			reasons = append(reasons, rep.RejectedReasons[i].String())
+		}
+		for _, k := range rep.Rebalanced {
+			rebalanced = append(rebalanced, byKey[k])
 		}
 	}
 	// The period observed every departure, so removed tenants can be
@@ -412,7 +464,7 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 		}
 	}
 	f.tenants = live
-	out := &FleetPeriodReport{fleet: f, rep: rep, rejected: rejected, reasons: reasons}
+	out := &FleetPeriodReport{fleet: f, rep: rep, rejected: rejected, reasons: reasons, rebalanced: rebalanced}
 	f.reports = append(f.reports, out)
 	return out, nil
 }
@@ -487,10 +539,11 @@ func (f *Fleet) CellOf(server int) int {
 
 // FleetPeriodReport is the outcome of one fleet monitoring period.
 type FleetPeriodReport struct {
-	fleet    *Fleet
-	rep      *fleet.PeriodReport
-	rejected []string
-	reasons  []string
+	fleet      *Fleet
+	rep        *fleet.PeriodReport
+	rejected   []string
+	reasons    []string
+	rebalanced []string
 }
 
 // Period is the 1-based period number.
@@ -568,4 +621,29 @@ func (r *FleetPeriodReport) Shares(t *FleetTenant) (cpu, mem float64) {
 // period).
 func (r *FleetPeriodReport) Degradation(t *FleetTenant) float64 {
 	return r.rep.Degradations[t.key]
+}
+
+// DirtyCells lists the placement cells that actually recomputed this
+// period (ascending); ReplayedCells counts the clean cells whose
+// previous outcome was replayed instead. Under delta periods a steady
+// period recomputes zero cells and a one-tenant drift recomputes one —
+// these fields describe work done, not results, which are bit-identical
+// either way.
+func (r *FleetPeriodReport) DirtyCells() []int {
+	return append([]int(nil), r.rep.DirtyCells...)
+}
+
+// ReplayedCells counts the clean cells replayed this period (see
+// DirtyCells).
+func (r *FleetPeriodReport) ReplayedCells() int { return r.rep.ReplayedCells }
+
+// RebalanceMoves counts cross-cell migrations adopted by this period's
+// rebalancing pass (FleetOptions.CellRebalance); the moves take effect
+// next period and are not counted in Migrations.
+func (r *FleetPeriodReport) RebalanceMoves() int { return r.rep.RebalanceMoves }
+
+// Rebalanced lists the tenants moved by this period's rebalancing pass,
+// in move order (see RebalanceMoves).
+func (r *FleetPeriodReport) Rebalanced() []string {
+	return append([]string(nil), r.rebalanced...)
 }

@@ -286,8 +286,20 @@ func TestFleetValidation(t *testing.T) {
 	if _, err := f.Period(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.AddServer(MachineProfile{}); err == nil {
-		t.Fatal("adding servers after the first period should error")
+	// Servers may now be added mid-run: the new server joins a placement
+	// cell without disturbing the existing topology.
+	s, err := f.AddServer(MachineProfile{})
+	if err != nil {
+		t.Fatalf("adding a server mid-run: %v", err)
+	}
+	if s != f.Servers()-1 || f.CellOf(s) < 0 {
+		t.Fatalf("mid-run server %d of %d in cell %d", s, f.Servers(), f.CellOf(s))
+	}
+	if err := f.RemoveServer(s); err != nil {
+		t.Fatalf("removing the empty server: %v", err)
+	}
+	if f.CellOf(s) != -1 {
+		t.Fatal("removed server should leave its cell")
 	}
 	// A removed tenant frees its ID for a fresh registration — and the
 	// new tenant is a genuine arrival, not the departed tenant's state

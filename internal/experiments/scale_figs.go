@@ -16,24 +16,29 @@ func init() {
 
 // The fleet-scale sweep: the cell architecture's headline measurement.
 // It grows a synthetic heterogeneous fleet to 1000 machines / 10000
-// tenants, runs a build period (every tenant arrives at once), a warm
-// period, a steady period, and a drift period (2% tenant churn), and
-// records wall-clock plus the deterministic counters
-// (fresh advisor runs, cache hit rate, migrations) per size. At the
-// smaller sizes it also times the non-cellular (Cells: 0) fleet — the
-// quadratic baseline the two-level search is measured against; at 1000
-// machines the baseline is intractable by construction, which is the
-// point.
+// tenants and measures, per size: the build period (every tenant
+// arrives at once), a steady period under delta periods (every cell
+// replays — near-zero work), the same steady period under full
+// recompute (Options.DisableDelta — the cache-served pre-delta cost),
+// a single-tenant drift period under both modes (the delta-locality
+// headline: one dirty cell vs every cell), and a 2% churn drift period.
+// At the smaller sizes it also times the non-cellular (Cells: 0,
+// delta off) fleet — the quadratic baseline the two-level search is
+// measured against; at 1000 machines that baseline is intractable by
+// construction, which is the point.
 //
-// `make bench-record` serializes the sweep as BENCH_fleet_scale.json
-// (ScaleRecord below) and CI regenerates + validates it, so a PR that
-// regresses the cell path to quadratic behaviour, or breaks the record
-// schema, fails.
+// `make bench-record` appends the sweep to BENCH_fleet_scale.json — an
+// append-only per-PR history (ScaleHistory below), one entry per
+// recorded commit — and CI regenerates + validates the latest entry, so
+// a PR that regresses the cell path to quadratic behaviour, loses delta
+// locality (a one-tenant drift must dirty exactly one cell and beat the
+// full recompute ≥5×), or breaks the schema, fails.
 
-// ScaleSchema versions the BENCH_fleet_scale.json layout; bump it when
-// ScaleRecord/ScalePoint change shape so a stale committed record fails
-// validation instead of parsing into zero values.
-const ScaleSchema = "fleet-scale/v1"
+// ScaleSchema versions the BENCH_fleet_scale.json layout (the history
+// document and the per-entry records alike); bump it when
+// ScaleHistory/ScaleRecord/ScalePoint change shape so a stale committed
+// file fails validation instead of parsing into zero values.
+const ScaleSchema = "fleet-scale/v2"
 
 // Sweep shape. Tests substitute smaller sweeps via fleetScaleRecord;
 // the registered experiment, BenchmarkFleetScale, and cmd/benchrecord
@@ -56,27 +61,46 @@ type ScalePoint struct {
 	Tenants  int `json:"tenants"`
 	// Cells is the Options.Cells setting (max machines per cell).
 	Cells int `json:"cells"`
+	// TotalCells is how many cells the partitioner actually formed.
+	TotalCells int `json:"total_cells"`
 	// BuildNs, SteadyNs, and DriftNs are the wall-clock of the build
-	// period (all tenants arrive), a steady period (nothing changed),
-	// and the drift period (2% of tenants churned).
+	// period (all tenants arrive), a steady period (nothing changed,
+	// delta periods on: every cell replays), and the drift period (2%
+	// of tenants churned).
 	BuildNs  int64 `json:"build_ns"`
 	SteadyNs int64 `json:"steady_ns"`
 	DriftNs  int64 `json:"drift_ns"`
+	// SteadyCells counts dirty cells during the steady period (0 when
+	// delta tracking recognizes the period as drift-free).
+	SteadyCells int `json:"steady_cells"`
+	// SteadyFullNs is the same steady period re-timed with delta
+	// periods disabled (DisableDelta): every cell recomputes, served by
+	// the score cache — the pre-delta steady cost.
+	SteadyFullNs int64 `json:"steady_full_ns"`
+	// Drift1Ns times a period in which exactly one tenant drifted (its
+	// fingerprint changed); Drift1Cells counts the cells that period
+	// dirtied (the delta-locality claim: 1). Drift1FullNs is the same
+	// one-tenant drift with delta periods disabled — every cell
+	// recomputes even though only one changed.
+	Drift1Ns     int64 `json:"drift1_ns"`
+	Drift1Cells  int   `json:"drift1_cells"`
+	Drift1FullNs int64 `json:"drift1_full_ns"`
 	// SteadyRuns counts fresh advisor runs during the steady period
-	// (deterministic; 0 when the score cache fully covers it).
+	// (deterministic; 0 when the period replays or the cache covers it).
 	SteadyRuns int64 `json:"steady_runs"`
-	// HitRate is steady-period cache hits / (hits + misses).
+	// HitRate is cache hits / (hits + misses) during the full-recompute
+	// steady period (the delta steady period consults no caches at all).
 	HitRate float64 `json:"hit_rate"`
 	// Migrations counts server moves during the drift period.
 	Migrations int `json:"migrations"`
-	// Baseline* time the same build + steady periods with Cells: 0,
-	// present only when Baseline is true (small sizes).
+	// Baseline* time the same build + steady periods with Cells: 0 and
+	// delta off, present only when Baseline is true (small sizes).
 	Baseline         bool  `json:"baseline"`
 	BaselineBuildNs  int64 `json:"baseline_build_ns,omitempty"`
 	BaselineSteadyNs int64 `json:"baseline_steady_ns,omitempty"`
 }
 
-// ScaleRecord is the BENCH_fleet_scale.json document.
+// ScaleRecord is one full sweep (one history entry's measurements).
 type ScaleRecord struct {
 	Schema string `json:"schema"`
 	// Go records the toolchain that produced the numbers (wall-clock
@@ -85,17 +109,41 @@ type ScaleRecord struct {
 	Points []ScalePoint `json:"points"`
 }
 
+// ScaleEntry is one recorded sweep in the history: the record plus the
+// commit it was recorded at.
+type ScaleEntry struct {
+	Commit string `json:"commit"`
+	Date   string `json:"date"`
+	Note   string `json:"note,omitempty"`
+	ScaleRecord
+}
+
+// ScaleHistory is the BENCH_fleet_scale.json document: an append-only
+// list of per-PR sweep entries. `make bench-record` appends, CI
+// validates the latest entry, and older entries stay for trend reading.
+type ScaleHistory struct {
+	Schema  string       `json:"schema"`
+	Entries []ScaleEntry `json:"entries"`
+}
+
 // scaleFleetTenant builds one synthetic tenant for the scaling sweep:
 // the same analytic inverse-linear family as the fleet-cache figure,
 // with deterministic per-index parameters (the drift period churns by
 // substituting tenants at fresh indexes).
 func scaleFleetTenant(i int, profiles []string, factors map[string]float64) fleet.Tenant {
-	alpha := 10 + float64((i*37)%60)
-	gamma := 5 + float64((i*23)%40)
+	return scaleDriftedTenant(i, 0, profiles, factors)
+}
+
+// scaleDriftedTenant is scaleFleetTenant after ver in-place workload
+// drifts: same tenant ID, bumped fingerprint, shifted cost parameters —
+// what the delta tracker must notice as a single dirty tenant.
+func scaleDriftedTenant(i, ver int, profiles []string, factors map[string]float64) fleet.Tenant {
+	alpha := 10 + float64((i*37+ver*13)%60)
+	gamma := 5 + float64((i*23+ver*7)%40)
 	id := fmt.Sprintf("w%d", i)
 	return fleet.Tenant{
 		ID:             id,
-		Fingerprint:    fmt.Sprintf("%s@0", id),
+		Fingerprint:    fmt.Sprintf("%s@%d", id, ver),
 		AvgEstPerQuery: alpha + gamma,
 		EstFor: func(profile string) core.Estimator {
 			f := factors[profile]
@@ -139,9 +187,9 @@ func scaleOptions(profiles []string, cells int) fleet.Options {
 	}
 }
 
-// runScalePoint measures one fleet size at one cell setting, returning
-// the four period timings plus the steady-period counters and the
-// drift-period migration count.
+// runScalePoint measures one fleet size at the given cell setting:
+// build, delta steady, one-tenant drift (delta on), full-recompute
+// steady + one-tenant drift (delta off), and 2% churn drift.
 func runScalePoint(machines, tenantsPer, cells int) (p ScalePoint, err error) {
 	profiles, factors := scaleProfiles(machines)
 	n := tenantsPer * machines
@@ -149,41 +197,96 @@ func runScalePoint(machines, tenantsPer, cells int) (p ScalePoint, err error) {
 	for i := range inputs {
 		inputs[i] = scaleFleetTenant(i, profiles, factors)
 	}
-	orch, err := fleet.New(scaleOptions(profiles, cells))
+	op := scaleOptions(profiles, cells)
+	orch, err := fleet.New(op)
 	if err != nil {
 		return p, err
 	}
 	p.Machines, p.Tenants, p.Cells = machines, n, cells
+	p.TotalCells = orch.Cells()
+
+	// settle runs drift-free periods until delta tracking recognizes
+	// the fleet as unchanged (no dirty cells), i.e. every manager has
+	// converged and every placement is a fixed point.
+	settle := func(label string) error {
+		for i := 0; i < 12; i++ {
+			rep, err := orch.Period(inputs)
+			if err != nil {
+				return fmt.Errorf("%s settle (%d machines): %w", label, machines, err)
+			}
+			if len(rep.DirtyCells) == 0 {
+				return nil
+			}
+		}
+		return fmt.Errorf("%s settle (%d machines): fleet did not settle in 12 periods", label, machines)
+	}
 
 	start := time.Now()
 	if _, err := orch.Period(inputs); err != nil {
 		return p, fmt.Errorf("build period (%d machines): %w", machines, err)
 	}
 	p.BuildNs = time.Since(start).Nanoseconds()
-
-	// Warm until the caches fully cover a drift-free period (fresh-run
-	// count stops moving): the second period prices the stay-put
-	// alternative, and residual misses land over the next couple.
-	for warm := 0; warm < 8; warm++ {
-		_, _, before := orch.ScoreStats()
-		if _, err := orch.Period(inputs); err != nil {
-			return p, fmt.Errorf("warm period (%d machines): %w", machines, err)
-		}
-		if _, _, after := orch.ScoreStats(); after == before {
-			break
-		}
+	if err := settle("build"); err != nil {
+		return p, err
 	}
 
-	hitsBefore, missesBefore, runsBefore := orch.ScoreStats()
+	// Delta steady period: every cell replays its previous outcome.
+	_, _, runsBefore := orch.ScoreStats()
 	start = time.Now()
-	if _, err := orch.Period(inputs); err != nil {
+	rep, err := orch.Period(inputs)
+	if err != nil {
 		return p, fmt.Errorf("steady period (%d machines): %w", machines, err)
 	}
 	p.SteadyNs = time.Since(start).Nanoseconds()
-	hits, misses, runs := orch.ScoreStats()
+	p.SteadyCells = len(rep.DirtyCells)
+	_, _, runs := orch.ScoreStats()
 	p.SteadyRuns = runs - runsBefore
+
+	// One-tenant drift, delta on: tenant w0's workload shifts in place.
+	// Only its cell should recompute.
+	inputs[0] = scaleDriftedTenant(0, 1, profiles, factors)
+	start = time.Now()
+	if rep, err = orch.Period(inputs); err != nil {
+		return p, fmt.Errorf("drift1 period (%d machines): %w", machines, err)
+	}
+	p.Drift1Ns = time.Since(start).Nanoseconds()
+	p.Drift1Cells = len(rep.DirtyCells)
+	if err := settle("drift1"); err != nil {
+		return p, err
+	}
+
+	// Full-recompute comparison: the same steady and one-tenant-drift
+	// periods with delta periods off — every cell runs, served by the
+	// score cache (this is where the cache hit rate is measured).
+	full := op
+	full.DisableDelta = true
+	if err := orch.SetOptions(full); err != nil {
+		return p, fmt.Errorf("disable delta (%d machines): %w", machines, err)
+	}
+	if _, err := orch.Period(inputs); err != nil { // re-warm after SetOptions dirtied everything
+		return p, fmt.Errorf("full warm period (%d machines): %w", machines, err)
+	}
+	hitsBefore, missesBefore, _ := orch.ScoreStats()
+	start = time.Now()
+	if _, err := orch.Period(inputs); err != nil {
+		return p, fmt.Errorf("full steady period (%d machines): %w", machines, err)
+	}
+	p.SteadyFullNs = time.Since(start).Nanoseconds()
+	hits, misses, _ := orch.ScoreStats()
 	if lookups := (hits - hitsBefore) + (misses - missesBefore); lookups > 0 {
 		p.HitRate = float64(hits-hitsBefore) / float64(lookups)
+	}
+	inputs[0] = scaleDriftedTenant(0, 2, profiles, factors)
+	start = time.Now()
+	if _, err := orch.Period(inputs); err != nil {
+		return p, fmt.Errorf("full drift1 period (%d machines): %w", machines, err)
+	}
+	p.Drift1FullNs = time.Since(start).Nanoseconds()
+	if err := orch.SetOptions(op); err != nil {
+		return p, fmt.Errorf("re-enable delta (%d machines): %w", machines, err)
+	}
+	if err := settle("full"); err != nil {
+		return p, err
 	}
 
 	// Drift: 2% churn — every 50th tenant departs and a new one (fresh
@@ -193,13 +296,51 @@ func runScalePoint(machines, tenantsPer, cells int) (p ScalePoint, err error) {
 		inputs[i] = scaleFleetTenant(n+i, profiles, factors)
 	}
 	start = time.Now()
-	rep, err := orch.Period(inputs)
+	rep, err = orch.Period(inputs)
 	if err != nil {
 		return p, fmt.Errorf("drift period (%d machines): %w", machines, err)
 	}
 	p.DriftNs = time.Since(start).Nanoseconds()
 	p.Migrations = rep.Migrations
 	return p, nil
+}
+
+// runScaleBaseline times the non-cellular, non-delta fleet (the flat
+// quadratic baseline): build plus one steady period.
+func runScaleBaseline(machines, tenantsPer int) (buildNs, steadyNs int64, err error) {
+	profiles, factors := scaleProfiles(machines)
+	n := tenantsPer * machines
+	inputs := make([]fleet.Tenant, n)
+	for i := range inputs {
+		inputs[i] = scaleFleetTenant(i, profiles, factors)
+	}
+	op := scaleOptions(profiles, 0)
+	op.DisableDelta = true
+	orch, err := fleet.New(op)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if _, err := orch.Period(inputs); err != nil {
+		return 0, 0, fmt.Errorf("baseline build period (%d machines): %w", machines, err)
+	}
+	buildNs = time.Since(start).Nanoseconds()
+	// Warm until the caches fully cover a drift-free period (fresh-run
+	// count stops moving), then time one steady period.
+	for warm := 0; warm < 8; warm++ {
+		_, _, before := orch.ScoreStats()
+		if _, err := orch.Period(inputs); err != nil {
+			return 0, 0, fmt.Errorf("baseline warm period (%d machines): %w", machines, err)
+		}
+		if _, _, after := orch.ScoreStats(); after == before {
+			break
+		}
+	}
+	start = time.Now()
+	if _, err := orch.Period(inputs); err != nil {
+		return 0, 0, fmt.Errorf("baseline steady period (%d machines): %w", machines, err)
+	}
+	return buildNs, time.Since(start).Nanoseconds(), nil
 }
 
 // fleetScaleRecord runs the sweep at the given shape; tests call it
@@ -212,13 +353,13 @@ func fleetScaleRecord(sizes []int, baselineMax, cellSize, tenantsPer int) (*Scal
 			return nil, err
 		}
 		if m <= baselineMax {
-			base, err := runScalePoint(m, tenantsPer, 0)
+			buildNs, steadyNs, err := runScaleBaseline(m, tenantsPer)
 			if err != nil {
 				return nil, fmt.Errorf("baseline: %w", err)
 			}
 			p.Baseline = true
-			p.BaselineBuildNs = base.BuildNs
-			p.BaselineSteadyNs = base.SteadyNs
+			p.BaselineBuildNs = buildNs
+			p.BaselineSteadyNs = steadyNs
 		}
 		rec.Points = append(rec.Points, p)
 	}
@@ -231,49 +372,135 @@ func FleetScaleRecord() (*ScaleRecord, error) {
 	return fleetScaleRecord(scaleSizes, scaleBaselineMax, scaleCellSize, scaleTenantsPerMachine)
 }
 
-// ValidateScaleRecord checks a serialized BENCH_fleet_scale.json: it
-// must parse, carry the current schema version, and cover the full
-// sweep (≥1000 machines, ≥10000 tenants) with sane measurements. CI
-// runs this against the committed record so a stale or hand-mangled
-// file fails the build.
-func ValidateScaleRecord(data []byte) error {
-	var rec ScaleRecord
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return fmt.Errorf("fleet-scale record: unparseable: %w", err)
+// AppendScaleHistory appends entry to the history serialized in prev
+// (which may be empty, a ScaleHistory, or — for migration — a bare
+// pre-history ScaleRecord, imported as entry 0) and returns the new
+// document.
+func AppendScaleHistory(prev []byte, entry ScaleEntry) ([]byte, error) {
+	hist := ScaleHistory{Schema: ScaleSchema}
+	if len(prev) > 0 {
+		var probe struct {
+			Schema  string          `json:"schema"`
+			Entries []ScaleEntry    `json:"entries"`
+			Points  json.RawMessage `json:"points"`
+		}
+		if err := json.Unmarshal(prev, &probe); err != nil {
+			return nil, fmt.Errorf("fleet-scale history: existing file unparseable: %w", err)
+		}
+		switch {
+		case probe.Entries != nil:
+			hist.Entries = probe.Entries
+		case probe.Points != nil:
+			// A pre-history single-record file: keep it as the first
+			// entry so the trend is not lost.
+			var rec ScaleRecord
+			if err := json.Unmarshal(prev, &rec); err != nil {
+				return nil, fmt.Errorf("fleet-scale history: legacy record unparseable: %w", err)
+			}
+			hist.Entries = []ScaleEntry{{
+				Commit:      "(pre-history)",
+				Note:        fmt.Sprintf("imported %s record", rec.Schema),
+				ScaleRecord: rec,
+			}}
+		}
 	}
+	hist.Entries = append(hist.Entries, entry)
+	out, err := json.MarshalIndent(&hist, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ValidateScaleHistory checks a serialized BENCH_fleet_scale.json: it
+// must parse, carry the current schema version, and its LATEST entry
+// must cover the full sweep (≥1000 machines, ≥10000 tenants) with sane
+// measurements and delta locality (a one-tenant drift dirties exactly
+// one cell and beats the full recompute ≥5× at the largest size).
+// Older entries are historical — recorded by earlier code — and are
+// only required to parse. CI runs this against the committed file so a
+// stale or hand-mangled history fails the build.
+func ValidateScaleHistory(data []byte) error {
+	var hist ScaleHistory
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return fmt.Errorf("fleet-scale history: unparseable: %w", err)
+	}
+	if hist.Schema != ScaleSchema {
+		return fmt.Errorf("fleet-scale history: schema %q, want %q (stale file? run `make bench-record`)", hist.Schema, ScaleSchema)
+	}
+	if len(hist.Entries) == 0 {
+		return fmt.Errorf("fleet-scale history: no entries")
+	}
+	latest := hist.Entries[len(hist.Entries)-1]
+	if latest.Commit == "" {
+		return fmt.Errorf("fleet-scale history: latest entry missing commit")
+	}
+	if latest.Date == "" {
+		return fmt.Errorf("fleet-scale history: latest entry missing date")
+	}
+	if err := validateScaleRecord(&latest.ScaleRecord); err != nil {
+		return fmt.Errorf("fleet-scale history: latest entry (%s): %w", latest.Commit, err)
+	}
+	return nil
+}
+
+// validateScaleRecord checks one sweep's measurements.
+func validateScaleRecord(rec *ScaleRecord) error {
 	if rec.Schema != ScaleSchema {
-		return fmt.Errorf("fleet-scale record: schema %q, want %q (stale record? run `make bench-record`)", rec.Schema, ScaleSchema)
+		return fmt.Errorf("schema %q, want %q", rec.Schema, ScaleSchema)
 	}
 	if rec.Go == "" {
-		return fmt.Errorf("fleet-scale record: missing go version")
+		return fmt.Errorf("missing go version")
 	}
 	if len(rec.Points) == 0 {
-		return fmt.Errorf("fleet-scale record: no points")
+		return fmt.Errorf("no points")
 	}
-	maxMachines, maxTenants := 0, 0
+	var max ScalePoint
+	maxTenants := 0
 	for _, p := range rec.Points {
 		if p.Machines <= 0 || p.Tenants <= 0 {
-			return fmt.Errorf("fleet-scale record: degenerate point %+v", p)
+			return fmt.Errorf("degenerate point %+v", p)
 		}
 		if p.BuildNs <= 0 || p.SteadyNs <= 0 || p.DriftNs <= 0 {
-			return fmt.Errorf("fleet-scale record: non-positive timing in point %+v", p)
+			return fmt.Errorf("non-positive timing in point %+v", p)
+		}
+		if p.SteadyFullNs <= 0 || p.Drift1Ns <= 0 || p.Drift1FullNs <= 0 {
+			return fmt.Errorf("non-positive full/drift1 timing in point %+v", p)
 		}
 		if p.SteadyRuns < 0 || p.HitRate < 0 || p.HitRate > 1 || p.Migrations < 0 {
-			return fmt.Errorf("fleet-scale record: counter out of range in point %+v", p)
+			return fmt.Errorf("counter out of range in point %+v", p)
+		}
+		// Delta locality: a drift-free period dirties nothing, a
+		// one-tenant drift dirties exactly the tenant's cell.
+		if p.SteadyCells != 0 {
+			return fmt.Errorf("steady period dirtied %d cells in point %+v", p.SteadyCells, p)
+		}
+		if p.TotalCells <= 1 {
+			return fmt.Errorf("cellular point formed %d cells %+v", p.TotalCells, p)
+		}
+		if p.Drift1Cells != 1 {
+			return fmt.Errorf("one-tenant drift dirtied %d cells, want 1, in point %+v", p.Drift1Cells, p)
 		}
 		if p.Baseline && (p.BaselineBuildNs <= 0 || p.BaselineSteadyNs <= 0) {
-			return fmt.Errorf("fleet-scale record: baseline point missing timings %+v", p)
+			return fmt.Errorf("baseline point missing timings %+v", p)
 		}
-		if p.Machines > maxMachines {
-			maxMachines = p.Machines
+		if p.Machines > max.Machines {
+			max = p
 		}
 		if p.Tenants > maxTenants {
 			maxTenants = p.Tenants
 		}
 	}
-	if maxMachines < 1000 || maxTenants < 10000 {
-		return fmt.Errorf("fleet-scale record: sweep tops out at %d machines / %d tenants, want ≥1000 / ≥10000",
-			maxMachines, maxTenants)
+	if max.Machines < 1000 || maxTenants < 10000 {
+		return fmt.Errorf("sweep tops out at %d machines / %d tenants, want ≥1000 / ≥10000",
+			max.Machines, maxTenants)
+	}
+	// The headline: at the largest size, recomputing every cell after a
+	// one-tenant drift must cost ≥5× the delta period that recomputes
+	// only the dirty cell.
+	if max.Drift1FullNs < 5*max.Drift1Ns {
+		return fmt.Errorf("delta locality regressed: drift1 full recompute %dns < 5× delta %dns at %d machines",
+			max.Drift1FullNs, max.Drift1Ns, max.Machines)
 	}
 	return nil
 }
@@ -292,11 +519,14 @@ func FleetScale(env *Env) (*Result, error) {
 		YLabel: "period milliseconds / counters",
 	}
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
-	var build, steady, drift, runs, hit, migs, baseBuild []float64
+	var build, steady, steadyFull, drift1, drift1Full, drift, runs, hit, migs, baseBuild []float64
 	for _, p := range rec.Points {
 		res.X = append(res.X, float64(p.Machines))
 		build = append(build, ms(p.BuildNs))
 		steady = append(steady, ms(p.SteadyNs))
+		steadyFull = append(steadyFull, ms(p.SteadyFullNs))
+		drift1 = append(drift1, ms(p.Drift1Ns))
+		drift1Full = append(drift1Full, ms(p.Drift1FullNs))
 		drift = append(drift, ms(p.DriftNs))
 		runs = append(runs, float64(p.SteadyRuns))
 		hit = append(hit, p.HitRate)
@@ -307,6 +537,9 @@ func FleetScale(env *Env) (*Result, error) {
 	}
 	res.AddSeries("build-ms", build)
 	res.AddSeries("steady-ms", steady)
+	res.AddSeries("steady-full-ms", steadyFull)
+	res.AddSeries("drift1-ms", drift1)
+	res.AddSeries("drift1-full-ms", drift1Full)
 	res.AddSeries("drift-ms", drift)
 	res.AddSeries("steady-runs", runs)
 	res.AddSeries("hit-rate", hit)
@@ -314,6 +547,7 @@ func FleetScale(env *Env) (*Result, error) {
 	res.AddSeries("flat-build-ms", baseBuild)
 	res.Note("cells of ≤%d machines; tenants = %d × machines; flat (Cells: 0) baseline timed through %d machines",
 		scaleCellSize, scaleTenantsPerMachine, scaleBaselineMax)
-	res.Note("wall-clock series are environment-dependent; steady-runs, hit-rate, and migrations are deterministic")
+	res.Note("steady/drift1 series are delta periods (replay); the -full variants disable delta and recompute every cell")
+	res.Note("wall-clock series are environment-dependent; steady-runs, steady-cells, drift1-cells, hit-rate, and migrations are deterministic")
 	return res, nil
 }

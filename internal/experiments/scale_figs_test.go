@@ -7,9 +7,9 @@ import (
 )
 
 // A reduced sweep (the full one is the benchmark's job): the cellular
-// fleet builds, reaches a zero-fresh-run steady state, and the drift
-// period moves at least one tenant; the flat baseline at the same size
-// measures successfully.
+// fleet builds, settles into delta-period replay (zero fresh runs, zero
+// dirty cells), a one-tenant drift dirties exactly one cell, and the
+// flat baseline at the same size measures successfully.
 func TestFleetScaleRecordShape(t *testing.T) {
 	rec, err := fleetScaleRecord([]int{4, 8}, 8, 2, 4)
 	if err != nil {
@@ -25,11 +25,20 @@ func TestFleetScaleRecordShape(t *testing.T) {
 		if p.Tenants != 4*p.Machines {
 			t.Errorf("point %d machines: %d tenants, want %d", p.Machines, p.Tenants, 4*p.Machines)
 		}
-		if p.BuildNs <= 0 || p.SteadyNs <= 0 || p.DriftNs <= 0 {
+		if p.BuildNs <= 0 || p.SteadyNs <= 0 || p.DriftNs <= 0 || p.SteadyFullNs <= 0 || p.Drift1Ns <= 0 || p.Drift1FullNs <= 0 {
 			t.Errorf("point %d machines: non-positive timings %+v", p.Machines, p)
+		}
+		if p.TotalCells != p.Machines/2 {
+			t.Errorf("point %d machines: %d cells, want %d", p.Machines, p.TotalCells, p.Machines/2)
 		}
 		if p.SteadyRuns != 0 {
 			t.Errorf("point %d machines: steady period ran %d fresh advisor runs, want 0", p.Machines, p.SteadyRuns)
+		}
+		if p.SteadyCells != 0 {
+			t.Errorf("point %d machines: steady period dirtied %d cells, want 0", p.Machines, p.SteadyCells)
+		}
+		if p.Drift1Cells != 1 {
+			t.Errorf("point %d machines: one-tenant drift dirtied %d cells, want 1", p.Machines, p.Drift1Cells)
 		}
 		if p.HitRate <= 0 || p.HitRate > 1 {
 			t.Errorf("point %d machines: hit rate %v out of (0,1]", p.Machines, p.HitRate)
@@ -54,7 +63,9 @@ func TestFleetScaleRecordParallelismParity(t *testing.T) {
 		}
 		// Blank the environment-dependent wall-clock fields.
 		for i := range rec.Points {
-			rec.Points[i].BuildNs, rec.Points[i].SteadyNs, rec.Points[i].DriftNs = 0, 0, 0
+			p := &rec.Points[i]
+			p.BuildNs, p.SteadyNs, p.DriftNs = 0, 0, 0
+			p.SteadyFullNs, p.Drift1Ns, p.Drift1FullNs = 0, 0, 0
 		}
 		return rec.Points
 	}
@@ -66,52 +77,137 @@ func TestFleetScaleRecordParallelismParity(t *testing.T) {
 	}
 }
 
-func TestValidateScaleRecord(t *testing.T) {
-	good := ScaleRecord{Schema: ScaleSchema, Go: "go1.x", Points: []ScalePoint{
-		{Machines: 10, Tenants: 100, Cells: 8, BuildNs: 1, SteadyNs: 1, DriftNs: 1, HitRate: 1,
-			Baseline: true, BaselineBuildNs: 1, BaselineSteadyNs: 1},
-		{Machines: 1000, Tenants: 10000, Cells: 8, BuildNs: 1, SteadyNs: 1, DriftNs: 1, HitRate: 1},
+// scaleTestPoint is a hand-built valid measurement for validator tests.
+func scaleTestPoint(machines int) ScalePoint {
+	return ScalePoint{
+		Machines: machines, Tenants: 10 * machines, Cells: 8,
+		TotalCells: (machines + 7) / 8,
+		BuildNs:    1, SteadyNs: 1, DriftNs: 1,
+		SteadyFullNs: 1, Drift1Ns: 1, Drift1FullNs: 5,
+		Drift1Cells: 1, HitRate: 1,
+	}
+}
+
+func scaleTestRecord() ScaleRecord {
+	small := scaleTestPoint(10)
+	small.Baseline, small.BaselineBuildNs, small.BaselineSteadyNs = true, 1, 1
+	return ScaleRecord{Schema: ScaleSchema, Go: "go1.x", Points: []ScalePoint{small, scaleTestPoint(1000)}}
+}
+
+func TestValidateScaleHistory(t *testing.T) {
+	good := ScaleHistory{Schema: ScaleSchema, Entries: []ScaleEntry{
+		{Commit: "abc1234", Date: "2026-08-08", ScaleRecord: scaleTestRecord()},
 	}}
-	enc := func(r ScaleRecord) []byte {
-		b, err := json.Marshal(r)
+	enc := func(h ScaleHistory) []byte {
+		b, err := json.Marshal(h)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return b
 	}
-	if err := ValidateScaleRecord(enc(good)); err != nil {
-		t.Fatalf("good record rejected: %v", err)
+	if err := ValidateScaleHistory(enc(good)); err != nil {
+		t.Fatalf("good history rejected: %v", err)
 	}
 
+	// Older entries are historical: only the latest entry is held to the
+	// current rules.
+	lenient := good
+	lenient.Entries = append([]ScaleEntry{{Commit: "old", ScaleRecord: ScaleRecord{Schema: "fleet-scale/v1"}}}, good.Entries...)
+	if err := ValidateScaleHistory(enc(lenient)); err != nil {
+		t.Fatalf("history with a legacy first entry rejected: %v", err)
+	}
+
+	mutate := func(f func(h *ScaleHistory)) []byte {
+		h := good
+		h.Entries = append([]ScaleEntry(nil), good.Entries...)
+		last := &h.Entries[len(h.Entries)-1]
+		last.Points = append([]ScalePoint(nil), last.Points...)
+		f(&h)
+		return enc(h)
+	}
 	cases := []struct {
 		name string
 		data []byte
 		want string
 	}{
 		{"unparseable", []byte("{"), "unparseable"},
-		{"stale schema", enc(func() ScaleRecord { r := good; r.Schema = "fleet-scale/v0"; return r }()), "schema"},
-		{"no points", enc(ScaleRecord{Schema: ScaleSchema, Go: "go1.x"}), "no points"},
-		{"missing go", enc(func() ScaleRecord { r := good; r.Go = ""; return r }()), "go version"},
-		{"short sweep", enc(ScaleRecord{Schema: ScaleSchema, Go: "go1.x", Points: []ScalePoint{
-			{Machines: 10, Tenants: 100, BuildNs: 1, SteadyNs: 1, DriftNs: 1},
-		}}), "tops out"},
-		{"zero timing", enc(func() ScaleRecord {
-			r := good
-			r.Points = append([]ScalePoint(nil), good.Points...)
-			r.Points[1].SteadyNs = 0
-			return r
-		}()), "non-positive"},
-		{"bad hit rate", enc(func() ScaleRecord {
-			r := good
-			r.Points = append([]ScalePoint(nil), good.Points...)
-			r.Points[1].HitRate = 1.5
-			return r
-		}()), "out of range"},
+		{"stale schema", mutate(func(h *ScaleHistory) { h.Schema = "fleet-scale/v1" }), "schema"},
+		{"no entries", enc(ScaleHistory{Schema: ScaleSchema}), "no entries"},
+		{"missing commit", mutate(func(h *ScaleHistory) { h.Entries[0].Commit = "" }), "missing commit"},
+		{"missing date", mutate(func(h *ScaleHistory) { h.Entries[0].Date = "" }), "missing date"},
+		{"missing go", mutate(func(h *ScaleHistory) { h.Entries[0].Go = "" }), "go version"},
+		{"no points", mutate(func(h *ScaleHistory) { h.Entries[0].Points = nil }), "no points"},
+		{"short sweep", mutate(func(h *ScaleHistory) { h.Entries[0].Points = h.Entries[0].Points[:1] }), "tops out"},
+		{"zero timing", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].SteadyNs = 0 }), "non-positive"},
+		{"zero drift1 timing", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift1Ns = 0 }), "non-positive"},
+		{"bad hit rate", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].HitRate = 1.5 }), "out of range"},
+		{"dirty steady", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].SteadyCells = 3 }), "steady period dirtied"},
+		{"one cell", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].TotalCells = 1 }), "formed 1 cells"},
+		{"sloppy drift1", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift1Cells = 3 }), "want 1"},
+		{"locality regression", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift1FullNs = 4 }), "delta locality"},
 	}
 	for _, tc := range cases {
-		err := ValidateScaleRecord(tc.data)
+		err := ValidateScaleHistory(tc.data)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+func TestAppendScaleHistory(t *testing.T) {
+	entry := func(commit string) ScaleEntry {
+		return ScaleEntry{Commit: commit, Date: "2026-08-08", ScaleRecord: scaleTestRecord()}
+	}
+	parse := func(data []byte) ScaleHistory {
+		t.Helper()
+		var h ScaleHistory
+		if err := json.Unmarshal(data, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	// Fresh file: one entry.
+	data, err := AppendScaleHistory(nil, entry("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := parse(data)
+	if h.Schema != ScaleSchema || len(h.Entries) != 1 || h.Entries[0].Commit != "one" {
+		t.Fatalf("fresh history wrong: %+v", h)
+	}
+	if err := ValidateScaleHistory(data); err != nil {
+		t.Fatalf("fresh history invalid: %v", err)
+	}
+
+	// Appending keeps prior entries in order.
+	data, err = AppendScaleHistory(data, entry("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = parse(data)
+	if len(h.Entries) != 2 || h.Entries[0].Commit != "one" || h.Entries[1].Commit != "two" {
+		t.Fatalf("appended history wrong: %+v", h)
+	}
+
+	// A pre-history single-record file is imported as entry 0.
+	legacy, err := json.Marshal(ScaleRecord{Schema: "fleet-scale/v1", Go: "go1.x", Points: []ScalePoint{{Machines: 1000, Tenants: 10000, BuildNs: 1, SteadyNs: 1, DriftNs: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = AppendScaleHistory(legacy, entry("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = parse(data)
+	if len(h.Entries) != 2 || h.Entries[0].Commit != "(pre-history)" || h.Entries[0].Points[0].Machines != 1000 || h.Entries[1].Commit != "three" {
+		t.Fatalf("legacy import wrong: %+v", h)
+	}
+	if err := ValidateScaleHistory(data); err != nil {
+		t.Fatalf("imported history invalid: %v", err)
+	}
+
+	if _, err := AppendScaleHistory([]byte("{"), entry("x")); err == nil {
+		t.Fatal("corrupt previous file accepted")
 	}
 }

@@ -72,6 +72,10 @@ func FleetScaleCache(env *Env) (*Result, error) {
 				MigrationCost:     5,
 				Core:              core.Options{Delta: 0.1, Parallelism: searchParallelism},
 				DisableScoreCache: disable,
+				// This figure isolates the score cache: delta periods would
+				// otherwise replay the steady period without consulting it
+				// at all (that saving has its own figure, fleet-scale).
+				DisableDelta: true,
 			})
 		}
 		// Cached fleet: warm to steady state (a period with zero fresh

@@ -44,14 +44,17 @@ func (o *Orchestrator) cellOpts(c int) placement.Options {
 
 // route assigns every tenant of the period to a cell and runs QoS
 // admission control (Options.AdmitQoS) along the way, recording
-// rejections in rep. Survivors keep their incumbent server's cell —
-// a pinned tenant never crosses cells. Arrivals go, in input order, to
-// the best-ranked cell (most free slots, then fewest routed tenants,
-// then the smaller index); under admission control an arrival is seated
-// via placement.AdmitSeat against the cell's incumbents plus the batch
-// admitted so far, and a cell that cannot seat it falls through to the
-// next-ranked candidate cell before the arrival is rejected. Returns the
-// per-cell tenant input indexes in input order.
+// rejections in rep. Survivors keep their incumbent server's cell — an
+// unpinned survivor never crosses cells — and a tenant with Tenant.Pin
+// set is routed to the pinned server's cell unconditionally, bypassing
+// admission control (a pin is an order, not a request). Free arrivals
+// go, in input order, to the best-ranked cell (most free slots, then
+// fewest routed tenants, then the smaller index); under admission
+// control an arrival is seated via placement.AdmitSeat against the
+// cell's incumbents plus the batch admitted so far, and a cell that
+// cannot seat it falls through to the next-ranked candidate cell before
+// the arrival is rejected. Returns the per-cell tenant input indexes in
+// input order.
 func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinned []int, rep *PeriodReport) ([][]int, error) {
 	nc := len(o.cells)
 	capacity := placement.Capacity(placement.Options{Profiles: o.opts.Profiles, Core: o.opts.Core})
@@ -64,9 +67,17 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 	for i := range cellOfTenant {
 		cellOfTenant[i] = -1
 	}
+	// seatOf is the pre-routed tenants' known local seat: the pin target
+	// for pinned tenants, the incumbent server otherwise.
+	seatOf := make([]int, len(tenants))
 	for i, s := range pinned {
-		if s >= 0 {
-			c := o.cellOf[s]
+		seat := s
+		if p := tenants[i].Pin; p > 0 {
+			seat = p - 1 // pins win over (and may cross) the incumbent cell
+		}
+		seatOf[i] = seat
+		if seat >= 0 {
+			c := o.cellOf[seat]
 			cellOfTenant[i] = c
 			slots[c]--
 			count[c]++
@@ -94,7 +105,7 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 		for c := range seats {
 			seats[c] = make(map[int]int, count[c])
 		}
-		for i, s := range pinned {
+		for i, s := range seatOf {
 			if s >= 0 {
 				c := o.cellOf[s]
 				members[c] = append(members[c], i)
@@ -154,6 +165,9 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 	// batch-conflict vs genuine-QoS classification probe.
 	anyAdmissible := func(i int) (bool, error) {
 		for c := 0; c < nc; c++ {
+			if len(o.cells[c]) == 0 {
+				continue
+			}
 			pt, pin, pos := admissionView(c, i, true)
 			copts := o.cellOpts(c)
 			copts.Pinned = pin
@@ -169,7 +183,7 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 	}
 
 	for i, t := range tenants {
-		if pinned[i] >= 0 {
+		if cellOfTenant[i] >= 0 {
 			continue
 		}
 		if !o.opts.AdmitQoS {
@@ -180,15 +194,22 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 				}
 			}
 			if best < 0 {
-				// No free slot anywhere: route to the best-ranked cell
-				// regardless and let its placement run report the same
-				// capacity error the flat enumerator would.
-				best = 0
-				for c := 1; c < nc; c++ {
-					if better(c, best) {
+				// No free slot anywhere: route to the best-ranked
+				// non-empty cell regardless and let its placement run
+				// report the same capacity error the flat enumerator
+				// would. (A cell emptied by RemoveServer has no
+				// machines to error on and is never a target.)
+				for c := 0; c < nc; c++ {
+					if len(o.cells[c]) == 0 {
+						continue
+					}
+					if best < 0 || better(c, best) {
 						best = c
 					}
 				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("fleet: no servers left to host tenant %q", t.ID)
 			}
 			cellOfTenant[i] = best
 			slots[best]--
@@ -296,13 +317,23 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 	n := len(inputIdxs)
 	lt := make([]Tenant, n)
 	lpt := make([]placement.Tenant, n)
-	lpin := make([]int, n)
+	lpin := make([]int, n) // incumbent seat (this cell) or -1
+	lcon := make([]int, n) // pin constraint (this cell) or -1
 	anySurvivor := false
+	anyPin := false
 	arrivals := 0
 	for k, i := range inputIdxs {
 		lt[k] = tenants[i]
 		lpt[k] = ptenants[i]
-		if s := pinned[i]; s >= 0 {
+		lcon[k] = -1
+		if p := tenants[i].Pin; p > 0 {
+			lcon[k] = o.localIdx[p-1]
+			anyPin = true
+		}
+		// A survivor whose incumbent lives in another cell (a pin moved
+		// it here) enters this cell like an arrival: it has no local
+		// incumbent seat to stay on.
+		if s := pinned[i]; s >= 0 && o.cellOf[s] == c {
 			lpin[k] = o.localIdx[s]
 			anySurvivor = true
 		} else {
@@ -312,6 +343,12 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 	}
 	popts := o.cellOpts(c)
 	popts.Core.Parallelism = workers
+	if anyPin {
+		// Pins constrain every placement run of this cell: the candidate,
+		// the shadow, and the stay-put pricing run below all hold pinned
+		// tenants on their servers.
+		popts.Pinned = lcon
+	}
 	out := &cellOutcome{
 		assignment:   make(map[string]int, n),
 		allocations:  make(map[string]core.Allocation, n),
@@ -346,7 +383,12 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 	// Placement decision with migration hysteresis, cell-locally: a
 	// survivor's candidate and incumbent servers are both in this cell,
 	// so the canonicalization and penalty arithmetic are exactly the flat
-	// orchestrator's, over the cell's machines.
+	// orchestrator's, over the cell's machines. With pins present the
+	// canonical relabeling is skipped (relabeling a machine could move a
+	// pinned tenant off its server), the stay-put run pins survivors to
+	// their incumbents except where a pin overrides, and the penalty
+	// charges only the moves the candidate makes beyond the ones the
+	// pins force on both alternatives.
 	profiles := o.cellProfiles[c]
 	chosen := candidate.Assignment
 	out.replaced = true
@@ -354,7 +396,10 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 		if o.opts.MigrationCost == 0 {
 			out.migrations = countMoved(candidate.Assignment, lpin)
 		} else {
-			canon := canonicalAssignment(candidate.Assignment, lpin, profiles)
+			canon := candidate.Assignment
+			if !anyPin {
+				canon = canonicalAssignment(candidate.Assignment, lpin, profiles)
+			}
 			moved := countMoved(canon, lpin)
 			switch {
 			case moved == 0 && arrivals == 0:
@@ -364,22 +409,38 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 				out.replaced = false
 			default:
 				stayOpts := popts
-				stayOpts.Pinned = lpin
+				stayPin := lpin
+				if anyPin {
+					stayPin = make([]int, n)
+					for k := range stayPin {
+						stayPin[k] = lpin[k]
+						if lcon[k] >= 0 {
+							stayPin[k] = lcon[k]
+						}
+					}
+				}
+				stayOpts.Pinned = stayPin
 				stay, err := placement.Place(lpt, stayOpts)
 				if err != nil {
 					return nil, fmt.Errorf("fleet: stay-put placement: %w", err)
 				}
 				out.stayCost = stay.TotalCost
 				improvement := stay.TotalCost - candidate.TotalCost
+				// Pin-forced moves happen under both alternatives, so
+				// only the candidate's extra moves carry the penalty
+				// (without pins the stay run moves nobody and extra is
+				// simply moved).
+				extra := moved - countMoved(stay.Assignment, lpin)
 				penalty := 0.0 // no moves, no penalty (and no Inf·0 = NaN)
-				if moved > 0 {
-					penalty = o.opts.MigrationCost * float64(moved)
+				if extra > 0 {
+					penalty = o.opts.MigrationCost * float64(extra)
 				}
 				if improvement > penalty {
 					chosen = canon
 					out.migrations = moved
 				} else {
 					chosen = stay.Assignment
+					out.migrations = countMoved(stay.Assignment, lpin)
 					out.replaced = false
 				}
 			}

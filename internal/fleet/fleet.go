@@ -84,11 +84,23 @@ type Tenant struct {
 	// machine-score cache: unique per tenant, changed whenever the
 	// workload (and hence every EstFor estimator) changes. Empty makes
 	// the tenant uncacheable — machine configurations containing it are
-	// always scored fresh, never wrongly reused.
+	// always scored fresh, never wrongly reused — and its cell
+	// permanently dirty under delta periods (an unfingerprinted workload
+	// gives change detection nothing to compare, so the cell is
+	// recomputed every period rather than ever replayed).
 	Fingerprint string
 	// Measure returns the actual cost of the tenant's current workload on
 	// the given server under an allocation (required).
 	Measure func(server int, a core.Allocation) (float64, error)
+	// Pin optionally forces the tenant onto one server: 0 means unpinned,
+	// any other value pins to server Pin-1 (1-based so the zero value
+	// stays "no pin"). A pinned tenant bypasses QoS admission control, is
+	// routed to the pin's cell (crossing cells if its incumbent lives
+	// elsewhere — the one sanctioned kind of caller-driven cross-cell
+	// migration, counted in PeriodReport.Migrations), and is held on the
+	// pinned server by both the candidate and the stay-put placement
+	// runs. Pin changes dirty the affected cells under delta periods.
+	Pin int
 }
 
 // Options configures an orchestrator.
@@ -179,6 +191,23 @@ type Options struct {
 	// more than one cell, Tenant.EstFor and Tenant.Measure must tolerate
 	// concurrent calls for tenants of different cells.
 	Cells int
+	// CellRebalance bounds cross-cell rebalancing: after each period's
+	// dirty cells settle, at most this many tenants are migrated from the
+	// hottest cells (by mean machine load) to the coldest, each move
+	// priced with the same MigrationCost rule as within-cell migrations
+	// (adopted only when the estimated improvement strictly beats the
+	// penalty). Moves are committed into the assignment and take effect
+	// next period, dirtying only the two cells involved; they are
+	// reported in PeriodReport.RebalanceMoves/Rebalanced, not Migrations.
+	// 0 (the default) disables rebalancing: tenants then never leave
+	// their cell, reproducing the pre-rebalance orchestrator exactly.
+	CellRebalance int
+	// DisableDelta turns off delta periods: every cell recomputes every
+	// period, as if no cell were ever clean. Reports are bit-identical
+	// with delta on or off (a clean cell's replayed outcome is provably
+	// the outcome a recompute would produce); the switch exists for
+	// benchmarking the saved work and for differential tests.
+	DisableDelta bool
 }
 
 // RejectReason classifies why admission control turned an arrival away.
@@ -278,6 +307,23 @@ type PeriodReport struct {
 	Rebuilds int
 	// Machines holds the per-server detail.
 	Machines []MachineReport
+	// DirtyCells lists the cells that actually recomputed this period
+	// (ascending); ReplayedCells counts the clean cells whose previous
+	// outcome was replayed instead. Under delta periods a steady period
+	// has no dirty cells and a one-tenant drift dirties one; with
+	// Options.DisableDelta every occupied cell is dirty. These two fields
+	// describe work done, not results — every other report field is
+	// bit-identical whether a cell recomputed or replayed.
+	DirtyCells    []int
+	ReplayedCells int
+	// RebalanceMoves counts cross-cell migrations adopted by this
+	// period's rebalancing pass (Options.CellRebalance); Rebalanced lists
+	// the moved tenants' IDs in move order. The moves are committed into
+	// the assignment and take effect next period — this period's
+	// Assignment still shows the pre-move servers — and are not counted
+	// in Migrations.
+	RebalanceMoves int
+	Rebalanced     []string
 }
 
 // machine is one server's persistent state: its dynamic-management
@@ -339,28 +385,48 @@ type Orchestrator struct {
 	// the capacity bounds and the lock traffic.
 	scores    []*score.Cache
 	estimates []*score.EstimateCache
+	// delta[c] is cell c's delta-period state (see delta.go): the last
+	// computed outcome, the tenant input sequence it was computed for,
+	// and whether that outcome is a proven fixed point (settled). lastSig
+	// records each placed tenant's input signature from the previous
+	// period, the drift detector.
+	delta   []cellDelta
+	lastSig map[string]tenantSig
 }
 
-// New creates an orchestrator for the given fleet topology. The topology
-// is fixed for the orchestrator's lifetime.
+// checkOptions validates the tunable option fields — shared between New
+// and SetOptions.
+func checkOptions(opts Options) error {
+	if opts.MigrationCost < 0 {
+		return fmt.Errorf("fleet: negative migration cost %v", opts.MigrationCost)
+	}
+	if opts.Core.Gains != nil || opts.Core.Limits != nil {
+		return errors.New("fleet: QoS rides on each Tenant, not on Options.Core.Gains/Limits")
+	}
+	if opts.CacheCapacity < 0 || opts.EstimateCacheCapacity < 0 || opts.CacheSweep < 0 {
+		return fmt.Errorf("fleet: negative cache bound (capacity %d/%d, sweep %d)",
+			opts.CacheCapacity, opts.EstimateCacheCapacity, opts.CacheSweep)
+	}
+	if opts.CellRebalance < 0 {
+		return fmt.Errorf("fleet: negative cell rebalance bound %d", opts.CellRebalance)
+	}
+	return nil
+}
+
+// New creates an orchestrator for the given fleet topology. Servers may
+// be added and drained servers removed between periods (AddServer,
+// RemoveServer); existing servers keep their cell assignments.
 func New(opts Options) (*Orchestrator, error) {
 	if len(opts.Profiles) == 0 {
 		return nil, errors.New("fleet: no servers (Options.Profiles is empty)")
 	}
-	if opts.MigrationCost < 0 {
-		return nil, fmt.Errorf("fleet: negative migration cost %v", opts.MigrationCost)
-	}
-	if opts.Core.Gains != nil || opts.Core.Limits != nil {
-		return nil, errors.New("fleet: QoS rides on each Tenant, not on Options.Core.Gains/Limits")
-	}
-	if opts.CacheCapacity < 0 || opts.EstimateCacheCapacity < 0 || opts.CacheSweep < 0 {
-		return nil, fmt.Errorf("fleet: negative cache bound (capacity %d/%d, sweep %d)",
-			opts.CacheCapacity, opts.EstimateCacheCapacity, opts.CacheSweep)
+	if err := checkOptions(opts); err != nil {
+		return nil, err
 	}
 	if opts.Cells < 0 {
 		return nil, fmt.Errorf("fleet: negative cell size %d", opts.Cells)
 	}
-	o := &Orchestrator{opts: opts, assignment: map[string]int{}}
+	o := &Orchestrator{opts: opts, assignment: map[string]int{}, lastSig: map[string]tenantSig{}}
 	o.cells = placement.PartitionCells(opts.Profiles, opts.Cells)
 	o.cellOf = placement.CellIndex(opts.Profiles, opts.Cells)
 	o.localIdx = make([]int, len(opts.Profiles))
@@ -391,6 +457,10 @@ func New(opts Options) (*Orchestrator, error) {
 	for s := range opts.Profiles {
 		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores[o.cellOf[s]]))
 	}
+	o.delta = make([]cellDelta, len(o.cells))
+	// The orchestrator owns its profile list: AddServer grows it, and a
+	// caller mutating its own slice must not alias ours.
+	o.opts.Profiles = append([]string(nil), opts.Profiles...)
 	return o, nil
 }
 
@@ -480,6 +550,23 @@ func (o *Orchestrator) Assignment() map[string]int {
 // Report returns the per-period history so far.
 func (o *Orchestrator) Report() []*PeriodReport {
 	return append([]*PeriodReport(nil), o.history...)
+}
+
+// validatePins checks each pinned tenant's target against the live
+// topology.
+func (o *Orchestrator) validatePins(tenants []Tenant) error {
+	for _, t := range tenants {
+		if t.Pin == 0 {
+			continue
+		}
+		if t.Pin < 0 || t.Pin > len(o.machines) {
+			return fmt.Errorf("fleet: tenant %q pinned to server %d of %d", t.ID, t.Pin-1, len(o.machines))
+		}
+		if o.cellOf[t.Pin-1] < 0 {
+			return fmt.Errorf("fleet: tenant %q pinned to removed server %d", t.ID, t.Pin-1)
+		}
+	}
+	return nil
 }
 
 // validate checks one period's tenant inputs.
@@ -599,6 +686,15 @@ func canonicalAssignment(cand, pinned []int, profiles []string) []int {
 // decide placement (with migration hysteresis), then drive every
 // machine's dynamic manager.
 //
+// Periods are delta-driven: a cell whose inputs are unchanged and whose
+// previous outcome is a proven fixed point (see delta.go) skips its
+// placement and manager work entirely and replays the stored outcome
+// into the merged report, bit-identically to what a recompute would
+// produce. A steady period therefore recomputes zero cells, and a
+// one-tenant drift recomputes one — the period's cost is proportional
+// to what changed, not to fleet size. Options.DisableDelta forces every
+// cell to recompute; the report differs only in DirtyCells/ReplayedCells.
+//
 // Period is transactional at the fleet level: on any error the
 // assignment, the period count, and every machine manager's accumulated
 // state (classification history, refined models) are exactly as before
@@ -607,16 +703,10 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	if err := validate(tenants); err != nil {
 		return nil, err
 	}
-	// One cache generation per period: entries this period touches are
-	// re-stamped, and the commit-time sweep (Options.CacheSweep) drops
-	// whatever the fleet stopped visiting. A failed period advances the
-	// generation without sweeping — entries merely age one step faster.
-	for _, c := range o.scores {
-		c.BeginGeneration()
+	if err := o.validatePins(tenants); err != nil {
+		return nil, err
 	}
-	for _, c := range o.estimates {
-		c.BeginGeneration()
-	}
+	nc := len(o.cells)
 	rep := &PeriodReport{
 		Machines: make([]MachineReport, len(o.machines)),
 	}
@@ -631,9 +721,13 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 			rep.Arrivals++
 		}
 	}
-	for id := range o.assignment {
+	// Per-cell departure counts feed both dirty detection and the settle
+	// predicate.
+	cellDep := make([]int, nc)
+	for id, s := range o.assignment {
 		if !present[id] {
 			rep.Departures++
+			cellDep[o.cellOf[s]]++
 		}
 	}
 
@@ -652,66 +746,161 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	placed := 0
-	var active []int
+
+	// Dirty detection: a cell must recompute when anything about its
+	// inputs changed — an arrival routed in, a departure, a drifted or
+	// re-QoSed or re-pinned survivor, a reordered input sequence — or
+	// when its stored outcome is not a proven fixed point. Everything
+	// here errs toward dirty: extra recomputation wastes work but can
+	// never change a report.
+	dirty := make([]bool, nc)
+	cellArr := make([]int, nc)
+	for c := range dirty {
+		if o.opts.DisableDelta || !o.delta[c].settled || o.delta[c].out == nil || cellDep[c] > 0 {
+			dirty[c] = true
+		}
+	}
 	for c, idxs := range cellInputs {
-		if len(idxs) > 0 {
-			placed += len(idxs)
-			active = append(active, c)
+		for _, i := range idxs {
+			t := tenants[i]
+			if pinned[i] < 0 {
+				cellArr[c]++
+				dirty[c] = true
+				continue
+			}
+			if oc := o.cellOf[pinned[i]]; oc != c {
+				// A pin moved a survivor across cells: a departure for
+				// the old cell, an arrival for the new one, and a real
+				// migration at the fleet level.
+				dirty[oc] = true
+				cellDep[oc]++
+				dirty[c] = true
+				cellArr[c]++
+				rep.Migrations++
+				continue
+			}
+			if t.Fingerprint == "" {
+				// Unfingerprinted workloads give drift detection nothing
+				// to compare: the cell stays permanently dirty.
+				dirty[c] = true
+				continue
+			}
+			if prev, ok := o.lastSig[t.ID]; !ok || prev != sigOf(t) {
+				dirty[c] = true
+			}
+		}
+		// The same tenant set in a different input order still dirties
+		// the cell: input order feeds placement tie-breaks and the
+		// per-machine report layout.
+		if !dirty[c] {
+			prev := o.delta[c].ids
+			if len(prev) != len(idxs) {
+				dirty[c] = true
+			} else {
+				for k, i := range idxs {
+					if prev[k] != tenants[i].ID {
+						dirty[c] = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	placed := 0
+	var runCells []int
+	replayed := 0
+	for c, idxs := range cellInputs {
+		if len(idxs) == 0 {
+			continue
+		}
+		placed += len(idxs)
+		if dirty[c] {
+			runCells = append(runCells, c)
+		} else {
+			replayed++
 		}
 	}
 	if placed == 0 {
 		return nil, errors.New("fleet: admission control rejected every tenant this period")
 	}
 
-	// Every manager is snapshotted before any cell runs and all are
-	// restored if any cell fails, extending each machine Period's own
-	// transactionality to the fleet level: a failed fleet period commits
-	// nothing anywhere — no dropped migrant models, no half-advanced
-	// classification state.
-	snaps := make([]*dynmgmt.State, len(o.machines))
-	for s, mach := range o.machines {
-		snaps[s] = mach.mgr.Snapshot()
+	// One cache generation per recomputing cell: entries its run touches
+	// are re-stamped, and the commit-time sweep (Options.CacheSweep)
+	// drops whatever that cell stopped visiting. A clean cell's shards
+	// are left alone entirely — no generation advance, no sweep — so an
+	// idle cell's cached scores never age out beneath it and a later
+	// drift period replays them as hits. A failed period advances the
+	// touched generations without sweeping.
+	for _, c := range runCells {
+		o.scores[c].BeginGeneration()
+		o.estimates[c].BeginGeneration()
+	}
+
+	// Only the recomputing cells' managers are snapshotted (a snapshot
+	// clones every refined model, so taking one per machine would cost
+	// O(fleet) on a steady period) and all are restored if any cell
+	// fails, extending each machine Period's own transactionality to the
+	// fleet level: a failed fleet period commits nothing anywhere.
+	type managerSnap struct {
+		server int
+		state  *dynmgmt.State
+	}
+	var snaps []managerSnap
+	for _, c := range runCells {
+		for _, s := range o.cells[c] {
+			snaps = append(snaps, managerSnap{s, o.machines[s].mgr.Snapshot()})
+		}
 	}
 	restore := func() {
-		for s, mach := range o.machines {
-			mach.mgr.Restore(snaps[s])
+		for _, sn := range snaps {
+			o.machines[sn.server].mgr.Restore(sn.state)
 		}
 	}
 
-	// Fan the active cells out over the worker pool — cells own disjoint
+	// Fan the dirty cells out over the worker pool — cells own disjoint
 	// machines and cache shards, so they never race — and split the
 	// worker budget between them; a single cell keeps the whole pool,
 	// matching the flat orchestrator exactly. Each cell's outcome (or
 	// error) lands in its own slot, and the first error in CELL order
 	// wins, independent of completion order.
-	outs := make([]*cellOutcome, len(o.cells))
-	errs := make([]error, len(o.cells))
-	share := core.BatchShare(o.opts.Core.Parallelism, len(active))
-	if err := core.ForEach(o.opts.Core.Ctx, o.opts.Core.Parallelism, len(active), func(k int) error {
-		c := active[k]
+	outs := make([]*cellOutcome, nc)
+	errs := make([]error, nc)
+	share := core.BatchShare(o.opts.Core.Parallelism, len(runCells))
+	if err := core.ForEach(o.opts.Core.Ctx, o.opts.Core.Parallelism, len(runCells), func(k int) error {
+		c := runCells[k]
 		outs[c], errs[c] = o.periodCell(c, cellInputs[c], tenants, ptenants, pinned, share)
 		return nil
 	}); err != nil {
 		restore()
 		return nil, err
 	}
-	for _, c := range active {
+	for _, c := range runCells {
 		if errs[c] != nil {
 			restore()
 			return nil, errs[c]
 		}
 	}
 
-	// Merge the cell outcomes in fixed cell order: sums and maxima are
-	// order-insensitive, map keys are disjoint (a tenant lives in exactly
-	// one cell), and Machines slots are global server indexes — so the
-	// merged report is bit-identical at any Parallelism.
+	// Merge the cell outcomes — recomputed and replayed alike — in fixed
+	// cell order: sums and maxima are order-insensitive, map keys are
+	// disjoint (a tenant lives in exactly one cell), and Machines slots
+	// are global server indexes — so the merged report is bit-identical
+	// at any Parallelism, and bit-identical to a full recompute (a
+	// replayed outcome is exactly what the recompute would produce).
+	rep.DirtyCells = runCells
+	rep.ReplayedCells = replayed
 	rep.Assignment = make(map[string]int, placed)
 	rep.Allocations = make(map[string]core.Allocation, placed)
 	rep.Degradations = make(map[string]float64, placed)
-	for _, c := range active {
+	for c := 0; c < nc; c++ {
+		if len(cellInputs[c]) == 0 {
+			continue
+		}
 		out := outs[c]
+		if out == nil {
+			out = o.delta[c].out // clean cell: replay the stored outcome
+		}
 		rep.CandidateCost += out.candidateCost
 		rep.StayCost += out.stayCost
 		rep.LocalSearchImprovement += out.lsImprovement
@@ -741,34 +930,89 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		}
 	}
 
+	// Cross-cell rebalancing (Options.CellRebalance): evaluated over the
+	// merged outcome, committed into the assignment below so the moves
+	// take effect next period. See rebalance.go.
+	moves, err := o.rebalance(rep, tenants, ptenants)
+	if err != nil {
+		restore()
+		return nil, err
+	}
+
+	// Delta bookkeeping for the cells that ran: store the outcome, the
+	// input sequence it answers for, and whether it is a proven fixed
+	// point (replayable next period).
+	for _, c := range runCells {
+		ids := make([]string, len(cellInputs[c]))
+		for k, i := range cellInputs[c] {
+			ids[k] = tenants[i].ID
+		}
+		o.delta[c] = cellDelta{out: outs[c], ids: ids,
+			settled: settledOutcome(outs[c], cellArr[c], cellDep[c])}
+	}
+
 	// Commit: the new assignment, and fresh managers for machines that
 	// emptied out (their remaining per-tenant state belongs to tenants
-	// that moved away or departed).
+	// that moved away or departed). Only cells that ran can have newly
+	// emptied machines — a clean cell's empty machines were reset when
+	// the cell last ran — plus cells whose whole population departed
+	// this period (dirty, but with nothing left to run).
 	occupied := make([]bool, len(o.machines))
 	for _, s := range rep.Assignment {
 		occupied[s] = true
 	}
-	for s := range o.machines {
-		if !occupied[s] {
-			o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores[o.cellOf[s]])
+	resetEmptied := func(c int) {
+		for _, s := range o.cells[c] {
+			if !occupied[s] {
+				o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores[c])
+			}
+		}
+	}
+	for _, c := range runCells {
+		resetEmptied(c)
+	}
+	for c := 0; c < nc; c++ {
+		if len(cellInputs[c]) == 0 && o.delta[c].out != nil {
+			resetEmptied(c)
+			o.delta[c] = cellDelta{}
 		}
 	}
 	o.assignment = make(map[string]int, len(rep.Assignment))
 	for id, s := range rep.Assignment {
 		o.assignment[id] = s
 	}
+	// Apply the rebalance moves — effective next period, dirtying
+	// exactly the two cells involved.
+	for _, mv := range moves {
+		o.assignment[mv.id] = mv.to
+		o.delta[o.cellOf[mv.from]].settled = false
+		o.delta[o.cellOf[mv.to]].settled = false
+		rep.RebalanceMoves++
+		rep.Rebalanced = append(rep.Rebalanced, mv.id)
+	}
+	// Input signatures for next period's drift detection: placed tenants
+	// only, departed IDs dropped.
+	for _, t := range tenants {
+		if _, ok := rep.Assignment[t.ID]; ok {
+			o.lastSig[t.ID] = sigOf(t)
+		}
+	}
+	for id := range o.lastSig {
+		if !present[id] {
+			delete(o.lastSig, id)
+		}
+	}
 	o.period++
 	rep.Period = o.period
 	o.history = append(o.history, rep)
 	if k := o.opts.CacheSweep; k > 0 {
-		// Commit-time sweep: everything this period touched is stamped
-		// with the current generation, so what falls out is exactly the
-		// configurations (and point estimates) untouched for k periods.
-		for _, c := range o.scores {
-			c.Sweep(k)
-		}
-		for _, c := range o.estimates {
-			c.Sweep(k)
+		// Commit-time sweep, recomputing cells only: everything their
+		// runs touched is stamped with the current generation, so what
+		// falls out is exactly the configurations (and point estimates)
+		// those cells stopped visiting for k of their own generations.
+		for _, c := range runCells {
+			o.scores[c].Sweep(k)
+			o.estimates[c].Sweep(k)
 		}
 	}
 	return rep, nil

@@ -19,6 +19,7 @@ type simTenant struct {
 	alpha, gamma float64
 	bias         float64 // optimizer's multiplicative error (1 = perfect)
 	gain, limit  float64
+	pin          int // 1-based pinned server (0 = unpinned), as Tenant.Pin
 }
 
 // simFleet fixes the hardware: profile key → speed factor (cost
@@ -45,6 +46,7 @@ func (sf *simFleet) input(t *simTenant) Tenant {
 		ID:    t.id,
 		Gain:  t.gain,
 		Limit: t.limit,
+		Pin:   t.pin,
 		// Content-addressed workload fingerprint: any drift in the
 		// tenant's parameters re-keys every machine configuration that
 		// contains it.

@@ -1,0 +1,9 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 1000-machine soak skips under it (the instrumented run takes tens of
+// minutes and adds nothing — the 200-period soaks already race-test
+// every concurrent path at a tractable size).
+const raceEnabled = false

@@ -1,0 +1,227 @@
+package fleet
+
+// Cross-cell rebalancing: the bounded escape hatch from the cell
+// architecture's one restriction. Cells keep each period's work local,
+// but tenants route to a cell once (arrival) and then never leave it —
+// so lopsided churn (one cell's tenants depart, another's stay) slowly
+// skews load with no mechanism to drain it that doesn't reintroduce the
+// fleet-wide scans cells exist to avoid. The rebalancer is that
+// mechanism, kept deliberately small: after a period's cells have
+// computed (or replayed), it compares mean machine load across cells
+// and evaluates at most Options.CellRebalance single-tenant moves from
+// the hottest cell to the coldest — each seated by the same QoS
+// admission probe arrivals use, priced by four single-machine what-ifs
+// (source and destination, with and without the mover), and adopted
+// only when the estimated improvement strictly beats MigrationCost.
+// Adopted moves are committed into the assignment and take effect next
+// period, dirtying exactly the two cells involved; the first move that
+// fails to seat or to pay for itself ends the pass, so a period's
+// rebalancing work is O(CellRebalance) machine scorings, never a scan.
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+)
+
+// rebalanceMove is one adopted cross-cell migration: tenant id moves
+// from global server from to global server to (in another cell).
+type rebalanceMove struct {
+	id       string
+	from, to int
+}
+
+// rebalance evaluates up to Options.CellRebalance cross-cell moves over
+// the merged period outcome. It reads rep and the orchestrator's
+// partition but mutates nothing — the caller applies the returned moves
+// at commit. Deterministic: every scan is index-ordered, ties break
+// toward the smaller index or ID.
+func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants []placement.Tenant) ([]rebalanceMove, error) {
+	nc := len(o.cells)
+	if o.opts.CellRebalance <= 0 || nc <= 1 {
+		return nil, nil
+	}
+	capacity := placement.Capacity(placement.Options{Profiles: o.opts.Profiles, Core: o.opts.Core})
+	idx := make(map[string]int, len(tenants))
+	for i, t := range tenants {
+		idx[t.ID] = i
+	}
+	// Post-period residents per machine (input indexes, in the machines'
+	// deterministic report order) and each tenant's gain-weighted cost at
+	// its current machine — the ranking signal for who moves. Machine
+	// loads aggregate into per-cell mean pressure.
+	residents := make([][]int, len(o.machines))
+	gw := make([]float64, len(tenants))
+	load := make([]float64, nc)
+	count := make([]int, nc)
+	for s := range o.machines {
+		m := rep.Machines[s]
+		if m.Dyn == nil {
+			continue
+		}
+		c := o.cellOf[s]
+		count[c] += len(m.TenantIDs)
+		for k, id := range m.TenantIDs {
+			i := idx[id]
+			residents[s] = append(residents[s], i)
+			if m.Result != nil {
+				g := tenants[i].Gain
+				if g < 1 {
+					g = 1
+				}
+				gw[i] = g * m.Result.Costs[k]
+			}
+		}
+		if m.Result != nil {
+			load[c] += m.Result.TotalCost
+		}
+	}
+	pressure := func(c int) float64 {
+		if len(o.cells[c]) == 0 {
+			return 0
+		}
+		return load[c] / float64(len(o.cells[c]))
+	}
+
+	var moves []rebalanceMove
+	for len(moves) < o.opts.CellRebalance {
+		// Hottest occupied cell, coldest cell with spare capacity.
+		hot, cold := -1, -1
+		for c := 0; c < nc; c++ {
+			if count[c] > 0 && (hot < 0 || pressure(c) > pressure(hot)) {
+				hot = c
+			}
+		}
+		for c := 0; c < nc; c++ {
+			if c == hot || len(o.cells[c]) == 0 || count[c] >= len(o.cells[c])*capacity {
+				continue
+			}
+			if cold < 0 || pressure(c) < pressure(cold) {
+				cold = c
+			}
+		}
+		if hot < 0 || cold < 0 || pressure(hot) <= pressure(cold) {
+			break
+		}
+		// The mover: the hot cell's heaviest unpinned tenant (gain-
+		// weighted cost descending, then the smaller ID).
+		mover, moverSrv := -1, -1
+		for _, s := range o.cells[hot] {
+			for _, i := range residents[s] {
+				if tenants[i].Pin != 0 {
+					continue
+				}
+				if mover < 0 || gw[i] > gw[mover] ||
+					(gw[i] == gw[mover] && tenants[i].ID < tenants[mover].ID) {
+					mover, moverSrv = i, s
+				}
+			}
+		}
+		if mover < 0 {
+			break
+		}
+		// Seat the mover in the cold cell with the residents held on
+		// their machines — the same QoS-checked probe admission uses. No
+		// seat means the cold cell cannot take anyone: end the pass.
+		var coldTenants []placement.Tenant
+		var coldPins []int
+		for _, s := range o.cells[cold] {
+			for _, i := range residents[s] {
+				coldTenants = append(coldTenants, ptenants[i])
+				coldPins = append(coldPins, o.localIdx[s])
+			}
+		}
+		coldTenants = append(coldTenants, ptenants[mover])
+		coldPins = append(coldPins, -1)
+		copts := o.cellOpts(cold)
+		copts.Pinned = coldPins
+		seat, err := placement.AdmitSeat(coldTenants, copts, len(coldTenants)-1)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rebalance seating: %w", err)
+		}
+		if seat < 0 {
+			break
+		}
+		dstSrv := o.cells[cold][seat]
+
+		// Price the move with four single-machine what-ifs, all in the
+		// placement objective's basis (fingerprinted estimators, cell
+		// cache shards): improvement = what the source machine sheds
+		// minus what the destination machine takes on.
+		srcCost := func(members []int) (float64, error) {
+			if len(members) == 0 {
+				return 0, nil
+			}
+			pt := make([]placement.Tenant, len(members))
+			for k, i := range members {
+				pt[k] = ptenants[i]
+			}
+			all := make([]int, len(members))
+			for k := range all {
+				all[k] = k
+			}
+			res, err := placement.ScoreMachine(pt, o.cellOpts(hot), o.localIdx[moverSrv], all)
+			if err != nil {
+				return 0, fmt.Errorf("fleet: rebalance pricing server %d: %w", moverSrv, err)
+			}
+			return res.TotalCost, nil
+		}
+		dstCost := func(members []int) (float64, error) {
+			if len(members) == 0 {
+				return 0, nil
+			}
+			pt := make([]placement.Tenant, len(members))
+			for k, i := range members {
+				pt[k] = ptenants[i]
+			}
+			all := make([]int, len(members))
+			for k := range all {
+				all[k] = k
+			}
+			res, err := placement.ScoreMachine(pt, o.cellOpts(cold), seat, all)
+			if err != nil {
+				return 0, fmt.Errorf("fleet: rebalance pricing server %d: %w", dstSrv, err)
+			}
+			return res.TotalCost, nil
+		}
+		srcRemain := make([]int, 0, len(residents[moverSrv])-1)
+		for _, i := range residents[moverSrv] {
+			if i != mover {
+				srcRemain = append(srcRemain, i)
+			}
+		}
+		srcBefore, err := srcCost(residents[moverSrv])
+		if err != nil {
+			return nil, err
+		}
+		srcAfter, err := srcCost(srcRemain)
+		if err != nil {
+			return nil, err
+		}
+		dstBefore, err := dstCost(residents[dstSrv])
+		if err != nil {
+			return nil, err
+		}
+		dstAfter, err := dstCost(append(append([]int(nil), residents[dstSrv]...), mover))
+		if err != nil {
+			return nil, err
+		}
+		improvement := (srcBefore - srcAfter) - (dstAfter - dstBefore)
+		// The same hysteresis rule as within-cell migration: the move
+		// must strictly beat its cost (at MigrationCost 0 any strict
+		// improvement is enough; +Inf freezes rebalancing too).
+		if !(improvement > o.opts.MigrationCost) {
+			break
+		}
+		moves = append(moves, rebalanceMove{id: tenants[mover].ID, from: moverSrv, to: dstSrv})
+		// Bookkeeping for the next iteration: the mover changes machine
+		// and cell; its ranking weight travels with it.
+		residents[moverSrv] = srcRemain
+		residents[dstSrv] = append(residents[dstSrv], mover)
+		count[hot]--
+		count[cold]++
+		load[hot] -= gw[mover]
+		load[cold] += gw[mover]
+	}
+	return moves, nil
+}

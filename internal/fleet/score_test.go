@@ -122,10 +122,15 @@ func converge(t *testing.T, o *Orchestrator, inputs []Tenant, maxPeriods int) {
 // In steady state — no arrivals, no departures, no drift — a fleet
 // period performs ZERO fresh core.Recommend runs: every machine scoring
 // (candidate placement and per-machine manager alike) is a cache hit.
+// Delta periods are disabled here so the cell actually recomputes: with
+// them on, a steady period replays without consulting the cache at all
+// (covered by the delta tests).
 func TestFleetSteadyStatePerformsZeroFreshRuns(t *testing.T) {
 	sf := newSimFleet()
 	tenants := baseTenants()
-	o, err := New(opts(sf, 5, 1))
+	op := opts(sf, 5, 1)
+	op.DisableDelta = true
+	o, err := New(op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +155,9 @@ func TestFleetSteadyStatePerformsZeroFreshRuns(t *testing.T) {
 func TestFleetScoreCacheInvalidation(t *testing.T) {
 	sf := newSimFleet()
 	tenants := baseTenants()
-	o, err := New(opts(sf, math.Inf(1), 1))
+	op := opts(sf, math.Inf(1), 1)
+	op.DisableDelta = true // recompute every period: this test watches the cache
+	o, err := New(op)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The fleet-scale soak: 1000 machines / 10000 tenants in cells of 8,
+// 30 periods of seeded churn (workload drift, departures, arrivals)
+// with bounded cross-cell rebalancing on. Every period the fleet must
+// keep full coverage, move tenants across cells only through the
+// rebalancer, and stay within the per-period rebalance budget; when the
+// churn stops it must settle back into whole-fleet replay.
+
+// soak1000Tenant is the analytic inverse-linear tenant family of the
+// fleet-scale benchmark: deterministic parameters from (index, drift
+// version), measured cost equal to the estimate.
+func soak1000Tenant(i, ver int, profiles []string, factors map[string]float64) Tenant {
+	alpha := 10 + float64((i*37+ver*13)%60)
+	gamma := 5 + float64((i*23+ver*7)%40)
+	id := fmt.Sprintf("w%d", i)
+	return Tenant{
+		ID:             id,
+		Fingerprint:    fmt.Sprintf("%s@%d", id, ver),
+		AvgEstPerQuery: alpha + gamma,
+		EstFor: func(profile string) core.Estimator {
+			f := factors[profile]
+			return core.EstimatorFunc(func(a core.Allocation) (float64, string, error) {
+				return f * (alpha/a[0] + gamma/a[1]), "p", nil
+			})
+		},
+		Measure: func(server int, a core.Allocation) (float64, error) {
+			f := factors[profiles[server]]
+			return f * (alpha/a[0] + gamma/a[1]), nil
+		},
+	}
+}
+
+func TestFleetSoak1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-machine soak: skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("1000-machine soak: skipped under -race (the 200-period soaks cover the concurrent paths)")
+	}
+	const (
+		machines   = 1000
+		tenantsN   = 10000
+		periods    = 30
+		rebalance  = 3
+		drifts     = 30 // fingerprint bumps per period
+		departures = 10 // departures (and matching arrivals) per period
+	)
+	profiles := make([]string, machines)
+	factors := map[string]float64{"big": 1, "small": 2}
+	for s := range profiles {
+		profiles[s] = "big"
+		if s%2 == 1 {
+			profiles[s] = "small"
+		}
+	}
+	o, err := New(Options{
+		Profiles:      profiles,
+		MigrationCost: 0.1,
+		Core: core.Options{
+			Delta:       0.5,
+			MinShare:    0.05,
+			Parallelism: 4,
+		},
+		Cells:         8,
+		CellRebalance: rebalance,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each slot is a live tenant as (index, drift version); churn edits
+	// slots in place so identity and ordering stay explicit.
+	type slot struct{ idx, ver int }
+	slots := make([]slot, tenantsN)
+	for i := range slots {
+		slots[i] = slot{idx: i}
+	}
+	next := tenantsN // fresh index for arrivals
+	inputs := func() []Tenant {
+		ins := make([]Tenant, len(slots))
+		for i, s := range slots {
+			ins[i] = soak1000Tenant(s.idx, s.ver, profiles, factors)
+		}
+		return ins
+	}
+
+	prevCell := map[string]int{}
+	allowed := map[string]bool{} // rebalance moves reported last period
+	check := func(period string, rep *PeriodReport) {
+		t.Helper()
+		if len(rep.Assignment) != len(slots) {
+			t.Fatalf("%s: %d tenants assigned, want %d", period, len(rep.Assignment), len(slots))
+		}
+		if rep.RebalanceMoves > rebalance || rep.RebalanceMoves != len(rep.Rebalanced) {
+			t.Fatalf("%s: rebalance budget violated: %d moves (budget %d), %d ids",
+				period, rep.RebalanceMoves, rebalance, len(rep.Rebalanced))
+		}
+		nextCell := make(map[string]int, len(rep.Assignment))
+		for _, s := range slots {
+			id := fmt.Sprintf("w%d", s.idx)
+			srv, ok := rep.Assignment[id]
+			if !ok {
+				t.Fatalf("%s: tenant %s unassigned", period, id)
+			}
+			c := o.CellOf(srv)
+			if pc, seen := prevCell[id]; seen && pc != c && !allowed[id] {
+				t.Fatalf("%s: tenant %s silently crossed cell %d → %d", period, id, pc, c)
+			}
+			nextCell[id] = c
+		}
+		prevCell = nextCell
+		allowed = make(map[string]bool, len(rep.Rebalanced))
+		for _, id := range rep.Rebalanced {
+			allowed[id] = true
+		}
+	}
+
+	// Build, then warm until delta tracking recognizes the fleet as
+	// unchanged — churn locality below is measured against a settled
+	// fleet.
+	built := false
+	for p := 0; p < 12 && !built; p++ {
+		rep, err := o.Period(inputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("build %d", p), rep)
+		built = len(rep.DirtyCells) == 0 && rep.RebalanceMoves == 0
+	}
+	if !built {
+		t.Fatal("fleet did not settle after build within 12 periods")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	moved := 0
+	for p := 0; p < periods; p++ {
+		for d := 0; d < drifts; d++ {
+			slots[rng.Intn(len(slots))].ver++
+		}
+		for d := 0; d < departures; d++ {
+			slots[rng.Intn(len(slots))] = slot{idx: next}
+			next++
+		}
+		rep, err := o.Period(inputs())
+		if err != nil {
+			t.Fatalf("period %d: %v", p, err)
+		}
+		check(fmt.Sprintf("period %d", p), rep)
+		moved += rep.RebalanceMoves
+		if len(rep.DirtyCells) == 0 {
+			t.Fatalf("period %d: churned period recomputed no cells", p)
+		}
+		if len(rep.DirtyCells) >= o.Cells() {
+			t.Fatalf("period %d: churn of %d tenants dirtied all %d cells", p, drifts+2*departures, o.Cells())
+		}
+	}
+	if moved > periods*rebalance {
+		t.Fatalf("rebalancer exceeded its lifetime budget: %d moves", moved)
+	}
+
+	// Churn over: the fleet must settle back into whole-fleet replay.
+	ins := inputs()
+	for p := 0; p < 12; p++ {
+		rep, err := o.Period(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("settle %d", p), rep)
+		if len(rep.DirtyCells) == 0 && rep.RebalanceMoves == 0 {
+			if rep.ReplayedCells != o.Cells() {
+				t.Fatalf("settled period replayed %d cells, want %d", rep.ReplayedCells, o.Cells())
+			}
+			return
+		}
+	}
+	t.Fatal("fleet did not settle within 12 drift-free periods")
+}

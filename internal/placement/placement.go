@@ -676,6 +676,35 @@ func AdmitSeat(tenants []Tenant, opts Options, arrival int) (int, error) {
 	return -1, nil
 }
 
+// ScoreMachine runs the per-machine advisor over one proposed machine
+// configuration: members index tenants, and server selects the machine
+// (hence its hardware profile). It is the single-machine what-if behind
+// the fleet's cross-cell rebalancer — "what would this machine cost
+// with/without this tenant?" — scored with the same estimator wrapping,
+// QoS shaping, and score-cache keying as every other advisor run in
+// this package, so repeated questions are cache hits and the answers
+// are comparable with placement objectives.
+func ScoreMachine(tenants []Tenant, opts Options, server int, members []int) (*core.Result, error) {
+	if len(members) == 0 {
+		return nil, errors.New("placement: ScoreMachine needs at least one member")
+	}
+	sh, err := shapeOf(opts)
+	if err != nil {
+		return nil, err
+	}
+	if server < 0 || server >= len(sh.profiles) {
+		return nil, fmt.Errorf("placement: server %d of %d", server, len(sh.profiles))
+	}
+	for _, m := range members {
+		if m < 0 || m >= len(tenants) {
+			return nil, fmt.Errorf("placement: member index %d of %d tenants", m, len(tenants))
+		}
+	}
+	opts = withDefaults(opts)
+	sc := newScorer(tenants, sh, opts)
+	return sc.recommend(members, sh.profIdx[server], opts.Core.Parallelism)
+}
+
 // scorer carries one Place (or Admissible) call's machine-scoring state:
 // the tenants, their per-profile memoized estimators, the cache
 // fingerprints, and the resolved fleet shape.
