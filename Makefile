@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-smoke bench-record bench-check cover examples lint fmt vet check
+.PHONY: build test race bench bench-all bench-smoke bench-record bench-check cover examples metrics-smoke lint fmt vet check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,36 @@ bench-smoke:
 	if echo "$$out" | grep -qE 'panic:|--- FAIL'; then \
 		echo "bench-smoke: benchmark panic or failure detected in output"; exit 1; fi
 
+# Observability endpoint smoke: run a short fleet through cmd/advisor
+# with -metrics-addr up, wait for the run to finish (the endpoint
+# lingers so scrapers can collect the final counters), then curl
+# /metrics and check the core families, /healthz, and the -trace-out
+# span file are all present. Fails if the endpoint never comes up, a
+# family disappears, or the exposition is empty.
+metrics-smoke:
+	@set -e; mkdir -p .bin; $(GO) build -o .bin/advisor ./cmd/advisor; \
+	rm -f .bin/advisor.log .bin/trace.ndjson .bin/metrics.txt; \
+	.bin/advisor -periods 3 -migration-cost 5 -servers 4 -cells 2 \
+		-metrics-addr 127.0.0.1:0 -metrics-linger 60s -trace-out .bin/trace.ndjson \
+		-tenant a:pg:tpch1 -tenant b:db2:tpcc -tenant c:pg:tpch1 -tenant d:pg:tpch1 \
+		> .bin/advisor.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; for i in $$(seq 1 300); do \
+		if grep -q 'metrics: lingering' .bin/advisor.log; then ok=1; break; fi; \
+		if ! kill -0 $$pid 2>/dev/null; then break; fi; sleep 0.2; done; \
+	if [ $$ok -ne 1 ]; then echo "metrics-smoke: advisor run did not reach the linger phase"; cat .bin/advisor.log; exit 1; fi; \
+	addr=$$(grep -oE 'http://[0-9.:]+' .bin/advisor.log | head -1); \
+	if [ -z "$$addr" ]; then echo "metrics-smoke: no endpoint address in output"; cat .bin/advisor.log; exit 1; fi; \
+	curl -fsS "$$addr/metrics" > .bin/metrics.txt; \
+	curl -fsS "$$addr/healthz" | grep -q ok; \
+	for m in vdesign_fleet_periods_total vdesign_fleet_period_duration_seconds_bucket \
+		vdesign_fleet_rejections_total vdesign_score_cache_hits_total \
+		vdesign_estimate_cache_hits_total vdesign_dynmgmt_rebuilds_total \
+		vdesign_placement_greedy_steps_total; do \
+		grep -q "$$m" .bin/metrics.txt || { echo "metrics-smoke: metric $$m missing from /metrics"; exit 1; }; done; \
+	grep -q '"name":"period"' .bin/trace.ndjson || { echo "metrics-smoke: no period spans in trace output"; exit 1; }; \
+	kill $$pid 2>/dev/null || true; trap - EXIT; rm -rf .bin; echo "metrics-smoke: ok"
+
 # Build (compile + link) every example program; binaries land in a
 # scratch dir so the repo stays clean.
 examples:
@@ -69,7 +99,7 @@ examples:
 # placement floor was raised to 90 when the cell partitioner and
 # two-level search landed — the cell edge-case tests hold it there.
 cover:
-	@out=$$($(GO) test -cover ./internal/score ./internal/placement ./internal/fleet); status=$$?; \
+	@out=$$($(GO) test -cover ./internal/score ./internal/placement ./internal/fleet ./internal/obs); status=$$?; \
 	echo "$$out"; \
 	if [ $$status -ne 0 ]; then echo "cover: tests failed"; exit 1; fi; \
 	echo "$$out" | awk '/coverage:/ { \
@@ -79,10 +109,11 @@ cover:
 		if ($$2 ~ /internal\/score$$/) floor = 90; \
 		if ($$2 ~ /internal\/placement$$/) floor = 90; \
 		if ($$2 ~ /internal\/fleet$$/) floor = 90; \
+		if ($$2 ~ /internal\/obs$$/) floor = 90; \
 		if (floor > 0) floored++; \
 		if (pct + 0 < floor) { printf "cover: %s at %s%% is below the %d%% floor\n", $$2, pct, floor; bad = 1 } \
 	} END { \
-		if (floored != 3) { printf "cover: only %d of 3 floored packages reported coverage (test suite missing?)\n", floored + 0; bad = 1 } \
+		if (floored != 4) { printf "cover: only %d of 4 floored packages reported coverage (test suite missing?)\n", floored + 0; bad = 1 } \
 		exit bad }'
 
 fmt:
@@ -94,4 +125,4 @@ vet:
 
 lint: fmt vet
 
-check: build lint test race bench-smoke cover examples
+check: build lint test race bench-smoke cover examples metrics-smoke

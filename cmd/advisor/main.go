@@ -30,8 +30,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/tpcc"
 	"repro/internal/tpch"
 	"repro/internal/workload"
@@ -83,6 +85,12 @@ func main() {
 		"concurrent what-if estimations (results are identical across settings)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "",
+		"fleet mode: serve /metrics, /healthz, and /debug/pprof on this address (e.g. :9090, or :0 for an ephemeral port)")
+	metricsLinger := flag.Duration("metrics-linger", 0,
+		"fleet mode: keep the metrics endpoint up this long after the run completes, so scrapers can collect the final state")
+	traceOut := flag.String("trace-out", "",
+		"fleet mode: write each period's span tree as one JSON line to this file")
 	flag.Parse()
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -133,8 +141,14 @@ func main() {
 			incremental:      *incremental,
 			cells:            *cells,
 			cellRebalance:    *cellRebalance,
+			metricsAddr:      *metricsAddr,
+			metricsLinger:    *metricsLinger,
+			traceOut:         *traceOut,
 		})
 		return
+	}
+	if *metricsAddr != "" || *traceOut != "" || *metricsLinger != 0 {
+		fatal(fmt.Errorf("-metrics-addr/-metrics-linger/-trace-out require fleet mode (-periods > 1)"))
 	}
 	if *cacheCapacity != 0 || *estimateCapacity != 0 || *cacheSweep != 0 {
 		fatal(fmt.Errorf("-cache-capacity/-estimate-cache-capacity/-cache-sweep require fleet mode (-periods > 1)"))
@@ -211,6 +225,9 @@ type fleetConfig struct {
 	incremental      bool
 	cells            int
 	cellRebalance    int
+	metricsAddr      string
+	metricsLinger    time.Duration
+	traceOut         string
 }
 
 // runFleet drives the tenants through monitoring periods on a (possibly
@@ -219,6 +236,29 @@ type fleetConfig struct {
 // are re-scored from it instead of re-running the advisor.
 func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesign.MachineProfile,
 	periods int, cfg fleetConfig) {
+	var reg *obs.Registry
+	if cfg.metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(cfg.metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving http://%s/metrics\n", srv.Addr)
+	}
+	var traceSink func(*obs.Span)
+	if cfg.traceOut != "" {
+		tf, err := os.Create(cfg.traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		traceSink = func(sp *obs.Span) {
+			if err := sp.WriteJSON(tf); err != nil {
+				fatal(fmt.Errorf("writing trace: %w", err))
+			}
+		}
+	}
 	f := vdesign.NewFleet(&vdesign.FleetOptions{
 		MigrationCost:         cfg.migrationCost,
 		Delta:                 cfg.delta,
@@ -231,6 +271,8 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		Incremental:           cfg.incremental,
 		Cells:                 cfg.cells,
 		CellRebalance:         cfg.cellRebalance,
+		Metrics:               reg,
+		TraceSink:             traceSink,
 	})
 	for _, p := range machines {
 		if _, err := f.AddServer(p); err != nil {
@@ -252,18 +294,20 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 	lsImproved := 0.0
 	for p := 1; p <= periods; p++ {
 		var err error
+		t0 := time.Now()
 		rep, err = f.Period()
 		if err != nil {
 			fatal(err)
 		}
+		dur := time.Since(t0)
 		if rep.Replaced() {
 			// Count only improvements the fleet actually deployed: a
 			// candidate discarded for stay-put never benefited anyone.
 			lsImproved += rep.LocalSearchImprovement()
 		}
-		line := fmt.Sprintf("period %d: cost=%.1fs migrations=%d rebuilds=%d max-degradation=%.2fx replaced=%v",
+		line := fmt.Sprintf("period %d: cost=%.1fs migrations=%d rebuilds=%d max-degradation=%.2fx replaced=%v dur=%s",
 			rep.Period(), rep.TotalCost(), rep.Migrations(), rep.Rebuilds(),
-			rep.MaxDegradation(), rep.Replaced())
+			rep.MaxDegradation(), rep.Replaced(), dur.Round(time.Microsecond))
 		if rejected := rep.Rejected(); len(rejected) > 0 {
 			reasons := rep.RejectedReasons()
 			parts := make([]string, len(rejected))
@@ -287,6 +331,12 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		f.Servers(), cfg.migrationCost, hits, misses, runs, lsImproved)
 	fmt.Printf("cache entries: %d scores (%d evicted), %d estimates (%d evicted)\n",
 		scoreN, scoreEv, estN, estEv)
+	if cfg.metricsAddr != "" && cfg.metricsLinger > 0 {
+		// Hold the endpoint up so a scraper started alongside the run can
+		// still collect the final counters (CI does exactly this).
+		fmt.Printf("metrics: lingering %s for scrapers\n", cfg.metricsLinger)
+		time.Sleep(cfg.metricsLinger)
+	}
 }
 
 // runSingle is the paper's single-machine advisor.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbms"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/vmsim"
 	"repro/internal/workload"
@@ -133,6 +134,17 @@ type FleetOptions struct {
 	// FleetPeriodReport.RebalanceMoves/Rebalanced. 0 (the default)
 	// disables rebalancing: tenants then never leave their cell.
 	CellRebalance int
+	// Metrics optionally registers the fleet's metric families (period
+	// latency, cache traffic, admission rejections, …) on an obs
+	// registry, typically one served over HTTP by obs.Serve. Nil (the
+	// default) records nothing and costs nothing. Observability is
+	// strictly passive: reports are bit-identical with it on or off.
+	Metrics *obs.Registry
+	// TraceSink, when set, receives each committed period's span tree
+	// (period → cells → placement phases → per-machine advisor runs),
+	// e.g. to write NDJSON via obs.Span.WriteJSON. Called synchronously
+	// at the end of every successful Period.
+	TraceSink func(*obs.Span)
 }
 
 // fleetCal is one hardware profile's machine and calibrations.
@@ -422,6 +434,8 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 			Incremental:           f.opts.Incremental,
 			Cells:                 f.opts.Cells,
 			CellRebalance:         f.opts.CellRebalance,
+			Metrics:               f.opts.Metrics,
+			TraceSink:             f.opts.TraceSink,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("vdesign: %w", err)

@@ -120,6 +120,10 @@ type Manager struct {
 	// machine's tenants through the placement layer every period; nil
 	// means the single-machine core.Recommend.
 	Recommend func(ests []core.Estimator, opts core.Options) (*core.Result, error)
+	// Metrics optionally counts rebuilds, refinement steps, and
+	// convergences. The zero value reports nothing; counting never
+	// changes a report.
+	Metrics Metrics
 
 	tenants []*tenantState
 	ids     []string
@@ -438,6 +442,7 @@ func (m *Manager) periodLocked(inputs []PeriodInput, rec reconciled, opts core.O
 			ts.model = nil
 			ts.converged = false
 			tr.Rebuilt = true
+			m.Metrics.Rebuilds.Inc()
 		}
 		if tr.Change != ChangeNone {
 			ts.converged = false
@@ -490,6 +495,7 @@ func (m *Manager) periodLocked(inputs []PeriodInput, rec reconciled, opts core.O
 				return nil, err
 			}
 			tr.Refined = true
+			m.Metrics.Refinements.Inc()
 		} else {
 			refineOK := true
 			if !ts.converged && ts.hasPrevErr {
@@ -508,6 +514,7 @@ func (m *Manager) periodLocked(inputs []PeriodInput, rec reconciled, opts core.O
 					ts.model = nil
 					ts.converged = false
 					tr.Rebuilt = true
+					m.Metrics.Rebuilds.Inc()
 					refineOK = false
 				}
 			}
@@ -516,6 +523,7 @@ func (m *Manager) periodLocked(inputs []PeriodInput, rec reconciled, opts core.O
 					return nil, err
 				}
 				tr.Refined = true
+				m.Metrics.Refinements.Inc()
 			}
 		}
 		ts.prevErr = tr.Eip
@@ -530,6 +538,7 @@ func (m *Manager) periodLocked(inputs []PeriodInput, rec reconciled, opts core.O
 			tenants[i].converged = true
 			report.Tenants[i].Converged = true
 		}
+		m.Metrics.Convergences.Add(uint64(len(tenants)))
 	}
 	m.apply(rec)
 	m.prev = cloneAllocs(res.Allocations)

@@ -1,0 +1,21 @@
+package dynmgmt
+
+import "repro/internal/obs"
+
+// Metrics is the optional set of observability counters a manager
+// feeds. All fields are nil-safe obs counters: the zero Metrics (the
+// default) reports nothing and allocates nothing. Counting is strictly
+// passive — it never influences classification, refinement, or the
+// advisor — so reports stay bit-identical with metrics on or off.
+// Counters are atomic, so one Metrics value is shared across the many
+// managers of a fleet.
+type Metrics struct {
+	// Rebuilds counts model discards (§6.1 major changes and §6.2
+	// error-guard fallbacks both land here).
+	Rebuilds *obs.Counter
+	// Refinements counts applied Act/Est refinement steps.
+	Refinements *obs.Counter
+	// Convergences counts tenant-periods that reached the §5 stopping
+	// rule (a repeated recommendation).
+	Convergences *obs.Counter
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 func init() {
@@ -38,7 +39,7 @@ func init() {
 // document and the per-entry records alike); bump it when
 // ScaleHistory/ScaleRecord/ScalePoint change shape so a stale committed
 // file fails validation instead of parsing into zero values.
-const ScaleSchema = "fleet-scale/v2"
+const ScaleSchema = "fleet-scale/v3"
 
 // Sweep shape. Tests substitute smaller sweeps via fleetScaleRecord;
 // the registered experiment, BenchmarkFleetScale, and cmd/benchrecord
@@ -85,6 +86,17 @@ type ScalePoint struct {
 	Drift1Ns     int64 `json:"drift1_ns"`
 	Drift1Cells  int   `json:"drift1_cells"`
 	Drift1FullNs int64 `json:"drift1_full_ns"`
+	// Steady*Ns and Drift*Ns percentiles (p50/p95/p99) summarize repeated
+	// steady and one-tenant-drift delta periods, computed from the obs
+	// period-latency histogram (fleet-scale/v3; absent — zero — in older
+	// entries). Like the other wall-clock fields they are
+	// environment-dependent.
+	SteadyP50Ns int64 `json:"steady_p50_ns,omitempty"`
+	SteadyP95Ns int64 `json:"steady_p95_ns,omitempty"`
+	SteadyP99Ns int64 `json:"steady_p99_ns,omitempty"`
+	DriftP50Ns  int64 `json:"drift_p50_ns,omitempty"`
+	DriftP95Ns  int64 `json:"drift_p95_ns,omitempty"`
+	DriftP99Ns  int64 `json:"drift_p99_ns,omitempty"`
 	// SteadyRuns counts fresh advisor runs during the steady period
 	// (deterministic; 0 when the period replays or the cache covers it).
 	SteadyRuns int64 `json:"steady_runs"`
@@ -187,6 +199,21 @@ func scaleOptions(profiles []string, cells int) fleet.Options {
 	}
 }
 
+// scaleLatencyBuckets is the percentile histograms' bucket layout:
+// finer-grained than the served period-latency histogram (factor 1.25
+// vs 2) so the interpolated p50/p95/p99 are tight, spanning 10µs to
+// roughly 10s.
+func scaleLatencyBuckets() []float64 {
+	return obs.ExpBuckets(10e-6, 1.25, 64)
+}
+
+// histPercentilesNs reads the p50/p95/p99 of a latency histogram whose
+// observations are seconds, in nanoseconds.
+func histPercentilesNs(h *obs.Histogram) (p50, p95, p99 int64) {
+	ns := func(q float64) int64 { return int64(h.Quantile(q) * 1e9) }
+	return ns(0.50), ns(0.95), ns(0.99)
+}
+
 // runScalePoint measures one fleet size at the given cell setting:
 // build, delta steady, one-tenant drift (delta on), full-recompute
 // steady + one-tenant drift (delta off), and 2% churn drift.
@@ -286,6 +313,35 @@ func runScalePoint(machines, tenantsPer, cells int) (p ScalePoint, err error) {
 		return p, fmt.Errorf("re-enable delta (%d machines): %w", machines, err)
 	}
 	if err := settle("full"); err != nil {
+		return p, err
+	}
+
+	// Latency percentiles, measured after the single-shot comparisons
+	// above so the extra periods cannot warm the caches under them: 9
+	// drift-free periods and 9 further one-tenant drifts (each period
+	// tenant w0's workload shifts again, dirtying exactly its cell),
+	// accumulated into obs latency histograms (fine-grained buckets so
+	// the interpolated quantiles are tight).
+	steadyHist := obs.NewHistogram(scaleLatencyBuckets())
+	for r := 0; r < 9; r++ {
+		start = time.Now()
+		if _, err := orch.Period(inputs); err != nil {
+			return p, fmt.Errorf("steady percentile period (%d machines): %w", machines, err)
+		}
+		steadyHist.Observe(time.Since(start).Seconds())
+	}
+	p.SteadyP50Ns, p.SteadyP95Ns, p.SteadyP99Ns = histPercentilesNs(steadyHist)
+	driftHist := obs.NewHistogram(scaleLatencyBuckets())
+	for r := 0; r < 9; r++ {
+		inputs[0] = scaleDriftedTenant(0, 10+r, profiles, factors)
+		start = time.Now()
+		if _, err := orch.Period(inputs); err != nil {
+			return p, fmt.Errorf("drift percentile period (%d machines): %w", machines, err)
+		}
+		driftHist.Observe(time.Since(start).Seconds())
+	}
+	p.DriftP50Ns, p.DriftP95Ns, p.DriftP99Ns = histPercentilesNs(driftHist)
+	if err := settle("drift percentile"); err != nil {
 		return p, err
 	}
 
@@ -484,6 +540,18 @@ func validateScaleRecord(rec *ScaleRecord) error {
 		if p.Baseline && (p.BaselineBuildNs <= 0 || p.BaselineSteadyNs <= 0) {
 			return fmt.Errorf("baseline point missing timings %+v", p)
 		}
+		// v3: latency percentiles from the obs histogram, present and
+		// ordered. (Older v2 entries in the history lack them, but only
+		// the latest entry is validated here.)
+		if p.SteadyP50Ns <= 0 || p.DriftP50Ns <= 0 {
+			return fmt.Errorf("missing latency percentiles in point %+v", p)
+		}
+		if p.SteadyP50Ns > p.SteadyP95Ns || p.SteadyP95Ns > p.SteadyP99Ns {
+			return fmt.Errorf("steady percentiles not monotone in point %+v", p)
+		}
+		if p.DriftP50Ns > p.DriftP95Ns || p.DriftP95Ns > p.DriftP99Ns {
+			return fmt.Errorf("drift percentiles not monotone in point %+v", p)
+		}
 		if p.Machines > max.Machines {
 			max = p
 		}
@@ -520,10 +588,13 @@ func FleetScale(env *Env) (*Result, error) {
 	}
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	var build, steady, steadyFull, drift1, drift1Full, drift, runs, hit, migs, baseBuild []float64
+	var steadyP95, driftP95 []float64
 	for _, p := range rec.Points {
 		res.X = append(res.X, float64(p.Machines))
 		build = append(build, ms(p.BuildNs))
 		steady = append(steady, ms(p.SteadyNs))
+		steadyP95 = append(steadyP95, ms(p.SteadyP95Ns))
+		driftP95 = append(driftP95, ms(p.DriftP95Ns))
 		steadyFull = append(steadyFull, ms(p.SteadyFullNs))
 		drift1 = append(drift1, ms(p.Drift1Ns))
 		drift1Full = append(drift1Full, ms(p.Drift1FullNs))
@@ -537,6 +608,8 @@ func FleetScale(env *Env) (*Result, error) {
 	}
 	res.AddSeries("build-ms", build)
 	res.AddSeries("steady-ms", steady)
+	res.AddSeries("steady-p95-ms", steadyP95)
+	res.AddSeries("drift1-p95-ms", driftP95)
 	res.AddSeries("steady-full-ms", steadyFull)
 	res.AddSeries("drift1-ms", drift1)
 	res.AddSeries("drift1-full-ms", drift1Full)

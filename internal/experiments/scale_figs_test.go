@@ -46,6 +46,12 @@ func TestFleetScaleRecordShape(t *testing.T) {
 		if !p.Baseline || p.BaselineBuildNs <= 0 || p.BaselineSteadyNs <= 0 {
 			t.Errorf("point %d machines: baseline missing: %+v", p.Machines, p)
 		}
+		if p.SteadyP50Ns <= 0 || p.SteadyP50Ns > p.SteadyP95Ns || p.SteadyP95Ns > p.SteadyP99Ns {
+			t.Errorf("point %d machines: bad steady percentiles %+v", p.Machines, p)
+		}
+		if p.DriftP50Ns <= 0 || p.DriftP50Ns > p.DriftP95Ns || p.DriftP95Ns > p.DriftP99Ns {
+			t.Errorf("point %d machines: bad drift percentiles %+v", p.Machines, p)
+		}
 	}
 }
 
@@ -66,6 +72,8 @@ func TestFleetScaleRecordParallelismParity(t *testing.T) {
 			p := &rec.Points[i]
 			p.BuildNs, p.SteadyNs, p.DriftNs = 0, 0, 0
 			p.SteadyFullNs, p.Drift1Ns, p.Drift1FullNs = 0, 0, 0
+			p.SteadyP50Ns, p.SteadyP95Ns, p.SteadyP99Ns = 0, 0, 0
+			p.DriftP50Ns, p.DriftP95Ns, p.DriftP99Ns = 0, 0, 0
 		}
 		return rec.Points
 	}
@@ -84,6 +92,8 @@ func scaleTestPoint(machines int) ScalePoint {
 		TotalCells: (machines + 7) / 8,
 		BuildNs:    1, SteadyNs: 1, DriftNs: 1,
 		SteadyFullNs: 1, Drift1Ns: 1, Drift1FullNs: 5,
+		SteadyP50Ns: 1, SteadyP95Ns: 2, SteadyP99Ns: 3,
+		DriftP50Ns: 1, DriftP95Ns: 2, DriftP99Ns: 3,
 		Drift1Cells: 1, HitRate: 1,
 	}
 }
@@ -145,6 +155,8 @@ func TestValidateScaleHistory(t *testing.T) {
 		{"one cell", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].TotalCells = 1 }), "formed 1 cells"},
 		{"sloppy drift1", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift1Cells = 3 }), "want 1"},
 		{"locality regression", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift1FullNs = 4 }), "delta locality"},
+		{"missing percentiles", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].SteadyP50Ns = 0 }), "latency percentiles"},
+		{"unordered percentiles", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].DriftP95Ns = 9 }), "not monotone"},
 	}
 	for _, tc := range cases {
 		err := ValidateScaleHistory(tc.data)

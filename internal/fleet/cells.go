@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dynmgmt"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/score"
 )
@@ -39,6 +40,7 @@ func (o *Orchestrator) cellOpts(c int) placement.Options {
 		Scores:      o.scores[c],
 		Estimates:   o.estimates[c],
 		LocalSearch: o.opts.LocalSearch,
+		Metrics:     o.met.placement,
 	}
 }
 
@@ -312,8 +314,11 @@ type cellOutcome struct {
 // input (ascending); workers is the cell's slice of the worker pool. All
 // state touched — machines, cache shards — belongs to this cell alone,
 // so concurrent periodCell calls for different cells never race; the
-// caller holds the fleet-wide manager snapshot for rollback.
-func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, ptenants []placement.Tenant, pinned []int, workers int) (*cellOutcome, error) {
+// caller holds the fleet-wide manager snapshot for rollback. span is
+// this cell's pre-created trace span (nil when tracing is off); it is
+// owned by this call, so appending children here never races with
+// other cells.
+func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, ptenants []placement.Tenant, pinned []int, workers int, span *obs.Span) (*cellOutcome, error) {
 	n := len(inputIdxs)
 	lt := make([]Tenant, n)
 	lpt := make([]placement.Tenant, n)
@@ -343,6 +348,14 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 	}
 	popts := o.cellOpts(c)
 	popts.Core.Parallelism = workers
+	// The candidate run's greedy and local-search phases report directly
+	// under the cell span; the shadow and stay-put runs (below) get their
+	// own child so the phases stay attributable.
+	popts.Trace = span
+	var hits0 int64
+	if span != nil {
+		hits0 = o.scores[c].Hits()
+	}
 	if anyPin {
 		// Pins constrain every placement run of this cell: the candidate,
 		// the shadow, and the stay-put pricing run below all hold pinned
@@ -369,10 +382,14 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 		return nil, fmt.Errorf("fleet: candidate placement: %w", err)
 	}
 	if o.opts.ShadowScratch {
-		shadow, err := placement.Place(lpt, popts)
+		sopts := popts
+		sspan := span.Child("shadow")
+		sopts.Trace = sspan
+		shadow, err := placement.Place(lpt, sopts)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: shadow scratch placement: %w", err)
 		}
+		sspan.End()
 		out.shadowGreedy = shadow.GreedyCost
 		out.shadowScratch = shadow.TotalCost
 	}
@@ -420,10 +437,13 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 					}
 				}
 				stayOpts.Pinned = stayPin
+				stSpan := span.Child("stay-put")
+				stayOpts.Trace = stSpan
 				stay, err := placement.Place(lpt, stayOpts)
 				if err != nil {
 					return nil, fmt.Errorf("fleet: stay-put placement: %w", err)
 				}
+				stSpan.End()
 				out.stayCost = stay.TotalCost
 				improvement := stay.TotalCost - candidate.TotalCost
 				// Pin-forced moves happen under both alternatives, so
@@ -494,11 +514,15 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 				},
 			}
 		}
+		mspan := span.Child("advisor")
+		mspan.SetInt("server", int64(gs))
+		mspan.SetInt("tenants", int64(len(idxs)))
 		mach.last = nil
 		dynRep, err := mach.mgr.PeriodNoSnapshot(inputs)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: machine %d period: %w", gs, err)
 		}
+		mspan.End()
 		mrep := MachineReport{Dyn: dynRep, Result: mach.last}
 		for k, li := range idxs {
 			t := lt[li]
@@ -523,6 +547,13 @@ func (o *Orchestrator) periodCell(c int, inputIdxs []int, tenants []Tenant, pten
 			out.totalCost += mach.last.TotalCost
 		}
 		out.machines[gs] = mrep
+	}
+	if span != nil {
+		span.SetBool("replaced", out.replaced)
+		span.SetInt("migrations", int64(out.migrations))
+		span.SetInt("rebuilds", int64(out.rebuilds))
+		span.SetInt("score_cache_hits", o.scores[c].Hits()-hits0)
+		span.End()
 	}
 	return out, nil
 }

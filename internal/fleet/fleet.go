@@ -55,8 +55,11 @@ import (
 	"errors"
 	"fmt"
 
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/dynmgmt"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/score"
 )
@@ -208,6 +211,22 @@ type Options struct {
 	// the outcome a recompute would produce); the switch exists for
 	// benchmarking the saved work and for differential tests.
 	DisableDelta bool
+	// Metrics optionally attaches an observability registry: the
+	// orchestrator registers its metric families (period latency, dirty/
+	// replayed cells, migrations, rejections by reason, cache and
+	// refinement counters — see metrics.go) and feeds them every period.
+	// Nil (the default) turns observability off with zero allocations on
+	// the hot path. Metrics are strictly passive: reports are
+	// bit-identical with a registry attached or not, at any Parallelism.
+	// Fixed after New — SetOptions keeps the original registry.
+	Metrics *obs.Registry
+	// TraceSink optionally receives each successful period's span tree
+	// (period → per-cell compute/replay → placement greedy/local-search
+	// → per-machine advisor runs, plus the rebalance pass), called
+	// synchronously at the end of Period. Nil disables tracing with zero
+	// allocations. Durations live only in the spans — tracing never
+	// feeds a decision, so reports stay bit-identical with it on or off.
+	TraceSink func(*obs.Span)
 }
 
 // RejectReason classifies why admission control turned an arrival away.
@@ -333,8 +352,9 @@ type machine struct {
 	last *core.Result
 }
 
-func newMachine(opts Options, profile string, scores *score.Cache) *machine {
+func newMachine(opts Options, profile string, scores *score.Cache, met dynmgmt.Metrics) *machine {
 	m := &machine{mgr: dynmgmt.NewManager(0, opts.Core)}
+	m.mgr.Metrics = met
 	if opts.Tau > 0 {
 		m.mgr.Tau = opts.Tau
 	}
@@ -392,6 +412,9 @@ type Orchestrator struct {
 	// period, the drift detector.
 	delta   []cellDelta
 	lastSig map[string]tenantSig
+	// met holds the observability handles registered on Options.Metrics
+	// (the zero value — no registry — discards everything).
+	met fleetMetrics
 }
 
 // checkOptions validates the tunable option fields — shared between New
@@ -427,6 +450,7 @@ func New(opts Options) (*Orchestrator, error) {
 		return nil, fmt.Errorf("fleet: negative cell size %d", opts.Cells)
 	}
 	o := &Orchestrator{opts: opts, assignment: map[string]int{}, lastSig: map[string]tenantSig{}}
+	o.met = newFleetMetrics(opts.Metrics)
 	o.cells = placement.PartitionCells(opts.Profiles, opts.Cells)
 	o.cellOf = placement.CellIndex(opts.Profiles, opts.Cells)
 	o.localIdx = make([]int, len(opts.Profiles))
@@ -449,13 +473,15 @@ func New(opts Options) (*Orchestrator, error) {
 		ecap := perCellCapacity(opts.EstimateCacheCapacity, len(o.cells))
 		for c := range o.cells {
 			o.scores[c] = score.NewCache()
+			o.scores[c].SetMetrics(o.met.score)
 			o.scores[c].SetCapacity(scap)
 			o.estimates[c] = score.NewEstimates()
+			o.estimates[c].SetMetrics(o.met.estimates)
 			o.estimates[c].SetCapacity(ecap)
 		}
 	}
 	for s := range opts.Profiles {
-		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores[o.cellOf[s]]))
+		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores[o.cellOf[s]], o.met.dyn))
 	}
 	o.delta = make([]cellDelta, len(o.cells))
 	// The orchestrator owns its profile list: AddServer grows it, and a
@@ -700,6 +726,22 @@ func canonicalAssignment(cand, pinned []int, profiles []string) []int {
 // state (classification history, refined models) are exactly as before
 // the call, so the caller may simply retry.
 func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
+	// Observability bookkeeping (strictly passive): wall-clock timing for
+	// the latency histogram and the optional span tree. With no registry
+	// and no sink both stay nil and cost nothing.
+	var start time.Time
+	timed := o.met.periodDur != nil
+	var span *obs.Span
+	if o.opts.TraceSink != nil {
+		span = obs.StartSpan("period")
+	}
+	if timed || span != nil {
+		start = time.Now()
+	}
+	var hits0 int64
+	if span != nil {
+		hits0 = o.scoreStats().Hits
+	}
 	if err := validate(tenants); err != nil {
 		return nil, err
 	}
@@ -825,6 +867,31 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		return nil, errors.New("fleet: admission control rejected every tenant this period")
 	}
 
+	// Tracing: pre-create one child span per populated cell here, in
+	// cell order, so each parallel cell goroutine below mutates only its
+	// own span. Replayed cells get a closed span marked replayed=true —
+	// their whole point is that no work happens.
+	var cellSpans []*obs.Span
+	if span != nil {
+		cellSpans = make([]*obs.Span, nc)
+		for c := 0; c < nc; c++ {
+			if len(cellInputs[c]) == 0 {
+				continue
+			}
+			cs := span.Child("cell")
+			cs.SetInt("cell", int64(c))
+			cs.SetInt("tenants", int64(len(cellInputs[c])))
+			if dirty[c] {
+				cs.SetBool("dirty", true)
+				cs.SetInt("arrivals", int64(cellArr[c]))
+			} else {
+				cs.SetBool("replayed", true)
+				cs.End()
+			}
+			cellSpans[c] = cs
+		}
+	}
+
 	// One cache generation per recomputing cell: entries its run touches
 	// are re-stamped, and the commit-time sweep (Options.CacheSweep)
 	// drops whatever that cell stopped visiting. A clean cell's shards
@@ -869,7 +936,11 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	share := core.BatchShare(o.opts.Core.Parallelism, len(runCells))
 	if err := core.ForEach(o.opts.Core.Ctx, o.opts.Core.Parallelism, len(runCells), func(k int) error {
 		c := runCells[k]
-		outs[c], errs[c] = o.periodCell(c, cellInputs[c], tenants, ptenants, pinned, share)
+		var cs *obs.Span
+		if cellSpans != nil {
+			cs = cellSpans[c]
+		}
+		outs[c], errs[c] = o.periodCell(c, cellInputs[c], tenants, ptenants, pinned, share, cs)
 		return nil
 	}); err != nil {
 		restore()
@@ -933,10 +1004,18 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// Cross-cell rebalancing (Options.CellRebalance): evaluated over the
 	// merged outcome, committed into the assignment below so the moves
 	// take effect next period. See rebalance.go.
+	var rspan *obs.Span
+	if span != nil && o.opts.CellRebalance > 0 {
+		rspan = span.Child("rebalance")
+	}
 	moves, err := o.rebalance(rep, tenants, ptenants)
 	if err != nil {
 		restore()
 		return nil, err
+	}
+	if rspan != nil {
+		rspan.SetInt("moves", int64(len(moves)))
+		rspan.End()
 	}
 
 	// Delta bookkeeping for the cells that ran: store the outcome, the
@@ -964,7 +1043,7 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	resetEmptied := func(c int) {
 		for _, s := range o.cells[c] {
 			if !occupied[s] {
-				o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores[c])
+				o.machines[s] = newMachine(o.opts, o.opts.Profiles[s], o.scores[c], o.met.dyn)
 			}
 		}
 	}
@@ -1014,6 +1093,26 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 			o.scores[c].Sweep(k)
 			o.estimates[c].Sweep(k)
 		}
+	}
+	// Commit observability last, once the period cannot fail: metrics
+	// and traces describe committed periods only.
+	var elapsed time.Duration
+	if timed {
+		elapsed = time.Since(start)
+	}
+	o.commitMetrics(rep, elapsed)
+	if span != nil {
+		span.SetInt("period", int64(rep.Period))
+		span.SetInt("tenants", int64(placed))
+		span.SetInt("arrivals", int64(rep.Arrivals))
+		span.SetInt("departures", int64(rep.Departures))
+		span.SetInt("dirty_cells", int64(len(runCells)))
+		span.SetInt("replayed_cells", int64(replayed))
+		span.SetInt("migrations", int64(rep.Migrations))
+		span.SetInt("rebalance_moves", int64(rep.RebalanceMoves))
+		span.SetInt("score_cache_hits", o.scoreStats().Hits-hits0)
+		span.End()
+		o.opts.TraceSink(span)
 	}
 	return rep, nil
 }

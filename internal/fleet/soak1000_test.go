@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The fleet-scale soak: 1000 machines / 10000 tenants in cells of 8,
@@ -62,6 +63,7 @@ func TestFleetSoak1000(t *testing.T) {
 			profiles[s] = "small"
 		}
 	}
+	reg := obs.NewRegistry()
 	o, err := New(Options{
 		Profiles:      profiles,
 		MigrationCost: 0.1,
@@ -72,6 +74,7 @@ func TestFleetSoak1000(t *testing.T) {
 		},
 		Cells:         8,
 		CellRebalance: rebalance,
+		Metrics:       reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,8 +98,55 @@ func TestFleetSoak1000(t *testing.T) {
 
 	prevCell := map[string]int{}
 	allowed := map[string]bool{} // rebalance moves reported last period
+
+	// Metrics invariants, held at fleet scale every single period: the
+	// counters only grow, the latency histogram gains exactly one
+	// observation per period, and each period's dirty + replayed cell
+	// counts account for every cell of the fleet (all 125 cells are
+	// occupied from the first placement on).
+	m := &o.met
+	var prevCounts []uint64
+	periodsRun := uint64(0)
+	checkMetrics := func(period string, rep *PeriodReport) {
+		t.Helper()
+		periodsRun++
+		counts := []uint64{
+			m.periods.Value(), m.dirtyCells.Value(), m.replayedCells.Value(),
+			m.migrations.Value(), m.rebalanceMoves.Value(),
+			m.arrivals.Value(), m.departures.Value(), m.qosViolations.Value(),
+			m.score.Hits.Value(), m.score.Misses.Value(), m.score.Runs.Value(),
+		}
+		for i, c := range counts {
+			if prevCounts != nil && c < prevCounts[i] {
+				t.Fatalf("%s: counter %d went backwards: %d -> %d", period, i, prevCounts[i], c)
+			}
+		}
+		if got := m.periods.Value(); got != periodsRun {
+			t.Fatalf("%s: periods counter %d, want %d", period, got, periodsRun)
+		}
+		if got := o.PeriodDurations().Count(); got != periodsRun {
+			t.Fatalf("%s: latency histogram count %d, want %d", period, got, periodsRun)
+		}
+		var dirtyDelta, replayedDelta uint64
+		dirtyDelta, replayedDelta = counts[1], counts[2]
+		if prevCounts != nil {
+			dirtyDelta -= prevCounts[1]
+			replayedDelta -= prevCounts[2]
+		}
+		if int(dirtyDelta) != len(rep.DirtyCells) || int(replayedDelta) != rep.ReplayedCells {
+			t.Fatalf("%s: counter deltas dirty=%d replayed=%d disagree with report dirty=%d replayed=%d",
+				period, dirtyDelta, replayedDelta, len(rep.DirtyCells), rep.ReplayedCells)
+		}
+		if int(dirtyDelta+replayedDelta) != o.Cells() {
+			t.Fatalf("%s: dirty %d + replayed %d cells, want all %d",
+				period, dirtyDelta, replayedDelta, o.Cells())
+		}
+		prevCounts = counts
+	}
+
 	check := func(period string, rep *PeriodReport) {
 		t.Helper()
+		checkMetrics(period, rep)
 		if len(rep.Assignment) != len(slots) {
 			t.Fatalf("%s: %d tenants assigned, want %d", period, len(rep.Assignment), len(slots))
 		}

@@ -69,6 +69,8 @@ func (o *Orchestrator) AddServer(profile string) int {
 		if !o.opts.DisableScoreCache {
 			sc = score.NewCache()
 			ec = score.NewEstimates()
+			sc.SetMetrics(o.met.score)
+			ec.SetMetrics(o.met.estimates)
 		}
 		o.scores = append(o.scores, sc)
 		o.estimates = append(o.estimates, ec)
@@ -85,7 +87,7 @@ func (o *Orchestrator) AddServer(profile string) int {
 	o.cellProfiles[target] = append(o.cellProfiles[target], profile)
 	o.cellOf = append(o.cellOf, target)
 	o.localIdx = append(o.localIdx, len(o.cells[target])-1)
-	o.machines = append(o.machines, newMachine(o.opts, profile, o.scores[target]))
+	o.machines = append(o.machines, newMachine(o.opts, profile, o.scores[target], o.met.dyn))
 	// The joined cell's machine set changed: its stored outcome no longer
 	// answers for the cell and must not be replayed.
 	o.delta[target].settled = false
@@ -132,7 +134,7 @@ func (o *Orchestrator) RemoveServer(server int) error {
 	// Detach the machine (its manager state belongs to nobody now) and
 	// drop the cell's stored outcome: it reports a machine set that no
 	// longer exists and must never be replayed.
-	o.machines[server] = newMachine(o.opts, o.opts.Profiles[server], nil)
+	o.machines[server] = newMachine(o.opts, o.opts.Profiles[server], nil, o.met.dyn)
 	o.delta[c] = cellDelta{}
 	return nil
 }
@@ -166,6 +168,10 @@ func (o *Orchestrator) SetOptions(opts Options) error {
 	if err := checkOptions(opts); err != nil {
 		return err
 	}
+	// The metric registry is fixed after New (families are already
+	// registered on it); the trace sink may change freely — it is read
+	// once per period.
+	opts.Metrics = o.opts.Metrics
 	o.opts = opts
 	o.opts.Profiles = append([]string(nil), opts.Profiles...)
 	for s, m := range o.machines {

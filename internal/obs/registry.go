@@ -1,0 +1,442 @@
+// Package obs is the repo's dependency-free observability layer: a
+// metrics registry with Prometheus text exposition, structured period
+// tracing (span trees), and an optional HTTP endpoint serving /metrics,
+// /healthz, and net/http/pprof.
+//
+// The package is built around one contract: observability is strictly
+// passive. Every instrument type no-ops on a nil receiver, and a nil
+// *Registry hands out nil instruments, so instrumented hot paths run
+// with zero allocations and zero branches beyond a nil check when
+// observability is off. Nothing an instrument records may feed back
+// into a decision — timing and counts flow out, never in — which is
+// how the fleet's bit-identical determinism survives instrumentation.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry names and owns a set of metric families and renders them
+// in deterministic sorted Prometheus text format. The zero value is
+// ready to use; a nil *Registry is the "observability off" mode — its
+// constructor methods return nil instruments that silently discard.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+type famKind uint8
+
+const (
+	kindCounter famKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterVec
+)
+
+type family struct {
+	name, help string
+	kind       famKind
+	c          *Counter
+	g          *Gauge
+	gf         func() float64
+	h          *Histogram
+	vec        *CounterVec
+}
+
+func (k famKind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// register installs a family under name, or returns the existing one.
+// Reusing a name with a different metric kind is a programming error
+// and panics — two call sites disagreeing about what a name means
+// cannot be reconciled at scrape time.
+func (r *Registry) register(name, help string, kind famKind) (*family, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fams == nil {
+		r.fams = make(map[string]*family)
+	}
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+		}
+		return f, false
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.fams[name] = f
+	return f, true
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. On a nil registry it returns a nil (discarding) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f, fresh := r.register(name, help, kindCounter)
+	if fresh {
+		f.c = &Counter{}
+	}
+	return f.c
+}
+
+// CounterVec returns the labelled counter family registered under
+// name, creating it on first use. On a nil registry it returns nil.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	f, fresh := r.register(name, help, kindCounterVec)
+	if fresh {
+		f.vec = &CounterVec{labels: labels}
+	}
+	return f.vec
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. On a nil registry it returns a nil (discarding) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f, fresh := r.register(name, help, kindGauge)
+	if fresh {
+		f.g = &Gauge{}
+	}
+	return f.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — the idiom for values that already live elsewhere (cache
+// sizes, queue depths). No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f, fresh := r.register(name, help, kindGaugeFunc)
+	if fresh {
+		f.gf = fn
+	}
+}
+
+// Histogram returns the fixed-bucket histogram registered under name,
+// creating it on first use with the given upper bounds. On a nil
+// registry it returns a nil (discarding) histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f, fresh := r.register(name, help, kindHistogram)
+	if fresh {
+		f.h = NewHistogram(bounds)
+	}
+	return f.h
+}
+
+// A Counter is a monotonically non-decreasing count. All methods are
+// lock-free and safe on a nil receiver (they discard).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a value that can go up and down. Safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value reads the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// A CounterVec is a family of counters keyed by label values. With
+// allocates on first sight of a label combination, so hot paths should
+// resolve their handles once up front and increment the returned
+// *Counter directly.
+type CounterVec struct {
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*labeledCounter
+}
+
+type labeledCounter struct {
+	values []string
+	c      Counter
+}
+
+// With returns the counter for the given label values (one per label,
+// in registration order). On a nil vec it returns a nil counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: CounterVec got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.kids == nil {
+		v.kids = make(map[string]*labeledCounter)
+	}
+	k, ok := v.kids[key]
+	if !ok {
+		k = &labeledCounter{values: append([]string(nil), values...)}
+		v.kids[key] = k
+	}
+	return &k.c
+}
+
+// A Histogram counts observations into fixed buckets and keeps the
+// running sum. Observations are lock-free; all methods are safe on a
+// nil receiver.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	n      atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram with the given sorted
+// upper bounds — useful when a histogram is a local measuring device
+// (percentile extraction in experiments) rather than an exported
+// metric. Registry.Histogram uses the same type.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor — the usual shape for latencies.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate a Prometheus histogram_quantile would produce. Values in
+// the overflow (+Inf) bucket clamp to the largest finite bound. NaN
+// when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) { // overflow bucket
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		return lower + (h.bounds[i]-lower)*(rank-cum)/c
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format, families sorted by name and labelled children
+// sorted by label values — byte-identical output for identical state.
+// Safe to call on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.c.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.g.Value()))
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gf()))
+		case kindHistogram:
+			writeHistogram(&b, f.name, f.h)
+		case kindCounterVec:
+			writeVec(&b, f.name, f.vec)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+}
+
+func writeVec(b *strings.Builder, name string, v *CounterVec) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*labeledCounter, 0, len(keys))
+	for _, k := range keys {
+		kids = append(kids, v.kids[k])
+	}
+	labels := v.labels
+	v.mu.Unlock()
+	for _, k := range kids {
+		parts := make([]string, len(labels))
+		for i, l := range labels {
+			// %q escapes exactly what the exposition format requires
+			// (backslash, double quote, newline).
+			parts[i] = fmt.Sprintf("%s=%q", l, k.values[i])
+		}
+		fmt.Fprintf(b, "%s{%s} %d\n", name, strings.Join(parts, ","), k.c.Value())
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenRegistry builds the deterministic registry state behind the
+// exposition golden file. Observed values are exact binary fractions so
+// the rendered sums are platform-independent.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("test_temperature", "Current temperature.")
+	g.Set(36.5)
+	g.Add(0.5)
+	r.GaugeFunc("test_queue_depth", "Queue depth.", func() float64 { return 4 })
+	v := r.CounterVec("test_errors_total", "Errors by reason.", "reason")
+	v.With("timeout").Inc()
+	v.With("refused").Add(3)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, obs := range []float64{0.25, 0.5, 5, 50} {
+		h.Observe(obs)
+	}
+	return r
+}
+
+// The exposition is byte-identical to the committed golden file:
+// sorted families, cumulative buckets, sorted label children.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate by writing the got output): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, b.String(), want)
+	}
+	// Identical state renders byte-identically on every call.
+	var again strings.Builder
+	if err := goldenRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != again.String() {
+		t.Error("two renders of identical state differ")
+	}
+}
+
+// Registering the same name twice returns the same instrument;
+// re-registering under a different kind panics.
+func TestRegisterIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help")
+	if a != b {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("aliased counters out of sync")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "now a gauge")
+}
+
+// Every instrument discards on nil — the observability-off mode — and
+// a nil registry hands out nil instruments and writes nothing.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	c.Inc()
+	c.Add(7)
+	if c != nil || c.Value() != 0 {
+		t.Error("nil registry returned a live counter")
+	}
+	g := r.Gauge("b", "")
+	g.Set(3)
+	g.Add(1)
+	if g != nil || g.Value() != 0 {
+		t.Error("nil registry returned a live gauge")
+	}
+	r.GaugeFunc("c", "", func() float64 { return 1 })
+	v := r.CounterVec("d_total", "", "k")
+	if lc := v.With("x"); lc != nil {
+		t.Error("nil vec returned a live counter")
+	}
+	h := r.Histogram("e", "", []float64{1})
+	h.Observe(2)
+	if h != nil || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil registry returned a live histogram")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+}
+
+// With panics on label arity mismatch and escapes label values.
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("vec_total", "h", "a", "b")
+	v.With("x", "y").Add(2)
+	if got := v.With("x", "y").Value(); got != 2 {
+		t.Errorf("re-resolved labeled counter = %d, want 2", got)
+	}
+	v.With(`q"uo\te`, "line\nbreak").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `vec_total{a="x",b="y"} 2`) {
+		t.Errorf("plain labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, `vec_total{a="q\"uo\\te",b="line\nbreak"} 1`) {
+		t.Errorf("escaped labels missing:\n%s", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 4)) // bounds 1, 2, 4, 8
+	for _, v := range []float64{0.5, 1.5, 3, 6, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 31 {
+		t.Fatalf("sum = %v, want 31", h.Sum())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3 (interpolated in the (2,4] bucket)", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 = %v, want 8 (overflow clamps to the largest bound)", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0", got)
+	}
+	if !math.IsNaN(NewHistogram([]float64{1}).Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(100e-6, 2, 4)
+	want := []float64{100e-6, 200e-6, 400e-6, 800e-6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Concurrent increments, observations, and scrapes are race-free and
+// lose nothing (run under -race in CI).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("con_total", "")
+	g := r.Gauge("con_gauge", "")
+	h := r.Histogram("con_hist", "", ExpBuckets(1, 2, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 7))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 4000 {
+		t.Errorf("counter = %d, want 4000", c.Value())
+	}
+	if g.Value() != 4000 {
+		t.Errorf("gauge = %v, want 4000", g.Value())
+	}
+	if h.Count() != 4000 {
+		t.Errorf("histogram count = %d, want 4000", h.Count())
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The HTTP endpoint: /metrics (Prometheus text), /healthz, and the
+// standard net/http/pprof handlers — mounted on an explicit mux, never
+// http.DefaultServeMux, so importing this package does not leak
+// debug handlers into unrelated servers. This is the first brick of a
+// future fleetd control plane: cmd/advisor -metrics-addr wires it up.
+
+// NewHandler returns the observability mux for registry r (nil r is
+// fine: /metrics serves an empty exposition).
+func NewHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Client went away mid-scrape; nothing useful to do.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// A Server is a running observability endpoint.
+type Server struct {
+	// Addr is the address actually bound — with ":0" this is how the
+	// caller learns the kernel-assigned port.
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// observability mux for r in a background goroutine. The returned
+// server reports the bound address and shuts down on Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           NewHandler(r),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed on Close; any earlier error just ends serving —
+		// observability must never take the orchestrator down with it.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

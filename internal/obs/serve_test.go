@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_test_total", "").Add(5)
+	h := NewHandler(r)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	m := get("/metrics")
+	if m.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", m.Code)
+	}
+	if ct := m.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(m.Body.String(), "handler_test_total 5") {
+		t.Errorf("/metrics body missing counter:\n%s", m.Body.String())
+	}
+
+	hz := get("/healthz")
+	if hz.Code != http.StatusOK || hz.Body.String() != "ok\n" {
+		t.Errorf("/healthz = %d %q", hz.Code, hz.Body.String())
+	}
+
+	pp := get("/debug/pprof/")
+	if pp.Code != http.StatusOK || !strings.Contains(pp.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", pp.Code)
+	}
+	if cl := get("/debug/pprof/cmdline"); cl.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", cl.Code)
+	}
+
+	if nf := get("/nope"); nf.Code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", nf.Code)
+	}
+}
+
+// A nil registry still serves: /metrics is an empty valid exposition.
+func TestHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewHandler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Errorf("nil-registry /metrics = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// Serve binds an ephemeral port, reports the real address, serves a
+// scrape over the network, and Close tears it down. Close is nil-safe.
+func TestServeAndClose(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_test_total", "").Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr == "" || strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("Addr = %q, want a resolved ephemeral port", srv.Addr)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape = %d, %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "serve_test_total 1") {
+		t.Errorf("scrape body:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil server close: %v", err)
+	}
+
+	if _, err := Serve("256.256.256.256:0", nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Structured period tracing: a Span is one timed node in a tree that
+// mirrors a period's work — period → per-cell compute/replay →
+// placement greedy / local search / rebalance → per-machine advisor
+// runs. Spans carry typed attributes (dirty vs replayed, cache hits,
+// moves) and render as a single JSON object per tree, one line per
+// period in a -trace-out file.
+//
+// Like the rest of the package, spans are nil-safe: every method on a
+// nil *Span discards, and the typed Set* attribute setters take
+// concrete types so a disabled trace path performs no interface boxing
+// and no allocation. A span's mutators are not safe for concurrent use
+// on the SAME span; concurrent period work must write to disjoint
+// spans (the fleet gives each parallel cell its own pre-created child,
+// which is exactly that discipline).
+
+// An Attr is one typed key/value attribute on a span.
+type Attr struct {
+	Key  string
+	kind byte // 'i', 's', 'b', 'f'
+	i    int64
+	s    string
+	b    bool
+	f    float64
+}
+
+// A Span is one timed node in a trace tree.
+type Span struct {
+	Name     string
+	start    time.Time
+	dur      time.Duration
+	attrs    []Attr
+	children []*Span
+}
+
+// StartSpan opens a root span clocked from now.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// Child opens a sub-span clocked from now. Nil-safe: a nil parent
+// yields a nil child, so an untraced call tree stays allocation-free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End freezes the span's duration. Repeated calls keep the first.
+func (s *Span) End() {
+	if s == nil || s.dur != 0 {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.dur == 0 {
+		s.dur = 1 // clock granularity floor: an ended span is never 0
+	}
+}
+
+// Duration returns the frozen duration (0 if unended or nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Children returns the sub-spans in creation order (nil on nil).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// Attr returns the value of the named attribute as its JSON rendering
+// and whether it was set — a test/inspection helper, not a hot path.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	for _, a := range s.attrs {
+		if a.Key == key {
+			switch a.kind {
+			case 'i':
+				return strconv.FormatInt(a.i, 10), true
+			case 's':
+				return a.s, true
+			case 'b':
+				return strconv.FormatBool(a.b), true
+			case 'f':
+				return strconv.FormatFloat(a.f, 'g', -1, 64), true
+			}
+		}
+	}
+	return "", false
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, kind: 'i', i: v})
+	}
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, kind: 's', s: v})
+	}
+}
+
+// SetBool records a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, kind: 'b', b: v})
+	}
+}
+
+// SetFloat records a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, kind: 'f', f: v})
+	}
+}
+
+// MarshalJSON renders the span tree as
+//
+//	{"name":"period","dur_ns":1234,"attrs":{...},"children":[...]}
+//
+// with attributes in insertion order and children in creation order,
+// omitting empty attrs/children — compact enough for one line per
+// period in an NDJSON trace file.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	var b bytes.Buffer
+	name, err := json.Marshal(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, `{"name":%s,"dur_ns":%d`, name, s.dur.Nanoseconds())
+	if len(s.attrs) > 0 {
+		b.WriteString(`,"attrs":{`)
+		for i, a := range s.attrs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			k, err := json.Marshal(a.Key)
+			if err != nil {
+				return nil, err
+			}
+			b.Write(k)
+			b.WriteByte(':')
+			switch a.kind {
+			case 'i':
+				b.WriteString(strconv.FormatInt(a.i, 10))
+			case 's':
+				v, err := json.Marshal(a.s)
+				if err != nil {
+					return nil, err
+				}
+				b.Write(v)
+			case 'b':
+				b.WriteString(strconv.FormatBool(a.b))
+			case 'f':
+				// JSON has no Inf/NaN; clamp to null like encoding/json
+				// would reject — traces must never fail a period.
+				if a.f != a.f || a.f > 1.797e308 || a.f < -1.797e308 {
+					b.WriteString("null")
+				} else {
+					b.WriteString(strconv.FormatFloat(a.f, 'g', -1, 64))
+				}
+			}
+		}
+		b.WriteByte('}')
+	}
+	if len(s.children) > 0 {
+		b.WriteString(`,"children":[`)
+		for i, c := range s.children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			cj, err := c.MarshalJSON()
+			if err != nil {
+				return nil, err
+			}
+			b.Write(cj)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// WriteJSON writes the span tree as one JSON line (NDJSON record).
+func (s *Span) WriteJSON(w io.Writer) error {
+	data, err := s.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeJSON(t *testing.T) {
+	root := StartSpan("period")
+	root.SetInt("period", 3)
+	root.SetStr("mode", "steady")
+	root.SetBool("dirty", false)
+	root.SetFloat("ratio", 0.5)
+	cell := root.Child("cell")
+	cell.SetInt("cell", 0)
+	leaf := cell.Child("greedy")
+	leaf.SetInt("steps", 12)
+	leaf.End()
+	cell.End()
+	root.End()
+
+	if root.Duration() <= 0 {
+		t.Error("ended span has non-positive duration")
+	}
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Name     string                       `json:"name"`
+		DurNs    int64                        `json:"dur_ns"`
+		Attrs    map[string]any               `json:"attrs"`
+		Children []map[string]json.RawMessage `json:"children"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("span JSON does not parse: %v\n%s", err, b)
+	}
+	if got.Name != "period" || got.DurNs <= 0 {
+		t.Errorf("root = %+v", got)
+	}
+	if got.Attrs["period"] != float64(3) || got.Attrs["mode"] != "steady" ||
+		got.Attrs["dirty"] != false || got.Attrs["ratio"] != 0.5 {
+		t.Errorf("attrs = %v", got.Attrs)
+	}
+	if len(got.Children) != 1 {
+		t.Fatalf("children = %v", got.Children)
+	}
+	// Attribute order is insertion order — load-bearing for readability.
+	s := string(b)
+	if !(strings.Index(s, `"period":3`) < strings.Index(s, `"mode"`) &&
+		strings.Index(s, `"mode"`) < strings.Index(s, `"dirty"`)) {
+		t.Errorf("attrs not in insertion order: %s", s)
+	}
+	if !strings.Contains(s, `"name":"greedy"`) || !strings.Contains(s, `"steps":12`) {
+		t.Errorf("nested leaf missing: %s", s)
+	}
+
+	// Attr reads back the rendered value by key.
+	if v, ok := root.Attr("mode"); !ok || v != "steady" {
+		t.Errorf("Attr(mode) = %q, %v", v, ok)
+	}
+	if v, ok := root.Attr("period"); !ok || v != "3" {
+		t.Errorf("Attr(period) = %q, %v", v, ok)
+	}
+	if _, ok := root.Attr("absent"); ok {
+		t.Error("Attr found an absent key")
+	}
+	if kids := root.Children(); len(kids) != 1 || kids[0].Name != "cell" {
+		t.Errorf("Children() = %v", kids)
+	}
+}
+
+// A nil span is a black hole: children are nil, setters and End are
+// no-ops, marshaling yields null. This is the tracing-off hot path.
+func TestNilSpan(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Error("nil span produced a live child")
+	}
+	s.SetInt("a", 1)
+	s.SetStr("b", "x")
+	s.SetBool("c", true)
+	s.SetFloat("d", 1.5)
+	s.End()
+	if s.Duration() != 0 {
+		t.Error("nil span has a duration")
+	}
+	if s.Children() != nil {
+		t.Error("nil span has children")
+	}
+	if _, ok := s.Attr("a"); ok {
+		t.Error("nil span has attrs")
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "null" {
+		t.Errorf("nil span JSON = %s, want null", b)
+	}
+	if err := s.WriteJSON(&strings.Builder{}); err != nil {
+		t.Errorf("nil span WriteJSON: %v", err)
+	}
+}
+
+// End is first-call-wins and an unended span marshals with dur_ns 0.
+func TestEndSemantics(t *testing.T) {
+	s := StartSpan("x")
+	s.End()
+	d := s.Duration()
+	if d <= 0 {
+		t.Fatal("ended span duration not positive")
+	}
+	s.End()
+	if s.Duration() != d {
+		t.Error("second End changed the duration")
+	}
+
+	open := StartSpan("open")
+	b, err := json.Marshal(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"dur_ns":0`) {
+		t.Errorf("unended span JSON = %s, want dur_ns 0", b)
+	}
+}
+
+// Non-finite float attrs render as null so the NDJSON stays parseable.
+func TestNonFiniteFloats(t *testing.T) {
+	s := StartSpan("f")
+	s.SetFloat("nan", math.NaN())
+	s.SetFloat("inf", math.Inf(1))
+	s.SetFloat("ninf", math.Inf(-1))
+	s.End()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("non-finite floats broke JSON: %v\n%s", err, b)
+	}
+	attrs := got["attrs"].(map[string]any)
+	for _, k := range []string{"nan", "inf", "ninf"} {
+		if attrs[k] != nil {
+			t.Errorf("attr %s = %v, want null", k, attrs[k])
+		}
+	}
+}
+
+// WriteJSON emits exactly one newline-terminated NDJSON line.
+func TestWriteJSON(t *testing.T) {
+	s := StartSpan("line")
+	s.SetInt("n", 1)
+	s.End()
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Errorf("not a single NDJSON line: %q", out)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(out, "\n")), &got); err != nil {
+		t.Fatalf("line does not parse: %v", err)
+	}
+	if got["name"] != "line" {
+		t.Errorf("line = %v", got)
+	}
+}

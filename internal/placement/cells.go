@@ -151,6 +151,8 @@ type cellState struct {
 	freeSlots []int
 	load      []float64
 	nonFull   [][]int
+	// met counts fallthroughs (optional, nil-safe; see Options.Metrics).
+	met Metrics
 }
 
 // newCellState builds the summaries for a partially seated fleet (the
@@ -208,10 +210,12 @@ func (cs *cellState) better(a, b int) bool {
 // O(servers).
 func (cs *cellState) candidates() []bool {
 	chosen := make([]int, 0, 2)
+	var fallthroughs uint64
 	for d := 0; d < len(cs.nonFull[0]); d++ {
 		best := -1
 		for c := 0; c < cs.nc; c++ {
 			if cs.nonFull[c][d] == 0 {
+				fallthroughs++
 				continue
 			}
 			if best < 0 || cs.better(c, best) {
@@ -231,6 +235,9 @@ func (cs *cellState) candidates() []bool {
 		if !dup {
 			chosen = append(chosen, best)
 		}
+	}
+	if fallthroughs > 0 {
+		cs.met.CellFallthroughs.Add(fallthroughs)
 	}
 	if len(chosen) == 0 {
 		return nil

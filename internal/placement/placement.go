@@ -52,6 +52,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/score"
 )
 
@@ -130,6 +131,14 @@ type Options struct {
 	// a single cell. A fleet of at most Cells machines forms one cell and
 	// places exactly like the flat enumerator, bit for bit. See cells.go.
 	Cells int
+	// Metrics optionally counts the enumerator's work (greedy steps,
+	// local-search moves, cell fallthroughs). The zero value reports
+	// nothing; counting never changes a placement.
+	Metrics Metrics
+	// Trace optionally parents this run's phase spans ("greedy",
+	// "local-search") for the period span tree. Nil traces nothing;
+	// tracing never changes a placement.
+	Trace *obs.Span
 }
 
 // Machine is one physical server's share of a finished placement.
@@ -360,6 +369,10 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 			free = append(free, i)
 		}
 	}
+	// The greedy phase covers everything through the seating loop:
+	// dedicated-cost ordering, pre-seating, and the candidate scans.
+	gspan := opts.Trace.Child("greedy")
+	greedySteps := 0
 	dedicated := make([][]float64, n) // [tenant][distinct profile]; free rows only
 	for _, i := range free {
 		dedicated[i] = make([]float64, np)
@@ -445,6 +458,9 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 	// below is already exact; otherwise per-cell headroom summaries that
 	// restrict each tenant's scan to the best candidate cells.
 	cells := newCellState(sh, machines, totals, capacity, opts.Cells)
+	if cells != nil {
+		cells.met = opts.Metrics
+	}
 
 	// candidate is one scored "tenant t on machine s" what-if.
 	type candidate struct {
@@ -501,6 +517,8 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 		}); err != nil {
 			return nil, err
 		}
+		opts.Metrics.GreedySteps.Add(uint64(len(cands)))
+		greedySteps += len(cands)
 		// Phase 2: sequential replay — limit-feasible machines beat
 		// infeasible ones, then the machine whose total rises least wins;
 		// ties toward the smaller server index (candidate order is server
@@ -528,6 +546,9 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 		}
 	}
 
+	gspan.SetInt("steps", int64(greedySteps))
+	gspan.End()
+
 	greedyCost := 0.0
 	for s := range totals {
 		greedyCost += totals[s]
@@ -538,10 +559,14 @@ func place(tenants []Tenant, opts Options, seed []int) (*Placement, error) {
 		if cells != nil {
 			cellOf = cells.cellOf
 		}
+		lspan := opts.Trace.Child("local-search")
 		lsMoves, err = sc.localSearch(assignment, machines, totals, capacity, cellOf)
 		if err != nil {
 			return nil, err
 		}
+		lspan.SetInt("moves", int64(lsMoves))
+		lspan.End()
+		opts.Metrics.LocalSearchMoves.Add(uint64(lsMoves))
 	}
 
 	p := &Placement{Assignment: assignment, Machines: machines,

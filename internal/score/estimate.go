@@ -45,6 +45,8 @@ type EstimateCache struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	met Metrics // optional observability mirrors (nil-safe, see SetMetrics)
 }
 
 // NewEstimates creates an empty, unbounded estimate cache.
@@ -113,8 +115,13 @@ func (c *EstimateCache) SetCapacity(capacity int) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	ev0 := c.b.evictions
 	c.b.setCapacity(capacity)
+	dropped := c.b.evictions - ev0
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.met.Evictions.Add(uint64(dropped))
+	}
 }
 
 // BeginGeneration starts a new generation (see Cache.BeginGeneration).
@@ -134,8 +141,13 @@ func (c *EstimateCache) Sweep(k int) int {
 		return 0
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.b.sweep(k)
+	n := c.b.sweep(k)
+	c.mu.Unlock()
+	c.met.Sweeps.Inc()
+	if n > 0 {
+		c.met.Evictions.Add(uint64(n))
+	}
+	return n
 }
 
 // estKeyPrefix length-prefixes the identity fields so distinct
@@ -189,16 +201,23 @@ func (e *cachedEstimator) ScoreFingerprint() string { return e.fp }
 func (e *cachedEstimator) cell(a core.Allocation) (*estCell, string) {
 	k := e.prefix + core.AllocKey(a)
 	e.c.mu.Lock()
+	ev0 := e.c.b.evictions
 	cell, ok := e.c.b.get(k)
 	if !ok {
 		cell = &estCell{}
 		e.c.b.put(k, cell)
 	}
+	dropped := e.c.b.evictions - ev0
 	e.c.mu.Unlock()
+	if dropped > 0 {
+		e.c.met.Evictions.Add(uint64(dropped))
+	}
 	if ok {
 		e.c.hits.Add(1)
+		e.c.met.Hits.Inc()
 	} else {
 		e.c.misses.Add(1)
+		e.c.met.Misses.Inc()
 	}
 	return cell, k
 }

@@ -114,6 +114,8 @@ type Cache struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	runs   atomic.Int64
+
+	met Metrics // optional observability mirrors (nil-safe, see SetMetrics)
 }
 
 // NewCache creates an empty, unbounded machine-score cache.
@@ -221,8 +223,13 @@ func (c *Cache) SetCapacity(capacity int) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	ev0 := c.b.evictions
 	c.b.setCapacity(capacity)
+	dropped := c.b.evictions - ev0
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.met.Evictions.Add(uint64(dropped))
+	}
 }
 
 // BeginGeneration starts a new generation: entries served or inserted
@@ -246,8 +253,13 @@ func (c *Cache) Sweep(k int) int {
 		return 0
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.b.sweep(k)
+	n := c.b.sweep(k)
+	c.mu.Unlock()
+	c.met.Sweeps.Inc()
+	if n > 0 {
+		c.met.Evictions.Add(uint64(n))
+	}
+	return n
 }
 
 // fmtFloat renders a float64 into its shortest round-trip form — distinct
@@ -317,6 +329,7 @@ func (c *Cache) Recommend(profile string, fps []string, ests []core.Estimator, o
 	}
 	if !cacheable {
 		c.runs.Add(1)
+		c.met.Runs.Inc()
 		return core.Recommend(ests, opts)
 	}
 	norm, err := opts.Normalize(len(ests))
@@ -324,23 +337,32 @@ func (c *Cache) Recommend(profile string, fps []string, ests []core.Estimator, o
 		// Invalid options cannot be keyed; run direct so the caller gets
 		// core's own validation error.
 		c.runs.Add(1)
+		c.met.Runs.Inc()
 		return core.Recommend(ests, opts)
 	}
 	k := keyOf(profile, fps, norm)
 	c.mu.Lock()
+	ev0 := c.b.evictions
 	e, ok := c.b.get(k)
 	if !ok {
 		e = &entry{}
 		c.b.put(k, e)
 	}
+	dropped := c.b.evictions - ev0
 	c.mu.Unlock()
+	if dropped > 0 {
+		c.met.Evictions.Add(uint64(dropped))
+	}
 	if ok {
 		c.hits.Add(1)
+		c.met.Hits.Inc()
 	} else {
 		c.misses.Add(1)
+		c.met.Misses.Inc()
 	}
 	e.once.Do(func() {
 		c.runs.Add(1)
+		c.met.Runs.Inc()
 		e.res, e.err = core.Recommend(ests, opts)
 	})
 	if e.err != nil {
