@@ -306,6 +306,22 @@ func BenchmarkFleetPeriodCached(b *testing.B) {
 		if disable {
 			name = "cache=off"
 		}
+		if !disable {
+			// A steady period must stay allocation-bounded: the
+			// orchestrator's scratch pool reuses the per-period bookkeeping
+			// buffers, so what remains is the fleet layer's per-call work
+			// (tenant inputs, the report wrapper) — measured at ~83 allocs;
+			// the bound leaves headroom without letting the pool silently
+			// stop pooling.
+			const maxSteadyAllocs = 160
+			if allocs := testing.AllocsPerRun(10, func() {
+				if _, err := f.Period(); err != nil {
+					b.Fatal(err)
+				}
+			}); allocs > maxSteadyAllocs {
+				b.Fatalf("steady period allocates %.0f objects, want ≤ %d (scratch pooling regressed?)", allocs, maxSteadyAllocs)
+			}
+		}
 		b.Run(name, func(b *testing.B) {
 			_, _, runsBefore := f.ScoreStats()
 			for i := 0; i < b.N; i++ {

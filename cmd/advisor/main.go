@@ -77,10 +77,14 @@ func main() {
 		"fleet mode: drop cache entries untouched for this many periods (0 = never)")
 	incremental := flag.Bool("incremental", false,
 		"fleet mode: seed each period's placement search from the incumbent assignment")
-	cells := flag.Int("cells", 0,
-		"partition multi-machine placement into cells of at most this many servers (0 disables)")
+	cellsFlag := flag.String("cells", "0",
+		"partition multi-machine placement into cells of at most this many servers (0 disables; \"auto\" turns on fleet-mode latency-driven cell auto-tuning)")
 	cellRebalance := flag.Int("cell-rebalance", 0,
 		"fleet mode: migrate at most this many tenants per period from the hottest cell to the coldest (0 disables)")
+	rebalanceBudget := flag.Int("rebalance-budget", 0,
+		"fleet mode: per-period budget of ranked cross-cell rebalance moves; supersedes -cell-rebalance when > 0")
+	cellTarget := flag.Duration("cell-latency-target", 0,
+		"fleet mode with -cells=auto: per-cell p95 compute-time target (0 = 50ms)")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"concurrent what-if estimations (results are identical across settings)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -116,7 +120,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism, LocalSearch: *localSearch, Cells: *cells}
+	cells, autoTune, err := parseCells(*cellsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &vdesign.Options{Delta: *delta, Parallelism: *parallelism, LocalSearch: *localSearch, Cells: cells}
 
 	if *periods > 1 {
 		if *refine {
@@ -139,8 +147,11 @@ func main() {
 			estimateCapacity: *estimateCapacity,
 			cacheSweep:       *cacheSweep,
 			incremental:      *incremental,
-			cells:            *cells,
+			cells:            cells,
 			cellRebalance:    *cellRebalance,
+			rebalanceBudget:  *rebalanceBudget,
+			autoTune:         autoTune,
+			cellTarget:       *cellTarget,
 			metricsAddr:      *metricsAddr,
 			metricsLinger:    *metricsLinger,
 			traceOut:         *traceOut,
@@ -156,8 +167,11 @@ func main() {
 	if *incremental {
 		fatal(fmt.Errorf("-incremental requires fleet mode (-periods > 1)"))
 	}
-	if *cellRebalance != 0 {
-		fatal(fmt.Errorf("-cell-rebalance requires fleet mode (-periods > 1)"))
+	if *cellRebalance != 0 || *rebalanceBudget != 0 {
+		fatal(fmt.Errorf("-cell-rebalance/-rebalance-budget require fleet mode (-periods > 1)"))
+	}
+	if autoTune || *cellTarget != 0 {
+		fatal(fmt.Errorf("-cells=auto/-cell-latency-target require fleet mode (-periods > 1)"))
 	}
 	if len(profiles) > 0 {
 		fatal(fmt.Errorf("-profile requires fleet mode (-periods > 1)"))
@@ -178,10 +192,24 @@ func main() {
 	if *localSearch > 0 {
 		fatal(fmt.Errorf("-local-search applies to multi-machine runs (-servers > 1 or -periods > 1)"))
 	}
-	if *cells > 0 {
+	if cells > 0 {
 		fatal(fmt.Errorf("-cells applies to multi-machine runs (-servers > 1 or -periods > 1)"))
 	}
 	runSingle(specs, qosOf, *refine, opts)
+}
+
+// parseCells parses the -cells flag: an integer cell-size bound, or
+// "auto" to let the fleet auto-tune the partition (the bound then
+// defaults to the fleet size).
+func parseCells(v string) (cells int, autoTune bool, err error) {
+	if strings.EqualFold(v, "auto") {
+		return 0, true, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, false, fmt.Errorf("bad -cells %q (want a non-negative integer or \"auto\")", v)
+	}
+	return n, false, nil
 }
 
 // parseProfiles maps -profile flags (cpuGHz:memGB) to machine profiles;
@@ -225,6 +253,9 @@ type fleetConfig struct {
 	incremental      bool
 	cells            int
 	cellRebalance    int
+	rebalanceBudget  int
+	autoTune         bool
+	cellTarget       time.Duration
 	metricsAddr      string
 	metricsLinger    time.Duration
 	traceOut         string
@@ -271,6 +302,9 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		Incremental:           cfg.incremental,
 		Cells:                 cfg.cells,
 		CellRebalance:         cfg.cellRebalance,
+		RebalanceBudget:       cfg.rebalanceBudget,
+		AutoTuneCells:         cfg.autoTune,
+		CellLatencyTarget:     cfg.cellTarget,
 		Metrics:               reg,
 		TraceSink:             traceSink,
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/calibrate"
 	"repro/internal/catalog"
@@ -134,6 +135,29 @@ type FleetOptions struct {
 	// FleetPeriodReport.RebalanceMoves/Rebalanced. 0 (the default)
 	// disables rebalancing: tenants then never leave their cell.
 	CellRebalance int
+	// RebalanceBudget, when > 0, supersedes CellRebalance with the same
+	// meaning: the per-period budget of cross-cell moves (and failed
+	// attempts) the rebalancer may spend. The pass ranks every
+	// (hot, cold) cell pair by pressure gap and drains the largest gaps
+	// first, so a budget above 1 lets several correlated hot spots drain
+	// in one period instead of one per period. A budget of 1 behaves
+	// exactly like CellRebalance == 1.
+	RebalanceBudget int
+	// AutoTuneCells turns on latency-driven cell-size auto-tuning: the
+	// orchestrator observes each cell's per-period compute time and,
+	// between periods, splits cells whose p95 exceeds CellLatencyTarget
+	// and merges pairs of persistently cold cells back together. Splits
+	// and merges never move a tenant — machines travel with their
+	// residents — so reports stay bit-identical for any fixed partition;
+	// only which cells recompute changes. Requires Cells > 0 (the bound
+	// also caps how large a merged cell may grow). Reported by
+	// FleetPeriodReport.CellSplits/CellMerges.
+	AutoTuneCells bool
+	// CellLatencyTarget is the auto-tuner's per-cell p95 compute-time
+	// band: cells observed above the target split, cells observed below
+	// a quarter of it merge. 0 means 50ms. Ignored without
+	// AutoTuneCells.
+	CellLatencyTarget time.Duration
 	// Metrics optionally registers the fleet's metric families (period
 	// latency, cache traffic, admission rejections, …) on an obs
 	// registry, typically one served over HTTP by obs.Serve. Nil (the
@@ -421,6 +445,16 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 		return nil, errors.New("vdesign: fleet has no servers")
 	}
 	if f.orch == nil {
+		cells := f.opts.Cells
+		if f.opts.AutoTuneCells && cells <= 0 {
+			// Auto-tuning needs a cell-size bound; default to the fleet
+			// size so the tuner starts from one cell and splits downward.
+			cells = len(f.keys)
+		}
+		budget := f.opts.CellRebalance
+		if f.opts.RebalanceBudget > 0 {
+			budget = f.opts.RebalanceBudget
+		}
 		orch, err := fleet.New(fleet.Options{
 			Profiles:              f.keys,
 			MigrationCost:         f.opts.MigrationCost,
@@ -432,8 +466,10 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 			EstimateCacheCapacity: f.opts.EstimateCacheCapacity,
 			CacheSweep:            f.opts.ScoreCacheSweep,
 			Incremental:           f.opts.Incremental,
-			Cells:                 f.opts.Cells,
-			CellRebalance:         f.opts.CellRebalance,
+			Cells:                 cells,
+			CellRebalance:         budget,
+			AutoTuneCells:         f.opts.AutoTuneCells,
+			CellP95Target:         f.opts.CellLatencyTarget.Seconds(),
 			Metrics:               f.opts.Metrics,
 			TraceSink:             f.opts.TraceSink,
 		})
@@ -660,4 +696,20 @@ func (r *FleetPeriodReport) RebalanceMoves() int { return r.rep.RebalanceMoves }
 // in move order (see RebalanceMoves).
 func (r *FleetPeriodReport) Rebalanced() []string {
 	return append([]string(nil), r.rebalanced...)
+}
+
+// CellSplits lists the cells the auto-tuner split at this period's
+// commit (FleetOptions.AutoTuneCells): each listed cell kept half its
+// machines and moved the rest — residents included — into a fresh cell.
+// The split changes no assignment; both halves recompute next period.
+func (r *FleetPeriodReport) CellSplits() []int {
+	return append([]int(nil), r.rep.CellSplits...)
+}
+
+// CellMerges lists the cell pairs the auto-tuner merged at this
+// period's commit, as [into, from] — from's machines (and residents)
+// joined into, and from is empty afterwards. Like splits, merges change
+// no assignment.
+func (r *FleetPeriodReport) CellMerges() [][2]int {
+	return append([][2]int(nil), r.rep.CellMerges...)
 }

@@ -39,7 +39,7 @@ func init() {
 // document and the per-entry records alike); bump it when
 // ScaleHistory/ScaleRecord/ScalePoint change shape so a stale committed
 // file fails validation instead of parsing into zero values.
-const ScaleSchema = "fleet-scale/v3"
+const ScaleSchema = "fleet-scale/v4"
 
 // Sweep shape. Tests substitute smaller sweeps via fleetScaleRecord;
 // the registered experiment, BenchmarkFleetScale, and cmd/benchrecord
@@ -86,6 +86,13 @@ type ScalePoint struct {
 	Drift1Ns     int64 `json:"drift1_ns"`
 	Drift1Cells  int   `json:"drift1_cells"`
 	Drift1FullNs int64 `json:"drift1_full_ns"`
+	// Drift10Ns times a correlated drift period (fleet-scale/v4): one
+	// tenant in each of min(10, TotalCells) distinct cells drifts
+	// simultaneously, and Drift10Cells counts the cells that period
+	// dirtied — delta locality under correlated pressure: exactly one
+	// cell per drifted tenant, never a fleet-wide recompute.
+	Drift10Ns    int64 `json:"drift10_ns"`
+	Drift10Cells int   `json:"drift10_cells"`
 	// Steady*Ns and Drift*Ns percentiles (p50/p95/p99) summarize repeated
 	// steady and one-tenant-drift delta periods, computed from the obs
 	// period-latency histogram (fleet-scale/v3; absent — zero — in older
@@ -345,6 +352,45 @@ func runScalePoint(machines, tenantsPer, cells int) (p ScalePoint, err error) {
 		return p, err
 	}
 
+	// Correlated drift (v4): one tenant in each of min(10, cells)
+	// distinct cells drifts in the same period. A steady (replayed)
+	// period first exposes the settled assignment so the drifted tenants
+	// can be chosen one per cell; the drift period must then dirty
+	// exactly those cells.
+	rep, err = orch.Period(inputs)
+	if err != nil {
+		return p, fmt.Errorf("drift10 assignment period (%d machines): %w", machines, err)
+	}
+	target := 10
+	if tc := p.TotalCells; tc < target {
+		target = tc
+	}
+	seen := make(map[int]bool, target)
+	var picked []int
+	for i := range inputs {
+		if len(picked) == target {
+			break
+		}
+		c := orch.CellOf(rep.Assignment[inputs[i].ID])
+		if c < 0 || seen[c] {
+			continue
+		}
+		seen[c] = true
+		picked = append(picked, i)
+	}
+	for j, i := range picked {
+		inputs[i] = scaleDriftedTenant(i, 40+j, profiles, factors)
+	}
+	start = time.Now()
+	if rep, err = orch.Period(inputs); err != nil {
+		return p, fmt.Errorf("drift10 period (%d machines): %w", machines, err)
+	}
+	p.Drift10Ns = time.Since(start).Nanoseconds()
+	p.Drift10Cells = len(rep.DirtyCells)
+	if err := settle("drift10"); err != nil {
+		return p, err
+	}
+
 	// Drift: 2% churn — every 50th tenant departs and a new one (fresh
 	// ID, different workload) arrives in its place, so the affected
 	// cells re-score, re-pack, and migrate survivors where that pays.
@@ -497,7 +543,38 @@ func ValidateScaleHistory(data []byte) error {
 	if err := validateScaleRecord(&latest.ScaleRecord); err != nil {
 		return fmt.Errorf("fleet-scale history: latest entry (%s): %w", latest.Commit, err)
 	}
+	// Cross-entry regression gate (v4): the newest sweep must not be more
+	// than 25% slower than the previous recorded sweep at the headline
+	// size, on the steady (replay) period or the one-tenant drift period.
+	// The history is recorded on CI-comparable hardware, so a larger jump
+	// means the hot path itself regressed, not the machine.
+	if len(hist.Entries) >= 2 {
+		prev := largestScalePoint(&hist.Entries[len(hist.Entries)-2].ScaleRecord)
+		now := largestScalePoint(&latest.ScaleRecord)
+		if prev != nil && now != nil && prev.Machines >= 1000 && now.Machines >= 1000 {
+			if prev.SteadyNs > 0 && now.SteadyNs*4 > prev.SteadyNs*5 {
+				return fmt.Errorf("fleet-scale history: steady_ns regressed >25%% at %d machines: %d → %d (previous entry %s)",
+					now.Machines, prev.SteadyNs, now.SteadyNs, hist.Entries[len(hist.Entries)-2].Commit)
+			}
+			if prev.Drift1Ns > 0 && now.Drift1Ns*4 > prev.Drift1Ns*5 {
+				return fmt.Errorf("fleet-scale history: drift1_ns regressed >25%% at %d machines: %d → %d (previous entry %s)",
+					now.Machines, prev.Drift1Ns, now.Drift1Ns, hist.Entries[len(hist.Entries)-2].Commit)
+			}
+		}
+	}
 	return nil
+}
+
+// largestScalePoint returns the entry's largest-fleet point (nil when
+// the record has none).
+func largestScalePoint(rec *ScaleRecord) *ScalePoint {
+	var max *ScalePoint
+	for i := range rec.Points {
+		if max == nil || rec.Points[i].Machines > max.Machines {
+			max = &rec.Points[i]
+		}
+	}
+	return max
 }
 
 // validateScaleRecord checks one sweep's measurements.
@@ -536,6 +613,14 @@ func validateScaleRecord(rec *ScaleRecord) error {
 		}
 		if p.Drift1Cells != 1 {
 			return fmt.Errorf("one-tenant drift dirtied %d cells, want 1, in point %+v", p.Drift1Cells, p)
+		}
+		// v4: correlated drift stays local too — one dirty cell per
+		// drifted tenant, one tenant in each of min(10, cells) cells.
+		if p.Drift10Ns <= 0 {
+			return fmt.Errorf("non-positive drift10 timing in point %+v", p)
+		}
+		if want := min(10, p.TotalCells); p.Drift10Cells != want {
+			return fmt.Errorf("correlated drift dirtied %d cells, want %d, in point %+v", p.Drift10Cells, want, p)
 		}
 		if p.Baseline && (p.BaselineBuildNs <= 0 || p.BaselineSteadyNs <= 0) {
 			return fmt.Errorf("baseline point missing timings %+v", p)
@@ -587,7 +672,7 @@ func FleetScale(env *Env) (*Result, error) {
 		YLabel: "period milliseconds / counters",
 	}
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
-	var build, steady, steadyFull, drift1, drift1Full, drift, runs, hit, migs, baseBuild []float64
+	var build, steady, steadyFull, drift1, drift1Full, drift10, drift, runs, hit, migs, baseBuild []float64
 	var steadyP95, driftP95 []float64
 	for _, p := range rec.Points {
 		res.X = append(res.X, float64(p.Machines))
@@ -598,6 +683,7 @@ func FleetScale(env *Env) (*Result, error) {
 		steadyFull = append(steadyFull, ms(p.SteadyFullNs))
 		drift1 = append(drift1, ms(p.Drift1Ns))
 		drift1Full = append(drift1Full, ms(p.Drift1FullNs))
+		drift10 = append(drift10, ms(p.Drift10Ns))
 		drift = append(drift, ms(p.DriftNs))
 		runs = append(runs, float64(p.SteadyRuns))
 		hit = append(hit, p.HitRate)
@@ -613,6 +699,7 @@ func FleetScale(env *Env) (*Result, error) {
 	res.AddSeries("steady-full-ms", steadyFull)
 	res.AddSeries("drift1-ms", drift1)
 	res.AddSeries("drift1-full-ms", drift1Full)
+	res.AddSeries("drift10-ms", drift10)
 	res.AddSeries("drift-ms", drift)
 	res.AddSeries("steady-runs", runs)
 	res.AddSeries("hit-rate", hit)
@@ -621,6 +708,7 @@ func FleetScale(env *Env) (*Result, error) {
 	res.Note("cells of ≤%d machines; tenants = %d × machines; flat (Cells: 0) baseline timed through %d machines",
 		scaleCellSize, scaleTenantsPerMachine, scaleBaselineMax)
 	res.Note("steady/drift1 series are delta periods (replay); the -full variants disable delta and recompute every cell")
-	res.Note("wall-clock series are environment-dependent; steady-runs, steady-cells, drift1-cells, hit-rate, and migrations are deterministic")
+	res.Note("drift10 is the correlated drift: one tenant in each of min(10, cells) distinct cells drifts in one period")
+	res.Note("wall-clock series are environment-dependent; steady-runs, steady-cells, drift1-cells, drift10-cells, hit-rate, and migrations are deterministic")
 	return res, nil
 }

@@ -40,6 +40,12 @@ func TestFleetScaleRecordShape(t *testing.T) {
 		if p.Drift1Cells != 1 {
 			t.Errorf("point %d machines: one-tenant drift dirtied %d cells, want 1", p.Machines, p.Drift1Cells)
 		}
+		if p.Drift10Ns <= 0 {
+			t.Errorf("point %d machines: non-positive drift10 timing %+v", p.Machines, p)
+		}
+		if want := min(10, p.TotalCells); p.Drift10Cells != want {
+			t.Errorf("point %d machines: correlated drift dirtied %d cells, want %d", p.Machines, p.Drift10Cells, want)
+		}
 		if p.HitRate <= 0 || p.HitRate > 1 {
 			t.Errorf("point %d machines: hit rate %v out of (0,1]", p.Machines, p.HitRate)
 		}
@@ -72,6 +78,7 @@ func TestFleetScaleRecordParallelismParity(t *testing.T) {
 			p := &rec.Points[i]
 			p.BuildNs, p.SteadyNs, p.DriftNs = 0, 0, 0
 			p.SteadyFullNs, p.Drift1Ns, p.Drift1FullNs = 0, 0, 0
+			p.Drift10Ns = 0
 			p.SteadyP50Ns, p.SteadyP95Ns, p.SteadyP99Ns = 0, 0, 0
 			p.DriftP50Ns, p.DriftP95Ns, p.DriftP99Ns = 0, 0, 0
 		}
@@ -95,6 +102,7 @@ func scaleTestPoint(machines int) ScalePoint {
 		SteadyP50Ns: 1, SteadyP95Ns: 2, SteadyP99Ns: 3,
 		DriftP50Ns: 1, DriftP95Ns: 2, DriftP99Ns: 3,
 		Drift1Cells: 1, HitRate: 1,
+		Drift10Ns: 1, Drift10Cells: min(10, (machines+7)/8),
 	}
 }
 
@@ -157,12 +165,61 @@ func TestValidateScaleHistory(t *testing.T) {
 		{"locality regression", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift1FullNs = 4 }), "delta locality"},
 		{"missing percentiles", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].SteadyP50Ns = 0 }), "latency percentiles"},
 		{"unordered percentiles", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].DriftP95Ns = 9 }), "not monotone"},
+		{"zero drift10 timing", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift10Ns = 0 }), "drift10"},
+		{"sloppy drift10", mutate(func(h *ScaleHistory) { h.Entries[0].Points[1].Drift10Cells = 3 }), "correlated drift dirtied"},
 	}
 	for _, tc := range cases {
 		err := ValidateScaleHistory(tc.data)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
 		}
+	}
+
+	// The cross-entry regression gate: a latest entry >25% slower than
+	// the previous one at 1000 machines fails, on either steady_ns or
+	// drift1_ns; ≤25% passes, and older pairs are not compared.
+	twoEntries := func(f func(latest *ScaleEntry)) []byte {
+		h := ScaleHistory{Schema: ScaleSchema, Entries: []ScaleEntry{
+			{Commit: "prev", Date: "2026-08-01", ScaleRecord: scaleTestRecord()},
+			{Commit: "head", Date: "2026-08-08", ScaleRecord: scaleTestRecord()},
+		}}
+		for i := range h.Entries {
+			pts := append([]ScalePoint(nil), h.Entries[i].Points...)
+			h.Entries[i].Points = pts
+			for j := range pts {
+				if pts[j].Machines >= 1000 {
+					pts[j].SteadyNs = 100
+					pts[j].Drift1Ns = 100
+					pts[j].Drift1FullNs = 5 * 100
+				}
+			}
+		}
+		f(&h.Entries[1])
+		return enc(h)
+	}
+	at1000 := func(e *ScaleEntry) *ScalePoint {
+		for i := range e.Points {
+			if e.Points[i].Machines >= 1000 {
+				return &e.Points[i]
+			}
+		}
+		t.Fatal("no 1000-machine point")
+		return nil
+	}
+	if err := ValidateScaleHistory(twoEntries(func(e *ScaleEntry) { at1000(e).SteadyNs = 125 })); err != nil {
+		t.Errorf("25%% steady slowdown rejected: %v", err)
+	}
+	err := ValidateScaleHistory(twoEntries(func(e *ScaleEntry) { at1000(e).SteadyNs = 126 }))
+	if err == nil || !strings.Contains(err.Error(), "steady_ns regressed") {
+		t.Errorf("26%% steady slowdown: got %v, want steady_ns regression error", err)
+	}
+	err = ValidateScaleHistory(twoEntries(func(e *ScaleEntry) {
+		p := at1000(e)
+		p.Drift1Ns = 130
+		p.Drift1FullNs = 5 * 130
+	}))
+	if err == nil || !strings.Contains(err.Error(), "drift1_ns regressed") {
+		t.Errorf("30%% drift1 slowdown: got %v, want drift1_ns regression error", err)
 	}
 }
 

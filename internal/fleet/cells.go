@@ -60,18 +60,23 @@ func (o *Orchestrator) cellOpts(c int) placement.Options {
 func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinned []int, rep *PeriodReport) ([][]int, error) {
 	nc := len(o.cells)
 	capacity := placement.Capacity(placement.Options{Profiles: o.opts.Profiles, Core: o.opts.Core})
-	slots := make([]int, nc)
-	count := make([]int, nc)
+	sc := &o.scratch
+	sc.slots = scratchSlice(sc.slots, nc)
+	slots := sc.slots
+	sc.count = scratchSlice(sc.count, nc)
+	count := sc.count
 	for c, ss := range o.cells {
 		slots[c] = len(ss) * capacity
 	}
-	cellOfTenant := make([]int, len(tenants))
+	sc.cellOfTenant = scratchSlice(sc.cellOfTenant, len(tenants))
+	cellOfTenant := sc.cellOfTenant
 	for i := range cellOfTenant {
 		cellOfTenant[i] = -1
 	}
 	// seatOf is the pre-routed tenants' known local seat: the pin target
 	// for pinned tenants, the incumbent server otherwise.
-	seatOf := make([]int, len(tenants))
+	sc.seatOf = scratchSlice(sc.seatOf, len(tenants))
+	seatOf := sc.seatOf
 	for i, s := range pinned {
 		seat := s
 		if p := tenants[i].Pin; p > 0 {
@@ -99,11 +104,14 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 	// arrivals admitted so far this period), in input order, with their
 	// local seats — the joint seat-and-check batch semantics of
 	// Options.AdmitQoS, kept per cell.
-	baseSlots := append([]int(nil), slots...)
 	admitted := 0
-	members := make([][]int, nc)
-	seats := make([]map[int]int, nc)
+	var baseSlots []int
+	var members [][]int
+	var seats []map[int]int
 	if o.opts.AdmitQoS {
+		baseSlots = append([]int(nil), slots...)
+		members = make([][]int, nc)
+		seats = make([]map[int]int, nc)
 		for c := range seats {
 			seats[c] = make(map[int]int, count[c])
 		}
@@ -282,7 +290,19 @@ func (o *Orchestrator) route(tenants []Tenant, ptenants []placement.Tenant, pinn
 		rep.Arrivals--
 	}
 
-	out := make([][]int, nc)
+	// The per-cell index lists reuse the pooled backing arrays (truncate,
+	// don't zero — zeroing would drop the sub-slices' capacity).
+	if cap(sc.inputs) < nc {
+		grown := make([][]int, nc)
+		copy(grown, sc.inputs)
+		sc.inputs = grown
+	} else {
+		sc.inputs = sc.inputs[:nc]
+	}
+	out := sc.inputs
+	for c := range out {
+		out[c] = out[c][:0]
+	}
 	for i, c := range cellOfTenant {
 		if c >= 0 {
 			out[c] = append(out[c], i)

@@ -37,7 +37,10 @@ package fleet
 // Dirtiness is conservative by construction: a wrongly-dirty cell only
 // recomputes what it would have replayed.
 
-import "repro/internal/dynmgmt"
+import (
+	"repro/internal/dynmgmt"
+	"repro/internal/placement"
+)
 
 // tenantSig is the per-tenant input signature drift detection compares
 // across periods: if any field changes, the tenant's cell recomputes.
@@ -68,6 +71,46 @@ type cellDelta struct {
 	// inputs stay unchanged. Cleared by rebalance moves, topology edits,
 	// and option changes.
 	settled bool
+}
+
+// periodScratch pools Period's per-call working buffers. A steady
+// period allocates O(tenants + cells) of bookkeeping just to conclude
+// nothing changed; Period is never re-entered concurrently (the
+// orchestrator is single-writer by contract), so one reusable set per
+// orchestrator removes that from the hot path. Only buffers whose
+// contents never escape the call live here — everything reachable from
+// the returned report or the stored delta state stays freshly
+// allocated.
+type periodScratch struct {
+	present  map[string]bool
+	pinned   []int
+	cellDep  []int
+	cellArr  []int
+	dirty    []bool
+	ptenants []placement.Tenant
+	inputs   [][]int // per-cell tenant input indexes (route's result)
+	outs     []*cellOutcome
+	errs     []error
+	durs     []float64
+	runCells []int
+	order    []int
+	occupied []bool
+	// route's working buffers.
+	slots        []int
+	count        []int
+	cellOfTenant []int
+	seatOf       []int
+}
+
+// scratchSlice resizes a pooled slice to n zeroed entries, reusing its
+// backing array when it is large enough.
+func scratchSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // settledOutcome decides whether a just-computed cell outcome is a fixed

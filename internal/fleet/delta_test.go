@@ -262,6 +262,21 @@ func TestFleetDeltaParity(t *testing.T) {
 	if replayed == 0 {
 		t.Fatal("delta soak never replayed a cell")
 	}
+
+	// The budgeted rebalancer at budget 1 (the classic single-move
+	// hottest→coldest configuration) with the auto-tuner explicitly off:
+	// the moves it adopts must be bit-identical across delta replay,
+	// parallelism, and the cache, like every other report field.
+	reb := base
+	reb.CellRebalance = 1
+	reb.AutoTuneCells = false
+	refReb := runSoak(t, scenario, reb, nil)
+	rebNoDelta := reb
+	rebNoDelta.DisableDelta = true
+	samePeriodReports(t, "rebalance delta off", refReb, runSoak(t, scenario, rebNoDelta, nil))
+	rebP8 := reb
+	rebP8.Core.Parallelism = 8
+	samePeriodReports(t, "rebalance p8", refReb, runSoak(t, scenario, rebP8, nil))
 }
 
 // Cross-cell rebalancing drains a lopsided fleet: tenants pinned into
@@ -504,10 +519,18 @@ func TestFleetSetOptions(t *testing.T) {
 	if err := o.SetOptions(bad); err == nil {
 		t.Fatal("invalid options should fail")
 	}
+	bad = deltaOptions(sf)
+	bad.CellP95Target = -0.5
+	if err := o.SetOptions(bad); err == nil {
+		t.Fatal("negative CellP95Target should fail")
+	}
+	// The auto-tuner and its target are live-tunable mid-run.
 	good := deltaOptions(sf)
 	good.MigrationCost = math.Inf(1)
 	good.CellRebalance = 1
 	good.DisableDelta = true
+	good.AutoTuneCells = true
+	good.CellP95Target = 0.25
 	if err := o.SetOptions(good); err != nil {
 		t.Fatal(err)
 	}

@@ -195,16 +195,43 @@ type Options struct {
 	// concurrent calls for tenants of different cells.
 	Cells int
 	// CellRebalance bounds cross-cell rebalancing: after each period's
-	// dirty cells settle, at most this many tenants are migrated from the
-	// hottest cells (by mean machine load) to the coldest, each move
-	// priced with the same MigrationCost rule as within-cell migrations
-	// (adopted only when the estimated improvement strictly beats the
-	// penalty). Moves are committed into the assignment and take effect
-	// next period, dirtying only the two cells involved; they are
-	// reported in PeriodReport.RebalanceMoves/Rebalanced, not Migrations.
-	// 0 (the default) disables rebalancing: tenants then never leave
-	// their cell, reproducing the pre-rebalance orchestrator exactly.
+	// dirty cells settle, a draining pass ranks every (hot cell, cold
+	// cell) pressure gap — mean machine load above vs below — and
+	// migrates tenants down the largest gaps, at most this many adopted
+	// moves per period, each priced with the same MigrationCost rule as
+	// within-cell migrations (adopted only when the estimated improvement
+	// strictly beats the penalty). A pair whose move fails to seat or to
+	// pay is set aside and the pass continues down the ranking (bounded
+	// by the same budget), so one stubborn hot spot no longer starves the
+	// others — a budget of 1 reproduces the classic single-move
+	// hottest→coldest pass exactly. Moves are committed into the
+	// assignment and take effect next period, dirtying only the cells
+	// involved; they are reported in
+	// PeriodReport.RebalanceMoves/Rebalanced, not Migrations. 0 (the
+	// default) disables rebalancing: tenants then never leave their cell,
+	// reproducing the pre-rebalance orchestrator exactly.
 	CellRebalance int
+	// AutoTuneCells closes the observe→tune loop over the partition
+	// itself (requires Cells > 0): a controller reads each cell's
+	// observed compute latency — the same per-cell durations the period
+	// span tree and the latency histogram record — and at every period's
+	// commit splits cells whose p95 sits above CellP95Target and merges
+	// pairs that both sit below a quarter of it (the band's floor),
+	// through the same incremental partition-edit path AddServer and
+	// RemoveServer use: only the touched cells are dirtied, untouched
+	// cells keep replaying bit-identically, and no tenant changes servers
+	// (a split or merge re-scopes which machines place together, nothing
+	// else). Off (the default), the partition changes only through
+	// explicit topology edits, reproducing the fixed-cells orchestrator
+	// exactly. See autotune.go.
+	AutoTuneCells bool
+	// CellP95Target is the upper edge, in seconds, of the auto-tuner's
+	// per-cell compute-latency band (0 means the 50ms default). The
+	// controller aims each cell's observed p95 into [target/4, target]:
+	// above it a cell splits, below the floor cold pairs merge back —
+	// the floor's hysteresis gap keeps a merged cell from immediately
+	// re-splitting.
+	CellP95Target float64
 	// DisableDelta turns off delta periods: every cell recomputes every
 	// period, as if no cell were ever clean. Reports are bit-identical
 	// with delta on or off (a clean cell's replayed outcome is provably
@@ -343,17 +370,31 @@ type PeriodReport struct {
 	// in Migrations.
 	RebalanceMoves int
 	Rebalanced     []string
+	// CellSplits lists the cells the auto-tuner split at this period's
+	// commit, ascending (each listed cell kept half its machines; the
+	// other half founded a new cell); CellMerges lists the adopted
+	// merges as [into, from] pairs. Both empty unless
+	// Options.AutoTuneCells. The edits re-scope which machines place
+	// together without moving any tenant between servers, and take
+	// effect next period by dirtying exactly the touched cells.
+	CellSplits []int
+	CellMerges [][2]int
 }
 
 // machine is one server's persistent state: its dynamic-management
 // manager and the advisor result captured from the manager's last run.
+// scores is the cell cache shard the Recommend hook serves through —
+// a mutable field rather than a closure capture so a partition edit
+// (auto-tune split/merge) can re-point a machine at its new cell's
+// shard without discarding the manager's refined-model state.
 type machine struct {
-	mgr  *dynmgmt.Manager
-	last *core.Result
+	mgr    *dynmgmt.Manager
+	last   *core.Result
+	scores *score.Cache
 }
 
 func newMachine(opts Options, profile string, scores *score.Cache, met dynmgmt.Metrics) *machine {
-	m := &machine{mgr: dynmgmt.NewManager(0, opts.Core)}
+	m := &machine{mgr: dynmgmt.NewManager(0, opts.Core), scores: scores}
 	m.mgr.Metrics = met
 	if opts.Tau > 0 {
 		m.mgr.Tau = opts.Tau
@@ -371,7 +412,7 @@ func newMachine(opts Options, profile string, scores *score.Cache, met dynmgmt.M
 	// Allocation decisions are unchanged either way (a nil cache, or any
 	// unfingerprinted estimator, falls back to a fresh core.Recommend).
 	m.mgr.Recommend = func(ests []core.Estimator, o core.Options) (*core.Result, error) {
-		res, err := scores.RecommendEsts(profile, ests, o)
+		res, err := m.scores.RecommendEsts(profile, ests, o)
 		if err == nil {
 			m.last = res
 		}
@@ -412,6 +453,16 @@ type Orchestrator struct {
 	// period, the drift detector.
 	delta   []cellDelta
 	lastSig map[string]tenantSig
+	// lat[c] is cell c's compute-latency feedback (see autotune.go): a
+	// bounded window of recent periodCell wall-clock durations feeding
+	// the auto-tuner's p95, and an EWMA feeding the work-stealing
+	// dispatch order. Timing influences only scheduling ORDER and
+	// partition edits, never the result of any fixed partition — reports
+	// stay bit-identical at any Parallelism.
+	lat []cellLatency
+	// scratch holds the pooled per-period working buffers (see delta.go);
+	// Period is never re-entered concurrently, so one set suffices.
+	scratch periodScratch
 	// met holds the observability handles registered on Options.Metrics
 	// (the zero value — no registry — discards everything).
 	met fleetMetrics
@@ -432,6 +483,12 @@ func checkOptions(opts Options) error {
 	}
 	if opts.CellRebalance < 0 {
 		return fmt.Errorf("fleet: negative cell rebalance bound %d", opts.CellRebalance)
+	}
+	if opts.CellP95Target < 0 {
+		return fmt.Errorf("fleet: negative cell p95 target %v", opts.CellP95Target)
+	}
+	if opts.AutoTuneCells && opts.Cells <= 0 {
+		return errors.New("fleet: AutoTuneCells requires a cell-size bound (Options.Cells > 0)")
 	}
 	return nil
 }
@@ -484,6 +541,7 @@ func New(opts Options) (*Orchestrator, error) {
 		o.machines = append(o.machines, newMachine(opts, opts.Profiles[s], o.scores[o.cellOf[s]], o.met.dyn))
 	}
 	o.delta = make([]cellDelta, len(o.cells))
+	o.lat = make([]cellLatency, len(o.cells))
 	// The orchestrator owns its profile list: AddServer grows it, and a
 	// caller mutating its own slice must not alias ours.
 	o.opts.Profiles = append([]string(nil), opts.Profiles...)
@@ -752,8 +810,17 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	rep := &PeriodReport{
 		Machines: make([]MachineReport, len(o.machines)),
 	}
-	present := make(map[string]bool, len(tenants))
-	pinned := make([]int, len(tenants))
+	// Working buffers come from the orchestrator's scratch pool (see
+	// periodScratch in delta.go): nothing stored in them outlives the
+	// call, and a steady period reuses them allocation-free.
+	sc := &o.scratch
+	if sc.present == nil {
+		sc.present = make(map[string]bool, len(tenants))
+	}
+	clear(sc.present)
+	present := sc.present
+	sc.pinned = scratchSlice(sc.pinned, len(tenants))
+	pinned := sc.pinned
 	for i, t := range tenants {
 		present[t.ID] = true
 		if s, ok := o.assignment[t.ID]; ok {
@@ -765,7 +832,8 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	}
 	// Per-cell departure counts feed both dirty detection and the settle
 	// predicate.
-	cellDep := make([]int, nc)
+	sc.cellDep = scratchSlice(sc.cellDep, nc)
+	cellDep := sc.cellDep
 	for id, s := range o.assignment {
 		if !present[id] {
 			rep.Departures++
@@ -773,7 +841,8 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		}
 	}
 
-	ptenants := make([]placement.Tenant, len(tenants))
+	sc.ptenants = scratchSlice(sc.ptenants, len(tenants))
+	ptenants := sc.ptenants
 	for i, t := range tenants {
 		ptenants[i] = placement.Tenant{Name: t.ID, EstFor: t.EstFor,
 			Gain: t.Gain, Limit: t.Limit, Fingerprint: t.Fingerprint}
@@ -795,8 +864,10 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// when its stored outcome is not a proven fixed point. Everything
 	// here errs toward dirty: extra recomputation wastes work but can
 	// never change a report.
-	dirty := make([]bool, nc)
-	cellArr := make([]int, nc)
+	sc.dirty = scratchSlice(sc.dirty, nc)
+	dirty := sc.dirty
+	sc.cellArr = scratchSlice(sc.cellArr, nc)
+	cellArr := sc.cellArr
 	for c := range dirty {
 		if o.opts.DisableDelta || !o.delta[c].settled || o.delta[c].out == nil || cellDep[c] > 0 {
 			dirty[c] = true
@@ -850,7 +921,7 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	}
 
 	placed := 0
-	var runCells []int
+	runCells := sc.runCells[:0]
 	replayed := 0
 	for c, idxs := range cellInputs {
 		if len(idxs) == 0 {
@@ -863,6 +934,7 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 			replayed++
 		}
 	}
+	sc.runCells = runCells
 	if placed == 0 {
 		return nil, errors.New("fleet: admission control rejected every tenant this period")
 	}
@@ -928,19 +1000,33 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// Fan the dirty cells out over the worker pool — cells own disjoint
 	// machines and cache shards, so they never race — and split the
 	// worker budget between them; a single cell keeps the whole pool,
-	// matching the flat orchestrator exactly. Each cell's outcome (or
-	// error) lands in its own slot, and the first error in CELL order
-	// wins, independent of completion order.
-	outs := make([]*cellOutcome, nc)
-	errs := make([]error, nc)
+	// matching the flat orchestrator exactly. Dispatch is longest-
+	// processing-time-first: the cells are queued by descending latency
+	// EWMA and ForEach's workers pull the queue dynamically, so an
+	// expected straggler starts first instead of gating the period from
+	// the tail (work stealing; see lptOrder). Ordering affects only who
+	// computes when — each cell's outcome (or error) lands in its own
+	// slot, the first error in CELL order wins, and the merge below runs
+	// in fixed cell order, so reports are bit-identical at any
+	// Parallelism and any dispatch order.
+	sc.outs = scratchSlice(sc.outs, nc)
+	outs := sc.outs
+	sc.errs = scratchSlice(sc.errs, nc)
+	errs := sc.errs
+	sc.durs = scratchSlice(sc.durs, nc)
+	durs := sc.durs
+	sc.order = o.lptOrder(sc.order, runCells)
+	order := sc.order
 	share := core.BatchShare(o.opts.Core.Parallelism, len(runCells))
-	if err := core.ForEach(o.opts.Core.Ctx, o.opts.Core.Parallelism, len(runCells), func(k int) error {
-		c := runCells[k]
+	if err := core.ForEach(o.opts.Core.Ctx, o.opts.Core.Parallelism, len(order), func(k int) error {
+		c := order[k]
 		var cs *obs.Span
 		if cellSpans != nil {
 			cs = cellSpans[c]
 		}
+		t0 := time.Now()
 		outs[c], errs[c] = o.periodCell(c, cellInputs[c], tenants, ptenants, pinned, share, cs)
+		durs[c] = time.Since(t0).Seconds()
 		return nil
 	}); err != nil {
 		restore()
@@ -959,7 +1045,11 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// are global server indexes — so the merged report is bit-identical
 	// at any Parallelism, and bit-identical to a full recompute (a
 	// replayed outcome is exactly what the recompute would produce).
-	rep.DirtyCells = runCells
+	if len(runCells) > 0 {
+		// Copy out of the scratch pool: DirtyCells lives on in the report
+		// history.
+		rep.DirtyCells = append([]int(nil), runCells...)
+	}
 	rep.ReplayedCells = replayed
 	rep.Assignment = make(map[string]int, placed)
 	rep.Allocations = make(map[string]core.Allocation, placed)
@@ -1022,9 +1112,11 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// input sequence it answers for, and whether it is a proven fixed
 	// point (replayable next period).
 	for _, c := range runCells {
-		ids := make([]string, len(cellInputs[c]))
-		for k, i := range cellInputs[c] {
-			ids[k] = tenants[i].ID
+		// Reuse the cell's previous signature buffer: the input-order
+		// comparison above is long done, so overwriting it is safe.
+		ids := o.delta[c].ids[:0]
+		for _, i := range cellInputs[c] {
+			ids = append(ids, tenants[i].ID)
 		}
 		o.delta[c] = cellDelta{out: outs[c], ids: ids,
 			settled: settledOutcome(outs[c], cellArr[c], cellDep[c])}
@@ -1036,7 +1128,8 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// emptied machines — a clean cell's empty machines were reset when
 	// the cell last ran — plus cells whose whole population departed
 	// this period (dirty, but with nothing left to run).
-	occupied := make([]bool, len(o.machines))
+	sc.occupied = scratchSlice(sc.occupied, len(o.machines))
+	occupied := sc.occupied
 	for _, s := range rep.Assignment {
 		occupied[s] = true
 	}
@@ -1069,6 +1162,15 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 		rep.RebalanceMoves++
 		rep.Rebalanced = append(rep.Rebalanced, mv.id)
 	}
+	// Latency feedback, committed only once the period cannot fail (a
+	// failed period feeds nothing), then the cell-size controller: the
+	// partition edits it adopts dirty only the touched cells and take
+	// effect next period. Timing steers scheduling and the partition,
+	// never the outcome of a fixed partition — see autotune.go.
+	for _, c := range runCells {
+		o.lat[c].observe(durs[c])
+	}
+	o.autoTune(rep, runCells)
 	// Input signatures for next period's drift detection: placed tenants
 	// only, departed IDs dropped.
 	for _, t := range tenants {

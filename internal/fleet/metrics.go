@@ -29,6 +29,9 @@ type fleetMetrics struct {
 	arrivals       *obs.Counter
 	departures     *obs.Counter
 	qosViolations  *obs.Counter
+	cellSplits     *obs.Counter
+	cellMerges     *obs.Counter
+	cellsGauge     *obs.Gauge
 	rejections     [4]*obs.Counter // indexed by RejectReason; slot 0 unused
 	maxDeg         *obs.Gauge
 	totalCost      *obs.Gauge
@@ -77,6 +80,12 @@ func newFleetMetrics(r *obs.Registry) fleetMetrics {
 		"Tenants that left the fleet.")
 	m.qosViolations = r.Counter("vdesign_fleet_qos_violations_total",
 		"Tenant-periods past their degradation limit.")
+	m.cellSplits = r.Counter("vdesign_fleet_cell_splits_total",
+		"Cells split by the latency-driven auto-tuner.")
+	m.cellMerges = r.Counter("vdesign_fleet_cell_merges_total",
+		"Cell pairs merged by the latency-driven auto-tuner.")
+	m.cellsGauge = r.Gauge("vdesign_fleet_cells",
+		"Occupied placement cells at the last period's commit.")
 	rej := r.CounterVec("vdesign_fleet_rejections_total",
 		"Arrivals turned away by QoS admission control, by reason.", "reason")
 	for _, reason := range []RejectReason{RejectCapacity, RejectQoS, RejectBatchConflict} {
@@ -139,6 +148,9 @@ func (o *Orchestrator) commitMetrics(rep *PeriodReport, elapsed time.Duration) {
 		if reason > 0 && int(reason) < len(m.rejections) {
 			m.rejections[reason].Inc()
 		}
+	}
+	if m.cellsGauge != nil {
+		m.cellsGauge.Set(float64(o.occupiedCells()))
 	}
 	m.maxDeg.Set(rep.MaxDegradation)
 	m.totalCost.Set(rep.TotalCost)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -295,6 +296,20 @@ func TestFleetStatReadersDuringPeriods(t *testing.T) {
 				o.ScoreStats()
 				o.CacheSizes()
 				o.CacheEvictions()
+				h := o.PeriodDurations()
+				s := h.Snapshot()
+				var total uint64
+				for _, c := range s.Counts {
+					total += c
+				}
+				if total != s.N {
+					t.Errorf("torn histogram snapshot: N=%d but counts sum to %d", s.N, total)
+					return
+				}
+				if q := h.Quantile(0.95); s.N > 0 && math.IsNaN(q) {
+					t.Errorf("histogram quantile NaN with %d observations", s.N)
+					return
+				}
 				var b strings.Builder
 				if err := op.Metrics.WritePrometheus(&b); err != nil {
 					t.Errorf("scrape: %v", err)

@@ -7,20 +7,30 @@ package fleet
 // skews load with no mechanism to drain it that doesn't reintroduce the
 // fleet-wide scans cells exist to avoid. The rebalancer is that
 // mechanism, kept deliberately small: after a period's cells have
-// computed (or replayed), it compares mean machine load across cells
-// and evaluates at most Options.CellRebalance single-tenant moves from
-// the hottest cell to the coldest — each seated by the same QoS
-// admission probe arrivals use, priced by four single-machine what-ifs
-// (source and destination, with and without the mover), and adopted
-// only when the estimated improvement strictly beats MigrationCost.
-// Adopted moves are committed into the assignment and take effect next
-// period, dirtying exactly the two cells involved; the first move that
-// fails to seat or to pay for itself ends the pass, so a period's
-// rebalancing work is O(CellRebalance) machine scorings, never a scan.
+// computed (or replayed), it ranks every (hot cell, cold cell) pair by
+// the gap in mean machine load between them and drains tenants down the
+// largest gaps — each move seated on the cold cell's least-loaded
+// machine, priced by four single-machine what-ifs (source and
+// destination, with and without the mover), QoS-checked against every
+// squeezed resident's degradation limit on the priced destination run,
+// and adopted only when the estimated improvement strictly beats
+// MigrationCost. A pair whose move
+// fails to seat or to pay is set aside for the rest of the pass and the
+// next-ranked gap is tried, so one stubborn hot spot cannot starve the
+// others — correlated hot spots (several cells heated at once) drain in
+// one period instead of one cell per period. Both adopted moves and
+// failed attempts count against the Options.CellRebalance budget, so a
+// period's rebalancing work stays O(CellRebalance) machine scorings
+// plus cheap pressure scans, never a fleet-wide search; at budget 1 the
+// first failure ends the pass, which reproduces the classic single-move
+// hottest→coldest rebalancer exactly. Adopted moves are committed into
+// the assignment and take effect next period, dirtying exactly the
+// cells involved.
 
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/placement"
 )
 
@@ -83,25 +93,48 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 		return load[c] / float64(len(o.cells[c]))
 	}
 
+	budget := o.opts.CellRebalance
 	var moves []rebalanceMove
-	for len(moves) < o.opts.CellRebalance {
-		// Hottest occupied cell, coldest cell with spare capacity.
-		hot, cold := -1, -1
-		for c := 0; c < nc; c++ {
-			if count[c] > 0 && (hot < 0 || pressure(c) > pressure(hot)) {
-				hot = c
-			}
-		}
-		for c := 0; c < nc; c++ {
-			if c == hot || len(o.cells[c]) == 0 || count[c] >= len(o.cells[c])*capacity {
+	// failed remembers the (hot, cold) pairs whose attempt could not
+	// seat or pay this period — the inputs have not changed, so retrying
+	// them would re-derive the same refusal. Failed attempts spend
+	// budget too, bounding the pass at 2·CellRebalance pricing attempts.
+	failed := map[[2]int]bool{}
+	// deadHot marks hot cells with no unpinned tenant to move — a
+	// property of the cell alone, so every pair it sources is hopeless.
+	deadHot := map[int]bool{}
+	failures := 0
+	for len(moves) < budget && failures < budget {
+		// The largest remaining pressure gap: hot must host someone,
+		// cold must have spare capacity, and the gap must be positive.
+		// The strict > keeps the first (smallest hot, then cold index)
+		// of any tie, which makes the top-ranked pair exactly the
+		// classic hottest/coldest selection — at budget 1 this loop IS
+		// the single-move rebalancer, bit for bit.
+		hot, cold, gap := -1, -1, 0.0
+		for h := 0; h < nc; h++ {
+			if count[h] == 0 || deadHot[h] {
 				continue
 			}
-			if cold < 0 || pressure(c) < pressure(cold) {
-				cold = c
+			ph := pressure(h)
+			for c := 0; c < nc; c++ {
+				if c == h || len(o.cells[c]) == 0 || count[c] >= len(o.cells[c])*capacity {
+					continue
+				}
+				if failed[[2]int{h, c}] {
+					continue
+				}
+				if g := ph - pressure(c); g > gap {
+					hot, cold, gap = h, c, g
+				}
 			}
 		}
-		if hot < 0 || cold < 0 || pressure(hot) <= pressure(cold) {
+		if hot < 0 {
 			break
+		}
+		setAside := func() {
+			failed[[2]int{hot, cold}] = true
+			failures++
 		}
 		// The mover: the hot cell's heaviest unpinned tenant (gain-
 		// weighted cost descending, then the smaller ID).
@@ -118,39 +151,39 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 			}
 		}
 		if mover < 0 {
-			break
+			deadHot[hot] = true
+			failures++
+			continue
 		}
-		// Seat the mover in the cold cell with the residents held on
-		// their machines — the same QoS-checked probe admission uses. No
-		// seat means the cold cell cannot take anyone: end the pass.
-		var coldTenants []placement.Tenant
-		var coldPins []int
-		for _, s := range o.cells[cold] {
-			for _, i := range residents[s] {
-				coldTenants = append(coldTenants, ptenants[i])
-				coldPins = append(coldPins, o.localIdx[s])
+		// The destination seat: the cold cell's least-populated machine
+		// with a free slot (ties to the smaller local index). The
+		// admission probe's canonical first-feasible seat is wrong here —
+		// it would pile every drain onto the cell's first machine, and
+		// once that machine carries one mover, pricing refuses all later
+		// drains while an empty machine sits further down the cell. QoS
+		// feasibility is checked on the priced destination run below, so
+		// the better seat costs no extra scoring.
+		seat, dstSrv := -1, -1
+		for l, s := range o.cells[cold] {
+			if len(residents[s]) >= capacity {
+				continue
+			}
+			if seat < 0 || len(residents[s]) < len(residents[dstSrv]) {
+				seat, dstSrv = l, s
 			}
 		}
-		coldTenants = append(coldTenants, ptenants[mover])
-		coldPins = append(coldPins, -1)
-		copts := o.cellOpts(cold)
-		copts.Pinned = coldPins
-		seat, err := placement.AdmitSeat(coldTenants, copts, len(coldTenants)-1)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: rebalance seating: %w", err)
-		}
 		if seat < 0 {
-			break
+			setAside()
+			continue
 		}
-		dstSrv := o.cells[cold][seat]
 
 		// Price the move with four single-machine what-ifs, all in the
 		// placement objective's basis (fingerprinted estimators, cell
 		// cache shards): improvement = what the source machine sheds
 		// minus what the destination machine takes on.
-		srcCost := func(members []int) (float64, error) {
+		score := func(copts placement.Options, server int, members []int) (*core.Result, []placement.Tenant, error) {
 			if len(members) == 0 {
-				return 0, nil
+				return nil, nil, nil
 			}
 			pt := make([]placement.Tenant, len(members))
 			for k, i := range members {
@@ -160,29 +193,17 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 			for k := range all {
 				all[k] = k
 			}
-			res, err := placement.ScoreMachine(pt, o.cellOpts(hot), o.localIdx[moverSrv], all)
+			res, err := placement.ScoreMachine(pt, copts, server, all)
 			if err != nil {
-				return 0, fmt.Errorf("fleet: rebalance pricing server %d: %w", moverSrv, err)
+				return nil, nil, fmt.Errorf("fleet: rebalance pricing cell server %d: %w", server, err)
 			}
-			return res.TotalCost, nil
+			return res, pt, nil
 		}
-		dstCost := func(members []int) (float64, error) {
-			if len(members) == 0 {
-				return 0, nil
+		cost := func(res *core.Result) float64 {
+			if res == nil {
+				return 0
 			}
-			pt := make([]placement.Tenant, len(members))
-			for k, i := range members {
-				pt[k] = ptenants[i]
-			}
-			all := make([]int, len(members))
-			for k := range all {
-				all[k] = k
-			}
-			res, err := placement.ScoreMachine(pt, o.cellOpts(cold), seat, all)
-			if err != nil {
-				return 0, fmt.Errorf("fleet: rebalance pricing server %d: %w", dstSrv, err)
-			}
-			return res.TotalCost, nil
+			return res.TotalCost
 		}
 		srcRemain := make([]int, 0, len(residents[moverSrv])-1)
 		for _, i := range residents[moverSrv] {
@@ -190,28 +211,41 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 				srcRemain = append(srcRemain, i)
 			}
 		}
-		srcBefore, err := srcCost(residents[moverSrv])
+		srcBeforeRes, _, err := score(o.cellOpts(hot), o.localIdx[moverSrv], residents[moverSrv])
 		if err != nil {
 			return nil, err
 		}
-		srcAfter, err := srcCost(srcRemain)
+		srcAfterRes, _, err := score(o.cellOpts(hot), o.localIdx[moverSrv], srcRemain)
 		if err != nil {
 			return nil, err
 		}
-		dstBefore, err := dstCost(residents[dstSrv])
+		dstBeforeRes, _, err := score(o.cellOpts(cold), seat, residents[dstSrv])
 		if err != nil {
 			return nil, err
 		}
-		dstAfter, err := dstCost(append(append([]int(nil), residents[dstSrv]...), mover))
+		dstMembers := append(append([]int(nil), residents[dstSrv]...), mover)
+		dstAfterRes, dstPT, err := score(o.cellOpts(cold), seat, dstMembers)
 		if err != nil {
 			return nil, err
 		}
-		improvement := (srcBefore - srcAfter) - (dstAfter - dstBefore)
+		// The destination run doubles as the admission check: every
+		// member of the proposed machine (the mover and the residents it
+		// would squeeze) must stay within its degradation limit.
+		allDst := make([]int, len(dstPT))
+		for k := range allDst {
+			allDst[k] = k
+		}
+		if !placement.WithinLimits(dstAfterRes, dstPT, allDst) {
+			setAside()
+			continue
+		}
+		improvement := (cost(srcBeforeRes) - cost(srcAfterRes)) - (cost(dstAfterRes) - cost(dstBeforeRes))
 		// The same hysteresis rule as within-cell migration: the move
 		// must strictly beat its cost (at MigrationCost 0 any strict
 		// improvement is enough; +Inf freezes rebalancing too).
 		if !(improvement > o.opts.MigrationCost) {
-			break
+			setAside()
+			continue
 		}
 		moves = append(moves, rebalanceMove{id: tenants[mover].ID, from: moverSrv, to: dstSrv})
 		// Bookkeeping for the next iteration: the mover changes machine

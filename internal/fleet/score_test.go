@@ -28,6 +28,14 @@ func samePeriodReports(t *testing.T, label string, a, b []*PeriodReport) {
 			x.MaxDegradation != y.MaxDegradation {
 			t.Fatalf("%s period %d: reports diverge: %+v vs %+v", label, p+1, x, y)
 		}
+		if x.RebalanceMoves != y.RebalanceMoves || len(x.Rebalanced) != len(y.Rebalanced) {
+			t.Fatalf("%s period %d: rebalancing diverges: %v vs %v", label, p+1, x.Rebalanced, y.Rebalanced)
+		}
+		for i := range x.Rebalanced {
+			if x.Rebalanced[i] != y.Rebalanced[i] {
+				t.Fatalf("%s period %d: rebalancing diverges: %v vs %v", label, p+1, x.Rebalanced, y.Rebalanced)
+			}
+		}
 		if len(x.Rejected) != len(y.Rejected) {
 			t.Fatalf("%s period %d: rejected diverge", label, p+1)
 		}

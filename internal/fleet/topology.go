@@ -64,6 +64,7 @@ func (o *Orchestrator) AddServer(profile string) int {
 		o.cells = append(o.cells, nil)
 		o.cellProfiles = append(o.cellProfiles, nil)
 		o.delta = append(o.delta, cellDelta{})
+		o.lat = append(o.lat, cellLatency{})
 		var sc *score.Cache
 		var ec *score.EstimateCache
 		if !o.opts.DisableScoreCache {
@@ -89,8 +90,11 @@ func (o *Orchestrator) AddServer(profile string) int {
 	o.localIdx = append(o.localIdx, len(o.cells[target])-1)
 	o.machines = append(o.machines, newMachine(o.opts, profile, o.scores[target], o.met.dyn))
 	// The joined cell's machine set changed: its stored outcome no longer
-	// answers for the cell and must not be replayed.
+	// answers for the cell and must not be replayed — and its latency
+	// window described the smaller cell, so it restarts with a warmup
+	// skip.
 	o.delta[target].settled = false
+	o.lat[target].edited()
 	return s
 }
 
@@ -136,6 +140,7 @@ func (o *Orchestrator) RemoveServer(server int) error {
 	// longer exists and must never be replayed.
 	o.machines[server] = newMachine(o.opts, o.opts.Profiles[server], nil, o.met.dyn)
 	o.delta[c] = cellDelta{}
+	o.lat[c].edited()
 	return nil
 }
 

@@ -319,43 +319,82 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// HistogramSnapshot is a self-consistent point-in-time copy of a
+// histogram: the bucket counts are loaded in one pass and N is derived
+// from those same counts, so the rank arithmetic in Quantile can never
+// chase a total the buckets don't yet (or no longer) add up to. Bounds
+// aliases the histogram's immutable bound slice; treat it as read-only.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	N      uint64
+	Sum    float64
+}
+
+// Snapshot captures the histogram's current bucket counts in one pass.
+// Concurrent Observe calls may land between two bucket loads — the
+// snapshot is some valid recent state, not a global atomic cut — but it
+// is internally consistent: N always equals the sum of Counts. Safe on
+// a nil receiver (returns the zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Bounds: h.bounds, Counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.N += c
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
 // interpolation inside the bucket holding the target rank — the same
 // estimate a Prometheus histogram_quantile would produce. Values in
 // the overflow (+Inf) bucket clamp to the largest finite bound. NaN
-// when the histogram is empty or nil.
+// when the histogram is empty or nil. The counts are snapshotted once
+// per call, so a reader (the fleet auto-tuner, a benchmark) racing a
+// concurrent Observe sees a self-consistent state rather than a torn
+// total/bucket mix.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return math.NaN()
 	}
-	total := h.n.Load()
-	if total == 0 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-quantile of the snapshot (see
+// Histogram.Quantile). NaN when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.N == 0 {
 		return math.NaN()
 	}
-	rank := q * float64(total)
+	rank := q * float64(s.N)
 	var cum float64
-	for i := range h.counts {
-		c := float64(h.counts[i].Load())
+	for i, ci := range s.Counts {
+		c := float64(ci)
 		if cum+c < rank || c == 0 {
 			cum += c
 			continue
 		}
-		if i >= len(h.bounds) { // overflow bucket
-			if len(h.bounds) == 0 {
+		if i >= len(s.Bounds) { // overflow bucket
+			if len(s.Bounds) == 0 {
 				return math.NaN()
 			}
-			return h.bounds[len(h.bounds)-1]
+			return s.Bounds[len(s.Bounds)-1]
 		}
 		lower := 0.0
 		if i > 0 {
-			lower = h.bounds[i-1]
+			lower = s.Bounds[i-1]
 		}
-		return lower + (h.bounds[i]-lower)*(rank-cum)/c
+		return lower + (s.Bounds[i]-lower)*(rank-cum)/c
 	}
-	if len(h.bounds) == 0 {
+	if len(s.Bounds) == 0 {
 		return math.NaN()
 	}
-	return h.bounds[len(h.bounds)-1]
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // WritePrometheus renders every registered family in Prometheus text
@@ -402,15 +441,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	// One snapshot per scrape: the cumulative bucket line for +Inf and
+	// the _count line come from the same loaded counts, so a scrape
+	// racing Observe can never emit a _count the buckets disagree with.
+	s := h.Snapshot()
 	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.counts[i].Load()
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
 		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += s.Counts[len(s.Bounds)]
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count %d\n", name, s.N)
 }
 
 func writeVec(b *strings.Builder, name string, v *CounterVec) {

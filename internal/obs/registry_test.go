@@ -216,3 +216,49 @@ func TestConcurrentScrape(t *testing.T) {
 		t.Errorf("histogram count = %d, want 4000", h.Count())
 	}
 }
+
+// Snapshots taken while writers hammer Observe must be internally
+// consistent: N equals the sum of Counts (the torn-read bug Quantile
+// used to have — total loaded separately from the buckets — let the
+// rank arithmetic chase observations the buckets didn't hold yet), and
+// a non-empty snapshot yields a quantile inside the value range.
+func TestHistogramSnapshotUnderConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 8)) // bounds 1..128
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(1 + (w*perWriter+i)%200))
+			}
+		}(w)
+	}
+	close(start)
+	for reads := 0; reads < 2000; reads++ {
+		s := h.Snapshot()
+		var total uint64
+		for _, c := range s.Counts {
+			total += c
+		}
+		if total != s.N {
+			t.Fatalf("torn snapshot: N=%d, counts sum to %d", s.N, total)
+		}
+		if s.N > 0 {
+			if q := s.Quantile(0.95); math.IsNaN(q) || q < 0 || q > 128 {
+				t.Fatalf("p95 = %v out of range with %d observations", q, s.N)
+			}
+		}
+	}
+	wg.Wait()
+	final := h.Snapshot()
+	if want := uint64(writers * perWriter); final.N != want || h.Count() != want {
+		t.Fatalf("final N = %d (Count %d), want %d", final.N, h.Count(), want)
+	}
+	if final.Sum != h.Sum() {
+		t.Fatalf("settled snapshot sum %v != Sum() %v", final.Sum, h.Sum())
+	}
+}

@@ -138,6 +138,44 @@ func computeCellIndex(profiles []string, cellSize int) []int {
 	return out
 }
 
+// SplitCellMembers divides one cell's servers into two profile-balanced
+// halves for a partition split: members are grouped by profile class
+// (first-appearance order over the cell's local profile slice, the same
+// order computeCellIndex uses fleet-wide) and dealt with one rolling
+// counter — exactly the two-cell case of the fleet partitioner — so the
+// halves are balanced both in total size (±1, keep gets the extra) and
+// per profile class (±1), and a tenant needing a particular hardware
+// generation still finds it after the split. profiles[i] is the profile
+// of members[i]. A cell of fewer than two servers is unsplittable: keep
+// aliases members and move is nil.
+func SplitCellMembers(profiles []string, members []int) (keep, move []int) {
+	if len(members) < 2 {
+		return members, nil
+	}
+	order := make(map[string][]int)
+	var keys []string
+	for i, p := range profiles {
+		if _, ok := order[p]; !ok {
+			keys = append(keys, p)
+		}
+		order[p] = append(order[p], members[i])
+	}
+	keep = make([]int, 0, (len(members)+1)/2)
+	move = make([]int, 0, len(members)/2)
+	c := 0
+	for _, p := range keys {
+		for _, s := range order[p] {
+			if c%2 == 0 {
+				keep = append(keep, s)
+			} else {
+				move = append(move, s)
+			}
+			c++
+		}
+	}
+	return keep, move
+}
+
 // cellState is the two-level search's level-one index: per-cell
 // aggregate headroom summaries, maintained incrementally as the greedy
 // loop seats tenants so candidate-cell selection never rescans the

@@ -826,6 +826,15 @@ func (sc *scorer) recommend(members []int, profile int, workers int) (*core.Resu
 	return core.Recommend(memberEsts, co)
 }
 
+// WithinLimits reports whether every member of a scored machine meets
+// its degradation limit — the same predicate admission and local search
+// apply, exported so the fleet rebalancer can check a priced
+// destination run for feasibility instead of paying a second scoring.
+// members indexes into tenants, parallel to the result's slots.
+func WithinLimits(res *core.Result, tenants []Tenant, members []int) bool {
+	return withinLimits(res, tenants, members)
+}
+
 // withinLimits reports whether every member of a scored machine meets
 // its degradation limit (the single limit predicate lives in violators).
 func withinLimits(res *core.Result, tenants []Tenant, members []int) bool {

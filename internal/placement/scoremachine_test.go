@@ -1,0 +1,104 @@
+package placement
+
+import (
+	"sort"
+	"testing"
+)
+
+// ScoreMachine is the single-machine what-if behind the fleet's
+// cross-cell rebalancer; WithinLimits is the QoS predicate the
+// rebalancer applies to the priced destination run. Together they must
+// answer "what would this machine cost with this tenant, and does
+// everyone still fit?" consistently with admission.
+func TestScoreMachineAndWithinLimits(t *testing.T) {
+	tenants := []Tenant{
+		{Name: "heavy", Est: synth(100, 20, 0)},
+		{Name: "light", Est: synth(4, 2, 0)},
+		{Name: "strict", Est: synth(90, 25, 0), Limit: 1.05},
+	}
+	opts := Options{Servers: 2}
+
+	alone, err := ScoreMachine(tenants, opts, 0, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alone.Allocations) != 1 {
+		t.Fatalf("dedicated run scored %d slots, want 1", len(alone.Allocations))
+	}
+	if !WithinLimits(alone, tenants, []int{2}) {
+		t.Error("dedicated machine violates the tenant's own limit")
+	}
+
+	shared, err := ScoreMachine(tenants, opts, 1, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.Allocations) != 2 {
+		t.Fatalf("shared run scored %d slots, want 2", len(shared.Allocations))
+	}
+	if shared.TotalCost <= alone.TotalCost {
+		t.Errorf("sharing with a heavy tenant cost %v, want more than dedicated %v",
+			shared.TotalCost, alone.TotalCost)
+	}
+	if WithinLimits(shared, tenants, []int{0, 2}) {
+		t.Error("limit 1.05 tenant squeezed by a heavy neighbour still reported within limits")
+	}
+
+	for _, bad := range []struct {
+		name    string
+		server  int
+		members []int
+	}{
+		{"no members", 0, nil},
+		{"bad server", 9, []int{0}},
+		{"bad member", 0, []int{5}},
+	} {
+		if _, err := ScoreMachine(tenants, opts, bad.server, bad.members); err == nil {
+			t.Errorf("%s: no error", bad.name)
+		}
+	}
+}
+
+// SplitCellMembers must deal a cell into two halves balanced both in
+// total size (keep gets the extra) and per profile class, covering the
+// members exactly; sub-splittable cells come back unchanged.
+func TestSplitCellMembers(t *testing.T) {
+	profiles := []string{"a", "b", "a", "b", "a"}
+	members := []int{10, 11, 12, 13, 14}
+	keep, move := SplitCellMembers(profiles, members)
+	if len(keep) != 3 || len(move) != 2 {
+		t.Fatalf("split sizes %d/%d, want 3/2 (keep gets the extra)", len(keep), len(move))
+	}
+	byProfile := map[string][2]int{}
+	prof := map[int]string{}
+	for i, m := range members {
+		prof[m] = profiles[i]
+	}
+	all := append(append([]int(nil), keep...), move...)
+	sort.Ints(all)
+	for i, m := range all {
+		if m != members[i] {
+			t.Fatalf("halves %v+%v do not cover members %v", keep, move, members)
+		}
+	}
+	for _, m := range keep {
+		c := byProfile[prof[m]]
+		c[0]++
+		byProfile[prof[m]] = c
+	}
+	for _, m := range move {
+		c := byProfile[prof[m]]
+		c[1]++
+		byProfile[prof[m]] = c
+	}
+	for p, c := range byProfile {
+		if d := c[0] - c[1]; d < -1 || d > 1 {
+			t.Errorf("profile %q split %d/%d, want balanced ±1", p, c[0], c[1])
+		}
+	}
+
+	keep, move = SplitCellMembers([]string{"a"}, []int{7})
+	if len(keep) != 1 || keep[0] != 7 || move != nil {
+		t.Errorf("single-machine cell split to %v/%v, want unchanged", keep, move)
+	}
+}
