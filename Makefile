@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-all bench-smoke bench-record bench-check cover examples metrics-smoke lint fmt vet check
+.PHONY: build test race bench bench-all bench-smoke bench-record bench-check cover examples metrics-smoke snapshot-smoke lint fmt vet check
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,34 @@ metrics-smoke:
 	grep -q '"name":"period"' .bin/trace.ndjson || { echo "metrics-smoke: no period spans in trace output"; exit 1; }; \
 	kill $$pid 2>/dev/null || true; trap - EXIT; rm -rf .bin; echo "metrics-smoke: ok"
 
+# Durability smoke: the resumed run must reproduce the uninterrupted
+# one through the advisor binary, end to end. One fleet runs 6 periods
+# straight; a second runs 3 and snapshots; a third re-creates the fleet
+# from the same flags, restores, and runs the remaining 3. The resumed
+# period lines (timing stripped) and the final tenant table must match
+# the uninterrupted run's exactly — cache-statistics lines are excluded
+# on purpose, since a restored process's caches start differently while
+# its results may not.
+snapshot-smoke:
+	@set -e; mkdir -p .bin; $(GO) build -o .bin/advisor ./cmd/advisor; \
+	flags="-migration-cost 5 -servers 4 -cells 2 \
+		-tenant a:pg:tpch1 -tenant b:db2:tpcc -tenant c:pg:tpch1 -tenant d:pg:tpch1"; \
+	.bin/advisor -periods 6 $$flags > .bin/full.out; \
+	.bin/advisor -periods 3 $$flags -snapshot .bin/fleet.snap > .bin/first.out; \
+	grep -q '^snapshot: wrote' .bin/first.out || { echo "snapshot-smoke: advisor never wrote the snapshot"; exit 1; }; \
+	.bin/advisor -periods 3 $$flags -restore .bin/fleet.snap > .bin/resumed.out; \
+	grep '^period' .bin/full.out | tail -3 | sed 's/ dur=[^ ]*//' > .bin/want.periods; \
+	grep '^period' .bin/resumed.out | sed 's/ dur=[^ ]*//' > .bin/got.periods; \
+	if ! cmp -s .bin/want.periods .bin/got.periods; then \
+		echo "snapshot-smoke: resumed periods diverge from the uninterrupted run"; \
+		diff .bin/want.periods .bin/got.periods || true; exit 1; fi; \
+	awk '/^tenant /{f=1} /^fleet of/{f=0} f' .bin/full.out > .bin/want.table; \
+	awk '/^tenant /{f=1} /^fleet of/{f=0} f' .bin/resumed.out > .bin/got.table; \
+	if ! cmp -s .bin/want.table .bin/got.table; then \
+		echo "snapshot-smoke: resumed tenant table diverges from the uninterrupted run"; \
+		diff .bin/want.table .bin/got.table || true; exit 1; fi; \
+	rm -rf .bin; echo "snapshot-smoke: ok"
+
 # Build (compile + link) every example program; binaries land in a
 # scratch dir so the repo stays clean.
 examples:
@@ -125,4 +153,4 @@ vet:
 
 lint: fmt vet
 
-check: build lint test race bench-smoke cover examples metrics-smoke
+check: build lint test race bench-smoke cover examples metrics-smoke snapshot-smoke

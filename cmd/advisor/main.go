@@ -95,6 +95,10 @@ func main() {
 		"fleet mode: keep the metrics endpoint up this long after the run completes, so scrapers can collect the final state")
 	traceOut := flag.String("trace-out", "",
 		"fleet mode: write each period's span tree as one JSON line to this file")
+	snapshotPath := flag.String("snapshot", "",
+		"fleet mode: persist an orchestrator snapshot to this file after the last period (atomic temp-file+rename)")
+	restorePath := flag.String("restore", "",
+		"fleet mode: restore orchestrator state from this snapshot file before the first period (periods continue from the snapshot's counter)")
 	flag.Parse()
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -155,11 +159,16 @@ func main() {
 			metricsAddr:      *metricsAddr,
 			metricsLinger:    *metricsLinger,
 			traceOut:         *traceOut,
+			snapshotPath:     *snapshotPath,
+			restorePath:      *restorePath,
 		})
 		return
 	}
 	if *metricsAddr != "" || *traceOut != "" || *metricsLinger != 0 {
 		fatal(fmt.Errorf("-metrics-addr/-metrics-linger/-trace-out require fleet mode (-periods > 1)"))
+	}
+	if *snapshotPath != "" || *restorePath != "" {
+		fatal(fmt.Errorf("-snapshot/-restore require fleet mode (-periods > 1)"))
 	}
 	if *cacheCapacity != 0 || *estimateCapacity != 0 || *cacheSweep != 0 {
 		fatal(fmt.Errorf("-cache-capacity/-estimate-cache-capacity/-cache-sweep require fleet mode (-periods > 1)"))
@@ -259,6 +268,8 @@ type fleetConfig struct {
 	metricsAddr      string
 	metricsLinger    time.Duration
 	traceOut         string
+	snapshotPath     string
+	restorePath      string
 }
 
 // runFleet drives the tenants through monitoring periods on a (possibly
@@ -324,6 +335,15 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		}
 		handles[i] = h
 	}
+	if cfg.restorePath != "" {
+		// Restore before the first period: the fleet above was re-created
+		// exactly as the snapshotted one (same flags build the same
+		// servers and tenants), and picks up where it left off — the next
+		// period number continues from the snapshot's counter.
+		if err := vdesign.RestoreFleetFromFile(cfg.restorePath, f, nil); err != nil {
+			fatal(err)
+		}
+	}
 	var rep *vdesign.FleetPeriodReport
 	lsImproved := 0.0
 	for p := 1; p <= periods; p++ {
@@ -365,6 +385,12 @@ func runFleet(specs []tenantSpec, qosOf map[string]vdesign.QoS, machines []vdesi
 		f.Servers(), cfg.migrationCost, hits, misses, runs, lsImproved)
 	fmt.Printf("cache entries: %d scores (%d evicted), %d estimates (%d evicted)\n",
 		scoreN, scoreEv, estN, estEv)
+	if cfg.snapshotPath != "" {
+		if err := f.SnapshotToFile(cfg.snapshotPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot: wrote %s\n", cfg.snapshotPath)
+	}
 	if cfg.metricsAddr != "" && cfg.metricsLinger > 0 {
 		// Hold the endpoint up so a scraper started alongside the run can
 		// still collect the final counters (CI does exactly this).

@@ -436,6 +436,41 @@ func (f *Fleet) periodInputs() ([]fleet.Tenant, error) {
 	return inputs, nil
 }
 
+// orchOptions shapes the orchestrator options from the fleet's current
+// configuration — shared by the first Period (which creates the
+// orchestrator) and RestoreFleet (which rebuilds it from a snapshot, so
+// both paths must derive the options identically).
+func (f *Fleet) orchOptions() fleet.Options {
+	cells := f.opts.Cells
+	if f.opts.AutoTuneCells && cells <= 0 {
+		// Auto-tuning needs a cell-size bound; default to the fleet
+		// size so the tuner starts from one cell and splits downward.
+		cells = len(f.keys)
+	}
+	budget := f.opts.CellRebalance
+	if f.opts.RebalanceBudget > 0 {
+		budget = f.opts.RebalanceBudget
+	}
+	return fleet.Options{
+		Profiles:              f.keys,
+		MigrationCost:         f.opts.MigrationCost,
+		Core:                  f.coreOpts(),
+		LocalSearch:           f.opts.LocalSearch,
+		AdmitQoS:              f.opts.AdmitQoS,
+		DisableScoreCache:     f.opts.DisableScoreCache,
+		CacheCapacity:         f.opts.ScoreCacheCapacity,
+		EstimateCacheCapacity: f.opts.EstimateCacheCapacity,
+		CacheSweep:            f.opts.ScoreCacheSweep,
+		Incremental:           f.opts.Incremental,
+		Cells:                 cells,
+		CellRebalance:         budget,
+		AutoTuneCells:         f.opts.AutoTuneCells,
+		CellP95Target:         f.opts.CellLatencyTarget.Seconds(),
+		Metrics:               f.opts.Metrics,
+		TraceSink:             f.opts.TraceSink,
+	}
+}
+
 // Period runs one monitoring period: place (or keep) every live tenant,
 // then classify, re-tune, measure, and refine each machine. The first
 // call fixes the fleet topology and performs the initial placement.
@@ -445,34 +480,7 @@ func (f *Fleet) Period() (*FleetPeriodReport, error) {
 		return nil, errors.New("vdesign: fleet has no servers")
 	}
 	if f.orch == nil {
-		cells := f.opts.Cells
-		if f.opts.AutoTuneCells && cells <= 0 {
-			// Auto-tuning needs a cell-size bound; default to the fleet
-			// size so the tuner starts from one cell and splits downward.
-			cells = len(f.keys)
-		}
-		budget := f.opts.CellRebalance
-		if f.opts.RebalanceBudget > 0 {
-			budget = f.opts.RebalanceBudget
-		}
-		orch, err := fleet.New(fleet.Options{
-			Profiles:              f.keys,
-			MigrationCost:         f.opts.MigrationCost,
-			Core:                  f.coreOpts(),
-			LocalSearch:           f.opts.LocalSearch,
-			AdmitQoS:              f.opts.AdmitQoS,
-			DisableScoreCache:     f.opts.DisableScoreCache,
-			CacheCapacity:         f.opts.ScoreCacheCapacity,
-			EstimateCacheCapacity: f.opts.EstimateCacheCapacity,
-			CacheSweep:            f.opts.ScoreCacheSweep,
-			Incremental:           f.opts.Incremental,
-			Cells:                 cells,
-			CellRebalance:         budget,
-			AutoTuneCells:         f.opts.AutoTuneCells,
-			CellP95Target:         f.opts.CellLatencyTarget.Seconds(),
-			Metrics:               f.opts.Metrics,
-			TraceSink:             f.opts.TraceSink,
-		})
+		orch, err := fleet.New(f.orchOptions())
 		if err != nil {
 			return nil, fmt.Errorf("vdesign: %w", err)
 		}

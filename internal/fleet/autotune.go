@@ -78,19 +78,25 @@ const (
 // an EWMA for the dispatcher's expected-duration ranking. Cells that
 // settle stop being observed — their windows go stale and the
 // controller leaves them alone, which is exactly right: a replayed cell
-// costs nothing, so its latency needs no tuning.
+// costs nothing, so its latency needs no tuning. The stale bit tracks
+// exactly that: every committed period marks all cells stale and then
+// clears the bit on the cells it observed, so stale means "did not
+// compute last period" and the controller (and CellLatencyP95) can tell
+// a live window from one frozen periods ago.
 type cellLatency struct {
-	ewma float64
-	win  [autotuneWindow]float64
-	n    int // live observations in win
-	next int // ring cursor
-	skip int // observations left to discard (post-edit warmup)
+	ewma  float64
+	win   [autotuneWindow]float64
+	n     int  // live observations in win
+	next  int  // ring cursor
+	skip  int  // observations left to discard (post-edit warmup)
+	stale bool // no observation in the last committed period
 }
 
 // observe records one periodCell duration. The EWMA always updates
 // (even a warmup run is a fine scheduling hint); the p95 window only
 // accepts observations past the warmup skip.
 func (l *cellLatency) observe(d float64) {
+	l.stale = false
 	if l.ewma == 0 {
 		l.ewma = d
 	} else {
@@ -135,11 +141,15 @@ func (l *cellLatency) p95() float64 {
 
 // CellLatencyP95 reports one cell's observed p95 compute latency in
 // seconds — the auto-tuner's feedback signal — or -1 when the cell has
-// no (post-warmup) observations yet, is settled and no longer being
-// observed, or the index is out of range. Read between periods; it is
-// not synchronized with a running Period.
+// no (post-warmup) observations yet, was not observed in the last
+// committed period (settled cells replay instead of computing, so their
+// windows are stale), or the index is out of range. Read between
+// periods; it is not synchronized with a running Period.
 func (o *Orchestrator) CellLatencyP95(cell int) float64 {
 	if cell < 0 || cell >= len(o.lat) {
+		return -1
+	}
+	if o.lat[cell].stale {
 		return -1
 	}
 	return o.lat[cell].p95()
@@ -193,18 +203,21 @@ func (o *Orchestrator) autoTune(rep *PeriodReport, ran []int) {
 	}
 	// Merge at most one pair per period, and only in a period that split
 	// nothing: both cells below the band's floor with enough samples,
-	// combined size within the Options.Cells ceiling. Scanned in
-	// ascending (a, b) order for determinism; the lower-indexed cell
-	// absorbs the other.
+	// combined size within the Options.Cells ceiling. Stale cells — not
+	// observed this period, typically because they settled and replayed
+	// — are skipped: their frozen windows describe a regime periods old,
+	// and a replayed cell costs nothing, so there is no latency to tune
+	// (the cellLatency contract). Scanned in ascending (a, b) order for
+	// determinism; the lower-indexed cell absorbs the other.
 	floor := target * autotuneLowFrac
 	for a := 0; a < len(o.cells); a++ {
 		la := &o.lat[a]
-		if len(o.cells[a]) == 0 || la.n < autotuneMinObs || la.p95() >= floor {
+		if len(o.cells[a]) == 0 || la.stale || la.n < autotuneMinObs || la.p95() >= floor {
 			continue
 		}
 		for b := a + 1; b < len(o.cells); b++ {
 			lb := &o.lat[b]
-			if len(o.cells[b]) == 0 || lb.n < autotuneMinObs || lb.p95() >= floor {
+			if len(o.cells[b]) == 0 || lb.stale || lb.n < autotuneMinObs || lb.p95() >= floor {
 				continue
 			}
 			if len(o.cells[a])+len(o.cells[b]) > o.opts.Cells {

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// CellLatencyP95's honesty contract: -1 for any cell that was not
+// observed in the last committed period. A settled cell replays instead
+// of computing, so its frozen window must not be reported as a live
+// p95 — the bug this pins was returning the stale window verbatim.
+func TestFleetCellLatencyP95StaleAfterSettle(t *testing.T) {
+	sf := deltaFleet()
+	o, err := New(deltaOptions(sf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := baseTenants()
+	settle(t, o, sf.inputs(tenants), 12)
+	// The settling period replayed every cell: no cell computed, every
+	// window is frozen, and the probe must say so for all of them.
+	occupied := occupiedCellSet(o)
+	if len(occupied) != 2 {
+		t.Fatalf("fixture occupies cells %v, want 2", occupied)
+	}
+	for _, c := range occupied {
+		if got := o.CellLatencyP95(c); got != -1 {
+			t.Fatalf("settled cell %d reports p95 %v, want -1", c, got)
+		}
+	}
+	// Drift one tenant: its cell computes and reports a live p95 again;
+	// the other cell keeps replaying and stays at -1.
+	for _, st := range tenants {
+		if st.id == "t0" {
+			st.alpha *= 1.3
+		}
+	}
+	rep, err := o.Period(sf.inputs(tenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driftCell := o.CellOf(rep.Assignment["t0"])
+	if len(rep.DirtyCells) != 1 || rep.DirtyCells[0] != driftCell {
+		t.Fatalf("drift dirtied cells %v, want exactly [%d]", rep.DirtyCells, driftCell)
+	}
+	if got := o.CellLatencyP95(driftCell); got <= 0 {
+		t.Fatalf("freshly observed cell %d reports p95 %v, want > 0", driftCell, got)
+	}
+	for _, c := range occupied {
+		if c != driftCell {
+			if got := o.CellLatencyP95(c); got != -1 {
+				t.Fatalf("still-settled cell %d reports p95 %v, want -1", c, got)
+			}
+		}
+	}
+}
+
+// The auto-tune merge scan must only pair cells observed in the period
+// it acts on. A settled half's window can sit far below the merge floor
+// with plenty of samples — but those samples describe a regime periods
+// old, and the buggy controller merged on them. The pair may merge only
+// once both halves compute in the same period.
+func TestFleetAutoTuneMergeSkipsStaleCells(t *testing.T) {
+	sf := deltaFleet()
+	op := deltaOptions(sf)
+	op.Cells = 4 // one 4-machine cell at New; the manual split makes two halves
+	o, err := New(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc := o.splitCell(0); nc == 0 {
+		t.Fatal("splitCell did not found a new cell")
+	}
+	tenants := baseTenants()
+	settle(t, o, sf.inputs(tenants), 12)
+	halves := occupiedCellSet(o)
+	if len(halves) != 2 {
+		t.Fatalf("split fixture occupies cells %v, want 2", halves)
+	}
+	byCell := map[int][]*simTenant{}
+	for _, st := range tenants {
+		byCell[o.CellOf(o.Assignment()[st.id])] = append(byCell[o.CellOf(o.Assignment()[st.id])], st)
+	}
+	if len(byCell[halves[0]]) == 0 || len(byCell[halves[1]]) == 0 {
+		t.Fatalf("tenants occupy only one half: %v", byCell)
+	}
+	// Deterministic feedback state: both halves carry full observation
+	// windows far below the merge floor, so by window content alone both
+	// are merge candidates from the first controller period.
+	for _, c := range halves {
+		l := &o.lat[c]
+		l.n, l.next, l.skip = autotuneWindow, 0, 0
+		for j := range l.win {
+			l.win[j] = 1e-9
+		}
+	}
+	// Arm the controller by direct option edit: SetOptions would clear
+	// every settled bit, force both halves to recompute, and erase the
+	// staleness this test stages.
+	o.opts.AutoTuneCells = true
+	o.opts.CellP95Target = 1e6 // floor 2.5e5s: every observed cell is "too cold"
+
+	driftHalf, settledHalf := halves[0], halves[1]
+	run := func(cells ...int) *PeriodReport {
+		t.Helper()
+		for _, c := range cells {
+			for _, st := range byCell[c] {
+				st.alpha *= 1.02
+			}
+		}
+		rep, err := o.Period(sf.inputs(tenants))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// Only one half drifts: the other replays, goes stale, and must be
+	// skipped by the merge scan every period — its sub-floor window
+	// notwithstanding.
+	for p := 0; p < 3; p++ {
+		rep := run(driftHalf)
+		if len(rep.CellMerges) != 0 || len(rep.CellSplits) != 0 {
+			t.Fatalf("period with a settled half edited the partition: splits %v merges %v",
+				rep.CellSplits, rep.CellMerges)
+		}
+	}
+	if got := occupiedCellSet(o); len(got) != 2 {
+		t.Fatalf("stale phase changed the partition: occupied cells %v", got)
+	}
+	// Drift both halves: both are observed in the same period and the
+	// pair merges at its commit.
+	rep := run(driftHalf, settledHalf)
+	if len(rep.CellMerges) != 1 {
+		t.Fatalf("both-observed period merged %v, want exactly one pair", rep.CellMerges)
+	}
+	if got := occupiedCellSet(o); len(got) != 1 {
+		t.Fatalf("merge left occupied cells %v, want 1", got)
+	}
+}

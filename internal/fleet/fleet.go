@@ -1165,8 +1165,15 @@ func (o *Orchestrator) Period(tenants []Tenant) (*PeriodReport, error) {
 	// Latency feedback, committed only once the period cannot fail (a
 	// failed period feeds nothing), then the cell-size controller: the
 	// partition edits it adopts dirty only the touched cells and take
-	// effect next period. Timing steers scheduling and the partition,
-	// never the outcome of a fixed partition — see autotune.go.
+	// effect next period. Every cell is first marked stale and the cells
+	// that computed clear the mark in observe(), so a window untouched
+	// this period (a settled, replayed cell) is recognizably frozen —
+	// the auto-tuner and CellLatencyP95 leave it alone. Timing steers
+	// scheduling and the partition, never the outcome of a fixed
+	// partition — see autotune.go.
+	for c := range o.lat {
+		o.lat[c].stale = true
+	}
 	for _, c := range runCells {
 		o.lat[c].observe(durs[c])
 	}

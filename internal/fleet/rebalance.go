@@ -57,11 +57,18 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 		idx[t.ID] = i
 	}
 	// Post-period residents per machine (input indexes, in the machines'
-	// deterministic report order) and each tenant's gain-weighted cost at
-	// its current machine — the ranking signal for who moves. Machine
-	// loads aggregate into per-cell mean pressure.
+	// deterministic report order) and two per-tenant cost readings: the
+	// raw (unweighted) machine-seconds each tenant costs at its current
+	// machine, and the gain-weighted version. The two signals have
+	// different jobs and must not mix units. load[] aggregates RAW costs
+	// into per-cell mean pressure — pressure measures how much compute a
+	// cell's machines actually carry, and the post-move update below
+	// subtracts the same raw quantity, so a multi-move pass walks a
+	// consistent gap. gw[] ranks who moves: a high-gain tenant is the
+	// most valuable one to relieve, even if its raw seconds are modest.
 	residents := make([][]int, len(o.machines))
 	gw := make([]float64, len(tenants))
+	raw := make([]float64, len(tenants))
 	load := make([]float64, nc)
 	count := make([]int, nc)
 	for s := range o.machines {
@@ -79,11 +86,10 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 				if g < 1 {
 					g = 1
 				}
+				raw[i] = m.Result.Costs[k]
 				gw[i] = g * m.Result.Costs[k]
+				load[c] += m.Result.Costs[k]
 			}
-		}
-		if m.Result != nil {
-			load[c] += m.Result.TotalCost
 		}
 	}
 	pressure := func(c int) float64 {
@@ -249,13 +255,16 @@ func (o *Orchestrator) rebalance(rep *PeriodReport, tenants []Tenant, ptenants [
 		}
 		moves = append(moves, rebalanceMove{id: tenants[mover].ID, from: moverSrv, to: dstSrv})
 		// Bookkeeping for the next iteration: the mover changes machine
-		// and cell; its ranking weight travels with it.
+		// and cell, taking its RAW cost with it — load[] is in raw
+		// machine-seconds, so updating it with the gain-weighted cost
+		// would skew (even negate) the pressure gap the next move ranks
+		// by whenever Gain > 1 tenants are in play.
 		residents[moverSrv] = srcRemain
 		residents[dstSrv] = append(residents[dstSrv], mover)
 		count[hot]--
 		count[cold]++
-		load[hot] -= gw[mover]
-		load[cold] += gw[mover]
+		load[hot] -= raw[mover]
+		load[cold] += raw[mover]
 	}
 	return moves, nil
 }

@@ -1,0 +1,961 @@
+package fleet
+
+// Durable snapshot/restore of the whole orchestrator — ROADMAP item 2,
+// the prerequisite for a long-running fleet daemon surviving restarts
+// and rolling upgrades.
+//
+// Format. A snapshot is a small self-describing binary stream:
+//
+//	magic "VDFLEET\x00" | u32 version | section* | END section
+//
+// Every section is length-prefixed and checksummed:
+//
+//	u32 section id | u32 payload length | payload | u32 CRC-32 (IEEE)
+//
+// Sections appear in one fixed order (META, TOPO, ASSIGN, DELTA, SIGS,
+// LAT, MGRS, EST, USER, END); all integers are little-endian, floats
+// are IEEE-754 bits, strings and byte blobs are u32-length-prefixed.
+// The END section (id 0, empty payload) closes the stream, so boundary
+// truncation — the classic partial-write failure — is detected even
+// when every earlier section checks out, and trailing garbage after
+// END is rejected too. The shape follows goDB's page/file layer: fixed
+// magic + version up front, fixed-width little-endian fields, a
+// checksum over every payload, and validation before anything is
+// trusted.
+//
+// What is serialized — everything a period's RESULT depends on: the
+// tenant assignment, the period counter, the cell partition, per-cell
+// delta input sequences and settled bits, the drift-detection
+// signatures (lastSig), the cell latency windows/EWMAs/stale bits, and
+// every machine manager's classification + refined-model state. What
+// is deliberately NOT serialized — things that change only WORK, never
+// results: stored cell outcomes (restored cells come back dirty and
+// recompute once, bit-identically, per delta.go's replay ≡ recompute
+// invariant), machine-score cache contents (deterministic re-runs),
+// and the report history. Point estimates ARE carried (EST section):
+// they are deterministic in their key, so priming them back is free
+// warmth for the first post-restore period.
+//
+// The restore contract: Restore parses and validates the ENTIRE stream
+// — magic, version, section order, every CRC, every cross-reference —
+// before constructing anything, and builds a brand-new Orchestrator
+// rather than mutating one, so a corrupted, truncated, or
+// stale-version snapshot is rejected with a precise error and no
+// half-restored state can exist. The caller passes the same Options the
+// original fleet ran under (the topology-fixed fields — Profiles,
+// Cells, DisableScoreCache — are validated against the snapshot; the
+// rest, like MigrationCost and Core, must match for bit-identical
+// subsequent periods, which only the caller can guarantee).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dynmgmt"
+	"repro/internal/refine"
+	"repro/internal/score"
+)
+
+const (
+	snapMagic   = "VDFLEET\x00"
+	snapVersion = 1
+)
+
+// Section IDs, in stream order.
+const (
+	sectEnd    = 0
+	sectMeta   = 1
+	sectTopo   = 2
+	sectAssign = 3
+	sectDelta  = 4
+	sectSigs   = 5
+	sectLat    = 6
+	sectMgrs   = 7
+	sectEst    = 8
+	sectUser   = 9
+)
+
+var sectName = map[uint32]string{
+	sectEnd:    "END",
+	sectMeta:   "META",
+	sectTopo:   "TOPO",
+	sectAssign: "ASSIGN",
+	sectDelta:  "DELTA",
+	sectSigs:   "SIGS",
+	sectLat:    "LAT",
+	sectMgrs:   "MGRS",
+	sectEst:    "EST",
+	sectUser:   "USER",
+}
+
+// snapEnc appends primitive values to a growing payload buffer.
+type snapEnc struct{ buf []byte }
+
+func (e *snapEnc) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *snapEnc) i64(v int64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+}
+
+func (e *snapEnc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *snapEnc) bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *snapEnc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *snapEnc) alloc(a core.Allocation) {
+	e.i64(int64(len(a)))
+	for _, v := range a {
+		e.f64(v)
+	}
+}
+
+// snapDec consumes primitive values from a payload, latching the first
+// error: once err is set every later read returns the zero value, so
+// decode paths can read unconditionally and check err once.
+type snapDec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *snapDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.fail("truncated payload (want %d bytes at offset %d of %d)", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *snapDec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *snapDec) i64() int64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (d *snapDec) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *snapDec) bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.fail("invalid bool byte %d", b[0])
+	return false
+}
+
+func (d *snapDec) str() string {
+	n := int(d.u32())
+	b := d.take(n)
+	return string(b)
+}
+
+// count reads a non-negative element count and sanity-bounds it by the
+// bytes remaining (each element costs at least min bytes), so a
+// corrupted length can never drive a huge allocation.
+func (d *snapDec) count(min int) int {
+	n := d.i64()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (min > 0 && n > int64(len(d.buf)-d.off)/int64(min)+1) {
+		d.fail("implausible element count %d with %d bytes left", n, len(d.buf)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *snapDec) alloc() core.Allocation {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	a := make(core.Allocation, n)
+	for j := range a {
+		a[j] = d.f64()
+	}
+	return a
+}
+
+// finish asserts the payload was consumed exactly.
+func (d *snapDec) finish(section string) error {
+	if d.err != nil {
+		return fmt.Errorf("fleet: snapshot %s section: %w", section, d.err)
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("fleet: snapshot %s section: %d trailing payload bytes", section, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// writeSection frames one section: id, payload length, payload, CRC.
+func writeSection(out *bytes.Buffer, id uint32, payload []byte) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], id)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	out.Write(hdr[:])
+	out.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	out.Write(crc[:])
+}
+
+// readSection consumes one framed section, verifying the declared id
+// and the payload CRC.
+func readSection(d *snapDec, wantID uint32) ([]byte, error) {
+	name := sectName[wantID]
+	id := d.u32()
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, fmt.Errorf("fleet: snapshot: truncated %s section header", name)
+	}
+	if id != wantID {
+		return nil, fmt.Errorf("fleet: snapshot: expected %s section (id %d), found id %d", name, wantID, id)
+	}
+	payload := d.take(n)
+	sum := d.u32()
+	if d.err != nil {
+		return nil, fmt.Errorf("fleet: snapshot: truncated %s section (declared %d payload bytes)", name, n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("fleet: snapshot: %s section checksum mismatch (stored %08x, computed %08x)", name, sum, got)
+	}
+	return payload, nil
+}
+
+// Snapshot writes a durable snapshot of the orchestrator to w: the
+// versioned, checksummed binary stream described at the top of this
+// file. user is an opaque caller blob carried verbatim (the vdesign
+// layer stores its tenant registry there); nil is fine. Call it between
+// periods — it is not synchronized with a running Period.
+func (o *Orchestrator) Snapshot(w io.Writer, user []byte) error {
+	var out bytes.Buffer
+	out.WriteString(snapMagic)
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], snapVersion)
+	out.Write(ver[:])
+
+	writeSection(&out, sectMeta, o.encodeMeta())
+	writeSection(&out, sectTopo, o.encodeTopo())
+	writeSection(&out, sectAssign, o.encodeAssign())
+	writeSection(&out, sectDelta, o.encodeDelta())
+	writeSection(&out, sectSigs, o.encodeSigs())
+	writeSection(&out, sectLat, o.encodeLat())
+	writeSection(&out, sectMgrs, o.encodeManagers())
+	writeSection(&out, sectEst, o.encodeEstimates())
+	writeSection(&out, sectUser, user)
+	writeSection(&out, sectEnd, nil)
+
+	_, err := w.Write(out.Bytes())
+	return err
+}
+
+func (o *Orchestrator) encodeMeta() []byte {
+	var e snapEnc
+	e.i64(int64(o.opts.Cells))
+	e.bool(o.opts.DisableScoreCache)
+	e.i64(int64(o.period))
+	return e.buf
+}
+
+func (o *Orchestrator) encodeTopo() []byte {
+	var e snapEnc
+	e.i64(int64(len(o.opts.Profiles)))
+	for s, p := range o.opts.Profiles {
+		e.str(p)
+		e.i64(int64(o.cellOf[s]))
+		e.i64(int64(o.localIdx[s]))
+	}
+	e.i64(int64(len(o.cells)))
+	for _, servers := range o.cells {
+		e.i64(int64(len(servers)))
+		for _, s := range servers {
+			e.i64(int64(s))
+		}
+	}
+	return e.buf
+}
+
+func (o *Orchestrator) encodeAssign() []byte {
+	ids := make([]string, 0, len(o.assignment))
+	for id := range o.assignment {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var e snapEnc
+	e.i64(int64(len(ids)))
+	for _, id := range ids {
+		e.str(id)
+		e.i64(int64(o.assignment[id]))
+	}
+	return e.buf
+}
+
+func (o *Orchestrator) encodeDelta() []byte {
+	var e snapEnc
+	e.i64(int64(len(o.delta)))
+	for c := range o.delta {
+		e.i64(int64(len(o.delta[c].ids)))
+		for _, id := range o.delta[c].ids {
+			e.str(id)
+		}
+		e.bool(o.delta[c].settled)
+	}
+	return e.buf
+}
+
+func (o *Orchestrator) encodeSigs() []byte {
+	ids := make([]string, 0, len(o.lastSig))
+	for id := range o.lastSig {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var e snapEnc
+	e.i64(int64(len(ids)))
+	for _, id := range ids {
+		sig := o.lastSig[id]
+		e.str(id)
+		e.str(sig.fp)
+		e.f64(sig.gain)
+		e.f64(sig.limit)
+		e.f64(sig.avg)
+		e.i64(int64(sig.pin))
+	}
+	return e.buf
+}
+
+func (o *Orchestrator) encodeLat() []byte {
+	var e snapEnc
+	e.i64(int64(len(o.lat)))
+	for c := range o.lat {
+		l := &o.lat[c]
+		e.f64(l.ewma)
+		e.i64(int64(l.n))
+		e.i64(int64(l.next))
+		e.i64(int64(l.skip))
+		e.bool(l.stale)
+		for _, v := range l.win {
+			e.f64(v)
+		}
+	}
+	return e.buf
+}
+
+func (o *Orchestrator) encodeManagers() []byte {
+	var e snapEnc
+	e.i64(int64(len(o.machines)))
+	for _, m := range o.machines {
+		encodeManagerState(&e, m.mgr.Export())
+	}
+	return e.buf
+}
+
+func encodeManagerState(e *snapEnc, s *dynmgmt.StateExport) {
+	e.i64(int64(s.Mode))
+	e.i64(int64(len(s.IDs)))
+	for _, id := range s.IDs {
+		e.str(id)
+	}
+	e.i64(int64(len(s.Prev)))
+	for _, a := range s.Prev {
+		e.alloc(a)
+	}
+	e.i64(int64(len(s.Tenants)))
+	for _, t := range s.Tenants {
+		e.bool(t.Model != nil)
+		if t.Model != nil {
+			encodeModel(e, t.Model)
+		}
+		e.f64(t.PrevAvg)
+		e.f64(t.PrevErr)
+		e.bool(t.HasPrevErr)
+		e.bool(t.Converged)
+	}
+}
+
+func encodeModel(e *snapEnc, md *refine.ModelExport) {
+	e.i64(int64(md.M))
+	e.bool(md.FirstScaled)
+	e.i64(md.Version)
+	e.i64(int64(len(md.Intervals)))
+	for _, iv := range md.Intervals {
+		e.f64(iv.Lo)
+		e.f64(iv.Hi)
+		e.str(iv.Plan)
+		e.i64(int64(len(iv.Alphas)))
+		for _, a := range iv.Alphas {
+			e.f64(a)
+		}
+		e.f64(iv.Beta)
+		e.i64(int64(len(iv.Obs)))
+		for _, ob := range iv.Obs {
+			e.alloc(ob.Alloc)
+			e.f64(ob.Act)
+		}
+	}
+}
+
+func (o *Orchestrator) encodeEstimates() []byte {
+	var e snapEnc
+	e.bool(!o.opts.DisableScoreCache)
+	if o.opts.DisableScoreCache {
+		return e.buf
+	}
+	e.i64(int64(len(o.estimates)))
+	for c := range o.estimates {
+		entries := o.estimates[c].Export()
+		e.i64(int64(len(entries)))
+		for _, en := range entries {
+			e.str(en.Key)
+			e.f64(en.Seconds)
+			e.str(en.PlanSig)
+		}
+	}
+	return e.buf
+}
+
+// RestoreOptions tunes Restore; nil means defaults.
+type RestoreOptions struct {
+	// SkipCachePriming leaves the restored estimate caches cold instead
+	// of priming them with the snapshot's entries. Results are identical
+	// either way; the first periods just recompute more.
+	SkipCachePriming bool
+}
+
+// snapState is a fully-parsed, validated snapshot, staged before any
+// orchestrator is built.
+type snapState struct {
+	cellsOpt          int
+	disableScoreCache bool
+	period            int
+	profiles          []string
+	cellOf            []int
+	localIdx          []int
+	cells             [][]int
+	assignment        map[string]int
+	deltaIDs          [][]string
+	settled           []bool
+	sigs              map[string]tenantSig
+	lat               []cellLatency
+	mgrs              []*dynmgmt.StateExport
+	estPresent        bool
+	est               [][]score.EstimateEntry
+	user              []byte
+}
+
+// Restore reads a snapshot written by Snapshot and builds a brand-new
+// Orchestrator from it, returning the caller blob stored alongside.
+// opts must be the same Options the snapshotted fleet ran under: the
+// topology-fixed fields (Profiles — including any servers added or
+// removed since New — Cells, DisableScoreCache) are validated against
+// the snapshot and mismatch is an error; the remaining fields are taken
+// from opts and must match the original for the restored fleet to
+// reproduce it bit-identically. The whole stream is parsed and
+// validated before anything is constructed — a corrupted, truncated, or
+// wrong-version snapshot returns a precise error and no orchestrator.
+//
+// Restored cells come back dirty (their stored outcomes are not
+// serialized), so the first post-restore period recomputes every
+// occupied cell — same results, more work — and the delta machinery
+// re-settles from period two on. The report history starts empty.
+func Restore(r io.Reader, opts Options, ropts *RestoreOptions) (*Orchestrator, []byte, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: snapshot: %w", err)
+	}
+	st, err := parseSnapshot(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Validate the caller's options exactly as New would, plus the
+	// topology-fixed fields against the snapshot.
+	if len(opts.Profiles) == 0 {
+		return nil, nil, errors.New("fleet: no servers (Options.Profiles is empty)")
+	}
+	if err := checkOptions(opts); err != nil {
+		return nil, nil, err
+	}
+	if opts.Cells < 0 {
+		return nil, nil, fmt.Errorf("fleet: negative cell size %d", opts.Cells)
+	}
+	if opts.Cells != st.cellsOpt {
+		return nil, nil, fmt.Errorf("fleet: snapshot was taken with Cells=%d, restore options have Cells=%d", st.cellsOpt, opts.Cells)
+	}
+	if opts.DisableScoreCache != st.disableScoreCache {
+		return nil, nil, fmt.Errorf("fleet: snapshot was taken with DisableScoreCache=%v, restore options differ", st.disableScoreCache)
+	}
+	if len(opts.Profiles) != len(st.profiles) {
+		return nil, nil, fmt.Errorf("fleet: snapshot has %d servers, restore options have %d", len(st.profiles), len(opts.Profiles))
+	}
+	for s, p := range st.profiles {
+		if opts.Profiles[s] != p {
+			return nil, nil, fmt.Errorf("fleet: server %d profile mismatch: snapshot %q, restore options %q", s, p, opts.Profiles[s])
+		}
+	}
+
+	// Build a fresh orchestrator mirroring New, then install the staged
+	// state. Nothing below can fail except manager import, which happens
+	// before the orchestrator is returned — the partially-built value is
+	// simply dropped on error, never observable.
+	o := &Orchestrator{
+		opts:       opts,
+		assignment: st.assignment,
+		lastSig:    st.sigs,
+		period:     st.period,
+	}
+	o.met = newFleetMetrics(opts.Metrics)
+	o.opts.Profiles = append([]string(nil), opts.Profiles...)
+	o.cells = st.cells
+	o.cellOf = st.cellOf
+	o.localIdx = st.localIdx
+	o.cellProfiles = make([][]string, len(o.cells))
+	for c, servers := range o.cells {
+		profiles := make([]string, len(servers))
+		for l, s := range servers {
+			profiles[l] = o.opts.Profiles[s]
+		}
+		o.cellProfiles[c] = profiles
+	}
+	o.scores = make([]*score.Cache, len(o.cells))
+	o.estimates = make([]*score.EstimateCache, len(o.cells))
+	if !opts.DisableScoreCache {
+		scap := perCellCapacity(opts.CacheCapacity, len(o.cells))
+		ecap := perCellCapacity(opts.EstimateCacheCapacity, len(o.cells))
+		for c := range o.cells {
+			o.scores[c] = score.NewCache()
+			o.scores[c].SetMetrics(o.met.score)
+			o.scores[c].SetCapacity(scap)
+			o.estimates[c] = score.NewEstimates()
+			o.estimates[c].SetMetrics(o.met.estimates)
+			o.estimates[c].SetCapacity(ecap)
+		}
+	}
+	for s := range o.opts.Profiles {
+		var shard *score.Cache
+		if o.cellOf[s] >= 0 {
+			shard = o.scores[o.cellOf[s]]
+		}
+		m := newMachine(o.opts, o.opts.Profiles[s], shard, o.met.dyn)
+		if err := m.mgr.Import(st.mgrs[s]); err != nil {
+			return nil, nil, fmt.Errorf("fleet: snapshot: server %d manager: %w", s, err)
+		}
+		o.machines = append(o.machines, m)
+	}
+	o.delta = make([]cellDelta, len(o.cells))
+	for c := range o.delta {
+		// out stays nil: restored cells are dirty and recompute once,
+		// bit-identically (replay ≡ recompute).
+		o.delta[c] = cellDelta{ids: st.deltaIDs[c], settled: st.settled[c]}
+	}
+	o.lat = st.lat
+	if st.estPresent && (ropts == nil || !ropts.SkipCachePriming) {
+		for c := range o.estimates {
+			o.estimates[c].Prime(st.est[c])
+		}
+	}
+	return o, st.user, nil
+}
+
+// parseSnapshot decodes and fully validates a snapshot stream.
+func parseSnapshot(raw []byte) (*snapState, error) {
+	d := &snapDec{buf: raw}
+	magic := d.take(len(snapMagic))
+	if d.err != nil || string(magic) != snapMagic {
+		return nil, errors.New("fleet: snapshot: bad magic (not a fleet snapshot)")
+	}
+	ver := d.u32()
+	if d.err != nil {
+		return nil, errors.New("fleet: snapshot: truncated before format version")
+	}
+	if ver != snapVersion {
+		return nil, fmt.Errorf("fleet: snapshot: unsupported format version %d (this build reads version %d)", ver, snapVersion)
+	}
+
+	st := &snapState{}
+	type sectionParser struct {
+		id    uint32
+		parse func(*snapDec) error
+	}
+	order := []sectionParser{
+		{sectMeta, st.parseMeta},
+		{sectTopo, st.parseTopo},
+		{sectAssign, st.parseAssign},
+		{sectDelta, st.parseDelta},
+		{sectSigs, st.parseSigs},
+		{sectLat, st.parseLat},
+		{sectMgrs, st.parseMgrs},
+		{sectEst, st.parseEst},
+		{sectUser, st.parseUser},
+	}
+	for _, sp := range order {
+		payload, err := readSection(d, sp.id)
+		if err != nil {
+			return nil, err
+		}
+		pd := &snapDec{buf: payload}
+		if err := sp.parse(pd); err != nil {
+			return nil, err
+		}
+		if err := pd.finish(sectName[sp.id]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := readSection(d, sectEnd); err != nil {
+		return nil, err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("fleet: snapshot: %d trailing bytes after END section", len(d.buf)-d.off)
+	}
+	return st, nil
+}
+
+func (st *snapState) parseMeta(d *snapDec) error {
+	st.cellsOpt = int(d.i64())
+	st.disableScoreCache = d.bool()
+	st.period = int(d.i64())
+	if d.err == nil && st.period < 0 {
+		d.fail("negative period counter %d", st.period)
+	}
+	return nil
+}
+
+func (st *snapState) parseTopo(d *snapDec) error {
+	ns := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	if ns == 0 {
+		d.fail("no servers")
+		return nil
+	}
+	st.profiles = make([]string, ns)
+	st.cellOf = make([]int, ns)
+	st.localIdx = make([]int, ns)
+	for s := 0; s < ns; s++ {
+		st.profiles[s] = d.str()
+		st.cellOf[s] = int(d.i64())
+		st.localIdx[s] = int(d.i64())
+	}
+	nc := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	if nc == 0 {
+		d.fail("no cells")
+		return nil
+	}
+	st.cells = make([][]int, nc)
+	seen := make([]bool, ns)
+	for c := 0; c < nc; c++ {
+		n := d.count(8)
+		if d.err != nil {
+			return nil
+		}
+		members := make([]int, n)
+		for l := 0; l < n; l++ {
+			s := int(d.i64())
+			if d.err != nil {
+				return nil
+			}
+			if s < 0 || s >= ns {
+				d.fail("cell %d member %d out of range (fleet of %d)", c, s, ns)
+				return nil
+			}
+			if seen[s] {
+				d.fail("server %d appears in two cells", s)
+				return nil
+			}
+			seen[s] = true
+			if st.cellOf[s] != c || st.localIdx[s] != l {
+				d.fail("server %d index mismatch: listed at cell %d slot %d, indexed at cell %d slot %d",
+					s, c, l, st.cellOf[s], st.localIdx[s])
+				return nil
+			}
+			members[l] = s
+		}
+		st.cells[c] = members
+	}
+	for s := 0; s < ns; s++ {
+		if !seen[s] && st.cellOf[s] != -1 {
+			d.fail("server %d indexed to cell %d but listed in none", s, st.cellOf[s])
+			return nil
+		}
+	}
+	return nil
+}
+
+func (st *snapState) parseAssign(d *snapDec) error {
+	n := d.count(12)
+	if d.err != nil {
+		return nil
+	}
+	st.assignment = make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		id := d.str()
+		s := int(d.i64())
+		if d.err != nil {
+			return nil
+		}
+		if _, dup := st.assignment[id]; dup {
+			d.fail("tenant %q assigned twice", id)
+			return nil
+		}
+		if s < 0 || s >= len(st.profiles) {
+			d.fail("tenant %q assigned to server %d (fleet of %d)", id, s, len(st.profiles))
+			return nil
+		}
+		if st.cellOf[s] < 0 {
+			d.fail("tenant %q assigned to removed server %d", id, s)
+			return nil
+		}
+		st.assignment[id] = s
+	}
+	return nil
+}
+
+func (st *snapState) parseDelta(d *snapDec) error {
+	nc := d.count(9)
+	if d.err != nil {
+		return nil
+	}
+	if nc != len(st.cells) {
+		d.fail("delta state for %d cells, topology has %d", nc, len(st.cells))
+		return nil
+	}
+	st.deltaIDs = make([][]string, nc)
+	st.settled = make([]bool, nc)
+	for c := 0; c < nc; c++ {
+		n := d.count(4)
+		if d.err != nil {
+			return nil
+		}
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			ids[i] = d.str()
+		}
+		st.deltaIDs[c] = ids
+		st.settled[c] = d.bool()
+	}
+	return nil
+}
+
+func (st *snapState) parseSigs(d *snapDec) error {
+	n := d.count(40)
+	if d.err != nil {
+		return nil
+	}
+	st.sigs = make(map[string]tenantSig, n)
+	for i := 0; i < n; i++ {
+		id := d.str()
+		var sig tenantSig
+		sig.fp = d.str()
+		sig.gain = d.f64()
+		sig.limit = d.f64()
+		sig.avg = d.f64()
+		sig.pin = int(d.i64())
+		if d.err != nil {
+			return nil
+		}
+		if _, dup := st.sigs[id]; dup {
+			d.fail("tenant %q has two signatures", id)
+			return nil
+		}
+		st.sigs[id] = sig
+	}
+	return nil
+}
+
+func (st *snapState) parseLat(d *snapDec) error {
+	nc := d.count(8*(4+autotuneWindow) + 1)
+	if d.err != nil {
+		return nil
+	}
+	if nc != len(st.cells) {
+		d.fail("latency state for %d cells, topology has %d", nc, len(st.cells))
+		return nil
+	}
+	st.lat = make([]cellLatency, nc)
+	for c := 0; c < nc; c++ {
+		l := &st.lat[c]
+		l.ewma = d.f64()
+		l.n = int(d.i64())
+		l.next = int(d.i64())
+		l.skip = int(d.i64())
+		l.stale = d.bool()
+		for j := range l.win {
+			l.win[j] = d.f64()
+		}
+		if d.err != nil {
+			return nil
+		}
+		if l.n < 0 || l.n > autotuneWindow || l.next < 0 || l.next >= autotuneWindow || l.skip < 0 {
+			d.fail("cell %d latency window out of range (n=%d next=%d skip=%d)", c, l.n, l.next, l.skip)
+			return nil
+		}
+	}
+	return nil
+}
+
+func (st *snapState) parseMgrs(d *snapDec) error {
+	ns := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	if ns != len(st.profiles) {
+		d.fail("manager state for %d servers, topology has %d", ns, len(st.profiles))
+		return nil
+	}
+	st.mgrs = make([]*dynmgmt.StateExport, ns)
+	for s := 0; s < ns; s++ {
+		st.mgrs[s] = decodeManagerState(d)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+func decodeManagerState(d *snapDec) *dynmgmt.StateExport {
+	s := &dynmgmt.StateExport{Mode: int(d.i64())}
+	nIDs := d.count(4)
+	for i := 0; i < nIDs && d.err == nil; i++ {
+		s.IDs = append(s.IDs, d.str())
+	}
+	nPrev := d.count(8)
+	for i := 0; i < nPrev && d.err == nil; i++ {
+		s.Prev = append(s.Prev, d.alloc())
+	}
+	nTen := d.count(27)
+	for i := 0; i < nTen && d.err == nil; i++ {
+		var t dynmgmt.TenantExport
+		if d.bool() {
+			t.Model = decodeModel(d)
+		}
+		t.PrevAvg = d.f64()
+		t.PrevErr = d.f64()
+		t.HasPrevErr = d.bool()
+		t.Converged = d.bool()
+		s.Tenants = append(s.Tenants, t)
+	}
+	return s
+}
+
+func decodeModel(d *snapDec) *refine.ModelExport {
+	md := &refine.ModelExport{M: int(d.i64())}
+	md.FirstScaled = d.bool()
+	md.Version = d.i64()
+	n := d.count(41)
+	for i := 0; i < n && d.err == nil; i++ {
+		iv := refine.IntervalExport{Lo: d.f64(), Hi: d.f64(), Plan: d.str()}
+		na := d.count(8)
+		for j := 0; j < na && d.err == nil; j++ {
+			iv.Alphas = append(iv.Alphas, d.f64())
+		}
+		iv.Beta = d.f64()
+		no := d.count(16)
+		for j := 0; j < no && d.err == nil; j++ {
+			iv.Obs = append(iv.Obs, refine.Obs{Alloc: d.alloc(), Act: d.f64()})
+		}
+		md.Intervals = append(md.Intervals, iv)
+	}
+	return md
+}
+
+func (st *snapState) parseEst(d *snapDec) error {
+	st.estPresent = d.bool()
+	if d.err != nil {
+		return nil
+	}
+	if st.estPresent == st.disableScoreCache {
+		d.fail("estimate section presence %v contradicts DisableScoreCache=%v", st.estPresent, st.disableScoreCache)
+		return nil
+	}
+	if !st.estPresent {
+		return nil
+	}
+	nc := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	if nc != len(st.cells) {
+		d.fail("estimate entries for %d cells, topology has %d", nc, len(st.cells))
+		return nil
+	}
+	st.est = make([][]score.EstimateEntry, nc)
+	for c := 0; c < nc; c++ {
+		n := d.count(16)
+		for i := 0; i < n && d.err == nil; i++ {
+			st.est[c] = append(st.est[c], score.EstimateEntry{
+				Key:     d.str(),
+				Seconds: d.f64(),
+				PlanSig: d.str(),
+			})
+		}
+		if d.err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (st *snapState) parseUser(d *snapDec) error {
+	if len(d.buf) > 0 {
+		st.user = append([]byte(nil), d.buf...)
+	}
+	d.off = len(d.buf)
+	return nil
+}

@@ -1,0 +1,99 @@
+package refine
+
+// Export/import of a model's parameters for durable snapshots. A
+// ModelExport is a plain-data mirror of the model — coefficients,
+// interval boundaries, accumulated observations, and the refinement
+// flags — detached from the process-local lineage ID. An imported model
+// estimates bit-identically to the exported one (the parameters are
+// copied verbatim), but it takes a FRESH lineage ID: fingerprints name
+// process-local identity, so a restored model misses cleanly past any
+// cache entries of the process that wrote the snapshot instead of
+// colliding with an unrelated lineage that happens to share a number.
+// Caches change work, never results, so the fresh lineage costs at most
+// one re-run per machine.
+
+import "fmt"
+
+// ModelExport is the serializable form of a Model.
+type ModelExport struct {
+	M           int
+	FirstScaled bool
+	// Version is the content-mutation counter at export time, preserved
+	// across import so a restored model's fingerprint keeps advancing
+	// from where the original left off.
+	Version   int64
+	Intervals []IntervalExport
+}
+
+// IntervalExport is the serializable form of one Interval.
+type IntervalExport struct {
+	Lo, Hi float64
+	Plan   string
+	Alphas []float64
+	Beta   float64
+	Obs    []Obs
+}
+
+// Export returns the model's parameters as plain data (deep-copied, so
+// later Observe calls leave the export untouched). A nil model exports
+// to nil.
+func (md *Model) Export() *ModelExport {
+	if md == nil {
+		return nil
+	}
+	e := &ModelExport{M: md.M, FirstScaled: md.FirstScaled, Version: md.version}
+	e.Intervals = make([]IntervalExport, len(md.Intervals))
+	for i, iv := range md.Intervals {
+		ie := IntervalExport{
+			Lo:     iv.Lo,
+			Hi:     iv.Hi,
+			Plan:   iv.Plan,
+			Alphas: append([]float64(nil), iv.Alphas...),
+			Beta:   iv.Beta,
+		}
+		if len(iv.Obs) > 0 {
+			ie.Obs = make([]Obs, len(iv.Obs))
+			for j, o := range iv.Obs {
+				ie.Obs[j] = Obs{Alloc: o.Alloc.Clone(), Act: o.Act}
+			}
+		}
+		e.Intervals[i] = ie
+	}
+	return e
+}
+
+// ImportModel rebuilds a model from exported parameters under a fresh
+// lineage ID. A nil export imports to a nil model.
+func ImportModel(e *ModelExport) (*Model, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if e.M <= 0 {
+		return nil, fmt.Errorf("refine: import: non-positive resource count %d", e.M)
+	}
+	if e.Version < 0 {
+		return nil, fmt.Errorf("refine: import: negative model version %d", e.Version)
+	}
+	md := &Model{M: e.M, FirstScaled: e.FirstScaled, id: modelSeq.Add(1), version: e.Version}
+	md.Intervals = make([]*Interval, len(e.Intervals))
+	for i, ie := range e.Intervals {
+		if len(ie.Alphas) != e.M {
+			return nil, fmt.Errorf("refine: import: interval %d has %d alphas for %d resources", i, len(ie.Alphas), e.M)
+		}
+		iv := &Interval{
+			Lo:     ie.Lo,
+			Hi:     ie.Hi,
+			Plan:   ie.Plan,
+			Alphas: append([]float64(nil), ie.Alphas...),
+			Beta:   ie.Beta,
+		}
+		if len(ie.Obs) > 0 {
+			iv.Obs = make([]Obs, len(ie.Obs))
+			for j, o := range ie.Obs {
+				iv.Obs[j] = Obs{Alloc: o.Alloc.Clone(), Act: o.Act}
+			}
+		}
+		md.Intervals[i] = iv
+	}
+	return md, nil
+}

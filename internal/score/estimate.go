@@ -22,12 +22,15 @@ import (
 
 // estCell is one cached point estimate, resolved exactly once:
 // concurrent requests for the same (profile, fingerprint, allocation)
-// block on the single in-flight evaluation.
+// block on the single in-flight evaluation. done marks a cell whose
+// once body has run — the snapshot exporter's way to tell a resolved
+// value from a cell still being (or never) evaluated.
 type estCell struct {
 	once sync.Once
 	sec  float64
 	sig  string
 	err  error
+	done bool
 }
 
 // EstimateCache memoizes single what-if estimates by (machine profile,
@@ -237,12 +240,77 @@ func (e *cachedEstimator) resolve(cell *estCell, k string) (float64, string, err
 
 func (e *cachedEstimator) Estimate(a core.Allocation) (float64, string, error) {
 	cell, k := e.cell(a)
-	cell.once.Do(func() { cell.sec, cell.sig, cell.err = e.est.Estimate(a) })
+	cell.once.Do(func() {
+		cell.sec, cell.sig, cell.err = e.est.Estimate(a)
+		cell.done = true
+	})
 	return e.resolve(cell, k)
 }
 
 func (e *cachedEstimator) EstimateConcurrent(ctx context.Context, workers int, a core.Allocation) (float64, string, error) {
 	cell, k := e.cell(a)
-	cell.once.Do(func() { cell.sec, cell.sig, cell.err = core.EstimateWith(ctx, e.est, workers, a) })
+	cell.once.Do(func() {
+		cell.sec, cell.sig, cell.err = core.EstimateWith(ctx, e.est, workers, a)
+		cell.done = true
+	})
 	return e.resolve(cell, k)
+}
+
+// EstimateEntry is one resolved point estimate in a cache's export: the
+// full cache key (profile, fingerprint, allocation — see estKeyPrefix)
+// and the value it resolved to. Estimates are deterministic in the key,
+// so priming another cache with an exported entry reproduces exactly
+// what that cache would have computed.
+type EstimateEntry struct {
+	Key     string
+	Seconds float64
+	PlanSig string
+}
+
+// Export returns the cache's resolved entries in least- to
+// most-recently-used order, so Prime inserting them in slice order
+// rebuilds the same LRU order. Unresolved (in-flight) and errored cells
+// are skipped. Call it between periods: it must not race a concurrent
+// evaluation.
+func (c *EstimateCache) Export() []EstimateEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []EstimateEntry
+	for n := c.b.tail; n != nil; n = n.prev {
+		cell := n.val
+		if !cell.done || cell.err != nil {
+			continue
+		}
+		out = append(out, EstimateEntry{Key: n.key, Seconds: cell.sec, PlanSig: cell.sig})
+	}
+	return out
+}
+
+// Prime inserts exported entries as already-resolved cells, warming a
+// fresh cache (a restored orchestrator's) without re-evaluating
+// anything. Keys already present are left untouched; priming counts
+// neither hits nor misses; the capacity bound applies as usual, so
+// priming past it evicts from the LRU tail.
+func (c *EstimateCache) Prime(entries []EstimateEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	ev0 := c.b.evictions
+	for _, en := range entries {
+		if _, ok := c.b.m[en.Key]; ok {
+			continue
+		}
+		cell := &estCell{sec: en.Seconds, sig: en.PlanSig, done: true}
+		cell.once.Do(func() {})
+		c.b.put(en.Key, cell)
+	}
+	dropped := c.b.evictions - ev0
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.met.Evictions.Add(uint64(dropped))
+	}
 }
